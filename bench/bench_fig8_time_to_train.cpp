@@ -1,0 +1,189 @@
+// Figure 8 reproduction: training loss vs wall-clock time on 1K nodes,
+// synchronous vs hybrid with 2/4/8 groups; the paper's best hybrid reaches
+// the target loss ~1.66x faster than the best synchronous run.
+//
+// Method (documented in DESIGN.md): statistical efficiency is measured for
+// real — we train the actual HEP network with the actual hybrid trainer
+// (all-reduce groups + per-layer parameter servers, staleness and all) at
+// a scaled-down size, with the total batch fixed across configurations so
+// more groups = more (staler) updates. Hardware efficiency at 1024 nodes
+// is taken from the Cori simulator: each group's k-th update is placed at
+// k x t_iter(G), with t_iter from the simulated 1024-node run of the same
+// group layout. The product reproduces the figure's loss-vs-time story.
+//
+// Usage: bench_fig8_time_to_train [--iters=N] [--workers=N]
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "data/hep_generator.hpp"
+#include "hybrid/hybrid_trainer.hpp"
+#include "perf/report.hpp"
+#include "simnet/scaling_sim.hpp"
+
+namespace {
+
+struct CurvePoint {
+  double time = 0.0;
+  double loss = 0.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pf15;
+  std::size_t iterations = 40;
+  int workers = 8;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--iters=", 8) == 0) {
+      iterations = std::stoul(argv[i] + 8);
+    }
+    if (std::strncmp(argv[i], "--workers=", 10) == 0) {
+      workers = std::stoi(argv[i] + 10);
+    }
+  }
+
+  // Shared training data: deterministic event stream per (worker, iter).
+  data::HepGeneratorConfig gen_cfg;
+  gen_cfg.image = 32;
+  const std::size_t local_batch = 4;  // total batch = workers * 4, fixed
+
+  nn::HepConfig net_cfg = nn::HepConfig::tiny();
+  net_cfg.filters = 8;
+  net_cfg.conv_units = 3;
+
+  const auto factory = [&net_cfg] {
+    return std::make_unique<hybrid::HepTrainable>(net_cfg);
+  };
+  const auto batches = [gen_cfg, local_batch](int rank, std::size_t iter) {
+    data::HepGenerator gen(gen_cfg,
+                           static_cast<std::uint64_t>(rank) * 100000 +
+                               iter);
+    std::vector<data::Sample> ss;
+    std::vector<const data::Sample*> ptrs;
+    for (std::size_t k = 0; k < local_batch; ++k) {
+      const auto ev = gen.generate(k % 2 == 0);
+      ss.push_back({ev.image.clone(), ev.label, true, {}});
+    }
+    for (const auto& s : ss) ptrs.push_back(&s);
+    return data::make_batch(ptrs);
+  };
+
+  // Simulated 1024-node per-iteration times for each group count.
+  const simnet::WorkloadProfile workload = simnet::hep_workload();
+  simnet::CoriConfig machine;
+  machine.seed = 8;
+
+  const int group_counts[] = {1, 2, 4, 8};
+  std::map<int, std::vector<CurvePoint>> curves;
+  std::map<int, double> iter_seconds;
+
+  for (int groups : group_counts) {
+    simnet::ScalingConfig s;
+    s.nodes = 1024;
+    s.groups = groups;
+    s.batch_per_group = 1024 / static_cast<std::size_t>(groups);
+    s.iterations = 30;
+    const simnet::SimResult sim =
+        simnet::simulate_training(machine, workload, s);
+    iter_seconds[groups] = sim.mean_iteration_time();
+
+    hybrid::HybridConfig cfg;
+    cfg.num_workers = workers;
+    cfg.num_groups = groups;
+    cfg.iterations = iterations;
+    cfg.solver = hybrid::SolverKind::kAdam;
+    cfg.learning_rate = 3e-3;
+    cfg.tune_momentum = true;
+    hybrid::HybridTrainer trainer(cfg, factory, batches);
+    const hybrid::TrainResult result = trainer.run();
+
+    auto& curve = curves[groups];
+    for (const auto& rec : result.records) {
+      CurvePoint p;
+      p.time = static_cast<double>(rec.iteration + 1) *
+               iter_seconds[groups];
+      p.loss = rec.loss;
+      curve.push_back(p);
+    }
+    std::sort(curve.begin(), curve.end(),
+              [](const CurvePoint& a, const CurvePoint& b) {
+                return a.time < b.time;
+              });
+  }
+
+  // Target loss: slightly above the worst config's best running-mean so
+  // every configuration crosses it (the paper uses loss = 0.05 for its
+  // full-size net; the scaled net's loss floor differs).
+  auto smoothed_min = [](const std::vector<CurvePoint>& c) {
+    double best = 1e100, run = 0.0;
+    const std::size_t w = 4;
+    for (std::size_t i = 0; i + w <= c.size(); ++i) {
+      run = 0.0;
+      for (std::size_t j = i; j < i + w; ++j) run += c[j].loss;
+      best = std::min(best, run / w);
+    }
+    return best;
+  };
+  double target = 0.0;
+  for (const auto& [groups, curve] : curves) {
+    target = std::max(target, smoothed_min(curve));
+  }
+  target *= 1.02;
+
+  perf::Table table({"config", "iter[s]@1024", "updates-to-target",
+                     "time-to-target[min]", "speedup-vs-sync"});
+  std::map<int, double> ttt;
+  for (const auto& [groups, curve] : curves) {
+    double run = 0.0;
+    std::size_t count = 0, crossing = curve.size();
+    const std::size_t w = 4;
+    for (std::size_t i = 0; i < curve.size(); ++i) {
+      run += curve[i].loss;
+      if (++count > w) {
+        run -= curve[i - w].loss;
+        --count;
+      }
+      if (count == w && run / w <= target) {
+        crossing = i;
+        break;
+      }
+    }
+    const double t =
+        crossing < curve.size() ? curve[crossing].time : -1.0;
+    ttt[groups] = t;
+  }
+  for (int groups : group_counts) {
+    const double t = ttt[groups];
+    const double sync_t = ttt[1];
+    table.add_row(
+        {groups == 1 ? "sync" : std::to_string(groups) + " groups",
+         perf::Table::num(iter_seconds[groups], 3),
+         t > 0 ? std::to_string(static_cast<int>(
+                     t / iter_seconds[groups]))
+               : "n/a",
+         t > 0 ? perf::Table::num(t / 60.0, 2) : "n/a",
+         (t > 0 && sync_t > 0) ? perf::Table::num(sync_t / t, 2) : "n/a"});
+  }
+  std::printf(
+      "Figure 8 — HEP training loss vs wall-clock on 1K simulated nodes "
+      "(target loss %.4f)\n%s\n",
+      target, table.str().c_str());
+  std::printf(
+      "paper: best hybrid configuration reaches the target ~1.66x faster "
+      "than the best synchronous run; hybrid gains come from more "
+      "(staler) updates per second with momentum re-tuned per [31].\n");
+
+  // Emit the raw curves for plotting.
+  perf::Table csv({"groups", "time_s", "loss"});
+  for (const auto& [groups, curve] : curves) {
+    for (const auto& p : curve) {
+      csv.add_row({std::to_string(groups), perf::Table::num(p.time, 3),
+                   perf::Table::num(p.loss, 5)});
+    }
+  }
+  csv.write_csv("fig8_curves.csv");
+  return 0;
+}

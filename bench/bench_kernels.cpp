@@ -1,0 +1,113 @@
+// Kernel microbenchmarks (google-benchmark): SGEMM across deep-learning
+// shapes, convolution forward/backward, im2col, and all-reduce payloads.
+// These are the per-kernel numbers behind the Fig 5 profile.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "comm/comm.hpp"
+#include "common/rng.hpp"
+#include "gemm/gemm.hpp"
+#include "nn/conv2d.hpp"
+
+namespace {
+
+using namespace pf15;
+
+void BM_SgemmSquare(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  std::vector<float> a(n * n), b(n * n), c(n * n);
+  for (auto& v : a) v = rng.uniform(-1.0f, 1.0f);
+  for (auto& v : b) v = rng.uniform(-1.0f, 1.0f);
+  for (auto _ : state) {
+    gemm::sgemm(false, false, n, n, n, 1.0f, a.data(), n, b.data(), n,
+                0.0f, c.data(), n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      static_cast<double>(gemm::flops(n, n, n)) * state.iterations() / 1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SgemmSquare)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
+
+// Tall-skinny GEMM: the conv-as-GEMM shape with minibatch-like N
+// (DeepBench's problem class).
+void BM_SgemmTallSkinny(benchmark::State& state) {
+  const auto batch_like = static_cast<std::size_t>(state.range(0));
+  const std::size_t m = 128, k = 1152;  // 128 filters, 128*3*3 taps
+  Rng rng(1);
+  std::vector<float> a(m * k), b(k * batch_like), c(m * batch_like);
+  for (auto& v : a) v = rng.uniform(-1.0f, 1.0f);
+  for (auto& v : b) v = rng.uniform(-1.0f, 1.0f);
+  for (auto _ : state) {
+    gemm::sgemm(false, false, m, batch_like, k, 1.0f, a.data(), k,
+                b.data(), batch_like, 0.0f, c.data(), batch_like);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      static_cast<double>(gemm::flops(m, batch_like, k)) *
+          state.iterations() / 1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SgemmTallSkinny)->Arg(4)->Arg(16)->Arg(196)->Arg(3136);
+
+void BM_ConvForward(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  nn::Conv2dConfig cfg{64, 64, 3, 1, 1, true};
+  nn::Conv2d conv("bench", cfg, rng);
+  Tensor in(Shape{batch, 64, 28, 28});
+  in.fill_uniform(rng, -1.0f, 1.0f);
+  Tensor out;
+  conv.forward(in, out);  // warmup/alloc
+  for (auto _ : state) {
+    conv.forward(in, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      static_cast<double>(conv.forward_flops(in.shape())) *
+          state.iterations() / 1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ConvForward)->Arg(1)->Arg(8);
+
+void BM_ConvBackward(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  nn::Conv2dConfig cfg{64, 64, 3, 1, 1, true};
+  nn::Conv2d conv("bench", cfg, rng);
+  Tensor in(Shape{batch, 64, 28, 28});
+  in.fill_uniform(rng, -1.0f, 1.0f);
+  Tensor out, din;
+  conv.forward(in, out);
+  Tensor dout(out.shape());
+  dout.fill_uniform(rng, -1.0f, 1.0f);
+  for (auto _ : state) {
+    conv.backward(in, dout, din);
+    benchmark::DoNotOptimize(din.data());
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      static_cast<double>(conv.backward_flops(in.shape())) *
+          state.iterations() / 1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ConvBackward)->Arg(1)->Arg(8);
+
+void BM_AllReduceRing(benchmark::State& state) {
+  const auto kib = static_cast<std::size_t>(state.range(0));
+  const std::size_t n = kib * 1024 / sizeof(float);
+  for (auto _ : state) {
+    comm::Cluster cluster(4);
+    cluster.run([&](comm::Communicator& c) {
+      std::vector<float> data(n, 1.0f);
+      c.allreduce_sum(data, comm::AllReduceAlgo::kRing);
+      benchmark::DoNotOptimize(data.data());
+    });
+  }
+}
+BENCHMARK(BM_AllReduceRing)->Arg(64)->Arg(1024);
+
+}  // namespace
+
+BENCHMARK_MAIN();

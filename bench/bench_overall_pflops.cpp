@@ -1,0 +1,110 @@
+// §VI-B3 reproduction: overall peak and sustained performance at full
+// machine scale.
+//
+// Paper configurations:
+//  * HEP: 9594 compute nodes + 6 PS in 9 groups, minibatch 1066/group.
+//    Peak 11.73 PFLOP/s, sustained (100-iteration window) 11.41 PFLOP/s,
+//    ~106 ms per iteration.
+//  * Climate: 9608 compute nodes + 14 PS in 8 groups, minibatch
+//    9608/group. Peak 15.07 PFLOP/s, sustained (10-iteration window,
+//    including a model snapshot every 10 iterations) 13.27 PFLOP/s,
+//    ~12.16 s per iteration.
+// We run the same configurations through the Cori simulator and report
+// peak/sustained rates with the paper's §V methodology.
+#include <cstdio>
+
+#include "perf/meter.hpp"
+#include "perf/report.hpp"
+#include "simnet/scaling_sim.hpp"
+
+namespace {
+
+struct RunSpec {
+  const char* name;
+  int nodes;
+  int groups;
+  std::size_t batch_per_group;
+  std::size_t window;      // sustained window (§V)
+  std::size_t checkpoint;  // snapshot cadence (0 = none)
+  double paper_peak_pf;
+  double paper_sustained_pf;
+};
+
+}  // namespace
+
+int main() {
+  using namespace pf15;
+
+  const simnet::WorkloadProfile hep = simnet::hep_workload();
+  const simnet::WorkloadProfile climate = simnet::climate_workload();
+
+  // Two HEP rows: the paper's stated configuration ("each group using a
+  // minibatch of 1066" over 1066-node groups = 1 image per node) is not
+  // arithmetically consistent with its own measurements — 11.73 PFLOP/s
+  // over 9594 nodes is ~130 GFLOP per node per 106 ms iteration, i.e.
+  // ~8 images/node of work at the Fig-5a per-sample cost. We simulate
+  // both: the stated batch, and the batch the PFLOP/s number implies.
+  const RunSpec specs[] = {
+      {"HEP (stated batch)", 9594, 9, 1066, 100, 0, 11.73, 11.41},
+      {"HEP (8 img/node)", 9594, 9, 8528, 100, 0, 11.73, 11.41},
+      {"Climate", 9608, 8, 9608, 10, 10, 15.07, 13.27},
+  };
+
+  perf::Table table({"net", "nodes", "groups", "batch/group",
+                     "iter[s]", "peak[PF/s]", "sust[PF/s]", "paper peak",
+                     "paper sust", "speedup-vs-1"});
+  for (const RunSpec& spec : specs) {
+    const simnet::WorkloadProfile& w =
+        spec.name[0] == 'H' ? hep : climate;
+    simnet::CoriConfig machine;
+    machine.seed = 15;
+    machine.checkpoint_every = spec.checkpoint;
+    machine.checkpoint_seconds = 2.0;
+
+    simnet::ScalingConfig s;
+    // The simulator charges PS service on dedicated servers; compute
+    // nodes below are workers only, like the paper's 9594+6 / 9608+14.
+    s.nodes = spec.nodes - spec.nodes % spec.groups;  // divisible
+    s.groups = spec.groups;
+    s.batch_per_group = spec.batch_per_group;
+    s.iterations = std::max<std::size_t>(spec.window + 20, 60);
+    const simnet::SimResult r =
+        simnet::simulate_training(machine, w, s);
+
+    // §V flop accounting: per-iteration FLOPs = per-sample fwd+bwd FLOPs
+    // times the group batch; all groups execute concurrently, so machine
+    // rate = groups x per-group rate. We meter per-group iteration times.
+    const std::uint64_t flops_per_group_iter =
+        w.flops_per_sample * spec.batch_per_group;
+    perf::FlopMeter meter(flops_per_group_iter);
+    for (double t : r.iteration_times) meter.record_iteration(t);
+    const double peak =
+        meter.peak_rate() * static_cast<double>(spec.groups);
+    const double sustained =
+        meter.sustained_rate(spec.window) *
+        static_cast<double>(spec.groups);
+
+    simnet::ScalingConfig sp = s;
+    const double speedup =
+        simnet::speedup_vs_single_node(machine, w, sp);
+
+    table.add_row({spec.name, std::to_string(spec.nodes),
+                   std::to_string(spec.groups),
+                   std::to_string(spec.batch_per_group),
+                   perf::Table::num(meter.timeline().mean_time(), 3),
+                   perf::Table::num(peak / 1e15, 2),
+                   perf::Table::num(sustained / 1e15, 2),
+                   perf::Table::num(spec.paper_peak_pf, 2),
+                   perf::Table::num(spec.paper_sustained_pf, 2),
+                   perf::Table::num(speedup, 0)});
+  }
+  std::printf(
+      "Overall performance at ~9600 nodes (§VI-B3, simulated Cori)\n%s\n",
+      table.str().c_str());
+  std::printf(
+      "paper: HEP peak 11.73 / sustained 11.41 PFLOP/s (6173x over one "
+      "node, ~106 ms/iter); climate peak 15.07 / sustained 13.27 PFLOP/s "
+      "(7205x, ~12.16 s/iter incl. snapshot every 10 iters).\n");
+  table.write_csv("overall_pflops.csv");
+  return 0;
+}

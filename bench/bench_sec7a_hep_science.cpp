@@ -1,0 +1,163 @@
+// §VII-A reproduction: HEP science result.
+//
+// The paper's benchmark is a cut-based selection on high-level physics
+// features (per ref [5]) reaching TPR 42% at FPR 0.02%; the CNN reaches
+// 72% at the same FPR (1.7x), and an untuned full-system SGD run reaches
+// 1.3x. We reproduce the comparison on the synthetic HEP stream: fit the
+// cut baseline at a fixed FPR budget, train (a) a tuned ADAM CNN and (b) a
+// quick untuned SGD CNN, and compare TPR at the same budget.
+//
+// Scale substitutions (see DESIGN.md): 32x32 images instead of 224x224 and
+// an FPR budget of 0.3% instead of 0.02% so the statistics fit in a
+// minutes-long run — the *comparison structure* (same operating point,
+// image model vs smeared features) is the paper's.
+//
+// Usage: bench_sec7a_hep_science [--train=N] [--test=N] [--fpr=F]
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "data/hep_baseline.hpp"
+#include "data/hep_generator.hpp"
+#include "data/loader.hpp"
+#include "hybrid/trainable.hpp"
+#include "perf/report.hpp"
+#include "solver/solver.hpp"
+
+namespace {
+
+struct Options {
+  std::size_t train_iters = 150;
+  std::size_t test_events = 6000;
+  double fpr = 0.003;
+};
+
+pf15::data::Batch
+make_training_batch(pf15::data::HepGenerator& gen, std::size_t bs) {
+  std::vector<pf15::data::Sample> ss;
+  std::vector<const pf15::data::Sample*> ptrs;
+  for (std::size_t k = 0; k < bs; ++k) {
+    const auto ev = gen.generate(k % 2 == 0);
+    ss.push_back({ev.image.clone(), ev.label, true, {}});
+  }
+  std::vector<pf15::data::Sample> owned = std::move(ss);
+  for (const auto& s : owned) ptrs.push_back(&s);
+  return pf15::data::make_batch(ptrs);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pf15;
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--train=", 8) == 0) {
+      opt.train_iters = std::stoul(argv[i] + 8);
+    }
+    if (std::strncmp(argv[i], "--test=", 7) == 0) {
+      opt.test_events = std::stoul(argv[i] + 7);
+    }
+    if (std::strncmp(argv[i], "--fpr=", 6) == 0) {
+      opt.fpr = std::stod(argv[i] + 6);
+    }
+  }
+
+  data::HepGeneratorConfig gen_cfg;
+  gen_cfg.image = 32;
+  gen_cfg.feature_smear = 0.5;  // detector-level features are lossy
+
+  nn::HepConfig net_cfg = nn::HepConfig::tiny();
+  net_cfg.filters = 8;
+  net_cfg.conv_units = 3;
+
+  // (a) Tuned run: ADAM, full iteration budget (§III-A's solver).
+  hybrid::HepTrainable tuned(net_cfg);
+  {
+    data::HepGenerator gen(gen_cfg, 0);
+    solver::AdamSolver adam(tuned.params(), 2e-3);
+    for (std::size_t i = 0; i < opt.train_iters; ++i) {
+      tuned.train_step(make_training_batch(gen, 16));
+      adam.step();
+    }
+  }
+  // (b) Untuned quick run: plain SGD, a third of the budget — the paper's
+  // "reduced runtime and without extensive tuning" full-system run.
+  hybrid::HepTrainable quick(net_cfg);
+  {
+    data::HepGenerator gen(gen_cfg, 0);
+    solver::SgdSolver sgd(quick.params(), 1e-2, 0.9);
+    for (std::size_t i = 0; i < opt.train_iters / 3; ++i) {
+      quick.train_step(make_training_batch(gen, 16));
+      sgd.step();
+    }
+  }
+
+  // Evaluation stream: background-rich, disjoint from training.
+  data::HepGenerator test_gen(gen_cfg, 1);
+  std::vector<data::HepFeatures> features;
+  std::vector<std::int32_t> labels;
+  std::vector<float> tuned_scores, quick_scores;
+  nn::SoftmaxCrossEntropy ce;
+  Tensor probs;
+  for (std::size_t i = 0; i < opt.test_events; ++i) {
+    const bool signal = i % 8 == 0;  // prevalent background, like the LHC
+    const auto ev = test_gen.generate(signal);
+    features.push_back(ev.features);
+    labels.push_back(ev.label);
+    data::Sample s{ev.image.clone(), ev.label, true, {}};
+    const data::Batch batch = data::make_batch({&s});
+    ce.forward(tuned.net().forward(batch.images), {ev.label}, probs);
+    tuned_scores.push_back(probs.at(1));
+    ce.forward(quick.net().forward(batch.images), {ev.label}, probs);
+    quick_scores.push_back(probs.at(1));
+  }
+
+  // Fit the cut thresholds on a disjoint calibration stream; the paper's
+  // selections were fixed before evaluation, and tuning on the test set
+  // would let the cuts overfit the very fluctuations they are scored on.
+  data::HepGenerator calib_gen(gen_cfg, 2);
+  std::vector<data::HepFeatures> calib_features;
+  std::vector<std::int32_t> calib_labels;
+  for (std::size_t i = 0; i < opt.test_events; ++i) {
+    const auto ev = calib_gen.generate(i % 8 == 0);
+    calib_features.push_back(ev.features);
+    calib_labels.push_back(ev.label);
+  }
+  data::CutBaseline baseline;
+  baseline.fit(calib_features, calib_labels, opt.fpr);
+  const auto cut_point = baseline.evaluate(features, labels);
+  const auto tuned_point = data::tpr_at_fpr(tuned_scores, labels, opt.fpr);
+  const auto quick_point = data::tpr_at_fpr(quick_scores, labels, opt.fpr);
+
+  perf::Table table(
+      {"classifier", "TPR", "FPR", "improvement", "paper"});
+  table.add_row({"cut-based benchmark (ref [5])",
+                 perf::Table::num(100.0 * cut_point.tpr, 1) + "%",
+                 perf::Table::num(100.0 * cut_point.fpr, 3) + "%", "1.00x",
+                 "42% @ 0.02% (1.0x)"});
+  table.add_row({"CNN, tuned (ADAM)",
+                 perf::Table::num(100.0 * tuned_point.tpr, 1) + "%",
+                 perf::Table::num(100.0 * tuned_point.fpr, 3) + "%",
+                 perf::Table::num(tuned_point.tpr /
+                                      std::max(1e-9, cut_point.tpr),
+                                  2) +
+                     "x",
+                 "72% (1.7x)"});
+  table.add_row({"CNN, quick untuned (SGD)",
+                 perf::Table::num(100.0 * quick_point.tpr, 1) + "%",
+                 perf::Table::num(100.0 * quick_point.fpr, 3) + "%",
+                 perf::Table::num(quick_point.tpr /
+                                      std::max(1e-9, cut_point.tpr),
+                                  2) +
+                     "x",
+                 "1.3x"});
+  std::printf(
+      "§VII-A — HEP science result: TPR at a fixed FPR budget of %.3f%%\n"
+      "%s\n",
+      100.0 * opt.fpr, table.str().c_str());
+  std::printf("cut selection: njet >= %d, HT >= %.1f, sum(M_J) >= %.1f\n",
+              baseline.selection().min_njet, baseline.selection().min_ht,
+              baseline.selection().min_mj_sum);
+  table.write_csv("sec7a_hep_science.csv");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// What-if explorer for the Cori scaling simulator: evaluate any
+// (nodes, groups, batch) configuration of either paper network and report
+// iteration time, throughput, PFLOP/s, and speedup — the tool behind
+// Figures 6/7 and the §VI-B3 headline numbers.
+//
+// Usage: cori_whatif [--net=hep|climate] [--nodes=N] [--groups=G]
+//                    [--batch-per-node=B | --batch-per-group=B]
+//                    [--iters=N] [--fail-node=K --fail-time=T]
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "simnet/scaling_sim.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pf15;
+
+  std::string net = "hep";
+  simnet::ScalingConfig s;
+  s.nodes = 1024;
+  s.groups = 4;
+  s.batch_per_node = 8;
+  s.iterations = 50;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strncmp(a, "--net=", 6) == 0) net = a + 6;
+    if (std::strncmp(a, "--nodes=", 8) == 0) s.nodes = std::atoi(a + 8);
+    if (std::strncmp(a, "--groups=", 9) == 0) s.groups = std::atoi(a + 9);
+    if (std::strncmp(a, "--batch-per-node=", 17) == 0) {
+      s.batch_per_node = std::strtoul(a + 17, nullptr, 10);
+      s.batch_per_group = 0;
+    }
+    if (std::strncmp(a, "--batch-per-group=", 18) == 0) {
+      s.batch_per_group = std::strtoul(a + 18, nullptr, 10);
+    }
+    if (std::strncmp(a, "--iters=", 8) == 0) {
+      s.iterations = std::strtoul(a + 8, nullptr, 10);
+    }
+    if (std::strncmp(a, "--fail-node=", 12) == 0) {
+      s.fail_node = std::atoi(a + 12);
+    }
+    if (std::strncmp(a, "--fail-time=", 12) == 0) {
+      s.fail_time = std::atof(a + 12);
+    }
+  }
+
+  const simnet::WorkloadProfile w =
+      net == "hep" ? simnet::hep_workload() : simnet::climate_workload();
+  simnet::CoriConfig machine;
+
+  std::printf("workload: %s — %.2f GFLOP/sample fwd+bwd, %.2f MiB model, "
+              "%zu shards\n",
+              net.c_str(),
+              static_cast<double>(w.flops_per_sample) / 1e9,
+              static_cast<double>(w.model_bytes()) / (1024.0 * 1024.0),
+              w.shard_bytes.size());
+  std::printf("config: %d nodes, %d group(s), batch %zu per %s, %zu "
+              "iterations\n",
+              s.nodes, s.groups,
+              s.batch_per_group ? s.batch_per_group : s.batch_per_node,
+              s.batch_per_group ? "group" : "node", s.iterations);
+
+  const simnet::SimResult r = simnet::simulate_training(machine, w, s);
+  bool any_halted = false;
+  for (std::size_t g = 0; g < r.groups.size(); ++g) {
+    if (r.groups[g].halted) {
+      std::printf("group %zu HALTED by node failure after %zu "
+                  "iterations\n",
+                  g, r.groups[g].iterations_completed);
+      any_halted = true;
+    }
+  }
+  if (r.iteration_times.empty()) {
+    std::printf("no iterations completed (all groups halted)\n");
+    return 0;
+  }
+  const double speedup =
+      simnet::speedup_vs_single_node(machine, w, s);
+  std::printf("\nresults (simulated):\n");
+  std::printf("  iteration time: min %.4fs mean %.4fs\n",
+              r.min_iteration_time(), r.mean_iteration_time());
+  std::printf("  throughput: %.0f images/s\n", r.throughput());
+  std::printf("  flop rate: %.3f PFLOP/s\n",
+              r.flops_rate(w.flops_per_sample) / 1e15);
+  std::printf("  speedup vs 1 node: %.1fx%s\n", speedup,
+              any_halted ? " (degraded by failure)" : "");
+  std::printf("  events simulated: %llu\n",
+              static_cast<unsigned long long>(r.events));
+  return 0;
+}

@@ -1,0 +1,82 @@
+// HEP pipeline example (§I-A, §VII-A): generate a background-dominated
+// event sample, fit the cut-based physics benchmark, train the CNN, and
+// compare both at the same false-positive-rate budget.
+#include <cstdio>
+
+#include "data/hep_baseline.hpp"
+#include "data/hep_generator.hpp"
+#include "data/loader.hpp"
+#include "hybrid/trainable.hpp"
+#include "solver/solver.hpp"
+
+int main() {
+  using namespace pf15;
+
+  data::HepGeneratorConfig gen_cfg;
+  gen_cfg.image = 32;
+  gen_cfg.feature_smear = 0.5;
+
+  // --- Cut-based benchmark on high-level features -----------------------
+  data::HepGenerator fit_gen(gen_cfg, 0);
+  std::vector<data::HepFeatures> features;
+  std::vector<std::int32_t> labels;
+  for (int i = 0; i < 3000; ++i) {
+    const auto ev = fit_gen.generate(i % 8 == 0);
+    features.push_back(ev.features);
+    labels.push_back(ev.label);
+  }
+  const double fpr_budget = 0.005;
+  data::CutBaseline baseline;
+  baseline.fit(features, labels, fpr_budget);
+  std::printf("cut selection: njet >= %d, HT >= %.0f GeV, sum M_J >= %.0f "
+              "GeV\n",
+              baseline.selection().min_njet, baseline.selection().min_ht,
+              baseline.selection().min_mj_sum);
+
+  // --- CNN on raw calorimeter images ------------------------------------
+  nn::HepConfig net_cfg = nn::HepConfig::tiny();
+  net_cfg.filters = 16;
+  net_cfg.conv_units = 3;
+  hybrid::HepTrainable model(net_cfg);
+  solver::AdamSolver adam(model.params(), 2e-3);
+  data::HepGenerator train_gen(gen_cfg, 1);
+  for (int iter = 0; iter < 350; ++iter) {
+    std::vector<data::Sample> ss;
+    std::vector<const data::Sample*> ptrs;
+    for (int k = 0; k < 16; ++k) {
+      const auto ev = train_gen.generate(k % 2 == 0);
+      ss.push_back({ev.image.clone(), ev.label, true, {}});
+    }
+    for (const auto& s : ss) ptrs.push_back(&s);
+    const double loss = model.train_step(data::make_batch(ptrs));
+    adam.step();
+    if (iter % 70 == 0) std::printf("iter %3d  loss %.4f\n", iter, loss);
+  }
+
+  // --- Same-operating-point comparison ----------------------------------
+  data::HepGenerator test_gen(gen_cfg, 2);
+  std::vector<data::HepFeatures> test_features;
+  std::vector<std::int32_t> test_labels;
+  std::vector<float> cnn_scores;
+  nn::SoftmaxCrossEntropy ce;
+  Tensor probs;
+  for (int i = 0; i < 2400; ++i) {
+    const auto ev = test_gen.generate(i % 8 == 0);
+    test_features.push_back(ev.features);
+    test_labels.push_back(ev.label);
+    data::Sample s{ev.image.clone(), ev.label, true, {}};
+    ce.forward(model.net().forward(data::make_batch({&s}).images),
+               {ev.label}, probs);
+    cnn_scores.push_back(probs.at(1));
+  }
+  const auto cut = baseline.evaluate(test_features, test_labels);
+  const auto cnn = data::tpr_at_fpr(cnn_scores, test_labels, fpr_budget);
+  std::printf("\nat FPR budget %.2f%%:\n", 100.0 * fpr_budget);
+  std::printf("  cut benchmark : TPR %.1f%% (FPR %.2f%%)\n",
+              100.0 * cut.tpr, 100.0 * cut.fpr);
+  std::printf("  CNN           : TPR %.1f%% (FPR %.2f%%)  -> %.2fx\n",
+              100.0 * cnn.tpr, 100.0 * cnn.fpr,
+              cnn.tpr / std::max(1e-9, cut.tpr));
+  std::printf("(paper §VII-A: 42%% vs 72%% at FPR 0.02%% = 1.7x)\n");
+  return 0;
+}

@@ -1,0 +1,481 @@
+#include "comm/comm.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <tuple>
+
+#include "common/errors.hpp"
+
+namespace pf15::comm {
+
+namespace detail {
+
+/// Shared state of one Cluster: mailboxes, barrier states, split
+/// negotiation tables. All addressing is by *world* rank; communicators
+/// translate their local ranks before touching the context.
+class Context {
+ public:
+  explicit Context(int world_size) : world_size_(world_size) {
+    mailboxes_ = std::make_unique<Mailbox[]>(
+        static_cast<std::size_t>(world_size));
+  }
+
+  int world_size() const { return world_size_; }
+
+  std::uint64_t new_comm_id() {
+    return next_comm_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void post(int dst_world, std::uint64_t comm_id, int src_comm_rank,
+            int tag, std::vector<float> payload) {
+    Mailbox& box = mailboxes_[static_cast<std::size_t>(dst_world)];
+    {
+      std::lock_guard<std::mutex> lock(box.mutex);
+      box.queues[{comm_id, src_comm_rank, tag}].push_back(
+          std::move(payload));
+    }
+    box.cv.notify_all();
+  }
+
+  std::vector<float> take(int dst_world, std::uint64_t comm_id,
+                          int src_comm_rank, int tag) {
+    Mailbox& box = mailboxes_[static_cast<std::size_t>(dst_world)];
+    std::unique_lock<std::mutex> lock(box.mutex);
+    const Key key{comm_id, src_comm_rank, tag};
+    box.cv.wait(lock, [&] {
+      if (aborted()) return true;
+      auto it = box.queues.find(key);
+      return it != box.queues.end() && !it->second.empty();
+    });
+    auto it = box.queues.find(key);
+    if (it == box.queues.end() || it->second.empty()) {
+      throw AbortedError("recv interrupted: cluster aborted by a peer");
+    }
+    auto& q = box.queues[key];
+    std::vector<float> payload = std::move(q.front());
+    q.pop_front();
+    return payload;
+  }
+
+  bool peek(int dst_world, std::uint64_t comm_id, int src_comm_rank,
+            int tag) {
+    Mailbox& box = mailboxes_[static_cast<std::size_t>(dst_world)];
+    std::lock_guard<std::mutex> lock(box.mutex);
+    auto it = box.queues.find({comm_id, src_comm_rank, tag});
+    return it != box.queues.end() && !it->second.empty();
+  }
+
+  /// Sense-reversing barrier keyed by communicator.
+  void barrier(std::uint64_t comm_id, int comm_size) {
+    std::unique_lock<std::mutex> lock(barrier_mutex_);
+    BarrierState& b = barriers_[comm_id];
+    const std::uint64_t my_generation = b.generation;
+    if (++b.arrived == comm_size) {
+      b.arrived = 0;
+      ++b.generation;
+      barrier_cv_.notify_all();
+    } else {
+      barrier_cv_.wait(lock, [&] {
+        return aborted() || b.generation != my_generation;
+      });
+      if (b.generation == my_generation) {
+        throw AbortedError("barrier interrupted: cluster aborted by a peer");
+      }
+    }
+  }
+
+  /// Collective split negotiation. Each member posts (color, key); the
+  /// last arrival computes the grouping and fresh comm ids; everyone
+  /// retrieves its assignment.
+  struct SplitResult {
+    std::uint64_t comm_id;
+    int rank;
+    std::vector<int> members;  // world ranks in comm-rank order
+  };
+
+  SplitResult split(std::uint64_t parent_comm, std::uint64_t sequence,
+                    int parent_size, int world_rank, int color, int key) {
+    std::unique_lock<std::mutex> lock(split_mutex_);
+    SplitTable& table = splits_[{parent_comm, sequence}];
+    table.entries.push_back({world_rank, color, key});
+    if (static_cast<int>(table.entries.size()) == parent_size) {
+      // Deterministic grouping: sort by (color, key, world_rank); assign
+      // one fresh comm id per color in ascending color order.
+      auto entries = table.entries;
+      std::sort(entries.begin(), entries.end(),
+                [](const SplitEntry& a, const SplitEntry& b) {
+                  return std::tie(a.color, a.key, a.world_rank) <
+                         std::tie(b.color, b.key, b.world_rank);
+                });
+      std::uint64_t current_id = 0;
+      int current_color = 0;
+      bool first = true;
+      std::vector<int> current_members;
+      auto flush = [&] {
+        for (std::size_t i = 0; i < current_members.size(); ++i) {
+          table.results[current_members[i]] = {
+              current_id, static_cast<int>(i), current_members};
+        }
+      };
+      for (const auto& e : entries) {
+        if (first || e.color != current_color) {
+          if (!first) flush();
+          current_id = new_comm_id();
+          current_color = e.color;
+          current_members.clear();
+          first = false;
+        }
+        current_members.push_back(e.world_rank);
+      }
+      flush();
+      table.ready = true;
+      split_cv_.notify_all();
+    } else {
+      split_cv_.wait(lock, [&] { return aborted() || table.ready; });
+      if (!table.ready) {
+        throw AbortedError("split interrupted: cluster aborted by a peer");
+      }
+    }
+    SplitResult result = table.results.at(world_rank);
+    if (++table.retrieved == parent_size) {
+      splits_.erase({parent_comm, sequence});
+    }
+    return result;
+  }
+
+  /// Job-abort semantics (MPI_Abort stand-in): wakes every blocked wait
+  /// so rank threads unwind instead of deadlocking when a peer dies.
+  void abort_job() {
+    aborted_.store(true, std::memory_order_release);
+    for (int i = 0; i < world_size_; ++i) {
+      std::lock_guard<std::mutex> lock(mailboxes_[i].mutex);
+      mailboxes_[i].cv.notify_all();
+    }
+    {
+      std::lock_guard<std::mutex> lock(barrier_mutex_);
+      barrier_cv_.notify_all();
+    }
+    {
+      std::lock_guard<std::mutex> lock(split_mutex_);
+      split_cv_.notify_all();
+    }
+  }
+
+  bool aborted() const { return aborted_.load(std::memory_order_acquire); }
+
+  /// The n-th split() call this rank makes on a given communicator gets
+  /// sequence n. split() is collective, so every member's n-th call lands
+  /// in the same (comm, n) negotiation table; a shared counter would hand
+  /// concurrent callers distinct sequences and deadlock the negotiation.
+  std::uint64_t next_split_sequence(std::uint64_t comm_id, int world_rank) {
+    std::lock_guard<std::mutex> lock(split_mutex_);
+    return split_sequences_[{comm_id, world_rank}]++;
+  }
+
+ private:
+  using Key = std::tuple<std::uint64_t, int, int>;  // comm, src, tag
+
+  struct Mailbox {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::map<Key, std::deque<std::vector<float>>> queues;
+  };
+
+  struct BarrierState {
+    int arrived = 0;
+    std::uint64_t generation = 0;
+  };
+
+  struct SplitEntry {
+    int world_rank;
+    int color;
+    int key;
+  };
+
+  struct SplitTable {
+    std::vector<SplitEntry> entries;
+    std::map<int, SplitResult> results;  // by world rank
+    bool ready = false;
+    int retrieved = 0;
+  };
+
+  int world_size_;
+  std::unique_ptr<Mailbox[]> mailboxes_;
+  std::atomic<std::uint64_t> next_comm_id_{1};  // 0 = world
+
+  std::atomic<bool> aborted_{false};
+
+  std::mutex barrier_mutex_;
+  std::condition_variable barrier_cv_;
+  std::map<std::uint64_t, BarrierState> barriers_;
+
+  std::mutex split_mutex_;
+  std::condition_variable split_cv_;
+  std::map<std::pair<std::uint64_t, std::uint64_t>, SplitTable> splits_;
+  std::map<std::pair<std::uint64_t, int>, std::uint64_t> split_sequences_;
+};
+
+}  // namespace detail
+
+Communicator::Communicator(std::shared_ptr<detail::Context> ctx,
+                           std::uint64_t comm_id, int rank,
+                           std::vector<int> members)
+    : ctx_(std::move(ctx)),
+      comm_id_(comm_id),
+      rank_(rank),
+      members_(std::move(members)) {}
+
+void Communicator::send(int dst, int tag, std::span<const float> data) {
+  PF15_CHECK_MSG(dst >= 0 && dst < size(), "send: bad dst " << dst);
+  ctx_->post(members_[static_cast<std::size_t>(dst)], comm_id_, rank_, tag,
+             std::vector<float>(data.begin(), data.end()));
+}
+
+std::vector<float> Communicator::recv(int src, int tag) {
+  PF15_CHECK_MSG(src >= 0 && src < size(), "recv: bad src " << src);
+  return ctx_->take(members_[static_cast<std::size_t>(rank_)], comm_id_,
+                    src, tag);
+}
+
+bool Communicator::probe(int src, int tag) {
+  PF15_CHECK(src >= 0 && src < size());
+  return ctx_->peek(members_[static_cast<std::size_t>(rank_)], comm_id_,
+                    src, tag);
+}
+
+void Communicator::barrier() { ctx_->barrier(comm_id_, size()); }
+
+namespace {
+// Internal tags for collectives live in a high range; user tags collide
+// with neither these nor each other.
+constexpr int kTagAllReduce = 1 << 24;
+constexpr int kTagBroadcast = 2 << 24;
+constexpr int kTagReduce = 3 << 24;
+constexpr int kTagGather = 4 << 24;
+
+void add_into(std::span<float> dst, const std::vector<float>& src) {
+  PF15_CHECK(dst.size() == src.size());
+  for (std::size_t i = 0; i < src.size(); ++i) dst[i] += src[i];
+}
+}  // namespace
+
+void Communicator::allreduce_sum(std::span<float> data, AllReduceAlgo algo) {
+  const int g = size();
+  if (g == 1) return;
+  const int r = rank_;
+
+  switch (algo) {
+    case AllReduceAlgo::kRing: {
+      // Bandwidth-optimal ring: g-1 scatter-reduce steps followed by g-1
+      // all-gather steps over g contiguous chunks.
+      const std::size_t n = data.size();
+      auto chunk_begin = [&](int c) {
+        return (n * static_cast<std::size_t>(c)) /
+               static_cast<std::size_t>(g);
+      };
+      auto chunk = [&](int c) -> std::span<float> {
+        c = ((c % g) + g) % g;
+        return data.subspan(chunk_begin(c),
+                            chunk_begin(c + 1) - chunk_begin(c));
+      };
+      const int next = (r + 1) % g;
+      const int prev = (r - 1 + g) % g;
+      for (int step = 0; step < g - 1; ++step) {
+        auto out = chunk(r - step);
+        send(next, kTagAllReduce + step,
+             std::span<const float>(out.data(), out.size()));
+        auto in = chunk(r - step - 1);
+        add_into(in, recv(prev, kTagAllReduce + step));
+      }
+      for (int step = 0; step < g - 1; ++step) {
+        auto out = chunk(r - step + 1);
+        send(next, kTagAllReduce + g + step,
+             std::span<const float>(out.data(), out.size()));
+        auto in = chunk(r - step);
+        const std::vector<float> incoming =
+            recv(prev, kTagAllReduce + g + step);
+        PF15_CHECK(incoming.size() == in.size());
+        std::copy(incoming.begin(), incoming.end(), in.begin());
+      }
+      return;
+    }
+
+    case AllReduceAlgo::kRecursiveDoubling: {
+      // Handle non-powers-of-two by folding the `rem` extra ranks into
+      // their lower partners first, then unfolding at the end.
+      int p2 = 1;
+      while (p2 * 2 <= g) p2 *= 2;
+      const int rem = g - p2;
+      int my_id = -1;  // id within the power-of-two core, -1 = folded out
+      if (r < 2 * rem) {
+        if (r % 2 == 0) {
+          send(r + 1, kTagAllReduce, std::span<const float>(data));
+        } else {
+          add_into(data, recv(r - 1, kTagAllReduce));
+          my_id = r / 2;
+        }
+      } else {
+        my_id = r - rem;
+      }
+      if (my_id >= 0) {
+        auto core_to_rank = [&](int id) {
+          return id < rem ? 2 * id + 1 : id + rem;
+        };
+        for (int mask = 1; mask < p2; mask <<= 1) {
+          const int partner = core_to_rank(my_id ^ mask);
+          send(partner, kTagAllReduce + mask,
+               std::span<const float>(data));
+          add_into(data, recv(partner, kTagAllReduce + mask));
+        }
+      }
+      // Important subtlety: after the exchange rounds every core rank
+      // holds 2^k * the chunk sums — but since each exchange *adds* the
+      // partner's current buffer, the result is already the full sum.
+      if (r < 2 * rem) {
+        if (r % 2 == 1) {
+          send(r - 1, kTagAllReduce + (p2 << 1),
+               std::span<const float>(data));
+        } else {
+          const std::vector<float> final_data =
+              recv(r + 1, kTagAllReduce + (p2 << 1));
+          std::copy(final_data.begin(), final_data.end(), data.begin());
+        }
+      }
+      return;
+    }
+
+    case AllReduceAlgo::kTree: {
+      reduce_sum(data, 0);
+      broadcast(data, 0);
+      return;
+    }
+  }
+}
+
+void Communicator::broadcast(std::span<float> data, int root) {
+  const int g = size();
+  if (g == 1) return;
+  // Binomial tree rooted at `root`, via rank rotation.
+  const int vrank = (rank_ - root + g) % g;
+  int mask = 1;
+  while (mask < g) {
+    if (vrank < mask) {
+      const int child = vrank + mask;
+      if (child < g) {
+        send((child + root) % g, kTagBroadcast + mask,
+             std::span<const float>(data));
+      }
+    } else if (vrank < 2 * mask) {
+      const int parent = vrank - mask;
+      const std::vector<float> incoming =
+          recv((parent + root) % g, kTagBroadcast + mask);
+      PF15_CHECK(incoming.size() == data.size());
+      std::copy(incoming.begin(), incoming.end(), data.begin());
+    }
+    mask <<= 1;
+  }
+}
+
+void Communicator::reduce_sum(std::span<float> data, int root) {
+  const int g = size();
+  if (g == 1) return;
+  const int vrank = (rank_ - root + g) % g;
+  // Binomial reduction: mirror of broadcast, children send up.
+  int mask = 1;
+  while (mask < g) mask <<= 1;
+  for (mask >>= 1; mask >= 1; mask >>= 1) {
+    if (vrank < mask) {
+      const int child = vrank + mask;
+      if (child < g) {
+        add_into(data, recv((child + root) % g, kTagReduce + mask));
+      }
+    } else if (vrank < 2 * mask) {
+      const int parent = vrank - mask;
+      send((parent + root) % g, kTagReduce + mask,
+           std::span<const float>(data));
+      break;  // once sent, this rank is done
+    }
+  }
+}
+
+std::vector<float> Communicator::gather(std::span<const float> data,
+                                        int root) {
+  if (rank_ != root) {
+    send(root, kTagGather, data);
+    return {};
+  }
+  std::vector<float> out;
+  out.reserve(data.size() * static_cast<std::size_t>(size()));
+  for (int src = 0; src < size(); ++src) {
+    if (src == root) {
+      out.insert(out.end(), data.begin(), data.end());
+    } else {
+      const std::vector<float> part = recv(src, kTagGather);
+      PF15_CHECK_MSG(part.size() == data.size(),
+                     "gather: ragged contribution from rank " << src);
+      out.insert(out.end(), part.begin(), part.end());
+    }
+  }
+  return out;
+}
+
+Communicator Communicator::split(int color, int key) {
+  const std::uint64_t seq = ctx_->next_split_sequence(
+      comm_id_, members_[static_cast<std::size_t>(rank_)]);
+  const auto result =
+      ctx_->split(comm_id_, seq, size(),
+                  members_[static_cast<std::size_t>(rank_)], color, key);
+  return Communicator(ctx_, result.comm_id, result.rank, result.members);
+}
+
+Cluster::Cluster(int world_size)
+    : world_size_(world_size),
+      ctx_(std::make_shared<detail::Context>(world_size)) {
+  PF15_CHECK(world_size >= 1);
+}
+
+Cluster::~Cluster() = default;
+
+void Cluster::run(const std::function<void(Communicator&)>& fn) {
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(world_size_));
+  std::vector<std::exception_ptr> errors(
+      static_cast<std::size_t>(world_size_));
+  std::vector<int> world_members(static_cast<std::size_t>(world_size_));
+  for (int i = 0; i < world_size_; ++i) world_members[i] = i;
+  for (int r = 0; r < world_size_; ++r) {
+    threads.emplace_back([&, r] {
+      try {
+        Communicator comm(ctx_, /*comm_id=*/0, r, world_members);
+        fn(comm);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+        // Wake every peer blocked in recv/barrier/split; a hung job is
+        // strictly worse than a loudly failed one.
+        ctx_->abort_job();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  // Rethrow the root cause: a rank's own exception, not the secondary
+  // "aborted by a peer" unwinds it triggered elsewhere.
+  std::exception_ptr secondary;
+  for (const auto& e : errors) {
+    if (!e) continue;
+    try {
+      std::rethrow_exception(e);
+    } catch (const AbortedError&) {
+      if (!secondary) secondary = e;
+    } catch (...) {
+      std::rethrow_exception(e);
+    }
+  }
+  if (secondary) std::rethrow_exception(secondary);
+}
+
+}  // namespace pf15::comm

@@ -1,0 +1,62 @@
+// Cache-line / SIMD aligned buffer. The GEMM microkernels and the tensor
+// storage both require 64-byte alignment so that vector loads never split
+// cache lines.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <memory>
+#include <new>
+
+#include "common/errors.hpp"
+
+namespace pf15 {
+
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+/// Allocate `n` objects of type T aligned to 64 bytes. Returned memory is
+/// uninitialised; use only with trivially-constructible T.
+template <typename T>
+T* aligned_alloc_array(std::size_t n) {
+  static_assert(std::is_trivially_destructible_v<T>,
+                "aligned buffers hold trivial types only");
+  if (n == 0) return nullptr;
+  const std::size_t bytes =
+      ((n * sizeof(T) + kCacheLineBytes - 1) / kCacheLineBytes) *
+      kCacheLineBytes;
+  void* p = std::aligned_alloc(kCacheLineBytes, bytes);
+  if (p == nullptr) throw std::bad_alloc{};
+  return static_cast<T*>(p);
+}
+
+struct FreeDeleter {
+  void operator()(void* p) const noexcept { std::free(p); }
+};
+
+/// Owning, movable, 64-byte-aligned array of trivially-destructible T.
+template <typename T>
+class AlignedBuffer {
+ public:
+  AlignedBuffer() = default;
+  explicit AlignedBuffer(std::size_t n)
+      : data_(aligned_alloc_array<T>(n)), size_(n) {}
+
+  AlignedBuffer(AlignedBuffer&&) noexcept = default;
+  AlignedBuffer& operator=(AlignedBuffer&&) noexcept = default;
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+
+  T* data() noexcept { return data_.get(); }
+  const T* data() const noexcept { return data_.get(); }
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  T& operator[](std::size_t i) noexcept { return data_.get()[i]; }
+  const T& operator[](std::size_t i) const noexcept { return data_.get()[i]; }
+
+ private:
+  std::unique_ptr<T[], FreeDeleter> data_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace pf15

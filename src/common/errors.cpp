@@ -1,0 +1,20 @@
+#include "common/errors.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace pf15::detail {
+
+void check_failed(const char* expr, const char* file, int line,
+                  const std::string& msg) {
+  std::ostringstream oss;
+  oss << "PF15_CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) oss << " — " << msg;
+  // Log before throwing: if the exception escapes a rank thread or a
+  // noexcept boundary the message still reaches the operator.
+  std::fprintf(stderr, "%s\n", oss.str().c_str());
+  std::fflush(stderr);
+  throw Error(oss.str());
+}
+
+}  // namespace pf15::detail

@@ -1,0 +1,69 @@
+// Error handling primitives for pf15.
+//
+// We follow the C++ Core Guidelines: programming errors (violated
+// preconditions) terminate loudly via PF15_CHECK; recoverable environment
+// errors (missing files, bad configs) throw pf15::Error so callers can
+// react. No error state is ever silently swallowed.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace pf15 {
+
+/// Base class for all recoverable pf15 errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when an I/O operation (shard read/write, checkpoint) fails.
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when a user-supplied configuration is inconsistent
+/// (e.g. group count does not divide node count).
+/// Thrown by communication waits interrupted because another rank of the
+/// same in-process cluster failed (our MPI_Abort equivalent). Secondary by
+/// construction: the root cause is the other rank's exception.
+class AbortedError : public Error {
+ public:
+  explicit AbortedError(const std::string& what) : Error(what) {}
+};
+
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void check_failed(const char* expr, const char* file, int line,
+                               const std::string& msg);
+}  // namespace detail
+
+}  // namespace pf15
+
+/// Precondition / invariant check. Active in all build types: the cost is
+/// negligible next to the kernels and silent corruption in a distributed
+/// trainer is far worse than a branch.
+#define PF15_CHECK(expr)                                                 \
+  do {                                                                   \
+    if (!(expr)) [[unlikely]] {                                          \
+      ::pf15::detail::check_failed(#expr, __FILE__, __LINE__, "");       \
+    }                                                                    \
+  } while (false)
+
+/// Like PF15_CHECK but with a streamed message:
+///   PF15_CHECK_MSG(a == b, "shape mismatch: " << a << " vs " << b);
+#define PF15_CHECK_MSG(expr, stream_expr)                                \
+  do {                                                                   \
+    if (!(expr)) [[unlikely]] {                                          \
+      std::ostringstream pf15_check_oss_;                                \
+      pf15_check_oss_ << stream_expr;                                    \
+      ::pf15::detail::check_failed(#expr, __FILE__, __LINE__,            \
+                                   pf15_check_oss_.str());               \
+    }                                                                    \
+  } while (false)

@@ -1,0 +1,36 @@
+// Minimal leveled logger. Thread-safe (single global mutex around the
+// write); hot paths never log, so contention is irrelevant.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace pf15 {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Set the global minimum level (default kInfo). Messages below it are
+/// discarded before formatting.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& msg);
+}  // namespace detail
+
+}  // namespace pf15
+
+#define PF15_LOG(level, stream_expr)                                \
+  do {                                                              \
+    if (static_cast<int>(level) >=                                  \
+        static_cast<int>(::pf15::log_level())) {                    \
+      std::ostringstream pf15_log_oss_;                             \
+      pf15_log_oss_ << stream_expr;                                 \
+      ::pf15::detail::log_emit(level, pf15_log_oss_.str());         \
+    }                                                               \
+  } while (false)
+
+#define PF15_DEBUG(s) PF15_LOG(::pf15::LogLevel::kDebug, s)
+#define PF15_INFO(s) PF15_LOG(::pf15::LogLevel::kInfo, s)
+#define PF15_WARN(s) PF15_LOG(::pf15::LogLevel::kWarn, s)
+#define PF15_ERROR(s) PF15_LOG(::pf15::LogLevel::kError, s)

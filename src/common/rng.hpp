@@ -1,0 +1,140 @@
+// Deterministic, splittable random number generation.
+//
+// Distributed training and the discrete-event simulator both need streams
+// that are (a) reproducible across runs, (b) independent per rank / per
+// entity without coordination. We use SplitMix64 for seeding and a
+// xoshiro256** engine per stream; streams are derived by hashing
+// (seed, stream_id), which is the counter-based construction Philox
+// popularised, adapted to a conventional engine.
+#pragma once
+
+#include <cstdint>
+#include <cmath>
+
+namespace pf15 {
+
+/// SplitMix64: used to expand a user seed into engine state. Passes BigCrush.
+inline std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** engine with distribution helpers. Not thread-safe; create
+/// one per thread/rank via the (seed, stream) constructor.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5eed5eedULL, std::uint64_t stream = 0) {
+    // Mix the stream id in so that (seed, 0), (seed, 1), ... are
+    // statistically independent streams.
+    std::uint64_t sm = seed ^ (stream * 0x9e3779b97f4a7c15ULL + 0x1234567ULL);
+    for (auto& word : s_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform float in [lo, hi).
+  float uniform(float lo, float hi) noexcept {
+    return lo + static_cast<float>(uniform()) * (hi - lo);
+  }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  std::uint64_t uniform_int(std::uint64_t n) noexcept {
+    // Lemire's multiply-shift rejection method.
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    std::uint64_t l = static_cast<std::uint64_t>(m);
+    if (l < n) {
+      const std::uint64_t t = (0 - n) % n;
+      while (l < t) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * n;
+        l = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Standard normal via Box–Muller (caches the second variate).
+  double normal() noexcept {
+    if (has_cached_) {
+      has_cached_ = false;
+      return cached_;
+    }
+    double u1 = 0.0;
+    while (u1 <= 1e-300) u1 = uniform();
+    const double u2 = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * 3.14159265358979323846 * u2;
+    cached_ = r * std::sin(theta);
+    has_cached_ = true;
+    return r * std::cos(theta);
+  }
+
+  double normal(double mean, double stddev) noexcept {
+    return mean + stddev * normal();
+  }
+
+  /// Exponential with rate lambda (> 0).
+  double exponential(double lambda) noexcept {
+    double u = 0.0;
+    while (u <= 1e-300) u = uniform();
+    return -std::log(u) / lambda;
+  }
+
+  /// Log-normal with parameters of the underlying normal.
+  double lognormal(double mu, double sigma) noexcept {
+    return std::exp(normal(mu, sigma));
+  }
+
+  bool bernoulli(double p) noexcept { return uniform() < p; }
+
+  /// Poisson via inversion for small means, normal approximation otherwise.
+  std::uint64_t poisson(double mean) noexcept {
+    if (mean <= 0.0) return 0;
+    if (mean < 30.0) {
+      const double limit = std::exp(-mean);
+      double prod = uniform();
+      std::uint64_t n = 0;
+      while (prod > limit) {
+        prod *= uniform();
+        ++n;
+      }
+      return n;
+    }
+    const double v = normal(mean, std::sqrt(mean));
+    return v <= 0.0 ? 0 : static_cast<std::uint64_t>(v + 0.5);
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4];
+  double cached_ = 0.0;
+  bool has_cached_ = false;
+};
+
+}  // namespace pf15

@@ -1,0 +1,93 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "common/errors.hpp"
+
+namespace pf15 {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> task) {
+  auto packaged =
+      std::make_shared<std::packaged_task<void()>>(std::move(task));
+  std::future<void> result = packaged->get_future();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    PF15_CHECK(!stop_);
+    tasks_.emplace([packaged] { (*packaged)(); });
+  }
+  cv_.notify_one();
+  return result;
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& fn) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  const std::size_t chunks = std::min(n, size() * 4);
+  if (chunks <= 1) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  // The calling thread participates too: it drains the shared chunk counter
+  // alongside the workers so a 1-thread pool still makes progress.
+  auto counter = std::make_shared<std::atomic<std::size_t>>(0);
+  const std::size_t chunk_size = (n + chunks - 1) / chunks;
+  auto run_chunks = [counter, chunks, chunk_size, begin, end, &fn] {
+    for (;;) {
+      const std::size_t c = counter->fetch_add(1, std::memory_order_relaxed);
+      if (c >= chunks) return;
+      const std::size_t lo = begin + c * chunk_size;
+      const std::size_t hi = std::min(end, lo + chunk_size);
+      for (std::size_t i = lo; i < hi; ++i) fn(i);
+    }
+  };
+  std::vector<std::future<void>> futures;
+  const std::size_t helpers = std::min(size(), chunks - 1);
+  futures.reserve(helpers);
+  for (std::size_t t = 0; t < helpers; ++t) {
+    futures.push_back(submit(run_chunks));
+  }
+  run_chunks();
+  for (auto& f : futures) f.get();
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+}  // namespace pf15

@@ -1,0 +1,53 @@
+// Fixed-size thread pool with a parallel_for helper.
+//
+// The pool backs the GEMM driver and the background data loader. Following
+// the Core Guidelines concurrency advice we expose *tasks* (closures and
+// index ranges), never raw threads, and joins are automatic via RAII.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace pf15 {
+
+class ThreadPool {
+ public:
+  /// Creates `threads` workers. 0 means hardware_concurrency (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue a task; returns a future for its completion.
+  std::future<void> submit(std::function<void()> task);
+
+  /// Run fn(i) for i in [begin, end) across the pool, blocking until all
+  /// iterations complete. Iterations are chunked to limit scheduling
+  /// overhead. Safe to call with begin == end (no-op).
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& fn);
+
+  /// Process-wide pool sized to the machine. Kernels that want internal
+  /// parallelism share this instance.
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace pf15

@@ -1,0 +1,74 @@
+// Wall-clock timing used for per-layer profiles (Fig 5) and flop-rate
+// measurement (§V): peak rate from the fastest iteration, sustained rate
+// from the best contiguous window average.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstddef>
+#include <vector>
+
+#include "common/errors.hpp"
+
+namespace pf15 {
+
+/// Monotonic wall timer with double-precision seconds.
+class WallTimer {
+ public:
+  WallTimer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Collects per-iteration durations and reports peak / sustained statistics
+/// exactly as defined in §V of the paper.
+class IterationTimeline {
+ public:
+  void record(double seconds) { times_.push_back(seconds); }
+
+  std::size_t size() const { return times_.size(); }
+  const std::vector<double>& times() const { return times_; }
+
+  /// Fastest single iteration (the paper's "peak" basis).
+  double min_time() const {
+    PF15_CHECK(!times_.empty());
+    return *std::min_element(times_.begin(), times_.end());
+  }
+
+  double mean_time() const {
+    PF15_CHECK(!times_.empty());
+    double sum = 0.0;
+    for (double t : times_) sum += t;
+    return sum / static_cast<double>(times_.size());
+  }
+
+  /// Best (smallest) average over any contiguous window of `window`
+  /// iterations — the paper's "sustained" basis.
+  double best_window_mean(std::size_t window) const {
+    PF15_CHECK(window > 0);
+    PF15_CHECK_MSG(times_.size() >= window,
+                   "need " << window << " iterations, have " << times_.size());
+    double sum = 0.0;
+    for (std::size_t i = 0; i < window; ++i) sum += times_[i];
+    double best = sum;
+    for (std::size_t i = window; i < times_.size(); ++i) {
+      sum += times_[i] - times_[i - window];
+      best = std::min(best, sum);
+    }
+    return best / static_cast<double>(window);
+  }
+
+ private:
+  std::vector<double> times_;
+};
+
+}  // namespace pf15

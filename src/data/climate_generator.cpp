@@ -1,0 +1,203 @@
+#include "data/climate_generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pf15::data {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+
+// Channel roles. With fewer than 16 channels (test configs) the roles wrap.
+enum ChannelRole : std::size_t {
+  kMoisture = 0,  // TMQ-like integrated water vapor
+  kUWind = 1,     // U850
+  kVWind = 2,     // V850
+  kPressure = 3,  // PSL
+  kTemp = 4,      // T500
+};
+}  // namespace
+
+ClimateGenerator::ClimateGenerator(const ClimateGeneratorConfig& cfg,
+                                   std::uint64_t stream)
+    : cfg_(cfg), rng_(cfg.seed, stream) {
+  PF15_CHECK(cfg.image >= 16);
+  PF15_CHECK(cfg.channels >= 4);
+  PF15_CHECK(cfg.classes >= 1 && cfg.classes <= 4);
+}
+
+ClimateSample ClimateGenerator::generate() {
+  return generate(rng_.bernoulli(cfg_.labeled_fraction));
+}
+
+ClimateSample ClimateGenerator::generate(bool labeled) {
+  ClimateSample s;
+  s.labeled = labeled;
+  s.image = Tensor(Shape{cfg_.channels, cfg_.image, cfg_.image});
+  paint_background(s.image);
+
+  const std::uint64_t nevents = rng_.poisson(cfg_.events_mean);
+  for (std::uint64_t e = 0; e < nevents; ++e) {
+    const int cls = static_cast<int>(rng_.uniform_int(cfg_.classes));
+    s.boxes.push_back(stamp_event(cls, s.image));
+  }
+  // Unlabeled samples still *contain* events; we simply do not reveal the
+  // boxes — that is what "unlabeled" means for training.
+  if (!labeled) s.boxes.clear();
+  return s;
+}
+
+void ClimateGenerator::paint_background(Tensor& image) {
+  const std::size_t size = cfg_.image;
+  const std::size_t plane = size * size;
+  const auto modes = static_cast<std::size_t>(cfg_.background_modes);
+  for (std::size_t ch = 0; ch < cfg_.channels; ++ch) {
+    float* p = image.data() + ch * plane;
+    // Smooth large-scale circulation: a few random low-frequency modes.
+    struct Mode {
+      float fx, fy, phase, amp;
+    };
+    std::vector<Mode> ms(modes);
+    for (auto& m : ms) {
+      m.fx = static_cast<float>(rng_.uniform_int(4)) + 1.0f;
+      m.fy = static_cast<float>(rng_.uniform_int(4)) + 1.0f;
+      m.phase = static_cast<float>(rng_.uniform() * 2.0 * kPi);
+      m.amp = static_cast<float>(rng_.normal(0.0, 0.5));
+    }
+    for (std::size_t y = 0; y < size; ++y) {
+      const float fy = static_cast<float>(y) / static_cast<float>(size);
+      for (std::size_t x = 0; x < size; ++x) {
+        const float fx = static_cast<float>(x) / static_cast<float>(size);
+        float v = 0.0f;
+        for (const auto& m : ms) {
+          v += m.amp * std::sin(2.0f * static_cast<float>(kPi) *
+                                    (m.fx * fx + m.fy * fy) +
+                                m.phase);
+        }
+        p[y * size + x] = v + static_cast<float>(
+                                  rng_.normal(0.0, cfg_.noise_sigma));
+      }
+    }
+  }
+}
+
+nn::Box ClimateGenerator::stamp_event(int cls, Tensor& image) {
+  const std::size_t size = cfg_.image;
+  const std::size_t plane = size * size;
+  const float fsize = static_cast<float>(size);
+  auto chan = [&](std::size_t role) {
+    return image.data() + (role % cfg_.channels) * plane;
+  };
+
+  // Class-dependent geometry (fractions of the image side).
+  float radius_frac, amplitude;
+  switch (cls) {
+    case 0:  // TC: compact, intense
+      radius_frac = 0.035f + 0.02f * static_cast<float>(rng_.uniform());
+      amplitude = 3.0f + static_cast<float>(rng_.uniform());
+      break;
+    case 1:  // ETC: large, moderate
+      radius_frac = 0.08f + 0.04f * static_cast<float>(rng_.uniform());
+      amplitude = 1.8f + 0.6f * static_cast<float>(rng_.uniform());
+      break;
+    case 3:  // TD: small, weak
+      radius_frac = 0.025f + 0.015f * static_cast<float>(rng_.uniform());
+      amplitude = 1.4f + 0.4f * static_cast<float>(rng_.uniform());
+      break;
+    default:  // AR handled separately below
+      radius_frac = 0.0f;
+      amplitude = 2.2f + 0.8f * static_cast<float>(rng_.uniform());
+      break;
+  }
+
+  if (cls == 2) {
+    // Atmospheric river: a tilted moisture band of length ~0.4-0.7 of the
+    // image and width ~0.03.
+    const float len = (0.4f + 0.3f * static_cast<float>(rng_.uniform())) *
+                      fsize;
+    const float width = (0.025f + 0.015f *
+                         static_cast<float>(rng_.uniform())) * fsize;
+    const float angle = static_cast<float>(rng_.uniform() * kPi);
+    const float cx = rng_.uniform(0.2f, 0.8f) * fsize;
+    const float cy = rng_.uniform(0.2f, 0.8f) * fsize;
+    const float dx = std::cos(angle), dy = std::sin(angle);
+    float* moisture = chan(kMoisture);
+    float* temp = chan(kTemp);
+    float x0 = fsize, x1 = 0.0f, y0 = fsize, y1 = 0.0f;
+    const int reach = static_cast<int>(len * 0.5f + 3.0f * width);
+    const int icx = static_cast<int>(cx), icy = static_cast<int>(cy);
+    for (int y = std::max(0, icy - reach);
+         y < std::min<int>(static_cast<int>(size), icy + reach); ++y) {
+      for (int x = std::max(0, icx - reach);
+           x < std::min<int>(static_cast<int>(size), icx + reach); ++x) {
+        const float rx = static_cast<float>(x) - cx;
+        const float ry = static_cast<float>(y) - cy;
+        const float along = rx * dx + ry * dy;
+        const float across = -rx * dy + ry * dx;
+        if (std::abs(along) > len * 0.5f) continue;
+        const float profile =
+            std::exp(-(across * across) / (2.0f * width * width));
+        if (profile < 1e-3f) continue;
+        const std::size_t idx = static_cast<std::size_t>(y) * size +
+                                static_cast<std::size_t>(x);
+        moisture[idx] += amplitude * profile;
+        temp[idx] += 0.3f * amplitude * profile;
+        x0 = std::min(x0, static_cast<float>(x));
+        x1 = std::max(x1, static_cast<float>(x));
+        y0 = std::min(y0, static_cast<float>(y));
+        y1 = std::max(y1, static_cast<float>(y));
+      }
+    }
+    nn::Box box;
+    box.cls = cls;
+    box.x = std::max(0.0f, x0 / fsize);
+    box.y = std::max(0.0f, y0 / fsize);
+    box.w = std::max(1.0f / fsize, (x1 - x0) / fsize);
+    box.h = std::max(1.0f / fsize, (y1 - y0) / fsize);
+    return box;
+  }
+
+  // Rotational events (TC / ETC / TD).
+  const float radius = radius_frac * fsize;
+  const float cx = rng_.uniform(radius * 2.5f, fsize - radius * 2.5f);
+  const float cy = rng_.uniform(radius * 2.5f, fsize - radius * 2.5f);
+  const int reach = static_cast<int>(3.0f * radius);
+  float* moisture = chan(kMoisture);
+  float* uwind = chan(kUWind);
+  float* vwind = chan(kVWind);
+  float* pressure = chan(kPressure);
+  float* temp = chan(kTemp);
+  const int icx = static_cast<int>(cx), icy = static_cast<int>(cy);
+  for (int y = std::max(0, icy - reach);
+       y < std::min<int>(static_cast<int>(size), icy + reach); ++y) {
+    for (int x = std::max(0, icx - reach);
+         x < std::min<int>(static_cast<int>(size), icx + reach); ++x) {
+      const float rx = static_cast<float>(x) - cx;
+      const float ry = static_cast<float>(y) - cy;
+      const float r2 = rx * rx + ry * ry;
+      const float envelope = std::exp(-r2 / (2.0f * radius * radius));
+      if (envelope < 1e-3f) continue;
+      const float r = std::sqrt(r2) + 1e-3f;
+      const std::size_t idx = static_cast<std::size_t>(y) * size +
+                              static_cast<std::size_t>(x);
+      moisture[idx] += amplitude * envelope;
+      // Cyclonic (counter-clockwise) tangential wind with a calm eye.
+      const float tangential =
+          amplitude * envelope * (r / radius) * std::exp(1.0f - r / radius);
+      uwind[idx] += -tangential * (ry / r);
+      vwind[idx] += tangential * (rx / r);
+      pressure[idx] -= amplitude * envelope;  // deep low
+      temp[idx] += 0.4f * amplitude * envelope;  // warm core
+    }
+  }
+  nn::Box box;
+  box.cls = cls;
+  const float half = 2.2f * radius;
+  box.x = std::clamp((cx - half) / fsize, 0.0f, 1.0f);
+  box.y = std::clamp((cy - half) / fsize, 0.0f, 1.0f);
+  box.w = std::min(2.0f * half / fsize, 1.0f - box.x);
+  box.h = std::min(2.0f * half / fsize, 1.0f - box.y);
+  return box;
+}
+
+}  // namespace pf15::data

@@ -1,0 +1,64 @@
+// Synthetic climate field generator (substitute for the CAM5 25-km runs,
+// §I-B). Produces 16-channel images with embedded extreme-weather events
+// and ground-truth bounding boxes, plus an unlabeled stream for the
+// semi-supervised autoencoder branch.
+//
+// Event classes mirror the paper's targets:
+//   0 TC  — tropical cyclone: compact moisture blob + cyclonic rotation in
+//           the wind channels + deep pressure low.
+//   1 ETC — extratropical cyclone: same signature, larger and weaker.
+//   2 AR  — atmospheric river: long, thin, tilted moisture band.
+//   3 TD  — tropical depression: small, weak blob.
+// Each event stamps a physically-coupled signature across several channels
+// (moisture, U/V winds, pressure, temperature), so detection genuinely
+// requires multi-channel features — the property that rules out pre-trained
+// RGB networks in the paper.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "nn/boxes.hpp"
+#include "tensor/tensor.hpp"
+
+namespace pf15::data {
+
+struct ClimateSample {
+  Tensor image;  // (channels, H, W)
+  std::vector<nn::Box> boxes;
+  bool labeled = true;
+};
+
+struct ClimateGeneratorConfig {
+  std::size_t image = 768;
+  std::size_t channels = 16;
+  std::size_t classes = 4;
+  double events_mean = 2.0;      // Poisson mean of events per image
+  double labeled_fraction = 0.5; // rest feed only the autoencoder
+  double background_modes = 6;   // low-frequency background complexity
+  double noise_sigma = 0.15;
+  std::uint64_t seed = 20151231;
+};
+
+class ClimateGenerator {
+ public:
+  explicit ClimateGenerator(const ClimateGeneratorConfig& cfg,
+                            std::uint64_t stream = 0);
+
+  ClimateSample generate();
+  /// Force the labeled flag (e.g. build a purely-labeled eval set).
+  ClimateSample generate(bool labeled);
+
+  const ClimateGeneratorConfig& config() const { return cfg_; }
+
+ private:
+  void paint_background(Tensor& image);
+  /// Stamps one event of class `cls` and returns its ground-truth box.
+  nn::Box stamp_event(int cls, Tensor& image);
+
+  ClimateGeneratorConfig cfg_;
+  Rng rng_;
+};
+
+}  // namespace pf15::data

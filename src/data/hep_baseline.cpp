@@ -1,0 +1,124 @@
+#include "data/hep_baseline.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/errors.hpp"
+
+namespace pf15::data {
+
+namespace {
+RatePoint rates_for(const CutSelection& sel,
+                    const std::vector<HepFeatures>& features,
+                    const std::vector<std::int32_t>& labels) {
+  std::size_t tp = 0, fp = 0, pos = 0, neg = 0;
+  for (std::size_t i = 0; i < features.size(); ++i) {
+    const bool is_signal = labels[i] == 1;
+    (is_signal ? pos : neg) += 1;
+    if (sel.passes(features[i])) {
+      (is_signal ? tp : fp) += 1;
+    }
+  }
+  RatePoint r;
+  if (pos > 0) r.tpr = static_cast<double>(tp) / static_cast<double>(pos);
+  if (neg > 0) r.fpr = static_cast<double>(fp) / static_cast<double>(neg);
+  return r;
+}
+
+/// Quantile grid of a feature's positive-class values, deduplicated.
+std::vector<float> quantile_grid(std::vector<float> values,
+                                 std::size_t grid) {
+  std::sort(values.begin(), values.end());
+  std::vector<float> out;
+  out.push_back(0.0f);
+  for (std::size_t q = 0; q < grid; ++q) {
+    const std::size_t idx =
+        std::min(values.size() - 1, q * values.size() / grid);
+    if (out.empty() || values[idx] > out.back()) out.push_back(values[idx]);
+  }
+  return out;
+}
+}  // namespace
+
+void CutBaseline::fit(const std::vector<HepFeatures>& features,
+                      const std::vector<std::int32_t>& labels,
+                      double max_fpr, std::size_t grid) {
+  PF15_CHECK(features.size() == labels.size());
+  PF15_CHECK(!features.empty());
+
+  std::vector<float> ht_values, mj_values;
+  int max_njet = 0;
+  for (const auto& f : features) {
+    ht_values.push_back(f.ht);
+    mj_values.push_back(f.mj_sum);
+    max_njet = std::max(max_njet, f.njet);
+  }
+  const std::vector<float> ht_grid = quantile_grid(ht_values, grid);
+  const std::vector<float> mj_grid = quantile_grid(mj_values, grid);
+
+  CutSelection best;
+  double best_tpr = -1.0;
+  for (int njet = 0; njet <= max_njet; ++njet) {
+    for (float ht : ht_grid) {
+      for (float mj : mj_grid) {
+        const CutSelection sel{njet, ht, mj};
+        const RatePoint r = rates_for(sel, features, labels);
+        if (r.fpr <= max_fpr && r.tpr > best_tpr) {
+          best_tpr = r.tpr;
+          best = sel;
+        }
+      }
+    }
+  }
+  PF15_CHECK_MSG(best_tpr >= 0.0, "no selection meets the FPR budget");
+  selection_ = best;
+}
+
+RatePoint CutBaseline::evaluate(const std::vector<HepFeatures>& features,
+                                const std::vector<std::int32_t>& labels)
+    const {
+  PF15_CHECK(features.size() == labels.size());
+  return rates_for(selection_, features, labels);
+}
+
+RatePoint tpr_at_fpr(const std::vector<float>& scores,
+                     const std::vector<std::int32_t>& labels,
+                     double max_fpr) {
+  PF15_CHECK(scores.size() == labels.size());
+  PF15_CHECK(!scores.empty());
+  // Sort by descending score; walk down accepting events until the FPR
+  // budget would be exceeded.
+  std::vector<std::size_t> order(scores.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return scores[a] > scores[b];
+  });
+  std::size_t pos = 0, neg = 0;
+  for (auto l : labels) (l == 1 ? pos : neg) += 1;
+  PF15_CHECK(pos > 0 && neg > 0);
+  const auto fp_budget = static_cast<std::size_t>(
+      std::floor(max_fpr * static_cast<double>(neg)));
+  std::size_t tp = 0, fp = 0;
+  RatePoint best{0.0, 0.0};
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    if (labels[order[i]] == 1) {
+      ++tp;
+    } else {
+      ++fp;
+      if (fp > fp_budget) break;
+    }
+    // Only take operating points at the end of score ties.
+    if (i + 1 < order.size() &&
+        scores[order[i + 1]] == scores[order[i]]) {
+      continue;
+    }
+    const double tpr = static_cast<double>(tp) / static_cast<double>(pos);
+    if (tpr > best.tpr) {
+      best.tpr = tpr;
+      best.fpr = static_cast<double>(fp) / static_cast<double>(neg);
+    }
+  }
+  return best;
+}
+
+}  // namespace pf15::data

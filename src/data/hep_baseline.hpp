@@ -1,0 +1,58 @@
+// Cut-based benchmark analysis for the HEP task (§I-A, §VII-A).
+//
+// The paper compares its CNN to "our own implementation of the selections
+// of [5]" — rectangular cuts on high-level physics features (jet count,
+// HT, summed jet mass). We reproduce that: a grid search over cut
+// thresholds on a calibration sample picks the selection maximizing
+// true-positive rate subject to a false-positive-rate budget, exactly the
+// operating-point comparison of §VII-A (baseline: TPR 42% @ FPR 0.02%).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "data/hep_generator.hpp"
+
+namespace pf15::data {
+
+/// A rectangular selection: event passes iff every cut holds.
+struct CutSelection {
+  int min_njet = 0;
+  float min_ht = 0.0f;
+  float min_mj_sum = 0.0f;
+
+  bool passes(const HepFeatures& f) const {
+    return f.njet >= min_njet && f.ht >= min_ht && f.mj_sum >= min_mj_sum;
+  }
+};
+
+struct RatePoint {
+  double tpr = 0.0;  // signal efficiency
+  double fpr = 0.0;  // background acceptance
+};
+
+class CutBaseline {
+ public:
+  /// Fits cut thresholds on (features, labels) maximizing TPR subject to
+  /// FPR <= max_fpr. Grid resolution trades fit quality for time.
+  void fit(const std::vector<HepFeatures>& features,
+           const std::vector<std::int32_t>& labels, double max_fpr,
+           std::size_t grid = 24);
+
+  /// Evaluates the fitted selection on a sample.
+  RatePoint evaluate(const std::vector<HepFeatures>& features,
+                     const std::vector<std::int32_t>& labels) const;
+
+  const CutSelection& selection() const { return selection_; }
+
+ private:
+  CutSelection selection_;
+};
+
+/// Sweeps a score threshold over classifier outputs to find the TPR at a
+/// given FPR budget — used to put the CNN and the cut baseline on the same
+/// operating point. `scores` are higher-is-more-signal.
+RatePoint tpr_at_fpr(const std::vector<float>& scores,
+                     const std::vector<std::int32_t>& labels, double max_fpr);
+
+}  // namespace pf15::data

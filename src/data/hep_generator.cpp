@@ -1,0 +1,176 @@
+#include "data/hep_generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pf15::data {
+
+HepGenerator::HepGenerator(const HepGeneratorConfig& cfg,
+                           std::uint64_t stream)
+    : cfg_(cfg), rng_(cfg.seed, stream) {
+  PF15_CHECK(cfg.image >= 16);
+  PF15_CHECK(cfg.channels == 3);
+}
+
+HepEvent HepGenerator::generate() {
+  return generate(rng_.bernoulli(cfg_.signal_fraction));
+}
+
+HepEvent HepGenerator::generate(bool signal) {
+  HepEvent ev;
+  ev.label = signal ? 1 : 0;
+  ev.image = Tensor(Shape{cfg_.channels, cfg_.image, cfg_.image});
+
+  const std::vector<Jet> jets = sample_jets(signal);
+  for (const Jet& jet : jets) deposit(jet, ev.image);
+
+  // Calorimeter noise on the two energy channels.
+  const std::size_t plane = cfg_.image * cfg_.image;
+  for (std::size_t ch = 0; ch < 2; ++ch) {
+    float* p = ev.image.data() + ch * plane;
+    for (std::size_t i = 0; i < plane; ++i) {
+      p[i] += static_cast<float>(
+          std::max(0.0, rng_.normal(0.0, cfg_.noise_sigma)));
+    }
+  }
+  ev.features = reconstruct(jets);
+  return ev;
+}
+
+std::vector<HepGenerator::Jet> HepGenerator::sample_jets(bool signal) {
+  const double jet_mean = signal ? cfg_.sig_jet_mean : cfg_.bkg_jet_mean;
+  const double pt_scale = signal ? cfg_.sig_pt_scale : cfg_.bkg_pt_scale;
+  const std::size_t njet = 2 + rng_.poisson(jet_mean);
+  const float size = static_cast<float>(cfg_.image);
+
+  std::vector<Jet> jets;
+  jets.reserve(njet);
+  for (std::size_t j = 0; j < njet; ++j) {
+    Jet jet;
+    // Keep deposits inside the "barrel" in eta; phi wraps below.
+    jet.eta_px = rng_.uniform(0.1f * size, 0.9f * size);
+    jet.phi_px = rng_.uniform(0.0f, size);
+    jet.pt = static_cast<float>(40.0 + rng_.exponential(1.0 / pt_scale));
+    // Jet angular size shrinks with pT (collimation). The floor keeps a
+    // jet at least a pixel wide on downscaled images (tests/benches run
+    // at 32-64 px): below one pixel the deposit aliases away and the
+    // image carries *less* information than the smeared features, which
+    // inverts the §VII-A comparison the generator exists to support.
+    jet.width = std::max(
+        0.9f, static_cast<float>(size / 228.0f) *
+                  (3.0f + 240.0f / (40.0f + jet.pt)));
+    jet.em_frac = static_cast<float>(
+        std::clamp(rng_.normal(0.45, 0.15), 0.05, 0.95));
+    jet.two_prong = rng_.bernoulli(signal ? cfg_.sig_substructure_prob
+                                          : cfg_.bkg_substructure_prob);
+    if (jet.two_prong) {
+      // Second prong displaced by ~2 jet widths in a random direction,
+      // never less than ~2.5 px so the two cores resolve at any image
+      // scale (same rationale as the width floor above).
+      const double angle = rng_.uniform() * 2.0 * 3.14159265358979;
+      const float sep = std::max(
+          2.5f, jet.width * static_cast<float>(1.5 + rng_.uniform()));
+      jet.prong_dx = sep * static_cast<float>(std::cos(angle));
+      jet.prong_dy = sep * static_cast<float>(std::sin(angle));
+    } else {
+      jet.prong_dx = jet.prong_dy = 0.0f;
+    }
+    jets.push_back(jet);
+  }
+  return jets;
+}
+
+void HepGenerator::deposit(const Jet& jet, Tensor& image) {
+  const std::size_t size = cfg_.image;
+  const std::size_t plane = size * size;
+  float* em = image.data();
+  float* had = image.data() + plane;
+  float* trk = image.data() + 2 * plane;
+
+  // Split pT between prongs when there is substructure.
+  struct Prong {
+    float x, y, pt;
+  };
+  Prong prongs[2];
+  std::size_t nprong = 1;
+  if (jet.two_prong) {
+    const float share = 0.4f + 0.2f * static_cast<float>(rng_.uniform());
+    prongs[0] = {jet.eta_px - 0.5f * jet.prong_dx,
+                 jet.phi_px - 0.5f * jet.prong_dy, jet.pt * share};
+    prongs[1] = {jet.eta_px + 0.5f * jet.prong_dx,
+                 jet.phi_px + 0.5f * jet.prong_dy, jet.pt * (1.0f - share)};
+    nprong = 2;
+  } else {
+    prongs[0] = {jet.eta_px, jet.phi_px, jet.pt};
+  }
+
+  const float sigma = jet.width * 0.6f;
+  const int radius = static_cast<int>(std::ceil(3.0f * sigma));
+  const float inv2s2 = 1.0f / (2.0f * sigma * sigma);
+  for (std::size_t p = 0; p < nprong; ++p) {
+    const Prong& pr = prongs[p];
+    const float amp =
+        pr.pt / (2.0f * 3.14159265f * sigma * sigma);  // energy density
+    const int cy = static_cast<int>(pr.x);
+    const int cx = static_cast<int>(pr.y);
+    for (int dy = -radius; dy <= radius; ++dy) {
+      const int yy = cy + dy;
+      if (yy < 0 || yy >= static_cast<int>(size)) continue;  // eta edge
+      for (int dx = -radius; dx <= radius; ++dx) {
+        // phi is periodic on the cylinder: wrap.
+        int xx = (cx + dx) % static_cast<int>(size);
+        if (xx < 0) xx += static_cast<int>(size);
+        const float fx = pr.x - static_cast<float>(yy);
+        const float fy = static_cast<float>(dx) -
+                         (pr.y - static_cast<float>(cx));
+        const float r2 = fx * fx + fy * fy;
+        const float e = amp * std::exp(-r2 * inv2s2);
+        if (e < 1e-4f) continue;
+        const std::size_t idx =
+            static_cast<std::size_t>(yy) * size + static_cast<std::size_t>(xx);
+        em[idx] += jet.em_frac * e;
+        had[idx] += (1.0f - jet.em_frac) * e;
+      }
+    }
+    // Tracks: discrete counts near the prong core, ~ pT / 10 tracks.
+    const std::uint64_t ntrack = rng_.poisson(pr.pt / 10.0);
+    for (std::uint64_t t = 0; t < ntrack; ++t) {
+      const int ty = static_cast<int>(
+          pr.x + rng_.normal(0.0, sigma * 0.8));
+      int tx = static_cast<int>(pr.y + rng_.normal(0.0, sigma * 0.8));
+      if (ty < 0 || ty >= static_cast<int>(size)) continue;
+      tx %= static_cast<int>(size);
+      if (tx < 0) tx += static_cast<int>(size);
+      trk[static_cast<std::size_t>(ty) * size +
+          static_cast<std::size_t>(tx)] += 1.0f;
+    }
+  }
+}
+
+HepFeatures HepGenerator::reconstruct(const std::vector<Jet>& jets) {
+  HepFeatures f;
+  const float pt_threshold = 50.0f;
+  for (const Jet& jet : jets) {
+    // Jet-energy-scale smearing: detector-level features are lossy, which
+    // is why the image-based classifier can win (§VII-A).
+    const float smear = static_cast<float>(
+        std::max(0.1, rng_.normal(1.0, cfg_.feature_smear)));
+    const float pt = jet.pt * smear;
+    if (pt < pt_threshold) continue;
+    ++f.njet;
+    f.ht += pt;
+    f.lead_pt = std::max(f.lead_pt, pt);
+    // Large-radius jet mass proxy: substructure raises it; heavily smeared.
+    const float sep = jet.two_prong
+                          ? std::sqrt(jet.prong_dx * jet.prong_dx +
+                                      jet.prong_dy * jet.prong_dy)
+                          : jet.width * 0.4f;
+    const float mass =
+        0.25f * pt * (sep / std::max(jet.width, 1e-3f)) *
+        static_cast<float>(std::max(0.1, rng_.normal(1.0, 1.7 * cfg_.feature_smear)));
+    f.mj_sum += mass;
+  }
+  return f;
+}
+
+}  // namespace pf15::data

@@ -1,0 +1,136 @@
+#include "data/shard_store.hpp"
+
+#include "common/errors.hpp"
+#include "common/timer.hpp"
+
+namespace pf15::data {
+
+namespace {
+constexpr std::uint64_t kMagic = 0x5046313553485244ULL;  // "PF15SHRD"
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& is) {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof(T));
+  if (!is) throw IoError("shard: truncated read");
+  return v;
+}
+}  // namespace
+
+ShardWriter::ShardWriter(const std::string& path, std::size_t channels,
+                         std::size_t height, std::size_t width)
+    : out_(path, std::ios::binary | std::ios::trunc),
+      path_(path),
+      channels_(channels),
+      height_(height),
+      width_(width) {
+  if (!out_) throw IoError("shard: cannot open for write: " + path);
+  write_pod(out_, kMagic);
+  write_pod(out_, kVersion);
+  write_pod<std::uint64_t>(out_, 0);  // count, patched in close()
+  write_pod<std::uint64_t>(out_, channels_);
+  write_pod<std::uint64_t>(out_, height_);
+  write_pod<std::uint64_t>(out_, width_);
+}
+
+ShardWriter::~ShardWriter() {
+  try {
+    close();
+  } catch (const Error&) {
+    // Destructor must not throw; an explicit close() reports failures.
+  }
+}
+
+void ShardWriter::append(const Sample& sample) {
+  PF15_CHECK(!closed_);
+  PF15_CHECK_MSG((sample.image.shape() ==
+                  Shape{channels_, height_, width_}),
+                 "shard geometry mismatch: " << sample.image.shape());
+  write_pod(out_, sample.label);
+  write_pod<std::uint8_t>(out_, sample.labeled ? 1 : 0);
+  write_pod<std::uint32_t>(out_,
+                           static_cast<std::uint32_t>(sample.boxes.size()));
+  for (const auto& b : sample.boxes) {
+    write_pod(out_, b.x);
+    write_pod(out_, b.y);
+    write_pod(out_, b.w);
+    write_pod(out_, b.h);
+    write_pod<std::int32_t>(out_, b.cls);
+  }
+  out_.write(reinterpret_cast<const char*>(sample.image.data()),
+             static_cast<std::streamsize>(sample.image.numel() *
+                                          sizeof(float)));
+  if (!out_) throw IoError("shard: write failed: " + path_);
+  ++count_;
+}
+
+void ShardWriter::close() {
+  if (closed_) return;
+  closed_ = true;
+  // Patch the record count into the header.
+  out_.seekp(sizeof(kMagic) + sizeof(kVersion));
+  write_pod<std::uint64_t>(out_, count_);
+  out_.close();
+  if (!out_) throw IoError("shard: close failed: " + path_);
+}
+
+ShardReader::ShardReader(const std::string& path)
+    : in_(path, std::ios::binary) {
+  if (!in_) throw IoError("shard: cannot open for read: " + path);
+  if (read_pod<std::uint64_t>(in_) != kMagic) {
+    throw IoError("shard: bad magic: " + path);
+  }
+  if (read_pod<std::uint32_t>(in_) != kVersion) {
+    throw IoError("shard: unsupported version: " + path);
+  }
+  const auto count = read_pod<std::uint64_t>(in_);
+  channels_ = read_pod<std::uint64_t>(in_);
+  height_ = read_pod<std::uint64_t>(in_);
+  width_ = read_pod<std::uint64_t>(in_);
+  // Build the offset index with one pass over record headers.
+  offsets_.reserve(count);
+  std::uint64_t pos = static_cast<std::uint64_t>(in_.tellg());
+  const std::uint64_t payload = channels_ * height_ * width_ * sizeof(float);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    offsets_.push_back(pos);
+    in_.seekg(static_cast<std::streamoff>(pos + sizeof(std::int32_t) +
+                                          sizeof(std::uint8_t)));
+    const auto nboxes = read_pod<std::uint32_t>(in_);
+    pos += sizeof(std::int32_t) + sizeof(std::uint8_t) +
+           sizeof(std::uint32_t) +
+           nboxes * (4 * sizeof(float) + sizeof(std::int32_t)) + payload;
+  }
+}
+
+Sample ShardReader::read(std::size_t index) {
+  PF15_CHECK_MSG(index < offsets_.size(),
+                 "shard index " << index << " out of " << offsets_.size());
+  WallTimer timer;
+  in_.seekg(static_cast<std::streamoff>(offsets_[index]));
+  Sample s;
+  s.label = read_pod<std::int32_t>(in_);
+  s.labeled = read_pod<std::uint8_t>(in_) != 0;
+  const auto nboxes = read_pod<std::uint32_t>(in_);
+  s.boxes.resize(nboxes);
+  for (auto& b : s.boxes) {
+    b.x = read_pod<float>(in_);
+    b.y = read_pod<float>(in_);
+    b.w = read_pod<float>(in_);
+    b.h = read_pod<float>(in_);
+    b.cls = read_pod<std::int32_t>(in_);
+  }
+  s.image = Tensor(Shape{channels_, height_, width_});
+  in_.read(reinterpret_cast<char*>(s.image.data()),
+           static_cast<std::streamsize>(s.image.numel() * sizeof(float)));
+  if (!in_) throw IoError("shard: truncated sample");
+  io_seconds_ += timer.seconds();
+  return s;
+}
+
+}  // namespace pf15::data

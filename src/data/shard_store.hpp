@@ -1,0 +1,79 @@
+// On-disk dataset shards — our stand-in for the paper's HDF5 pipeline.
+//
+// Format (little-endian):
+//   u64 magic "PF15SHRD" | u32 version | u64 count | u64 C, H, W
+//   count x records: i32 label | u8 labeled | u32 nboxes
+//                    nboxes x (f32 x,y,w,h, i32 cls)
+//                    C*H*W f32 payload
+//
+// The reader builds an in-memory offset index on open so samples can be
+// fetched in any order (shuffled epochs), and it reports cumulative read
+// time so the I/O fraction measurements of §VI-A can be reproduced.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "nn/boxes.hpp"
+#include "tensor/tensor.hpp"
+
+namespace pf15::data {
+
+struct Sample {
+  Tensor image;  // (C, H, W)
+  std::int32_t label = 0;
+  bool labeled = true;
+  std::vector<nn::Box> boxes;
+};
+
+class ShardWriter {
+ public:
+  /// Opens the shard for writing; geometry is fixed per shard.
+  ShardWriter(const std::string& path, std::size_t channels,
+              std::size_t height, std::size_t width);
+  ~ShardWriter();
+
+  ShardWriter(const ShardWriter&) = delete;
+  ShardWriter& operator=(const ShardWriter&) = delete;
+
+  void append(const Sample& sample);
+  /// Finalises the header (count) and closes the file. Called by the
+  /// destructor if not called explicitly; explicit call surfaces errors.
+  void close();
+
+  std::size_t count() const { return count_; }
+
+ private:
+  std::ofstream out_;
+  std::string path_;
+  std::size_t channels_, height_, width_;
+  std::size_t count_ = 0;
+  bool closed_ = false;
+};
+
+class ShardReader {
+ public:
+  explicit ShardReader(const std::string& path);
+
+  std::size_t size() const { return offsets_.size(); }
+  std::size_t channels() const { return channels_; }
+  std::size_t height() const { return height_; }
+  std::size_t width() const { return width_; }
+
+  /// Random-access fetch (thread-compatible: one reader per thread).
+  Sample read(std::size_t index);
+
+  /// Cumulative wall-clock spent inside read() — the I/O cost meter.
+  double io_seconds() const { return io_seconds_; }
+  void reset_io_seconds() { io_seconds_ = 0.0; }
+
+ private:
+  std::ifstream in_;
+  std::size_t channels_ = 0, height_ = 0, width_ = 0;
+  std::vector<std::uint64_t> offsets_;
+  double io_seconds_ = 0.0;
+};
+
+}  // namespace pf15::data

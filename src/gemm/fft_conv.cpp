@@ -1,0 +1,148 @@
+#include "gemm/fft_conv.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/errors.hpp"
+
+namespace pf15::gemm {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+}
+
+std::size_t next_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+void fft1d(std::vector<std::complex<double>>& data, bool inverse) {
+  const std::size_t n = data.size();
+  PF15_CHECK_MSG(n > 0 && (n & (n - 1)) == 0,
+                 "fft1d: size " << n << " is not a power of two");
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+  // Iterative butterflies.
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = (inverse ? 2.0 : -2.0) * kPi /
+                         static_cast<double>(len);
+    const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const std::complex<double> u = data[i + k];
+        const std::complex<double> v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    const double scale = 1.0 / static_cast<double>(n);
+    for (auto& z : data) z *= scale;
+  }
+}
+
+void fft2d(std::vector<std::complex<double>>& grid, std::size_t n,
+           bool inverse) {
+  PF15_CHECK(grid.size() == n * n);
+  std::vector<std::complex<double>> line(n);
+  for (std::size_t r = 0; r < n; ++r) {  // rows
+    std::copy(grid.begin() + static_cast<long>(r * n),
+              grid.begin() + static_cast<long>((r + 1) * n), line.begin());
+    fft1d(line, inverse);
+    std::copy(line.begin(), line.end(),
+              grid.begin() + static_cast<long>(r * n));
+  }
+  for (std::size_t c = 0; c < n; ++c) {  // columns
+    for (std::size_t r = 0; r < n; ++r) line[r] = grid[r * n + c];
+    fft1d(line, inverse);
+    for (std::size_t r = 0; r < n; ++r) grid[r * n + c] = line[r];
+  }
+}
+
+void fft_conv2d(const float* image, std::size_t in_c, std::size_t h,
+                std::size_t w, const float* weight, std::size_t out_c,
+                std::size_t kernel, std::size_t stride, std::size_t pad,
+                const float* bias, float* output) {
+  PF15_CHECK(in_c > 0 && out_c > 0 && kernel > 0 && stride > 0);
+  const std::size_t hp = h + 2 * pad;
+  const std::size_t wp = w + 2 * pad;
+  PF15_CHECK_MSG(hp >= kernel && wp >= kernel,
+                 "fft_conv2d: kernel larger than padded input");
+  const std::size_t out_h = (hp - kernel) / stride + 1;
+  const std::size_t out_w = (wp - kernel) / stride + 1;
+  // One square grid covers both axes; circular correlation is alias-free
+  // for output indices <= padded_size - kernel as long as P >= padded.
+  const std::size_t p = next_pow2(std::max({hp, wp, kernel}));
+  const std::size_t p2 = p * p;
+
+  // Image spectra, one per input channel (computed once, reused by every
+  // output channel — the FFT algorithm's main amortization).
+  std::vector<std::vector<std::complex<double>>> image_hat(in_c);
+  for (std::size_t ic = 0; ic < in_c; ++ic) {
+    auto& grid = image_hat[ic];
+    grid.assign(p2, {0.0, 0.0});
+    const float* src = image + ic * h * w;
+    for (std::size_t r = 0; r < h; ++r) {
+      for (std::size_t c = 0; c < w; ++c) {
+        grid[(r + pad) * p + (c + pad)] = src[r * w + c];
+      }
+    }
+    fft2d(grid, p, /*inverse=*/false);
+  }
+
+  std::vector<std::complex<double>> acc(p2);
+  std::vector<std::complex<double>> ker(p2);
+  for (std::size_t oc = 0; oc < out_c; ++oc) {
+    std::fill(acc.begin(), acc.end(), std::complex<double>(0.0, 0.0));
+    for (std::size_t ic = 0; ic < in_c; ++ic) {
+      std::fill(ker.begin(), ker.end(), std::complex<double>(0.0, 0.0));
+      const float* kw = weight + (oc * in_c + ic) * kernel * kernel;
+      for (std::size_t r = 0; r < kernel; ++r) {
+        for (std::size_t c = 0; c < kernel; ++c) {
+          ker[r * p + c] = kw[r * kernel + c];
+        }
+      }
+      fft2d(ker, p, /*inverse=*/false);
+      // Cross-correlation: conjugate the kernel spectrum.
+      const auto& img = image_hat[ic];
+      for (std::size_t i = 0; i < p2; ++i) {
+        acc[i] += img[i] * std::conj(ker[i]);
+      }
+    }
+    fft2d(acc, p, /*inverse=*/true);
+    float* dst = output + oc * out_h * out_w;
+    const float b = bias ? bias[oc] : 0.0f;
+    for (std::size_t r = 0; r < out_h; ++r) {
+      for (std::size_t c = 0; c < out_w; ++c) {
+        dst[r * out_w + c] =
+            static_cast<float>(acc[r * stride * p + c * stride].real()) + b;
+      }
+    }
+  }
+}
+
+std::uint64_t fft_conv_flops(std::size_t in_c, std::size_t out_c,
+                             std::size_t h, std::size_t w,
+                             std::size_t kernel, std::size_t pad) {
+  const std::size_t p =
+      next_pow2(std::max({h + 2 * pad, w + 2 * pad, kernel}));
+  const double n = static_cast<double>(p * p);
+  // Complex FFT: ~5 N log2 N real flops per 2-D transform.
+  const double per_fft = 5.0 * n * std::log2(n);
+  const double transforms =
+      static_cast<double>(in_c + in_c * out_c + out_c);
+  // Pointwise complex multiply-accumulate: 8 real flops per point.
+  const double pointwise = 8.0 * n * static_cast<double>(in_c * out_c);
+  return static_cast<std::uint64_t>(transforms * per_fft + pointwise);
+}
+
+}  // namespace pf15::gemm

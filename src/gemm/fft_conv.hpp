@@ -1,0 +1,52 @@
+// FFT-based convolution — with Winograd, the second "rapidly evolving"
+// kernel algorithm §VIII-A defers to future work ("new algorithms like
+// Winograd [43] and FFT based algorithms. We did not experiment with such
+// algorithms in this work; studying the impact on per-node performance
+// ... is a direction for future research"). This module studies it.
+//
+// Method: pad image and flipped kernel to a common power-of-two grid,
+// multiply their 2-D DFTs, inverse-transform, and crop the valid window.
+// Cross-correlation (the DL "convolution") of a (H x W) image with a
+// (K x K) kernel costs O(P² log P) with P = next_pow2(H + K - 1) per
+// (input-channel, output-channel) pair instead of O(H·W·K²) — profitable
+// for large kernels, clearly unprofitable at the 3x3 the paper's networks
+// use, which the algorithm ablation in bench_extensions quantifies.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pf15::gemm {
+
+/// In-place radix-2 Cooley-Tukey FFT. `data.size()` must be a power of
+/// two. `inverse` applies the conjugate transform *and* the 1/N scale.
+void fft1d(std::vector<std::complex<double>>& data, bool inverse);
+
+/// In-place 2-D FFT over a row-major (n x n) complex grid (n a power of
+/// two): rows then columns.
+void fft2d(std::vector<std::complex<double>>& grid, std::size_t n,
+           bool inverse);
+
+/// Smallest power of two >= n.
+std::size_t next_pow2(std::size_t n);
+
+/// Multi-channel 2-D cross-correlation via FFT, matching the im2col
+/// convolution contract exactly:
+///   output(OC, OH, OW), OH = (H + 2·pad - K) / stride + 1.
+/// Strides > 1 are computed at stride 1 and subsampled (the standard
+/// trick; FFT cannot exploit stride). `bias` may be null.
+void fft_conv2d(const float* image, std::size_t in_c, std::size_t h,
+                std::size_t w, const float* weight, std::size_t out_c,
+                std::size_t kernel, std::size_t stride, std::size_t pad,
+                const float* bias, float* output);
+
+/// Arithmetic cost model of fft_conv2d (complex FLOPs folded to real, the
+/// §V two-flops-per-multiply-add convention) — used by the algorithm
+/// crossover ablation.
+std::uint64_t fft_conv_flops(std::size_t in_c, std::size_t out_c,
+                             std::size_t h, std::size_t w,
+                             std::size_t kernel, std::size_t pad);
+
+}  // namespace pf15::gemm

@@ -1,0 +1,75 @@
+#include "gemm/im2col.hpp"
+
+#include <cstring>
+
+namespace pf15::gemm {
+
+void im2col(const ConvGeom& g, const float* image, float* col) {
+  const std::size_t oh = g.out_h();
+  const std::size_t ow = g.out_w();
+  const std::size_t plane = g.in_h * g.in_w;
+  std::size_t row = 0;
+  for (std::size_t c = 0; c < g.in_c; ++c) {
+    const float* src_plane = image + c * plane;
+    for (std::size_t kh = 0; kh < g.kernel_h; ++kh) {
+      for (std::size_t kw = 0; kw < g.kernel_w; ++kw, ++row) {
+        float* dst = col + row * (oh * ow);
+        for (std::size_t y = 0; y < oh; ++y) {
+          // Input row index for this output row / kernel tap, before
+          // padding adjustment; may be out of bounds.
+          const std::ptrdiff_t iy =
+              static_cast<std::ptrdiff_t>(y * g.stride_h + kh) -
+              static_cast<std::ptrdiff_t>(g.pad_h);
+          float* dst_row = dst + y * ow;
+          if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(g.in_h)) {
+            std::memset(dst_row, 0, ow * sizeof(float));
+            continue;
+          }
+          const float* src_row = src_plane + static_cast<std::size_t>(iy) *
+                                                 g.in_w;
+          for (std::size_t x = 0; x < ow; ++x) {
+            const std::ptrdiff_t ix =
+                static_cast<std::ptrdiff_t>(x * g.stride_w + kw) -
+                static_cast<std::ptrdiff_t>(g.pad_w);
+            dst_row[x] =
+                (ix < 0 || ix >= static_cast<std::ptrdiff_t>(g.in_w))
+                    ? 0.0f
+                    : src_row[static_cast<std::size_t>(ix)];
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im(const ConvGeom& g, const float* col, float* image) {
+  const std::size_t oh = g.out_h();
+  const std::size_t ow = g.out_w();
+  const std::size_t plane = g.in_h * g.in_w;
+  std::size_t row = 0;
+  for (std::size_t c = 0; c < g.in_c; ++c) {
+    float* dst_plane = image + c * plane;
+    for (std::size_t kh = 0; kh < g.kernel_h; ++kh) {
+      for (std::size_t kw = 0; kw < g.kernel_w; ++kw, ++row) {
+        const float* src = col + row * (oh * ow);
+        for (std::size_t y = 0; y < oh; ++y) {
+          const std::ptrdiff_t iy =
+              static_cast<std::ptrdiff_t>(y * g.stride_h + kh) -
+              static_cast<std::ptrdiff_t>(g.pad_h);
+          if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(g.in_h)) continue;
+          float* dst_row = dst_plane + static_cast<std::size_t>(iy) * g.in_w;
+          const float* src_row = src + y * ow;
+          for (std::size_t x = 0; x < ow; ++x) {
+            const std::ptrdiff_t ix =
+                static_cast<std::ptrdiff_t>(x * g.stride_w + kw) -
+                static_cast<std::ptrdiff_t>(g.pad_w);
+            if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(g.in_w)) continue;
+            dst_row[static_cast<std::size_t>(ix)] += src_row[x];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace pf15::gemm

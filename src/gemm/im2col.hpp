@@ -1,0 +1,42 @@
+// im2col / col2im lowering for convolution-as-GEMM.
+//
+// Convolution forward lowers the input into a (C·KH·KW) x (OH·OW) matrix so
+// the filter bank (OC x C·KH·KW) multiplies it in one GEMM; col2im is the
+// adjoint used by the data-gradient pass. Deconvolution (§III-C) reuses
+// these: the paper's observation that "convolutions in the backward pass
+// can be used to compute the deconvolutions of the forward pass" is exactly
+// swapping which of {im2col-GEMM, GEMM-col2im} runs in which direction.
+#pragma once
+
+#include <cstddef>
+
+namespace pf15::gemm {
+
+/// Geometry of a 2-D convolution (square-independent: H and W separate).
+struct ConvGeom {
+  std::size_t in_c = 0, in_h = 0, in_w = 0;
+  std::size_t kernel_h = 0, kernel_w = 0;
+  std::size_t stride_h = 1, stride_w = 1;
+  std::size_t pad_h = 0, pad_w = 0;
+
+  std::size_t out_h() const {
+    return (in_h + 2 * pad_h - kernel_h) / stride_h + 1;
+  }
+  std::size_t out_w() const {
+    return (in_w + 2 * pad_w - kernel_w) / stride_w + 1;
+  }
+  /// Rows of the lowered matrix: C * KH * KW.
+  std::size_t lowered_rows() const { return in_c * kernel_h * kernel_w; }
+  /// Columns of the lowered matrix: OH * OW.
+  std::size_t lowered_cols() const { return out_h() * out_w(); }
+};
+
+/// Lower one image (CHW, contiguous) into `col` with layout
+/// (C*KH*KW) x (OH*OW), row-major. Out-of-bounds taps contribute zero.
+void im2col(const ConvGeom& g, const float* image, float* col);
+
+/// Adjoint of im2col: scatter-add `col` back into `image` (CHW).
+/// `image` must be zeroed by the caller if overwrite semantics are wanted.
+void col2im(const ConvGeom& g, const float* col, float* image);
+
+}  // namespace pf15::gemm

@@ -1,0 +1,189 @@
+#include "gemm/winograd.hpp"
+
+#include <vector>
+
+#include "common/aligned.hpp"
+#include "common/errors.hpp"
+#include "gemm/gemm.hpp"
+
+namespace pf15::gemm {
+
+bool winograd_applicable(std::size_t kernel, std::size_t stride) {
+  return kernel == 3 && stride == 1;
+}
+
+namespace {
+
+// F(2x2, 3x3) transforms.
+//   Input:  V = B^T d B, d a 4x4 input tile.
+//   Filter: U = G g G^T, g the 3x3 kernel.
+//   Output: Y = A^T M A,  M the 4x4 elementwise product accumulated
+//           over input channels.
+
+// B^T d B computed directly (B^T rows: [1,0,-1,0],[0,1,1,0],[0,-1,1,0],
+// [0,1,0,-1]).
+inline void transform_input_tile(const float d[4][4], float v[16]) {
+  float t[4][4];
+  for (int col = 0; col < 4; ++col) {
+    t[0][col] = d[0][col] - d[2][col];
+    t[1][col] = d[1][col] + d[2][col];
+    t[2][col] = d[2][col] - d[1][col];
+    t[3][col] = d[1][col] - d[3][col];
+  }
+  for (int row = 0; row < 4; ++row) {
+    v[row * 4 + 0] = t[row][0] - t[row][2];
+    v[row * 4 + 1] = t[row][1] + t[row][2];
+    v[row * 4 + 2] = t[row][2] - t[row][1];
+    v[row * 4 + 3] = t[row][1] - t[row][3];
+  }
+}
+
+// G g G^T with G = [[1,0,0],[.5,.5,.5],[.5,-.5,.5],[0,0,1]].
+inline void transform_filter(const float g[9], float u[16]) {
+  float t[4][3];
+  for (int col = 0; col < 3; ++col) {
+    const float g0 = g[0 * 3 + col];
+    const float g1 = g[1 * 3 + col];
+    const float g2 = g[2 * 3 + col];
+    t[0][col] = g0;
+    t[1][col] = 0.5f * (g0 + g1 + g2);
+    t[2][col] = 0.5f * (g0 - g1 + g2);
+    t[3][col] = g2;
+  }
+  for (int row = 0; row < 4; ++row) {
+    const float t0 = t[row][0];
+    const float t1 = t[row][1];
+    const float t2 = t[row][2];
+    u[row * 4 + 0] = t0;
+    u[row * 4 + 1] = 0.5f * (t0 + t1 + t2);
+    u[row * 4 + 2] = 0.5f * (t0 - t1 + t2);
+    u[row * 4 + 3] = t2;
+  }
+}
+
+// A^T m A with A^T = [[1,1,1,0],[0,1,-1,-1]].
+inline void transform_output_tile(const float m[16], float y[2][2]) {
+  float t[2][4];
+  for (int col = 0; col < 4; ++col) {
+    t[0][col] = m[0 * 4 + col] + m[1 * 4 + col] + m[2 * 4 + col];
+    t[1][col] = m[1 * 4 + col] - m[2 * 4 + col] - m[3 * 4 + col];
+  }
+  for (int row = 0; row < 2; ++row) {
+    y[row][0] = t[row][0] + t[row][1] + t[row][2];
+    y[row][1] = t[row][1] - t[row][2] - t[row][3];
+  }
+}
+
+}  // namespace
+
+void winograd_conv3x3(const float* image, std::size_t in_c, std::size_t h,
+                      std::size_t w, const float* weight,
+                      std::size_t out_c, std::size_t pad,
+                      const float* bias, float* output) {
+  PF15_CHECK(in_c > 0 && out_c > 0);
+  PF15_CHECK(h + 2 * pad >= 3 && w + 2 * pad >= 3);
+  const std::size_t oh = h + 2 * pad - 2;
+  const std::size_t ow = w + 2 * pad - 2;
+  const std::size_t tiles_y = (oh + 1) / 2;
+  const std::size_t tiles_x = (ow + 1) / 2;
+  const std::size_t tiles = tiles_y * tiles_x;
+
+  // U[k]: (out_c x in_c) for each of 16 transform positions.
+  std::vector<float> u(16 * out_c * in_c);
+  for (std::size_t oc = 0; oc < out_c; ++oc) {
+    for (std::size_t ic = 0; ic < in_c; ++ic) {
+      float u_tile[16];
+      transform_filter(weight + (oc * in_c + ic) * 9, u_tile);
+      for (int k = 0; k < 16; ++k) {
+        u[static_cast<std::size_t>(k) * out_c * in_c + oc * in_c + ic] =
+            u_tile[k];
+      }
+    }
+  }
+
+  // V[k]: (in_c x tiles).
+  std::vector<float> v(16 * in_c * tiles);
+  for (std::size_t ic = 0; ic < in_c; ++ic) {
+    const float* plane = image + ic * h * w;
+    for (std::size_t ty = 0; ty < tiles_y; ++ty) {
+      for (std::size_t tx = 0; tx < tiles_x; ++tx) {
+        float d[4][4];
+        for (int dy = 0; dy < 4; ++dy) {
+          const std::ptrdiff_t sy =
+              static_cast<std::ptrdiff_t>(2 * ty + dy) -
+              static_cast<std::ptrdiff_t>(pad);
+          for (int dx = 0; dx < 4; ++dx) {
+            const std::ptrdiff_t sx =
+                static_cast<std::ptrdiff_t>(2 * tx + dx) -
+                static_cast<std::ptrdiff_t>(pad);
+            d[dy][dx] =
+                (sy < 0 || sy >= static_cast<std::ptrdiff_t>(h) || sx < 0 ||
+                 sx >= static_cast<std::ptrdiff_t>(w))
+                    ? 0.0f
+                    : plane[static_cast<std::size_t>(sy) * w +
+                            static_cast<std::size_t>(sx)];
+          }
+        }
+        float v_tile[16];
+        transform_input_tile(d, v_tile);
+        const std::size_t tile = ty * tiles_x + tx;
+        for (int k = 0; k < 16; ++k) {
+          v[static_cast<std::size_t>(k) * in_c * tiles + ic * tiles +
+            tile] = v_tile[k];
+        }
+      }
+    }
+  }
+
+  // M[k] = U[k] (out_c x in_c) * V[k] (in_c x tiles): 16 GEMMs.
+  std::vector<float> m(16 * out_c * tiles);
+  for (int k = 0; k < 16; ++k) {
+    sgemm(false, false, out_c, tiles, in_c, 1.0f,
+          u.data() + static_cast<std::size_t>(k) * out_c * in_c, in_c,
+          v.data() + static_cast<std::size_t>(k) * in_c * tiles, tiles,
+          0.0f, m.data() + static_cast<std::size_t>(k) * out_c * tiles,
+          tiles);
+  }
+
+  // Inverse transform + scatter into the output (crop ragged edges).
+  for (std::size_t oc = 0; oc < out_c; ++oc) {
+    float* out_plane = output + oc * oh * ow;
+    const float b = bias != nullptr ? bias[oc] : 0.0f;
+    for (std::size_t ty = 0; ty < tiles_y; ++ty) {
+      for (std::size_t tx = 0; tx < tiles_x; ++tx) {
+        const std::size_t tile = ty * tiles_x + tx;
+        float m_tile[16];
+        for (int k = 0; k < 16; ++k) {
+          m_tile[k] = m[static_cast<std::size_t>(k) * out_c * tiles +
+                        oc * tiles + tile];
+        }
+        float y[2][2];
+        transform_output_tile(m_tile, y);
+        for (int dy = 0; dy < 2; ++dy) {
+          const std::size_t oy = 2 * ty + static_cast<std::size_t>(dy);
+          if (oy >= oh) continue;
+          for (int dx = 0; dx < 2; ++dx) {
+            const std::size_t ox = 2 * tx + static_cast<std::size_t>(dx);
+            if (ox >= ow) continue;
+            out_plane[oy * ow + ox] = y[dy][dx] + b;
+          }
+        }
+      }
+    }
+  }
+}
+
+std::uint64_t winograd_flops(std::size_t in_c, std::size_t out_c,
+                             std::size_t h, std::size_t w,
+                             std::size_t pad) {
+  const std::size_t oh = h + 2 * pad - 2;
+  const std::size_t ow = w + 2 * pad - 2;
+  const std::uint64_t tiles =
+      ((oh + 1) / 2) * ((ow + 1) / 2);
+  // Dominant term: 16 GEMMs of (out_c x in_c x tiles) multiply-adds.
+  // Transforms add ~(32+24) adds per tile per channel; we include them.
+  return 16ull * flops(out_c, tiles, in_c) +
+         tiles * (in_c * 56ull + out_c * 24ull);
+}
+
+}  // namespace pf15::gemm

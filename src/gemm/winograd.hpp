@@ -1,0 +1,39 @@
+// Winograd fast convolution F(2x2, 3x3) — the paper's explicitly named
+// future-work direction (§VIII-A: "the state of the art in deep learning
+// kernel implementations is rapidly evolving with new algorithms like
+// Winograd [43]...; studying the impact on per-node performance ... is a
+// direction for future research").
+//
+// For 3x3 kernels with stride 1, each 2x2 output tile costs 16 multiplies
+// in the transform domain instead of 36 — a 2.25x arithmetic reduction.
+// The multi-channel formulation batches the 16 transform positions into 16
+// (OC x IC) x (IC x tiles) GEMMs, which is how production libraries
+// implement it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace pf15::gemm {
+
+/// Geometry restrictions of this implementation: kernel 3x3, stride 1,
+/// arbitrary padding. Returns whether the fast path applies.
+bool winograd_applicable(std::size_t kernel, std::size_t stride);
+
+/// Computes one image's convolution via Winograd F(2x2, 3x3):
+///   output(OC, OH, OW) = weight(OC, IC, 3, 3) * image(IC, H, W), `pad`
+/// zeros on each border, stride 1, OH = H + 2*pad - 2, OW likewise.
+/// `bias` may be null. Ragged right/bottom edges (odd OH/OW) are handled
+/// by padding the tile grid internally.
+void winograd_conv3x3(const float* image, std::size_t in_c, std::size_t h,
+                      std::size_t w, const float* weight,
+                      std::size_t out_c, std::size_t pad,
+                      const float* bias, float* output);
+
+/// Multiplies in the transform domain for a given geometry — used for
+/// flop accounting and the direct-vs-Winograd ablation. Counts one
+/// multiply-add as two FLOPs.
+std::uint64_t winograd_flops(std::size_t in_c, std::size_t out_c,
+                             std::size_t h, std::size_t w, std::size_t pad);
+
+}  // namespace pf15::gemm

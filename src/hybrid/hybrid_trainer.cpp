@@ -1,0 +1,274 @@
+#include "hybrid/hybrid_trainer.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "common/errors.hpp"
+#include "common/timer.hpp"
+
+namespace pf15::hybrid {
+
+namespace {
+constexpr int kRecordsTag = 8 << 20;
+constexpr int kStatsTag = 9 << 20;
+
+std::unique_ptr<solver::Solver> make_solver(const HybridConfig& cfg,
+                                            std::vector<nn::Param> params) {
+  switch (cfg.solver) {
+    case SolverKind::kSgd: {
+      const double mu =
+          cfg.tune_momentum
+              ? solver::tuned_momentum_for_groups(
+                    cfg.momentum, static_cast<std::size_t>(cfg.num_groups))
+              : cfg.momentum;
+      return std::make_unique<solver::SgdSolver>(std::move(params),
+                                                 cfg.learning_rate, mu);
+    }
+    case SolverKind::kAdam:
+      return std::make_unique<solver::AdamSolver>(std::move(params),
+                                                  cfg.learning_rate);
+  }
+  PF15_CHECK(false);
+  return nullptr;
+}
+}  // namespace
+
+HybridTrainer::HybridTrainer(const HybridConfig& cfg, ModelFactory factory,
+                             BatchSource batches)
+    : cfg_(cfg), factory_(std::move(factory)), batches_(std::move(batches)) {
+  PF15_CHECK(cfg_.num_workers >= 1);
+  PF15_CHECK(cfg_.num_groups >= 1);
+  PF15_CHECK_MSG(cfg_.num_workers % cfg_.num_groups == 0,
+                 "workers (" << cfg_.num_workers
+                             << ") must divide evenly into groups ("
+                             << cfg_.num_groups << ")");
+}
+
+int HybridTrainer::ps_count() const {
+  if (cfg_.num_groups == 1) return 0;  // pure synchronous: no PS tier
+  if (cfg_.num_ps > 0) return cfg_.num_ps;
+  return -1;  // resolved to shard count once the model is known
+}
+
+int HybridTrainer::total_ranks() const {
+  int ps = ps_count();
+  if (ps < 0) {
+    // Build a throwaway model to count shards.
+    auto model = factory_();
+    ps = static_cast<int>(model->params().size());
+  }
+  return cfg_.num_workers + ps;
+}
+
+TrainResult HybridTrainer::run() {
+  // Reference model built once on the calling thread: defines shard specs
+  // and the initial parameter values every rank starts from.
+  auto reference = factory_();
+  const std::vector<nn::Param> ref_params = reference->params();
+  const std::vector<ps::ShardSpec> specs = ps::shard_specs(ref_params);
+  std::vector<Tensor> initial;
+  initial.reserve(ref_params.size());
+  for (const auto& p : ref_params) initial.push_back(p.value->clone());
+  reference.reset();
+
+  const int num_shards = static_cast<int>(specs.size());
+  PF15_CHECK(num_shards >= 1);
+  int nps = ps_count();
+  if (nps < 0) nps = num_shards;
+  const int workers = cfg_.num_workers;
+  const int world_size = workers + nps;
+  const int group_size = workers / cfg_.num_groups;
+
+  std::vector<int> ps_ranks;
+  for (int i = 0; i < nps; ++i) ps_ranks.push_back(workers + i);
+  const std::vector<int> assignment =
+      nps > 0 ? ps::shard_assignment(specs.size(), ps_ranks)
+              : std::vector<int>(specs.size(), -1);
+
+  TrainResult result;
+  comm::Cluster cluster(world_size);
+  cluster.run([&](comm::Communicator& world) {
+    const int rank = world.rank();
+    const bool is_worker = rank < workers;
+    const int group_id = is_worker ? rank / group_size : -1;
+
+    // Collective split: workers by group, PS ranks as singletons.
+    comm::Communicator group =
+        world.split(is_worker ? group_id : cfg_.num_groups + rank, rank);
+
+    if (!is_worker) {
+      // ---------------- parameter-server rank ----------------
+      std::map<std::size_t, Tensor> my_initial;
+      for (std::size_t id = 0; id < specs.size(); ++id) {
+        if (assignment[id] == rank) {
+          my_initial.emplace(id, initial[id].clone());
+        }
+      }
+      ps::PsServer server(
+          world, specs, assignment, my_initial,
+          [&](std::vector<nn::Param> params) {
+            return make_solver(cfg_, std::move(params));
+          },
+          cfg_.num_groups, cfg_.ps_codec);
+      world.barrier();  // align the training-start clock
+      server.serve();
+      // Report staleness stats to world rank 0.
+      const auto& st = server.stats();
+      std::vector<float> msg{
+          static_cast<float>(st.updates),
+          static_cast<float>(st.total_staleness),
+          static_cast<float>(st.max_staleness),
+          static_cast<float>(st.histogram.size())};
+      for (const auto& [k, v] : st.histogram) {
+        msg.push_back(static_cast<float>(k));
+        msg.push_back(static_cast<float>(v));
+      }
+      world.send(0, kStatsTag, msg);
+      return;
+    }
+
+    // ---------------- worker rank ----------------
+    auto model = factory_();
+    std::vector<nn::Param> params = model->params();
+    PF15_CHECK(params.size() == specs.size());
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      params[i].value->copy_from(initial[i]);
+      params[i].grad->zero();
+    }
+
+    std::unique_ptr<solver::Solver> local_solver;
+    if (cfg_.num_groups == 1) {
+      local_solver = make_solver(cfg_, params);
+    }
+    std::optional<ps::PsClient> client;
+    const bool is_root = group.rank() == 0;
+    if (cfg_.num_groups > 1 && is_root) {
+      client.emplace(world, specs, assignment, group_id, cfg_.ps_codec);
+    }
+
+    std::vector<const Tensor*> grad_ptrs;
+    std::vector<Tensor*> value_ptrs;
+    for (auto& p : params) {
+      grad_ptrs.push_back(p.grad);
+      value_ptrs.push_back(p.value);
+    }
+
+    std::vector<IterationRecord> records;
+    world.barrier();
+    WallTimer clock;
+    const float inv_group = 1.0f / static_cast<float>(group_size);
+
+    for (std::size_t iter = 0; iter < cfg_.iterations; ++iter) {
+      WallTimer step_timer;
+      if (cfg_.straggler_delay > 0.0 && rank == cfg_.straggler_rank) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(
+            cfg_.straggler_delay));
+      }
+      double loss = model->train_step(batches_(rank, iter));
+
+      // Synchronous phase: group-wide gradient mean, one tensor per
+      // trainable layer parameter (the MLSL-style per-layer reduction).
+      for (auto& p : params) {
+        group.allreduce_sum(p.grad->span(), cfg_.allreduce);
+        p.grad->scale(inv_group);
+      }
+      float loss_buf = static_cast<float>(loss);
+      group.allreduce_sum(std::span<float>(&loss_buf, 1), cfg_.allreduce);
+      loss = static_cast<double>(loss_buf) * inv_group;
+
+      std::uint64_t max_staleness = 0;
+      if (cfg_.num_groups == 1) {
+        // Pure synchronous: identical local update on every worker.
+        local_solver->step();
+      } else {
+        if (is_root) {
+          const auto staleness = client->exchange(grad_ptrs, value_ptrs);
+          for (auto s : staleness) {
+            max_staleness = std::max(max_staleness, s);
+          }
+        }
+        // Root broadcasts the fresh model; everyone clears gradients.
+        for (auto& p : params) {
+          group.broadcast(p.value->span(), 0);
+          p.grad->zero();
+        }
+      }
+
+      if (is_root) {
+        IterationRecord rec;
+        rec.group = group_id;
+        rec.iteration = iter;
+        rec.wall_time = clock.seconds();
+        rec.step_seconds = step_timer.seconds();
+        rec.loss = loss;
+        rec.max_staleness = max_staleness;
+        records.push_back(rec);
+      }
+    }
+
+    if (cfg_.num_groups > 1 && is_root) client->stop();
+
+    // Funnel records to world rank 0.
+    std::vector<float> msg;
+    msg.reserve(records.size() * 6);
+    for (const auto& r : records) {
+      msg.push_back(static_cast<float>(r.group));
+      msg.push_back(static_cast<float>(r.iteration));
+      msg.push_back(static_cast<float>(r.wall_time));
+      msg.push_back(static_cast<float>(r.step_seconds));
+      msg.push_back(static_cast<float>(r.loss));
+      msg.push_back(static_cast<float>(r.max_staleness));
+    }
+    if (rank != 0) {
+      world.send(0, kRecordsTag, msg);
+      return;
+    }
+
+    // ---------------- world rank 0: assemble the result ----------------
+    auto decode_records = [&](const std::vector<float>& buf) {
+      PF15_CHECK(buf.size() % 6 == 0);
+      for (std::size_t i = 0; i < buf.size(); i += 6) {
+        IterationRecord r;
+        r.group = static_cast<int>(buf[i]);
+        r.iteration = static_cast<std::size_t>(buf[i + 1]);
+        r.wall_time = buf[i + 2];
+        r.step_seconds = buf[i + 3];
+        r.loss = buf[i + 4];
+        r.max_staleness = static_cast<std::uint64_t>(buf[i + 5]);
+        result.records.push_back(r);
+      }
+    };
+    decode_records(msg);
+    for (int src = 1; src < workers; ++src) {
+      decode_records(world.recv(src, kRecordsTag));
+    }
+    for (int p = 0; p < nps; ++p) {
+      const std::vector<float> st = world.recv(workers + p, kStatsTag);
+      PF15_CHECK(st.size() >= 4);
+      result.staleness.updates += static_cast<std::uint64_t>(st[0]);
+      result.staleness.total_staleness += static_cast<std::uint64_t>(st[1]);
+      result.staleness.max_staleness =
+          std::max(result.staleness.max_staleness,
+                   static_cast<std::uint64_t>(st[2]));
+      const auto bins = static_cast<std::size_t>(st[3]);
+      PF15_CHECK(st.size() == 4 + 2 * bins);
+      for (std::size_t b = 0; b < bins; ++b) {
+        result.staleness.histogram[static_cast<std::uint64_t>(
+            st[4 + 2 * b])] += static_cast<std::uint64_t>(st[5 + 2 * b]);
+      }
+    }
+    // World rank 0 is group 0's root: its parameters are the final model.
+    for (auto& p : params) {
+      result.final_params.push_back(p.value->clone());
+    }
+  });
+
+  std::sort(result.records.begin(), result.records.end(),
+            [](const IterationRecord& a, const IterationRecord& b) {
+              return a.wall_time < b.wall_time;
+            });
+  return result;
+}
+
+}  // namespace pf15::hybrid

@@ -1,0 +1,93 @@
+// Hybrid synchronous/asynchronous distributed trainer (§III-E, Fig 2/3).
+//
+// Worker ranks are partitioned into `num_groups` compute groups. Within a
+// group every iteration is synchronous: workers process disjoint
+// micro-batches, all-reduce their gradients, and apply the same update.
+// Across groups there is no synchronization: each group's root exchanges
+// (gradient -> fresh model) with the per-layer parameter servers, so
+// groups run at their own pace and see staleness — the knob the paper
+// tunes between the fully-synchronous (1 group) and fully-asynchronous
+// (1 worker per group) extremes.
+//
+// num_groups == 1 uses the pure all-reduce path with a local solver on
+// every worker (the paper's "synchronous" configuration, §III-D); no PS
+// ranks are allocated.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "comm/comm.hpp"
+#include "hybrid/trainable.hpp"
+#include "ps/param_server.hpp"
+#include "solver/solver.hpp"
+
+namespace pf15::hybrid {
+
+enum class SolverKind { kSgd, kAdam };
+
+struct HybridConfig {
+  int num_workers = 4;
+  int num_groups = 1;
+  /// PS ranks; -1 = one per parameter tensor (the paper's per-layer PS).
+  int num_ps = -1;
+  std::size_t iterations = 20;
+  SolverKind solver = SolverKind::kAdam;
+  double learning_rate = 1e-3;
+  /// Target *effective* momentum. With tune_momentum the explicit
+  /// coefficient is reduced as groups are added ([31], §VI-B4).
+  double momentum = 0.9;
+  bool tune_momentum = true;
+  comm::AllReduceAlgo allreduce = comm::AllReduceAlgo::kRing;
+  /// Compression applied to root <-> PS traffic in both directions
+  /// (§VIII-A low-precision communication). Lossy codecs quantize the
+  /// model copy each group downloads, so kFp16 is the highest-compression
+  /// codec that leaves training statistically indistinguishable; kInt8*
+  /// are provided for the ablation bench.
+  ps::Codec ps_codec = ps::Codec::kFp32;
+  /// Inject a fixed delay (seconds) on one worker each iteration to study
+  /// straggler effects (0 disables).
+  double straggler_delay = 0.0;
+  int straggler_rank = 0;
+};
+
+/// One synchronous step of one compute group.
+struct IterationRecord {
+  int group = 0;
+  std::size_t iteration = 0;
+  double wall_time = 0.0;  // seconds since training start (at step end)
+  double step_seconds = 0.0;
+  double loss = 0.0;
+  std::uint64_t max_staleness = 0;  // over shards, 0 in sync mode
+};
+
+struct TrainResult {
+  std::vector<IterationRecord> records;
+  /// Final parameter values of group 0's model.
+  std::vector<Tensor> final_params;
+  /// Aggregated PS staleness stats (empty in sync mode).
+  ps::StalenessStats staleness;
+};
+
+class HybridTrainer {
+ public:
+  HybridTrainer(const HybridConfig& cfg, ModelFactory factory,
+                BatchSource batches);
+
+  /// Runs the full training job on an in-process cluster and returns the
+  /// merged per-iteration records (sorted by wall time).
+  TrainResult run();
+
+  /// Total ranks (workers + parameter servers) the job will use.
+  int total_ranks() const;
+
+ private:
+  int ps_count() const;
+
+  HybridConfig cfg_;
+  ModelFactory factory_;
+  BatchSource batches_;
+};
+
+}  // namespace pf15::hybrid

@@ -1,0 +1,71 @@
+// Elementwise activation layers. The paper's networks use ReLU throughout
+// (§III-A); we also provide Sigmoid and Tanh for the climate heads
+// (confidence in [0,1]) and the autoencoder output.
+#pragma once
+
+#include <string>
+
+#include "nn/layer.hpp"
+
+namespace pf15::nn {
+
+class ReLU final : public Layer {
+ public:
+  explicit ReLU(std::string name) : name_(std::move(name)) {}
+  const std::string& name() const override { return name_; }
+  std::string kind() const override { return "relu"; }
+  Shape output_shape(const Shape& in) const override { return in; }
+  void forward(const Tensor& in, Tensor& out) override;
+  void backward(const Tensor& in, const Tensor& dout, Tensor& din) override;
+  std::uint64_t forward_flops(const Shape& in) const override {
+    return in.numel();
+  }
+  std::uint64_t backward_flops(const Shape& in) const override {
+    return in.numel();
+  }
+
+ private:
+  std::string name_;
+};
+
+class Sigmoid final : public Layer {
+ public:
+  explicit Sigmoid(std::string name) : name_(std::move(name)) {}
+  const std::string& name() const override { return name_; }
+  std::string kind() const override { return "sigmoid"; }
+  Shape output_shape(const Shape& in) const override { return in; }
+  void forward(const Tensor& in, Tensor& out) override;
+  void backward(const Tensor& in, const Tensor& dout, Tensor& din) override;
+  std::uint64_t forward_flops(const Shape& in) const override {
+    return 4 * in.numel();
+  }
+  std::uint64_t backward_flops(const Shape& in) const override {
+    return 3 * in.numel();
+  }
+
+ private:
+  std::string name_;
+  Tensor out_cache_;  // sigmoid(x), reused by backward
+};
+
+class Tanh final : public Layer {
+ public:
+  explicit Tanh(std::string name) : name_(std::move(name)) {}
+  const std::string& name() const override { return name_; }
+  std::string kind() const override { return "tanh"; }
+  Shape output_shape(const Shape& in) const override { return in; }
+  void forward(const Tensor& in, Tensor& out) override;
+  void backward(const Tensor& in, const Tensor& dout, Tensor& din) override;
+  std::uint64_t forward_flops(const Shape& in) const override {
+    return 4 * in.numel();
+  }
+  std::uint64_t backward_flops(const Shape& in) const override {
+    return 3 * in.numel();
+  }
+
+ private:
+  std::string name_;
+  Tensor out_cache_;
+};
+
+}  // namespace pf15::nn

@@ -1,0 +1,181 @@
+#include "nn/batchnorm.hpp"
+
+#include <cmath>
+
+namespace pf15::nn {
+
+BatchNorm2d::BatchNorm2d(std::string name, const BatchNormConfig& cfg)
+    : name_(std::move(name)),
+      cfg_(cfg),
+      gamma_(Shape{cfg.channels}),
+      beta_(Shape{cfg.channels}),
+      gamma_grad_(gamma_.shape()),
+      beta_grad_(beta_.shape()),
+      running_mean_(Shape{cfg.channels}),
+      running_var_(Shape{cfg.channels}),
+      batch_mean_(Shape{cfg.channels}),
+      batch_inv_std_(Shape{cfg.channels}) {
+  PF15_CHECK(cfg.channels > 0);
+  PF15_CHECK(cfg.epsilon > 0.0f);
+  gamma_.fill(1.0f);
+  beta_.zero();
+  running_mean_.zero();
+  running_var_.fill(1.0f);
+}
+
+void BatchNorm2d::check_input(const Shape& in) const {
+  PF15_CHECK_MSG(in.rank() == 4 && in.c() == cfg_.channels,
+                 name_ << ": expected (N, " << cfg_.channels
+                       << ", H, W), got " << in);
+}
+
+Shape BatchNorm2d::output_shape(const Shape& in) const {
+  check_input(in);
+  return in;
+}
+
+void BatchNorm2d::forward(const Tensor& in, Tensor& out) {
+  check_input(in.shape());
+  ensure_shape(out, in.shape());
+  const std::size_t n = in.shape().n();
+  const std::size_t c = cfg_.channels;
+  const std::size_t hw = in.shape().h() * in.shape().w();
+  const double count = static_cast<double>(n * hw);
+
+  if (training_) {
+    ensure_shape(xhat_, in.shape());
+    for (std::size_t ch = 0; ch < c; ++ch) {
+      double sum = 0.0, sumsq = 0.0;
+      for (std::size_t b = 0; b < n; ++b) {
+        const float* x = in.data() + (b * c + ch) * hw;
+        for (std::size_t i = 0; i < hw; ++i) {
+          sum += x[i];
+          sumsq += static_cast<double>(x[i]) * x[i];
+        }
+      }
+      const double mean = sum / count;
+      const double var = std::max(0.0, sumsq / count - mean * mean);
+      const float inv_std =
+          static_cast<float>(1.0 / std::sqrt(var + cfg_.epsilon));
+      batch_mean_.data()[ch] = static_cast<float>(mean);
+      batch_inv_std_.data()[ch] = inv_std;
+      running_mean_.data()[ch] =
+          (1.0f - cfg_.momentum) * running_mean_.data()[ch] +
+          cfg_.momentum * static_cast<float>(mean);
+      running_var_.data()[ch] =
+          (1.0f - cfg_.momentum) * running_var_.data()[ch] +
+          cfg_.momentum * static_cast<float>(var);
+
+      const float g = gamma_.data()[ch];
+      const float bta = beta_.data()[ch];
+      const float m = static_cast<float>(mean);
+      for (std::size_t b = 0; b < n; ++b) {
+        const float* x = in.data() + (b * c + ch) * hw;
+        float* xh = xhat_.data() + (b * c + ch) * hw;
+        float* y = out.data() + (b * c + ch) * hw;
+        for (std::size_t i = 0; i < hw; ++i) {
+          xh[i] = (x[i] - m) * inv_std;
+          y[i] = g * xh[i] + bta;
+        }
+      }
+    }
+  } else {
+    for (std::size_t ch = 0; ch < c; ++ch) {
+      const float inv_std = 1.0f / std::sqrt(running_var_.data()[ch] +
+                                             cfg_.epsilon);
+      const float m = running_mean_.data()[ch];
+      const float g = gamma_.data()[ch];
+      const float bta = beta_.data()[ch];
+      for (std::size_t b = 0; b < n; ++b) {
+        const float* x = in.data() + (b * c + ch) * hw;
+        float* y = out.data() + (b * c + ch) * hw;
+        for (std::size_t i = 0; i < hw; ++i) {
+          y[i] = g * (x[i] - m) * inv_std + bta;
+        }
+      }
+    }
+  }
+}
+
+void BatchNorm2d::backward(const Tensor& in, const Tensor& dout,
+                           Tensor& din) {
+  check_input(in.shape());
+  PF15_CHECK(dout.shape() == in.shape());
+  ensure_shape(din, in.shape());
+  const std::size_t n = in.shape().n();
+  const std::size_t c = cfg_.channels;
+  const std::size_t hw = in.shape().h() * in.shape().w();
+  const double count = static_cast<double>(n * hw);
+
+  if (!training_) {
+    // Inference is a per-channel linear map: dx = dout * gamma * inv_std.
+    for (std::size_t ch = 0; ch < c; ++ch) {
+      const float inv_std = 1.0f / std::sqrt(running_var_.data()[ch] +
+                                             cfg_.epsilon);
+      const float m = running_mean_.data()[ch];
+      const float scale = gamma_.data()[ch] * inv_std;
+      double dg = 0.0, db = 0.0;
+      for (std::size_t b = 0; b < n; ++b) {
+        const float* x = in.data() + (b * c + ch) * hw;
+        const float* dy = dout.data() + (b * c + ch) * hw;
+        float* dx = din.data() + (b * c + ch) * hw;
+        for (std::size_t i = 0; i < hw; ++i) {
+          dg += static_cast<double>(dy[i]) * (x[i] - m) * inv_std;
+          db += dy[i];
+          dx[i] = dy[i] * scale;
+        }
+      }
+      gamma_grad_.data()[ch] += static_cast<float>(dg);
+      beta_grad_.data()[ch] += static_cast<float>(db);
+    }
+    return;
+  }
+
+  PF15_CHECK_MSG(xhat_.defined() && xhat_.shape() == in.shape(),
+                 name_ << ": backward without a matching training forward");
+  // Standard batch-norm backward through the batch statistics:
+  //   dx = gamma * inv_std * (dy - mean(dy) - xhat * mean(dy * xhat)).
+  for (std::size_t ch = 0; ch < c; ++ch) {
+    double sum_dy = 0.0, sum_dy_xhat = 0.0;
+    for (std::size_t b = 0; b < n; ++b) {
+      const float* dy = dout.data() + (b * c + ch) * hw;
+      const float* xh = xhat_.data() + (b * c + ch) * hw;
+      for (std::size_t i = 0; i < hw; ++i) {
+        sum_dy += dy[i];
+        sum_dy_xhat += static_cast<double>(dy[i]) * xh[i];
+      }
+    }
+    gamma_grad_.data()[ch] += static_cast<float>(sum_dy_xhat);
+    beta_grad_.data()[ch] += static_cast<float>(sum_dy);
+
+    const float mean_dy = static_cast<float>(sum_dy / count);
+    const float mean_dy_xhat = static_cast<float>(sum_dy_xhat / count);
+    const float scale = gamma_.data()[ch] * batch_inv_std_.data()[ch];
+    for (std::size_t b = 0; b < n; ++b) {
+      const float* dy = dout.data() + (b * c + ch) * hw;
+      const float* xh = xhat_.data() + (b * c + ch) * hw;
+      float* dx = din.data() + (b * c + ch) * hw;
+      for (std::size_t i = 0; i < hw; ++i) {
+        dx[i] = scale * (dy[i] - mean_dy - xh[i] * mean_dy_xhat);
+      }
+    }
+  }
+}
+
+std::vector<Param> BatchNorm2d::params() {
+  return {{name_ + ".gamma", &gamma_, &gamma_grad_},
+          {name_ + ".beta", &beta_, &beta_grad_}};
+}
+
+std::uint64_t BatchNorm2d::forward_flops(const Shape& in) const {
+  check_input(in);
+  // Two reduction passes plus the normalize+affine pass.
+  return 5 * static_cast<std::uint64_t>(in.numel());
+}
+
+std::uint64_t BatchNorm2d::backward_flops(const Shape& in) const {
+  check_input(in);
+  return 8 * static_cast<std::uint64_t>(in.numel());
+}
+
+}  // namespace pf15::nn

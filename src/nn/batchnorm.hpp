@@ -1,0 +1,73 @@
+// Spatial batch normalization.
+//
+// The paper *deliberately excludes* batch normalization from its models
+// ("to not use layers with large dense weights such as batch normalization
+// or fully connected units", §I) because its batch statistics couple every
+// sample in the minibatch and interact badly with data-parallel scale-out:
+// per-group statistics diverge across compute groups, and the extra
+// all-reduce of means/variances adds a latency-bound collective per layer.
+// We implement it anyway so the ablation bench can *measure* that design
+// choice instead of taking it on faith (bench_ablations, "BN scale-out
+// tax"), and so the ResNet extension of §IX has its standard ingredient.
+#pragma once
+
+#include <string>
+
+#include "nn/layer.hpp"
+
+namespace pf15::nn {
+
+struct BatchNormConfig {
+  std::size_t channels = 0;
+  float epsilon = 1e-5f;
+  /// Running-stat update rate: running = (1-m)*running + m*batch.
+  float momentum = 0.1f;
+};
+
+/// Per-channel normalization over (N, H, W) with learnable affine
+/// (gamma, beta). Training mode normalizes by batch statistics and
+/// maintains running estimates; inference mode uses the running estimates
+/// (a per-channel linear map).
+class BatchNorm2d final : public Layer {
+ public:
+  BatchNorm2d(std::string name, const BatchNormConfig& cfg);
+
+  const std::string& name() const override { return name_; }
+  std::string kind() const override { return "bnorm"; }
+  Shape output_shape(const Shape& in) const override;
+  void forward(const Tensor& in, Tensor& out) override;
+  void backward(const Tensor& in, const Tensor& dout, Tensor& din) override;
+  std::vector<Param> params() override;
+  std::uint64_t forward_flops(const Shape& in) const override;
+  std::uint64_t backward_flops(const Shape& in) const override;
+
+  void set_training(bool training) { training_ = training; }
+  bool training() const { return training_; }
+
+  const Tensor& running_mean() const { return running_mean_; }
+  const Tensor& running_var() const { return running_var_; }
+  Tensor& gamma() { return gamma_; }
+  Tensor& beta() { return beta_; }
+
+ private:
+  void check_input(const Shape& in) const;
+
+  std::string name_;
+  BatchNormConfig cfg_;
+  bool training_ = true;
+
+  Tensor gamma_;  // (C)
+  Tensor beta_;   // (C)
+  Tensor gamma_grad_;
+  Tensor beta_grad_;
+
+  Tensor running_mean_;  // (C)
+  Tensor running_var_;   // (C), biased (population) estimate
+
+  // Forward caches consumed by backward (training mode).
+  Tensor batch_mean_;     // (C)
+  Tensor batch_inv_std_;  // (C): 1/sqrt(var + eps)
+  Tensor xhat_;           // normalized input, same shape as in
+};
+
+}  // namespace pf15::nn

@@ -1,0 +1,71 @@
+#include "nn/boxes.hpp"
+
+#include <algorithm>
+
+namespace pf15::nn {
+
+float iou(const Box& a, const Box& b) {
+  const float ix0 = std::max(a.x, b.x);
+  const float iy0 = std::max(a.y, b.y);
+  const float ix1 = std::min(a.x + a.w, b.x + b.w);
+  const float iy1 = std::min(a.y + a.h, b.y + b.h);
+  const float iw = ix1 - ix0;
+  const float ih = iy1 - iy0;
+  if (iw <= 0.0f || ih <= 0.0f) return 0.0f;
+  const float inter = iw * ih;
+  const float uni = a.w * a.h + b.w * b.h - inter;
+  return uni <= 0.0f ? 0.0f : inter / uni;
+}
+
+MatchResult match_boxes(std::vector<Box> predictions,
+                        const std::vector<Box>& ground_truth,
+                        float iou_threshold) {
+  std::sort(predictions.begin(), predictions.end(),
+            [](const Box& a, const Box& b) {
+              return a.confidence > b.confidence;
+            });
+  std::vector<bool> used(ground_truth.size(), false);
+  MatchResult r;
+  for (const Box& p : predictions) {
+    float best = 0.0f;
+    std::size_t best_idx = ground_truth.size();
+    for (std::size_t i = 0; i < ground_truth.size(); ++i) {
+      if (used[i] || ground_truth[i].cls != p.cls) continue;
+      const float v = iou(p, ground_truth[i]);
+      if (v > best) {
+        best = v;
+        best_idx = i;
+      }
+    }
+    if (best >= iou_threshold && best_idx < ground_truth.size()) {
+      used[best_idx] = true;
+      ++r.true_positives;
+    } else {
+      ++r.false_positives;
+    }
+  }
+  for (bool u : used) {
+    if (!u) ++r.false_negatives;
+  }
+  return r;
+}
+
+std::vector<Box> nms(std::vector<Box> boxes, float iou_threshold) {
+  std::sort(boxes.begin(), boxes.end(), [](const Box& a, const Box& b) {
+    return a.confidence > b.confidence;
+  });
+  std::vector<Box> kept;
+  for (const Box& candidate : boxes) {
+    bool suppressed = false;
+    for (const Box& k : kept) {
+      if (k.cls == candidate.cls && iou(k, candidate) > iou_threshold) {
+        suppressed = true;
+        break;
+      }
+    }
+    if (!suppressed) kept.push_back(candidate);
+  }
+  return kept;
+}
+
+}  // namespace pf15::nn

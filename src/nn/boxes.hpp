@@ -1,0 +1,48 @@
+// Bounding-box utilities for the climate detection task (§III-B, Fig 9).
+// Boxes are axis-aligned in normalized image coordinates ([0,1]), anchored
+// at the bottom-left corner as the paper specifies.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace pf15::nn {
+
+struct Box {
+  float x = 0.0f;  // bottom-left corner, normalized
+  float y = 0.0f;
+  float w = 0.0f;  // width/height, normalized
+  float h = 0.0f;
+  int cls = 0;
+  float confidence = 1.0f;
+};
+
+/// Intersection-over-union of two boxes (0 when disjoint or degenerate).
+float iou(const Box& a, const Box& b);
+
+/// Greedy matching of predictions (sorted by confidence) to ground truth at
+/// an IoU threshold. Returns {true_positives, false_positives,
+/// false_negatives}; a prediction must also match the class to count.
+struct MatchResult {
+  std::size_t true_positives = 0;
+  std::size_t false_positives = 0;
+  std::size_t false_negatives = 0;
+
+  double precision() const {
+    const auto d = true_positives + false_positives;
+    return d == 0 ? 0.0 : static_cast<double>(true_positives) / d;
+  }
+  double recall() const {
+    const auto d = true_positives + false_negatives;
+    return d == 0 ? 0.0 : static_cast<double>(true_positives) / d;
+  }
+};
+
+MatchResult match_boxes(std::vector<Box> predictions,
+                        const std::vector<Box>& ground_truth,
+                        float iou_threshold);
+
+/// Standard greedy non-maximum suppression within each class.
+std::vector<Box> nms(std::vector<Box> boxes, float iou_threshold);
+
+}  // namespace pf15::nn

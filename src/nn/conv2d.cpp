@@ -1,0 +1,153 @@
+#include "nn/conv2d.hpp"
+
+#include "gemm/gemm.hpp"
+#include "gemm/winograd.hpp"
+
+namespace pf15::nn {
+
+bool Conv2d::uses_winograd() const {
+  if (cfg_.algo == ConvAlgo::kIm2col) return false;
+  const bool ok = gemm::winograd_applicable(cfg_.kernel, cfg_.stride);
+  if (cfg_.algo == ConvAlgo::kWinograd) {
+    PF15_CHECK_MSG(ok, name_ << ": Winograd requires 3x3 stride-1");
+  }
+  return ok;
+}
+
+Conv2d::Conv2d(std::string name, const Conv2dConfig& cfg, Rng& rng)
+    : name_(std::move(name)),
+      cfg_(cfg),
+      weight_(Shape{cfg.out_channels, cfg.in_channels, cfg.kernel,
+                    cfg.kernel}),
+      bias_(Shape{cfg.out_channels}),
+      weight_grad_(weight_.shape()),
+      bias_grad_(bias_.shape()) {
+  PF15_CHECK(cfg.in_channels > 0 && cfg.out_channels > 0 && cfg.kernel > 0 &&
+             cfg.stride > 0);
+  weight_.fill_he(rng, cfg.in_channels * cfg.kernel * cfg.kernel);
+  bias_.zero();
+}
+
+gemm::ConvGeom Conv2d::geom(const Shape& in) const {
+  PF15_CHECK_MSG(in.rank() == 4 && in.c() == cfg_.in_channels,
+                 name_ << ": bad input shape " << in);
+  gemm::ConvGeom g;
+  g.in_c = cfg_.in_channels;
+  g.in_h = in.h();
+  g.in_w = in.w();
+  g.kernel_h = g.kernel_w = cfg_.kernel;
+  g.stride_h = g.stride_w = cfg_.stride;
+  g.pad_h = g.pad_w = cfg_.pad;
+  PF15_CHECK_MSG(in.h() + 2 * cfg_.pad >= cfg_.kernel &&
+                     in.w() + 2 * cfg_.pad >= cfg_.kernel,
+                 name_ << ": kernel larger than padded input " << in);
+  return g;
+}
+
+Shape Conv2d::output_shape(const Shape& in) const {
+  const auto g = geom(in);
+  return Shape{in.n(), cfg_.out_channels, g.out_h(), g.out_w()};
+}
+
+void Conv2d::forward(const Tensor& in, Tensor& out) {
+  const auto g = geom(in.shape());
+  ensure_shape(out, output_shape(in.shape()));
+  const std::size_t m = cfg_.out_channels;
+  const std::size_t n = g.lowered_cols();
+  const std::size_t in_img = in.shape().c() * in.shape().h() * in.shape().w();
+  const std::size_t out_img = m * n;
+  if (uses_winograd()) {
+    for (std::size_t img = 0; img < in.shape().n(); ++img) {
+      gemm::winograd_conv3x3(in.data() + img * in_img, cfg_.in_channels,
+                             in.shape().h(), in.shape().w(),
+                             weight_.data(), m, cfg_.pad,
+                             cfg_.bias ? bias_.data() : nullptr,
+                             out.data() + img * out_img);
+    }
+    return;
+  }
+  ensure_shape(col_, Shape{g.lowered_rows(), g.lowered_cols()});
+  const std::size_t k = g.lowered_rows();
+  for (std::size_t img = 0; img < in.shape().n(); ++img) {
+    gemm::im2col(g, in.data() + img * in_img, col_.data());
+    gemm::sgemm_parallel(false, false, m, n, k, 1.0f, weight_.data(), k,
+                         col_.data(), n, 0.0f, out.data() + img * out_img,
+                         n);
+    if (cfg_.bias) {
+      float* dst = out.data() + img * out_img;
+      for (std::size_t oc = 0; oc < m; ++oc) {
+        const float b = bias_.data()[oc];
+        float* plane = dst + oc * n;
+        for (std::size_t i = 0; i < n; ++i) plane[i] += b;
+      }
+    }
+  }
+}
+
+void Conv2d::backward(const Tensor& in, const Tensor& dout, Tensor& din) {
+  const auto g = geom(in.shape());
+  PF15_CHECK(dout.shape() == output_shape(in.shape()));
+  ensure_shape(din, in.shape());
+  din.zero();
+  ensure_shape(col_, Shape{g.lowered_rows(), g.lowered_cols()});
+  ensure_shape(dcol_, Shape{g.lowered_rows(), g.lowered_cols()});
+  const std::size_t m = cfg_.out_channels;
+  const std::size_t k = g.lowered_rows();
+  const std::size_t n = g.lowered_cols();
+  const std::size_t in_img = in.shape().c() * in.shape().h() * in.shape().w();
+  const std::size_t out_img = m * n;
+  for (std::size_t img = 0; img < in.shape().n(); ++img) {
+    const float* dout_img = dout.data() + img * out_img;
+    // dW += dout_img (m x n) * col^T (n x k); recompute col from the input
+    // rather than caching it across the whole batch.
+    gemm::im2col(g, in.data() + img * in_img, col_.data());
+    gemm::sgemm_parallel(false, true, m, k, n, 1.0f, dout_img, n,
+                         col_.data(), n, 1.0f, weight_grad_.data(), k);
+    if (cfg_.bias) {
+      for (std::size_t oc = 0; oc < m; ++oc) {
+        double s = 0.0;
+        const float* plane = dout_img + oc * n;
+        for (std::size_t i = 0; i < n; ++i) s += plane[i];
+        bias_grad_.data()[oc] += static_cast<float>(s);
+      }
+    }
+    // dcol = W^T (k x m) * dout_img (m x n); din += col2im(dcol).
+    gemm::sgemm_parallel(true, false, k, n, m, 1.0f, weight_.data(), k,
+                         dout_img, n, 0.0f, dcol_.data(), n);
+    gemm::col2im(g, dcol_.data(), din.data() + img * in_img);
+  }
+}
+
+std::vector<Param> Conv2d::params() {
+  std::vector<Param> out;
+  out.push_back({name_ + ".weight", &weight_, &weight_grad_});
+  if (cfg_.bias) out.push_back({name_ + ".bias", &bias_, &bias_grad_});
+  return out;
+}
+
+std::uint64_t Conv2d::forward_flops(const Shape& in) const {
+  const auto g = geom(in);
+  if (uses_winograd()) {
+    return in.n() * (gemm::winograd_flops(cfg_.in_channels,
+                                          cfg_.out_channels, g.in_h,
+                                          g.in_w, cfg_.pad) +
+                     (cfg_.bias ? g.lowered_cols() * cfg_.out_channels
+                                : 0));
+  }
+  const std::uint64_t per_img =
+      gemm::flops(cfg_.out_channels, g.lowered_cols(), g.lowered_rows()) +
+      (cfg_.bias ? g.lowered_cols() * cfg_.out_channels : 0);
+  return per_img * in.n();
+}
+
+std::uint64_t Conv2d::backward_flops(const Shape& in) const {
+  const auto g = geom(in);
+  // dW GEMM + dX GEMM + bias reduction.
+  const std::uint64_t per_img =
+      gemm::flops(cfg_.out_channels, g.lowered_rows(), g.lowered_cols()) +
+      gemm::flops(g.lowered_rows(), g.lowered_cols(), cfg_.out_channels) +
+      (cfg_.bias ? g.lowered_cols() * cfg_.out_channels : 0);
+  return per_img * in.n();
+}
+
+}  // namespace pf15::nn

@@ -1,0 +1,59 @@
+// 2-D convolution layer (im2col + GEMM), the workhorse of both networks
+// (§III-A, §III-B). Weight layout is OIHW; bias is per output channel.
+#pragma once
+
+#include <string>
+
+#include "gemm/im2col.hpp"
+#include "nn/layer.hpp"
+
+namespace pf15::nn {
+
+/// Forward-pass algorithm selection. Winograd F(2x2,3x3) applies only to
+/// 3x3 stride-1 kernels (§VIII-A future work — see gemm/winograd.hpp);
+/// kAuto picks it when applicable, kIm2col forces the lowering path.
+enum class ConvAlgo { kIm2col, kWinograd, kAuto };
+
+struct Conv2dConfig {
+  std::size_t in_channels = 0;
+  std::size_t out_channels = 0;
+  std::size_t kernel = 3;
+  std::size_t stride = 1;
+  std::size_t pad = 0;
+  bool bias = true;
+  ConvAlgo algo = ConvAlgo::kIm2col;
+};
+
+class Conv2d final : public Layer {
+ public:
+  Conv2d(std::string name, const Conv2dConfig& cfg, Rng& rng);
+
+  const std::string& name() const override { return name_; }
+  std::string kind() const override { return "conv"; }
+  Shape output_shape(const Shape& in) const override;
+  void forward(const Tensor& in, Tensor& out) override;
+  void backward(const Tensor& in, const Tensor& dout, Tensor& din) override;
+  std::vector<Param> params() override;
+  std::uint64_t forward_flops(const Shape& in) const override;
+  std::uint64_t backward_flops(const Shape& in) const override;
+
+  const Conv2dConfig& config() const { return cfg_; }
+  Tensor& weight() { return weight_; }
+  Tensor& bias() { return bias_; }
+  /// True if the forward pass will take the Winograd fast path.
+  bool uses_winograd() const;
+
+ private:
+  gemm::ConvGeom geom(const Shape& in) const;
+
+  std::string name_;
+  Conv2dConfig cfg_;
+  Tensor weight_;       // (OC, IC, KH, KW)
+  Tensor bias_;         // (OC)
+  Tensor weight_grad_;  // same shapes as values
+  Tensor bias_grad_;
+  Tensor col_;   // scratch: lowered input, one image at a time
+  Tensor dcol_;  // scratch: lowered gradient
+};
+
+}  // namespace pf15::nn

@@ -1,0 +1,133 @@
+#include "nn/deconv2d.hpp"
+
+#include <cstring>
+
+#include "gemm/gemm.hpp"
+
+namespace pf15::nn {
+
+Deconv2d::Deconv2d(std::string name, const Deconv2dConfig& cfg, Rng& rng)
+    : name_(std::move(name)),
+      cfg_(cfg),
+      weight_(Shape{cfg.in_channels, cfg.out_channels, cfg.kernel,
+                    cfg.kernel}),
+      bias_(Shape{cfg.out_channels}),
+      weight_grad_(weight_.shape()),
+      bias_grad_(bias_.shape()) {
+  PF15_CHECK(cfg.in_channels > 0 && cfg.out_channels > 0 && cfg.kernel > 0 &&
+             cfg.stride > 0);
+  // Fan-in of the adjoint convolution: each output pixel receives
+  // contributions from ~OC * (K/stride)^2 taps; use the conv-style fan-in
+  // of the transposed kernel for a comparable scale.
+  weight_.fill_he(rng, cfg.in_channels * cfg.kernel * cfg.kernel);
+  bias_.zero();
+}
+
+gemm::ConvGeom Deconv2d::geom(const Shape& in) const {
+  PF15_CHECK_MSG(in.rank() == 4 && in.c() == cfg_.in_channels,
+                 name_ << ": bad input shape " << in);
+  PF15_CHECK_MSG((in.h() - 1) * cfg_.stride + cfg_.kernel > 2 * cfg_.pad,
+                 name_ << ": degenerate output for input " << in);
+  gemm::ConvGeom g;
+  g.in_c = cfg_.out_channels;  // conv "input" is the deconv output
+  g.in_h = (in.h() - 1) * cfg_.stride + cfg_.kernel - 2 * cfg_.pad;
+  g.in_w = (in.w() - 1) * cfg_.stride + cfg_.kernel - 2 * cfg_.pad;
+  g.kernel_h = g.kernel_w = cfg_.kernel;
+  g.stride_h = g.stride_w = cfg_.stride;
+  g.pad_h = g.pad_w = cfg_.pad;
+  // By construction the conv geometry maps back onto the deconv input.
+  PF15_CHECK(g.out_h() == in.h() && g.out_w() == in.w());
+  return g;
+}
+
+Shape Deconv2d::output_shape(const Shape& in) const {
+  const auto g = geom(in);
+  return Shape{in.n(), cfg_.out_channels, g.in_h, g.in_w};
+}
+
+void Deconv2d::forward(const Tensor& in, Tensor& out) {
+  const auto g = geom(in.shape());
+  ensure_shape(out, output_shape(in.shape()));
+  out.zero();
+  const std::size_t k = g.lowered_rows();   // OC*KH*KW
+  const std::size_t n = g.lowered_cols();   // in_h*in_w
+  const std::size_t ic = cfg_.in_channels;
+  ensure_shape(col_, Shape{k, n});
+  const std::size_t in_img = ic * in.shape().h() * in.shape().w();
+  const std::size_t out_img = cfg_.out_channels * g.in_h * g.in_w;
+  for (std::size_t img = 0; img < in.shape().n(); ++img) {
+    // col = W^T (k x ic) * x (ic x n); scatter into the output image.
+    gemm::sgemm_parallel(true, false, k, n, ic, 1.0f, weight_.data(), k,
+                         in.data() + img * in_img, n, 0.0f, col_.data(), n);
+    gemm::col2im(g, col_.data(), out.data() + img * out_img);
+    if (cfg_.bias) {
+      float* dst = out.data() + img * out_img;
+      const std::size_t plane = g.in_h * g.in_w;
+      for (std::size_t oc = 0; oc < cfg_.out_channels; ++oc) {
+        const float b = bias_.data()[oc];
+        float* p = dst + oc * plane;
+        for (std::size_t i = 0; i < plane; ++i) p[i] += b;
+      }
+    }
+  }
+}
+
+void Deconv2d::backward(const Tensor& in, const Tensor& dout, Tensor& din) {
+  const auto g = geom(in.shape());
+  PF15_CHECK(dout.shape() == output_shape(in.shape()));
+  ensure_shape(din, in.shape());
+  const std::size_t k = g.lowered_rows();
+  const std::size_t n = g.lowered_cols();
+  const std::size_t ic = cfg_.in_channels;
+  ensure_shape(col_, Shape{k, n});
+  const std::size_t in_img = ic * in.shape().h() * in.shape().w();
+  const std::size_t out_img = cfg_.out_channels * g.in_h * g.in_w;
+  const std::size_t plane = g.in_h * g.in_w;
+  for (std::size_t img = 0; img < in.shape().n(); ++img) {
+    const float* dout_img = dout.data() + img * out_img;
+    // Lower the output gradient; this is the conv-forward direction.
+    gemm::im2col(g, dout_img, col_.data());
+    // din = W (ic x k) * col (k x n).
+    gemm::sgemm_parallel(false, false, ic, n, k, 1.0f, weight_.data(), k,
+                         col_.data(), n, 0.0f, din.data() + img * in_img,
+                         n);
+    // dW += x (ic x n) * col^T (n x k).
+    gemm::sgemm_parallel(false, true, ic, k, n, 1.0f,
+                         in.data() + img * in_img, n, col_.data(), n, 1.0f,
+                         weight_grad_.data(), k);
+    if (cfg_.bias) {
+      for (std::size_t oc = 0; oc < cfg_.out_channels; ++oc) {
+        double s = 0.0;
+        const float* p = dout_img + oc * plane;
+        for (std::size_t i = 0; i < plane; ++i) s += p[i];
+        bias_grad_.data()[oc] += static_cast<float>(s);
+      }
+    }
+  }
+}
+
+std::vector<Param> Deconv2d::params() {
+  std::vector<Param> out;
+  out.push_back({name_ + ".weight", &weight_, &weight_grad_});
+  if (cfg_.bias) out.push_back({name_ + ".bias", &bias_, &bias_grad_});
+  return out;
+}
+
+std::uint64_t Deconv2d::forward_flops(const Shape& in) const {
+  const auto g = geom(in);
+  const std::uint64_t per_img =
+      gemm::flops(g.lowered_rows(), g.lowered_cols(), cfg_.in_channels) +
+      (cfg_.bias ? cfg_.out_channels * g.in_h * g.in_w : 0);
+  return per_img * in.n();
+}
+
+std::uint64_t Deconv2d::backward_flops(const Shape& in) const {
+  const auto g = geom(in);
+  const std::uint64_t per_img =
+      gemm::flops(cfg_.in_channels, g.lowered_cols(), g.lowered_rows()) +
+      gemm::flops(cfg_.in_channels, g.lowered_rows(), g.lowered_cols()) +
+      (cfg_.bias ? cfg_.out_channels * g.in_h * g.in_w : 0);
+  return per_img * in.n();
+}
+
+}  // namespace pf15::nn

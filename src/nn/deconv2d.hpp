@@ -1,0 +1,57 @@
+// Transposed convolution ("deconvolution") layer for the climate decoder
+// (§III-B, §III-C).
+//
+// The paper notes that MKL had no optimized deconvolution, and that "the
+// convolutions in the backward pass can be used to compute the
+// deconvolutions of the forward pass and vice-versa". We implement exactly
+// that swap: forward = convolution's data-gradient path (GEMM + col2im),
+// backward-data = convolution's forward path (im2col + GEMM), and the
+// weight gradient reuses the same lowered buffers.
+#pragma once
+
+#include <string>
+
+#include "gemm/im2col.hpp"
+#include "nn/layer.hpp"
+
+namespace pf15::nn {
+
+struct Deconv2dConfig {
+  std::size_t in_channels = 0;   // channels of the (coarse) input
+  std::size_t out_channels = 0;  // channels of the upsampled output
+  std::size_t kernel = 3;
+  std::size_t stride = 1;
+  std::size_t pad = 0;
+  bool bias = true;
+};
+
+class Deconv2d final : public Layer {
+ public:
+  Deconv2d(std::string name, const Deconv2dConfig& cfg, Rng& rng);
+
+  const std::string& name() const override { return name_; }
+  std::string kind() const override { return "deconv"; }
+  Shape output_shape(const Shape& in) const override;
+  void forward(const Tensor& in, Tensor& out) override;
+  void backward(const Tensor& in, const Tensor& dout, Tensor& din) override;
+  std::vector<Param> params() override;
+  std::uint64_t forward_flops(const Shape& in) const override;
+  std::uint64_t backward_flops(const Shape& in) const override;
+
+  const Deconv2dConfig& config() const { return cfg_; }
+
+ private:
+  /// Geometry of the *underlying convolution*, whose input is this layer's
+  /// output: out_h = (in_h - 1) * stride + kernel - 2 * pad.
+  gemm::ConvGeom geom(const Shape& in) const;
+
+  std::string name_;
+  Deconv2dConfig cfg_;
+  Tensor weight_;  // (IC, OC, KH, KW): IC rows of OC*KH*KW, GEMM-ready
+  Tensor bias_;    // (OC)
+  Tensor weight_grad_;
+  Tensor bias_grad_;
+  Tensor col_;  // scratch lowered buffer (OC*KH*KW x in_h*in_w)
+};
+
+}  // namespace pf15::nn

@@ -1,0 +1,84 @@
+#include "nn/dense.hpp"
+
+#include "gemm/gemm.hpp"
+
+namespace pf15::nn {
+
+Dense::Dense(std::string name, std::size_t in_features,
+             std::size_t out_features, Rng& rng)
+    : name_(std::move(name)),
+      in_features_(in_features),
+      out_features_(out_features),
+      weight_(Shape{out_features, in_features}),
+      bias_(Shape{out_features}),
+      weight_grad_(weight_.shape()),
+      bias_grad_(bias_.shape()) {
+  PF15_CHECK(in_features > 0 && out_features > 0);
+  weight_.fill_xavier(rng, in_features, out_features);
+  bias_.zero();
+}
+
+std::size_t Dense::batch_of(const Shape& in) const {
+  PF15_CHECK_MSG(in.rank() >= 1 && in.numel() % in_features_ == 0 &&
+                     in.numel() / in[0] == in_features_,
+                 name_ << ": input " << in << " not flattenable to "
+                       << in_features_ << " features");
+  return in[0];
+}
+
+Shape Dense::output_shape(const Shape& in) const {
+  return Shape{batch_of(in), out_features_};
+}
+
+void Dense::forward(const Tensor& in, Tensor& out) {
+  const std::size_t batch = batch_of(in.shape());
+  ensure_shape(out, Shape{batch, out_features_});
+  // out (batch x OF) = in (batch x IF) * W^T (IF x OF).
+  gemm::sgemm_parallel(false, true, batch, out_features_, in_features_, 1.0f,
+                       in.data(), in_features_, weight_.data(), in_features_,
+                       0.0f, out.data(), out_features_);
+  for (std::size_t b = 0; b < batch; ++b) {
+    float* row = out.data() + b * out_features_;
+    for (std::size_t j = 0; j < out_features_; ++j) row[j] += bias_.data()[j];
+  }
+}
+
+void Dense::backward(const Tensor& in, const Tensor& dout, Tensor& din) {
+  const std::size_t batch = batch_of(in.shape());
+  PF15_CHECK((dout.shape() == Shape{batch, out_features_}));
+  ensure_shape(din, in.shape());
+  // dW += dout^T (OF x batch) * in (batch x IF).
+  gemm::sgemm_parallel(true, false, out_features_, in_features_, batch, 1.0f,
+                       dout.data(), out_features_, in.data(), in_features_,
+                       1.0f, weight_grad_.data(), in_features_);
+  for (std::size_t b = 0; b < batch; ++b) {
+    const float* row = dout.data() + b * out_features_;
+    for (std::size_t j = 0; j < out_features_; ++j) {
+      bias_grad_.data()[j] += row[j];
+    }
+  }
+  // din (batch x IF) = dout (batch x OF) * W (OF x IF).
+  gemm::sgemm_parallel(false, false, batch, in_features_, out_features_,
+                       1.0f, dout.data(), out_features_, weight_.data(),
+                       in_features_, 0.0f, din.data(), in_features_);
+}
+
+std::vector<Param> Dense::params() {
+  return {{name_ + ".weight", &weight_, &weight_grad_},
+          {name_ + ".bias", &bias_, &bias_grad_}};
+}
+
+std::uint64_t Dense::forward_flops(const Shape& in) const {
+  const std::size_t batch = batch_of(in);
+  return gemm::flops(batch, out_features_, in_features_) +
+         batch * out_features_;
+}
+
+std::uint64_t Dense::backward_flops(const Shape& in) const {
+  const std::size_t batch = batch_of(in);
+  return gemm::flops(out_features_, in_features_, batch) +
+         gemm::flops(batch, in_features_, out_features_) +
+         batch * out_features_;
+}
+
+}  // namespace pf15::nn

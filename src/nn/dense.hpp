@@ -1,0 +1,39 @@
+// Fully connected layer. The HEP network projects the 128-d pooled vector
+// to 2 class logits (§III-A); the paper deliberately avoids large dense
+// layers to keep the model small for communication, and so do we.
+#pragma once
+
+#include <string>
+
+#include "nn/layer.hpp"
+
+namespace pf15::nn {
+
+class Dense final : public Layer {
+ public:
+  /// in_features is the flattened per-sample size of the input tensor.
+  Dense(std::string name, std::size_t in_features, std::size_t out_features,
+        Rng& rng);
+
+  const std::string& name() const override { return name_; }
+  std::string kind() const override { return "fc"; }
+  Shape output_shape(const Shape& in) const override;
+  void forward(const Tensor& in, Tensor& out) override;
+  void backward(const Tensor& in, const Tensor& dout, Tensor& din) override;
+  std::vector<Param> params() override;
+  std::uint64_t forward_flops(const Shape& in) const override;
+  std::uint64_t backward_flops(const Shape& in) const override;
+
+ private:
+  std::size_t batch_of(const Shape& in) const;
+
+  std::string name_;
+  std::size_t in_features_;
+  std::size_t out_features_;
+  Tensor weight_;  // (out_features, in_features)
+  Tensor bias_;    // (out_features)
+  Tensor weight_grad_;
+  Tensor bias_grad_;
+};
+
+}  // namespace pf15::nn

@@ -1,0 +1,45 @@
+#include "nn/dropout.hpp"
+
+namespace pf15::nn {
+
+Dropout::Dropout(std::string name, float drop_prob, std::uint64_t seed)
+    : name_(std::move(name)), drop_prob_(drop_prob), rng_(seed) {
+  PF15_CHECK_MSG(drop_prob >= 0.0f && drop_prob < 1.0f,
+                 name_ << ": drop_prob " << drop_prob << " out of [0, 1)");
+}
+
+void Dropout::forward(const Tensor& in, Tensor& out) {
+  ensure_shape(out, in.shape());
+  if (!training_ || drop_prob_ == 0.0f) {
+    out.copy_from(in);
+    return;
+  }
+  const bool reuse =
+      mask_frozen_ && mask_.defined() && mask_.shape() == in.shape();
+  if (!reuse) {
+    ensure_shape(mask_, in.shape());
+    const float keep_inv = 1.0f / (1.0f - drop_prob_);
+    for (std::size_t i = 0; i < mask_.numel(); ++i) {
+      mask_.data()[i] = rng_.bernoulli(drop_prob_) ? 0.0f : keep_inv;
+    }
+  }
+  for (std::size_t i = 0; i < in.numel(); ++i) {
+    out.data()[i] = in.data()[i] * mask_.data()[i];
+  }
+}
+
+void Dropout::backward(const Tensor& in, const Tensor& dout, Tensor& din) {
+  PF15_CHECK(dout.shape() == in.shape());
+  ensure_shape(din, in.shape());
+  if (!training_ || drop_prob_ == 0.0f) {
+    din.copy_from(dout);
+    return;
+  }
+  PF15_CHECK_MSG(mask_.defined() && mask_.shape() == in.shape(),
+                 name_ << ": backward without a matching forward");
+  for (std::size_t i = 0; i < din.numel(); ++i) {
+    din.data()[i] = dout.data()[i] * mask_.data()[i];
+  }
+}
+
+}  // namespace pf15::nn

@@ -1,0 +1,42 @@
+#include "nn/hep_model.hpp"
+
+#include <memory>
+
+#include "nn/activations.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/dense.hpp"
+#include "nn/pool.hpp"
+
+namespace pf15::nn {
+
+Sequential build_hep_network(const HepConfig& cfg) {
+  PF15_CHECK(cfg.conv_units >= 1);
+  // The spatial size must survive (conv_units - 1) halvings.
+  PF15_CHECK_MSG(cfg.image >= (1ull << cfg.conv_units),
+                 "image " << cfg.image << " too small for "
+                          << cfg.conv_units << " conv+pool units");
+  Rng rng(cfg.seed);
+  Sequential net;
+  std::size_t in_c = cfg.channels;
+  for (std::size_t u = 0; u < cfg.conv_units; ++u) {
+    Conv2dConfig conv;
+    conv.in_channels = in_c;
+    conv.out_channels = cfg.filters;
+    conv.kernel = 3;
+    conv.stride = 1;
+    conv.pad = 1;  // "same" padding keeps halving exact
+    const std::string idx = std::to_string(u + 1);
+    net.add(std::make_unique<Conv2d>("conv" + idx, conv, rng));
+    net.add(std::make_unique<ReLU>("relu" + idx));
+    if (u + 1 < cfg.conv_units) {
+      net.add(std::make_unique<MaxPool2d>("pool" + idx, 2, 2));
+    } else {
+      net.add(std::make_unique<GlobalAvgPool>("gap"));
+    }
+    in_c = cfg.filters;
+  }
+  net.add(std::make_unique<Dense>("fc", cfg.filters, cfg.classes, rng));
+  return net;
+}
+
+}  // namespace pf15::nn

@@ -1,0 +1,38 @@
+// The supervised HEP architecture of §III-A:
+//
+//   5 × [conv 3x3/1 (128 filters) + ReLU + pool] + FC(128 -> 2) + softmax-CE
+//
+// Max pooling 2x2/2 after the first four conv units, global average pooling
+// after the fifth; the FC projects the pooled 128-vector to two class
+// logits. With the paper's 224x224x3 input this yields 594,178 parameters
+// = 2.27 MiB, matching Table II's 2.3 MiB.
+#pragma once
+
+#include "nn/network.hpp"
+
+namespace pf15::nn {
+
+struct HepConfig {
+  std::size_t image = 224;    // square input size
+  std::size_t channels = 3;   // calorimeter EM / hadronic / track channels
+  std::size_t filters = 128;  // filters per conv layer
+  std::size_t conv_units = 5;
+  std::size_t classes = 2;  // signal vs background
+  std::uint64_t seed = 1234;
+
+  /// A reduced configuration that trains in seconds; used by tests and the
+  /// functional (non-simulated) hybrid-training demos.
+  static HepConfig tiny() {
+    HepConfig c;
+    c.image = 32;
+    c.filters = 8;
+    c.conv_units = 3;
+    return c;
+  }
+};
+
+/// Builds the HEP network. The final layer outputs (batch, classes) logits;
+/// pair with SoftmaxCrossEntropy.
+Sequential build_hep_network(const HepConfig& cfg);
+
+}  // namespace pf15::nn

@@ -1,0 +1,77 @@
+// Layer abstraction.
+//
+// A Layer is a differentiable function of one input tensor plus owned
+// parameters. The enclosing container (Sequential or a composite model)
+// owns the activations and hands the forward input back to backward, so
+// layers only cache cheap auxiliary state (e.g. pooling argmax indices).
+//
+// Gradient semantics: backward *accumulates* (+=) into parameter gradient
+// tensors; the solver/trainer zeroes them between iterations. This is what
+// lets a compute group process several micro-batches before one reduction.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace pf15::nn {
+
+/// A named (value, gradient) pair exposed by a layer. Pointers remain valid
+/// for the lifetime of the layer.
+struct Param {
+  std::string name;
+  Tensor* value = nullptr;
+  Tensor* grad = nullptr;
+};
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Human-readable layer name ("conv1", "pool3", ...).
+  virtual const std::string& name() const = 0;
+  /// Short kind tag ("conv", "pool", "relu", ...), used by the profiler.
+  virtual std::string kind() const = 0;
+
+  /// Output shape produced for a given input shape. Must not depend on
+  /// parameter values. PF15_CHECKs on incompatible input.
+  virtual Shape output_shape(const Shape& in) const = 0;
+
+  /// out = f(in). `out` is (re)allocated by the callee if its shape is
+  /// wrong. A layer instance is not re-entrant: one forward/backward pair
+  /// in flight at a time.
+  virtual void forward(const Tensor& in, Tensor& out) = 0;
+
+  /// din = df/din^T · dout; parameter gradients accumulate. `in` must be
+  /// the exact tensor passed to the latest forward().
+  virtual void backward(const Tensor& in, const Tensor& dout,
+                        Tensor& din) = 0;
+
+  /// Trainable parameters (empty for stateless layers).
+  virtual std::vector<Param> params() { return {}; }
+
+  /// Analytic FLOP counts (the §V accounting). Counts multiply-adds as two
+  /// FLOPs; elementwise ops as one per element.
+  virtual std::uint64_t forward_flops(const Shape& in) const = 0;
+  virtual std::uint64_t backward_flops(const Shape& in) const = 0;
+
+  /// Total number of trainable scalars.
+  std::size_t param_count() {
+    std::size_t n = 0;
+    for (const auto& p : params()) n += p.value->numel();
+    return n;
+  }
+};
+
+using LayerPtr = std::unique_ptr<Layer>;
+
+/// Ensures `t` has shape `s`, reallocating when needed (contents undefined
+/// after reallocation).
+inline void ensure_shape(Tensor& t, const Shape& s) {
+  if (!t.defined() || t.shape() != s) t = Tensor(s);
+}
+
+}  // namespace pf15::nn

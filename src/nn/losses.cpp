@@ -1,0 +1,87 @@
+#include "nn/losses.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/errors.hpp"
+#include "nn/layer.hpp"
+
+namespace pf15::nn {
+
+namespace {
+void softmax_into(const float* logits, std::size_t classes, float* probs) {
+  float m = logits[0];
+  for (std::size_t c = 1; c < classes; ++c) m = std::max(m, logits[c]);
+  double denom = 0.0;
+  for (std::size_t c = 0; c < classes; ++c) {
+    probs[c] = std::exp(logits[c] - m);
+    denom += probs[c];
+  }
+  const float inv = static_cast<float>(1.0 / denom);
+  for (std::size_t c = 0; c < classes; ++c) probs[c] *= inv;
+}
+}  // namespace
+
+double SoftmaxCrossEntropy::forward_backward(
+    const Tensor& logits, const std::vector<std::int32_t>& labels,
+    Tensor& probs, Tensor& dlogits) const {
+  const double loss = forward(logits, labels, probs);
+  ensure_shape(dlogits, logits.shape());
+  const std::size_t batch = logits.shape()[0];
+  const std::size_t classes = logits.shape()[1];
+  const float inv_batch = 1.0f / static_cast<float>(batch);
+  for (std::size_t b = 0; b < batch; ++b) {
+    const float* p = probs.data() + b * classes;
+    float* g = dlogits.data() + b * classes;
+    for (std::size_t c = 0; c < classes; ++c) g[c] = p[c] * inv_batch;
+    g[static_cast<std::size_t>(labels[b])] -= inv_batch;
+  }
+  return loss;
+}
+
+double SoftmaxCrossEntropy::forward(const Tensor& logits,
+                                    const std::vector<std::int32_t>& labels,
+                                    Tensor& probs) const {
+  PF15_CHECK(logits.shape().rank() == 2);
+  const std::size_t batch = logits.shape()[0];
+  const std::size_t classes = logits.shape()[1];
+  PF15_CHECK_MSG(labels.size() == batch, "labels/batch mismatch");
+  ensure_shape(probs, logits.shape());
+  double loss = 0.0;
+  for (std::size_t b = 0; b < batch; ++b) {
+    PF15_CHECK(labels[b] >= 0 &&
+               static_cast<std::size_t>(labels[b]) < classes);
+    const float* row = logits.data() + b * classes;
+    float* p = probs.data() + b * classes;
+    softmax_into(row, classes, p);
+    loss -= std::log(
+        std::max(1e-12, static_cast<double>(
+                            p[static_cast<std::size_t>(labels[b])])));
+  }
+  return loss / static_cast<double>(batch);
+}
+
+double mse_loss(const Tensor& pred, const Tensor& target, float weight,
+                Tensor& dpred) {
+  PF15_CHECK(pred.shape() == target.shape());
+  ensure_shape(dpred, pred.shape());
+  const std::size_t n = pred.numel();
+  PF15_CHECK(n > 0);
+  const float scale = 2.0f * weight / static_cast<float>(n);
+  double loss = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const float d = pred.data()[i] - target.data()[i];
+    loss += static_cast<double>(d) * static_cast<double>(d);
+    dpred.data()[i] = scale * d;
+  }
+  return weight * loss / static_cast<double>(n);
+}
+
+void softmax_rows(Tensor& t, std::size_t rows, std::size_t cols) {
+  PF15_CHECK(t.numel() == rows * cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    softmax_into(t.data() + r * cols, cols, t.data() + r * cols);
+  }
+}
+
+}  // namespace pf15::nn

@@ -1,0 +1,40 @@
+// Loss heads. These are not Layers: they terminate the graph, consuming
+// network outputs plus targets and producing (scalar loss, gradient).
+//
+// - SoftmaxCrossEntropy: HEP classification objective (§III-A).
+// - MseLoss: autoencoder reconstruction term of the climate objective.
+// - DetectionLoss (in climate_loss.hpp) composes the full §III-B objective.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace pf15::nn {
+
+/// Numerically stable softmax + cross-entropy over rows of a (batch x
+/// classes) logits tensor.
+class SoftmaxCrossEntropy {
+ public:
+  /// Computes mean loss over the batch; fills `probs` (batch x classes)
+  /// and `dlogits` (same shape as logits, already divided by batch).
+  double forward_backward(const Tensor& logits,
+                          const std::vector<std::int32_t>& labels,
+                          Tensor& probs, Tensor& dlogits) const;
+
+  /// Loss only (inference / evaluation path).
+  double forward(const Tensor& logits,
+                 const std::vector<std::int32_t>& labels,
+                 Tensor& probs) const;
+};
+
+/// Mean squared error: loss = mean((pred - target)^2); gradient w.r.t.
+/// pred is 2 (pred - target) / numel, scaled by `weight`.
+double mse_loss(const Tensor& pred, const Tensor& target, float weight,
+                Tensor& dpred);
+
+/// Row-wise softmax in place over a (rows x cols) tensor.
+void softmax_rows(Tensor& t, std::size_t rows, std::size_t cols);
+
+}  // namespace pf15::nn

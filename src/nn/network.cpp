@@ -1,0 +1,117 @@
+#include "nn/network.hpp"
+
+#include <istream>
+#include <ostream>
+
+#include "common/timer.hpp"
+
+namespace pf15::nn {
+
+Layer& Sequential::add(LayerPtr layer) {
+  PF15_CHECK(layer != nullptr);
+  layers_.push_back(std::move(layer));
+  profiles_.push_back(
+      {layers_.back()->name(), layers_.back()->kind(), 0, 0, 0, 0});
+  activations_.emplace_back();
+  grads_.emplace_back();
+  return *layers_.back();
+}
+
+Shape Sequential::output_shape(const Shape& in) const {
+  Shape s = in;
+  for (const auto& l : layers_) s = l->output_shape(s);
+  return s;
+}
+
+const Tensor& Sequential::forward(const Tensor& input, bool profile) {
+  PF15_CHECK(!layers_.empty());
+  const Tensor* cur = &input;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    WallTimer timer;
+    layers_[i]->forward(*cur, activations_[i]);
+    if (profile) {
+      profiles_[i].forward_seconds += timer.seconds();
+      profiles_[i].forward_flops += layers_[i]->forward_flops(cur->shape());
+    }
+    cur = &activations_[i];
+  }
+  return *cur;
+}
+
+const Tensor& Sequential::backward(const Tensor& input, const Tensor& dout,
+                                   bool profile) {
+  PF15_CHECK(!layers_.empty());
+  const Tensor* cur_grad = &dout;
+  for (std::size_t i = layers_.size(); i-- > 0;) {
+    const Tensor& layer_in = (i == 0) ? input : activations_[i - 1];
+    WallTimer timer;
+    layers_[i]->backward(layer_in, *cur_grad, grads_[i]);
+    if (profile) {
+      profiles_[i].backward_seconds += timer.seconds();
+      profiles_[i].backward_flops +=
+          layers_[i]->backward_flops(layer_in.shape());
+    }
+    cur_grad = &grads_[i];
+  }
+  return *cur_grad;
+}
+
+std::vector<Param> Sequential::params() {
+  std::vector<Param> all;
+  for (auto& l : layers_) {
+    for (auto& p : l->params()) all.push_back(p);
+  }
+  return all;
+}
+
+std::size_t Sequential::param_count() {
+  std::size_t n = 0;
+  for (const auto& p : params()) n += p.value->numel();
+  return n;
+}
+
+void Sequential::zero_grad() {
+  for (auto& p : params()) p.grad->zero();
+}
+
+std::uint64_t Sequential::forward_flops(const Shape& in) const {
+  std::uint64_t total = 0;
+  Shape s = in;
+  for (const auto& l : layers_) {
+    total += l->forward_flops(s);
+    s = l->output_shape(s);
+  }
+  return total;
+}
+
+std::uint64_t Sequential::backward_flops(const Shape& in) const {
+  std::uint64_t total = 0;
+  Shape s = in;
+  for (const auto& l : layers_) {
+    total += l->backward_flops(s);
+    s = l->output_shape(s);
+  }
+  return total;
+}
+
+void Sequential::reset_profiles() {
+  for (auto& p : profiles_) {
+    p.forward_seconds = p.backward_seconds = 0.0;
+    p.forward_flops = p.backward_flops = 0;
+  }
+}
+
+void Sequential::save_params(std::ostream& os) {
+  for (auto& p : params()) p.value->save(os);
+}
+
+void Sequential::load_params(std::istream& is) {
+  for (auto& p : params()) {
+    Tensor t = Tensor::load(is);
+    PF15_CHECK_MSG(t.shape() == p.value->shape(),
+                   "checkpoint shape mismatch for " << p.name);
+    p.value->copy_from(t);
+  }
+}
+
+}  // namespace pf15::nn

@@ -1,0 +1,207 @@
+#include "nn/residual.hpp"
+
+#include <memory>
+
+#include "nn/activations.hpp"
+#include "nn/dense.hpp"
+#include "nn/pool.hpp"
+
+namespace pf15::nn {
+
+ResidualBlock::ResidualBlock(std::string name, const ResidualConfig& cfg,
+                             Rng& rng)
+    : name_(std::move(name)), cfg_(cfg) {
+  PF15_CHECK(cfg.in_channels > 0 && cfg.out_channels > 0);
+  PF15_CHECK(cfg.stride >= 1);
+
+  Conv2dConfig c1;
+  c1.in_channels = cfg.in_channels;
+  c1.out_channels = cfg.out_channels;
+  c1.kernel = 3;
+  c1.stride = cfg.stride;
+  c1.pad = 1;
+  c1.algo = cfg.algo;
+  main_.push_back(std::make_unique<Conv2d>(name_ + ".conv1", c1, rng));
+  if (cfg.batchnorm) {
+    BatchNormConfig bn;
+    bn.channels = cfg.out_channels;
+    main_.push_back(std::make_unique<BatchNorm2d>(name_ + ".bn1", bn));
+  }
+  main_.push_back(std::make_unique<ReLU>(name_ + ".relu1"));
+
+  Conv2dConfig c2;
+  c2.in_channels = cfg.out_channels;
+  c2.out_channels = cfg.out_channels;
+  c2.kernel = 3;
+  c2.stride = 1;
+  c2.pad = 1;
+  c2.algo = cfg.algo;
+  main_.push_back(std::make_unique<Conv2d>(name_ + ".conv2", c2, rng));
+  if (cfg.batchnorm) {
+    BatchNormConfig bn;
+    bn.channels = cfg.out_channels;
+    main_.push_back(std::make_unique<BatchNorm2d>(name_ + ".bn2", bn));
+  }
+
+  if (cfg.in_channels != cfg.out_channels || cfg.stride != 1) {
+    Conv2dConfig proj;
+    proj.in_channels = cfg.in_channels;
+    proj.out_channels = cfg.out_channels;
+    proj.kernel = 1;
+    proj.stride = cfg.stride;
+    proj.pad = 0;
+    proj.bias = false;
+    projection_ = std::make_unique<Conv2d>(name_ + ".proj", proj, rng);
+  }
+
+  acts_.resize(main_.size());
+  grads_.resize(main_.size());
+}
+
+Shape ResidualBlock::output_shape(const Shape& in) const {
+  Shape s = in;
+  for (const auto& layer : main_) s = layer->output_shape(s);
+  if (projection_) {
+    PF15_CHECK_MSG(projection_->output_shape(in) == s,
+                   name_ << ": branch/shortcut shape mismatch");
+  } else {
+    PF15_CHECK_MSG(s == in,
+                   name_ << ": identity shortcut requires matching shapes");
+  }
+  return s;
+}
+
+void ResidualBlock::forward(const Tensor& in, Tensor& out) {
+  const Tensor* x = &in;
+  for (std::size_t i = 0; i < main_.size(); ++i) {
+    main_[i]->forward(*x, acts_[i]);
+    x = &acts_[i];
+  }
+  const Tensor& branch = acts_.back();
+
+  const Tensor* shortcut = &in;
+  if (projection_) {
+    projection_->forward(in, shortcut_out_);
+    shortcut = &shortcut_out_;
+  }
+  PF15_CHECK(branch.shape() == shortcut->shape());
+
+  ensure_shape(sum_, branch.shape());
+  ensure_shape(out, branch.shape());
+  for (std::size_t i = 0; i < sum_.numel(); ++i) {
+    sum_.data()[i] = branch.data()[i] + shortcut->data()[i];
+    out.data()[i] = sum_.data()[i] > 0.0f ? sum_.data()[i] : 0.0f;
+  }
+}
+
+void ResidualBlock::backward(const Tensor& in, const Tensor& dout,
+                             Tensor& din) {
+  PF15_CHECK_MSG(sum_.defined() && dout.shape() == sum_.shape(),
+                 name_ << ": backward without a matching forward");
+  ensure_shape(dsum_, sum_.shape());
+  for (std::size_t i = 0; i < dsum_.numel(); ++i) {
+    dsum_.data()[i] = sum_.data()[i] > 0.0f ? dout.data()[i] : 0.0f;
+  }
+
+  // Branch path, in reverse; the gradient w.r.t. layer i's input lands in
+  // grads_[i].
+  const Tensor* dy = &dsum_;
+  for (std::size_t i = main_.size(); i-- > 0;) {
+    const Tensor& x = (i == 0) ? in : acts_[i - 1];
+    main_[i]->backward(x, *dy, grads_[i]);
+    dy = &grads_[i];
+  }
+
+  ensure_shape(din, in.shape());
+  if (projection_) {
+    projection_->backward(in, dsum_, dshortcut_);
+    for (std::size_t i = 0; i < din.numel(); ++i) {
+      din.data()[i] = grads_[0].data()[i] + dshortcut_.data()[i];
+    }
+  } else {
+    for (std::size_t i = 0; i < din.numel(); ++i) {
+      din.data()[i] = grads_[0].data()[i] + dsum_.data()[i];
+    }
+  }
+}
+
+std::vector<Param> ResidualBlock::params() {
+  std::vector<Param> all;
+  for (auto& layer : main_) {
+    for (auto& p : layer->params()) all.push_back(p);
+  }
+  if (projection_) {
+    for (auto& p : projection_->params()) all.push_back(p);
+  }
+  return all;
+}
+
+std::uint64_t ResidualBlock::forward_flops(const Shape& in) const {
+  std::uint64_t total = 0;
+  Shape s = in;
+  for (const auto& layer : main_) {
+    total += layer->forward_flops(s);
+    s = layer->output_shape(s);
+  }
+  if (projection_) total += projection_->forward_flops(in);
+  total += 2 * s.numel();  // add + ReLU
+  return total;
+}
+
+std::uint64_t ResidualBlock::backward_flops(const Shape& in) const {
+  std::uint64_t total = 0;
+  Shape s = in;
+  for (const auto& layer : main_) {
+    total += layer->backward_flops(s);
+    s = layer->output_shape(s);
+  }
+  if (projection_) total += projection_->backward_flops(in);
+  total += 2 * s.numel();
+  return total;
+}
+
+void ResidualBlock::set_training(bool training) {
+  for (auto& layer : main_) {
+    if (auto* bn = dynamic_cast<BatchNorm2d*>(layer.get())) {
+      bn->set_training(training);
+    }
+  }
+}
+
+Sequential build_resnet(const ResNetConfig& cfg) {
+  PF15_CHECK(!cfg.stage_channels.empty());
+  PF15_CHECK(cfg.blocks_per_stage >= 1);
+  Rng rng(cfg.seed);
+  Sequential net;
+
+  Conv2dConfig stem;
+  stem.in_channels = cfg.in_channels;
+  stem.out_channels = cfg.stage_channels.front();
+  stem.kernel = 3;
+  stem.stride = 1;
+  stem.pad = 1;
+  net.add(std::make_unique<Conv2d>("stem", stem, rng));
+  net.add(std::make_unique<ReLU>("stem.relu"));
+
+  std::size_t in_c = cfg.stage_channels.front();
+  for (std::size_t s = 0; s < cfg.stage_channels.size(); ++s) {
+    const std::size_t out_c = cfg.stage_channels[s];
+    for (std::size_t b = 0; b < cfg.blocks_per_stage; ++b) {
+      ResidualConfig rc;
+      rc.in_channels = in_c;
+      rc.out_channels = out_c;
+      rc.stride = (s > 0 && b == 0) ? 2 : 1;
+      rc.batchnorm = cfg.batchnorm;
+      const std::string name =
+          "res" + std::to_string(s + 1) + "_" + std::to_string(b + 1);
+      net.add(std::make_unique<ResidualBlock>(name, rc, rng));
+      in_c = out_c;
+    }
+  }
+
+  net.add(std::make_unique<GlobalAvgPool>("gap"));
+  net.add(std::make_unique<Dense>("fc", in_c, cfg.num_classes, rng));
+  return net;
+}
+
+}  // namespace pf15::nn

@@ -1,0 +1,79 @@
+// Residual block and ResNet builder — the §IX extension ("Our results
+// ... extend to other kinds of models such as ResNets"), kept in the same
+// Layer vocabulary so a ResNet drops into the hybrid trainer, the FLOP
+// accounting, and the Cori simulator unchanged.
+//
+// Block structure (pre-activation omitted; classic form):
+//   main:     conv3x3(stride) -> [BN] -> ReLU -> conv3x3(1) -> [BN]
+//   shortcut: identity, or conv1x1(stride) when the shape changes
+//   output:   ReLU(main + shortcut)
+// BatchNorm is *off* by default, matching the paper's design rule of
+// avoiding batch statistics in scale-out models (§I); the ablation bench
+// turns it on to measure the cost.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/batchnorm.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/network.hpp"
+
+namespace pf15::nn {
+
+struct ResidualConfig {
+  std::size_t in_channels = 0;
+  std::size_t out_channels = 0;
+  std::size_t stride = 1;  // applied by the first conv and the shortcut
+  bool batchnorm = false;
+  ConvAlgo algo = ConvAlgo::kIm2col;
+};
+
+class ResidualBlock final : public Layer {
+ public:
+  ResidualBlock(std::string name, const ResidualConfig& cfg, Rng& rng);
+
+  const std::string& name() const override { return name_; }
+  std::string kind() const override { return "res"; }
+  Shape output_shape(const Shape& in) const override;
+  void forward(const Tensor& in, Tensor& out) override;
+  void backward(const Tensor& in, const Tensor& dout, Tensor& din) override;
+  std::vector<Param> params() override;
+  std::uint64_t forward_flops(const Shape& in) const override;
+  std::uint64_t backward_flops(const Shape& in) const override;
+
+  /// Propagates training mode to any BatchNorm layers inside.
+  void set_training(bool training);
+
+  bool has_projection() const { return projection_ != nullptr; }
+
+ private:
+  std::string name_;
+  ResidualConfig cfg_;
+  std::vector<LayerPtr> main_;          // the residual branch
+  std::unique_ptr<Conv2d> projection_;  // null = identity shortcut
+
+  std::vector<Tensor> acts_;   // main branch activations
+  std::vector<Tensor> grads_;  // main branch gradients (backward scratch)
+  Tensor shortcut_out_;        // projection output (unused when identity)
+  Tensor sum_;                 // main + shortcut, pre-ReLU
+  Tensor dsum_;                // gradient at the addition
+  Tensor dshortcut_;           // shortcut-path input gradient
+};
+
+struct ResNetConfig {
+  std::size_t in_channels = 3;
+  std::size_t num_classes = 2;
+  /// Channels of each stage; stage i > 0 downsamples by stride 2.
+  std::vector<std::size_t> stage_channels = {16, 32, 64};
+  std::size_t blocks_per_stage = 2;
+  bool batchnorm = false;
+  std::uint64_t seed = 1;
+};
+
+/// Stem conv -> residual stages -> global average pool -> dense classifier,
+/// the same tail as the paper's HEP network (§III-A).
+Sequential build_resnet(const ResNetConfig& cfg);
+
+}  // namespace pf15::nn

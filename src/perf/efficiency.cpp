@@ -1,0 +1,72 @@
+#include "perf/efficiency.hpp"
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "nn/conv2d.hpp"
+
+namespace pf15::perf {
+
+std::vector<EfficiencyPoint> measure_conv_efficiency(
+    const std::vector<std::size_t>& batches, std::size_t image,
+    std::size_t channels, std::size_t filters, std::size_t repeats) {
+  std::vector<EfficiencyPoint> points;
+  Rng rng(7);
+  nn::Conv2dConfig cfg;
+  cfg.in_channels = channels;
+  cfg.out_channels = filters;
+  cfg.kernel = 3;
+  cfg.stride = 1;
+  cfg.pad = 1;
+  nn::Conv2d conv("eff_probe", cfg, rng);
+  for (std::size_t b : batches) {
+    Tensor in(Shape{b, channels, image, image});
+    in.fill_uniform(rng, -1.0f, 1.0f);
+    Tensor out;
+    conv.forward(in, out);  // warmup (allocates scratch)
+    double best = 1e100;
+    for (std::size_t r = 0; r < repeats; ++r) {
+      WallTimer timer;
+      conv.forward(in, out);
+      best = std::min(best, timer.seconds());
+    }
+    EfficiencyPoint p;
+    p.batch = static_cast<double>(b);
+    p.flops_rate =
+        static_cast<double>(conv.forward_flops(in.shape())) / best;
+    points.push_back(p);
+  }
+  return points;
+}
+
+simnet::EfficiencyCurve fit_efficiency_curve(
+    const std::vector<EfficiencyPoint>& points, double peak_flops) {
+  PF15_CHECK(points.size() >= 2);
+  PF15_CHECK(peak_flops > 0.0);
+  // y = 1/eff, x = 1/b; y = a + c*x with a = 1/eff_max, c = b_half/eff_max.
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  const double n = static_cast<double>(points.size());
+  for (const auto& p : points) {
+    PF15_CHECK(p.batch > 0.0 && p.flops_rate > 0.0);
+    const double eff = p.flops_rate / peak_flops;
+    const double x = 1.0 / p.batch;
+    const double y = 1.0 / eff;
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+  }
+  const double denom = n * sxx - sx * sx;
+  PF15_CHECK(denom != 0.0);
+  const double c = (n * sxy - sx * sy) / denom;
+  const double a = (sy - c * sx) / n;
+  simnet::EfficiencyCurve curve;
+  PF15_CHECK_MSG(a > 0.0, "degenerate efficiency fit");
+  curve.eff_max = 1.0 / a;
+  curve.eff_floor = 0.0;  // the linearized model carries no floor term
+  curve.b_half = std::max(0.0, c / a);
+  return curve;
+}
+
+}  // namespace pf15::perf

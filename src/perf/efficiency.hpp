@@ -1,0 +1,35 @@
+// Efficiency-vs-minibatch measurement and curve fitting (§II-A).
+//
+// DeepBench's observation — kernels run at 75-80% of peak for large
+// minibatches but 20-30% at minibatch 4-16 — drives the paper's strong
+// scaling behaviour. We measure our own kernels' efficiency as a function
+// of batch size and fit the saturating curve eff(b) = eff_max * b / (b +
+// b_half), which the Cori simulator consumes.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "simnet/cori_model.hpp"
+
+namespace pf15::perf {
+
+struct EfficiencyPoint {
+  double batch = 0.0;
+  double flops_rate = 0.0;  // measured FLOP/s
+};
+
+/// Measures conv-layer forward throughput at each batch size using the
+/// pf15 kernels (one warmup + `repeats` timed runs, best time kept).
+std::vector<EfficiencyPoint> measure_conv_efficiency(
+    const std::vector<std::size_t>& batches, std::size_t image = 32,
+    std::size_t channels = 64, std::size_t filters = 64,
+    std::size_t repeats = 3);
+
+/// Least-squares fit of the saturating curve to measured points, given the
+/// machine peak the rates are normalized by. Linearises as
+/// 1/eff = 1/eff_max + (b_half/eff_max) * (1/b).
+simnet::EfficiencyCurve fit_efficiency_curve(
+    const std::vector<EfficiencyPoint>& points, double peak_flops);
+
+}  // namespace pf15::perf

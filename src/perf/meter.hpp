@@ -1,0 +1,50 @@
+// FLOP-rate metering per the paper's methodology (§V): the peak rate comes
+// from the fastest iteration, the sustained rate from the best average
+// over a contiguous window of iterations; FLOPs are counted analytically
+// per layer (our SDE stand-in) and cross-checked against the instrumented
+// GEMM counter in tests.
+#pragma once
+
+#include <cstdint>
+
+#include "common/timer.hpp"
+
+namespace pf15::perf {
+
+class FlopMeter {
+ public:
+  /// `flops_per_iteration`: analytic forward+backward (+update) FLOPs of
+  /// one training iteration at the measured batch size.
+  explicit FlopMeter(std::uint64_t flops_per_iteration)
+      : flops_per_iteration_(flops_per_iteration) {}
+
+  void record_iteration(double seconds) { timeline_.record(seconds); }
+
+  std::size_t iterations() const { return timeline_.size(); }
+  std::uint64_t flops_per_iteration() const { return flops_per_iteration_; }
+
+  /// FLOP/s of the fastest iteration (paper's "peak").
+  double peak_rate() const {
+    return static_cast<double>(flops_per_iteration_) /
+           timeline_.min_time();
+  }
+
+  /// FLOP/s over the best contiguous window (paper's "sustained").
+  double sustained_rate(std::size_t window) const {
+    return static_cast<double>(flops_per_iteration_) /
+           timeline_.best_window_mean(window);
+  }
+
+  double mean_rate() const {
+    return static_cast<double>(flops_per_iteration_) /
+           timeline_.mean_time();
+  }
+
+  const IterationTimeline& timeline() const { return timeline_; }
+
+ private:
+  std::uint64_t flops_per_iteration_;
+  IterationTimeline timeline_;
+};
+
+}  // namespace pf15::perf

@@ -1,0 +1,71 @@
+#include "perf/report.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "common/errors.hpp"
+
+namespace pf15::perf {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  PF15_CHECK(!header_.empty());
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  PF15_CHECK_MSG(row.size() == header_.size(),
+                 "row width " << row.size() << " != header width "
+                              << header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::num(double v, int precision) {
+  std::ostringstream oss;
+  oss << std::fixed << std::setprecision(precision) << v;
+  return oss.str();
+}
+
+std::string Table::str() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    width[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  std::ostringstream oss;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      oss << std::left << std::setw(static_cast<int>(width[c]) + 2)
+          << row[c];
+    }
+    oss << '\n';
+  };
+  emit(header_);
+  std::string rule;
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    rule += std::string(width[c], '-') + "  ";
+  }
+  oss << rule << '\n';
+  for (const auto& row : rows_) emit(row);
+  return oss.str();
+}
+
+void Table::write_csv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw IoError("Table: cannot open " + path);
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) out << ',';
+      out << row[c];
+    }
+    out << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  if (!out) throw IoError("Table: write failed: " + path);
+}
+
+}  // namespace pf15::perf

@@ -1,0 +1,36 @@
+// Result reporting: aligned console tables (the bench binaries print the
+// same rows/series the paper's tables and figures carry) and CSV emission
+// for re-plotting.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace pf15::perf {
+
+/// Column-aligned text table with a header row.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Adds a row; must match the header width.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 3);
+
+  /// Renders with aligned columns.
+  std::string str() const;
+
+  /// Writes comma-separated values (header + rows) to `path`.
+  void write_csv(const std::string& path) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pf15::perf

@@ -1,0 +1,203 @@
+#include "ps/compression.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "common/errors.hpp"
+
+namespace pf15::ps {
+
+std::uint16_t float_to_half(float value) {
+  std::uint32_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  const std::uint32_t sign = (bits >> 16) & 0x8000u;
+  const std::int32_t exponent =
+      static_cast<std::int32_t>((bits >> 23) & 0xffu) - 127 + 15;
+  std::uint32_t mantissa = bits & 0x7fffffu;
+
+  if (exponent >= 31) {
+    // Overflow -> inf; NaN keeps a mantissa bit.
+    const bool is_nan = ((bits >> 23) & 0xffu) == 0xffu && mantissa != 0;
+    return static_cast<std::uint16_t>(sign | 0x7c00u |
+                                      (is_nan ? 0x200u : 0u));
+  }
+  if (exponent <= 0) {
+    if (exponent < -10) return static_cast<std::uint16_t>(sign);  // -> 0
+    // Subnormal: shift the implicit leading 1 into the mantissa.
+    mantissa |= 0x800000u;
+    const int shift = 14 - exponent;
+    std::uint32_t half_mantissa = mantissa >> shift;
+    // Round to nearest even on the dropped bits.
+    const std::uint32_t rest = mantissa & ((1u << shift) - 1);
+    const std::uint32_t halfway = 1u << (shift - 1);
+    if (rest > halfway || (rest == halfway && (half_mantissa & 1u))) {
+      ++half_mantissa;
+    }
+    return static_cast<std::uint16_t>(sign | half_mantissa);
+  }
+  // Normal: round mantissa from 23 to 10 bits, nearest even.
+  std::uint32_t half_mantissa = mantissa >> 13;
+  const std::uint32_t rest = mantissa & 0x1fffu;
+  if (rest > 0x1000u || (rest == 0x1000u && (half_mantissa & 1u))) {
+    ++half_mantissa;
+    if (half_mantissa == 0x400u) {  // mantissa overflow -> bump exponent
+      half_mantissa = 0;
+      if (exponent + 1 >= 31) {
+        return static_cast<std::uint16_t>(sign | 0x7c00u);
+      }
+      return static_cast<std::uint16_t>(
+          sign | (static_cast<std::uint32_t>(exponent + 1) << 10));
+    }
+  }
+  return static_cast<std::uint16_t>(
+      sign | (static_cast<std::uint32_t>(exponent) << 10) | half_mantissa);
+}
+
+float half_to_float(std::uint16_t half) {
+  const std::uint32_t sign = (static_cast<std::uint32_t>(half) & 0x8000u)
+                             << 16;
+  const std::uint32_t exponent = (half >> 10) & 0x1fu;
+  const std::uint32_t mantissa = half & 0x3ffu;
+  std::uint32_t bits;
+  if (exponent == 0) {
+    if (mantissa == 0) {
+      bits = sign;  // signed zero
+    } else {
+      // Subnormal half: normalize.
+      int e = -1;
+      std::uint32_t m = mantissa;
+      do {
+        ++e;
+        m <<= 1;
+      } while ((m & 0x400u) == 0);
+      bits = sign |
+             (static_cast<std::uint32_t>(127 - 15 - e) << 23) |
+             ((m & 0x3ffu) << 13);
+    }
+  } else if (exponent == 31) {
+    bits = sign | 0x7f800000u | (mantissa << 13);  // inf / nan
+  } else {
+    bits = sign | ((exponent - 15 + 127) << 23) | (mantissa << 13);
+  }
+  float value;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+std::size_t encoded_bytes(Codec codec, std::size_t n) {
+  switch (codec) {
+    case Codec::kFp32:
+      return n * 4;
+    case Codec::kFp16:
+      return n * 2;
+    case Codec::kInt8:
+    case Codec::kInt8Stochastic:
+      return 4 + n;  // scale header + one byte per element
+  }
+  PF15_CHECK(false);
+  return 0;
+}
+
+std::vector<std::uint8_t> encode(Codec codec, std::span<const float> data,
+                                 Rng& rng) {
+  std::vector<std::uint8_t> out(encoded_bytes(codec, data.size()));
+  switch (codec) {
+    case Codec::kFp32:
+      std::memcpy(out.data(), data.data(), data.size() * 4);
+      return out;
+    case Codec::kFp16: {
+      auto* dst = reinterpret_cast<std::uint16_t*>(out.data());
+      for (std::size_t i = 0; i < data.size(); ++i) {
+        dst[i] = float_to_half(data[i]);
+      }
+      return out;
+    }
+    case Codec::kInt8:
+    case Codec::kInt8Stochastic: {
+      float max_abs = 0.0f;
+      for (float v : data) max_abs = std::max(max_abs, std::abs(v));
+      const float scale = max_abs > 0.0f ? max_abs / 127.0f : 1.0f;
+      std::memcpy(out.data(), &scale, 4);
+      for (std::size_t i = 0; i < data.size(); ++i) {
+        const float x = data[i] / scale;
+        float q;
+        if (codec == Codec::kInt8Stochastic) {
+          // Round up with probability equal to the fractional part:
+          // E[q] = x, the unbiasedness property of [46].
+          const float lo = std::floor(x);
+          q = lo + (rng.uniform() < static_cast<double>(x - lo) ? 1.0f
+                                                                : 0.0f);
+        } else {
+          q = std::nearbyint(x);
+        }
+        q = std::clamp(q, -127.0f, 127.0f);
+        out[4 + i] = static_cast<std::uint8_t>(
+            static_cast<std::int8_t>(q));
+      }
+      return out;
+    }
+  }
+  PF15_CHECK(false);
+  return out;
+}
+
+std::vector<float> decode(Codec codec,
+                          std::span<const std::uint8_t> payload,
+                          std::size_t n) {
+  PF15_CHECK_MSG(payload.size() == encoded_bytes(codec, n),
+                 "decode: payload size mismatch");
+  std::vector<float> out(n);
+  switch (codec) {
+    case Codec::kFp32:
+      std::memcpy(out.data(), payload.data(), n * 4);
+      return out;
+    case Codec::kFp16: {
+      const auto* src =
+          reinterpret_cast<const std::uint16_t*>(payload.data());
+      for (std::size_t i = 0; i < n; ++i) out[i] = half_to_float(src[i]);
+      return out;
+    }
+    case Codec::kInt8:
+    case Codec::kInt8Stochastic: {
+      float scale;
+      std::memcpy(&scale, payload.data(), 4);
+      for (std::size_t i = 0; i < n; ++i) {
+        out[i] = static_cast<float>(
+                     static_cast<std::int8_t>(payload[4 + i])) *
+                 scale;
+      }
+      return out;
+    }
+  }
+  PF15_CHECK(false);
+  return out;
+}
+
+
+std::vector<float> pack_bytes_as_floats(std::span<const std::uint8_t> bytes) {
+  const std::size_t words = (bytes.size() + 3) / 4;
+  std::vector<float> out(1 + words, 0.0f);
+  out[0] = static_cast<float>(bytes.size());
+  if (!bytes.empty()) {
+    std::memcpy(out.data() + 1, bytes.data(), bytes.size());
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> unpack_floats_as_bytes(
+    std::span<const float> data) {
+  PF15_CHECK(!data.empty());
+  const auto n = static_cast<std::size_t>(data[0]);
+  PF15_CHECK_MSG(data.size() == 1 + (n + 3) / 4,
+                 "packed payload length mismatch: " << data.size()
+                                                    << " floats for " << n
+                                                    << " bytes");
+  std::vector<std::uint8_t> bytes(n);
+  if (n > 0) {
+    std::memcpy(bytes.data(), data.data() + 1, n);
+  }
+  return bytes;
+}
+
+}  // namespace pf15::ps

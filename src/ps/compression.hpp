@@ -1,0 +1,58 @@
+// Low-precision communication for parameter-server traffic.
+//
+// §VIII-A: "There has been a lot of discussion surrounding training with
+// quantized weights and activations [44], [45]. The statistical
+// implications of low precision training are still being explored [46],
+// [47], with various forms of stochastic rounding being of critical
+// importance in convergence." The paper flags "communicating high-order
+// bits of weight updates" as poorly understood for scientific data — this
+// module implements the mechanisms so the ablation bench can measure them:
+//
+//  * fp16 (IEEE binary16) pack/unpack — 2x traffic reduction;
+//  * int8 linear quantization over a per-tensor scale, with optional
+//    stochastic rounding — 4x reduction; stochastic rounding makes the
+//    quantizer unbiased (E[decode(encode(x))] = x), the property [46]
+//    identifies as critical for convergence.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace pf15::ps {
+
+enum class Codec {
+  kFp32,            // identity (baseline)
+  kFp16,            // half precision, round-to-nearest-even
+  kInt8,            // linear int8, round-to-nearest
+  kInt8Stochastic,  // linear int8, stochastic rounding (unbiased)
+};
+
+/// Bytes on the wire for `n` floats under a codec (excluding the small
+/// per-tensor header).
+std::size_t encoded_bytes(Codec codec, std::size_t n);
+
+/// Encodes `data` into a byte payload. For int8 codecs the first 4 bytes
+/// carry the per-tensor scale. `rng` is used only by kInt8Stochastic.
+std::vector<std::uint8_t> encode(Codec codec, std::span<const float> data,
+                                 Rng& rng);
+
+/// Inverse of encode; `n` is the original element count.
+std::vector<float> decode(Codec codec,
+                          std::span<const std::uint8_t> payload,
+                          std::size_t n);
+
+// Scalar fp16 helpers (exposed for tests).
+std::uint16_t float_to_half(float value);
+float half_to_float(std::uint16_t half);
+
+/// Bit-packs an encoded byte payload into a float vector so it can ride
+/// transports that carry floats (our comm mailboxes, i.e. an MPI float
+/// datatype). Layout: [byte_count, ceil(n/4) floats of raw bytes].
+std::vector<float> pack_bytes_as_floats(std::span<const std::uint8_t> bytes);
+/// Inverse of pack_bytes_as_floats.
+std::vector<std::uint8_t> unpack_floats_as_bytes(std::span<const float> data);
+
+}  // namespace pf15::ps

@@ -1,0 +1,197 @@
+#include "ps/param_server.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <thread>
+
+#include "common/errors.hpp"
+
+namespace pf15::ps {
+
+std::vector<ShardSpec> shard_specs(const std::vector<nn::Param>& params) {
+  std::vector<ShardSpec> specs;
+  specs.reserve(params.size());
+  for (const auto& p : params) {
+    specs.push_back({p.name, p.value->shape()});
+  }
+  return specs;
+}
+
+std::vector<int> shard_assignment(std::size_t num_shards,
+                                  const std::vector<int>& ps_world_ranks) {
+  PF15_CHECK(!ps_world_ranks.empty());
+  std::vector<int> assignment(num_shards);
+  for (std::size_t i = 0; i < num_shards; ++i) {
+    assignment[i] = ps_world_ranks[i % ps_world_ranks.size()];
+  }
+  return assignment;
+}
+
+PsServer::PsServer(comm::Communicator& world,
+                   const std::vector<ShardSpec>& all_shards,
+                   const std::vector<int>& assignment,
+                   const std::map<std::size_t, Tensor>& initial,
+                   const ShardSolverFactory& solver_factory, int num_groups,
+                   Codec codec)
+    : world_(world),
+      num_groups_(num_groups),
+      codec_(codec),
+      rng_(0x95eedULL, static_cast<std::uint64_t>(world.rank())) {
+  PF15_CHECK(all_shards.size() == assignment.size());
+  const int my_rank = world.rank();
+  std::size_t owned = 0;
+  for (std::size_t id = 0; id < all_shards.size(); ++id) {
+    if (assignment[id] == my_rank) ++owned;
+  }
+  // The per-shard solver holds pointers into the stored Shard's tensors,
+  // so the Shard must reach its final address before the solver is built:
+  // reserve up front (no reallocation moves) and wire the solver last.
+  shards_.reserve(owned);
+  for (std::size_t id = 0; id < all_shards.size(); ++id) {
+    if (assignment[id] != my_rank) continue;
+    Shard shard;
+    shard.id = id;
+    shard.value = Tensor(all_shards[id].shape);
+    shard.grad = Tensor(all_shards[id].shape);
+    const auto it = initial.find(id);
+    PF15_CHECK_MSG(it != initial.end(),
+                   "PS missing initial value for shard " << id);
+    shard.value.copy_from(it->second);
+    local_index_[id] = shards_.size();
+    shards_.push_back(std::move(shard));
+    Shard& placed = shards_.back();
+    std::vector<nn::Param> params{
+        {all_shards[id].name, &placed.value, &placed.grad}};
+    placed.solver = solver_factory(std::move(params));
+  }
+}
+
+void PsServer::serve() {
+  int stops = 0;
+  while (stops < num_groups_) {
+    // Poll all sources: group roots send from any world rank, so we scan
+    // for a ready message. Busy-wait with a yield keeps the logic simple
+    // and the servers are dedicated ranks (as on the real system).
+    bool handled = false;
+    for (int src = 0; src < world_.size(); ++src) {
+      if (world_.probe(src, kStopTag)) {
+        world_.recv(src, kStopTag);
+        ++stops;
+        handled = true;
+        continue;
+      }
+      for (auto& shard : shards_) {
+        const int tag = kUpdateTag + static_cast<int>(shard.id);
+        if (!world_.probe(src, tag)) continue;
+        const std::vector<float> msg = world_.recv(src, tag);
+        const auto version_seen = static_cast<std::uint64_t>(msg[1]);
+        PF15_CHECK(shard.version >= version_seen);
+        stats_.record(shard.version - version_seen);
+        if (codec_ == Codec::kFp32) {
+          PF15_CHECK_MSG(msg.size() == 2 + shard.value.numel(),
+                         "PS: bad update size for shard " << shard.id);
+          std::memcpy(shard.grad.data(), msg.data() + 2,
+                      shard.value.numel() * sizeof(float));
+        } else {
+          const auto bytes = unpack_floats_as_bytes(
+              std::span<const float>(msg).subspan(2));
+          const std::vector<float> grad =
+              decode(codec_, bytes, shard.value.numel());
+          std::memcpy(shard.grad.data(), grad.data(),
+                      grad.size() * sizeof(float));
+        }
+        shard.solver->apply({&shard.grad});
+        ++shard.version;
+        // Reply with the fresh model, through the same codec.
+        std::vector<float> reply{static_cast<float>(shard.version)};
+        if (codec_ == Codec::kFp32) {
+          reply.resize(1 + shard.value.numel());
+          std::memcpy(reply.data() + 1, shard.value.data(),
+                      shard.value.numel() * sizeof(float));
+        } else {
+          const auto bytes = encode(codec_, shard.value.span(), rng_);
+          const auto packed = pack_bytes_as_floats(bytes);
+          reply.insert(reply.end(), packed.begin(), packed.end());
+        }
+        world_.send(src, kModelTag + static_cast<int>(shard.id), reply);
+        handled = true;
+      }
+    }
+    if (!handled) std::this_thread::yield();
+  }
+}
+
+PsClient::PsClient(comm::Communicator& world,
+                   const std::vector<ShardSpec>& shards,
+                   const std::vector<int>& assignment, int group_id,
+                   Codec codec)
+    : world_(world),
+      shards_(shards),
+      assignment_(assignment),
+      group_id_(group_id),
+      codec_(codec),
+      rng_(0xc11e27ULL, static_cast<std::uint64_t>(world.rank())),
+      versions_seen_(shards.size(), 0) {
+  PF15_CHECK(shards_.size() == assignment_.size());
+}
+
+std::vector<std::uint64_t> PsClient::exchange(
+    const std::vector<const Tensor*>& grads,
+    const std::vector<Tensor*>& values) {
+  PF15_CHECK(grads.size() == shards_.size());
+  PF15_CHECK(values.size() == shards_.size());
+  // Phase 1: push every shard's update — all PSs work concurrently.
+  for (std::size_t id = 0; id < shards_.size(); ++id) {
+    PF15_CHECK(grads[id]->shape() == shards_[id].shape);
+    std::vector<float> msg{static_cast<float>(group_id_),
+                           static_cast<float>(versions_seen_[id])};
+    if (codec_ == Codec::kFp32) {
+      msg.resize(2 + grads[id]->numel());
+      std::memcpy(msg.data() + 2, grads[id]->data(),
+                  grads[id]->numel() * sizeof(float));
+    } else {
+      const auto bytes = encode(codec_, grads[id]->span(), rng_);
+      const auto packed = pack_bytes_as_floats(bytes);
+      msg.insert(msg.end(), packed.begin(), packed.end());
+    }
+    world_.send(assignment_[id], kUpdateTag + static_cast<int>(id), msg);
+  }
+  // Phase 2: collect the refreshed models.
+  std::vector<std::uint64_t> staleness(shards_.size(), 0);
+  for (std::size_t id = 0; id < shards_.size(); ++id) {
+    const std::vector<float> reply =
+        world_.recv(assignment_[id], kModelTag + static_cast<int>(id));
+    const auto version_now = static_cast<std::uint64_t>(reply[0]);
+    // The update we just pushed bumped the version by one; anything more
+    // came from other groups while we were computing.
+    PF15_CHECK(version_now >= versions_seen_[id] + 1);
+    staleness[id] = version_now - versions_seen_[id] - 1;
+    versions_seen_[id] = version_now;
+    if (codec_ == Codec::kFp32) {
+      PF15_CHECK(reply.size() == 1 + values[id]->numel());
+      std::memcpy(values[id]->data(), reply.data() + 1,
+                  values[id]->numel() * sizeof(float));
+    } else {
+      const auto bytes = unpack_floats_as_bytes(
+          std::span<const float>(reply).subspan(1));
+      const std::vector<float> model =
+          decode(codec_, bytes, values[id]->numel());
+      std::memcpy(values[id]->data(), model.data(),
+                  model.size() * sizeof(float));
+    }
+  }
+  return staleness;
+}
+
+void PsClient::stop() {
+  // One stop per PS rank (deduplicated), sent from this group.
+  std::vector<int> ps_ranks = assignment_;
+  std::sort(ps_ranks.begin(), ps_ranks.end());
+  ps_ranks.erase(std::unique(ps_ranks.begin(), ps_ranks.end()),
+                 ps_ranks.end());
+  for (int r : ps_ranks) {
+    world_.send(r, kStopTag, std::span<const float>{});
+  }
+}
+
+}  // namespace pf15::ps

@@ -1,0 +1,139 @@
+// Asynchronous parameter servers (§III-E, Fig 4).
+//
+// The paper dedicates one parameter server to each trainable layer so no
+// single PS saturates under updates from many compute groups. We reproduce
+// that: every parameter tensor ("shard") is assigned to a PS rank
+// (shard i -> server i mod num_ps); with num_ps equal to the number of
+// shards this is exactly the per-layer-PS design, and with num_ps = 1 it
+// degenerates to the monolithic PS we ablate against.
+//
+// Protocol (all payloads are float vectors on the world communicator):
+//   root -> PS   tag kUpdateTag+shard : [group, version_seen, grad...]
+//   PS -> root   tag kModelTag+shard  : [version_now, params...]
+//   root -> PS   tag kStopTag         : [] (once per group at shutdown)
+//
+// The PS applies updates in arrival order — the asynchronous semantics
+// whose staleness/statistical-efficiency trade-off the paper discusses in
+// §II-B2 — and tracks staleness = version_now - version_seen per update.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "comm/comm.hpp"
+#include "ps/compression.hpp"
+#include "solver/solver.hpp"
+#include "tensor/tensor.hpp"
+
+namespace pf15::ps {
+
+inline constexpr int kUpdateTag = 5 << 20;
+inline constexpr int kModelTag = 6 << 20;
+inline constexpr int kStopTag = 7 << 20;
+
+/// Description of one parameter tensor served by the PS tier.
+struct ShardSpec {
+  std::string name;
+  Shape shape;
+};
+
+/// Extracts shard specs from a parameter list (order defines shard ids).
+std::vector<ShardSpec> shard_specs(const std::vector<nn::Param>& params);
+
+/// shard id -> world rank of the serving PS.
+std::vector<int> shard_assignment(std::size_t num_shards,
+                                  const std::vector<int>& ps_world_ranks);
+
+/// Factory for the per-shard solver the PS applies updates with.
+using ShardSolverFactory =
+    std::function<std::unique_ptr<solver::Solver>(std::vector<nn::Param>)>;
+
+/// Staleness bookkeeping for one PS rank.
+struct StalenessStats {
+  std::uint64_t updates = 0;
+  std::uint64_t total_staleness = 0;
+  std::uint64_t max_staleness = 0;
+  std::map<std::uint64_t, std::uint64_t> histogram;
+
+  double mean() const {
+    return updates == 0 ? 0.0
+                        : static_cast<double>(total_staleness) /
+                              static_cast<double>(updates);
+  }
+  void record(std::uint64_t staleness) {
+    ++updates;
+    total_staleness += staleness;
+    max_staleness = std::max(max_staleness, staleness);
+    ++histogram[staleness];
+  }
+};
+
+/// Runs the server loop on a PS rank. `initial` supplies starting values
+/// for the shards this rank owns (indexed by global shard id).
+class PsServer {
+ public:
+  /// `codec` compresses the gradient upload and the model download
+  /// (§VIII-A low-precision communication); both sides must agree.
+  PsServer(comm::Communicator& world,
+           const std::vector<ShardSpec>& all_shards,
+           const std::vector<int>& assignment,
+           const std::map<std::size_t, Tensor>& initial,
+           const ShardSolverFactory& solver_factory, int num_groups,
+           Codec codec = Codec::kFp32);
+
+  /// Serves until every group has sent a stop message.
+  void serve();
+
+  const StalenessStats& stats() const { return stats_; }
+
+ private:
+  struct Shard {
+    std::size_t id;
+    Tensor value;
+    Tensor grad;  // scratch: incoming update
+    std::unique_ptr<solver::Solver> solver;
+    std::uint64_t version = 0;
+  };
+
+  comm::Communicator& world_;
+  std::vector<Shard> shards_;           // shards owned by this rank
+  std::map<std::size_t, std::size_t> local_index_;  // global id -> index
+  int num_groups_;
+  Codec codec_;
+  Rng rng_;  // stochastic-rounding stream (per-rank)
+  StalenessStats stats_;
+};
+
+/// Group-root view of the PS tier. Exchange semantics: push one gradient
+/// per shard, receive the post-update model for each, all shards in
+/// flight concurrently (the "overlaying" of §III-E(b)).
+class PsClient {
+ public:
+  PsClient(comm::Communicator& world, const std::vector<ShardSpec>& shards,
+           const std::vector<int>& assignment, int group_id,
+           Codec codec = Codec::kFp32);
+
+  /// Sends `grads` (one tensor per shard, shard order), waits for updated
+  /// models, and writes them into `values`. Returns per-shard staleness.
+  std::vector<std::uint64_t> exchange(
+      const std::vector<const Tensor*>& grads,
+      const std::vector<Tensor*>& values);
+
+  /// Tells every PS rank this group is done (send exactly once).
+  void stop();
+
+ private:
+  comm::Communicator& world_;
+  std::vector<ShardSpec> shards_;
+  std::vector<int> assignment_;
+  int group_id_;
+  Codec codec_;
+  Rng rng_;
+  std::vector<std::uint64_t> versions_seen_;
+};
+
+}  // namespace pf15::ps

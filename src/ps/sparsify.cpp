@@ -1,0 +1,113 @@
+#include "ps/sparsify.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/errors.hpp"
+
+namespace pf15::ps {
+
+SparseUpdate topk_select(std::span<const float> data, std::size_t k) {
+  SparseUpdate update;
+  const std::size_t n = data.size();
+  if (k >= n) {
+    update.indices.resize(n);
+    std::iota(update.indices.begin(), update.indices.end(), 0u);
+    update.values.assign(data.begin(), data.end());
+    return update;
+  }
+  if (k == 0) return update;
+
+  // Partial-select the k largest-|x| positions, then restore index order
+  // so the result is deterministic and cache-friendly to apply.
+  std::vector<std::uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  std::nth_element(order.begin(), order.begin() + static_cast<long>(k) - 1,
+                   order.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     const float fa = std::fabs(data[a]);
+                     const float fb = std::fabs(data[b]);
+                     return fa != fb ? fa > fb : a < b;
+                   });
+  order.resize(k);
+  std::sort(order.begin(), order.end());
+
+  update.indices = std::move(order);
+  update.values.reserve(k);
+  for (std::uint32_t idx : update.indices) {
+    update.values.push_back(data[idx]);
+  }
+  return update;
+}
+
+std::vector<float> topk_densify(const SparseUpdate& update, std::size_t n) {
+  std::vector<float> dense(n, 0.0f);
+  PF15_CHECK(update.indices.size() == update.values.size());
+  for (std::size_t i = 0; i < update.indices.size(); ++i) {
+    PF15_CHECK_MSG(update.indices[i] < n,
+                   "sparse index " << update.indices[i] << " out of " << n);
+    dense[update.indices[i]] = update.values[i];
+  }
+  return dense;
+}
+
+std::vector<float> topk_pack(const SparseUpdate& update) {
+  PF15_CHECK(update.indices.size() == update.values.size());
+  std::vector<float> payload;
+  payload.reserve(1 + 2 * update.size());
+  payload.push_back(static_cast<float>(update.size()));
+  for (std::uint32_t idx : update.indices) {
+    payload.push_back(static_cast<float>(idx));
+  }
+  payload.insert(payload.end(), update.values.begin(), update.values.end());
+  return payload;
+}
+
+SparseUpdate topk_unpack(std::span<const float> payload) {
+  PF15_CHECK(!payload.empty());
+  const auto count = static_cast<std::size_t>(payload[0]);
+  PF15_CHECK_MSG(payload.size() == 1 + 2 * count,
+                 "sparse payload size mismatch: " << payload.size()
+                                                  << " for count " << count);
+  SparseUpdate update;
+  update.indices.reserve(count);
+  update.values.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    update.indices.push_back(static_cast<std::uint32_t>(payload[1 + i]));
+  }
+  update.values.assign(payload.begin() + 1 + static_cast<long>(count),
+                       payload.end());
+  return update;
+}
+
+ErrorFeedback::ErrorFeedback(std::size_t dim) : residual_(dim, 0.0f) {
+  PF15_CHECK(dim > 0);
+}
+
+SparseUpdate ErrorFeedback::compress(std::span<const float> grad,
+                                     std::size_t k) {
+  PF15_CHECK_MSG(grad.size() == residual_.size(),
+                 "gradient length " << grad.size() << " != "
+                                    << residual_.size());
+  for (std::size_t i = 0; i < residual_.size(); ++i) {
+    residual_[i] += grad[i];
+  }
+  SparseUpdate sent = topk_select(residual_, k);
+  for (std::size_t i = 0; i < sent.indices.size(); ++i) {
+    residual_[sent.indices[i]] -= sent.values[i];
+  }
+  return sent;
+}
+
+double ErrorFeedback::residual_norm() const {
+  double s = 0.0;
+  for (float r : residual_) s += static_cast<double>(r) * r;
+  return std::sqrt(s);
+}
+
+void ErrorFeedback::reset() {
+  std::fill(residual_.begin(), residual_.end(), 0.0f);
+}
+
+}  // namespace pf15::ps

@@ -1,0 +1,227 @@
+#include "rnn/lstm.hpp"
+
+#include <cmath>
+
+#include "gemm/gemm.hpp"
+
+namespace pf15::rnn {
+
+namespace {
+
+inline float sigmoid(float x) { return 1.0f / (1.0f + std::exp(-x)); }
+
+}  // namespace
+
+Lstm::Lstm(std::string name, const LstmConfig& cfg, Rng& rng)
+    : name_(std::move(name)),
+      cfg_(cfg),
+      w_(Shape{4 * cfg.hidden_size, cfg.input_size}),
+      u_(Shape{4 * cfg.hidden_size, cfg.hidden_size}),
+      b_(Shape{4 * cfg.hidden_size}),
+      w_grad_(w_.shape()),
+      u_grad_(u_.shape()),
+      b_grad_(b_.shape()) {
+  PF15_CHECK(cfg.input_size > 0 && cfg.hidden_size > 0);
+  w_.fill_xavier(rng, cfg.input_size, cfg.hidden_size);
+  u_.fill_xavier(rng, cfg.hidden_size, cfg.hidden_size);
+  b_.zero();
+  // Forget-gate bias (slice [H, 2H)) starts positive so cell state is
+  // retained early in training ([52]).
+  for (std::size_t j = cfg.hidden_size; j < 2 * cfg.hidden_size; ++j) {
+    b_.data()[j] = cfg.forget_bias;
+  }
+}
+
+void Lstm::check_input(const Shape& in) const {
+  PF15_CHECK_MSG(in.rank() == 3 && in[2] == cfg_.input_size,
+                 name_ << ": expected (N, T, " << cfg_.input_size
+                       << "), got " << in);
+  PF15_CHECK(in[0] > 0 && in[1] > 0);
+}
+
+Shape Lstm::output_shape(const Shape& in) const {
+  check_input(in);
+  return Shape{in[0], in[1], cfg_.hidden_size};
+}
+
+void Lstm::forward(const Tensor& in, Tensor& out) {
+  check_input(in.shape());
+  const std::size_t n = in.shape()[0];
+  const std::size_t t_len = in.shape()[1];
+  const std::size_t d = cfg_.input_size;
+  const std::size_t h = cfg_.hidden_size;
+  const std::size_t g4 = 4 * h;
+
+  nn::ensure_shape(out, Shape{n, t_len, h});
+  nn::ensure_shape(hidden_, Shape{n, t_len, h});
+  cached_n_ = n;
+  cached_t_ = t_len;
+  gates_.resize(t_len);
+  cells_.resize(t_len);
+  tanhc_.resize(t_len);
+
+  for (std::size_t t = 0; t < t_len; ++t) {
+    nn::ensure_shape(gates_[t], Shape{n, g4});
+    nn::ensure_shape(cells_[t], Shape{n, h});
+    nn::ensure_shape(tanhc_[t], Shape{n, h});
+    Tensor& z = gates_[t];
+
+    // z = x_t W^T; x_t is the (N x D) slice at time t with row stride T*D.
+    gemm::sgemm_parallel(false, true, n, g4, d, 1.0f, in.data() + t * d,
+                         t_len * d, w_.data(), d, 0.0f, z.data(), g4);
+    if (t > 0) {
+      // z += h_{t-1} U^T; h_{t-1} has row stride T*H inside hidden_.
+      gemm::sgemm_parallel(false, true, n, g4, h, 1.0f,
+                           hidden_.data() + (t - 1) * h, t_len * h,
+                           u_.data(), h, 1.0f, z.data(), g4);
+    }
+
+    for (std::size_t b = 0; b < n; ++b) {
+      float* zb = z.data() + b * g4;
+      const float* c_prev =
+          t > 0 ? cells_[t - 1].data() + b * h : nullptr;
+      float* c = cells_[t].data() + b * h;
+      float* tc = tanhc_[t].data() + b * h;
+      float* hb = hidden_.data() + (b * t_len + t) * h;
+      for (std::size_t j = 0; j < h; ++j) {
+        const float i_g = sigmoid(zb[j] + b_.data()[j]);
+        const float f_g = sigmoid(zb[h + j] + b_.data()[h + j]);
+        const float g_g = std::tanh(zb[2 * h + j] + b_.data()[2 * h + j]);
+        const float o_g = sigmoid(zb[3 * h + j] + b_.data()[3 * h + j]);
+        zb[j] = i_g;
+        zb[h + j] = f_g;
+        zb[2 * h + j] = g_g;
+        zb[3 * h + j] = o_g;
+        c[j] = (c_prev ? f_g * c_prev[j] : 0.0f) + i_g * g_g;
+        tc[j] = std::tanh(c[j]);
+        hb[j] = o_g * tc[j];
+      }
+    }
+  }
+  out.copy_from(hidden_);
+}
+
+void Lstm::backward(const Tensor& in, const Tensor& dout, Tensor& din) {
+  check_input(in.shape());
+  const std::size_t n = in.shape()[0];
+  const std::size_t t_len = in.shape()[1];
+  const std::size_t d = cfg_.input_size;
+  const std::size_t h = cfg_.hidden_size;
+  const std::size_t g4 = 4 * h;
+  PF15_CHECK_MSG(cached_n_ == n && cached_t_ == t_len,
+                 name_ << ": backward without a matching forward");
+  PF15_CHECK((dout.shape() == Shape{n, t_len, h}));
+
+  nn::ensure_shape(din, in.shape());
+  nn::ensure_shape(dgates_, Shape{n, g4});
+  nn::ensure_shape(dh_, Shape{n, h});
+  nn::ensure_shape(dc_, Shape{n, h});
+  dh_.zero();
+  dc_.zero();
+
+  for (std::size_t t = t_len; t-- > 0;) {
+    const Tensor& z = gates_[t];
+    for (std::size_t b = 0; b < n; ++b) {
+      const float* zb = z.data() + b * g4;
+      const float* tc = tanhc_[t].data() + b * h;
+      const float* c_prev = t > 0 ? cells_[t - 1].data() + b * h : nullptr;
+      const float* dy = dout.data() + (b * t_len + t) * h;
+      float* dhb = dh_.data() + b * h;
+      float* dcb = dc_.data() + b * h;
+      float* dzb = dgates_.data() + b * g4;
+      for (std::size_t j = 0; j < h; ++j) {
+        const float i_g = zb[j], f_g = zb[h + j], g_g = zb[2 * h + j],
+                    o_g = zb[3 * h + j];
+        const float dh_total = dy[j] + dhb[j];
+        const float dc_total =
+            dcb[j] + dh_total * o_g * (1.0f - tc[j] * tc[j]);
+        const float di = dc_total * g_g;
+        const float df = c_prev ? dc_total * c_prev[j] : 0.0f;
+        const float dg = dc_total * i_g;
+        const float do_ = dh_total * tc[j];
+        dzb[j] = di * i_g * (1.0f - i_g);
+        dzb[h + j] = df * f_g * (1.0f - f_g);
+        dzb[2 * h + j] = dg * (1.0f - g_g * g_g);
+        dzb[3 * h + j] = do_ * o_g * (1.0f - o_g);
+        dcb[j] = dc_total * f_g;  // becomes dc_{t-1}
+      }
+    }
+
+    // Parameter gradients: dW += dz^T x_t, dU += dz^T h_{t-1}, db += Σ dz.
+    gemm::sgemm_parallel(true, false, g4, d, n, 1.0f, dgates_.data(), g4,
+                         in.data() + t * d, t_len * d, 1.0f, w_grad_.data(),
+                         d);
+    if (t > 0) {
+      gemm::sgemm_parallel(true, false, g4, h, n, 1.0f, dgates_.data(), g4,
+                           hidden_.data() + (t - 1) * h, t_len * h, 1.0f,
+                           u_grad_.data(), h);
+    }
+    for (std::size_t b = 0; b < n; ++b) {
+      const float* dzb = dgates_.data() + b * g4;
+      for (std::size_t j = 0; j < g4; ++j) b_grad_.data()[j] += dzb[j];
+    }
+
+    // Input and recurrent gradients: dx_t = dz W, dh_{t-1} = dz U.
+    gemm::sgemm_parallel(false, false, n, d, g4, 1.0f, dgates_.data(), g4,
+                         w_.data(), d, 0.0f, din.data() + t * d, t_len * d);
+    if (t > 0) {
+      gemm::sgemm_parallel(false, false, n, h, g4, 1.0f, dgates_.data(), g4,
+                           u_.data(), h, 0.0f, dh_.data(), h);
+    }
+  }
+}
+
+std::vector<Param> Lstm::params() {
+  return {{name_ + ".w", &w_, &w_grad_},
+          {name_ + ".u", &u_, &u_grad_},
+          {name_ + ".b", &b_, &b_grad_}};
+}
+
+std::uint64_t Lstm::forward_flops(const Shape& in) const {
+  check_input(in);
+  const std::uint64_t n = in[0], t = in[1];
+  const std::uint64_t d = cfg_.input_size, h = cfg_.hidden_size;
+  const std::uint64_t gemms =
+      t * (gemm::flops(n, 4 * h, d) + gemm::flops(n, 4 * h, h));
+  return gemms + t * n * h * 12;  // gate nonlinearities + cell update
+}
+
+std::uint64_t Lstm::backward_flops(const Shape& in) const {
+  check_input(in);
+  const std::uint64_t n = in[0], t = in[1];
+  const std::uint64_t d = cfg_.input_size, h = cfg_.hidden_size;
+  const std::uint64_t gemms =
+      2 * t * (gemm::flops(n, 4 * h, d) + gemm::flops(n, 4 * h, h));
+  return gemms + t * n * h * 20;
+}
+
+Shape LastStep::output_shape(const Shape& in) const {
+  PF15_CHECK_MSG(in.rank() == 3, name_ << ": expected (N, T, H), got " << in);
+  return Shape{in[0], in[2]};
+}
+
+void LastStep::forward(const Tensor& in, Tensor& out) {
+  const Shape& s = in.shape();
+  nn::ensure_shape(out, output_shape(s));
+  const std::size_t n = s[0], t_len = s[1], h = s[2];
+  for (std::size_t b = 0; b < n; ++b) {
+    const float* src = in.data() + (b * t_len + (t_len - 1)) * h;
+    float* dst = out.data() + b * h;
+    for (std::size_t j = 0; j < h; ++j) dst[j] = src[j];
+  }
+}
+
+void LastStep::backward(const Tensor& in, const Tensor& dout, Tensor& din) {
+  const Shape& s = in.shape();
+  PF15_CHECK(dout.shape() == output_shape(s));
+  nn::ensure_shape(din, s);
+  din.zero();
+  const std::size_t n = s[0], t_len = s[1], h = s[2];
+  for (std::size_t b = 0; b < n; ++b) {
+    const float* src = dout.data() + b * h;
+    float* dst = din.data() + (b * t_len + (t_len - 1)) * h;
+    for (std::size_t j = 0; j < h; ++j) dst[j] = src[j];
+  }
+}
+
+}  // namespace pf15::rnn

@@ -1,0 +1,98 @@
+// LSTM layer — the second model family §IX names as a target for the
+// hybrid architecture ("they extend to other kinds of models such as
+// ResNets [50] and LSTM [51], [52]").
+//
+// Standard LSTM with forget gate (Gers et al. [52]):
+//   gates  z_t = W x_t + U h_{t-1} + b,   z in R^{4H} = [i | f | g | o]
+//   i, f, o = sigmoid;  g = tanh
+//   c_t = f ⊙ c_{t-1} + i ⊙ g
+//   h_t = o ⊙ tanh(c_t)
+// The layer consumes a full sequence (N, T, D) and emits every hidden
+// state (N, T, H); backward is full BPTT. Compute is dominated by the two
+// tall-skinny GEMMs per timestep, which is why the small-minibatch
+// efficiency cliff of §II-A hits recurrent models even harder than CNNs —
+// the per-GEMM N equals the minibatch and cannot be amortised over
+// spatial positions.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace pf15::rnn {
+
+using nn::Param;
+using pf15::Tensor;
+
+struct LstmConfig {
+  std::size_t input_size = 0;   // D
+  std::size_t hidden_size = 0;  // H
+  /// Initial forget-gate bias; > 0 keeps early gradients flowing ([52]).
+  float forget_bias = 1.0f;
+};
+
+class Lstm final : public nn::Layer {
+ public:
+  Lstm(std::string name, const LstmConfig& cfg, Rng& rng);
+
+  const std::string& name() const override { return name_; }
+  std::string kind() const override { return "lstm"; }
+  /// (N, T, D) -> (N, T, H).
+  Shape output_shape(const Shape& in) const override;
+  void forward(const Tensor& in, Tensor& out) override;
+  void backward(const Tensor& in, const Tensor& dout, Tensor& din) override;
+  std::vector<Param> params() override;
+  std::uint64_t forward_flops(const Shape& in) const override;
+  std::uint64_t backward_flops(const Shape& in) const override;
+
+  const LstmConfig& config() const { return cfg_; }
+
+ private:
+  void check_input(const Shape& in) const;
+
+  std::string name_;
+  LstmConfig cfg_;
+
+  Tensor w_;  // (4H, D): input weights, gate order [i f g o]
+  Tensor u_;  // (4H, H): recurrent weights
+  Tensor b_;  // (4H)
+  Tensor w_grad_;
+  Tensor u_grad_;
+  Tensor b_grad_;
+
+  // Forward caches (per run): activations needed by BPTT.
+  std::size_t cached_n_ = 0, cached_t_ = 0;
+  std::vector<Tensor> gates_;  // T tensors (N, 4H), post-nonlinearity
+  std::vector<Tensor> cells_;  // T tensors (N, H), c_t
+  std::vector<Tensor> tanhc_;  // T tensors (N, H), tanh(c_t)
+  Tensor hidden_;              // (N, T, H) copy of the outputs
+
+  // Backward scratch.
+  Tensor dgates_;  // (N, 4H) for the current timestep
+  Tensor dh_;      // (N, H)
+  Tensor dc_;      // (N, H)
+};
+
+/// Final-hidden-state extractor: (N, T, H) -> (N, H). Pairs an Lstm with a
+/// Dense head for sequence classification.
+class LastStep final : public nn::Layer {
+ public:
+  explicit LastStep(std::string name) : name_(std::move(name)) {}
+  const std::string& name() const override { return name_; }
+  std::string kind() const override { return "laststep"; }
+  Shape output_shape(const Shape& in) const override;
+  void forward(const Tensor& in, Tensor& out) override;
+  void backward(const Tensor& in, const Tensor& dout, Tensor& din) override;
+  std::uint64_t forward_flops(const Shape& /*in*/) const override {
+    return 0;
+  }
+  std::uint64_t backward_flops(const Shape& in) const override {
+    return in.numel();
+  }
+
+ private:
+  std::string name_;
+};
+
+}  // namespace pf15::rnn

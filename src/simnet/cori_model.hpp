@@ -1,0 +1,178 @@
+// Timing model of the Cori Phase II machine (§IV) and of the deep-learning
+// workload running on it. Constants are calibrated against the paper's own
+// measurements where available:
+//   * KNL single-precision peak: 68 cores x 1.4 GHz x 64 FLOP/cycle
+//     = 6.09 TFLOP/s per node.
+//   * Measured HEP throughput of 1.90 TFLOP/s at minibatch 8 = 31% of
+//     peak, consistent with the DeepBench observation (§II-A) that small
+//     minibatches run at 20-30% efficiency while large ones reach 75-80%.
+//     We encode that as a saturating efficiency curve eff(b).
+//   * Run-to-run variability "as high as 30%" at scale (§VIII-A) becomes a
+//     lognormal compute jitter plus a heavy-tailed straggler term.
+//   * Aries interconnect: microsecond-class latency, multi-GB/s injection
+//     bandwidth per node.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/errors.hpp"
+#include "common/rng.hpp"
+
+namespace pf15::simnet {
+
+/// Saturating efficiency-vs-minibatch curve, DeepBench-shaped, with a
+/// floor:
+///   eff(b) = eff_floor + (eff_max - eff_floor) * b / (b + b_half).
+/// Calibration pins three paper-derived points: eff(8) = 0.31 (Fig 5a:
+/// 1.90 TFLOP/s of the 6.09 TFLOP/s node peak at minibatch 8), the
+/// DeepBench plateau eff_max ~= 0.8 (§II-A, 75-80% for large batches),
+/// and eff(1) ~= 0.19 implied by the §VI-B3 full-system HEP run (11.73
+/// PFLOP/s over 9594 nodes at ~1 image per node per update). The floor is
+/// what lets one curve satisfy all three.
+struct EfficiencyCurve {
+  double eff_max = 0.80;
+  double eff_floor = 0.17;
+  double b_half = 28.0;
+
+  double at(double batch) const {
+    PF15_CHECK(batch > 0.0);
+    return eff_floor + (eff_max - eff_floor) * batch / (batch + b_half);
+  }
+};
+
+struct NodeModel {
+  double peak_flops = 6.09e12;  // KNL single-precision peak (§IV)
+  EfficiencyCurve efficiency;
+  /// Activation memory bounds the on-node micro-batch: a local batch B is
+  /// processed in chunks of at most `micro_batch` samples, so kernel
+  /// efficiency is eff(min(B, micro_batch)). This is why strong scaling
+  /// only loses kernel efficiency once the per-node batch drops *below*
+  /// the micro-batch (§VI-B1: "single node performance drop from reduced
+  /// minibatch sizes at scale").
+  double micro_batch = 8.0;
+  /// Lognormal sigma of per-iteration compute jitter (OS noise etc.).
+  double jitter_sigma = 0.05;
+  /// Per-node, per-iteration probability of a straggler event ...
+  double straggler_prob = 0.008;
+  /// ... which multiplies compute time by U[min,max] *and* adds an
+  /// absolute service delay (exponential with the mean below): OS noise,
+  /// page-cache misses and network service interruptions do not shrink
+  /// when the per-node work does. The expected *maximum* delay across a
+  /// synchronous group grows with the group size, which is what makes
+  /// sync strong scaling saturate (§II-B1b, §VIII-A: variability "as high
+  /// as 30%" and worse with scale) even after kernels stop losing
+  /// efficiency.
+  double straggler_min = 1.1;
+  double straggler_max = 1.3;
+  double straggler_delay_mean = 0.005;  // seconds
+
+  /// Compute seconds for `flops` of work at per-node local batch `batch`.
+  double compute_seconds(double flops, double batch, Rng& rng) const {
+    const double eff_batch = std::min(batch, micro_batch);
+    const double base = flops / (peak_flops * efficiency.at(eff_batch));
+    double t = base * rng.lognormal(0.0, jitter_sigma);
+    if (rng.bernoulli(straggler_prob)) {
+      t *= straggler_min + rng.uniform() * (straggler_max - straggler_min);
+      t += rng.exponential(1.0 / straggler_delay_mean);
+    }
+    return t;
+  }
+};
+
+struct NetworkModel {
+  double latency = 1.5e-6;        // per-hop software+wire latency [s]
+  double bandwidth = 8.0e9;       // per-node injection bandwidth [B/s]
+  double comm_jitter_sigma = 0.10;
+  /// Software cost per collective round per reduction (MLSL endpoint
+  /// scheduling, progress-thread wakeups). The paper's layers reduce
+  /// *separately* (~590 KB each for HEP, §VI-B2), so a network of L
+  /// trainable layers pays ~2·log2(n)·L of these per iteration — the
+  /// term that makes synchronous strong scaling saturate once per-node
+  /// compute shrinks below it.
+  double software_overhead = 100e-6;
+
+  double xfer_seconds(std::size_t bytes, Rng& rng) const {
+    return (latency + static_cast<double>(bytes) / bandwidth) *
+           rng.lognormal(0.0, comm_jitter_sigma);
+  }
+
+  /// All-reduce over `n` nodes of `bytes` split into `reductions`
+  /// per-layer collectives: recursive-halving latency+software rounds per
+  /// reduction plus one ring bandwidth term for the full volume (what a
+  /// tuned library achieves).
+  double allreduce_seconds(int n, std::size_t bytes, Rng& rng,
+                           std::size_t reductions = 1) const {
+    if (n <= 1) return 0.0;
+    PF15_CHECK(reductions >= 1);
+    const double log2n = std::log2(static_cast<double>(n));
+    const double lat = 2.0 * log2n * (latency + software_overhead) *
+                       static_cast<double>(reductions);
+    const double bw = 2.0 * static_cast<double>(bytes) / bandwidth *
+                      (static_cast<double>(n - 1) / static_cast<double>(n));
+    return (lat + bw) * rng.lognormal(0.0, comm_jitter_sigma);
+  }
+
+  /// Broadcast of `bytes` to `n` nodes (binomial tree, pipelined).
+  double broadcast_seconds(int n, std::size_t bytes, Rng& rng) const {
+    if (n <= 1) return 0.0;
+    const double log2n = std::log2(static_cast<double>(n));
+    return (log2n * latency + static_cast<double>(bytes) / bandwidth) *
+           rng.lognormal(0.0, comm_jitter_sigma);
+  }
+};
+
+struct PsModel {
+  /// PS-side service: fixed handling cost plus per-byte apply+copy cost.
+  double service_base = 20e-6;
+  double service_per_byte = 1.0 / 6.0e9;  // memory-bandwidth bound update
+  /// Heavy-tail stall on a shard exchange (endpoint contention, proxy
+  /// scheduling): §VI-B2 blames the "two additional communication steps
+  /// (to and from the PS)" for hybrid's weak-scaling disadvantage on the
+  /// jitter-sensitive HEP network — these events are that mechanism.
+  double stall_prob = 0.08;
+  double stall_mean = 0.025;  // seconds, exponential
+
+  double stall_seconds(Rng& rng) const {
+    return rng.bernoulli(stall_prob)
+               ? rng.exponential(1.0 / stall_mean)
+               : 0.0;
+  }
+};
+
+/// What one training iteration of the target network costs — extracted
+/// from the real pf15::nn models (see workload_from_* helpers in
+/// scaling_sim.hpp).
+struct WorkloadProfile {
+  /// Bytes of each trainable parameter tensor (per-layer PS traffic).
+  std::vector<std::size_t> shard_bytes;
+  /// Forward+backward FLOPs for ONE sample.
+  std::uint64_t flops_per_sample = 0;
+  /// Seconds of solver/update work per iteration per node (the §VI-A
+  /// "solver update" overhead: ~12.5% for HEP, <2% for climate).
+  double update_seconds = 0.0;
+  /// Per-sample I/O seconds on a worker (HDF5-style synchronous read).
+  double io_seconds_per_sample = 0.0;
+
+  std::size_t model_bytes() const {
+    std::size_t total = 0;
+    for (auto b : shard_bytes) total += b;
+    return total;
+  }
+};
+
+struct CoriConfig {
+  NodeModel node;
+  NetworkModel network;
+  PsModel ps;
+  /// Seconds to write one model snapshot (checkpoint).
+  double checkpoint_seconds = 2.0;
+  /// Checkpoint every k iterations (0 = never). The climate sustained
+  /// number in §VI-B3 includes a snapshot every 10 iterations.
+  std::size_t checkpoint_every = 0;
+  std::uint64_t seed = 42;
+};
+
+}  // namespace pf15::simnet

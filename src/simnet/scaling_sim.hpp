@@ -1,0 +1,77 @@
+// Discrete-event simulation of synchronous and hybrid distributed training
+// at Cori scale. This is the substrate behind Figures 6 and 7 and the
+// overall-PFLOP/s numbers of §VI-B3: the mechanisms the paper identifies —
+// straggler max() effects in synchronous groups, per-node minibatch
+// efficiency loss under strong scaling, per-layer PS queueing, checkpoint
+// overhead, node failure — are all represented explicitly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "simnet/cori_model.hpp"
+
+namespace pf15::simnet {
+
+struct ScalingConfig {
+  int nodes = 64;           // worker nodes (PS nodes are extra)
+  int groups = 1;           // 1 = fully synchronous
+  /// Per-update batch. Strong scaling: each synchronous group processes
+  /// `batch_per_group` images per update, split across its members.
+  /// Weak scaling: set batch_per_node instead and leave this 0.
+  std::size_t batch_per_group = 0;
+  std::size_t batch_per_node = 0;  // used when batch_per_group == 0
+  std::size_t iterations = 60;     // per group
+  int ps_per_layer = 1;  // >=1: PS count = shards/ps_per_layer rounding up
+  bool single_ps = false;  // ablation: one monolithic PS
+  /// Simulated node failure: this node dies at the given time (<0: none).
+  int fail_node = -1;
+  double fail_time = -1.0;
+};
+
+struct SimGroupStats {
+  std::size_t iterations_completed = 0;
+  bool halted = false;  // stopped by a node failure
+};
+
+struct SimResult {
+  double duration = 0.0;             // simulated seconds until finish
+  std::vector<double> iteration_times;  // every group iteration duration
+  std::vector<SimGroupStats> groups;
+  std::uint64_t images_processed = 0;
+  std::uint64_t events = 0;
+
+  double throughput() const {  // images per simulated second
+    return duration > 0.0
+               ? static_cast<double>(images_processed) / duration
+               : 0.0;
+  }
+  /// Sustained FLOP rate given per-sample work.
+  double flops_rate(std::uint64_t flops_per_sample) const {
+    return throughput() * static_cast<double>(flops_per_sample);
+  }
+  double min_iteration_time() const;
+  double mean_iteration_time() const;
+  /// Best contiguous-window mean (the §V "sustained" basis).
+  double best_window_mean(std::size_t window) const;
+};
+
+/// Runs one simulated training job.
+SimResult simulate_training(const CoriConfig& machine,
+                            const WorkloadProfile& workload,
+                            const ScalingConfig& scaling);
+
+/// Speedup of configuration `scaling` over the single-node, single-group
+/// baseline with the same per-update workload accounting as the paper:
+/// images/second relative to one node.
+double speedup_vs_single_node(const CoriConfig& machine,
+                              const WorkloadProfile& workload,
+                              const ScalingConfig& scaling);
+
+/// Workload profiles for the two paper networks, derived from the real
+/// pf15::nn models' analytic FLOP counts and parameter sizes. `scale`
+/// optionally shrinks the architecture (tests); 1.0 = paper-size.
+WorkloadProfile hep_workload();
+WorkloadProfile climate_workload();
+
+}  // namespace pf15::simnet

@@ -1,0 +1,179 @@
+#include "simnet/topology.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace pf15::simnet {
+
+Dragonfly::Dragonfly(const DragonflyConfig& cfg) : cfg_(cfg) {
+  PF15_CHECK(cfg.electrical_groups >= 1);
+  PF15_CHECK(cfg.routers_per_group >= 1);
+  PF15_CHECK(cfg.nodes_per_router >= 1);
+}
+
+int Dragonfly::group_of(int node) const {
+  PF15_CHECK(node >= 0 && node < cfg_.nodes());
+  return node / (cfg_.routers_per_group * cfg_.nodes_per_router);
+}
+
+int Dragonfly::router_of(int node) const {
+  PF15_CHECK(node >= 0 && node < cfg_.nodes());
+  return node / cfg_.nodes_per_router;
+}
+
+Dragonfly::Route Dragonfly::route(int src, int dst) const {
+  Route r;
+  if (src == dst) return r;
+  const int src_router = router_of(src);
+  const int dst_router = router_of(dst);
+  if (src_router == dst_router) {
+    r.routers = 1;  // through the shared router
+    return r;
+  }
+  const int src_group = group_of(src);
+  const int dst_group = group_of(dst);
+  if (src_group == dst_group) {
+    // Routers within an electrical group are all-to-all: one local link.
+    r.routers = 2;
+    r.local_links = 1;
+    return r;
+  }
+  // Minimal dragonfly route: source router -> gateway (local), gateway ->
+  // remote gateway (global), remote gateway -> destination router (local).
+  r.routers = 4;
+  r.local_links = 2;
+  r.global_links = 1;
+  return r;
+}
+
+double Dragonfly::latency(int src, int dst, const HopCosts& costs) const {
+  const Route r = route(src, dst);
+  return r.routers * costs.router + r.local_links * costs.local +
+         r.global_links * costs.global;
+}
+
+Placement place_job(const Dragonfly& machine, int groups,
+                    int workers_per_group, int ps_nodes,
+                    PlacementPolicy policy, std::uint64_t seed) {
+  PF15_CHECK(groups >= 1 && workers_per_group >= 1 && ps_nodes >= 0);
+  const int total = groups * workers_per_group + ps_nodes;
+  PF15_CHECK_MSG(total <= machine.config().nodes(),
+                 "job of " << total << " ranks exceeds machine of "
+                           << machine.config().nodes() << " nodes");
+
+  Placement p;
+  p.workers = groups * workers_per_group;
+  p.groups = groups;
+  p.ps_nodes = ps_nodes;
+  p.node_of_rank.resize(static_cast<std::size_t>(total));
+
+  switch (policy) {
+    case PlacementPolicy::kLinear: {
+      std::iota(p.node_of_rank.begin(), p.node_of_rank.end(), 0);
+      return p;
+    }
+    case PlacementPolicy::kRandom: {
+      std::vector<int> nodes(static_cast<std::size_t>(
+          machine.config().nodes()));
+      std::iota(nodes.begin(), nodes.end(), 0);
+      Rng rng(seed);
+      // Fisher-Yates over the prefix we need.
+      for (int i = 0; i < total; ++i) {
+        const auto j = i + static_cast<int>(rng.uniform_int(
+                               static_cast<std::uint64_t>(
+                                   machine.config().nodes() - i)));
+        std::swap(nodes[static_cast<std::size_t>(i)],
+                  nodes[static_cast<std::size_t>(j)]);
+        p.node_of_rank[static_cast<std::size_t>(i)] =
+            nodes[static_cast<std::size_t>(i)];
+      }
+      return p;
+    }
+    case PlacementPolicy::kIdeal: {
+      // Pack each compute group into electrical groups, starting each
+      // compute group at a fresh electrical group when it fits entirely
+      // inside one (Fig 3); PS nodes fill in after the workers.
+      const int eg_capacity = machine.config().routers_per_group *
+                              machine.config().nodes_per_router;
+      int next_node = 0;
+      int rank = 0;
+      for (int g = 0; g < groups; ++g) {
+        if (workers_per_group <= eg_capacity) {
+          const int used_in_eg = next_node % eg_capacity;
+          if (used_in_eg + workers_per_group > eg_capacity) {
+            next_node += eg_capacity - used_in_eg;  // advance to a fresh EG
+          }
+        }
+        for (int w = 0; w < workers_per_group; ++w) {
+          p.node_of_rank[static_cast<std::size_t>(rank++)] = next_node++;
+        }
+      }
+      for (int s = 0; s < ps_nodes; ++s) {
+        p.node_of_rank[static_cast<std::size_t>(rank++)] = next_node++;
+      }
+      PF15_CHECK(next_node <= machine.config().nodes());
+      return p;
+    }
+  }
+  PF15_CHECK(false);
+  return p;
+}
+
+double mean_group_latency(const Dragonfly& machine, const Placement& p,
+                          int group, int workers_per_group,
+                          const HopCosts& costs) {
+  PF15_CHECK(group >= 0 && group < p.groups);
+  const int base = group * workers_per_group;
+  if (workers_per_group <= 1) return 0.0;
+  double total = 0.0;
+  int pairs = 0;
+  for (int a = 0; a < workers_per_group; ++a) {
+    for (int b = a + 1; b < workers_per_group; ++b) {
+      total += machine.latency(
+          p.node_of_rank[static_cast<std::size_t>(base + a)],
+          p.node_of_rank[static_cast<std::size_t>(base + b)], costs);
+      ++pairs;
+    }
+  }
+  return total / pairs;
+}
+
+double mean_root_ps_latency(const Dragonfly& machine, const Placement& p,
+                            int workers_per_group, const HopCosts& costs) {
+  if (p.ps_nodes == 0) return 0.0;
+  double total = 0.0;
+  int pairs = 0;
+  for (int g = 0; g < p.groups; ++g) {
+    const int root_node =
+        p.node_of_rank[static_cast<std::size_t>(g * workers_per_group)];
+    for (int s = 0; s < p.ps_nodes; ++s) {
+      const int ps_node =
+          p.node_of_rank[static_cast<std::size_t>(p.workers + s)];
+      total += machine.latency(root_node, ps_node, costs);
+      ++pairs;
+    }
+  }
+  return total / pairs;
+}
+
+double containment_fraction(const Dragonfly& machine, const Placement& p,
+                            int workers_per_group) {
+  int contained = 0;
+  for (int g = 0; g < p.groups; ++g) {
+    const int base = g * workers_per_group;
+    const int eg = machine.group_of(
+        p.node_of_rank[static_cast<std::size_t>(base)]);
+    bool all_same = true;
+    for (int w = 1; w < workers_per_group; ++w) {
+      if (machine.group_of(p.node_of_rank[static_cast<std::size_t>(
+              base + w)]) != eg) {
+        all_same = false;
+        break;
+      }
+    }
+    if (all_same) ++contained;
+  }
+  return static_cast<double>(contained) / p.groups;
+}
+
+}  // namespace pf15::simnet

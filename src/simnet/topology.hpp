@@ -1,0 +1,108 @@
+// Dragonfly topology and job placement (§IV, Fig 3).
+//
+// Cori's Aries interconnect is a dragonfly: nodes attach to routers,
+// routers form all-to-all-connected "electrical groups", and groups are
+// joined by optical links. Minimal routing crosses at most one optical
+// hop (local -> global -> local), so the hop count between two nodes is a
+// small function of their placement. Figure 3 shows the paper's *ideal*
+// placement — each compute group contained in one electrical group, so
+// all-reduce traffic stays on cheap local links and only the root <-> PS
+// exchange crosses the optical fabric. The scheduler rarely grants that;
+// the placement ablation quantifies what random placement costs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/errors.hpp"
+#include "common/rng.hpp"
+
+namespace pf15::simnet {
+
+struct DragonflyConfig {
+  int electrical_groups = 24;   // Cori-scale: ~24 Aries groups
+  int routers_per_group = 96;   // 2-cabinet group, 96 Aries routers
+  int nodes_per_router = 4;     // 4 KNL nodes per Aries router
+
+  int nodes() const {
+    return electrical_groups * routers_per_group * nodes_per_router;
+  }
+};
+
+/// Hop-level cost weights of one traversal, in seconds. Local (intra-
+/// group) links are short electrical; global links are optical with
+/// higher serialization latency.
+struct HopCosts {
+  double router = 0.3e-6;  // per-router pipeline latency
+  double local = 0.5e-6;   // electrical group-internal link
+  double global = 1.2e-6;  // optical inter-group link
+};
+
+class Dragonfly {
+ public:
+  explicit Dragonfly(const DragonflyConfig& cfg);
+
+  const DragonflyConfig& config() const { return cfg_; }
+
+  int group_of(int node) const;
+  int router_of(int node) const;
+
+  /// Hops of a minimally-routed packet: 0 for same node, 1 router hop for
+  /// same router, local hops within a group, local-global-local across
+  /// groups.
+  struct Route {
+    int routers = 0;
+    int local_links = 0;
+    int global_links = 0;
+  };
+  Route route(int src, int dst) const;
+
+  /// Wire latency of one traversal under `costs`.
+  double latency(int src, int dst, const HopCosts& costs) const;
+
+ private:
+  DragonflyConfig cfg_;
+};
+
+enum class PlacementPolicy {
+  /// Fig 3: compute groups packed into electrical groups, PS nodes in the
+  /// fewest extra groups.
+  kIdeal,
+  /// Consecutive node ids — what a batch scheduler gives an undemanding
+  /// job; compute groups straddle electrical-group boundaries.
+  kLinear,
+  /// Uniform random — a fragmented machine.
+  kRandom,
+};
+
+/// Maps job ranks (0..total_ranks) to machine node ids. Workers come
+/// first (grouped: `groups` compute groups of `workers_per_group`), then
+/// `ps_nodes` parameter servers.
+struct Placement {
+  std::vector<int> node_of_rank;
+  int workers = 0;
+  int groups = 1;
+  int ps_nodes = 0;
+};
+
+Placement place_job(const Dragonfly& machine, int groups,
+                    int workers_per_group, int ps_nodes,
+                    PlacementPolicy policy, std::uint64_t seed = 1);
+
+/// Mean pairwise latency among a compute group's members — the per-step
+/// latency term an all-reduce over those nodes pays per round.
+double mean_group_latency(const Dragonfly& machine, const Placement& p,
+                          int group, int workers_per_group,
+                          const HopCosts& costs);
+
+/// Mean latency from each group root to the PS nodes (the Fig 4 exchange
+/// path).
+double mean_root_ps_latency(const Dragonfly& machine, const Placement& p,
+                            int workers_per_group, const HopCosts& costs);
+
+/// Fraction of a placement's compute groups fully contained in one
+/// electrical group (1.0 for kIdeal when capacity allows).
+double containment_fraction(const Dragonfly& machine, const Placement& p,
+                            int workers_per_group);
+
+}  // namespace pf15::simnet

@@ -1,0 +1,161 @@
+#include "solver/solver.hpp"
+
+#include <cmath>
+#include <istream>
+#include <ostream>
+
+#include "common/errors.hpp"
+
+namespace pf15::solver {
+
+void Solver::step() {
+  std::vector<const Tensor*> grads;
+  grads.reserve(params_.size());
+  for (const auto& p : params_) grads.push_back(p.grad);
+  apply(grads);
+  for (auto& p : params_) p.grad->zero();
+}
+
+void Solver::clip(const std::vector<const Tensor*>& grads,
+                  std::vector<float>& scale_out) const {
+  scale_out.assign(grads.size(), 1.0f);
+  if (clip_norm_ <= 0.0) return;
+  double sq = 0.0;
+  for (const Tensor* g : grads) sq += g->sumsq();
+  const double norm = std::sqrt(sq);
+  if (norm > clip_norm_) {
+    const float s = static_cast<float>(clip_norm_ / norm);
+    for (auto& v : scale_out) v = s;
+  }
+}
+
+SgdSolver::SgdSolver(std::vector<nn::Param> params, double lr,
+                     double momentum)
+    : Solver(std::move(params)), momentum_(momentum) {
+  lr_ = lr;
+  velocity_.reserve(params_.size());
+  for (const auto& p : params_) velocity_.emplace_back(p.value->shape());
+}
+
+void SgdSolver::apply(const std::vector<const Tensor*>& grads) {
+  PF15_CHECK(grads.size() == params_.size());
+  std::vector<float> scale;
+  clip(grads, scale);
+  const float lr = static_cast<float>(lr_);
+  const float mu = static_cast<float>(momentum_);
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    PF15_CHECK(grads[i]->shape() == params_[i].value->shape());
+    float* __restrict__ v = velocity_[i].data();
+    float* __restrict__ w = params_[i].value->data();
+    const float* __restrict__ g = grads[i]->data();
+    const float s = scale[i];
+    const std::size_t n = velocity_[i].numel();
+    for (std::size_t j = 0; j < n; ++j) {
+      v[j] = mu * v[j] - lr * s * g[j];
+      w[j] += v[j];
+    }
+  }
+  ++iteration_;
+}
+
+void SgdSolver::save_state(std::ostream& os) const {
+  const std::uint64_t iter = iteration_;
+  os.write(reinterpret_cast<const char*>(&iter), sizeof(iter));
+  for (const auto& v : velocity_) v.save(os);
+}
+
+void SgdSolver::load_state(std::istream& is) {
+  std::uint64_t iter = 0;
+  is.read(reinterpret_cast<char*>(&iter), sizeof(iter));
+  if (!is) throw IoError("SgdSolver::load_state: bad header");
+  iteration_ = iter;
+  for (auto& v : velocity_) {
+    Tensor t = Tensor::load(is);
+    PF15_CHECK(t.shape() == v.shape());
+    v.copy_from(t);
+  }
+}
+
+AdamSolver::AdamSolver(std::vector<nn::Param> params, double lr,
+                       double beta1, double beta2, double epsilon)
+    : Solver(std::move(params)),
+      beta1_(beta1),
+      beta2_(beta2),
+      epsilon_(epsilon) {
+  lr_ = lr;
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const auto& p : params_) {
+    m_.emplace_back(p.value->shape());
+    v_.emplace_back(p.value->shape());
+  }
+}
+
+void AdamSolver::apply(const std::vector<const Tensor*>& grads) {
+  PF15_CHECK(grads.size() == params_.size());
+  std::vector<float> scale;
+  clip(grads, scale);
+  ++iteration_;
+  const double t = static_cast<double>(iteration_);
+  const double bias1 = 1.0 - std::pow(beta1_, t);
+  const double bias2 = 1.0 - std::pow(beta2_, t);
+  const float alpha =
+      static_cast<float>(lr_ * std::sqrt(bias2) / bias1);
+  const float b1 = static_cast<float>(beta1_);
+  const float b2 = static_cast<float>(beta2_);
+  const float eps = static_cast<float>(epsilon_ * std::sqrt(bias2));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    PF15_CHECK(grads[i]->shape() == params_[i].value->shape());
+    float* __restrict__ m = m_[i].data();
+    float* __restrict__ v = v_[i].data();
+    float* __restrict__ w = params_[i].value->data();
+    const float* __restrict__ graw = grads[i]->data();
+    const float s = scale[i];
+    const std::size_t n = m_[i].numel();
+    for (std::size_t j = 0; j < n; ++j) {
+      const float g = s * graw[j];
+      m[j] = b1 * m[j] + (1.0f - b1) * g;
+      v[j] = b2 * v[j] + (1.0f - b2) * g * g;
+      w[j] -= alpha * m[j] / (std::sqrt(v[j]) + eps);
+    }
+  }
+}
+
+void AdamSolver::save_state(std::ostream& os) const {
+  const std::uint64_t iter = iteration_;
+  os.write(reinterpret_cast<const char*>(&iter), sizeof(iter));
+  for (const auto& m : m_) m.save(os);
+  for (const auto& v : v_) v.save(os);
+}
+
+void AdamSolver::load_state(std::istream& is) {
+  std::uint64_t iter = 0;
+  is.read(reinterpret_cast<char*>(&iter), sizeof(iter));
+  if (!is) throw IoError("AdamSolver::load_state: bad header");
+  iteration_ = iter;
+  for (auto& m : m_) {
+    Tensor t = Tensor::load(is);
+    PF15_CHECK(t.shape() == m.shape());
+    m.copy_from(t);
+  }
+  for (auto& v : v_) {
+    Tensor t = Tensor::load(is);
+    PF15_CHECK(t.shape() == v.shape());
+    v.copy_from(t);
+  }
+}
+
+double tuned_momentum_for_groups(double target_effective_momentum,
+                                 std::size_t groups) {
+  PF15_CHECK(groups >= 1);
+  // Effective momentum composes the explicit mu with the implicit
+  // asynchrony term ~ (1 - 1/G): mu_eff ≈ mu + (1 - mu) * (1 - 1/G).
+  // Solving mu_eff = target for mu and clamping to [0, target]:
+  const double g = static_cast<double>(groups);
+  const double implicit = 1.0 - 1.0 / g;
+  const double mu = (target_effective_momentum - implicit) / (1.0 - implicit + 1e-12);
+  if (groups == 1) return target_effective_momentum;
+  return std::max(0.0, std::min(mu, target_effective_momentum));
+}
+
+}  // namespace pf15::solver

@@ -1,0 +1,133 @@
+// Solvers (optimizers).
+//
+// The HEP network trains with ADAM (§III-A); the climate network with
+// SGD + momentum (§III-B). The hybrid trainer additionally re-tunes
+// momentum as a function of the number of asynchronous groups, following
+// the "asynchrony begets momentum" result the paper cites ([31], §VI-B4):
+// asynchronous staleness contributes an implicit momentum, so the explicit
+// coefficient must be dialed down as groups are added.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace pf15::solver {
+
+/// Base solver over a fixed parameter list. step() consumes the gradients
+/// currently stored in the Param::grad tensors and zeroes them.
+class Solver {
+ public:
+  explicit Solver(std::vector<nn::Param> params)
+      : params_(std::move(params)) {}
+  virtual ~Solver() = default;
+
+  Solver(const Solver&) = delete;
+  Solver& operator=(const Solver&) = delete;
+
+  /// Apply one update using the accumulated gradients, then zero them.
+  void step();
+
+  /// Apply an externally supplied update direction `grads` (one tensor per
+  /// parameter, same order/shapes) — the parameter-server path, where the
+  /// gradient arrives over the wire instead of from local backward().
+  virtual void apply(const std::vector<const Tensor*>& grads) = 0;
+
+  std::size_t iteration() const { return iteration_; }
+
+  double learning_rate() const { return lr_; }
+  void set_learning_rate(double lr) { lr_ = lr; }
+
+  /// Optional global-norm gradient clipping (0 disables).
+  void set_clip_norm(double clip) { clip_norm_ = clip; }
+
+  const std::vector<nn::Param>& params() const { return params_; }
+
+  /// Solver-state (history) serialization for checkpointing.
+  virtual void save_state(std::ostream& os) const = 0;
+  virtual void load_state(std::istream& is) = 0;
+
+  virtual std::string name() const = 0;
+
+ protected:
+  /// Rescale `grads` in place if the global L2 norm exceeds clip_norm_.
+  void clip(const std::vector<const Tensor*>& grads,
+            std::vector<float>& scale_out) const;
+
+  std::vector<nn::Param> params_;
+  double lr_ = 1e-3;
+  double clip_norm_ = 0.0;
+  std::size_t iteration_ = 0;
+};
+
+/// SGD with classical (heavy-ball) momentum:
+///   v <- mu * v - lr * g;  w <- w + v.
+class SgdSolver final : public Solver {
+ public:
+  SgdSolver(std::vector<nn::Param> params, double lr, double momentum);
+
+  void apply(const std::vector<const Tensor*>& grads) override;
+  double momentum() const { return momentum_; }
+  void set_momentum(double mu) { momentum_ = mu; }
+  void save_state(std::ostream& os) const override;
+  void load_state(std::istream& is) override;
+  std::string name() const override { return "sgd"; }
+
+ private:
+  double momentum_;
+  std::vector<Tensor> velocity_;
+};
+
+/// ADAM (Kingma & Ba) with bias correction; §III-A's solver of choice
+/// because it "requires less parameter tuning than SGD".
+class AdamSolver final : public Solver {
+ public:
+  AdamSolver(std::vector<nn::Param> params, double lr, double beta1 = 0.9,
+             double beta2 = 0.999, double epsilon = 1e-8);
+
+  void apply(const std::vector<const Tensor*>& grads) override;
+  void save_state(std::ostream& os) const override;
+  void load_state(std::istream& is) override;
+  std::string name() const override { return "adam"; }
+
+ private:
+  double beta1_, beta2_, epsilon_;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+};
+
+/// Piecewise learning-rate schedule: multiply base LR by `factor` at each
+/// boundary iteration.
+class StepSchedule {
+ public:
+  StepSchedule(double base_lr, std::vector<std::size_t> boundaries,
+               double factor)
+      : base_lr_(base_lr), boundaries_(std::move(boundaries)),
+        factor_(factor) {}
+
+  double lr_at(std::size_t iteration) const {
+    double lr = base_lr_;
+    for (std::size_t b : boundaries_) {
+      if (iteration >= b) lr *= factor_;
+    }
+    return lr;
+  }
+
+ private:
+  double base_lr_;
+  std::vector<std::size_t> boundaries_;
+  double factor_;
+};
+
+/// The [31]-style momentum correction: with G asynchronous groups, the
+/// effective momentum seen by the optimization is approximately
+/// 1 - (1 - mu) / G, so to keep a target effective momentum we solve for
+/// the explicit coefficient; clamped at >= 0.
+double tuned_momentum_for_groups(double target_effective_momentum,
+                                 std::size_t groups);
+
+}  // namespace pf15::solver

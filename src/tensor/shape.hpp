@@ -1,0 +1,81 @@
+// Tensor shape: a small fixed-capacity vector of extents with NCHW helpers.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <initializer_list>
+#include <ostream>
+#include <string>
+
+#include "common/errors.hpp"
+
+namespace pf15 {
+
+/// Shape of a dense tensor. Rank up to 4 covers everything in this codebase
+/// (NCHW activations, OIHW weights, vectors, scalars).
+class Shape {
+ public:
+  static constexpr std::size_t kMaxRank = 4;
+
+  Shape() = default;
+
+  Shape(std::initializer_list<std::size_t> dims) {
+    PF15_CHECK(dims.size() <= kMaxRank);
+    for (std::size_t d : dims) dims_[rank_++] = d;
+  }
+
+  static Shape scalar() { return Shape{1}; }
+
+  std::size_t rank() const { return rank_; }
+
+  std::size_t operator[](std::size_t i) const {
+    PF15_CHECK_MSG(i < rank_, "axis " << i << " out of rank " << rank_);
+    return dims_[i];
+  }
+
+  std::size_t& operator[](std::size_t i) {
+    PF15_CHECK_MSG(i < rank_, "axis " << i << " out of rank " << rank_);
+    return dims_[i];
+  }
+
+  /// Total number of elements (1 for rank-0).
+  std::size_t numel() const {
+    std::size_t n = 1;
+    for (std::size_t i = 0; i < rank_; ++i) n *= dims_[i];
+    return n;
+  }
+
+  bool operator==(const Shape& other) const {
+    if (rank_ != other.rank_) return false;
+    for (std::size_t i = 0; i < rank_; ++i) {
+      if (dims_[i] != other.dims_[i]) return false;
+    }
+    return true;
+  }
+  bool operator!=(const Shape& other) const { return !(*this == other); }
+
+  // NCHW accessors; valid for rank-4 shapes.
+  std::size_t n() const { return (*this)[0]; }
+  std::size_t c() const { return (*this)[1]; }
+  std::size_t h() const { return (*this)[2]; }
+  std::size_t w() const { return (*this)[3]; }
+
+  std::string str() const {
+    std::string s = "[";
+    for (std::size_t i = 0; i < rank_; ++i) {
+      if (i) s += ", ";
+      s += std::to_string(dims_[i]);
+    }
+    return s + "]";
+  }
+
+ private:
+  std::array<std::size_t, kMaxRank> dims_{};
+  std::size_t rank_ = 0;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Shape& s) {
+  return os << s.str();
+}
+
+}  // namespace pf15

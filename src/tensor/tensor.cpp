@@ -1,0 +1,188 @@
+#include "tensor/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <istream>
+#include <limits>
+#include <ostream>
+
+namespace pf15 {
+
+Tensor::Tensor(const Shape& shape) : shape_(shape), buf_(shape.numel()) {
+  zero();
+}
+
+Tensor Tensor::clone() const {
+  Tensor out(shape_);
+  if (numel() > 0) {
+    std::memcpy(out.data(), data(), numel() * sizeof(float));
+  }
+  return out;
+}
+
+float& Tensor::at4(std::size_t n, std::size_t c, std::size_t h,
+                   std::size_t w) {
+  PF15_CHECK(shape_.rank() == 4);
+  PF15_CHECK(n < shape_[0] && c < shape_[1] && h < shape_[2] &&
+             w < shape_[3]);
+  return buf_[((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w];
+}
+
+float Tensor::at4(std::size_t n, std::size_t c, std::size_t h,
+                  std::size_t w) const {
+  return const_cast<Tensor*>(this)->at4(n, c, h, w);
+}
+
+void Tensor::fill(float value) {
+  std::fill_n(buf_.data(), numel(), value);
+}
+
+void Tensor::fill_normal(Rng& rng, float mean, float stddev) {
+  for (std::size_t i = 0; i < numel(); ++i) {
+    buf_[i] = static_cast<float>(rng.normal(mean, stddev));
+  }
+}
+
+void Tensor::fill_uniform(Rng& rng, float lo, float hi) {
+  for (std::size_t i = 0; i < numel(); ++i) buf_[i] = rng.uniform(lo, hi);
+}
+
+void Tensor::fill_he(Rng& rng, std::size_t fan_in) {
+  PF15_CHECK(fan_in > 0);
+  const float stddev = std::sqrt(2.0f / static_cast<float>(fan_in));
+  fill_normal(rng, 0.0f, stddev);
+}
+
+void Tensor::fill_xavier(Rng& rng, std::size_t fan_in, std::size_t fan_out) {
+  PF15_CHECK(fan_in + fan_out > 0);
+  const float limit =
+      std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  fill_uniform(rng, -limit, limit);
+}
+
+void Tensor::axpy(float alpha, const Tensor& other) {
+  PF15_CHECK_MSG(shape_ == other.shape_, "axpy shape mismatch: "
+                                             << shape_ << " vs "
+                                             << other.shape_);
+  float* __restrict__ dst = buf_.data();
+  const float* __restrict__ src = other.data();
+  const std::size_t n = numel();
+  for (std::size_t i = 0; i < n; ++i) dst[i] += alpha * src[i];
+}
+
+void Tensor::scale(float alpha) {
+  float* __restrict__ dst = buf_.data();
+  const std::size_t n = numel();
+  for (std::size_t i = 0; i < n; ++i) dst[i] *= alpha;
+}
+
+void Tensor::copy_from(const Tensor& other) {
+  PF15_CHECK_MSG(shape_ == other.shape_, "copy_from shape mismatch: "
+                                             << shape_ << " vs "
+                                             << other.shape_);
+  if (numel() > 0) {
+    std::memcpy(buf_.data(), other.data(), numel() * sizeof(float));
+  }
+}
+
+void Tensor::copy_or_assign_from(const Tensor& other) {
+  if (!defined() || shape_ != other.shape()) {
+    *this = other.clone();
+  } else {
+    copy_from(other);
+  }
+}
+
+float Tensor::sum() const {
+  double s = 0.0;
+  for (std::size_t i = 0; i < numel(); ++i) s += buf_[i];
+  return static_cast<float>(s);
+}
+
+float Tensor::min() const {
+  PF15_CHECK(numel() > 0);
+  return *std::min_element(buf_.data(), buf_.data() + numel());
+}
+
+float Tensor::max() const {
+  PF15_CHECK(numel() > 0);
+  return *std::max_element(buf_.data(), buf_.data() + numel());
+}
+
+double Tensor::sumsq() const {
+  double s = 0.0;
+  for (std::size_t i = 0; i < numel(); ++i) {
+    s += static_cast<double>(buf_[i]) * static_cast<double>(buf_[i]);
+  }
+  return s;
+}
+
+double Tensor::norm2() const { return std::sqrt(sumsq()); }
+
+bool Tensor::all_finite() const {
+  for (std::size_t i = 0; i < numel(); ++i) {
+    if (!std::isfinite(buf_[i])) return false;
+  }
+  return true;
+}
+
+void Tensor::save(std::ostream& os) const {
+  const std::uint32_t rank = static_cast<std::uint32_t>(shape_.rank());
+  os.write(reinterpret_cast<const char*>(&rank), sizeof(rank));
+  for (std::size_t i = 0; i < rank; ++i) {
+    const std::uint64_t dim = shape_[i];
+    os.write(reinterpret_cast<const char*>(&dim), sizeof(dim));
+  }
+  os.write(reinterpret_cast<const char*>(data()),
+           static_cast<std::streamsize>(numel() * sizeof(float)));
+  if (!os) throw IoError("Tensor::save: stream write failed");
+}
+
+Tensor Tensor::load(std::istream& is) {
+  std::uint32_t rank = 0;
+  is.read(reinterpret_cast<char*>(&rank), sizeof(rank));
+  if (!is || rank > Shape::kMaxRank) {
+    throw IoError("Tensor::load: bad header");
+  }
+  std::vector<std::uint64_t> dims(rank);
+  for (auto& dim : dims) {
+    is.read(reinterpret_cast<char*>(&dim), sizeof(dim));
+    if (!is) throw IoError("Tensor::load: truncated dims");
+  }
+  Shape shape;
+  switch (rank) {
+    case 0:
+      break;
+    case 1:
+      shape = Shape{dims[0]};
+      break;
+    case 2:
+      shape = Shape{dims[0], dims[1]};
+      break;
+    case 3:
+      shape = Shape{dims[0], dims[1], dims[2]};
+      break;
+    case 4:
+      shape = Shape{dims[0], dims[1], dims[2], dims[3]};
+      break;
+    default:
+      throw IoError("Tensor::load: unsupported rank");
+  }
+  Tensor t(shape);
+  is.read(reinterpret_cast<char*>(t.data()),
+          static_cast<std::streamsize>(t.numel() * sizeof(float)));
+  if (!is) throw IoError("Tensor::load: truncated payload");
+  return t;
+}
+
+float max_abs_diff(const Tensor& a, const Tensor& b) {
+  PF15_CHECK(a.shape() == b.shape());
+  float m = 0.0f;
+  for (std::size_t i = 0; i < a.numel(); ++i) {
+    m = std::max(m, std::abs(a.data()[i] - b.data()[i]));
+  }
+  return m;
+}
+
+}  // namespace pf15

@@ -1,0 +1,107 @@
+// Dense single-precision tensor with owned, 64-byte-aligned storage.
+//
+// All activations, weights, and gradients in pf15 are Tensors. Layout is
+// row-major over the shape (NCHW for rank-4). The paper's entire workload
+// is single precision (§V), so we commit to float storage and keep the
+// class small; double accumulation happens inside kernels where it matters.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+#include "common/aligned.hpp"
+#include "common/rng.hpp"
+#include "tensor/shape.hpp"
+
+namespace pf15 {
+
+class Tensor {
+ public:
+  Tensor() = default;
+
+  /// Allocates zero-initialised storage of the given shape.
+  explicit Tensor(const Shape& shape);
+
+  Tensor(Tensor&&) noexcept = default;
+  Tensor& operator=(Tensor&&) noexcept = default;
+
+  // Deep copies are explicit via clone(); accidental copies of multi-MB
+  // activations are a classic performance bug.
+  Tensor(const Tensor&) = delete;
+  Tensor& operator=(const Tensor&) = delete;
+
+  Tensor clone() const;
+
+  const Shape& shape() const { return shape_; }
+  std::size_t numel() const { return shape_.numel(); }
+  bool defined() const { return buf_.size() > 0; }
+
+  float* data() { return buf_.data(); }
+  const float* data() const { return buf_.data(); }
+
+  std::span<float> span() { return {buf_.data(), buf_.size()}; }
+  std::span<const float> span() const { return {buf_.data(), buf_.size()}; }
+
+  float& at(std::size_t i) {
+    PF15_CHECK(i < numel());
+    return buf_[i];
+  }
+  float at(std::size_t i) const {
+    PF15_CHECK(i < numel());
+    return buf_[i];
+  }
+
+  /// NCHW element access (rank-4 only); bounds-checked.
+  float& at4(std::size_t n, std::size_t c, std::size_t h, std::size_t w);
+  float at4(std::size_t n, std::size_t c, std::size_t h, std::size_t w) const;
+
+  // ---- mutation helpers ------------------------------------------------
+  void fill(float value);
+  void zero() { fill(0.0f); }
+
+  /// i.i.d. N(mean, stddev).
+  void fill_normal(Rng& rng, float mean, float stddev);
+  /// i.i.d. U[lo, hi).
+  void fill_uniform(Rng& rng, float lo, float hi);
+  /// He/Kaiming-normal init for a weight with the given fan-in.
+  void fill_he(Rng& rng, std::size_t fan_in);
+  /// Xavier/Glorot-uniform init.
+  void fill_xavier(Rng& rng, std::size_t fan_in, std::size_t fan_out);
+
+  /// this += alpha * other (shapes must match).
+  void axpy(float alpha, const Tensor& other);
+  /// this *= alpha.
+  void scale(float alpha);
+  /// this = other (shapes must match).
+  void copy_from(const Tensor& other);
+  /// this = other, reallocating if shapes differ (deep copy either way).
+  void copy_or_assign_from(const Tensor& other);
+
+  // ---- reductions ------------------------------------------------------
+  float sum() const;
+  float min() const;
+  float max() const;
+  /// Sum of squares (double accumulation).
+  double sumsq() const;
+  /// L2 norm.
+  double norm2() const;
+  /// True if every element is finite.
+  bool all_finite() const;
+
+  // ---- (de)serialization ----------------------------------------------
+  /// Raw little-endian dump: rank, dims, then floats.
+  void save(std::ostream& os) const;
+  static Tensor load(std::istream& is);
+
+ private:
+  Shape shape_;
+  AlignedBuffer<float> buf_;
+};
+
+/// Max absolute elementwise difference; shapes must match.
+float max_abs_diff(const Tensor& a, const Tensor& b);
+
+}  // namespace pf15

@@ -1,0 +1,210 @@
+#include "tune/gp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pf15::tune {
+
+namespace {
+
+/// Normalizes a config to per-dimension [0, 1] coordinates (log
+/// dimensions in log space; discrete by choice index).
+std::vector<double> normalize(const Space& space, const Config& config) {
+  std::vector<double> x;
+  x.reserve(space.size());
+  for (const auto& d : space.dimensions()) {
+    const double v = config.at(d.name);
+    switch (d.kind) {
+      case Dimension::Kind::kLinear:
+        x.push_back((v - d.lo) / (d.hi - d.lo));
+        break;
+      case Dimension::Kind::kLog:
+        x.push_back((std::log(v) - std::log(d.lo)) /
+                    (std::log(d.hi) - std::log(d.lo)));
+        break;
+      case Dimension::Kind::kDiscrete: {
+        const auto it =
+            std::find(d.choices.begin(), d.choices.end(), v);
+        PF15_CHECK_MSG(it != d.choices.end(),
+                       d.name << ": value " << v << " not a choice");
+        const double idx = static_cast<double>(it - d.choices.begin());
+        x.push_back(d.choices.size() > 1
+                        ? idx / static_cast<double>(d.choices.size() - 1)
+                        : 0.0);
+        break;
+      }
+    }
+  }
+  return x;
+}
+
+double standard_normal_pdf(double z) {
+  return std::exp(-0.5 * z * z) / std::sqrt(2.0 * 3.14159265358979323846);
+}
+
+double standard_normal_cdf(double z) {
+  return 0.5 * std::erfc(-z / std::sqrt(2.0));
+}
+
+}  // namespace
+
+GaussianProcess::GaussianProcess(const GpConfig& cfg) : cfg_(cfg) {
+  PF15_CHECK(cfg.signal_variance > 0.0);
+  PF15_CHECK(cfg.length_scale > 0.0);
+  PF15_CHECK(cfg.noise_variance > 0.0);
+}
+
+double GaussianProcess::kernel(const std::vector<double>& a,
+                               const std::vector<double>& b) const {
+  PF15_CHECK(a.size() == b.size());
+  double sq = 0.0;
+  for (std::size_t d = 0; d < a.size(); ++d) {
+    const double diff = (a[d] - b[d]) / cfg_.length_scale;
+    sq += diff * diff;
+  }
+  return cfg_.signal_variance * std::exp(-0.5 * sq);
+}
+
+void GaussianProcess::fit(const std::vector<std::vector<double>>& x,
+                          const std::vector<double>& y) {
+  PF15_CHECK(x.size() == y.size());
+  x_ = x;
+  const std::size_t n = x.size();
+  if (n == 0) {
+    y_centered_.clear();
+    chol_.clear();
+    alpha_.clear();
+    y_mean_ = 0.0;
+    return;
+  }
+
+  y_mean_ = 0.0;
+  for (double v : y) y_mean_ += v;
+  y_mean_ /= static_cast<double>(n);
+  y_centered_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) y_centered_[i] = y[i] - y_mean_;
+
+  // K + noise·I, then in-place Cholesky (lower triangular).
+  chol_.assign(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      chol_[i * n + j] = kernel(x_[i], x_[j]);
+    }
+    chol_[i * n + i] += cfg_.noise_variance;
+  }
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = chol_[j * n + j];
+    for (std::size_t k = 0; k < j; ++k) {
+      diag -= chol_[j * n + k] * chol_[j * n + k];
+    }
+    PF15_CHECK_MSG(diag > 0.0, "GP kernel matrix not positive definite");
+    const double ljj = std::sqrt(diag);
+    chol_[j * n + j] = ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double sum = chol_[i * n + j];
+      for (std::size_t k = 0; k < j; ++k) {
+        sum -= chol_[i * n + k] * chol_[j * n + k];
+      }
+      chol_[i * n + j] = sum / ljj;
+    }
+  }
+
+  // alpha = K^-1 (y - mean) via two triangular solves.
+  alpha_ = y_centered_;
+  for (std::size_t i = 0; i < n; ++i) {  // forward: L z = y
+    double sum = alpha_[i];
+    for (std::size_t k = 0; k < i; ++k) {
+      sum -= chol_[i * n + k] * alpha_[k];
+    }
+    alpha_[i] = sum / chol_[i * n + i];
+  }
+  for (std::size_t i = n; i-- > 0;) {  // backward: L^T alpha = z
+    double sum = alpha_[i];
+    for (std::size_t k = i + 1; k < n; ++k) {
+      sum -= chol_[k * n + i] * alpha_[k];
+    }
+    alpha_[i] = sum / chol_[i * n + i];
+  }
+}
+
+GaussianProcess::Posterior GaussianProcess::predict(
+    const std::vector<double>& x) const {
+  const std::size_t n = x_.size();
+  if (n == 0) {
+    return {0.0, cfg_.signal_variance};
+  }
+  std::vector<double> k_star(n);
+  for (std::size_t i = 0; i < n; ++i) k_star[i] = kernel(x_[i], x);
+
+  double mean = y_mean_;
+  for (std::size_t i = 0; i < n; ++i) mean += k_star[i] * alpha_[i];
+
+  // v = L^-1 k_star; var = k(x,x) - v^T v.
+  std::vector<double> v = k_star;
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = v[i];
+    for (std::size_t k = 0; k < i; ++k) {
+      sum -= chol_[i * n + k] * v[k];
+    }
+    v[i] = sum / chol_[i * n + i];
+  }
+  double var = kernel(x, x);
+  for (double vi : v) var -= vi * vi;
+  return {mean, std::max(var, 0.0)};
+}
+
+double expected_improvement(double mu, double variance, double best) {
+  const double sigma = std::sqrt(std::max(variance, 0.0));
+  if (sigma < 1e-12) {
+    return std::max(best - mu, 0.0);
+  }
+  const double z = (best - mu) / sigma;
+  return (best - mu) * standard_normal_cdf(z) +
+         sigma * standard_normal_pdf(z);
+}
+
+SearchResult bayesian_search(const Space& space, const Objective& objective,
+                             const BayesConfig& cfg) {
+  PF15_CHECK(cfg.iterations >= cfg.initial_random);
+  PF15_CHECK(cfg.initial_random >= 1 && cfg.candidates >= 1);
+  Rng rng(cfg.seed);
+  SearchResult result;
+  GaussianProcess gp(cfg.gp);
+  std::vector<std::vector<double>> xs;
+  std::vector<double> ys;
+
+  auto evaluate = [&](Config config) {
+    TrialResult trial;
+    trial.loss = objective(config);
+    trial.config = std::move(config);
+    xs.push_back(normalize(space, trial.config));
+    ys.push_back(trial.loss);
+    if (trial.loss < result.best.loss) result.best = trial;
+    result.trials.push_back(std::move(trial));
+  };
+
+  for (std::size_t i = 0; i < cfg.initial_random; ++i) {
+    evaluate(space.sample(rng));
+  }
+
+  for (std::size_t i = cfg.initial_random; i < cfg.iterations; ++i) {
+    gp.fit(xs, ys);
+    Config best_candidate;
+    double best_ei = -1.0;
+    for (std::size_t c = 0; c < cfg.candidates; ++c) {
+      Config candidate = space.sample(rng);
+      const auto post = gp.predict(normalize(space, candidate));
+      const double ei =
+          expected_improvement(post.mean, post.variance, result.best.loss);
+      if (ei > best_ei) {
+        best_ei = ei;
+        best_candidate = std::move(candidate);
+      }
+    }
+    evaluate(std::move(best_candidate));
+  }
+  result.total_budget = result.trials.size();
+  return result;
+}
+
+}  // namespace pf15::tune

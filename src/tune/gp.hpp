@@ -1,0 +1,80 @@
+// Gaussian-process regression and expected-improvement search — the
+// actual algorithm behind Spearmint [49], which §VIII-B recommends for
+// "automating the search for network architectures". random_search
+// (search.hpp) is the strong baseline; this is the sample-efficient
+// upgrade for objectives where every evaluation is a training run.
+//
+// Model: y ~ GP(0, k) + noise, with the squared-exponential (RBF) kernel
+//   k(a, b) = signal_var * exp(-0.5 * Σ_d ((a_d - b_d) / length_d)²).
+// Inputs are normalized to [0, 1] per dimension (log dimensions in log
+// space) so one length scale per dimension is meaningful. The posterior
+// is computed through a Cholesky factorization of K + noise·I; expected
+// improvement is maximized over a random candidate set (the standard
+// budgeted approximation).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tune/search.hpp"
+#include "tune/space.hpp"
+
+namespace pf15::tune {
+
+struct GpConfig {
+  double signal_variance = 1.0;
+  double length_scale = 0.25;    // in normalized [0,1] coordinates
+  double noise_variance = 1e-4;  // observation noise (jitter floor)
+};
+
+/// Exact GP regression on a fixed dataset. Dimensions are the caller's
+/// (already-normalized) coordinates.
+class GaussianProcess {
+ public:
+  explicit GaussianProcess(const GpConfig& cfg = {});
+
+  /// Replaces the dataset and refactorizes. `x` is row-major
+  /// (n points x dim); `y` the observed values (internally centred).
+  void fit(const std::vector<std::vector<double>>& x,
+           const std::vector<double>& y);
+
+  std::size_t size() const { return x_.size(); }
+
+  struct Posterior {
+    double mean = 0.0;
+    double variance = 0.0;
+  };
+  /// Posterior at a query point (prior if the dataset is empty).
+  Posterior predict(const std::vector<double>& x) const;
+
+  double kernel(const std::vector<double>& a,
+                const std::vector<double>& b) const;
+
+ private:
+  GpConfig cfg_;
+  std::vector<std::vector<double>> x_;
+  std::vector<double> y_centered_;
+  double y_mean_ = 0.0;
+  std::vector<double> chol_;   // lower-triangular Cholesky of K + noise·I
+  std::vector<double> alpha_;  // (K + noise·I)^-1 (y - mean)
+};
+
+/// Expected improvement of a (minimized) objective at posterior (mu, var)
+/// given the incumbent best value. Exposed for tests.
+double expected_improvement(double mu, double variance, double best);
+
+struct BayesConfig {
+  std::size_t initial_random = 5;  // pure exploration before the GP kicks in
+  std::size_t iterations = 25;     // total objective evaluations
+  std::size_t candidates = 256;    // EI maximization sample budget
+  GpConfig gp;
+  std::uint64_t seed = 1;
+};
+
+/// GP-EI Bayesian optimization over a Space (objective minimized). The
+/// Spearmint-style searcher: evaluations are expensive, so each one is
+/// placed where expected improvement over the incumbent is largest.
+SearchResult bayesian_search(const Space& space, const Objective& objective,
+                             const BayesConfig& cfg);
+
+}  // namespace pf15::tune

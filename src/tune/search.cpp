@@ -1,0 +1,87 @@
+#include "tune/search.hpp"
+
+#include <algorithm>
+
+namespace pf15::tune {
+
+namespace {
+
+void consider(SearchResult& result, TrialResult trial) {
+  if (trial.loss < result.best.loss) result.best = trial;
+  result.trials.push_back(std::move(trial));
+}
+
+}  // namespace
+
+SearchResult grid_search(const Space& space, const Objective& objective,
+                         std::size_t per_dim) {
+  SearchResult result;
+  for (auto& config : space.grid(per_dim)) {
+    TrialResult trial;
+    trial.loss = objective(config);
+    trial.config = std::move(config);
+    consider(result, std::move(trial));
+  }
+  result.total_budget = result.trials.size();
+  return result;
+}
+
+SearchResult random_search(const Space& space, const Objective& objective,
+                           std::size_t trials, std::uint64_t seed) {
+  PF15_CHECK(trials > 0);
+  Rng rng(seed);
+  SearchResult result;
+  for (std::size_t i = 0; i < trials; ++i) {
+    TrialResult trial;
+    trial.config = space.sample(rng);
+    trial.loss = objective(trial.config);
+    consider(result, std::move(trial));
+  }
+  result.total_budget = trials;
+  return result;
+}
+
+SearchResult successive_halving(const Space& space,
+                                const BudgetObjective& objective,
+                                const HalvingConfig& cfg) {
+  PF15_CHECK(cfg.initial_arms >= 1 && cfg.initial_budget >= 1 &&
+             cfg.eta >= 2);
+  Rng rng(cfg.seed);
+  SearchResult result;
+
+  std::vector<Config> arms;
+  arms.reserve(cfg.initial_arms);
+  for (std::size_t i = 0; i < cfg.initial_arms; ++i) {
+    arms.push_back(space.sample(rng));
+  }
+
+  std::size_t budget = cfg.initial_budget;
+  while (!arms.empty()) {
+    std::vector<TrialResult> rung;
+    rung.reserve(arms.size());
+    for (auto& config : arms) {
+      TrialResult trial;
+      trial.loss = objective(config, budget);
+      trial.budget = budget;
+      trial.config = std::move(config);
+      result.total_budget += budget;
+      rung.push_back(trial);
+      consider(result, std::move(trial));
+    }
+    if (rung.size() == 1) break;
+    // Keep the best ceil(size/eta) arms for the next, eta-times-longer rung.
+    std::sort(rung.begin(), rung.end(),
+              [](const TrialResult& a, const TrialResult& b) {
+                return a.loss < b.loss;
+              });
+    const std::size_t keep = (rung.size() + cfg.eta - 1) / cfg.eta;
+    arms.clear();
+    for (std::size_t i = 0; i < keep; ++i) {
+      arms.push_back(rung[i].config);
+    }
+    budget *= cfg.eta;
+  }
+  return result;
+}
+
+}  // namespace pf15::tune

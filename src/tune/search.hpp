@@ -1,0 +1,60 @@
+// Hyper-parameter searchers over a tune::Space.
+//
+// Three strategies with increasing sophistication:
+//  * GridSearch     — exhaustive Cartesian product (small spaces only);
+//  * RandomSearch   — i.i.d. sampling, the standard strong baseline;
+//  * SuccessiveHalving — racing: evaluate many configs on a small budget,
+//    repeatedly keep the best half on a doubled budget. This is the
+//    budget-aware scheme suited to training-loss objectives, where cheap
+//    low-fidelity evaluations (few iterations) rank configurations well
+//    enough to prune.
+//
+// Objectives are minimised. All searchers are deterministic given a seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+#include "tune/space.hpp"
+
+namespace pf15::tune {
+
+/// Loss of one configuration (lower is better).
+using Objective = std::function<double(const Config&)>;
+/// Loss of one configuration evaluated at a given budget (e.g. training
+/// iterations). Must be monotone-comparable across budgets for halving to
+/// prune meaningfully.
+using BudgetObjective =
+    std::function<double(const Config&, std::size_t budget)>;
+
+struct TrialResult {
+  Config config;
+  double loss = std::numeric_limits<double>::infinity();
+  std::size_t budget = 0;  // budget the loss was measured at (0 = full)
+};
+
+struct SearchResult {
+  TrialResult best;
+  std::vector<TrialResult> trials;  // in evaluation order
+  std::size_t total_budget = 0;     // Σ budgets (halving), else #trials
+};
+
+SearchResult grid_search(const Space& space, const Objective& objective,
+                         std::size_t per_dim);
+
+SearchResult random_search(const Space& space, const Objective& objective,
+                           std::size_t trials, std::uint64_t seed = 1);
+
+struct HalvingConfig {
+  std::size_t initial_arms = 16;   // configurations in the first rung
+  std::size_t initial_budget = 4;  // budget per arm in the first rung
+  std::size_t eta = 2;             // keep 1/eta arms, multiply budget by eta
+  std::uint64_t seed = 1;
+};
+
+SearchResult successive_halving(const Space& space,
+                                const BudgetObjective& objective,
+                                const HalvingConfig& cfg);
+
+}  // namespace pf15::tune

@@ -1,0 +1,125 @@
+#include "tune/space.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pf15::tune {
+
+Dimension Dimension::linear(std::string name, double lo, double hi) {
+  PF15_CHECK_MSG(lo < hi, name << ": bad bounds [" << lo << ", " << hi << "]");
+  Dimension d;
+  d.name = std::move(name);
+  d.kind = Kind::kLinear;
+  d.lo = lo;
+  d.hi = hi;
+  return d;
+}
+
+Dimension Dimension::log(std::string name, double lo, double hi) {
+  PF15_CHECK_MSG(0.0 < lo && lo < hi,
+                 name << ": log bounds must satisfy 0 < lo < hi");
+  Dimension d;
+  d.name = std::move(name);
+  d.kind = Kind::kLog;
+  d.lo = lo;
+  d.hi = hi;
+  return d;
+}
+
+Dimension Dimension::discrete(std::string name, std::vector<double> choices) {
+  PF15_CHECK_MSG(!choices.empty(), name << ": empty choice set");
+  Dimension d;
+  d.name = std::move(name);
+  d.kind = Kind::kDiscrete;
+  d.choices = std::move(choices);
+  return d;
+}
+
+double Dimension::sample(Rng& rng) const {
+  switch (kind) {
+    case Kind::kLinear:
+      return lo + rng.uniform() * (hi - lo);
+    case Kind::kLog:
+      return std::exp(std::log(lo) +
+                      rng.uniform() * (std::log(hi) - std::log(lo)));
+    case Kind::kDiscrete:
+      return choices[rng.uniform_int(choices.size())];
+  }
+  PF15_CHECK(false);
+  return 0.0;
+}
+
+std::vector<double> Dimension::grid(std::size_t k) const {
+  if (kind == Kind::kDiscrete) return choices;
+  PF15_CHECK(k >= 1);
+  std::vector<double> out;
+  out.reserve(k);
+  if (k == 1) {
+    out.push_back(kind == Kind::kLog ? std::sqrt(lo * hi)
+                                     : 0.5 * (lo + hi));
+    return out;
+  }
+  for (std::size_t i = 0; i < k; ++i) {
+    const double frac = static_cast<double>(i) / static_cast<double>(k - 1);
+    if (kind == Kind::kLog) {
+      out.push_back(
+          std::exp(std::log(lo) + frac * (std::log(hi) - std::log(lo))));
+    } else {
+      out.push_back(lo + frac * (hi - lo));
+    }
+  }
+  return out;
+}
+
+Space& Space::add(Dimension dim) {
+  for (const auto& existing : dims_) {
+    PF15_CHECK_MSG(existing.name != dim.name,
+                   "duplicate dimension " << dim.name);
+  }
+  dims_.push_back(std::move(dim));
+  return *this;
+}
+
+Config Space::sample(Rng& rng) const {
+  Config c;
+  for (const auto& d : dims_) c[d.name] = d.sample(rng);
+  return c;
+}
+
+std::vector<Config> Space::grid(std::size_t per_dim) const {
+  std::vector<Config> configs{Config{}};
+  for (const auto& d : dims_) {
+    const std::vector<double> values = d.grid(per_dim);
+    std::vector<Config> expanded;
+    expanded.reserve(configs.size() * values.size());
+    for (const auto& base : configs) {
+      for (double v : values) {
+        Config c = base;
+        c[d.name] = v;
+        expanded.push_back(std::move(c));
+      }
+    }
+    configs = std::move(expanded);
+  }
+  return configs;
+}
+
+bool Space::contains(const Config& config) const {
+  if (config.size() != dims_.size()) return false;
+  for (const auto& d : dims_) {
+    const auto it = config.find(d.name);
+    if (it == config.end()) return false;
+    const double v = it->second;
+    if (d.kind == Dimension::Kind::kDiscrete) {
+      if (std::find(d.choices.begin(), d.choices.end(), v) ==
+          d.choices.end()) {
+        return false;
+      }
+    } else if (v < d.lo || v > d.hi) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace pf15::tune

@@ -1,0 +1,60 @@
+// Hyper-parameter search space.
+//
+// §VIII-B: "it is unreasonable to expect scientists to be conversant in
+// the art of hyper-parameter tuning... higher-level libraries such as
+// Spearmint [49] can be used for automating the search". This module is
+// our Spearmint stand-in: a declarative space of named dimensions
+// (continuous, log-continuous, or discrete) that the searchers in
+// search.hpp sample, enumerate, or race against each other.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/errors.hpp"
+#include "common/rng.hpp"
+
+namespace pf15::tune {
+
+/// One hyper-parameter assignment, by dimension name.
+using Config = std::map<std::string, double>;
+
+struct Dimension {
+  enum class Kind { kLinear, kLog, kDiscrete };
+
+  std::string name;
+  Kind kind = Kind::kLinear;
+  double lo = 0.0;  // continuous bounds (kLog requires lo > 0)
+  double hi = 1.0;
+  std::vector<double> choices;  // kDiscrete only
+
+  static Dimension linear(std::string name, double lo, double hi);
+  static Dimension log(std::string name, double lo, double hi);
+  static Dimension discrete(std::string name, std::vector<double> choices);
+
+  double sample(Rng& rng) const;
+  /// `k` evenly spaced values (in the dimension's natural scale); for
+  /// kDiscrete returns the choices regardless of k.
+  std::vector<double> grid(std::size_t k) const;
+};
+
+class Space {
+ public:
+  Space& add(Dimension dim);
+
+  std::size_t size() const { return dims_.size(); }
+  const std::vector<Dimension>& dimensions() const { return dims_; }
+
+  Config sample(Rng& rng) const;
+  /// Full Cartesian grid with `per_dim` points per continuous dimension.
+  std::vector<Config> grid(std::size_t per_dim) const;
+
+  /// True if `config` assigns every dimension a value within its bounds.
+  bool contains(const Config& config) const;
+
+ private:
+  std::vector<Dimension> dims_;
+};
+
+}  // namespace pf15::tune

@@ -1,0 +1,105 @@
+#include "tune/yellowfin.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/errors.hpp"
+
+namespace pf15::tune {
+
+double yellowfin_cubic_root(double p) {
+  PF15_CHECK(p >= 0.0);
+  // f(x) = p·x − (1−x)³ is strictly increasing on [0, 1] with f(0) = −1
+  // and f(1) = p ≥ 0, so bisection is exact and unconditionally stable.
+  double lo = 0.0, hi = 1.0;
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    const double one_minus = 1.0 - mid;
+    const double f = p * mid - one_minus * one_minus * one_minus;
+    if (f < 0.0) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+YellowFin::YellowFin(std::size_t dim, const YellowFinOptions& opt)
+    : opt_(opt),
+      dim_(dim),
+      grad_avg_(dim, 0.0),
+      momentum_(opt.momentum_init),
+      learning_rate_(opt.learning_rate_init) {
+  PF15_CHECK(dim > 0);
+  PF15_CHECK(opt.beta > 0.0 && opt.beta < 1.0);
+  PF15_CHECK(opt.curvature_window >= 1);
+}
+
+double YellowFin::debias() const {
+  return 1.0 - std::pow(opt_.beta, static_cast<double>(steps_));
+}
+
+void YellowFin::observe(std::span<const float> gradient) {
+  PF15_CHECK_MSG(gradient.size() == dim_,
+                 "gradient length " << gradient.size() << " != " << dim_);
+  ++steps_;
+  const double beta = opt_.beta;
+  const double eps = opt_.epsilon;
+
+  double norm_sq = 0.0;
+  for (std::size_t i = 0; i < dim_; ++i) {
+    const double g = gradient[i];
+    norm_sq += g * g;
+    grad_avg_[i] = beta * grad_avg_[i] + (1.0 - beta) * g;
+  }
+  const double norm = std::sqrt(norm_sq);
+
+  // Curvature range: EWMAs of the sliding-window extrema of ||g||².
+  curvature_window_.push_back(norm_sq);
+  if (curvature_window_.size() > opt_.curvature_window) {
+    curvature_window_.pop_front();
+  }
+  const auto [min_it, max_it] =
+      std::minmax_element(curvature_window_.begin(), curvature_window_.end());
+  h_min_avg_ = beta * h_min_avg_ + (1.0 - beta) * *min_it;
+  h_max_avg_ = beta * h_max_avg_ + (1.0 - beta) * *max_it;
+  const double bias = debias();
+  h_min_ = h_min_avg_ / bias;
+  h_max_ = h_max_avg_ / bias;
+
+  // Gradient variance: C = E||g||² − ||E g||².
+  grad_sq_avg_ = beta * grad_sq_avg_ + (1.0 - beta) * norm_sq;
+  double mean_sq = 0.0;
+  for (double m : grad_avg_) {
+    const double d = m / bias;
+    mean_sq += d * d;
+  }
+  variance_ = std::max(eps, grad_sq_avg_ / bias - mean_sq);
+
+  // Distance to optimum: D = E||g|| / E h.
+  grad_norm_avg_ = beta * grad_norm_avg_ + (1.0 - beta) * norm;
+  h_avg_ = beta * h_avg_ + (1.0 - beta) * norm_sq;
+  const double inst_dist =
+      (grad_norm_avg_ / bias) / std::max(eps, h_avg_ / bias);
+  dist_avg_ = beta * dist_avg_ + (1.0 - beta) * inst_dist;
+  distance_ = dist_avg_ / bias;
+
+  if (steps_ < opt_.warmup_steps || h_min_ <= eps) {
+    return;  // keep the init outputs until estimators are meaningful
+  }
+
+  const double p =
+      distance_ * distance_ * h_min_ * h_min_ / (2.0 * variance_);
+  const double x = yellowfin_cubic_root(p);
+  const double kappa = h_max_ / std::max(eps, h_min_);
+  const double sqrt_kappa = std::sqrt(kappa);
+  const double mu_cond =
+      ((sqrt_kappa - 1.0) / (sqrt_kappa + 1.0)) *
+      ((sqrt_kappa - 1.0) / (sqrt_kappa + 1.0));
+  momentum_ = std::min(1.0 - 1e-6, std::max(x * x, mu_cond));
+  const double one_minus_sqrt_mu = 1.0 - std::sqrt(momentum_);
+  learning_rate_ = one_minus_sqrt_mu * one_minus_sqrt_mu / h_min_;
+}
+
+}  // namespace pf15::tune

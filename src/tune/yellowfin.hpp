@@ -1,0 +1,92 @@
+// YellowFin-style automatic momentum/learning-rate tuning.
+//
+// §VIII-B: hybrid schemes "add an extra parameter to be tuned, which
+// stresses the need for principled momentum tuning approaches, an active
+// area of research (eg. [25] and recently [48])". [48] is YellowFin
+// (Zhang, Mitliagkas & Ré, 2017); this is a faithful single-node
+// implementation of its SingleStep rule:
+//
+//   keep running estimates of
+//     (h_min, h_max) — extremal curvature, from a sliding window of
+//                      squared gradient norms;
+//     C             — gradient variance, from per-coordinate first/second
+//                      gradient moments;
+//     D             — distance to the optimum, estimated as E||g|| / E h.
+//   each step solve for the momentum that makes the noisy heavy-ball
+//   contraction optimal: minimise x²D² + (1−x)⁴C/h_min² over x = √μ,
+//   whose stationarity condition is the cubic
+//     p·x = (1 − x)³,   p = D²·h_min² / (2C),   x ∈ (0, 1)
+//   then
+//     μ = max( x², ((√κ − 1)/(√κ + 1))² ),  κ = h_max / h_min
+//     α = (1 − √μ)² / h_min.
+//
+// Combined with tuned_momentum_for_groups() (solver.hpp) this closes the
+// loop the paper asks for: asynchrony contributes implicit momentum, and
+// the explicit coefficient is set from measured statistics instead of a
+// grid search.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <span>
+#include <vector>
+
+namespace pf15::tune {
+
+struct YellowFinOptions {
+  double beta = 0.999;            // EWMA smoothing for all estimators
+  std::size_t curvature_window = 20;
+  double learning_rate_init = 1e-3;  // used until estimators warm up
+  double momentum_init = 0.0;
+  std::size_t warmup_steps = 10;
+  double epsilon = 1e-12;
+};
+
+class YellowFin {
+ public:
+  /// `dim`: number of model parameters (gradient length).
+  explicit YellowFin(std::size_t dim, const YellowFinOptions& opt = {});
+
+  /// Feeds one (full, unscaled) gradient; updates all estimators and the
+  /// (momentum, learning-rate) outputs.
+  void observe(std::span<const float> gradient);
+
+  double momentum() const { return momentum_; }
+  double learning_rate() const { return learning_rate_; }
+  std::size_t steps() const { return steps_; }
+
+  // Estimator state, exposed for tests and diagnostics.
+  double h_min() const { return h_min_; }
+  double h_max() const { return h_max_; }
+  double gradient_variance() const { return variance_; }
+  double distance_to_opt() const { return distance_; }
+
+ private:
+  double debias() const;
+
+  YellowFinOptions opt_;
+  std::size_t dim_;
+  std::size_t steps_ = 0;
+
+  std::deque<double> curvature_window_;  // recent ||g||² values
+  double h_min_avg_ = 0.0, h_max_avg_ = 0.0;  // EWMAs of window extrema
+  double h_min_ = 0.0, h_max_ = 0.0;          // debiased
+
+  std::vector<double> grad_avg_;    // per-coordinate EWMA of g
+  double grad_sq_avg_ = 0.0;        // EWMA of ||g||²
+  double variance_ = 0.0;
+
+  double grad_norm_avg_ = 0.0;  // EWMA of ||g||
+  double h_avg_ = 0.0;          // EWMA of ||g||²  (curvature proxy)
+  double dist_avg_ = 0.0;       // EWMA of ||g||avg / h_avg
+  double distance_ = 0.0;
+
+  double momentum_ = 0.0;
+  double learning_rate_ = 0.0;
+};
+
+/// Solves p·x = (1 − x)³ for the unique root in (0, 1] given
+/// p = D²·h_min²/(2C) ≥ 0 — exposed for direct testing of the cubic.
+double yellowfin_cubic_root(double p);
+
+}  // namespace pf15::tune

@@ -1,0 +1,24 @@
+// Assertion helper for contract violations: PF15_CHECK throws pf15::Error
+// (libraries must not abort their host process), so contract tests assert
+// the exception type and that the message carries the expected context.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/errors.hpp"
+
+#define PF15_EXPECT_CHECK_FAIL(stmt, substring)                          \
+  do {                                                                   \
+    try {                                                                \
+      stmt;                                                              \
+      ADD_FAILURE() << "expected PF15_CHECK failure containing \""       \
+                    << (substring) << "\", but no exception was thrown"; \
+    } catch (const ::pf15::Error& pf15_e_) {                             \
+      EXPECT_NE(std::string(pf15_e_.what()).find(substring),             \
+                std::string::npos)                                       \
+          << "check message \"" << pf15_e_.what()                        \
+          << "\" does not contain \"" << (substring) << "\"";            \
+    }                                                                    \
+  } while (false)

@@ -1,0 +1,82 @@
+// Central-difference gradient checking for layers.
+//
+// For a layer f and a fixed random cotangent G, define the scalar
+// L(x, w) = <G, f(x, w)>. Backward with dout = G must produce dL/dx and
+// dL/dw; we compare each against (L(.+eps) - L(.-eps)) / (2 eps).
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/layer.hpp"
+
+namespace pf15::testing {
+
+inline double dot(const Tensor& a, const Tensor& b) {
+  EXPECT_EQ(a.numel(), b.numel());
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.numel(); ++i) {
+    s += static_cast<double>(a.data()[i]) * static_cast<double>(b.data()[i]);
+  }
+  return s;
+}
+
+struct GradCheckOptions {
+  float eps = 1e-2f;
+  float tolerance = 2e-2f;  // relative, with absolute floor
+  float abs_floor = 1e-3f;
+  std::size_t max_checks = 64;  // elements probed per tensor (strided)
+};
+
+/// Checks d<G, f>/d(input) and every parameter gradient of `layer` at the
+/// point (`input`, current params). The layer's forward/backward must be
+/// deterministic.
+inline void check_layer_gradients(nn::Layer& layer, Tensor& input,
+                                  const GradCheckOptions& opt = {}) {
+  Rng rng(99);
+  Tensor out;
+  layer.forward(input, out);
+  Tensor cotangent(out.shape());
+  cotangent.fill_uniform(rng, -1.0f, 1.0f);
+
+  // Analytic gradients.
+  for (auto& p : layer.params()) p.grad->zero();
+  Tensor din;
+  layer.forward(input, out);  // refresh caches (argmax etc.)
+  layer.backward(input, cotangent, din);
+
+  auto loss_at = [&]() {
+    Tensor tmp;
+    layer.forward(input, tmp);
+    return dot(tmp, cotangent);
+  };
+
+  auto check_tensor = [&](Tensor& values, const Tensor& analytic,
+                          const char* what) {
+    const std::size_t n = values.numel();
+    const std::size_t stride = std::max<std::size_t>(1, n / opt.max_checks);
+    for (std::size_t i = 0; i < n; i += stride) {
+      const float saved = values.data()[i];
+      values.data()[i] = saved + opt.eps;
+      const double lp = loss_at();
+      values.data()[i] = saved - opt.eps;
+      const double lm = loss_at();
+      values.data()[i] = saved;
+      const double numeric = (lp - lm) / (2.0 * opt.eps);
+      const double a = analytic.data()[i];
+      const double scale =
+          std::max({std::abs(numeric), std::abs(a),
+                    static_cast<double>(opt.abs_floor)});
+      EXPECT_NEAR(a, numeric, opt.tolerance * scale)
+          << what << " element " << i << " of " << layer.name();
+    }
+  };
+
+  check_tensor(input, din, "input");
+  for (auto& p : layer.params()) {
+    check_tensor(*p.value, *p.grad, p.name.c_str());
+  }
+}
+
+}  // namespace pf15::testing

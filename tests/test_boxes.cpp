@@ -1,0 +1,130 @@
+// Bounding-box utilities: IoU, matching, NMS.
+#include <gtest/gtest.h>
+
+#include "nn/boxes.hpp"
+
+namespace pf15::nn {
+namespace {
+
+Box make_box(float x, float y, float w, float h, int cls = 0,
+             float conf = 1.0f) {
+  Box b;
+  b.x = x;
+  b.y = y;
+  b.w = w;
+  b.h = h;
+  b.cls = cls;
+  b.confidence = conf;
+  return b;
+}
+
+TEST(Iou, IdenticalBoxesGiveOne) {
+  const Box b = make_box(0.1f, 0.1f, 0.5f, 0.5f);
+  EXPECT_FLOAT_EQ(iou(b, b), 1.0f);
+}
+
+TEST(Iou, DisjointBoxesGiveZero) {
+  EXPECT_FLOAT_EQ(
+      iou(make_box(0.0f, 0.0f, 0.2f, 0.2f), make_box(0.5f, 0.5f, 0.2f, 0.2f)),
+      0.0f);
+}
+
+TEST(Iou, TouchingEdgesGiveZero) {
+  EXPECT_FLOAT_EQ(
+      iou(make_box(0.0f, 0.0f, 0.5f, 0.5f), make_box(0.5f, 0.0f, 0.5f, 0.5f)),
+      0.0f);
+}
+
+TEST(Iou, HalfOverlap) {
+  // A = [0,1]x[0,1], B = [0.5,1.5]x[0,1]: inter 0.5, union 1.5.
+  EXPECT_NEAR(
+      iou(make_box(0.0f, 0.0f, 1.0f, 1.0f), make_box(0.5f, 0.0f, 1.0f, 1.0f)),
+      1.0f / 3.0f, 1e-6f);
+}
+
+TEST(Iou, DegenerateBoxIsZero) {
+  EXPECT_FLOAT_EQ(
+      iou(make_box(0.1f, 0.1f, 0.0f, 0.5f), make_box(0.0f, 0.0f, 1.0f, 1.0f)),
+      0.0f);
+}
+
+TEST(Iou, ContainedBox) {
+  // Inner area 0.25^2 = 0.0625, outer 1: IoU = 0.0625.
+  EXPECT_NEAR(iou(make_box(0.25f, 0.25f, 0.25f, 0.25f),
+                  make_box(0.0f, 0.0f, 1.0f, 1.0f)),
+              0.0625f, 1e-6f);
+}
+
+TEST(MatchBoxes, PerfectPredictions) {
+  std::vector<Box> gt{make_box(0.1f, 0.1f, 0.2f, 0.2f, 0),
+                      make_box(0.6f, 0.6f, 0.3f, 0.3f, 1)};
+  const auto r = match_boxes(gt, gt, 0.5f);
+  EXPECT_EQ(r.true_positives, 2u);
+  EXPECT_EQ(r.false_positives, 0u);
+  EXPECT_EQ(r.false_negatives, 0u);
+  EXPECT_DOUBLE_EQ(r.precision(), 1.0);
+  EXPECT_DOUBLE_EQ(r.recall(), 1.0);
+}
+
+TEST(MatchBoxes, WrongClassDoesNotMatch) {
+  std::vector<Box> gt{make_box(0.1f, 0.1f, 0.2f, 0.2f, 0)};
+  std::vector<Box> pred{make_box(0.1f, 0.1f, 0.2f, 0.2f, 1)};
+  const auto r = match_boxes(pred, gt, 0.5f);
+  EXPECT_EQ(r.true_positives, 0u);
+  EXPECT_EQ(r.false_positives, 1u);
+  EXPECT_EQ(r.false_negatives, 1u);
+}
+
+TEST(MatchBoxes, EachGroundTruthMatchedOnce) {
+  std::vector<Box> gt{make_box(0.1f, 0.1f, 0.2f, 0.2f, 0)};
+  std::vector<Box> pred{make_box(0.1f, 0.1f, 0.2f, 0.2f, 0, 0.9f),
+                        make_box(0.1f, 0.1f, 0.2f, 0.2f, 0, 0.8f)};
+  const auto r = match_boxes(pred, gt, 0.5f);
+  EXPECT_EQ(r.true_positives, 1u);
+  EXPECT_EQ(r.false_positives, 1u);  // the duplicate
+}
+
+TEST(MatchBoxes, HigherConfidenceClaimsFirst) {
+  // Two ground truths, one prediction overlapping both; higher-confidence
+  // matching is greedy by prediction order.
+  std::vector<Box> gt{make_box(0.0f, 0.0f, 0.4f, 0.4f, 0),
+                      make_box(0.05f, 0.05f, 0.4f, 0.4f, 0)};
+  std::vector<Box> pred{make_box(0.0f, 0.0f, 0.4f, 0.4f, 0, 0.99f)};
+  const auto r = match_boxes(pred, gt, 0.5f);
+  EXPECT_EQ(r.true_positives, 1u);
+  EXPECT_EQ(r.false_negatives, 1u);
+}
+
+TEST(MatchBoxes, EmptyInputs) {
+  const auto r = match_boxes({}, {}, 0.5f);
+  EXPECT_EQ(r.true_positives, 0u);
+  EXPECT_DOUBLE_EQ(r.precision(), 0.0);
+  EXPECT_DOUBLE_EQ(r.recall(), 0.0);
+}
+
+TEST(Nms, SuppressesOverlappingSameClass) {
+  std::vector<Box> boxes{make_box(0.1f, 0.1f, 0.3f, 0.3f, 0, 0.9f),
+                         make_box(0.12f, 0.12f, 0.3f, 0.3f, 0, 0.7f),
+                         make_box(0.6f, 0.6f, 0.2f, 0.2f, 0, 0.8f)};
+  const auto kept = nms(boxes, 0.5f);
+  ASSERT_EQ(kept.size(), 2u);
+  EXPECT_FLOAT_EQ(kept[0].confidence, 0.9f);
+  EXPECT_FLOAT_EQ(kept[1].confidence, 0.8f);
+}
+
+TEST(Nms, KeepsDifferentClasses) {
+  std::vector<Box> boxes{make_box(0.1f, 0.1f, 0.3f, 0.3f, 0, 0.9f),
+                         make_box(0.1f, 0.1f, 0.3f, 0.3f, 1, 0.8f)};
+  EXPECT_EQ(nms(boxes, 0.5f).size(), 2u);
+}
+
+TEST(Nms, OrdersByConfidence) {
+  std::vector<Box> boxes{make_box(0.5f, 0.5f, 0.1f, 0.1f, 0, 0.2f),
+                         make_box(0.1f, 0.1f, 0.1f, 0.1f, 0, 0.95f)};
+  const auto kept = nms(boxes, 0.5f);
+  ASSERT_EQ(kept.size(), 2u);
+  EXPECT_FLOAT_EQ(kept[0].confidence, 0.95f);
+}
+
+}  // namespace
+}  // namespace pf15::nn

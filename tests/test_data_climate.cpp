@@ -1,0 +1,162 @@
+// Synthetic climate generator: geometry of ground-truth boxes, multi-
+// channel event signatures, labeled/unlabeled streams, determinism.
+#include <gtest/gtest.h>
+
+#include "data/climate_generator.hpp"
+
+namespace pf15::data {
+namespace {
+
+ClimateGeneratorConfig small_config() {
+  ClimateGeneratorConfig cfg;
+  cfg.image = 96;
+  cfg.channels = 8;
+  return cfg;
+}
+
+TEST(ClimateGenerator, ImageShape) {
+  ClimateGenerator gen(small_config());
+  const ClimateSample s = gen.generate(true);
+  EXPECT_EQ(s.image.shape(), (Shape{8, 96, 96}));
+}
+
+TEST(ClimateGenerator, BoxesWithinUnitSquare) {
+  ClimateGenerator gen(small_config());
+  for (int i = 0; i < 20; ++i) {
+    const ClimateSample s = gen.generate(true);
+    for (const auto& b : s.boxes) {
+      EXPECT_GE(b.x, 0.0f);
+      EXPECT_GE(b.y, 0.0f);
+      EXPECT_LE(b.x + b.w, 1.0f + 1e-4f);
+      EXPECT_LE(b.y + b.h, 1.0f + 1e-4f);
+      EXPECT_GT(b.w, 0.0f);
+      EXPECT_GT(b.h, 0.0f);
+    }
+  }
+}
+
+TEST(ClimateGenerator, ClassesInRange) {
+  auto cfg = small_config();
+  cfg.classes = 4;
+  cfg.events_mean = 4.0;
+  ClimateGenerator gen(cfg);
+  for (int i = 0; i < 20; ++i) {
+    for (const auto& b : gen.generate(true).boxes) {
+      EXPECT_GE(b.cls, 0);
+      EXPECT_LT(b.cls, 4);
+    }
+  }
+}
+
+TEST(ClimateGenerator, UnlabeledSamplesHideBoxes) {
+  ClimateGenerator gen(small_config());
+  const ClimateSample s = gen.generate(false);
+  EXPECT_FALSE(s.labeled);
+  EXPECT_TRUE(s.boxes.empty());
+}
+
+TEST(ClimateGenerator, LabeledFractionRoughlyHonored) {
+  auto cfg = small_config();
+  cfg.labeled_fraction = 0.25;
+  ClimateGenerator gen(cfg);
+  int labeled = 0;
+  const int n = 200;
+  for (int i = 0; i < n; ++i) {
+    if (gen.generate().labeled) ++labeled;
+  }
+  EXPECT_NEAR(static_cast<double>(labeled) / n, 0.25, 0.1);
+}
+
+TEST(ClimateGenerator, Deterministic) {
+  ClimateGenerator a(small_config(), 7);
+  ClimateGenerator b(small_config(), 7);
+  const ClimateSample sa = a.generate(true);
+  const ClimateSample sb = b.generate(true);
+  EXPECT_EQ(sa.boxes.size(), sb.boxes.size());
+  EXPECT_FLOAT_EQ(max_abs_diff(sa.image, sb.image), 0.0f);
+}
+
+TEST(ClimateGenerator, EventRegionIsAnomalous) {
+  // Inside a cyclone box the moisture channel must exceed the background
+  // average substantially.
+  auto cfg = small_config();
+  cfg.events_mean = 1.0;
+  cfg.classes = 1;  // tropical cyclones only
+  ClimateGenerator gen(cfg);
+  const std::size_t size = cfg.image;
+  int tested = 0;
+  for (int trial = 0; trial < 50 && tested < 5; ++trial) {
+    const ClimateSample s = gen.generate(true);
+    if (s.boxes.empty()) continue;
+    for (const auto& b : s.boxes) {
+      // Mean moisture inside the box vs whole-image mean.
+      const auto x0 = static_cast<std::size_t>(b.x * size);
+      const auto y0 = static_cast<std::size_t>(b.y * size);
+      const auto x1 = std::min(size, static_cast<std::size_t>(
+                                         (b.x + b.w) * size));
+      const auto y1 = std::min(size, static_cast<std::size_t>(
+                                         (b.y + b.h) * size));
+      double inside = 0.0;
+      std::size_t count = 0;
+      for (std::size_t y = y0; y < y1; ++y) {
+        for (std::size_t x = x0; x < x1; ++x) {
+          inside += s.image.at(y * size + x);
+          ++count;
+        }
+      }
+      ASSERT_GT(count, 0u);
+      inside /= static_cast<double>(count);
+      double total = 0.0;
+      for (std::size_t i = 0; i < size * size; ++i) {
+        total += s.image.at(i);
+      }
+      total /= static_cast<double>(size * size);
+      EXPECT_GT(inside, total + 0.3)
+          << "cyclone moisture signature missing";
+      ++tested;
+    }
+  }
+  EXPECT_GE(tested, 1) << "no events generated in 50 samples";
+}
+
+TEST(ClimateGenerator, WindChannelsCarryRotation) {
+  // For a strong TC the tangential wind makes U and V channels deviate
+  // from their background mean near the event.
+  auto cfg = small_config();
+  cfg.classes = 1;
+  cfg.events_mean = 1.0;
+  cfg.noise_sigma = 0.01;
+  ClimateGenerator gen(cfg);
+  for (int trial = 0; trial < 50; ++trial) {
+    const ClimateSample s = gen.generate(true);
+    if (s.boxes.empty()) continue;
+    const std::size_t plane = cfg.image * cfg.image;
+    double u_extreme = 0.0;
+    for (std::size_t i = plane; i < 2 * plane; ++i) {
+      u_extreme = std::max(
+          u_extreme, static_cast<double>(std::abs(s.image.at(i))));
+    }
+    EXPECT_GT(u_extreme, 1.0) << "no wind signature";
+    return;
+  }
+  FAIL() << "no events generated";
+}
+
+TEST(ClimateGenerator, AtmosphericRiverIsElongated) {
+  auto cfg = small_config();
+  cfg.classes = 3;  // include AR (class 2)
+  cfg.events_mean = 3.0;
+  ClimateGenerator gen(cfg);
+  for (int trial = 0; trial < 100; ++trial) {
+    for (const auto& b : gen.generate(true).boxes) {
+      if (b.cls != 2) continue;
+      const float aspect = std::max(b.w / b.h, b.h / b.w);
+      EXPECT_GT(aspect, 1.1f) << "ARs should be elongated";
+      return;
+    }
+  }
+  FAIL() << "no AR generated in 100 samples";
+}
+
+}  // namespace
+}  // namespace pf15::data

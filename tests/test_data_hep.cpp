@@ -1,0 +1,167 @@
+// Synthetic HEP generator and the cut-based baseline: label validity,
+// class separability (both in features and in images), determinism, and
+// the TPR-at-FPR machinery used for the §VII-A comparison.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "data/hep_baseline.hpp"
+#include "data/hep_generator.hpp"
+
+namespace pf15::data {
+namespace {
+
+HepGeneratorConfig small_config() {
+  HepGeneratorConfig cfg;
+  cfg.image = 64;
+  return cfg;
+}
+
+TEST(HepGenerator, ImageShapeAndChannels) {
+  HepGenerator gen(small_config());
+  const HepEvent ev = gen.generate();
+  EXPECT_EQ(ev.image.shape(), (Shape{3, 64, 64}));
+}
+
+TEST(HepGenerator, EnergyIsNonNegative) {
+  HepGenerator gen(small_config());
+  for (int i = 0; i < 5; ++i) {
+    const HepEvent ev = gen.generate();
+    EXPECT_GE(ev.image.min(), 0.0f) << "calorimeter energy is physical";
+  }
+}
+
+TEST(HepGenerator, LabelsFollowRequestedClass) {
+  HepGenerator gen(small_config());
+  EXPECT_EQ(gen.generate(true).label, 1);
+  EXPECT_EQ(gen.generate(false).label, 0);
+}
+
+TEST(HepGenerator, DeterministicForSeedAndStream) {
+  HepGenerator a(small_config(), 3);
+  HepGenerator b(small_config(), 3);
+  const HepEvent ea = a.generate();
+  const HepEvent eb = b.generate();
+  EXPECT_EQ(ea.label, eb.label);
+  EXPECT_FLOAT_EQ(max_abs_diff(ea.image, eb.image), 0.0f);
+}
+
+TEST(HepGenerator, StreamsProduceDifferentEvents) {
+  HepGenerator a(small_config(), 0);
+  HepGenerator b(small_config(), 1);
+  EXPECT_GT(max_abs_diff(a.generate(true).image, b.generate(true).image),
+            0.0f);
+}
+
+TEST(HepGenerator, SignalHasHigherAverageActivity) {
+  // Signal events carry more jets and harder spectra: mean total image
+  // energy must be clearly higher.
+  HepGenerator gen(small_config());
+  double sig = 0.0, bkg = 0.0;
+  const int n = 60;
+  for (int i = 0; i < n; ++i) {
+    sig += gen.generate(true).image.sum();
+    bkg += gen.generate(false).image.sum();
+  }
+  EXPECT_GT(sig / n, 1.2 * (bkg / n));
+}
+
+TEST(HepGenerator, FeaturesSeparateClassesPartially) {
+  HepGenerator gen(small_config());
+  double sig_ht = 0.0, bkg_ht = 0.0, sig_mj = 0.0, bkg_mj = 0.0;
+  const int n = 200;
+  for (int i = 0; i < n; ++i) {
+    const auto fs = gen.generate(true).features;
+    const auto fb = gen.generate(false).features;
+    sig_ht += fs.ht;
+    bkg_ht += fb.ht;
+    sig_mj += fs.mj_sum;
+    bkg_mj += fb.mj_sum;
+  }
+  EXPECT_GT(sig_ht, bkg_ht);
+  EXPECT_GT(sig_mj, bkg_mj);  // substructure raises summed jet mass
+}
+
+TEST(HepGenerator, TrackChannelIsDiscrete) {
+  HepGenerator gen(small_config());
+  const HepEvent ev = gen.generate(true);
+  const std::size_t plane = 64 * 64;
+  for (std::size_t i = 2 * plane; i < 3 * plane; ++i) {
+    const float v = ev.image.at(i);
+    EXPECT_FLOAT_EQ(v, std::round(v)) << "track counts are integers";
+  }
+}
+
+class BaselineFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    HepGeneratorConfig cfg = small_config();
+    HepGenerator gen(cfg);
+    // Imbalanced stream like the paper's (background-dominated).
+    for (int i = 0; i < 4000; ++i) {
+      const bool signal = i % 8 == 0;
+      const HepEvent ev = gen.generate(signal);
+      features_.push_back(ev.features);
+      labels_.push_back(ev.label);
+    }
+  }
+
+  std::vector<HepFeatures> features_;
+  std::vector<std::int32_t> labels_;
+};
+
+TEST_F(BaselineFixture, FitRespectsFprBudget) {
+  CutBaseline baseline;
+  baseline.fit(features_, labels_, 0.01);
+  const RatePoint r = baseline.evaluate(features_, labels_);
+  EXPECT_LE(r.fpr, 0.0101);
+  EXPECT_GT(r.tpr, 0.0) << "selection must accept some signal";
+}
+
+TEST_F(BaselineFixture, LooserBudgetGivesHigherTpr) {
+  CutBaseline tight, loose;
+  tight.fit(features_, labels_, 0.005);
+  loose.fit(features_, labels_, 0.10);
+  EXPECT_GE(loose.evaluate(features_, labels_).tpr,
+            tight.evaluate(features_, labels_).tpr);
+}
+
+TEST_F(BaselineFixture, SelectionUsesPhysicalCuts) {
+  CutBaseline baseline;
+  baseline.fit(features_, labels_, 0.02);
+  const CutSelection& sel = baseline.selection();
+  // At least one cut must be active (nontrivial).
+  EXPECT_TRUE(sel.min_njet > 0 || sel.min_ht > 0.0f ||
+              sel.min_mj_sum > 0.0f);
+}
+
+TEST(TprAtFpr, PerfectScores) {
+  const std::vector<float> scores{0.9f, 0.8f, 0.2f, 0.1f};
+  const std::vector<std::int32_t> labels{1, 1, 0, 0};
+  const RatePoint r = tpr_at_fpr(scores, labels, 0.0);
+  EXPECT_DOUBLE_EQ(r.tpr, 1.0);
+}
+
+TEST(TprAtFpr, RandomScoresTrackBudget) {
+  Rng rng(5);
+  std::vector<float> scores;
+  std::vector<std::int32_t> labels;
+  for (int i = 0; i < 20000; ++i) {
+    scores.push_back(static_cast<float>(rng.uniform()));
+    labels.push_back(rng.bernoulli(0.5) ? 1 : 0);
+  }
+  // Uninformative scores: TPR at FPR budget f is ~ f.
+  const RatePoint r = tpr_at_fpr(scores, labels, 0.05);
+  EXPECT_NEAR(r.tpr, 0.05, 0.015);
+  EXPECT_LE(r.fpr, 0.05);
+}
+
+TEST(TprAtFpr, InvertedScoresGiveNearZero) {
+  const std::vector<float> scores{0.1f, 0.2f, 0.8f, 0.9f};
+  const std::vector<std::int32_t> labels{1, 1, 0, 0};
+  const RatePoint r = tpr_at_fpr(scores, labels, 0.0);
+  EXPECT_DOUBLE_EQ(r.tpr, 0.0);
+}
+
+}  // namespace
+}  // namespace pf15::data

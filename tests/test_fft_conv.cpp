@@ -1,0 +1,167 @@
+// FFT-based convolution (§VIII-A's second named future-work algorithm):
+// transform invariants, exact agreement with the im2col convolution across
+// a geometry sweep, and the arithmetic crossover against direct cost.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <tuple>
+
+#include "check_failure.hpp"
+#include "common/rng.hpp"
+#include "gemm/fft_conv.hpp"
+#include "gemm/gemm.hpp"
+#include "gemm/im2col.hpp"
+
+namespace pf15::gemm {
+namespace {
+
+TEST(Fft1d, RejectsNonPowerOfTwo) {
+  std::vector<std::complex<double>> data(3);
+  PF15_EXPECT_CHECK_FAIL(fft1d(data, false), "power of two");
+}
+
+TEST(Fft1d, ForwardInverseRoundTrip) {
+  Rng rng(1);
+  std::vector<std::complex<double>> data(64);
+  for (auto& z : data) z = {rng.normal(), rng.normal()};
+  const auto original = data;
+  fft1d(data, false);
+  fft1d(data, true);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_NEAR(data[i].real(), original[i].real(), 1e-10);
+    EXPECT_NEAR(data[i].imag(), original[i].imag(), 1e-10);
+  }
+}
+
+TEST(Fft1d, DeltaTransformsToAllOnes) {
+  std::vector<std::complex<double>> data(16, {0.0, 0.0});
+  data[0] = {1.0, 0.0};
+  fft1d(data, false);
+  for (const auto& z : data) {
+    EXPECT_NEAR(z.real(), 1.0, 1e-12);
+    EXPECT_NEAR(z.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft1d, ParsevalHolds) {
+  Rng rng(2);
+  std::vector<std::complex<double>> data(128);
+  double time_energy = 0.0;
+  for (auto& z : data) {
+    z = {rng.normal(), rng.normal()};
+    time_energy += std::norm(z);
+  }
+  fft1d(data, false);
+  double freq_energy = 0.0;
+  for (const auto& z : data) freq_energy += std::norm(z);
+  EXPECT_NEAR(freq_energy, time_energy * 128.0, 1e-6 * freq_energy);
+}
+
+TEST(Fft2d, RoundTrip) {
+  Rng rng(3);
+  const std::size_t n = 16;
+  std::vector<std::complex<double>> grid(n * n);
+  for (auto& z : grid) z = {rng.normal(), 0.0};
+  const auto original = grid;
+  fft2d(grid, n, false);
+  fft2d(grid, n, true);
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    EXPECT_NEAR(grid[i].real(), original[i].real(), 1e-10);
+  }
+}
+
+TEST(NextPow2, Values) {
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(2), 2u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(17), 32u);
+  EXPECT_EQ(next_pow2(64), 64u);
+}
+
+// FFT conv must agree with the im2col + GEMM reference across geometries.
+class FftConvSweep
+    : public ::testing::TestWithParam<
+          std::tuple<std::size_t, std::size_t, std::size_t, std::size_t,
+                     std::size_t, std::size_t>> {};
+
+TEST_P(FftConvSweep, MatchesIm2colConvolution) {
+  const auto [in_c, out_c, hw, kernel, stride, pad] = GetParam();
+  if (hw + 2 * pad < kernel) GTEST_SKIP();
+
+  Rng rng(7);
+  std::vector<float> image(in_c * hw * hw);
+  for (auto& v : image) v = rng.uniform(-1.0f, 1.0f);
+  std::vector<float> weight(out_c * in_c * kernel * kernel);
+  for (auto& v : weight) v = rng.uniform(-0.5f, 0.5f);
+  std::vector<float> bias(out_c);
+  for (auto& v : bias) v = rng.uniform(-0.2f, 0.2f);
+
+  ConvGeom g;
+  g.in_c = in_c;
+  g.in_h = g.in_w = hw;
+  g.kernel_h = g.kernel_w = kernel;
+  g.stride_h = g.stride_w = stride;
+  g.pad_h = g.pad_w = pad;
+  const std::size_t out_n = g.out_h() * g.out_w();
+
+  // Reference: im2col + GEMM.
+  std::vector<float> col(g.lowered_rows() * g.lowered_cols());
+  im2col(g, image.data(), col.data());
+  std::vector<float> ref(out_c * out_n, 0.0f);
+  sgemm(false, false, out_c, g.lowered_cols(), g.lowered_rows(), 1.0f,
+        weight.data(), g.lowered_rows(), col.data(), g.lowered_cols(), 0.0f,
+        ref.data(), g.lowered_cols());
+  for (std::size_t oc = 0; oc < out_c; ++oc) {
+    for (std::size_t i = 0; i < out_n; ++i) ref[oc * out_n + i] += bias[oc];
+  }
+
+  std::vector<float> fft_out(out_c * out_n, -99.0f);
+  fft_conv2d(image.data(), in_c, hw, hw, weight.data(), out_c, kernel,
+             stride, pad, bias.data(), fft_out.data());
+
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    EXPECT_NEAR(fft_out[i], ref[i], 2e-4f) << "element " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, FftConvSweep,
+    ::testing::Values(
+        std::make_tuple(1u, 1u, 8u, 3u, 1u, 0u),
+        std::make_tuple(1u, 1u, 8u, 3u, 1u, 1u),
+        std::make_tuple(3u, 4u, 12u, 3u, 1u, 1u),
+        std::make_tuple(2u, 2u, 9u, 5u, 1u, 2u),
+        std::make_tuple(2u, 3u, 16u, 7u, 1u, 3u),
+        std::make_tuple(3u, 2u, 12u, 3u, 2u, 1u),
+        std::make_tuple(1u, 2u, 15u, 5u, 3u, 2u),
+        std::make_tuple(4u, 4u, 6u, 1u, 1u, 0u),
+        std::make_tuple(2u, 2u, 10u, 9u, 1u, 4u)));
+
+TEST(FftConvFlops, CrossoverFavorsLargeKernels) {
+  // Direct cost ~ K² per output; FFT cost ~ log terms independent of K.
+  // At 3x3 the direct path must win; at large kernels FFT must win.
+  const std::size_t c = 64, hw = 56;
+  const std::uint64_t direct_3x3 =
+      2ull * c * c * hw * hw * 3 * 3;
+  const std::uint64_t fft_3x3 = fft_conv_flops(c, c, hw, hw, 3, 1);
+  EXPECT_LT(direct_3x3, fft_3x3)
+      << "the paper's 3x3 nets should keep the direct path";
+
+  const std::size_t big_k = 25;
+  const std::uint64_t direct_big =
+      2ull * c * c * hw * hw * big_k * big_k;
+  const std::uint64_t fft_big = fft_conv_flops(c, c, hw, hw, big_k, 12);
+  EXPECT_GT(direct_big, fft_big) << "large kernels favour FFT";
+}
+
+TEST(FftConv, RejectsKernelLargerThanInput) {
+  std::vector<float> image(4), weight(25), out(1);
+  PF15_EXPECT_CHECK_FAIL(
+      fft_conv2d(image.data(), 1, 2, 2, weight.data(), 1, 5, 1, 0, nullptr,
+                 out.data()),
+      "kernel larger");
+}
+
+}  // namespace
+}  // namespace pf15::gemm

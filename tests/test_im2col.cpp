@@ -1,0 +1,155 @@
+// im2col / col2im: geometry, padding, strides, and adjointness.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "gemm/im2col.hpp"
+
+namespace pf15::gemm {
+namespace {
+
+TEST(ConvGeom, OutputSizes) {
+  ConvGeom g;
+  g.in_c = 3;
+  g.in_h = g.in_w = 224;
+  g.kernel_h = g.kernel_w = 3;
+  g.stride_h = g.stride_w = 1;
+  g.pad_h = g.pad_w = 1;
+  EXPECT_EQ(g.out_h(), 224u);
+  EXPECT_EQ(g.out_w(), 224u);
+  EXPECT_EQ(g.lowered_rows(), 27u);
+  EXPECT_EQ(g.lowered_cols(), 224u * 224u);
+}
+
+TEST(ConvGeom, StridedOutput) {
+  ConvGeom g;
+  g.in_c = 16;
+  g.in_h = g.in_w = 768;
+  g.kernel_h = g.kernel_w = 5;
+  g.stride_h = g.stride_w = 2;
+  g.pad_h = g.pad_w = 2;
+  EXPECT_EQ(g.out_h(), 384u);
+  EXPECT_EQ(g.out_w(), 384u);
+}
+
+TEST(Im2col, IdentityKernelCopiesChannels) {
+  // 1x1 kernel, stride 1, no pad: col equals the image.
+  ConvGeom g;
+  g.in_c = 2;
+  g.in_h = g.in_w = 4;
+  g.kernel_h = g.kernel_w = 1;
+  std::vector<float> image(2 * 16);
+  for (std::size_t i = 0; i < image.size(); ++i) {
+    image[i] = static_cast<float>(i);
+  }
+  std::vector<float> col(g.lowered_rows() * g.lowered_cols(), -1.0f);
+  im2col(g, image.data(), col.data());
+  for (std::size_t i = 0; i < image.size(); ++i) {
+    EXPECT_FLOAT_EQ(col[i], image[i]);
+  }
+}
+
+TEST(Im2col, PaddingProducesZeros) {
+  ConvGeom g;
+  g.in_c = 1;
+  g.in_h = g.in_w = 2;
+  g.kernel_h = g.kernel_w = 3;
+  g.pad_h = g.pad_w = 1;
+  std::vector<float> image{1.0f, 2.0f, 3.0f, 4.0f};
+  std::vector<float> col(g.lowered_rows() * g.lowered_cols(), -1.0f);
+  im2col(g, image.data(), col.data());
+  // Tap (kh=0, kw=0) at output (0,0) reads input (-1,-1): zero.
+  EXPECT_FLOAT_EQ(col[0], 0.0f);
+  // Tap (kh=1, kw=1) (center) at output (0,0) reads input (0,0): 1.
+  const std::size_t center_row = 1 * 3 + 1;
+  EXPECT_FLOAT_EQ(col[center_row * 4 + 0], 1.0f);
+}
+
+TEST(Im2col, ExplicitSmallCase) {
+  // 3x3 input, 2x2 kernel, stride 1: 2x2 output, 4 rows.
+  ConvGeom g;
+  g.in_c = 1;
+  g.in_h = g.in_w = 3;
+  g.kernel_h = g.kernel_w = 2;
+  std::vector<float> image{0, 1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<float> col(4 * 4);
+  im2col(g, image.data(), col.data());
+  // Row 0 (tap 0,0): inputs at (y, x): (0,0),(0,1),(1,0),(1,1).
+  EXPECT_FLOAT_EQ(col[0], 0.0f);
+  EXPECT_FLOAT_EQ(col[1], 1.0f);
+  EXPECT_FLOAT_EQ(col[2], 3.0f);
+  EXPECT_FLOAT_EQ(col[3], 4.0f);
+  // Row 3 (tap 1,1): (1,1),(1,2),(2,1),(2,2).
+  EXPECT_FLOAT_EQ(col[12], 4.0f);
+  EXPECT_FLOAT_EQ(col[13], 5.0f);
+  EXPECT_FLOAT_EQ(col[14], 7.0f);
+  EXPECT_FLOAT_EQ(col[15], 8.0f);
+}
+
+struct GeomCase {
+  std::size_t c, h, w, k, s, p;
+};
+
+class Im2colAdjoint : public ::testing::TestWithParam<GeomCase> {};
+
+// col2im must be the exact adjoint of im2col:
+// <im2col(x), y> == <x, col2im(y)> for all x, y.
+TEST_P(Im2colAdjoint, AdjointIdentity) {
+  const GeomCase gc = GetParam();
+  ConvGeom g;
+  g.in_c = gc.c;
+  g.in_h = gc.h;
+  g.in_w = gc.w;
+  g.kernel_h = g.kernel_w = gc.k;
+  g.stride_h = g.stride_w = gc.s;
+  g.pad_h = g.pad_w = gc.p;
+  ASSERT_GE(g.in_h + 2 * g.pad_h, g.kernel_h);
+
+  Rng rng(55);
+  const std::size_t image_n = g.in_c * g.in_h * g.in_w;
+  const std::size_t col_n = g.lowered_rows() * g.lowered_cols();
+  std::vector<float> x(image_n), y(col_n), col(col_n),
+      img_back(image_n, 0.0f);
+  for (auto& v : x) v = rng.uniform(-1.0f, 1.0f);
+  for (auto& v : y) v = rng.uniform(-1.0f, 1.0f);
+
+  im2col(g, x.data(), col.data());
+  col2im(g, y.data(), img_back.data());
+
+  double lhs = 0.0, rhs = 0.0;
+  for (std::size_t i = 0; i < col_n; ++i) {
+    lhs += static_cast<double>(col[i]) * static_cast<double>(y[i]);
+  }
+  for (std::size_t i = 0; i < image_n; ++i) {
+    rhs += static_cast<double>(x[i]) * static_cast<double>(img_back[i]);
+  }
+  EXPECT_NEAR(lhs, rhs, 1e-2 * std::max(1.0, std::abs(lhs)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, Im2colAdjoint,
+    ::testing::Values(GeomCase{1, 5, 5, 3, 1, 0}, GeomCase{1, 5, 5, 3, 1, 1},
+                      GeomCase{2, 8, 8, 3, 2, 1}, GeomCase{3, 9, 7, 5, 2, 2},
+                      GeomCase{4, 6, 6, 2, 2, 0}, GeomCase{2, 12, 12, 6, 2, 2},
+                      GeomCase{1, 4, 4, 4, 4, 0},
+                      GeomCase{5, 10, 10, 1, 1, 0}));
+
+TEST(Col2im, AccumulatesOverlaps) {
+  // 3x3 input, 2x2 kernel stride 1: center pixel (1,1) is touched by all
+  // four taps across four output positions... actually by 4 (tap, output)
+  // combinations. With all-ones col, center value = number of taps
+  // covering it = 4.
+  ConvGeom g;
+  g.in_c = 1;
+  g.in_h = g.in_w = 3;
+  g.kernel_h = g.kernel_w = 2;
+  std::vector<float> col(4 * 4, 1.0f);
+  std::vector<float> img(9, 0.0f);
+  col2im(g, col.data(), img.data());
+  EXPECT_FLOAT_EQ(img[4], 4.0f);  // center
+  EXPECT_FLOAT_EQ(img[0], 1.0f);  // corner touched once
+}
+
+}  // namespace
+}  // namespace pf15::gemm

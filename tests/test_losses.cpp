@@ -1,0 +1,292 @@
+// Loss functions: softmax cross-entropy values and gradients, MSE, and the
+// composite climate detection objective.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/climate_net.hpp"
+#include "nn/losses.hpp"
+
+namespace pf15::nn {
+namespace {
+
+TEST(SoftmaxCrossEntropy, UniformLogitsGiveLogC) {
+  SoftmaxCrossEntropy loss;
+  Tensor logits(Shape{3, 4});  // all zeros -> uniform probs
+  Tensor probs;
+  const double l = loss.forward(logits, {0, 1, 2}, probs);
+  EXPECT_NEAR(l, std::log(4.0), 1e-6);
+  for (std::size_t i = 0; i < probs.numel(); ++i) {
+    EXPECT_NEAR(probs.at(i), 0.25f, 1e-6f);
+  }
+}
+
+TEST(SoftmaxCrossEntropy, ConfidentCorrectIsNearZero) {
+  SoftmaxCrossEntropy loss;
+  Tensor logits(Shape{1, 2});
+  logits.at(0) = 20.0f;
+  logits.at(1) = -20.0f;
+  Tensor probs;
+  EXPECT_NEAR(loss.forward(logits, {0}, probs), 0.0, 1e-6);
+}
+
+TEST(SoftmaxCrossEntropy, NumericallyStableForHugeLogits) {
+  SoftmaxCrossEntropy loss;
+  Tensor logits(Shape{1, 3});
+  logits.at(0) = 1e4f;
+  logits.at(1) = 1e4f - 5.0f;
+  logits.at(2) = -1e4f;
+  Tensor probs;
+  const double l = loss.forward(logits, {1}, probs);
+  EXPECT_TRUE(std::isfinite(l));
+  EXPECT_NEAR(l, 5.0 + std::log(1.0 + std::exp(-5.0)), 1e-3);
+}
+
+TEST(SoftmaxCrossEntropy, GradientIsProbMinusOneHotOverBatch) {
+  SoftmaxCrossEntropy loss;
+  Tensor logits(Shape{2, 3});
+  logits.at(0) = 1.0f;
+  logits.at(4) = -0.5f;
+  Tensor probs, dlogits;
+  loss.forward_backward(logits, {2, 0}, probs, dlogits);
+  for (std::size_t b = 0; b < 2; ++b) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      const float expected =
+          (probs.at(b * 3 + c) -
+           ((b == 0 && c == 2) || (b == 1 && c == 0) ? 1.0f : 0.0f)) /
+          2.0f;
+      EXPECT_NEAR(dlogits.at(b * 3 + c), expected, 1e-6f);
+    }
+  }
+}
+
+TEST(SoftmaxCrossEntropy, GradientMatchesNumeric) {
+  SoftmaxCrossEntropy loss;
+  Rng rng(1);
+  Tensor logits(Shape{3, 4});
+  logits.fill_uniform(rng, -2.0f, 2.0f);
+  const std::vector<std::int32_t> labels{1, 3, 0};
+  Tensor probs, dlogits;
+  loss.forward_backward(logits, labels, probs, dlogits);
+  const float eps = 1e-3f;
+  for (std::size_t i = 0; i < logits.numel(); ++i) {
+    const float saved = logits.at(i);
+    logits.at(i) = saved + eps;
+    const double lp = loss.forward(logits, labels, probs);
+    logits.at(i) = saved - eps;
+    const double lm = loss.forward(logits, labels, probs);
+    logits.at(i) = saved;
+    EXPECT_NEAR(dlogits.at(i), (lp - lm) / (2.0f * eps), 1e-3f);
+  }
+}
+
+TEST(MseLoss, ZeroForIdenticalTensors) {
+  Tensor a(Shape{5});
+  a.fill(2.0f);
+  Tensor b = a.clone();
+  Tensor grad;
+  EXPECT_DOUBLE_EQ(mse_loss(a, b, 1.0f, grad), 0.0);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_FLOAT_EQ(grad.at(i), 0.0f);
+}
+
+TEST(MseLoss, ValueAndGradient) {
+  Tensor pred(Shape{2}), target(Shape{2});
+  pred.at(0) = 1.0f;
+  pred.at(1) = 3.0f;
+  target.at(0) = 0.0f;
+  target.at(1) = 1.0f;
+  Tensor grad;
+  // mean((1,2)^2) = 2.5.
+  EXPECT_DOUBLE_EQ(mse_loss(pred, target, 1.0f, grad), 2.5);
+  EXPECT_FLOAT_EQ(grad.at(0), 2.0f * 1.0f / 2.0f);
+  EXPECT_FLOAT_EQ(grad.at(1), 2.0f * 2.0f / 2.0f);
+}
+
+TEST(MseLoss, WeightScalesBoth) {
+  Rng rng(2);
+  Tensor pred(Shape{8}), target(Shape{8});
+  pred.fill_uniform(rng, -1.0f, 1.0f);
+  target.fill_uniform(rng, -1.0f, 1.0f);
+  Tensor g1, g2;
+  const double l1 = mse_loss(pred, target, 1.0f, g1);
+  const double l2 = mse_loss(pred, target, 2.5f, g2);
+  EXPECT_NEAR(l2, 2.5 * l1, 1e-9);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_NEAR(g2.at(i), 2.5f * g1.at(i), 1e-6f);
+  }
+}
+
+TEST(SoftmaxRows, RowsSumToOne) {
+  Rng rng(3);
+  Tensor t(Shape{4, 6});
+  t.fill_uniform(rng, -3.0f, 3.0f);
+  softmax_rows(t, 4, 6);
+  for (std::size_t r = 0; r < 4; ++r) {
+    double s = 0.0;
+    for (std::size_t c = 0; c < 6; ++c) s += t.at(r * 6 + c);
+    EXPECT_NEAR(s, 1.0, 1e-5);
+  }
+}
+
+// --------------------------------------------------------- Climate loss
+class ClimateLossFixture : public ::testing::Test {
+ protected:
+  ClimateLossFixture() : cfg_(nn::ClimateConfig::tiny()), net_(cfg_) {
+    Rng rng(11);
+    input_ = Tensor(Shape{1, cfg_.channels, cfg_.image, cfg_.image});
+    input_.fill_uniform(rng, -1.0f, 1.0f);
+  }
+
+  ClimateConfig cfg_;
+  ClimateNet net_;
+  Tensor input_;
+};
+
+TEST_F(ClimateLossFixture, UnlabeledHasOnlyReconstruction) {
+  const auto& out = net_.forward(input_);
+  std::vector<ClimateTarget> targets(1);
+  targets[0].labeled = false;
+  ClimateLoss loss;
+  ClimateNet::OutputGrads grads;
+  const auto parts = loss.compute(out, input_, targets, grads);
+  EXPECT_DOUBLE_EQ(parts.obj, 0.0);
+  EXPECT_DOUBLE_EQ(parts.noobj, 0.0);
+  EXPECT_DOUBLE_EQ(parts.cls, 0.0);
+  EXPECT_DOUBLE_EQ(parts.geom, 0.0);
+  EXPECT_GT(parts.recon, 0.0);
+  // Detection-head gradients must be exactly zero.
+  EXPECT_DOUBLE_EQ(grads.conf.sumsq(), 0.0);
+  EXPECT_DOUBLE_EQ(grads.cls.sumsq(), 0.0);
+}
+
+TEST_F(ClimateLossFixture, LabeledEmptyImagePenalisesConfidence) {
+  const auto& out = net_.forward(input_);
+  std::vector<ClimateTarget> targets(1);  // labeled, zero boxes
+  ClimateLoss loss;
+  ClimateNet::OutputGrads grads;
+  const auto parts = loss.compute(out, input_, targets, grads);
+  EXPECT_GT(parts.noobj, 0.0);
+  EXPECT_DOUBLE_EQ(parts.obj, 0.0);
+  EXPECT_DOUBLE_EQ(parts.geom, 0.0);
+  EXPECT_GT(grads.conf.sumsq(), 0.0);
+}
+
+TEST_F(ClimateLossFixture, BoxActivatesAllTerms) {
+  const auto& out = net_.forward(input_);
+  std::vector<ClimateTarget> targets(1);
+  Box box;
+  box.x = 0.3f;
+  box.y = 0.6f;
+  box.w = 0.2f;
+  box.h = 0.15f;
+  box.cls = 1;
+  targets[0].boxes.push_back(box);
+  ClimateLoss loss;
+  ClimateNet::OutputGrads grads;
+  const auto parts = loss.compute(out, input_, targets, grads);
+  EXPECT_GT(parts.obj, 0.0);
+  EXPECT_GT(parts.cls, 0.0);
+  EXPECT_GT(parts.geom, 0.0);
+  EXPECT_GT(parts.recon, 0.0);
+}
+
+TEST_F(ClimateLossFixture, ConfGradientMatchesNumeric) {
+  const auto& out = net_.forward(input_);
+  std::vector<ClimateTarget> targets(1);
+  Box box;
+  box.x = 0.4f;
+  box.y = 0.4f;
+  box.w = 0.3f;
+  box.h = 0.3f;
+  box.cls = 0;
+  targets[0].boxes.push_back(box);
+  ClimateLoss loss;
+  ClimateNet::OutputGrads grads;
+  loss.compute(out, input_, targets, grads);
+
+  // Probe a handful of confidence logits numerically. Outputs are copies,
+  // so we can perturb them and re-evaluate the loss directly.
+  ClimateNet::Outputs probe;
+  probe.conf = out.conf.clone();
+  probe.cls = out.cls.clone();
+  probe.xy = out.xy.clone();
+  probe.wh = out.wh.clone();
+  probe.recon = out.recon.clone();
+  const float eps = 1e-3f;
+  ClimateNet::OutputGrads scratch;
+  for (std::size_t i = 0; i < probe.conf.numel();
+       i += std::max<std::size_t>(1, probe.conf.numel() / 16)) {
+    const float saved = probe.conf.at(i);
+    probe.conf.at(i) = saved + eps;
+    const double lp =
+        loss.compute(probe, input_, targets, scratch).total();
+    probe.conf.at(i) = saved - eps;
+    const double lm =
+        loss.compute(probe, input_, targets, scratch).total();
+    probe.conf.at(i) = saved;
+    EXPECT_NEAR(grads.conf.at(i), (lp - lm) / (2.0f * eps), 2e-4f)
+        << "conf logit " << i;
+  }
+}
+
+TEST_F(ClimateLossFixture, DecodeRespectsThreshold) {
+  const auto& out = net_.forward(input_);
+  ClimateNet::Outputs probe;
+  probe.conf = out.conf.clone();
+  probe.cls = out.cls.clone();
+  probe.xy = out.xy.clone();
+  probe.wh = out.wh.clone();
+  probe.recon = out.recon.clone();
+  probe.conf.fill(-10.0f);     // sigmoid ~ 0 everywhere
+  probe.conf.at(0) = 10.0f;    // except one cell
+  const auto boxes = decode_boxes(probe, 0.8f);
+  ASSERT_EQ(boxes.size(), 1u);
+  ASSERT_EQ(boxes[0].size(), 1u);
+  EXPECT_GT(boxes[0][0].confidence, 0.99f);
+  // Cell 0 is the top-left corner: x, y near 0.
+  EXPECT_LT(boxes[0][0].x, 1.0f / static_cast<float>(cfg_.grid()));
+}
+
+TEST_F(ClimateLossFixture, DecodedGeometryRoundTrips) {
+  // Train-free check: if we synthesise head outputs for a known box, the
+  // decoder must reproduce it.
+  const std::size_t g = cfg_.grid();
+  ClimateNet::Outputs probe;
+  probe.conf = Tensor(Shape{1, 1, g, g});
+  probe.cls = Tensor(Shape{1, cfg_.classes, g, g});
+  probe.xy = Tensor(Shape{1, 2, g, g});
+  probe.wh = Tensor(Shape{1, 2, g, g});
+  probe.recon = Tensor(Shape{1, 1, 1, 1});
+  probe.conf.fill(-10.0f);
+
+  Box want;
+  want.x = 0.4f;
+  want.y = 0.65f;
+  want.w = 0.09f;
+  want.h = 0.16f;
+  want.cls = 1;
+  const auto gx = static_cast<std::size_t>(want.x * static_cast<float>(g));
+  const auto gy = static_cast<std::size_t>(want.y * static_cast<float>(g));
+  const std::size_t cell = gy * g + gx;
+  probe.conf.at(cell) = 10.0f;
+  auto logit = [](float p) { return std::log(p / (1.0f - p)); };
+  probe.xy.at(cell) =
+      logit(want.x * static_cast<float>(g) - static_cast<float>(gx));
+  probe.xy.at(g * g + cell) =
+      logit(want.y * static_cast<float>(g) - static_cast<float>(gy));
+  probe.wh.at(cell) = logit(std::sqrt(want.w));
+  probe.wh.at(g * g + cell) = logit(std::sqrt(want.h));
+  probe.cls.at(cfg_.classes > 1 ? g * g + cell : cell) = 5.0f;  // class 1
+
+  const auto decoded = decode_boxes(probe, 0.8f);
+  ASSERT_EQ(decoded[0].size(), 1u);
+  const Box& got = decoded[0][0];
+  EXPECT_NEAR(got.x, want.x, 1e-3f);
+  EXPECT_NEAR(got.y, want.y, 1e-3f);
+  EXPECT_NEAR(got.w, want.w, 1e-3f);
+  EXPECT_NEAR(got.h, want.h, 1e-3f);
+  EXPECT_EQ(got.cls, want.cls);
+}
+
+}  // namespace
+}  // namespace pf15::nn

@@ -1,0 +1,250 @@
+// Architecture-level tests: the paper networks' shapes, parameter sizes
+// (Table II), Sequential mechanics, and the composite climate model.
+#include <gtest/gtest.h>
+
+#include "check_failure.hpp"
+
+#include <sstream>
+
+#include "nn/climate_net.hpp"
+#include "nn/hep_model.hpp"
+#include "nn/losses.hpp"
+
+namespace pf15::nn {
+namespace {
+
+TEST(HepModel, PaperSizeParameterCount) {
+  // Table II: 2.3 MiB of parameters. Exact count: conv1 3*128*9+128, four
+  // convs 128*128*9+128, fc 128*2+2 = 594,178 floats = 2.27 MiB.
+  HepConfig cfg;
+  Sequential net = build_hep_network(cfg);
+  EXPECT_EQ(net.param_count(), 594178u);
+  const double mib =
+      static_cast<double>(net.param_bytes()) / (1024.0 * 1024.0);
+  EXPECT_NEAR(mib, 2.27, 0.01);
+  EXPECT_LT(std::abs(mib - 2.3), 0.1);  // the paper's rounded figure
+}
+
+TEST(HepModel, OutputIsTwoLogits) {
+  HepConfig cfg = HepConfig::tiny();
+  Sequential net = build_hep_network(cfg);
+  EXPECT_EQ(net.output_shape(Shape{4, cfg.channels, cfg.image, cfg.image}),
+            (Shape{4, 2}));
+}
+
+TEST(HepModel, PaperSizeOutputShapePipeline) {
+  HepConfig cfg;
+  Sequential net = build_hep_network(cfg);
+  // 224 -> pool x4 -> 14 -> global avg -> 1x1 -> fc.
+  EXPECT_EQ(net.output_shape(Shape{8, 3, 224, 224}), (Shape{8, 2}));
+}
+
+TEST(HepModel, ForwardBackwardRunsOnTinyConfig) {
+  HepConfig cfg = HepConfig::tiny();
+  Sequential net = build_hep_network(cfg);
+  Rng rng(1);
+  Tensor in(Shape{2, cfg.channels, cfg.image, cfg.image});
+  in.fill_uniform(rng, 0.0f, 1.0f);
+  const Tensor& logits = net.forward(in);
+  EXPECT_TRUE(logits.all_finite());
+  SoftmaxCrossEntropy loss;
+  Tensor probs, dlogits;
+  const double l = loss.forward_backward(logits, {0, 1}, probs, dlogits);
+  EXPECT_GT(l, 0.0);
+  net.backward(in, dlogits);
+  for (auto& p : net.params()) {
+    EXPECT_TRUE(p.grad->all_finite()) << p.name;
+  }
+}
+
+TEST(HepModel, DeterministicInitAcrossBuilds) {
+  HepConfig cfg = HepConfig::tiny();
+  Sequential a = build_hep_network(cfg);
+  Sequential b = build_hep_network(cfg);
+  const auto pa = a.params();
+  const auto pb = b.params();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_FLOAT_EQ(max_abs_diff(*pa[i].value, *pb[i].value), 0.0f);
+  }
+}
+
+TEST(HepModel, RejectsTooSmallImage) {
+  HepConfig cfg;
+  cfg.image = 16;  // cannot survive 4 halvings + conv
+  cfg.conv_units = 5;
+  PF15_EXPECT_CHECK_FAIL(build_hep_network(cfg), "too small");
+}
+
+TEST(Sequential, ParamsAreStableAcrossCalls) {
+  HepConfig cfg = HepConfig::tiny();
+  Sequential net = build_hep_network(cfg);
+  const auto p1 = net.params();
+  const auto p2 = net.params();
+  ASSERT_EQ(p1.size(), p2.size());
+  for (std::size_t i = 0; i < p1.size(); ++i) {
+    EXPECT_EQ(p1[i].value, p2[i].value);
+    EXPECT_EQ(p1[i].name, p2[i].name);
+  }
+}
+
+TEST(Sequential, SaveLoadRoundTrip) {
+  HepConfig cfg = HepConfig::tiny();
+  Sequential a = build_hep_network(cfg);
+  std::stringstream ss;
+  a.save_params(ss);
+  HepConfig cfg2 = cfg;
+  cfg2.seed = 999;  // different init
+  Sequential b = build_hep_network(cfg2);
+  b.load_params(ss);
+  const auto pa = a.params();
+  const auto pb = b.params();
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_FLOAT_EQ(max_abs_diff(*pa[i].value, *pb[i].value), 0.0f);
+  }
+}
+
+TEST(Sequential, ProfilesAccumulateWhenEnabled) {
+  HepConfig cfg = HepConfig::tiny();
+  Sequential net = build_hep_network(cfg);
+  Rng rng(2);
+  Tensor in(Shape{1, cfg.channels, cfg.image, cfg.image});
+  in.fill_uniform(rng, 0.0f, 1.0f);
+  net.forward(in, /*profile=*/true);
+  for (const auto& prof : net.profiles()) {
+    EXPECT_GE(prof.forward_seconds, 0.0);
+  }
+  // Conv layers must report nonzero FLOPs.
+  bool saw_conv = false;
+  for (const auto& prof : net.profiles()) {
+    if (prof.kind == "conv") {
+      saw_conv = true;
+      EXPECT_GT(prof.forward_flops, 0u);
+    }
+  }
+  EXPECT_TRUE(saw_conv);
+}
+
+TEST(ClimateNet, PaperScaleParameterBytes) {
+  // Table II lists 302.1 MiB; our width schedule lands within ~5%.
+  ClimateConfig cfg;
+  ClimateNet net(cfg);
+  const double mib =
+      static_cast<double>(net.param_bytes()) / (1024.0 * 1024.0);
+  EXPECT_GT(mib, 280.0);
+  EXPECT_LT(mib, 340.0);
+}
+
+TEST(ClimateNet, GridIsImageOverTwoPowLevels) {
+  ClimateConfig cfg = ClimateConfig::tiny();
+  EXPECT_EQ(cfg.grid(), cfg.image >> cfg.levels());
+}
+
+TEST(ClimateNet, ForwardShapes) {
+  ClimateConfig cfg = ClimateConfig::tiny();
+  ClimateNet net(cfg);
+  Rng rng(3);
+  Tensor in(Shape{2, cfg.channels, cfg.image, cfg.image});
+  in.fill_uniform(rng, -1.0f, 1.0f);
+  const auto& out = net.forward(in);
+  const std::size_t g = cfg.grid();
+  EXPECT_EQ(out.conf.shape(), (Shape{2, 1, g, g}));
+  EXPECT_EQ(out.cls.shape(), (Shape{2, cfg.classes, g, g}));
+  EXPECT_EQ(out.xy.shape(), (Shape{2, 2, g, g}));
+  EXPECT_EQ(out.wh.shape(), (Shape{2, 2, g, g}));
+  EXPECT_EQ(out.recon.shape(), in.shape());
+}
+
+TEST(ClimateNet, BackwardProducesFiniteGrads) {
+  ClimateConfig cfg = ClimateConfig::tiny();
+  ClimateNet net(cfg);
+  Rng rng(4);
+  Tensor in(Shape{2, cfg.channels, cfg.image, cfg.image});
+  in.fill_uniform(rng, -1.0f, 1.0f);
+  const auto& out = net.forward(in);
+
+  std::vector<ClimateTarget> targets(2);
+  nn::Box box;
+  box.x = 0.25f;
+  box.y = 0.25f;
+  box.w = 0.2f;
+  box.h = 0.2f;
+  box.cls = 1;
+  targets[0].boxes.push_back(box);
+  targets[1].labeled = false;
+
+  ClimateLoss loss;
+  ClimateNet::OutputGrads grads;
+  const auto parts = loss.compute(out, in, targets, grads);
+  EXPECT_GT(parts.total(), 0.0);
+  net.backward(in, grads);
+  for (auto& p : net.params()) {
+    EXPECT_TRUE(p.grad->all_finite()) << p.name;
+  }
+}
+
+TEST(ClimateNet, EncoderSharedByHeadsAndDecoder) {
+  // Unlabeled-only loss (reconstruction) must still produce encoder
+  // gradients: that is the semi-supervised coupling.
+  ClimateConfig cfg = ClimateConfig::tiny();
+  ClimateNet net(cfg);
+  Rng rng(5);
+  Tensor in(Shape{1, cfg.channels, cfg.image, cfg.image});
+  in.fill_uniform(rng, -1.0f, 1.0f);
+  const auto& out = net.forward(in);
+  std::vector<ClimateTarget> targets(1);
+  targets[0].labeled = false;
+  ClimateLoss loss;
+  ClimateNet::OutputGrads grads;
+  loss.compute(out, in, targets, grads);
+  net.backward(in, grads);
+  double encoder_grad_norm = 0.0;
+  for (auto& p : net.encoder().params()) {
+    encoder_grad_norm += p.grad->sumsq();
+  }
+  EXPECT_GT(encoder_grad_norm, 0.0);
+}
+
+TEST(ClimateNet, ParamCountsSplitAcrossParts) {
+  ClimateConfig cfg = ClimateConfig::tiny();
+  ClimateNet net(cfg);
+  std::size_t total = 0;
+  for (auto& p : net.params()) total += p.value->numel();
+  EXPECT_EQ(total, net.param_count());
+  EXPECT_GT(net.encoder().param_count(), 0u);
+  EXPECT_GT(net.decoder().param_count(), 0u);
+}
+
+TEST(ClimateNet, TableIILayerCounts) {
+  // Table II: 9 conv (5 encoder + 4 heads) and 5 deconv layers at paper
+  // scale.
+  ClimateConfig cfg;
+  ClimateNet net(cfg);
+  std::size_t convs = 0, deconvs = 0;
+  for (const auto& prof : net.profiles()) {
+    if (prof.kind == "conv") ++convs;
+    if (prof.kind == "deconv") ++deconvs;
+  }
+  EXPECT_EQ(convs, 9u);
+  EXPECT_EQ(deconvs, 5u);
+}
+
+TEST(ClimateNet, SaveLoadRoundTrip) {
+  ClimateConfig cfg = ClimateConfig::tiny();
+  ClimateNet a(cfg);
+  std::stringstream ss;
+  a.save_params(ss);
+  ClimateConfig cfg2 = cfg;
+  cfg2.seed = 777;
+  ClimateNet b(cfg2);
+  b.load_params(ss);
+  auto pa = a.params();
+  auto pb = b.params();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_FLOAT_EQ(max_abs_diff(*pa[i].value, *pb[i].value), 0.0f);
+  }
+}
+
+}  // namespace
+}  // namespace pf15::nn

@@ -1,0 +1,121 @@
+// Perf module: report tables, flop metering semantics (§V), efficiency
+// measurement and curve fitting.
+#include <gtest/gtest.h>
+
+#include "check_failure.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "perf/efficiency.hpp"
+#include "perf/meter.hpp"
+#include "perf/report.hpp"
+
+namespace pf15::perf {
+namespace {
+
+TEST(Table, AlignsColumns) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"beta_long_name", "12345"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("beta_long_name"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(s.find("----"), std::string::npos);
+}
+
+TEST(Table, RejectsRaggedRows) {
+  Table t({"a", "b"});
+  PF15_EXPECT_CHECK_FAIL(t.add_row({"only-one"}), "row width");
+}
+
+TEST(Table, NumFormatsPrecision) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+}
+
+TEST(Table, CsvRoundTrip) {
+  const auto path = std::filesystem::temp_directory_path() /
+                    "pf15_table_test.csv";
+  Table t({"x", "y"});
+  t.add_row({"1", "2"});
+  t.add_row({"3", "4"});
+  t.write_csv(path.string());
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "x,y");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,2");
+  std::filesystem::remove(path);
+}
+
+TEST(FlopMeter, PeakFromFastestIteration) {
+  FlopMeter meter(1000000000ull);  // 1 GFLOP per iteration
+  meter.record_iteration(0.5);
+  meter.record_iteration(0.25);  // fastest -> peak
+  meter.record_iteration(1.0);
+  EXPECT_DOUBLE_EQ(meter.peak_rate(), 4e9);
+}
+
+TEST(FlopMeter, SustainedFromBestWindow) {
+  FlopMeter meter(1000ull);
+  for (double t : {2.0, 1.0, 1.0, 1.0, 3.0}) meter.record_iteration(t);
+  // Best 3-window mean = 1.0 -> 1000 FLOP/s.
+  EXPECT_DOUBLE_EQ(meter.sustained_rate(3), 1000.0);
+  // Sustained <= peak, by definition.
+  EXPECT_LE(meter.sustained_rate(3), meter.peak_rate());
+}
+
+TEST(FlopMeter, MeanRate) {
+  FlopMeter meter(100ull);
+  meter.record_iteration(1.0);
+  meter.record_iteration(3.0);
+  EXPECT_DOUBLE_EQ(meter.mean_rate(), 100.0 / 2.0);
+}
+
+TEST(Efficiency, MeasurementProducesPositiveRates) {
+  const auto points = measure_conv_efficiency({1, 4}, /*image=*/16,
+                                              /*channels=*/8,
+                                              /*filters=*/8, /*repeats=*/1);
+  ASSERT_EQ(points.size(), 2u);
+  for (const auto& p : points) {
+    EXPECT_GT(p.flops_rate, 0.0);
+  }
+}
+
+TEST(Efficiency, FitRecoversKnownCurve) {
+  // Generate exact points from a known curve and refit.
+  simnet::EfficiencyCurve truth;
+  truth.eff_max = 0.75;
+  truth.eff_floor = 0.0;  // the fit's linearization models no floor
+  truth.b_half = 10.0;
+  const double peak = 1e12;
+  std::vector<EfficiencyPoint> points;
+  for (double b : {1.0, 2.0, 4.0, 8.0, 16.0, 64.0, 256.0}) {
+    points.push_back({b, truth.at(b) * peak});
+  }
+  const auto fit = fit_efficiency_curve(points, peak);
+  EXPECT_NEAR(fit.eff_max, truth.eff_max, 1e-6);
+  EXPECT_NEAR(fit.b_half, truth.b_half, 1e-4);
+}
+
+TEST(Efficiency, FitRejectsDegenerateInput) {
+  PF15_EXPECT_CHECK_FAIL(fit_efficiency_curve({{1.0, 1.0}}, 1.0), "PF15_CHECK");
+}
+
+TEST(Efficiency, MeasuredCurveIsMonotoneInBatch) {
+  // Larger batches must not reduce modeled efficiency.
+  simnet::EfficiencyCurve c;
+  double prev = 0.0;
+  for (double b = 1.0; b <= 4096.0; b *= 2.0) {
+    const double e = c.at(b);
+    EXPECT_GE(e, prev);
+    prev = e;
+  }
+}
+
+}  // namespace
+}  // namespace pf15::perf

@@ -1,0 +1,201 @@
+// LSTM layer (§IX extension): shape contract, full-BPTT gradient checks,
+// gate semantics, determinism, FLOP accounting, and an end-to-end sequence
+// classification convergence test.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "gradient_check.hpp"
+#include "nn/dense.hpp"
+#include "nn/losses.hpp"
+#include "nn/network.hpp"
+#include "rnn/lstm.hpp"
+#include "solver/solver.hpp"
+
+namespace pf15::rnn {
+namespace {
+
+Lstm make_lstm(std::size_t d, std::size_t h, std::uint64_t seed = 1,
+               float forget_bias = 1.0f) {
+  Rng rng(seed);
+  return Lstm("lstm", {.input_size = d, .hidden_size = h,
+                       .forget_bias = forget_bias},
+              rng);
+}
+
+Tensor random_seq(std::size_t n, std::size_t t, std::size_t d,
+                  std::uint64_t seed = 5) {
+  Rng rng(seed);
+  Tensor x(Shape{n, t, d});
+  x.fill_uniform(rng, -1.0f, 1.0f);
+  return x;
+}
+
+TEST(Lstm, OutputShapeIsBatchTimeHidden) {
+  Lstm lstm = make_lstm(3, 7);
+  EXPECT_EQ(lstm.output_shape(Shape{2, 5, 3}), (Shape{2, 5, 7}));
+}
+
+TEST(Lstm, RejectsWrongFeatureSize) {
+  Lstm lstm = make_lstm(3, 7);
+  EXPECT_THROW(lstm.output_shape(Shape{2, 5, 4}), Error);
+}
+
+TEST(Lstm, HiddenStateIsBoundedByTanh) {
+  Lstm lstm = make_lstm(4, 6);
+  Tensor x = random_seq(2, 9, 4);
+  x.scale(50.0f);  // extreme inputs saturate the gates
+  Tensor out;
+  lstm.forward(x, out);
+  // h = sigmoid(o) * tanh(c): tanh bounds |h| by 1 even when c blows up.
+  EXPECT_LE(out.max(), 1.0f + 1e-5f);
+  EXPECT_GE(out.min(), -1.0f - 1e-5f);
+}
+
+TEST(Lstm, DeterministicAcrossRuns) {
+  Lstm a = make_lstm(3, 5, 42);
+  Lstm b = make_lstm(3, 5, 42);
+  Tensor x = random_seq(2, 6, 3);
+  Tensor oa, ob;
+  a.forward(x, oa);
+  b.forward(x, ob);
+  EXPECT_FLOAT_EQ(max_abs_diff(oa, ob), 0.0f);
+}
+
+TEST(Lstm, GradientsCheckSingleStep) {
+  Lstm lstm = make_lstm(3, 4, 2, /*forget_bias=*/0.0f);
+  Tensor x = random_seq(2, 1, 3);
+  pf15::testing::check_layer_gradients(lstm, x);
+}
+
+TEST(Lstm, GradientsCheckAcrossTime) {
+  Lstm lstm = make_lstm(2, 3, 2, /*forget_bias=*/0.5f);
+  Tensor x = random_seq(2, 4, 2);
+  pf15::testing::check_layer_gradients(lstm, x);
+}
+
+TEST(Lstm, GradientsCheckLongerSequence) {
+  Lstm lstm = make_lstm(2, 2, 7);
+  Tensor x = random_seq(1, 8, 2);
+  pf15::testing::check_layer_gradients(lstm, x);
+}
+
+TEST(Lstm, ForgetBiasInitializesForgetSlice) {
+  Rng rng(1);
+  Lstm lstm("lstm", {.input_size = 2, .hidden_size = 3, .forget_bias = 2.5f},
+            rng);
+  const auto params = lstm.params();
+  ASSERT_EQ(params.size(), 3u);
+  const Tensor& b = *params[2].value;
+  ASSERT_EQ(b.numel(), 12u);
+  for (std::size_t j = 0; j < 3; ++j) {
+    EXPECT_FLOAT_EQ(b.at(j), 0.0f);           // input gate
+    EXPECT_FLOAT_EQ(b.at(3 + j), 2.5f);       // forget gate
+    EXPECT_FLOAT_EQ(b.at(6 + j), 0.0f);       // candidate
+    EXPECT_FLOAT_EQ(b.at(9 + j), 0.0f);       // output gate
+  }
+}
+
+TEST(Lstm, ParamCountMatchesFormula) {
+  Lstm lstm = make_lstm(5, 8);
+  // 4H(D + H) + 4H = 4*8*(5+8) + 32.
+  EXPECT_EQ(lstm.param_count(), 4u * 8 * (5 + 8) + 4u * 8);
+}
+
+TEST(Lstm, FlopsScaleLinearlyWithTime) {
+  Lstm lstm = make_lstm(4, 8);
+  const auto f1 = lstm.forward_flops(Shape{2, 5, 4});
+  const auto f2 = lstm.forward_flops(Shape{2, 10, 4});
+  EXPECT_EQ(f2, 2 * f1);
+  EXPECT_GT(lstm.backward_flops(Shape{2, 5, 4}), f1);
+}
+
+TEST(Lstm, ZeroInputYieldsZeroOutputWithZeroWeights) {
+  Lstm lstm = make_lstm(3, 4);
+  for (auto& p : lstm.params()) p.value->zero();
+  Tensor x(Shape{1, 3, 3});
+  Tensor out;
+  lstm.forward(x, out);
+  // All gates sit at sigmoid(0)=0.5 / tanh(0)=0, so c stays 0 and h = 0.
+  for (std::size_t i = 0; i < out.numel(); ++i) {
+    EXPECT_FLOAT_EQ(out.at(i), 0.0f);
+  }
+}
+
+TEST(LastStep, ExtractsFinalTimestep) {
+  LastStep last("last");
+  Tensor x(Shape{2, 3, 4});
+  for (std::size_t i = 0; i < x.numel(); ++i) {
+    x.data()[i] = static_cast<float>(i);
+  }
+  Tensor out;
+  last.forward(x, out);
+  ASSERT_EQ(out.shape(), (Shape{2, 4}));
+  // Batch 0 last step = elements [8..12), batch 1 = [20..24).
+  EXPECT_FLOAT_EQ(out.at(0), 8.0f);
+  EXPECT_FLOAT_EQ(out.at(4), 20.0f);
+}
+
+TEST(LastStep, BackwardRoutesGradientOnlyToFinalStep) {
+  LastStep last("last");
+  Tensor x = random_seq(2, 3, 4);
+  Tensor out;
+  last.forward(x, out);
+  Tensor dout(out.shape());
+  dout.fill(1.0f);
+  Tensor din;
+  last.backward(x, dout, din);
+  double total = 0.0;
+  for (std::size_t i = 0; i < din.numel(); ++i) total += din.at(i);
+  EXPECT_DOUBLE_EQ(total, 8.0);  // 2 batches x 4 hidden, everything else 0
+  EXPECT_FLOAT_EQ(din.at(0), 0.0f);  // (n=0, t=0) untouched
+}
+
+// End to end: classify sequences by whether their running sum is positive —
+// requires integrating information over time, which is what the cell state
+// is for.
+TEST(LstmIntegration, LearnsRunningSumClassification) {
+  nn::Sequential net;
+  Rng rng(3);
+  net.add(std::make_unique<Lstm>(
+      "lstm", LstmConfig{.input_size = 1, .hidden_size = 8}, rng));
+  net.add(std::make_unique<LastStep>("last"));
+  net.add(std::make_unique<nn::Dense>("fc", 8, 2, rng));
+
+  nn::SoftmaxCrossEntropy ce;
+  solver::AdamSolver adam(net.params(), 1e-2);
+
+  Rng data_rng(11);
+  const std::size_t batch = 16, t_len = 6;
+  auto make_batch = [&](Tensor& x, std::vector<std::int32_t>& y) {
+    x = Tensor(Shape{batch, t_len, 1});
+    y.resize(batch);
+    for (std::size_t b = 0; b < batch; ++b) {
+      float sum = 0.0f;
+      for (std::size_t t = 0; t < t_len; ++t) {
+        const float v = data_rng.uniform(-1.0f, 1.0f);
+        x.data()[(b * t_len + t)] = v;
+        sum += v;
+      }
+      y[b] = sum > 0.0f ? 1 : 0;
+    }
+  };
+
+  Tensor x, probs, dlogits;
+  std::vector<std::int32_t> y;
+  double first = 0.0, last = 0.0;
+  for (int iter = 0; iter < 150; ++iter) {
+    make_batch(x, y);
+    const Tensor& logits = net.forward(x);
+    const double loss = ce.forward_backward(logits, y, probs, dlogits);
+    net.backward(x, dlogits);
+    adam.step();
+    if (iter == 0) first = loss;
+    last = loss;
+  }
+  EXPECT_LT(last, 0.5 * first) << "LSTM failed to learn a running sum";
+}
+
+}  // namespace
+}  // namespace pf15::rnn

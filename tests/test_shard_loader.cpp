@@ -1,0 +1,227 @@
+// Shard store round-trips, offset indexing, error paths; batch loaders
+// (sync + prefetch) and their I/O accounting.
+#include <gtest/gtest.h>
+
+#include "check_failure.hpp"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <set>
+
+#include "data/climate_generator.hpp"
+#include "data/hep_generator.hpp"
+#include "data/loader.hpp"
+#include "data/shard_store.hpp"
+
+namespace pf15::data {
+namespace {
+
+class ShardFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = std::filesystem::temp_directory_path() /
+            ("pf15_shard_" + std::to_string(::getpid()) + "_" +
+             ::testing::UnitTest::GetInstance()
+                 ->current_test_info()
+                 ->name());
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+
+  std::string path() const { return path_.string(); }
+
+ private:
+  std::filesystem::path path_;
+};
+
+Sample make_sample(std::int32_t label, float fill, std::size_t c = 2,
+                   std::size_t hw = 4) {
+  Sample s;
+  s.image = Tensor(Shape{c, hw, hw});
+  s.image.fill(fill);
+  s.label = label;
+  return s;
+}
+
+TEST_F(ShardFixture, RoundTripPlainSamples) {
+  {
+    ShardWriter writer(path(), 2, 4, 4);
+    writer.append(make_sample(0, 1.0f));
+    writer.append(make_sample(1, 2.0f));
+    writer.close();
+  }
+  ShardReader reader(path());
+  EXPECT_EQ(reader.size(), 2u);
+  EXPECT_EQ(reader.channels(), 2u);
+  const Sample s0 = reader.read(0);
+  const Sample s1 = reader.read(1);
+  EXPECT_EQ(s0.label, 0);
+  EXPECT_EQ(s1.label, 1);
+  EXPECT_FLOAT_EQ(s0.image.at(0), 1.0f);
+  EXPECT_FLOAT_EQ(s1.image.at(0), 2.0f);
+}
+
+TEST_F(ShardFixture, RoundTripBoxesAndLabeledFlag) {
+  {
+    ShardWriter writer(path(), 2, 4, 4);
+    Sample s = make_sample(0, 0.5f);
+    nn::Box b;
+    b.x = 0.1f;
+    b.y = 0.2f;
+    b.w = 0.3f;
+    b.h = 0.4f;
+    b.cls = 2;
+    s.boxes.push_back(b);
+    s.labeled = false;
+    writer.append(s);
+    writer.close();
+  }
+  ShardReader reader(path());
+  const Sample s = reader.read(0);
+  EXPECT_FALSE(s.labeled);
+  ASSERT_EQ(s.boxes.size(), 1u);
+  EXPECT_FLOAT_EQ(s.boxes[0].x, 0.1f);
+  EXPECT_FLOAT_EQ(s.boxes[0].h, 0.4f);
+  EXPECT_EQ(s.boxes[0].cls, 2);
+}
+
+TEST_F(ShardFixture, RandomAccessInAnyOrder) {
+  {
+    ShardWriter writer(path(), 1, 2, 2);
+    for (int i = 0; i < 10; ++i) {
+      writer.append(make_sample(i, static_cast<float>(i), 1, 2));
+    }
+    writer.close();
+  }
+  ShardReader reader(path());
+  EXPECT_EQ(reader.read(7).label, 7);
+  EXPECT_EQ(reader.read(0).label, 0);
+  EXPECT_EQ(reader.read(9).label, 9);
+  EXPECT_EQ(reader.read(3).label, 3);
+}
+
+TEST_F(ShardFixture, GeometryMismatchDies) {
+  ShardWriter writer(path(), 2, 4, 4);
+  PF15_EXPECT_CHECK_FAIL(writer.append(make_sample(0, 1.0f, 3, 4)),
+               "geometry mismatch");
+}
+
+TEST_F(ShardFixture, MissingFileThrows) {
+  EXPECT_THROW(ShardReader("/nonexistent/dir/file.shard"), IoError);
+}
+
+TEST_F(ShardFixture, CorruptMagicThrows) {
+  {
+    std::ofstream out(path(), std::ios::binary);
+    out << "garbage garbage garbage garbage";
+  }
+  EXPECT_THROW(ShardReader reader(path()), IoError);
+}
+
+TEST_F(ShardFixture, IoSecondsAccumulate) {
+  {
+    ShardWriter writer(path(), 1, 8, 8);
+    for (int i = 0; i < 4; ++i) {
+      writer.append(make_sample(i, 0.0f, 1, 8));
+    }
+    writer.close();
+  }
+  ShardReader reader(path());
+  EXPECT_DOUBLE_EQ(reader.io_seconds(), 0.0);
+  reader.read(0);
+  EXPECT_GT(reader.io_seconds(), 0.0);
+}
+
+TEST_F(ShardFixture, BatchLoaderCoversEpoch) {
+  {
+    ShardWriter writer(path(), 1, 2, 2);
+    for (int i = 0; i < 12; ++i) {
+      writer.append(make_sample(i, static_cast<float>(i), 1, 2));
+    }
+    writer.close();
+  }
+  ShardReader reader(path());
+  BatchLoader loader(reader, 4);
+  std::multiset<std::int32_t> seen;
+  for (int b = 0; b < 3; ++b) {
+    const Batch batch = loader.next();
+    EXPECT_EQ(batch.images.shape(), (Shape{4, 1, 2, 2}));
+    for (auto l : batch.labels) seen.insert(l);
+  }
+  // One full epoch: every label exactly once.
+  EXPECT_EQ(seen.size(), 12u);
+  for (int i = 0; i < 12; ++i) EXPECT_EQ(seen.count(i), 1u);
+}
+
+TEST_F(ShardFixture, BatchLoaderWrapsEpochs) {
+  {
+    ShardWriter writer(path(), 1, 2, 2);
+    for (int i = 0; i < 5; ++i) {
+      writer.append(make_sample(i, 0.0f, 1, 2));
+    }
+    writer.close();
+  }
+  ShardReader reader(path());
+  BatchLoader loader(reader, 3);
+  for (int b = 0; b < 10; ++b) {
+    const Batch batch = loader.next();
+    EXPECT_EQ(batch.labels.size(), 3u);
+  }
+}
+
+TEST_F(ShardFixture, BatchImagesMatchSamples) {
+  {
+    ShardWriter writer(path(), 2, 3, 3);
+    for (int i = 0; i < 4; ++i) {
+      writer.append(make_sample(i, static_cast<float>(i) + 0.5f, 2, 3));
+    }
+    writer.close();
+  }
+  ShardReader reader(path());
+  BatchLoader loader(reader, 4);
+  const Batch batch = loader.next();
+  const std::size_t per_image = 2 * 3 * 3;
+  for (std::size_t i = 0; i < 4; ++i) {
+    // The image payload must be the constant fill matching the label.
+    EXPECT_FLOAT_EQ(batch.images.at(i * per_image),
+                    static_cast<float>(batch.labels[i]) + 0.5f);
+  }
+}
+
+TEST_F(ShardFixture, PrefetchLoaderDeliversSameDistribution) {
+  {
+    ShardWriter writer(path(), 1, 2, 2);
+    for (int i = 0; i < 8; ++i) {
+      writer.append(make_sample(i, 0.0f, 1, 2));
+    }
+    writer.close();
+  }
+  ShardReader reader(path());
+  PrefetchLoader loader(reader, 4, 2);
+  std::multiset<std::int32_t> seen;
+  for (int b = 0; b < 2; ++b) {
+    const Batch batch = loader.next();
+    // Prefetched batches report zero consumer-visible I/O time.
+    EXPECT_DOUBLE_EQ(batch.io_seconds, 0.0);
+    for (auto l : batch.labels) seen.insert(l);
+  }
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(MakeBatch, StacksInMemorySamples) {
+  HepGeneratorConfig cfg;
+  cfg.image = 32;
+  HepGenerator gen(cfg);
+  const HepEvent e0 = gen.generate(false);
+  const HepEvent e1 = gen.generate(true);
+  Sample s0{e0.image.clone(), e0.label, true, {}};
+  Sample s1{e1.image.clone(), e1.label, true, {}};
+  const Batch batch = make_batch({&s0, &s1});
+  EXPECT_EQ(batch.images.shape(), (Shape{2, 3, 32, 32}));
+  EXPECT_EQ(batch.labels[0], 0);
+  EXPECT_EQ(batch.labels[1], 1);
+}
+
+}  // namespace
+}  // namespace pf15::data

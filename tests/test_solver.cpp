@@ -1,0 +1,184 @@
+// Solvers: SGD+momentum and ADAM step math against closed forms, clipping,
+// state serialization, and the asynchrony-aware momentum correction.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "solver/solver.hpp"
+
+namespace pf15::solver {
+namespace {
+
+struct ParamPack {
+  Tensor value{Shape{3}};
+  Tensor grad{Shape{3}};
+
+  std::vector<nn::Param> params() {
+    return {{"w", &value, &grad}};
+  }
+};
+
+TEST(Sgd, PlainGradientDescentWithoutMomentum) {
+  ParamPack p;
+  p.value.fill(1.0f);
+  p.grad.fill(0.5f);
+  SgdSolver solver(p.params(), /*lr=*/0.1, /*momentum=*/0.0);
+  solver.step();
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(p.value.at(i), 1.0f - 0.1f * 0.5f, 1e-6f);
+  }
+  // step() zeroes the gradient.
+  EXPECT_FLOAT_EQ(p.grad.sum(), 0.0f);
+}
+
+TEST(Sgd, HeavyBallAccumulatesVelocity) {
+  ParamPack p;
+  p.value.fill(0.0f);
+  SgdSolver solver(p.params(), 1.0, 0.5);
+  // Two steps with unit gradient: v1 = -1, w1 = -1; v2 = -1.5, w2 = -2.5.
+  p.grad.fill(1.0f);
+  solver.step();
+  EXPECT_NEAR(p.value.at(0), -1.0f, 1e-6f);
+  p.grad.fill(1.0f);
+  solver.step();
+  EXPECT_NEAR(p.value.at(0), -2.5f, 1e-6f);
+}
+
+TEST(Sgd, IterationCountAdvances) {
+  ParamPack p;
+  SgdSolver solver(p.params(), 0.1, 0.9);
+  EXPECT_EQ(solver.iteration(), 0u);
+  p.grad.fill(1.0f);
+  solver.step();
+  EXPECT_EQ(solver.iteration(), 1u);
+}
+
+TEST(Sgd, ClippingBoundsGlobalNorm) {
+  ParamPack p;
+  p.value.fill(0.0f);
+  SgdSolver solver(p.params(), 1.0, 0.0);
+  solver.set_clip_norm(1.0);
+  p.grad.fill(10.0f);  // norm = 10 * sqrt(3)
+  solver.step();
+  // Effective gradient has norm 1: each element 1/sqrt(3).
+  EXPECT_NEAR(p.value.at(0), -1.0f / std::sqrt(3.0f), 1e-5f);
+}
+
+TEST(Sgd, StateRoundTrip) {
+  ParamPack p1, p2;
+  p1.value.fill(1.0f);
+  p2.value.fill(1.0f);
+  SgdSolver a(p1.params(), 0.1, 0.9);
+  SgdSolver b(p2.params(), 0.1, 0.9);
+  p1.grad.fill(1.0f);
+  a.step();
+  std::stringstream ss;
+  a.save_state(ss);
+  b.load_state(ss);
+  EXPECT_EQ(b.iteration(), 1u);
+  // Same subsequent behavior: the velocity carried over.
+  p1.grad.fill(0.0f);
+  p2.grad.fill(0.0f);
+  p2.value.copy_from(p1.value);
+  a.step();
+  b.step();
+  EXPECT_FLOAT_EQ(max_abs_diff(p1.value, p2.value), 0.0f);
+}
+
+TEST(Adam, FirstStepIsSignedLearningRate) {
+  // With bias correction, the very first ADAM step is ~ -lr * sign(g).
+  ParamPack p;
+  p.value.fill(0.0f);
+  AdamSolver solver(p.params(), 0.01);
+  p.grad.at(0) = 3.0f;
+  p.grad.at(1) = -0.2f;
+  p.grad.at(2) = 0.0f;
+  solver.step();
+  EXPECT_NEAR(p.value.at(0), -0.01f, 1e-5f);
+  EXPECT_NEAR(p.value.at(1), 0.01f, 1e-5f);
+  EXPECT_NEAR(p.value.at(2), 0.0f, 1e-6f);
+}
+
+TEST(Adam, MatchesReferenceImplementation) {
+  // Hand-rolled reference over 5 steps on a single scalar.
+  ParamPack p;
+  p.value.fill(1.0f);
+  AdamSolver solver(p.params(), 0.1, 0.9, 0.999, 1e-8);
+  double w = 1.0, m = 0.0, v = 0.0;
+  for (int t = 1; t <= 5; ++t) {
+    const double g = 0.3 * t;  // deterministic gradient schedule
+    p.grad.fill(static_cast<float>(g));
+    solver.step();
+    m = 0.9 * m + 0.1 * g;
+    v = 0.999 * v + 0.001 * g * g;
+    const double mhat = m / (1.0 - std::pow(0.9, t));
+    const double vhat = v / (1.0 - std::pow(0.999, t));
+    w -= 0.1 * mhat / (std::sqrt(vhat) + 1e-8);
+    EXPECT_NEAR(p.value.at(0), w, 5e-4) << "step " << t;
+  }
+}
+
+TEST(Adam, StateRoundTrip) {
+  ParamPack p1, p2;
+  AdamSolver a(p1.params(), 0.01);
+  AdamSolver b(p2.params(), 0.01);
+  for (int i = 0; i < 3; ++i) {
+    p1.grad.fill(1.0f + static_cast<float>(i));
+    a.step();
+  }
+  std::stringstream ss;
+  a.save_state(ss);
+  b.load_state(ss);
+  p2.value.copy_from(p1.value);
+  p1.grad.fill(0.7f);
+  p2.grad.fill(0.7f);
+  a.step();
+  b.step();
+  EXPECT_FLOAT_EQ(max_abs_diff(p1.value, p2.value), 0.0f);
+}
+
+TEST(Solver, ApplyUsesExternalGradients) {
+  // The PS path: apply() consumes a wire gradient, not the local one.
+  ParamPack p;
+  p.value.fill(0.0f);
+  p.grad.fill(100.0f);  // must be ignored
+  SgdSolver solver(p.params(), 1.0, 0.0);
+  Tensor wire(Shape{3});
+  wire.fill(1.0f);
+  solver.apply({&wire});
+  EXPECT_NEAR(p.value.at(0), -1.0f, 1e-6f);
+}
+
+TEST(StepSchedule, PiecewiseDecay) {
+  StepSchedule sched(1.0, {10, 20}, 0.1);
+  EXPECT_DOUBLE_EQ(sched.lr_at(0), 1.0);
+  EXPECT_DOUBLE_EQ(sched.lr_at(9), 1.0);
+  EXPECT_NEAR(sched.lr_at(10), 0.1, 1e-12);
+  EXPECT_NEAR(sched.lr_at(25), 0.01, 1e-12);
+}
+
+TEST(MomentumTuning, OneGroupKeepsTarget) {
+  EXPECT_DOUBLE_EQ(tuned_momentum_for_groups(0.9, 1), 0.9);
+}
+
+TEST(MomentumTuning, MoreGroupsMeansLessExplicitMomentum) {
+  const double m1 = tuned_momentum_for_groups(0.9, 1);
+  const double m2 = tuned_momentum_for_groups(0.9, 2);
+  const double m4 = tuned_momentum_for_groups(0.9, 4);
+  const double m8 = tuned_momentum_for_groups(0.9, 8);
+  EXPECT_GT(m1, m2);
+  EXPECT_GE(m2, m4);
+  EXPECT_GE(m4, m8);
+  EXPECT_GE(m8, 0.0);
+}
+
+TEST(MomentumTuning, NeverNegative) {
+  for (std::size_t g = 1; g <= 64; g *= 2) {
+    EXPECT_GE(tuned_momentum_for_groups(0.4, g), 0.0);
+    EXPECT_LE(tuned_momentum_for_groups(0.4, g), 0.4 + 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace pf15::solver

@@ -1,0 +1,235 @@
+// Top-k sparsification and error feedback (§VIII-B "communicating
+// high-order bits of weight updates"): selection semantics, pack/unpack
+// round trips, the error-feedback no-loss invariant, and a compressed-SGD
+// convergence comparison with and without feedback.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "ps/compression.hpp"
+#include "ps/sparsify.hpp"
+
+namespace pf15::ps {
+namespace {
+
+TEST(TopK, SelectsLargestMagnitudes) {
+  const std::vector<float> data{0.1f, -5.0f, 0.3f, 2.0f, -0.2f};
+  const SparseUpdate u = topk_select(data, 2);
+  ASSERT_EQ(u.size(), 2u);
+  EXPECT_EQ(u.indices[0], 1u);
+  EXPECT_EQ(u.indices[1], 3u);
+  EXPECT_FLOAT_EQ(u.values[0], -5.0f);
+  EXPECT_FLOAT_EQ(u.values[1], 2.0f);
+}
+
+TEST(TopK, FullKIsIdentity) {
+  const std::vector<float> data{1.0f, -2.0f, 3.0f};
+  const SparseUpdate u = topk_select(data, 10);
+  const auto dense = topk_densify(u, data.size());
+  EXPECT_EQ(dense, data);
+}
+
+TEST(TopK, ZeroKIsEmpty) {
+  const std::vector<float> data{1.0f, 2.0f};
+  const SparseUpdate u = topk_select(data, 0);
+  EXPECT_EQ(u.size(), 0u);
+  EXPECT_EQ(u.wire_bytes(), 0u);
+}
+
+TEST(TopK, IndicesAreSortedAscending) {
+  Rng rng(4);
+  std::vector<float> data(256);
+  for (auto& v : data) v = static_cast<float>(rng.normal(0.0, 1.0));
+  const SparseUpdate u = topk_select(data, 32);
+  EXPECT_TRUE(std::is_sorted(u.indices.begin(), u.indices.end()));
+}
+
+TEST(TopK, DensifyRoundTripPreservesSelected) {
+  Rng rng(5);
+  std::vector<float> data(100);
+  for (auto& v : data) v = static_cast<float>(rng.normal(0.0, 1.0));
+  const SparseUpdate u = topk_select(data, 25);
+  const auto dense = topk_densify(u, data.size());
+  std::size_t nonzero = 0;
+  for (std::size_t i = 0; i < dense.size(); ++i) {
+    if (dense[i] != 0.0f) {
+      ++nonzero;
+      EXPECT_FLOAT_EQ(dense[i], data[i]);
+    }
+  }
+  EXPECT_EQ(nonzero, 25u);
+}
+
+TEST(TopK, SelectionThresholdIsCorrect) {
+  // Every kept |value| >= every dropped |value|.
+  Rng rng(6);
+  std::vector<float> data(80);
+  for (auto& v : data) v = static_cast<float>(rng.normal(0.0, 2.0));
+  const SparseUpdate u = topk_select(data, 20);
+  float min_kept = std::numeric_limits<float>::max();
+  std::vector<bool> kept(data.size(), false);
+  for (std::size_t i = 0; i < u.size(); ++i) {
+    kept[u.indices[i]] = true;
+    min_kept = std::min(min_kept, std::fabs(u.values[i]));
+  }
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (!kept[i]) EXPECT_LE(std::fabs(data[i]), min_kept + 1e-7f);
+  }
+}
+
+TEST(TopK, PackUnpackRoundTrip) {
+  const std::vector<float> data{0.0f, 4.0f, -1.0f, 0.5f, 9.0f, -9.5f};
+  const SparseUpdate u = topk_select(data, 3);
+  const SparseUpdate v = topk_unpack(topk_pack(u));
+  EXPECT_EQ(u.indices, v.indices);
+  EXPECT_EQ(u.values, v.values);
+}
+
+TEST(TopK, UnpackRejectsMalformedPayload) {
+  std::vector<float> bad{3.0f, 0.0f, 1.0f};  // claims 3 entries, holds 1
+  EXPECT_THROW(topk_unpack(bad), Error);
+}
+
+TEST(TopK, WireBytesMatchCompressionRatio) {
+  const std::size_t n = 1000, k = 10;
+  std::vector<float> data(n, 1.0f);
+  const SparseUpdate u = topk_select(data, k);
+  // 8 bytes per kept entry vs 4 per dense float: 1% density = 50x saving.
+  EXPECT_EQ(u.wire_bytes(), k * 8);
+  EXPECT_LT(u.wire_bytes(), n * sizeof(float) / 10);
+}
+
+// ------------------------------------------------------------ ErrorFeedback
+
+TEST(ErrorFeedback, NothingLostOverTime) {
+  // Invariant: Σ sent + residual == Σ observed, exactly (same-order float
+  // addition on each coordinate).
+  ErrorFeedback ef(16);
+  Rng rng(7);
+  std::vector<float> total_observed(16, 0.0f);
+  std::vector<float> total_sent(16, 0.0f);
+  for (int step = 0; step < 50; ++step) {
+    std::vector<float> g(16);
+    for (auto& v : g) v = static_cast<float>(rng.normal(0.0, 1.0));
+    for (std::size_t i = 0; i < 16; ++i) total_observed[i] += g[i];
+    const SparseUpdate sent = ef.compress(g, 4);
+    for (std::size_t i = 0; i < sent.size(); ++i) {
+      total_sent[sent.indices[i]] += sent.values[i];
+    }
+  }
+  for (std::size_t i = 0; i < 16; ++i) {
+    EXPECT_NEAR(total_sent[i] + ef.residual()[i], total_observed[i], 1e-4f);
+  }
+}
+
+TEST(ErrorFeedback, FullKLeavesNoResidual) {
+  ErrorFeedback ef(8);
+  std::vector<float> g(8, 0.5f);
+  ef.compress(g, 8);
+  EXPECT_DOUBLE_EQ(ef.residual_norm(), 0.0);
+}
+
+TEST(ErrorFeedback, SmallCoordinateEventuallySent) {
+  // One coordinate is 100x smaller than the rest; with k=1 it still must
+  // be transmitted once its accumulated residual grows past the others.
+  ErrorFeedback ef(3);
+  bool small_sent = false;
+  for (int step = 0; step < 300 && !small_sent; ++step) {
+    const std::vector<float> g{1.0f, 1.0f, 0.01f};
+    const SparseUpdate sent = ef.compress(g, 1);
+    // Large coordinates get drained; the small one accumulates.
+    for (std::uint32_t idx : sent.indices) {
+      if (idx == 2) small_sent = true;
+    }
+  }
+  EXPECT_TRUE(small_sent)
+      << "error feedback must eventually flush small coordinates";
+}
+
+TEST(ErrorFeedback, ResetClearsResidual) {
+  ErrorFeedback ef(4);
+  const std::vector<float> g{1.0f, 2.0f, 3.0f, 4.0f};
+  ef.compress(g, 1);
+  EXPECT_GT(ef.residual_norm(), 0.0);
+  ef.reset();
+  EXPECT_DOUBLE_EQ(ef.residual_norm(), 0.0);
+}
+
+// Compressed SGD on an ill-conditioned quadratic: error feedback drains
+// the residual of the flat coordinates between transmissions, so at a
+// fixed horizon it is strictly ahead of plain (biased) top-1, which only
+// moves whichever coordinate currently has the largest raw gradient.
+TEST(ErrorFeedback, FeedbackBeatsPlainTopKAtFixedHorizon) {
+  const std::vector<double> h{10.0, 1.0, 0.1, 0.01};  // ill-conditioned
+  auto run = [&](bool feedback) {
+    std::vector<double> w{1.0, 1.0, 1.0, 1.0};
+    ErrorFeedback ef(4);
+    for (int iter = 0; iter < 4000; ++iter) {
+      std::vector<float> g(4);
+      for (std::size_t i = 0; i < 4; ++i) {
+        g[i] = static_cast<float>(h[i] * w[i]);
+      }
+      const SparseUpdate sent =
+          feedback ? ef.compress(g, 1) : topk_select(g, 1);
+      const auto dense = topk_densify(sent, 4);
+      for (std::size_t i = 0; i < 4; ++i) {
+        w[i] -= 0.05 * dense[i];
+      }
+    }
+    double norm = 0.0;
+    for (double x : w) norm += x * x;
+    return std::sqrt(norm);
+  };
+  const double with_feedback = run(true);
+  const double without = run(false);
+  EXPECT_LT(with_feedback, 0.2);
+  EXPECT_LT(with_feedback, without);
+}
+
+// Under gradient noise larger than the smallest signal, plain top-1
+// essentially never transmits the weak coordinate's signal (each step's
+// dropped contribution is lost), while error feedback accumulates it
+// until it wins the selection — the convergence-critical property.
+TEST(ErrorFeedback, RecoversWeakSignalBurriedInNoise) {
+  auto final_w = [&](bool feedback) {
+    Rng rng(31);
+    double w = 1.0;  // the weak coordinate; 7 noisy decoys
+    ErrorFeedback ef(8);
+    for (int iter = 0; iter < 3000; ++iter) {
+      std::vector<float> g(8);
+      g[0] = static_cast<float>(0.05 * w);
+      for (std::size_t i = 1; i < 8; ++i) {
+        g[i] = static_cast<float>(rng.normal(0.0, 1.0));
+      }
+      const SparseUpdate sent =
+          feedback ? ef.compress(g, 1) : topk_select(g, 1);
+      for (std::size_t i = 0; i < sent.size(); ++i) {
+        if (sent.indices[i] == 0) w -= 0.5 * sent.values[i];
+      }
+    }
+    return w;
+  };
+  EXPECT_LT(std::fabs(final_w(true)), 0.3)
+      << "feedback must flush the weak coordinate";
+  EXPECT_GT(std::fabs(final_w(false)), 0.5)
+      << "plain top-1 starves the weak coordinate";
+}
+
+// -------------------------------------------------- Codec + TopK stacking
+
+TEST(SparsifyWithCodec, TopKValuesSurviveFp16) {
+  Rng rng(8);
+  std::vector<float> data(64);
+  for (auto& v : data) v = static_cast<float>(rng.normal(0.0, 1.0));
+  const SparseUpdate u = topk_select(data, 8);
+  Rng codec_rng(1);
+  const auto encoded = encode(Codec::kFp16, u.values, codec_rng);
+  const auto decoded = decode(Codec::kFp16, encoded, u.values.size());
+  for (std::size_t i = 0; i < u.values.size(); ++i) {
+    EXPECT_NEAR(decoded[i], u.values[i], 2e-3f * std::fabs(u.values[i]));
+  }
+}
+
+}  // namespace
+}  // namespace pf15::ps

@@ -1,0 +1,162 @@
+// Unit tests for the tensor/shape substrate.
+#include <gtest/gtest.h>
+
+#include "check_failure.hpp"
+
+#include <sstream>
+
+#include "tensor/tensor.hpp"
+
+namespace pf15 {
+namespace {
+
+TEST(Shape, NumelAndRank) {
+  Shape s{2, 3, 4, 5};
+  EXPECT_EQ(s.rank(), 4u);
+  EXPECT_EQ(s.numel(), 120u);
+  EXPECT_EQ(s.n(), 2u);
+  EXPECT_EQ(s.c(), 3u);
+  EXPECT_EQ(s.h(), 4u);
+  EXPECT_EQ(s.w(), 5u);
+}
+
+TEST(Shape, Equality) {
+  EXPECT_EQ((Shape{2, 3}), (Shape{2, 3}));
+  EXPECT_NE((Shape{2, 3}), (Shape{3, 2}));
+  EXPECT_NE((Shape{2, 3}), (Shape{2, 3, 1}));
+}
+
+TEST(Shape, EmptyShapeIsScalarLike) {
+  Shape s;
+  EXPECT_EQ(s.rank(), 0u);
+  EXPECT_EQ(s.numel(), 1u);
+}
+
+TEST(Shape, StringForm) {
+  EXPECT_EQ((Shape{4, 8}).str(), "[4, 8]");
+}
+
+TEST(Tensor, ZeroInitialised) {
+  Tensor t(Shape{3, 4});
+  for (std::size_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t.at(i), 0.0f);
+}
+
+TEST(Tensor, FillAndScale) {
+  Tensor t(Shape{10});
+  t.fill(2.0f);
+  t.scale(3.0f);
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_FLOAT_EQ(t.at(i), 6.0f);
+}
+
+TEST(Tensor, Axpy) {
+  Tensor a(Shape{4}), b(Shape{4});
+  a.fill(1.0f);
+  b.fill(2.0f);
+  a.axpy(0.5f, b);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(a.at(i), 2.0f);
+}
+
+TEST(Tensor, CloneIsDeep) {
+  Tensor a(Shape{4});
+  a.fill(1.0f);
+  Tensor b = a.clone();
+  b.fill(9.0f);
+  EXPECT_FLOAT_EQ(a.at(0), 1.0f);
+  EXPECT_FLOAT_EQ(b.at(0), 9.0f);
+}
+
+TEST(Tensor, At4Indexing) {
+  Tensor t(Shape{2, 3, 4, 5});
+  t.at4(1, 2, 3, 4) = 7.0f;
+  // Flat index = ((1*3+2)*4+3)*5+4 = 119.
+  EXPECT_FLOAT_EQ(t.at(119), 7.0f);
+}
+
+TEST(Tensor, Reductions) {
+  Tensor t(Shape{4});
+  t.at(0) = -1.0f;
+  t.at(1) = 2.0f;
+  t.at(2) = 3.0f;
+  t.at(3) = -4.0f;
+  EXPECT_FLOAT_EQ(t.sum(), 0.0f);
+  EXPECT_FLOAT_EQ(t.min(), -4.0f);
+  EXPECT_FLOAT_EQ(t.max(), 3.0f);
+  EXPECT_DOUBLE_EQ(t.sumsq(), 1.0 + 4.0 + 9.0 + 16.0);
+  EXPECT_DOUBLE_EQ(t.norm2(), std::sqrt(30.0));
+}
+
+TEST(Tensor, AllFiniteDetectsNan) {
+  Tensor t(Shape{3});
+  EXPECT_TRUE(t.all_finite());
+  t.at(1) = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_FALSE(t.all_finite());
+  t.at(1) = std::numeric_limits<float>::infinity();
+  EXPECT_FALSE(t.all_finite());
+}
+
+TEST(Tensor, FillHeStatistics) {
+  Rng rng(5);
+  Tensor t(Shape{200, 100});
+  t.fill_he(rng, 100);
+  // Variance should be ~ 2 / fan_in = 0.02.
+  const double var = t.sumsq() / static_cast<double>(t.numel());
+  EXPECT_NEAR(var, 0.02, 0.002);
+}
+
+TEST(Tensor, FillXavierBounds) {
+  Rng rng(5);
+  Tensor t(Shape{50, 50});
+  t.fill_xavier(rng, 50, 50);
+  const float limit = std::sqrt(6.0f / 100.0f);
+  EXPECT_GE(t.min(), -limit);
+  EXPECT_LE(t.max(), limit);
+}
+
+TEST(Tensor, SaveLoadRoundTrip) {
+  Rng rng(31);
+  Tensor a(Shape{2, 3, 4, 5});
+  a.fill_normal(rng, 0.0f, 1.0f);
+  std::stringstream ss;
+  a.save(ss);
+  Tensor b = Tensor::load(ss);
+  EXPECT_EQ(a.shape(), b.shape());
+  EXPECT_FLOAT_EQ(max_abs_diff(a, b), 0.0f);
+}
+
+TEST(Tensor, LoadRejectsGarbage) {
+  std::stringstream ss;
+  ss << "not a tensor at all";
+  EXPECT_THROW(Tensor::load(ss), IoError);
+}
+
+TEST(Tensor, CopyFromChecksShape) {
+  Tensor a(Shape{3}), b(Shape{4});
+  PF15_EXPECT_CHECK_FAIL(a.copy_from(b), "copy_from shape mismatch");
+}
+
+TEST(Tensor, CopyOrAssignReallocates) {
+  Tensor a;
+  Tensor b(Shape{5});
+  b.fill(3.0f);
+  a.copy_or_assign_from(b);
+  EXPECT_EQ(a.shape(), b.shape());
+  EXPECT_FLOAT_EQ(a.at(4), 3.0f);
+}
+
+TEST(Tensor, MaxAbsDiff) {
+  Tensor a(Shape{3}), b(Shape{3});
+  a.at(2) = 1.0f;
+  b.at(2) = -1.0f;
+  EXPECT_FLOAT_EQ(max_abs_diff(a, b), 2.0f);
+}
+
+TEST(Tensor, MoveLeavesSourceEmpty) {
+  Tensor a(Shape{3});
+  a.fill(1.0f);
+  Tensor b = std::move(a);
+  EXPECT_TRUE(b.defined());
+  EXPECT_EQ(b.numel(), 3u);
+}
+
+}  // namespace
+}  // namespace pf15

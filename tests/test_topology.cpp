@@ -1,0 +1,175 @@
+// Dragonfly topology and placement (§IV, Fig 3): routing invariants,
+// placement policies, and the latency ordering that motivates the paper's
+// ideal node placement (compute groups contained in electrical groups).
+#include <gtest/gtest.h>
+
+#include "simnet/topology.hpp"
+
+namespace pf15::simnet {
+namespace {
+
+DragonflyConfig tiny_machine() {
+  DragonflyConfig cfg;
+  cfg.electrical_groups = 4;
+  cfg.routers_per_group = 8;
+  cfg.nodes_per_router = 4;
+  return cfg;  // 128 nodes
+}
+
+TEST(Dragonfly, NodeCount) {
+  Dragonfly machine(tiny_machine());
+  EXPECT_EQ(machine.config().nodes(), 128);
+}
+
+TEST(Dragonfly, GroupAndRouterIndexing) {
+  Dragonfly machine(tiny_machine());
+  EXPECT_EQ(machine.group_of(0), 0);
+  EXPECT_EQ(machine.group_of(31), 0);
+  EXPECT_EQ(machine.group_of(32), 1);
+  EXPECT_EQ(machine.router_of(0), 0);
+  EXPECT_EQ(machine.router_of(3), 0);
+  EXPECT_EQ(machine.router_of(4), 1);
+}
+
+TEST(Dragonfly, SameNodeRouteIsFree) {
+  Dragonfly machine(tiny_machine());
+  const auto r = machine.route(5, 5);
+  EXPECT_EQ(r.routers, 0);
+  EXPECT_EQ(r.local_links + r.global_links, 0);
+}
+
+TEST(Dragonfly, SameRouterOneHop) {
+  Dragonfly machine(tiny_machine());
+  const auto r = machine.route(0, 3);  // both on router 0
+  EXPECT_EQ(r.routers, 1);
+  EXPECT_EQ(r.local_links, 0);
+  EXPECT_EQ(r.global_links, 0);
+}
+
+TEST(Dragonfly, IntraGroupUsesLocalLink) {
+  Dragonfly machine(tiny_machine());
+  const auto r = machine.route(0, 5);  // routers 0 and 1, same group
+  EXPECT_EQ(r.local_links, 1);
+  EXPECT_EQ(r.global_links, 0);
+}
+
+TEST(Dragonfly, InterGroupCrossesOneGlobalLink) {
+  Dragonfly machine(tiny_machine());
+  const auto r = machine.route(0, 127);
+  EXPECT_EQ(r.global_links, 1);
+  EXPECT_EQ(r.local_links, 2);
+}
+
+TEST(Dragonfly, LatencyIsSymmetric) {
+  Dragonfly machine(tiny_machine());
+  const HopCosts costs;
+  for (int a : {0, 7, 40, 100}) {
+    for (int b : {3, 33, 99, 127}) {
+      EXPECT_DOUBLE_EQ(machine.latency(a, b, costs),
+                       machine.latency(b, a, costs));
+    }
+  }
+}
+
+TEST(Dragonfly, LatencyOrderingMatchesDistance) {
+  Dragonfly machine(tiny_machine());
+  const HopCosts costs;
+  const double same_router = machine.latency(0, 1, costs);
+  const double same_group = machine.latency(0, 8, costs);
+  const double cross_group = machine.latency(0, 64, costs);
+  EXPECT_LT(same_router, same_group);
+  EXPECT_LT(same_group, cross_group);
+}
+
+TEST(Dragonfly, RejectsOutOfRangeNode) {
+  Dragonfly machine(tiny_machine());
+  EXPECT_THROW(machine.group_of(128), Error);
+  EXPECT_THROW(machine.group_of(-1), Error);
+}
+
+// ---------------------------------------------------------------- Placement
+
+TEST(Placement, RejectsOversizedJob) {
+  Dragonfly machine(tiny_machine());
+  EXPECT_THROW(place_job(machine, 4, 40, 0, PlacementPolicy::kLinear),
+               Error);
+}
+
+TEST(Placement, AllPoliciesProduceDistinctNodes) {
+  Dragonfly machine(tiny_machine());
+  for (auto policy : {PlacementPolicy::kIdeal, PlacementPolicy::kLinear,
+                      PlacementPolicy::kRandom}) {
+    const Placement p = place_job(machine, 3, 16, 4, policy, 11);
+    ASSERT_EQ(p.node_of_rank.size(), 52u);
+    std::vector<int> sorted = p.node_of_rank;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_TRUE(std::adjacent_find(sorted.begin(), sorted.end()) ==
+                sorted.end())
+        << "placement must not double-book nodes";
+    EXPECT_GE(sorted.front(), 0);
+    EXPECT_LT(sorted.back(), machine.config().nodes());
+  }
+}
+
+TEST(Placement, IdealContainsEveryGroupWhenCapacityAllows) {
+  Dragonfly machine(tiny_machine());  // 32 nodes per electrical group
+  const Placement p =
+      place_job(machine, 4, 24, 2, PlacementPolicy::kIdeal);
+  EXPECT_DOUBLE_EQ(containment_fraction(machine, p, 24), 1.0);
+}
+
+TEST(Placement, LinearStraddlesGroupBoundaries) {
+  Dragonfly machine(tiny_machine());
+  // 24-node groups packed linearly into 32-node electrical groups: group 1
+  // spans nodes 24..47, crossing the 31/32 boundary.
+  const Placement p =
+      place_job(machine, 4, 24, 0, PlacementPolicy::kLinear);
+  EXPECT_LT(containment_fraction(machine, p, 24), 1.0);
+}
+
+TEST(Placement, IdealGroupLatencyNoWorseThanRandom) {
+  Dragonfly machine(tiny_machine());
+  const HopCosts costs;
+  const Placement ideal =
+      place_job(machine, 4, 24, 2, PlacementPolicy::kIdeal);
+  const Placement random =
+      place_job(machine, 4, 24, 2, PlacementPolicy::kRandom, 23);
+  double ideal_lat = 0.0, random_lat = 0.0;
+  for (int g = 0; g < 4; ++g) {
+    ideal_lat += mean_group_latency(machine, ideal, g, 24, costs);
+    random_lat += mean_group_latency(machine, random, g, 24, costs);
+  }
+  EXPECT_LT(ideal_lat, random_lat)
+      << "Fig 3 placement must beat a fragmented machine";
+}
+
+TEST(Placement, RootPsLatencyIsPositiveWithPs) {
+  Dragonfly machine(tiny_machine());
+  const HopCosts costs;
+  const Placement p = place_job(machine, 2, 8, 3, PlacementPolicy::kIdeal);
+  EXPECT_GT(mean_root_ps_latency(machine, p, 8, costs), 0.0);
+  const Placement no_ps =
+      place_job(machine, 2, 8, 0, PlacementPolicy::kIdeal);
+  EXPECT_DOUBLE_EQ(mean_root_ps_latency(machine, no_ps, 8, costs), 0.0);
+}
+
+TEST(Placement, RandomIsDeterministicPerSeed) {
+  Dragonfly machine(tiny_machine());
+  const Placement a = place_job(machine, 2, 8, 1, PlacementPolicy::kRandom, 7);
+  const Placement b = place_job(machine, 2, 8, 1, PlacementPolicy::kRandom, 7);
+  EXPECT_EQ(a.node_of_rank, b.node_of_rank);
+  const Placement c = place_job(machine, 2, 8, 1, PlacementPolicy::kRandom, 8);
+  EXPECT_NE(a.node_of_rank, c.node_of_rank);
+}
+
+TEST(Placement, GroupLatencyZeroForSingletonGroups) {
+  Dragonfly machine(tiny_machine());
+  const HopCosts costs;
+  const Placement p = place_job(machine, 4, 1, 0, PlacementPolicy::kLinear);
+  for (int g = 0; g < 4; ++g) {
+    EXPECT_DOUBLE_EQ(mean_group_latency(machine, p, g, 1, costs), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace pf15::simnet

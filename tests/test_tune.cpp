@@ -1,0 +1,371 @@
+// Hyper-parameter tuning substrate (§VIII-B): search-space semantics,
+// the three searchers, and the YellowFin momentum/learning-rate tuner
+// ([48]) including its cubic solver and behaviour on quadratics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tune/gp.hpp"
+#include "tune/search.hpp"
+#include "tune/yellowfin.hpp"
+
+namespace pf15::tune {
+namespace {
+
+// ------------------------------------------------------------------ Space
+
+TEST(Space, LinearSampleStaysInBounds) {
+  Space space;
+  space.add(Dimension::linear("x", -2.0, 3.0));
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const Config c = space.sample(rng);
+    EXPECT_GE(c.at("x"), -2.0);
+    EXPECT_LT(c.at("x"), 3.0);
+  }
+}
+
+TEST(Space, LogSampleCoversDecades) {
+  Space space;
+  space.add(Dimension::log("lr", 1e-5, 1e-1));
+  Rng rng(2);
+  int low = 0, high = 0;
+  for (int i = 0; i < 400; ++i) {
+    const double v = space.sample(rng).at("lr");
+    EXPECT_GE(v, 1e-5);
+    EXPECT_LE(v, 1e-1);
+    if (v < 1e-4) ++low;      // bottom decade
+    if (v > 1e-2) ++high;     // top decade
+  }
+  // Log-uniform: each of the four decades gets ~25% of the mass. A
+  // linear-uniform sampler would put ~0.1% below 1e-4.
+  EXPECT_GT(low, 50);
+  EXPECT_GT(high, 50);
+}
+
+TEST(Space, DiscreteSamplesOnlyChoices) {
+  Space space;
+  space.add(Dimension::discrete("groups", {1, 2, 4, 8}));
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    const double v = space.sample(rng).at("groups");
+    EXPECT_TRUE(v == 1 || v == 2 || v == 4 || v == 8) << v;
+  }
+}
+
+TEST(Space, RejectsBadBounds) {
+  EXPECT_THROW(Dimension::linear("x", 2.0, 1.0), Error);
+  EXPECT_THROW(Dimension::log("x", 0.0, 1.0), Error);
+  EXPECT_THROW(Dimension::log("x", -1.0, 1.0), Error);
+  EXPECT_THROW(Dimension::discrete("x", {}), Error);
+}
+
+TEST(Space, RejectsDuplicateDimension) {
+  Space space;
+  space.add(Dimension::linear("x", 0.0, 1.0));
+  EXPECT_THROW(space.add(Dimension::linear("x", 0.0, 2.0)), Error);
+}
+
+TEST(Space, GridIsCartesianProduct) {
+  Space space;
+  space.add(Dimension::linear("a", 0.0, 1.0));
+  space.add(Dimension::discrete("b", {10, 20, 30}));
+  const auto grid = space.grid(4);
+  EXPECT_EQ(grid.size(), 4u * 3u);
+}
+
+TEST(Space, GridEndpointsIncluded) {
+  Space space;
+  space.add(Dimension::linear("x", -1.0, 1.0));
+  const auto grid = space.grid(5);
+  EXPECT_DOUBLE_EQ(grid.front().at("x"), -1.0);
+  EXPECT_DOUBLE_EQ(grid.back().at("x"), 1.0);
+}
+
+TEST(Space, LogGridIsGeometric) {
+  Space space;
+  space.add(Dimension::log("x", 1.0, 100.0));
+  const auto grid = space.grid(3);
+  ASSERT_EQ(grid.size(), 3u);
+  EXPECT_NEAR(grid[1].at("x"), 10.0, 1e-9);
+}
+
+TEST(Space, ContainsValidatesBoundsAndChoices) {
+  Space space;
+  space.add(Dimension::linear("a", 0.0, 1.0));
+  space.add(Dimension::discrete("b", {1, 2}));
+  EXPECT_TRUE(space.contains({{"a", 0.5}, {"b", 2}}));
+  EXPECT_FALSE(space.contains({{"a", 1.5}, {"b", 2}}));
+  EXPECT_FALSE(space.contains({{"a", 0.5}, {"b", 3}}));
+  EXPECT_FALSE(space.contains({{"a", 0.5}}));
+}
+
+// --------------------------------------------------------------- Searchers
+
+double bowl(const Config& c) {
+  const double x = c.at("x") - 0.3;
+  const double y = c.at("y") + 0.4;
+  return x * x + y * y;
+}
+
+Space bowl_space() {
+  Space space;
+  space.add(Dimension::linear("x", -1.0, 1.0));
+  space.add(Dimension::linear("y", -1.0, 1.0));
+  return space;
+}
+
+TEST(RandomSearch, FindsNearOptimum) {
+  const auto result = random_search(bowl_space(), bowl, 400, 7);
+  EXPECT_LT(result.best.loss, 0.02);
+  EXPECT_EQ(result.trials.size(), 400u);
+}
+
+TEST(RandomSearch, DeterministicForSeed) {
+  const auto a = random_search(bowl_space(), bowl, 50, 3);
+  const auto b = random_search(bowl_space(), bowl, 50, 3);
+  EXPECT_DOUBLE_EQ(a.best.loss, b.best.loss);
+}
+
+TEST(RandomSearch, BestIsMinimumOfTrials) {
+  const auto result = random_search(bowl_space(), bowl, 64, 5);
+  for (const auto& t : result.trials) {
+    EXPECT_GE(t.loss, result.best.loss);
+  }
+}
+
+TEST(GridSearch, ExhaustsTheGrid) {
+  const auto result = grid_search(bowl_space(), bowl, 9);
+  EXPECT_EQ(result.trials.size(), 81u);
+  EXPECT_LT(result.best.loss, 0.05);
+}
+
+TEST(SuccessiveHalving, SpendsMoreBudgetOnSurvivors) {
+  // Objective improves with budget; its budget-infinite limit is bowl().
+  BudgetObjective obj = [](const Config& c, std::size_t budget) {
+    return bowl(c) + 1.0 / static_cast<double>(budget);
+  };
+  HalvingConfig cfg;
+  cfg.initial_arms = 16;
+  cfg.initial_budget = 2;
+  const auto result = successive_halving(bowl_space(), obj, cfg);
+  // Rung budgets: 16x2 + 8x4 + 4x8 + 2x16 + 1x32 = 160.
+  EXPECT_EQ(result.total_budget, 160u);
+  // The winner was evaluated at the deepest budget.
+  std::size_t max_budget = 0;
+  for (const auto& t : result.trials) {
+    max_budget = std::max(max_budget, t.budget);
+  }
+  EXPECT_EQ(result.best.budget, max_budget);
+}
+
+TEST(SuccessiveHalving, SingleArmEvaluatesOnce) {
+  BudgetObjective obj = [](const Config& c, std::size_t) { return bowl(c); };
+  HalvingConfig cfg;
+  cfg.initial_arms = 1;
+  cfg.initial_budget = 8;
+  const auto result = successive_halving(bowl_space(), obj, cfg);
+  EXPECT_EQ(result.trials.size(), 1u);
+  EXPECT_EQ(result.total_budget, 8u);
+}
+
+// --------------------------------------------------------------- YellowFin
+
+TEST(YellowFinCubic, NoiseDominatedRootApproachesOne) {
+  // p -> 0 (huge variance): x -> 1, i.e. momentum -> 1 to average noise.
+  EXPECT_NEAR(yellowfin_cubic_root(1e-9), 1.0, 1e-2);
+}
+
+TEST(YellowFinCubic, NoiseFreeRootApproachesZero) {
+  // p -> inf (no noise): x -> 0, plain gradient descent.
+  EXPECT_LT(yellowfin_cubic_root(1e9), 1e-2);
+}
+
+TEST(YellowFinCubic, RootSolvesTheCubic) {
+  for (double p : {0.01, 0.1, 1.0, 10.0, 100.0}) {
+    const double x = yellowfin_cubic_root(p);
+    const double residual = p * x - std::pow(1.0 - x, 3.0);
+    EXPECT_NEAR(residual, 0.0, 1e-9) << "p = " << p;
+  }
+}
+
+TEST(YellowFinCubic, RootIsMonotoneDecreasingInP) {
+  double prev = 1.1;
+  for (double p : {0.001, 0.01, 0.1, 1.0, 10.0}) {
+    const double x = yellowfin_cubic_root(p);
+    EXPECT_LT(x, prev);
+    prev = x;
+  }
+}
+
+TEST(YellowFin, WarmupKeepsInitialRates) {
+  YellowFinOptions opt;
+  opt.warmup_steps = 10;
+  opt.learning_rate_init = 0.05;
+  YellowFin yf(3, opt);
+  const std::vector<float> g{0.1f, -0.2f, 0.3f};
+  for (int i = 0; i < 5; ++i) yf.observe(g);
+  EXPECT_DOUBLE_EQ(yf.learning_rate(), 0.05);
+  EXPECT_DOUBLE_EQ(yf.momentum(), 0.0);
+}
+
+TEST(YellowFin, RejectsWrongGradientLength) {
+  YellowFin yf(3);
+  const std::vector<float> g{0.1f, 0.2f};
+  EXPECT_THROW(yf.observe(g), Error);
+}
+
+TEST(YellowFin, MomentumStaysInUnitInterval) {
+  YellowFin yf(4);
+  Rng rng(5);
+  std::vector<float> g(4);
+  for (int i = 0; i < 200; ++i) {
+    for (auto& v : g) v = static_cast<float>(rng.normal(0.0, 1.0));
+    yf.observe(g);
+    EXPECT_GE(yf.momentum(), 0.0);
+    EXPECT_LT(yf.momentum(), 1.0);
+    EXPECT_GE(yf.learning_rate(), 0.0);
+  }
+}
+
+TEST(YellowFin, NoisierGradientsRaiseMomentum) {
+  // Same mean gradient, different noise levels: the noisy stream should
+  // settle at strictly higher momentum (noise averaging, [48] §3).
+  auto run = [](double noise) {
+    YellowFinOptions opt;
+    opt.beta = 0.99;
+    YellowFin yf(8, opt);
+    Rng rng(9);
+    std::vector<float> g(8);
+    for (int i = 0; i < 600; ++i) {
+      for (auto& v : g) {
+        v = static_cast<float>(1.0 + rng.normal(0.0, noise));
+      }
+      yf.observe(g);
+    }
+    return yf.momentum();
+  };
+  EXPECT_GT(run(2.0), run(0.05));
+}
+
+TEST(YellowFin, TunedSgdConvergesOnNoisyQuadratic) {
+  // f(w) = 0.5 Σ h_i w_i², observed gradient h_i w_i + noise. SGD driven
+  // by YellowFin's (lr, mu) must shrink ||w|| by orders of magnitude.
+  const std::vector<double> h{1.0, 3.0, 7.0, 10.0};
+  std::vector<double> w{1.0, -1.0, 0.5, -0.5};
+  std::vector<double> v(4, 0.0);
+  YellowFinOptions opt;
+  opt.beta = 0.99;
+  opt.learning_rate_init = 1e-3;
+  YellowFin yf(4, opt);
+  Rng rng(13);
+  std::vector<float> g(4);
+  for (int iter = 0; iter < 2000; ++iter) {
+    for (std::size_t i = 0; i < 4; ++i) {
+      g[i] = static_cast<float>(h[i] * w[i] + rng.normal(0.0, 0.05));
+    }
+    yf.observe(g);
+    for (std::size_t i = 0; i < 4; ++i) {
+      v[i] = yf.momentum() * v[i] - yf.learning_rate() * g[i];
+      w[i] += v[i];
+    }
+  }
+  double norm = 0.0;
+  for (double x : w) norm += x * x;
+  EXPECT_LT(std::sqrt(norm), 0.2);
+}
+
+
+// ------------------------------------------------------- GaussianProcess
+
+TEST(GaussianProcess, PriorBeforeData) {
+  GaussianProcess gp;
+  const auto p = gp.predict({0.5});
+  EXPECT_DOUBLE_EQ(p.mean, 0.0);
+  EXPECT_DOUBLE_EQ(p.variance, 1.0);  // signal variance default
+}
+
+TEST(GaussianProcess, InterpolatesTrainingPoints) {
+  GpConfig cfg;
+  cfg.noise_variance = 1e-8;
+  GaussianProcess gp(cfg);
+  gp.fit({{0.1}, {0.5}, {0.9}}, {1.0, -2.0, 3.0});
+  EXPECT_NEAR(gp.predict({0.1}).mean, 1.0, 1e-3);
+  EXPECT_NEAR(gp.predict({0.5}).mean, -2.0, 1e-3);
+  EXPECT_NEAR(gp.predict({0.9}).mean, 3.0, 1e-3);
+}
+
+TEST(GaussianProcess, VarianceShrinksNearData) {
+  GaussianProcess gp;
+  gp.fit({{0.5}}, {0.0});
+  const double near = gp.predict({0.52}).variance;
+  const double far = gp.predict({0.0}).variance;
+  EXPECT_LT(near, 0.1);
+  EXPECT_GT(far, 0.5);
+}
+
+TEST(GaussianProcess, KernelIsSymmetricAndMaxAtZeroDistance) {
+  GaussianProcess gp;
+  const std::vector<double> a{0.2, 0.7}, b{0.9, 0.1};
+  EXPECT_DOUBLE_EQ(gp.kernel(a, b), gp.kernel(b, a));
+  EXPECT_GT(gp.kernel(a, a), gp.kernel(a, b));
+}
+
+TEST(ExpectedImprovement, ZeroWhenCertainlyWorse) {
+  // mu far above incumbent with no variance: no improvement expected.
+  EXPECT_DOUBLE_EQ(expected_improvement(10.0, 0.0, 1.0), 0.0);
+}
+
+TEST(ExpectedImprovement, EqualsGapWhenCertainlyBetter) {
+  EXPECT_DOUBLE_EQ(expected_improvement(0.2, 0.0, 1.0), 0.8);
+}
+
+TEST(ExpectedImprovement, GrowsWithVariance) {
+  // At the incumbent mean, only variance creates improvement potential.
+  EXPECT_GT(expected_improvement(1.0, 1.0, 1.0),
+            expected_improvement(1.0, 0.01, 1.0));
+}
+
+TEST(BayesianSearch, BeatsRandomAtEqualBudget) {
+  // Smooth 2-d bowl: GP-EI should find a (weakly) better optimum than
+  // random search at the same number of evaluations.
+  BayesConfig cfg;
+  cfg.initial_random = 5;
+  cfg.iterations = 30;
+  cfg.seed = 11;
+  const auto bayes = bayesian_search(bowl_space(), bowl, cfg);
+  const auto random = random_search(bowl_space(), bowl, 30, 11);
+  EXPECT_EQ(bayes.trials.size(), 30u);
+  EXPECT_LE(bayes.best.loss, random.best.loss + 1e-9);
+  EXPECT_LT(bayes.best.loss, 0.02);
+}
+
+TEST(BayesianSearch, DeterministicPerSeed) {
+  BayesConfig cfg;
+  cfg.iterations = 12;
+  cfg.seed = 4;
+  const auto a = bayesian_search(bowl_space(), bowl, cfg);
+  const auto b = bayesian_search(bowl_space(), bowl, cfg);
+  EXPECT_DOUBLE_EQ(a.best.loss, b.best.loss);
+}
+
+TEST(BayesianSearch, HandlesDiscreteAndLogDimensions) {
+  Space space;
+  space.add(Dimension::log("lr", 1e-4, 1.0));
+  space.add(Dimension::discrete("batch", {4, 8, 16}));
+  // Optimum at lr = 1e-2, batch = 8.
+  Objective obj = [](const Config& c) {
+    const double dl = std::log10(c.at("lr")) + 2.0;
+    const double db = (c.at("batch") - 8.0) / 8.0;
+    return dl * dl + db * db;
+  };
+  BayesConfig cfg;
+  cfg.iterations = 25;
+  cfg.seed = 9;
+  const auto result = bayesian_search(space, obj, cfg);
+  EXPECT_LT(result.best.loss, 0.3);
+  EXPECT_DOUBLE_EQ(result.best.config.at("batch"), 8.0);
+}
+
+}  // namespace
+}  // namespace pf15::tune
