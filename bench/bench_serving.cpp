@@ -1,0 +1,79 @@
+// Serving latency/throughput sweep: max-batch policy vs tail latency.
+//
+// The dynamic batcher trades queueing delay for batch efficiency: a larger
+// max_batch amortises per-layer overhead across more requests (higher
+// throughput) but each request may wait for more companions (higher tail
+// latency). This bench sweeps max_batch under a fixed open-loop load and
+// reports the p50/p99 request latency and sustained throughput at each
+// point — the curve an operator reads to pick the policy for an SLO.
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "data/hep_generator.hpp"
+#include "nn/hep_model.hpp"
+#include "perf/report.hpp"
+#include "serve/engine.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pf15;
+
+  // Keep the default run laptop-sized; --full serves more traffic.
+  const bool full = argc > 1 && std::string(argv[1]) == "--full";
+  const int requests_per_point = full ? 4096 : 512;
+  const int producers = 4;
+
+  nn::HepConfig net_cfg = nn::HepConfig::tiny();
+  net_cfg.filters = 8;
+  auto factory = [&] { return nn::build_hep_network(net_cfg); };
+
+  data::HepGeneratorConfig gen_cfg;
+  gen_cfg.image = 32;
+
+  perf::Table table({"max_batch", "replicas", "requests", "mean_batch",
+                     "p50_ms", "p99_ms", "req_per_s"});
+
+  for (const std::size_t max_batch : {1, 2, 4, 8, 16, 32}) {
+    serve::EngineConfig cfg;
+    cfg.replicas = 2;
+    cfg.sample_shape = Shape{3, 32, 32};
+    cfg.batcher.max_batch = max_batch;
+    cfg.batcher.max_wait_us = 500;
+    cfg.batcher.queue_capacity = 1024;
+    serve::ServingEngine engine(factory, cfg);
+
+    std::vector<std::thread> threads;
+    const int per_producer = requests_per_point / producers;
+    for (int p = 0; p < producers; ++p) {
+      threads.emplace_back([&, p] {
+        data::HepGenerator gen(gen_cfg, 10 + p);
+        std::vector<std::future<Tensor>> futures;
+        futures.reserve(per_producer);
+        for (int i = 0; i < per_producer; ++i) {
+          futures.push_back(
+              engine.submit(gen.generate(i % 2 == 0).image));
+        }
+        for (auto& f : futures) f.get();
+      });
+    }
+    for (auto& t : threads) t.join();
+
+    const auto stats = engine.stats();
+    engine.shutdown();
+    table.add_row({std::to_string(max_batch),
+                   std::to_string(cfg.replicas),
+                   std::to_string(stats.requests),
+                   perf::Table::num(stats.mean_batch_size, 2),
+                   perf::Table::num(stats.latency.p50 * 1e3, 3),
+                   perf::Table::num(stats.latency.p99 * 1e3, 3),
+                   perf::Table::num(stats.throughput_rps, 1)});
+    std::printf("max_batch %2zu done (%zu batches)\n", max_batch,
+                stats.batches);
+  }
+
+  std::printf("\n%s\n", table.str().c_str());
+  table.write_csv("bench_serving.csv");
+  std::printf("wrote bench_serving.csv\n");
+  return 0;
+}

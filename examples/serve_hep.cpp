@@ -1,0 +1,127 @@
+// Train -> checkpoint -> serve, end to end.
+//
+// Trains the tiny HEP classifier for a few hundred iterations, writes a
+// versioned checkpoint, reloads it into a ServingEngine, and answers 1000+
+// concurrent single-sample requests through the dynamic batcher. Every
+// response is cross-checked against unbatched single-sample inference on a
+// reference model restored from the same checkpoint — the serving path
+// must not change the math it serves.
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "data/hep_generator.hpp"
+#include "hybrid/trainable.hpp"
+#include "perf/report.hpp"
+#include "serve/checkpoint.hpp"
+#include "serve/engine.hpp"
+#include "solver/solver.hpp"
+
+int main() {
+  using namespace pf15;
+
+  // --- 1. Train briefly -------------------------------------------------
+  nn::HepConfig net_cfg = nn::HepConfig::tiny();
+  net_cfg.filters = 8;
+  hybrid::HepTrainable model(net_cfg);
+  solver::AdamSolver adam(model.params(), 2e-3);
+
+  data::HepGeneratorConfig gen_cfg;
+  gen_cfg.image = 32;
+  data::HepGenerator train_gen(gen_cfg, 1);
+  std::printf("training tiny HEP classifier...\n");
+  for (int iter = 0; iter < 150; ++iter) {
+    std::vector<data::Sample> ss;
+    std::vector<const data::Sample*> ptrs;
+    for (int k = 0; k < 16; ++k) {
+      const auto ev = train_gen.generate(k % 2 == 0);
+      ss.push_back({ev.image.clone(), ev.label, true, {}});
+    }
+    for (const auto& s : ss) ptrs.push_back(&s);
+    const double loss = model.train_step(data::make_batch(ptrs));
+    adam.step();
+    if (iter % 50 == 0) std::printf("  iter %3d  loss %.4f\n", iter, loss);
+  }
+
+  // --- 2. Checkpoint ----------------------------------------------------
+  const std::string ckpt = "serve_hep_ckpt.bin";
+  serve::checkpoint_model_file(ckpt, model.net(), "hep");
+  const auto meta = serve::read_checkpoint_meta_file(ckpt);
+  std::printf("checkpoint written: %s (kind \"%s\", format v%u)\n",
+              ckpt.c_str(), meta.model_kind.c_str(), meta.version);
+
+  // --- 3. Reload into a ServingEngine -----------------------------------
+  auto factory = [&] { return nn::build_hep_network(net_cfg); };
+  serve::EngineConfig eng_cfg;
+  eng_cfg.replicas = 2;
+  eng_cfg.sample_shape = Shape{3, 32, 32};
+  eng_cfg.batcher.max_batch = 16;
+  eng_cfg.batcher.max_wait_us = 500;
+  eng_cfg.batcher.queue_capacity = 512;
+  serve::ServingEngine engine(factory, ckpt, "hep", eng_cfg);
+
+  // Reference for correctness: same checkpoint, unbatched inference.
+  nn::Sequential reference = factory();
+  serve::restore_model_file(ckpt, reference, "hep");
+  reference.set_training(false);
+
+  // --- 4. Synthetic concurrent traffic ----------------------------------
+  constexpr int kProducers = 8;
+  constexpr int kPerProducer = 128;  // 1024 requests total
+  std::printf("serving %d concurrent single-sample requests (%d producers, "
+              "%zu replicas)...\n",
+              kProducers * kPerProducer, kProducers, engine.replica_count());
+
+  std::mutex mutex;
+  std::vector<std::pair<Tensor, std::future<Tensor>>> inflight;
+  inflight.reserve(kProducers * kPerProducer);
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      data::HepGenerator gen(gen_cfg, 1000 + p);
+      for (int i = 0; i < kPerProducer; ++i) {
+        Tensor sample = gen.generate(i % 2 == 0).image.clone();
+        auto fut = engine.submit(sample);  // blocks under backpressure
+        std::lock_guard<std::mutex> lock(mutex);
+        inflight.emplace_back(std::move(sample), std::move(fut));
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+
+  // --- 5. Verify batched == unbatched -----------------------------------
+  double worst = 0.0;
+  std::size_t signal = 0;
+  for (auto& [sample, fut] : inflight) {
+    Tensor got = fut.get();
+    Tensor single = stack_samples({&sample});
+    const Tensor& want = reference.forward(single);
+    for (std::size_t j = 0; j < got.numel(); ++j) {
+      worst = std::max(worst,
+                       static_cast<double>(std::abs(got.at(j) - want.at(j))));
+    }
+    if (got.at(1) > got.at(0)) ++signal;
+  }
+  const auto stats = engine.stats();
+  engine.shutdown();
+
+  std::printf("max |batched - unbatched| = %.2e (%s 1e-6 budget)\n", worst,
+              worst <= 1e-6 ? "within" : "EXCEEDS");
+  std::printf("classified signal: %zu / %zu\n", signal, inflight.size());
+
+  perf::Table table({"metric", "value"});
+  table.add_row({"requests", std::to_string(stats.requests)});
+  table.add_row({"batched forwards", std::to_string(stats.batches)});
+  table.add_row({"mean batch size", perf::Table::num(stats.mean_batch_size, 2)});
+  table.add_row({"p50 latency (ms)", perf::Table::num(stats.latency.p50 * 1e3, 3)});
+  table.add_row({"p90 latency (ms)", perf::Table::num(stats.latency.p90 * 1e3, 3)});
+  table.add_row({"p99 latency (ms)", perf::Table::num(stats.latency.p99 * 1e3, 3)});
+  table.add_row({"throughput (req/s)", perf::Table::num(stats.throughput_rps, 1)});
+  std::printf("\n%s\n", table.str().c_str());
+
+  std::remove(ckpt.c_str());
+  return worst <= 1e-6 ? 0 : 1;
+}

@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Tier-1 verify: configure, build, and run the full test suite.
+# Single entry point shared by developers and CI.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+jobs="$(nproc 2>/dev/null || echo 2)"
+cmake -B build -S .
+cmake --build build -j"$jobs"
+cd build && ctest --output-on-failure -j"$jobs"

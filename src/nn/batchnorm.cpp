@@ -167,6 +167,11 @@ std::vector<Param> BatchNorm2d::params() {
           {name_ + ".beta", &beta_, &beta_grad_}};
 }
 
+std::vector<Param> BatchNorm2d::state() {
+  return {{name_ + ".running_mean", &running_mean_, nullptr},
+          {name_ + ".running_var", &running_var_, nullptr}};
+}
+
 std::uint64_t BatchNorm2d::forward_flops(const Shape& in) const {
   check_input(in);
   // Two reduction passes plus the normalize+affine pass.

@@ -38,10 +38,11 @@ class BatchNorm2d final : public Layer {
   void forward(const Tensor& in, Tensor& out) override;
   void backward(const Tensor& in, const Tensor& dout, Tensor& din) override;
   std::vector<Param> params() override;
+  std::vector<Param> state() override;
   std::uint64_t forward_flops(const Shape& in) const override;
   std::uint64_t backward_flops(const Shape& in) const override;
 
-  void set_training(bool training) { training_ = training; }
+  void set_training(bool training) override { training_ = training; }
   bool training() const { return training_; }
 
   const Tensor& running_mean() const { return running_mean_; }

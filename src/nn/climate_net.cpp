@@ -123,10 +123,32 @@ std::vector<Param> ClimateNet::params() {
   return all;
 }
 
+std::vector<Param> ClimateNet::state() {
+  std::vector<Param> all;
+  for (Sequential* part : {&encoder_, &conf_head_, &cls_head_, &xy_head_,
+                           &wh_head_, &decoder_}) {
+    for (auto& p : part->state()) all.push_back(p);
+  }
+  return all;
+}
+
+std::vector<Param> ClimateNet::params_and_state() {
+  std::vector<Param> all = params();
+  for (auto& p : state()) all.push_back(p);
+  return all;
+}
+
 std::size_t ClimateNet::param_count() {
   std::size_t n = 0;
   for (const auto& p : params()) n += p.value->numel();
   return n;
+}
+
+void ClimateNet::set_training(bool training) {
+  for (Sequential* part : {&encoder_, &conf_head_, &cls_head_, &xy_head_,
+                           &wh_head_, &decoder_}) {
+    part->set_training(training);
+  }
 }
 
 void ClimateNet::zero_grad() {
@@ -157,16 +179,11 @@ std::vector<LayerProfile> ClimateNet::profiles() const {
 }
 
 void ClimateNet::save_params(std::ostream& os) {
-  for (auto& p : params()) p.value->save(os);
+  save_named_tensors(os, params_and_state());
 }
 
 void ClimateNet::load_params(std::istream& is) {
-  for (auto& p : params()) {
-    Tensor t = Tensor::load(is);
-    PF15_CHECK_MSG(t.shape() == p.value->shape(),
-                   "checkpoint shape mismatch for " << p.name);
-    p.value->copy_from(t);
-  }
+  load_named_tensors(is, params_and_state());
 }
 
 // ---------------------------------------------------------------------------

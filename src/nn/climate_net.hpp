@@ -84,9 +84,17 @@ class ClimateNet {
                 bool profile = false);
 
   std::vector<Param> params();
+  /// Non-trainable state across all parts, in the same part order as
+  /// params() (encoder, heads, decoder).
+  std::vector<Param> state();
+  /// params() followed by state() — the canonical checkpoint entry order.
+  std::vector<Param> params_and_state();
   std::size_t param_count();
   std::size_t param_bytes() { return param_count() * sizeof(float); }
   void zero_grad();
+
+  /// Propagates training/inference mode to the encoder, heads and decoder.
+  void set_training(bool training);
 
   std::uint64_t forward_flops(const Shape& in) const;
   std::uint64_t backward_flops(const Shape& in) const;

@@ -31,7 +31,7 @@ class Dropout final : public Layer {
     return in.numel();
   }
 
-  void set_training(bool training) { training_ = training; }
+  void set_training(bool training) override { training_ = training; }
   bool training() const { return training_; }
 
   /// When frozen, forward() reuses the current mask instead of drawing a

@@ -53,6 +53,17 @@ class Layer {
   /// Trainable parameters (empty for stateless layers).
   virtual std::vector<Param> params() { return {}; }
 
+  /// Non-trainable state tensors that must survive a checkpoint round trip
+  /// (e.g. BatchNorm running statistics). Returned as Params with a null
+  /// grad. Pointers remain valid for the lifetime of the layer.
+  virtual std::vector<Param> state() { return {}; }
+
+  /// Switches between training behaviour (batch statistics, dropout masks)
+  /// and inference behaviour (running estimates, identity dropout).
+  /// Composite layers must propagate to children. No-op for layers whose
+  /// forward is mode-independent.
+  virtual void set_training(bool training) { (void)training; }
+
   /// Analytic FLOP counts (the §V accounting). Counts multiply-adds as two
   /// FLOPs; elementwise ops as one per element.
   virtual std::uint64_t forward_flops(const Shape& in) const = 0;

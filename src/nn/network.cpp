@@ -1,7 +1,9 @@
 #include "nn/network.hpp"
 
+#include <cstring>
 #include <istream>
 #include <ostream>
+#include <sstream>
 
 #include "common/timer.hpp"
 
@@ -64,6 +66,19 @@ std::vector<Param> Sequential::params() {
   return all;
 }
 
+std::vector<Param> Sequential::state() {
+  std::vector<Param> all;
+  for (auto& l : layers_) {
+    for (auto& p : l->state()) all.push_back(p);
+  }
+  return all;
+}
+
+void Sequential::set_training(bool training) {
+  training_ = training;
+  for (auto& l : layers_) l->set_training(training);
+}
+
 std::size_t Sequential::param_count() {
   std::size_t n = 0;
   for (const auto& p : params()) n += p.value->numel();
@@ -101,17 +116,84 @@ void Sequential::reset_profiles() {
   }
 }
 
+std::vector<Param> Sequential::params_and_state() {
+  std::vector<Param> all = params();
+  for (auto& p : state()) all.push_back(p);
+  return all;
+}
+
+namespace {
+
+// Header of a named-tensor stream. The trailing digit is the format
+// version; bump it when the record layout changes.
+constexpr char kTensorStreamMagic[8] = {'P', 'F', '1', '5',
+                                        'T', 'N', 'S', '1'};
+
+}  // namespace
+
+void save_named_tensors(std::ostream& os,
+                        const std::vector<Param>& entries) {
+  os.write(kTensorStreamMagic, sizeof(kTensorStreamMagic));
+  const std::uint64_t count = entries.size();
+  os.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const auto& p : entries) {
+    const std::uint32_t len = static_cast<std::uint32_t>(p.name.size());
+    os.write(reinterpret_cast<const char*>(&len), sizeof(len));
+    os.write(p.name.data(), static_cast<std::streamsize>(len));
+    p.value->save(os);
+  }
+  if (!os) throw IoError("save_named_tensors: stream write failed");
+}
+
+void load_named_tensors(std::istream& is,
+                        const std::vector<Param>& entries) {
+  char magic[sizeof(kTensorStreamMagic)] = {};
+  is.read(magic, sizeof(magic));
+  if (!is || std::memcmp(magic, kTensorStreamMagic, sizeof(magic)) != 0) {
+    throw IoError(
+        "load_named_tensors: bad magic — not a pf15 named-tensor stream "
+        "(or an incompatible format version)");
+  }
+  std::uint64_t count = 0;
+  is.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!is) throw IoError("load_named_tensors: truncated header");
+  if (count != entries.size()) {
+    std::ostringstream oss;
+    oss << "load_named_tensors: stream has " << count
+        << " tensors but the model expects " << entries.size()
+        << " — architecture mismatch";
+    throw IoError(oss.str());
+  }
+  for (const auto& p : entries) {
+    std::uint32_t len = 0;
+    is.read(reinterpret_cast<char*>(&len), sizeof(len));
+    if (!is) throw IoError("load_named_tensors: truncated record header");
+    std::string name(len, '\0');
+    is.read(name.data(), static_cast<std::streamsize>(len));
+    if (!is) throw IoError("load_named_tensors: truncated tensor name");
+    if (name != p.name) {
+      throw IoError("load_named_tensors: expected tensor \"" + p.name +
+                    "\" but stream holds \"" + name +
+                    "\" — architecture mismatch");
+    }
+    Tensor t = Tensor::load(is);
+    if (t.shape() != p.value->shape()) {
+      std::ostringstream oss;
+      oss << "load_named_tensors: shape mismatch for \"" << p.name
+          << "\": model has " << p.value->shape() << ", stream has "
+          << t.shape();
+      throw IoError(oss.str());
+    }
+    p.value->copy_from(t);
+  }
+}
+
 void Sequential::save_params(std::ostream& os) {
-  for (auto& p : params()) p.value->save(os);
+  save_named_tensors(os, params_and_state());
 }
 
 void Sequential::load_params(std::istream& is) {
-  for (auto& p : params()) {
-    Tensor t = Tensor::load(is);
-    PF15_CHECK_MSG(t.shape() == p.value->shape(),
-                   "checkpoint shape mismatch for " << p.name);
-    p.value->copy_from(t);
-  }
+  load_named_tensors(is, params_and_state());
 }
 
 }  // namespace pf15::nn

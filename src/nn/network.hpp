@@ -54,9 +54,20 @@ class Sequential {
 
   /// All trainable parameters in deterministic (layer, param) order.
   std::vector<Param> params();
+  /// Non-trainable state (BatchNorm running statistics, ...) in the same
+  /// deterministic order; null grads.
+  std::vector<Param> state();
+  /// params() followed by state() — the canonical checkpoint entry order.
+  /// Every (de)serialisation path must use this so layouts stay in sync.
+  std::vector<Param> params_and_state();
   std::size_t param_count();
   /// Parameter footprint in bytes (Table II's "parameters size").
   std::size_t param_bytes() { return param_count() * sizeof(float); }
+
+  /// Propagates training/inference mode to every layer: inference mode
+  /// makes BatchNorm use running estimates and Dropout the identity.
+  void set_training(bool training);
+  bool training() const { return training_; }
 
   void zero_grad();
 
@@ -66,7 +77,10 @@ class Sequential {
   const std::vector<LayerProfile>& profiles() const { return profiles_; }
   void reset_profiles();
 
-  /// Serialise / restore all parameter values (not solver state).
+  /// Serialise / restore all parameter values and non-trainable state (not
+  /// solver state). The stream is a validated named-tensor stream (see
+  /// save_named_tensors); load fails with IoError on any mismatch instead
+  /// of silently misreading.
   void save_params(std::ostream& os);
   void load_params(std::istream& is);
 
@@ -75,6 +89,19 @@ class Sequential {
   std::vector<Tensor> activations_;  // activations_[i] = output of layer i
   std::vector<Tensor> grads_;        // grads_[i] = dL/d activations_[i-1]
   std::vector<LayerProfile> profiles_;
+  bool training_ = true;
 };
+
+/// Writes `entries` as a self-describing stream: magic, format version,
+/// entry count, then (name, tensor) records. The symmetric reader below
+/// validates every field, so a stream written for one architecture can
+/// never be silently loaded into another.
+void save_named_tensors(std::ostream& os, const std::vector<Param>& entries);
+
+/// Reads a stream produced by save_named_tensors into `entries` (values
+/// are copied into each Param's tensor). Throws pf15::IoError naming the
+/// first mismatching entry on bad magic/version/count/name/shape or a
+/// short stream.
+void load_named_tensors(std::istream& is, const std::vector<Param>& entries);
 
 }  // namespace pf15::nn

@@ -160,12 +160,20 @@ std::uint64_t ResidualBlock::backward_flops(const Shape& in) const {
   return total;
 }
 
-void ResidualBlock::set_training(bool training) {
+std::vector<Param> ResidualBlock::state() {
+  std::vector<Param> all;
   for (auto& layer : main_) {
-    if (auto* bn = dynamic_cast<BatchNorm2d*>(layer.get())) {
-      bn->set_training(training);
-    }
+    for (auto& p : layer->state()) all.push_back(p);
   }
+  if (projection_) {
+    for (auto& p : projection_->state()) all.push_back(p);
+  }
+  return all;
+}
+
+void ResidualBlock::set_training(bool training) {
+  for (auto& layer : main_) layer->set_training(training);
+  if (projection_) projection_->set_training(training);
 }
 
 Sequential build_resnet(const ResNetConfig& cfg) {

@@ -40,11 +40,12 @@ class ResidualBlock final : public Layer {
   void forward(const Tensor& in, Tensor& out) override;
   void backward(const Tensor& in, const Tensor& dout, Tensor& din) override;
   std::vector<Param> params() override;
+  std::vector<Param> state() override;
   std::uint64_t forward_flops(const Shape& in) const override;
   std::uint64_t backward_flops(const Shape& in) const override;
 
-  /// Propagates training mode to any BatchNorm layers inside.
-  void set_training(bool training);
+  /// Propagates training mode to every layer of the residual branch.
+  void set_training(bool training) override;
 
   bool has_projection() const { return projection_ != nullptr; }
 

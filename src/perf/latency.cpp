@@ -1,0 +1,88 @@
+#include "perf/latency.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/errors.hpp"
+
+namespace pf15::perf {
+
+double sorted_percentile(const std::vector<double>& sorted, double q) {
+  PF15_CHECK_MSG(q >= 0.0 && q <= 1.0, "percentile q out of range: " << q);
+  if (sorted.empty()) return 0.0;
+  // Nearest-rank: ceil(q * N), clamped to [1, N], 1-indexed.
+  const auto n = sorted.size();
+  std::size_t rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(n)));
+  if (rank == 0) rank = 1;
+  if (rank > n) rank = n;
+  return sorted[rank - 1];
+}
+
+LatencyRecorder::LatencyRecorder(std::size_t max_samples)
+    : max_samples_(max_samples), rng_state_(0x9e3779b97f4a7c15ull) {
+  PF15_CHECK_MSG(max_samples_ >= 1, "max_samples must be >= 1");
+  samples_.reserve(std::min<std::size_t>(max_samples_, 4096));
+}
+
+void LatencyRecorder::record(double seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++total_;
+  sum_ += seconds;
+  max_ = std::max(max_, seconds);
+  if (samples_.size() < max_samples_) {
+    samples_.push_back(seconds);
+    return;
+  }
+  // Reservoir sampling (Algorithm R): keep with prob max_samples_/total_.
+  rng_state_ ^= rng_state_ << 13;
+  rng_state_ ^= rng_state_ >> 7;
+  rng_state_ ^= rng_state_ << 17;
+  const std::size_t slot = rng_state_ % total_;
+  if (slot < max_samples_) samples_[slot] = seconds;
+}
+
+std::size_t LatencyRecorder::count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_;
+}
+
+double LatencyRecorder::percentile(double q) const {
+  std::vector<double> sorted;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    sorted = samples_;
+  }
+  std::sort(sorted.begin(), sorted.end());
+  return sorted_percentile(sorted, q);
+}
+
+LatencySummary LatencyRecorder::summary() const {
+  LatencySummary s;
+  std::vector<double> sorted;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    sorted = samples_;
+    s.count = total_;
+    if (total_ > 0) {
+      s.mean = sum_ / static_cast<double>(total_);
+      s.max = max_;
+    }
+  }
+  if (sorted.empty()) return s;
+  std::sort(sorted.begin(), sorted.end());
+  s.p50 = sorted_percentile(sorted, 0.50);
+  s.p90 = sorted_percentile(sorted, 0.90);
+  s.p99 = sorted_percentile(sorted, 0.99);
+  return s;
+}
+
+void LatencyRecorder::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  samples_.clear();
+  total_ = 0;
+  sum_ = 0.0;
+  max_ = 0.0;
+}
+
+}  // namespace pf15::perf

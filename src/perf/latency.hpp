@@ -1,0 +1,64 @@
+// Latency/throughput metering for the serving path.
+//
+// The training-side meters (FlopMeter, IterationTimeline) answer "how fast
+// is one rank's iteration"; serving asks a different question — the tail:
+// what latency do the slowest percentiles of requests see, and how many
+// requests per second does the engine sustain while holding that tail.
+// LatencyRecorder is the thread-safe accumulator the ServingEngine feeds;
+// summary() snapshots count/mean/percentiles without stopping traffic.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+namespace pf15::perf {
+
+/// Percentile snapshot of a set of recorded durations.
+struct LatencySummary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
+/// Thread-safe duration recorder with bounded memory. The first
+/// `max_samples` durations are kept verbatim; beyond that, reservoir
+/// sampling keeps a uniform subsample, so percentiles stay representative
+/// while a long-running engine's recorder stays O(max_samples) — count,
+/// mean and max remain exact over everything ever recorded. summary()
+/// copies and sorts the reservoir; call it at reporting cadence, not per
+/// request.
+class LatencyRecorder {
+ public:
+  explicit LatencyRecorder(std::size_t max_samples = 65536);
+
+  void record(double seconds);
+
+  /// Total number of durations ever recorded (not the reservoir size).
+  std::size_t count() const;
+
+  /// q in [0, 1]; nearest-rank percentile over the reservoir. 0 when
+  /// nothing has been recorded.
+  double percentile(double q) const;
+
+  LatencySummary summary() const;
+
+  void reset();
+
+ private:
+  const std::size_t max_samples_;
+  mutable std::mutex mutex_;
+  std::vector<double> samples_;  // reservoir
+  std::size_t total_ = 0;
+  double sum_ = 0.0;
+  double max_ = 0.0;
+  std::uint64_t rng_state_;  // xorshift for reservoir replacement
+};
+
+/// Nearest-rank percentile of a sorted sample vector (q in [0, 1]).
+double sorted_percentile(const std::vector<double>& sorted, double q);
+
+}  // namespace pf15::perf

@@ -1,0 +1,100 @@
+#include "serve/batcher.hpp"
+
+namespace pf15::serve {
+
+DynamicBatcher::DynamicBatcher(const BatcherConfig& cfg) : cfg_(cfg) {
+  PF15_CHECK_MSG(cfg_.max_batch >= 1,
+                 "max_batch must be >= 1, got " << cfg_.max_batch);
+  PF15_CHECK_MSG(cfg_.queue_capacity >= 1,
+                 "queue_capacity must be >= 1, got " << cfg_.queue_capacity);
+}
+
+std::future<Tensor> DynamicBatcher::enqueue_locked(
+    std::unique_lock<std::mutex>& lock, Tensor&& sample) {
+  (void)lock;  // caller holds mutex_
+  Request req;
+  req.input = std::move(sample);
+  req.enqueued = std::chrono::steady_clock::now();
+  std::future<Tensor> fut = req.result.get_future();
+  queue_.push_back(std::move(req));
+  cv_not_empty_.notify_one();
+  return fut;
+}
+
+std::future<Tensor> DynamicBatcher::submit(Tensor sample) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_not_full_.wait(lock, [&] {
+    return closed_ || queue_.size() < cfg_.queue_capacity;
+  });
+  if (closed_) {
+    throw ShutdownError("DynamicBatcher::submit: batcher is closed");
+  }
+  return enqueue_locked(lock, std::move(sample));
+}
+
+std::optional<std::future<Tensor>> DynamicBatcher::try_submit(
+    Tensor sample) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (closed_) {
+    throw ShutdownError("DynamicBatcher::try_submit: batcher is closed");
+  }
+  if (queue_.size() >= cfg_.queue_capacity) return std::nullopt;
+  return enqueue_locked(lock, std::move(sample));
+}
+
+std::vector<Request> DynamicBatcher::next_batch() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_not_empty_.wait(lock, [&] { return closed_ || !queue_.empty(); });
+  if (queue_.empty()) return {};  // closed and drained: worker exits
+
+  std::vector<Request> batch;
+  batch.reserve(cfg_.max_batch);
+  batch.push_back(std::move(queue_.front()));
+  queue_.pop_front();
+
+  // Linger for companions until the batch fills, the deadline passes, or
+  // shutdown begins (no point waiting for traffic that can't arrive).
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::microseconds(cfg_.max_wait_us);
+  while (batch.size() < cfg_.max_batch) {
+    if (!queue_.empty()) {
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+      continue;
+    }
+    if (closed_ || cfg_.max_wait_us == 0) break;
+    if (cv_not_empty_.wait_until(lock, deadline) ==
+        std::cv_status::timeout) {
+      // Deadline passed: take anything that raced in, then stop waiting.
+      while (!queue_.empty() && batch.size() < cfg_.max_batch) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      break;
+    }
+  }
+
+  cv_not_full_.notify_all();
+  return batch;
+}
+
+void DynamicBatcher::close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  cv_not_empty_.notify_all();
+  cv_not_full_.notify_all();
+}
+
+bool DynamicBatcher::closed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+std::size_t DynamicBatcher::depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+}  // namespace pf15::serve

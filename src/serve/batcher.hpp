@@ -1,0 +1,101 @@
+// Dynamic micro-batching request queue.
+//
+// Single-sample inference wastes the batch dimension the kernels are
+// tuned for: a (1, C, H, W) forward pays full per-layer overhead for one
+// row of GEMM. The batcher coalesces concurrent single-sample requests
+// into one batched forward using the classic two-knob policy:
+//
+//   max_batch    — never coalesce more than this many samples, bounding
+//                  the latency a request can add to others;
+//   max_wait_us  — after the first request of a batch arrives, linger at
+//                  most this long for companions, bounding queueing delay
+//                  under light load (0 = serve immediately, batching only
+//                  what has already queued up).
+//
+// The queue is bounded: submit() blocks when `queue_capacity` requests
+// are pending (backpressure to producers), try_submit() returns nullopt
+// instead. close() starts a graceful shutdown — new submissions are
+// refused, already-queued requests are still drained by the workers.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "common/errors.hpp"
+#include "tensor/tensor.hpp"
+
+namespace pf15::serve {
+
+/// Thrown by submit() after close(): the engine is shutting down and the
+/// request was never enqueued.
+class ShutdownError : public Error {
+ public:
+  explicit ShutdownError(const std::string& what) : Error(what) {}
+};
+
+struct BatcherConfig {
+  std::size_t max_batch = 16;
+  /// Microseconds to linger for companions after a batch's first request.
+  std::uint64_t max_wait_us = 500;
+  /// Pending-request bound; submit() blocks / try_submit() fails beyond it.
+  std::size_t queue_capacity = 1024;
+};
+
+/// One pending inference request: the sample, the promise the caller's
+/// future is tied to, and the enqueue timestamp for latency accounting.
+struct Request {
+  Tensor input;  // single sample, e.g. (C, H, W)
+  std::promise<Tensor> result;
+  std::chrono::steady_clock::time_point enqueued;
+};
+
+class DynamicBatcher {
+ public:
+  explicit DynamicBatcher(const BatcherConfig& cfg);
+
+  DynamicBatcher(const DynamicBatcher&) = delete;
+  DynamicBatcher& operator=(const DynamicBatcher&) = delete;
+
+  /// Enqueues one sample; blocks while the queue is at capacity
+  /// (backpressure). The future resolves to this sample's output row once
+  /// a worker has run the batched forward. Throws ShutdownError after
+  /// close().
+  std::future<Tensor> submit(Tensor sample);
+
+  /// Non-blocking variant: nullopt when the queue is at capacity.
+  std::optional<std::future<Tensor>> try_submit(Tensor sample);
+
+  /// Worker side. Blocks for the first pending request, then coalesces up
+  /// to max_batch requests, lingering at most max_wait_us. Returns an
+  /// empty vector only when the batcher is closed AND drained — the
+  /// worker's signal to exit.
+  std::vector<Request> next_batch();
+
+  /// Graceful shutdown: refuse new submissions, wake all waiters. Queued
+  /// requests remain for workers to drain.
+  void close();
+
+  bool closed() const;
+  std::size_t depth() const;
+  std::size_t capacity() const { return cfg_.queue_capacity; }
+  const BatcherConfig& config() const { return cfg_; }
+
+ private:
+  std::future<Tensor> enqueue_locked(std::unique_lock<std::mutex>& lock,
+                                     Tensor&& sample);
+
+  BatcherConfig cfg_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_not_empty_;  // workers wait here
+  std::condition_variable cv_not_full_;   // producers wait here
+  std::deque<Request> queue_;
+  bool closed_ = false;
+};
+
+}  // namespace pf15::serve

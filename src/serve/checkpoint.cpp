@@ -1,0 +1,106 @@
+#include "serve/checkpoint.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace pf15::serve {
+
+namespace {
+
+constexpr char kCheckpointMagic[8] = {'P', 'F', '1', '5',
+                                      'C', 'K', 'P', 'T'};
+
+}  // namespace
+
+void write_checkpoint(std::ostream& os, const std::string& model_kind,
+                      const std::vector<nn::Param>& entries) {
+  os.write(kCheckpointMagic, sizeof(kCheckpointMagic));
+  const std::uint32_t version = kCheckpointVersion;
+  os.write(reinterpret_cast<const char*>(&version), sizeof(version));
+  const std::uint32_t kind_len =
+      static_cast<std::uint32_t>(model_kind.size());
+  os.write(reinterpret_cast<const char*>(&kind_len), sizeof(kind_len));
+  os.write(model_kind.data(), static_cast<std::streamsize>(kind_len));
+  if (!os) throw IoError("write_checkpoint: header write failed");
+  nn::save_named_tensors(os, entries);
+}
+
+CheckpointMeta read_checkpoint_meta(std::istream& is) {
+  char magic[sizeof(kCheckpointMagic)] = {};
+  is.read(magic, sizeof(magic));
+  if (!is || std::memcmp(magic, kCheckpointMagic, sizeof(magic)) != 0) {
+    throw IoError("read_checkpoint: bad magic — not a pf15 checkpoint");
+  }
+  CheckpointMeta meta;
+  is.read(reinterpret_cast<char*>(&meta.version), sizeof(meta.version));
+  if (!is) throw IoError("read_checkpoint: truncated header");
+  if (meta.version != kCheckpointVersion) {
+    std::ostringstream oss;
+    oss << "read_checkpoint: unsupported format version " << meta.version
+        << " (reader supports " << kCheckpointVersion << ")";
+    throw IoError(oss.str());
+  }
+  std::uint32_t kind_len = 0;
+  is.read(reinterpret_cast<char*>(&kind_len), sizeof(kind_len));
+  if (!is) throw IoError("read_checkpoint: truncated header");
+  meta.model_kind.resize(kind_len);
+  is.read(meta.model_kind.data(), static_cast<std::streamsize>(kind_len));
+  if (!is) throw IoError("read_checkpoint: truncated model kind");
+  return meta;
+}
+
+void read_checkpoint(std::istream& is, const std::string& expected_kind,
+                     const std::vector<nn::Param>& entries) {
+  const CheckpointMeta meta = read_checkpoint_meta(is);
+  if (!expected_kind.empty() && meta.model_kind != expected_kind) {
+    throw IoError("read_checkpoint: checkpoint holds a \"" +
+                  meta.model_kind + "\" model but \"" + expected_kind +
+                  "\" was expected");
+  }
+  nn::load_named_tensors(is, entries);
+}
+
+void checkpoint_model(std::ostream& os, nn::Sequential& net,
+                      const std::string& model_kind) {
+  write_checkpoint(os, model_kind, net.params_and_state());
+}
+
+void restore_model(std::istream& is, nn::Sequential& net,
+                   const std::string& expected_kind) {
+  read_checkpoint(is, expected_kind, net.params_and_state());
+}
+
+void checkpoint_model(std::ostream& os, nn::ClimateNet& net) {
+  write_checkpoint(os, "climate", net.params_and_state());
+}
+
+void restore_model(std::istream& is, nn::ClimateNet& net) {
+  read_checkpoint(is, "climate", net.params_and_state());
+}
+
+void checkpoint_model_file(const std::string& path, nn::Sequential& net,
+                           const std::string& model_kind) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw IoError("checkpoint_model_file: cannot open " + path);
+  checkpoint_model(os, net, model_kind);
+  os.flush();
+  if (!os) throw IoError("checkpoint_model_file: write failed for " + path);
+}
+
+void restore_model_file(const std::string& path, nn::Sequential& net,
+                        const std::string& expected_kind) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw IoError("restore_model_file: cannot open " + path);
+  restore_model(is, net, expected_kind);
+}
+
+CheckpointMeta read_checkpoint_meta_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw IoError("read_checkpoint_meta_file: cannot open " + path);
+  return read_checkpoint_meta(is);
+}
+
+}  // namespace pf15::serve

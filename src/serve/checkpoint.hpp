@@ -1,0 +1,72 @@
+// Versioned binary model checkpoints.
+//
+// A checkpoint is the serving handoff artifact: training (src/hybrid,
+// src/ps) produces one, the ServingEngine consumes one, possibly on a
+// different machine and much later. The format is therefore
+// self-describing and paranoid: a magic string, a format version, a
+// model-kind tag, and then a validated named-tensor stream (every entry
+// carries its name and shape) so a checkpoint can never be restored into
+// the wrong architecture silently. Payload floats are stored verbatim, so
+// a round trip is bit-exact.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "nn/climate_net.hpp"
+#include "nn/network.hpp"
+
+namespace pf15::serve {
+
+/// Current checkpoint format version. Readers reject versions they do not
+/// understand instead of guessing at the layout.
+inline constexpr std::uint32_t kCheckpointVersion = 1;
+
+/// Header fields of a checkpoint, available before touching the payload.
+struct CheckpointMeta {
+  std::uint32_t version = 0;
+  /// Free-form architecture tag ("hep", "climate", "resnet", ...). Restore
+  /// refuses a checkpoint whose kind differs from what the caller expects.
+  std::string model_kind;
+};
+
+// ---- stream-level API ------------------------------------------------------
+
+/// Writes header + the given (params + state) entries. Throws IoError on
+/// stream failure.
+void write_checkpoint(std::ostream& os, const std::string& model_kind,
+                      const std::vector<nn::Param>& entries);
+
+/// Reads and validates the header, leaving the stream at the payload.
+/// Throws IoError on bad magic or unsupported version.
+CheckpointMeta read_checkpoint_meta(std::istream& is);
+
+/// Reads a full checkpoint into `entries`. `expected_kind` empty = accept
+/// any kind. Throws IoError on any header/name/shape mismatch.
+void read_checkpoint(std::istream& is, const std::string& expected_kind,
+                     const std::vector<nn::Param>& entries);
+
+// ---- whole-model convenience ----------------------------------------------
+// These capture trainable parameters *and* non-trainable state (BatchNorm
+// running statistics), which inference needs and params() alone misses.
+
+void checkpoint_model(std::ostream& os, nn::Sequential& net,
+                      const std::string& model_kind);
+void restore_model(std::istream& is, nn::Sequential& net,
+                   const std::string& expected_kind);
+
+/// ClimateNet checkpoints carry kind "climate".
+void checkpoint_model(std::ostream& os, nn::ClimateNet& net);
+void restore_model(std::istream& is, nn::ClimateNet& net);
+
+// ---- file-level convenience ------------------------------------------------
+
+void checkpoint_model_file(const std::string& path, nn::Sequential& net,
+                           const std::string& model_kind);
+void restore_model_file(const std::string& path, nn::Sequential& net,
+                        const std::string& expected_kind);
+CheckpointMeta read_checkpoint_meta_file(const std::string& path);
+
+}  // namespace pf15::serve

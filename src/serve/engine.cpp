@@ -1,0 +1,196 @@
+#include "serve/engine.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "serve/checkpoint.hpp"
+
+namespace pf15::serve {
+
+ServingEngine::ServingEngine(ModelFactory factory, const EngineConfig& cfg)
+    : cfg_(cfg), batcher_(cfg.batcher) {
+  init_replicas(factory, nullptr, "");
+}
+
+ServingEngine::ServingEngine(ModelFactory factory,
+                             const std::string& checkpoint_path,
+                             const std::string& expected_kind,
+                             const EngineConfig& cfg)
+    : cfg_(cfg), batcher_(cfg.batcher) {
+  // Read the checkpoint from disk once; every replica restores from the
+  // in-memory copy.
+  std::ifstream file(checkpoint_path, std::ios::binary);
+  if (!file) {
+    throw IoError("ServingEngine: cannot open checkpoint " +
+                  checkpoint_path);
+  }
+  std::stringstream weights(std::ios::in | std::ios::out |
+                            std::ios::binary);
+  weights << file.rdbuf();
+  init_replicas(factory, &weights, expected_kind);
+}
+
+void ServingEngine::init_replicas(const ModelFactory& factory,
+                                  std::istream* weights,
+                                  const std::string& expected_kind) {
+  PF15_CHECK_MSG(cfg_.replicas >= 1, "need at least one replica");
+  PF15_CHECK_MSG(cfg_.sample_shape.rank() >= 1,
+                 "EngineConfig::sample_shape must be set");
+  PF15_CHECK(factory != nullptr);
+
+  replicas_.reserve(cfg_.replicas);
+  replicas_.push_back(factory());
+
+  // Without external weights, clone replica 0's so every replica answers
+  // identically even when the factory randomises initialisation.
+  std::stringstream replica0;
+  std::string kind = expected_kind;
+  if (weights == nullptr) {
+    replica0 = std::stringstream(std::ios::in | std::ios::out |
+                                 std::ios::binary);
+    checkpoint_model(replica0, replicas_[0], "replica");
+    weights = &replica0;
+    kind = "replica";
+  } else {
+    restore_model(*weights, replicas_[0], kind);
+  }
+  for (std::size_t i = 1; i < cfg_.replicas; ++i) {
+    replicas_.push_back(factory());
+    weights->clear();
+    weights->seekg(0);
+    restore_model(*weights, replicas_.back(), kind);
+  }
+
+  for (auto& r : replicas_) r.set_training(false);
+  output_sample_shape_ =
+      strip_batch(replicas_[0].output_shape(with_batch(cfg_.sample_shape, 1)));
+  start_workers();
+}
+
+ServingEngine::~ServingEngine() { shutdown(); }
+
+void ServingEngine::start_workers() {
+  pool_ = std::make_unique<ThreadPool>(replicas_.size());
+  workers_.reserve(replicas_.size());
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    workers_.push_back(pool_->submit([this, i] { worker_loop(i); }));
+  }
+}
+
+void ServingEngine::note_submit() {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  if (!saw_first_submit_) {
+    saw_first_submit_ = true;
+    first_submit_ = std::chrono::steady_clock::now();
+  }
+}
+
+std::future<Tensor> ServingEngine::submit(const Tensor& sample) {
+  PF15_CHECK_MSG(sample.shape() == cfg_.sample_shape,
+                 "submit: sample shape " << sample.shape()
+                                         << " != engine sample shape "
+                                         << cfg_.sample_shape);
+  std::future<Tensor> fut = batcher_.submit(sample.clone());
+  note_submit();  // only requests the batcher accepted count for throughput
+  return fut;
+}
+
+std::optional<std::future<Tensor>> ServingEngine::try_submit(
+    const Tensor& sample) {
+  PF15_CHECK_MSG(sample.shape() == cfg_.sample_shape,
+                 "try_submit: sample shape " << sample.shape()
+                                             << " != engine sample shape "
+                                             << cfg_.sample_shape);
+  std::optional<std::future<Tensor>> fut =
+      batcher_.try_submit(sample.clone());
+  if (fut.has_value()) note_submit();
+  return fut;
+}
+
+void ServingEngine::worker_loop(std::size_t replica_index) {
+  nn::Sequential& replica = replicas_[replica_index];
+  while (true) {
+    std::vector<Request> batch = batcher_.next_batch();
+    if (batch.empty()) return;  // closed and drained
+    serve_batch(replica, std::move(batch));
+  }
+}
+
+void ServingEngine::serve_batch(nn::Sequential& replica,
+                                std::vector<Request>&& batch) {
+  const std::size_t n = batch.size();
+  try {
+    std::vector<const Tensor*> inputs;
+    inputs.reserve(n);
+    for (const auto& req : batch) inputs.push_back(&req.input);
+    const Tensor batched = stack_samples(inputs);
+
+    const Tensor& out = replica.forward(batched);
+    PF15_CHECK_MSG(out.shape().rank() >= 1 && out.shape()[0] == n,
+                   "replica output " << out.shape()
+                                     << " lacks batch dimension " << n);
+
+    // Record metrics before fulfilling any promise: a caller that wakes
+    // from future.get() and immediately reads stats() must see this batch.
+    const auto done = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < n; ++i) {
+      latency_.record(
+          std::chrono::duration<double>(done - batch[i].enqueued).count());
+    }
+    requests_completed_.fetch_add(n, std::memory_order_relaxed);
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      last_completion_ = done;
+    }
+
+    for (std::size_t i = 0; i < n; ++i) {
+      batch[i].result.set_value(extract_sample(out, i));
+    }
+  } catch (...) {
+    // A failed batch fails each of its requests, not the engine: the
+    // exception propagates through every future, workers keep serving.
+    const std::exception_ptr err = std::current_exception();
+    for (auto& req : batch) {
+      try {
+        req.result.set_exception(err);
+      } catch (const std::future_error&) {
+        // Promise already satisfied (failure mid-fulfilment); nothing to do.
+      }
+    }
+  }
+}
+
+void ServingEngine::shutdown() {
+  if (stopped_.exchange(true)) return;
+  batcher_.close();
+  for (auto& w : workers_) w.wait();
+  workers_.clear();
+  pool_.reset();
+}
+
+ServingStats ServingEngine::stats() const {
+  ServingStats s;
+  s.requests = requests_completed_.load(std::memory_order_relaxed);
+  s.batches = batches_.load(std::memory_order_relaxed);
+  s.mean_batch_size =
+      s.batches ? static_cast<double>(s.requests) /
+                      static_cast<double>(s.batches)
+                : 0.0;
+  s.latency = latency_.summary();
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    if (saw_first_submit_ && s.requests > 0) {
+      const double elapsed =
+          std::chrono::duration<double>(last_completion_ - first_submit_)
+              .count();
+      s.throughput_rps =
+          elapsed > 0 ? static_cast<double>(s.requests) / elapsed : 0.0;
+    }
+  }
+  return s;
+}
+
+}  // namespace pf15::serve

@@ -78,4 +78,38 @@ inline std::ostream& operator<<(std::ostream& os, const Shape& s) {
   return os << s.str();
 }
 
+/// Returns `sample` with a leading batch dimension prepended, e.g.
+/// (C, H, W) -> (batch, C, H, W). The sample must leave room for it.
+inline Shape with_batch(const Shape& sample, std::size_t batch) {
+  PF15_CHECK_MSG(sample.rank() < Shape::kMaxRank,
+                 "shape " << sample << " cannot take a batch dimension");
+  switch (sample.rank()) {
+    case 0:
+      return Shape{batch};
+    case 1:
+      return Shape{batch, sample[0]};
+    case 2:
+      return Shape{batch, sample[0], sample[1]};
+    default:
+      return Shape{batch, sample[0], sample[1], sample[2]};
+  }
+}
+
+/// Returns `batched` with its leading (batch) dimension stripped, e.g.
+/// (N, C, H, W) -> (C, H, W).
+inline Shape strip_batch(const Shape& batched) {
+  PF15_CHECK_MSG(batched.rank() >= 1,
+                 "shape " << batched << " has no batch dimension to strip");
+  switch (batched.rank()) {
+    case 1:
+      return Shape{};
+    case 2:
+      return Shape{batched[1]};
+    case 3:
+      return Shape{batched[1], batched[2]};
+    default:
+      return Shape{batched[1], batched[2], batched[3]};
+  }
+}
+
 }  // namespace pf15

@@ -176,6 +176,35 @@ Tensor Tensor::load(std::istream& is) {
   return t;
 }
 
+Tensor stack_samples(const std::vector<const Tensor*>& samples) {
+  PF15_CHECK_MSG(!samples.empty(), "stack_samples: empty sample list");
+  const Shape& sample_shape = samples[0]->shape();
+  Tensor out(with_batch(sample_shape, samples.size()));
+  const std::size_t sample_numel = sample_shape.numel();
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    PF15_CHECK_MSG(samples[i]->shape() == sample_shape,
+                   "stack_samples: sample " << i << " has shape "
+                                            << samples[i]->shape()
+                                            << ", expected "
+                                            << sample_shape);
+    std::memcpy(out.data() + i * sample_numel, samples[i]->data(),
+                sample_numel * sizeof(float));
+  }
+  return out;
+}
+
+Tensor extract_sample(const Tensor& batched, std::size_t index) {
+  const Shape& bs = batched.shape();
+  PF15_CHECK_MSG(bs.rank() >= 1 && index < bs[0],
+                 "extract_sample: index " << index << " out of batch "
+                                          << bs);
+  Tensor out(strip_batch(bs));
+  const std::size_t sample_numel = out.numel();
+  std::memcpy(out.data(), batched.data() + index * sample_numel,
+              sample_numel * sizeof(float));
+  return out;
+}
+
 float max_abs_diff(const Tensor& a, const Tensor& b) {
   PF15_CHECK(a.shape() == b.shape());
   float m = 0.0f;

@@ -104,4 +104,13 @@ class Tensor {
 /// Max absolute elementwise difference; shapes must match.
 float max_abs_diff(const Tensor& a, const Tensor& b);
 
+/// Stacks equally-shaped samples along a new leading batch dimension:
+/// k tensors of shape (C, H, W) become one (k, C, H, W). The serving
+/// batcher's coalescing step.
+Tensor stack_samples(const std::vector<const Tensor*>& samples);
+
+/// Deep-copies sample `index` out of a batched tensor; the result's shape
+/// is the batched shape with its leading dimension stripped.
+Tensor extract_sample(const Tensor& batched, std::size_t index);
+
 }  // namespace pf15

@@ -1,0 +1,543 @@
+// Serving subsystem tests: checkpoint round trips, eval-mode semantics,
+// dynamic batching, backpressure, and end-to-end engine correctness
+// (batched inference must match unbatched single-sample inference).
+#include <gtest/gtest.h>
+
+#include "check_failure.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "data/hep_generator.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/dropout.hpp"
+#include "nn/hep_model.hpp"
+#include "nn/residual.hpp"
+#include "perf/latency.hpp"
+#include "serve/batcher.hpp"
+#include "serve/checkpoint.hpp"
+#include "serve/engine.hpp"
+
+namespace pf15 {
+namespace {
+
+using namespace std::chrono_literals;
+
+nn::ResNetConfig tiny_resnet_config(std::uint64_t seed) {
+  nn::ResNetConfig cfg;
+  cfg.in_channels = 3;
+  cfg.num_classes = 2;
+  cfg.stage_channels = {4, 8};
+  cfg.blocks_per_stage = 1;
+  cfg.batchnorm = true;  // exercise running-stat state in checkpoints
+  cfg.seed = seed;
+  return cfg;
+}
+
+nn::HepConfig tiny_hep_config() {
+  nn::HepConfig cfg = nn::HepConfig::tiny();
+  cfg.filters = 8;
+  return cfg;
+}
+
+/// A few train-mode forwards so BatchNorm running stats move away from
+/// their (0, 1) initialisation — otherwise state round trips trivially.
+void warm_up_running_stats(nn::Sequential& net, const Shape& in_shape,
+                           std::uint64_t seed) {
+  Rng rng(seed);
+  Tensor batch(in_shape);
+  for (int i = 0; i < 3; ++i) {
+    batch.fill_normal(rng, 0.5f, 2.0f);
+    net.forward(batch);
+  }
+}
+
+// ---- checkpoint ------------------------------------------------------------
+
+TEST(Checkpoint, RoundTripIsBitExact) {
+  nn::Sequential a = nn::build_resnet(tiny_resnet_config(11));
+  warm_up_running_stats(a, Shape{2, 3, 16, 16}, 5);
+
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  serve::checkpoint_model(ss, a, "resnet");
+
+  // Different seed: every weight differs before the restore.
+  nn::Sequential b = nn::build_resnet(tiny_resnet_config(99));
+  serve::restore_model(ss, b, "resnet");
+
+  auto pa = a.params();
+  auto pb = b.params();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    ASSERT_EQ(pa[i].name, pb[i].name);
+    ASSERT_EQ(pa[i].value->shape(), pb[i].value->shape());
+    EXPECT_EQ(std::memcmp(pa[i].value->data(), pb[i].value->data(),
+                          pa[i].value->numel() * sizeof(float)),
+              0)
+        << "param " << pa[i].name << " not bit-exact";
+  }
+  auto sa = a.state();
+  auto sb = b.state();
+  ASSERT_EQ(sa.size(), sb.size());
+  ASSERT_GT(sa.size(), 0u) << "resnet with batchnorm should expose state";
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    ASSERT_EQ(sa[i].name, sb[i].name);
+    EXPECT_EQ(std::memcmp(sa[i].value->data(), sb[i].value->data(),
+                          sa[i].value->numel() * sizeof(float)),
+              0)
+        << "state " << sa[i].name << " not bit-exact";
+  }
+}
+
+TEST(Checkpoint, MetaCarriesKindAndVersion) {
+  nn::Sequential net = nn::build_hep_network(tiny_hep_config());
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  serve::checkpoint_model(ss, net, "hep");
+  const auto meta = serve::read_checkpoint_meta(ss);
+  EXPECT_EQ(meta.model_kind, "hep");
+  EXPECT_EQ(meta.version, serve::kCheckpointVersion);
+}
+
+TEST(Checkpoint, KindMismatchIsRefused) {
+  nn::Sequential net = nn::build_hep_network(tiny_hep_config());
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  serve::checkpoint_model(ss, net, "hep");
+  EXPECT_THROW(serve::restore_model(ss, net, "climate"), IoError);
+}
+
+TEST(Checkpoint, BadMagicIsRefused) {
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  ss << "this is not a checkpoint at all";
+  nn::Sequential net = nn::build_hep_network(tiny_hep_config());
+  EXPECT_THROW(serve::restore_model(ss, net, "hep"), IoError);
+}
+
+TEST(Checkpoint, ArchitectureMismatchIsRefused) {
+  nn::Sequential a = nn::build_hep_network(tiny_hep_config());
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  serve::checkpoint_model(ss, a, "hep");
+
+  nn::HepConfig wider = tiny_hep_config();
+  wider.filters = 16;
+  nn::Sequential b = nn::build_hep_network(wider);
+  EXPECT_THROW(serve::restore_model(ss, b, "hep"), IoError);
+}
+
+// ---- save_params / load_params symmetry ------------------------------------
+
+TEST(ParamStream, TruncatedStreamIsAnError) {
+  nn::Sequential a = nn::build_hep_network(tiny_hep_config());
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  a.save_params(ss);
+  std::string bytes = ss.str();
+  bytes.resize(bytes.size() / 2);
+  std::stringstream cut(bytes,
+                        std::ios::in | std::ios::out | std::ios::binary);
+  EXPECT_THROW(a.load_params(cut), IoError);
+}
+
+TEST(ParamStream, WrongArchitectureIsAnError) {
+  nn::Sequential a = nn::build_hep_network(tiny_hep_config());
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  a.save_params(ss);
+
+  nn::Sequential r = nn::build_resnet(tiny_resnet_config(3));
+  EXPECT_THROW(r.load_params(ss), IoError);
+}
+
+TEST(ParamStream, RoundTripRestoresValues) {
+  nn::Sequential a = nn::build_hep_network(tiny_hep_config());
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  a.save_params(ss);
+
+  nn::HepConfig cfg = tiny_hep_config();
+  cfg.seed = 777;  // different init
+  nn::Sequential b = nn::build_hep_network(cfg);
+  b.load_params(ss);
+
+  auto pa = a.params();
+  auto pb = b.params();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_EQ(max_abs_diff(*pa[i].value, *pb[i].value), 0.0f);
+  }
+}
+
+// ---- eval mode -------------------------------------------------------------
+
+TEST(EvalMode, SequentialPropagatesToLayers) {
+  nn::Sequential net;
+  net.add(std::make_unique<nn::BatchNorm2d>("bn",
+                                            nn::BatchNormConfig{.channels = 2}));
+  net.add(std::make_unique<nn::Dropout>("drop", 0.5f));
+  auto* bn = dynamic_cast<nn::BatchNorm2d*>(&net.layer(0));
+  auto* drop = dynamic_cast<nn::Dropout*>(&net.layer(1));
+  ASSERT_NE(bn, nullptr);
+  ASSERT_NE(drop, nullptr);
+
+  EXPECT_TRUE(bn->training());
+  EXPECT_TRUE(drop->training());
+  net.set_training(false);
+  EXPECT_FALSE(net.training());
+  EXPECT_FALSE(bn->training());
+  EXPECT_FALSE(drop->training());
+}
+
+TEST(EvalMode, BatchNormDivergesFromTrainMode) {
+  nn::Sequential net;
+  net.add(std::make_unique<nn::BatchNorm2d>("bn",
+                                            nn::BatchNormConfig{.channels = 2}));
+  Rng rng(42);
+  Tensor x(Shape{4, 2, 3, 3});
+  x.fill_normal(rng, 3.0f, 2.0f);  // far from the (0,1) running stats
+
+  Tensor train_out = net.forward(x).clone();
+  net.set_training(false);
+  Tensor eval_out = net.forward(x).clone();
+
+  // Train mode normalises by batch statistics (mean ~3, var ~4); eval mode
+  // uses the barely-updated running estimates — the outputs must differ.
+  EXPECT_GT(max_abs_diff(train_out, eval_out), 0.1f);
+}
+
+TEST(EvalMode, InferenceIsBatchSizeInvariant) {
+  nn::Sequential net = nn::build_resnet(tiny_resnet_config(21));
+  warm_up_running_stats(net, Shape{4, 3, 8, 8}, 9);
+  net.set_training(false);
+
+  Rng rng(1);
+  Tensor batch(Shape{3, 3, 8, 8});
+  batch.fill_normal(rng, 0.0f, 1.0f);
+  Tensor batched_out = net.forward(batch).clone();
+
+  const std::size_t out_numel = batched_out.numel() / 3;
+  for (std::size_t i = 0; i < 3; ++i) {
+    Tensor sample = extract_sample(batch, i);
+    Tensor single = stack_samples({&sample});
+    const Tensor& single_out = net.forward(single);
+    ASSERT_EQ(single_out.numel(), out_numel);
+    for (std::size_t j = 0; j < out_numel; ++j) {
+      EXPECT_NEAR(single_out.at(j), batched_out.at(i * out_numel + j), 1e-6)
+          << "sample " << i << " element " << j;
+    }
+  }
+}
+
+// ---- batcher ---------------------------------------------------------------
+
+TEST(Batcher, CoalescesQueuedRequestsUpToMaxBatch) {
+  serve::BatcherConfig cfg;
+  cfg.max_batch = 8;
+  cfg.max_wait_us = 0;  // take only what is already queued
+  cfg.queue_capacity = 64;
+  serve::DynamicBatcher batcher(cfg);
+
+  std::vector<std::future<Tensor>> futures;
+  for (int i = 0; i < 20; ++i) {
+    Tensor t(Shape{1});
+    t.fill(static_cast<float>(i));
+    futures.push_back(batcher.submit(std::move(t)));
+  }
+
+  auto b1 = batcher.next_batch();
+  EXPECT_EQ(b1.size(), 8u);
+  auto b2 = batcher.next_batch();
+  EXPECT_EQ(b2.size(), 8u);
+  auto b3 = batcher.next_batch();
+  EXPECT_EQ(b3.size(), 4u);
+
+  // FIFO order is preserved across batches.
+  EXPECT_FLOAT_EQ(b1[0].input.at(0), 0.0f);
+  EXPECT_FLOAT_EQ(b2[0].input.at(0), 8.0f);
+  EXPECT_FLOAT_EQ(b3[3].input.at(0), 19.0f);
+
+  for (auto* batch : {&b1, &b2, &b3}) {
+    for (auto& req : *batch) req.result.set_value(req.input.clone());
+  }
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_FLOAT_EQ(futures[i].get().at(0), static_cast<float>(i));
+  }
+}
+
+TEST(Batcher, ConcurrentProducersAllGetServed) {
+  serve::BatcherConfig cfg;
+  cfg.max_batch = 8;
+  cfg.max_wait_us = 200;
+  cfg.queue_capacity = 16;
+  serve::DynamicBatcher batcher(cfg);
+
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 25;
+  constexpr int kTotal = kProducers * kPerProducer;
+
+  std::atomic<int> served{0};
+  std::atomic<int> batches{0};
+  std::thread consumer([&] {
+    while (served.load() < kTotal) {
+      auto batch = batcher.next_batch();
+      if (batch.empty()) break;
+      EXPECT_LE(batch.size(), cfg.max_batch);
+      for (auto& req : batch) {
+        req.result.set_value(req.input.clone());
+        served.fetch_add(1);
+      }
+      batches.fetch_add(1);
+    }
+  });
+
+  std::vector<std::thread> producers;
+  std::atomic<int> ok{0};
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        Tensor t(Shape{1});
+        t.fill(static_cast<float>(p * kPerProducer + i));
+        auto fut = batcher.submit(std::move(t));
+        if (fut.get().at(0) == static_cast<float>(p * kPerProducer + i)) {
+          ok.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  batcher.close();
+  consumer.join();
+
+  EXPECT_EQ(ok.load(), kTotal);
+  EXPECT_EQ(served.load(), kTotal);
+  EXPECT_LE(batches.load(), kTotal);  // never more batches than requests
+}
+
+TEST(Batcher, BackpressureBoundsTheQueue) {
+  serve::BatcherConfig cfg;
+  cfg.max_batch = 2;
+  cfg.max_wait_us = 0;
+  cfg.queue_capacity = 4;
+  serve::DynamicBatcher batcher(cfg);
+
+  std::vector<std::future<Tensor>> futures;
+  for (int i = 0; i < 4; ++i) {
+    auto fut = batcher.try_submit(Tensor(Shape{1}));
+    ASSERT_TRUE(fut.has_value());
+    futures.push_back(std::move(*fut));
+  }
+  EXPECT_EQ(batcher.depth(), 4u);
+  EXPECT_FALSE(batcher.try_submit(Tensor(Shape{1})).has_value());
+
+  // Draining a batch frees capacity again.
+  auto batch = batcher.next_batch();
+  EXPECT_EQ(batch.size(), 2u);
+  EXPECT_TRUE(batcher.try_submit(Tensor(Shape{1})).has_value());
+
+  // Clean up outstanding promises.
+  for (auto& req : batch) req.result.set_value(Tensor(Shape{1}));
+}
+
+TEST(Batcher, BlockingSubmitWaitsForRoom) {
+  serve::BatcherConfig cfg;
+  cfg.max_batch = 4;
+  cfg.max_wait_us = 0;
+  cfg.queue_capacity = 2;
+  serve::DynamicBatcher batcher(cfg);
+
+  (void)batcher.submit(Tensor(Shape{1}));
+  (void)batcher.submit(Tensor(Shape{1}));
+
+  std::atomic<bool> entered{false};
+  std::atomic<bool> finished{false};
+  std::thread blocked([&] {
+    entered.store(true);
+    (void)batcher.submit(Tensor(Shape{1}));  // must block: queue full
+    finished.store(true);
+  });
+  while (!entered.load()) std::this_thread::yield();
+  std::this_thread::sleep_for(50ms);
+  EXPECT_FALSE(finished.load()) << "submit returned despite a full queue";
+
+  auto batch = batcher.next_batch();  // frees room, wakes the producer
+  blocked.join();
+  EXPECT_TRUE(finished.load());
+
+  for (auto& req : batch) req.result.set_value(Tensor(Shape{1}));
+  batcher.close();
+}
+
+TEST(Batcher, CloseRefusesNewAndDrainsOld) {
+  serve::BatcherConfig cfg;
+  cfg.max_batch = 8;
+  cfg.max_wait_us = 0;
+  cfg.queue_capacity = 8;
+  serve::DynamicBatcher batcher(cfg);
+
+  auto fut = batcher.submit(Tensor(Shape{1}));
+  batcher.close();
+
+  EXPECT_THROW(batcher.submit(Tensor(Shape{1})), serve::ShutdownError);
+  EXPECT_THROW(batcher.try_submit(Tensor(Shape{1})), serve::ShutdownError);
+
+  // The queued request is still drainable...
+  auto batch = batcher.next_batch();
+  ASSERT_EQ(batch.size(), 1u);
+  batch[0].result.set_value(Tensor(Shape{1}));
+  (void)fut.get();
+  // ...and once drained, next_batch signals exit.
+  EXPECT_TRUE(batcher.next_batch().empty());
+}
+
+// ---- perf latency recorder -------------------------------------------------
+
+TEST(LatencyRecorder, NearestRankPercentiles) {
+  perf::LatencyRecorder rec;
+  for (int i = 100; i >= 1; --i) rec.record(static_cast<double>(i));
+  EXPECT_EQ(rec.count(), 100u);
+  EXPECT_DOUBLE_EQ(rec.percentile(0.50), 50.0);
+  EXPECT_DOUBLE_EQ(rec.percentile(0.99), 99.0);
+  EXPECT_DOUBLE_EQ(rec.percentile(1.0), 100.0);
+
+  const auto s = rec.summary();
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_DOUBLE_EQ(s.p50, 50.0);
+  EXPECT_DOUBLE_EQ(s.p99, 99.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  EXPECT_NEAR(s.mean, 50.5, 1e-12);
+}
+
+TEST(LatencyRecorder, BoundedReservoirKeepsExactCountMeanMax) {
+  perf::LatencyRecorder rec(64);
+  for (int i = 1; i <= 1000; ++i) rec.record(static_cast<double>(i));
+  EXPECT_EQ(rec.count(), 1000u);
+
+  const auto s = rec.summary();
+  EXPECT_EQ(s.count, 1000u);
+  EXPECT_DOUBLE_EQ(s.max, 1000.0);   // exact despite subsampling
+  EXPECT_NEAR(s.mean, 500.5, 1e-9);  // exact despite subsampling
+  // Percentiles come from a 64-sample uniform reservoir: sanity bounds.
+  EXPECT_GT(s.p99, s.p50);
+  EXPECT_GE(s.p50, 1.0);
+  EXPECT_LE(s.p99, 1000.0);
+}
+
+// ---- engine ----------------------------------------------------------------
+
+serve::EngineConfig tiny_engine_config(std::size_t replicas,
+                                       std::size_t max_batch) {
+  serve::EngineConfig cfg;
+  cfg.replicas = replicas;
+  cfg.sample_shape = Shape{3, 32, 32};
+  cfg.batcher.max_batch = max_batch;
+  cfg.batcher.max_wait_us = 200;
+  cfg.batcher.queue_capacity = 256;
+  return cfg;
+}
+
+TEST(ServingEngine, BatchedResultsMatchUnbatchedInference) {
+  const nn::HepConfig net_cfg = tiny_hep_config();
+  auto factory = [&] { return nn::build_hep_network(net_cfg); };
+
+  // Same deterministic factory -> reference net has identical weights.
+  nn::Sequential reference = factory();
+  reference.set_training(false);
+
+  serve::ServingEngine engine(factory, tiny_engine_config(2, 8));
+
+  constexpr int kRequests = 64;
+  data::HepGeneratorConfig gen_cfg;
+  gen_cfg.image = 32;
+  data::HepGenerator gen(gen_cfg, 3);
+
+  std::vector<Tensor> samples;
+  std::vector<std::future<Tensor>> futures;
+  for (int i = 0; i < kRequests; ++i) {
+    samples.push_back(gen.generate(i % 2 == 0).image.clone());
+  }
+  for (auto& s : samples) futures.push_back(engine.submit(s));
+
+  for (int i = 0; i < kRequests; ++i) {
+    Tensor got = futures[i].get();
+    Tensor single = stack_samples({&samples[i]});
+    const Tensor& want = reference.forward(single);
+    ASSERT_EQ(got.numel(), want.numel());
+    for (std::size_t j = 0; j < got.numel(); ++j) {
+      EXPECT_NEAR(got.at(j), want.at(j), 1e-6)
+          << "request " << i << " logit " << j;
+    }
+  }
+
+  const auto stats = engine.stats();
+  EXPECT_EQ(stats.requests, static_cast<std::size_t>(kRequests));
+  EXPECT_GE(stats.batches, 1u);
+  EXPECT_LE(stats.batches, static_cast<std::size_t>(kRequests));
+  EXPECT_GE(stats.mean_batch_size, 1.0);
+  EXPECT_EQ(stats.latency.count, static_cast<std::size_t>(kRequests));
+  EXPECT_LE(stats.latency.p50, stats.latency.p99);
+  EXPECT_GT(stats.throughput_rps, 0.0);
+}
+
+TEST(ServingEngine, ServesFromCheckpointFile) {
+  const nn::HepConfig net_cfg = tiny_hep_config();
+  auto factory = [&] { return nn::build_hep_network(net_cfg); };
+
+  // "Train" by perturbing weights away from init, then checkpoint.
+  nn::Sequential trained = factory();
+  Rng rng(5);
+  for (auto& p : trained.params()) {
+    Tensor noise(p.value->shape());
+    noise.fill_normal(rng, 0.0f, 0.05f);
+    p.value->axpy(1.0f, noise);
+  }
+  const std::string path = "test_serve_ckpt.bin";
+  serve::checkpoint_model_file(path, trained, "hep");
+
+  trained.set_training(false);
+  serve::ServingEngine engine(factory, path, "hep",
+                              tiny_engine_config(2, 4));
+
+  data::HepGeneratorConfig gen_cfg;
+  gen_cfg.image = 32;
+  data::HepGenerator gen(gen_cfg, 7);
+
+  std::vector<std::thread> producers;
+  std::mutex sample_mutex;
+  std::vector<std::pair<Tensor, std::future<Tensor>>> inflight;
+  for (int p = 0; p < 4; ++p) {
+    producers.emplace_back([&, p] {
+      data::HepGenerator local_gen(gen_cfg, 100 + p);
+      for (int i = 0; i < 8; ++i) {
+        Tensor sample = local_gen.generate(i % 2 == 0).image.clone();
+        auto fut = engine.submit(sample);
+        std::lock_guard<std::mutex> lock(sample_mutex);
+        inflight.emplace_back(std::move(sample), std::move(fut));
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+
+  for (auto& [sample, fut] : inflight) {
+    Tensor got = fut.get();
+    Tensor single = stack_samples({&sample});
+    const Tensor& want = trained.forward(single);
+    for (std::size_t j = 0; j < got.numel(); ++j) {
+      EXPECT_NEAR(got.at(j), want.at(j), 1e-6);
+    }
+  }
+
+  engine.shutdown();
+  EXPECT_THROW(engine.submit(Tensor(Shape{3, 32, 32})),
+               serve::ShutdownError);
+  std::remove(path.c_str());
+}
+
+TEST(ServingEngine, RejectsWrongSampleShape) {
+  auto factory = [] { return nn::build_hep_network(tiny_hep_config()); };
+  serve::ServingEngine engine(factory, tiny_engine_config(1, 4));
+  PF15_EXPECT_CHECK_FAIL(engine.submit(Tensor(Shape{3, 16, 16})),
+                         "sample shape");
+}
+
+}  // namespace
+}  // namespace pf15

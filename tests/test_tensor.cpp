@@ -158,5 +158,36 @@ TEST(Tensor, MoveLeavesSourceEmpty) {
   EXPECT_EQ(b.numel(), 3u);
 }
 
+TEST(Shape, WithAndStripBatch) {
+  EXPECT_EQ(with_batch(Shape{3, 4, 5}, 2), (Shape{2, 3, 4, 5}));
+  EXPECT_EQ(with_batch(Shape{7}, 1), (Shape{1, 7}));
+  EXPECT_EQ(strip_batch(Shape{2, 3, 4, 5}), (Shape{3, 4, 5}));
+  EXPECT_EQ(strip_batch(Shape{4, 2}), (Shape{2}));
+  PF15_EXPECT_CHECK_FAIL(with_batch(Shape{2, 3, 4, 5}, 2),
+                         "cannot take a batch dimension");
+  PF15_EXPECT_CHECK_FAIL(strip_batch(Shape{}), "no batch dimension");
+}
+
+TEST(Tensor, StackSamplesAndExtractSample) {
+  Tensor a(Shape{2, 3});
+  Tensor b(Shape{2, 3});
+  for (std::size_t i = 0; i < 6; ++i) {
+    a.at(i) = static_cast<float>(i);
+    b.at(i) = static_cast<float>(10 + i);
+  }
+  Tensor stacked = stack_samples({&a, &b});
+  EXPECT_EQ(stacked.shape(), (Shape{2, 2, 3}));
+  EXPECT_FLOAT_EQ(stacked.at(0), 0.0f);
+  EXPECT_FLOAT_EQ(stacked.at(6), 10.0f);
+
+  Tensor back = extract_sample(stacked, 1);
+  EXPECT_EQ(back.shape(), (Shape{2, 3}));
+  EXPECT_FLOAT_EQ(max_abs_diff(back, b), 0.0f);
+
+  PF15_EXPECT_CHECK_FAIL(extract_sample(stacked, 2), "out of batch");
+  Tensor c(Shape{3, 2});
+  PF15_EXPECT_CHECK_FAIL(stack_samples({&a, &c}), "sample 1 has shape");
+}
+
 }  // namespace
 }  // namespace pf15
