@@ -1,0 +1,174 @@
+// Convolution backend sweep: every registered gemm::ConvBackend timed on
+// representative HEP-net and climate-net layer geometries, compared with
+// the autotune plan cache's pick, and recorded as a machine-readable JSON
+// perf record (BENCH_conv_backends.json) so the perf trajectory of the
+// system's hottest path is tracked PR over PR.
+//
+// Usage: bench_conv_backends [--json PATH] [--reps N]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "gemm/conv_backend.hpp"
+#include "perf/json.hpp"
+#include "perf/report.hpp"
+
+namespace {
+
+using namespace pf15;
+
+struct NamedProblem {
+  const char* name;
+  const char* net;  // which paper network the geometry comes from
+  gemm::ConvProblem problem;
+};
+
+gemm::ConvProblem make_problem(std::size_t in_c, std::size_t out_c,
+                               std::size_t hw, std::size_t kernel,
+                               std::size_t stride, std::size_t pad) {
+  gemm::ConvProblem p;
+  p.geom.in_c = in_c;
+  p.geom.in_h = p.geom.in_w = hw;
+  p.geom.kernel_h = p.geom.kernel_w = kernel;
+  p.geom.stride_h = p.geom.stride_w = stride;
+  p.geom.pad_h = p.geom.pad_w = pad;
+  p.out_c = out_c;
+  return p;
+}
+
+// Layer geometries of the two paper networks (§III-A, §III-B). HEP: five
+// 3x3/1 conv units at halving resolution (224 -> 14). Climate: 5x5/2
+// encoder stages and 3x3/1 detection heads on the coarse grid
+// (768 >> 5 = 24). Spatial sizes of the earliest stages are reduced to
+// keep the bench under a minute; channel structure is kept exact.
+std::vector<NamedProblem> geometries() {
+  return {
+      {"hep.conv1_scaled", "hep", make_problem(3, 128, 56, 3, 1, 1)},
+      {"hep.conv3", "hep", make_problem(128, 128, 28, 3, 1, 1)},
+      {"hep.conv5", "hep", make_problem(128, 128, 14, 3, 1, 1)},
+      {"climate.enc1_scaled", "climate", make_problem(16, 128, 48, 5, 2, 2)},
+      {"climate.enc4_scaled", "climate", make_problem(512, 768, 12, 5, 2, 2)},
+      {"climate.head_conf", "climate", make_problem(1024, 1, 24, 3, 1, 1)},
+      {"climate.head_cls", "climate", make_problem(1024, 4, 24, 3, 1, 1)},
+  };
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path = "BENCH_conv_backends.json";
+  gemm::AutotuneOptions opt;
+  opt.reps = 3;
+  // Tighter than the autotune default: candidates the cost model already
+  // puts 3x behind im2col never win here, and timing them (FFT mostly)
+  // would dominate the bench's wall clock.
+  opt.flops_cutoff = 3.0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
+      opt.reps = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else {
+      std::fprintf(stderr, "usage: %s [--json PATH] [--reps N]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  gemm::ConvPlanCache cache(opt);
+  perf::Table table({"geometry", "backend", "us/img", "GFLOP/s", "chosen"});
+  perf::Json record = perf::Json::object();
+  record.set("bench", "conv_backends");
+  record.set("unit", "microseconds_per_image");
+  record.set("threads", ThreadPool::global().size());
+  record.set("reps", opt.reps);
+  perf::Json rows = perf::Json::array();
+
+  bool plan_never_slower = true;
+  std::size_t non_im2col_hep = 0;
+  std::size_t non_im2col_climate = 0;
+
+  for (const NamedProblem& np : geometries()) {
+    const gemm::ConvPlan plan = cache.plan(np.problem);
+
+    perf::Json row = perf::Json::object();
+    row.set("name", np.name);
+    row.set("net", np.net);
+    perf::Json geom = perf::Json::object();
+    geom.set("in_c", np.problem.geom.in_c);
+    geom.set("out_c", np.problem.out_c);
+    geom.set("hw", np.problem.geom.in_h);
+    geom.set("kernel", np.problem.geom.kernel_h);
+    geom.set("stride", np.problem.geom.stride_h);
+    geom.set("pad", np.problem.geom.pad_h);
+    row.set("geometry", std::move(geom));
+
+    perf::Json backends = perf::Json::array();
+    double im2col_us = 0.0;
+    // candidate_backends applies the same analytic cutoff autotune does
+    // (e.g. FFT at 3x3 never gets timed).
+    for (const gemm::ConvBackend* b :
+         gemm::candidate_backends(np.problem, opt)) {
+      perf::Json entry = perf::Json::object();
+      entry.set("backend", b->name());
+      const double b_flops = static_cast<double>(b->flops(np.problem));
+      const double us = gemm::benchmark_backend(*b, np.problem, opt);
+      if (b->kind() == gemm::ConvBackendKind::kIm2col) im2col_us = us;
+      entry.set("us_per_image", us);
+      entry.set("gflops", b_flops / us * 1e-3);
+      backends.push_back(std::move(entry));
+      table.add_row({np.name, b->name(), perf::Table::num(us, 1),
+                     perf::Table::num(b_flops / us * 1e-3, 2),
+                     b->kind() == plan.kind ? "<== plan" : ""});
+    }
+    row.set("backends", std::move(backends));
+
+    perf::Json chosen = perf::Json::object();
+    chosen.set("backend", gemm::to_string(plan.kind));
+    chosen.set("us_per_image", plan.best_us);
+    chosen.set("im2col_us", plan.im2col_us);
+    // The sweep above re-times im2col independently of the tuning pass;
+    // keep it in the record as a noise gauge for the tuned numbers.
+    chosen.set("im2col_remeasured_us", im2col_us);
+    chosen.set("speedup_vs_im2col",
+               plan.best_us > 0 ? plan.im2col_us / plan.best_us : 0.0);
+    // The plan is chosen as the argmin of the same micro-benchmark that
+    // produced im2col_us, so this holds by construction up to re-measure
+    // noise.
+    const bool not_slower = plan.best_us <= plan.im2col_us * 1.0001;
+    chosen.set("not_slower_than_im2col", not_slower);
+    plan_never_slower = plan_never_slower && not_slower;
+    row.set("plan", std::move(chosen));
+    rows.push_back(std::move(row));
+
+    if (plan.kind != gemm::ConvBackendKind::kIm2col) {
+      if (std::strcmp(np.net, "hep") == 0) ++non_im2col_hep;
+      if (std::strcmp(np.net, "climate") == 0) ++non_im2col_climate;
+    }
+  }
+
+  record.set("geometries", std::move(rows));
+  perf::Json summary = perf::Json::object();
+  summary.set("plan_never_slower_than_im2col", plan_never_slower);
+  summary.set("non_im2col_hep_geometries", non_im2col_hep);
+  summary.set("non_im2col_climate_geometries", non_im2col_climate);
+  record.set("summary", std::move(summary));
+  record.write_file(json_path);
+
+  std::printf("%s\n", table.str().c_str());
+  std::printf("plan never slower than im2col: %s\n",
+              plan_never_slower ? "yes" : "NO");
+  std::printf("non-im2col plans: hep %zu, climate %zu\n", non_im2col_hep,
+              non_im2col_climate);
+  std::printf("wrote %s\n", json_path.c_str());
+
+  // The acceptance bar for the autotuner: at least one HEP and one
+  // climate geometry must beat im2col, and the chosen plan must never be
+  // slower than the reference it raced against.
+  if (!plan_never_slower || non_im2col_hep == 0 || non_im2col_climate == 0) {
+    return 1;
+  }
+  return 0;
+}

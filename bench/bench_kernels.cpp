@@ -1,12 +1,16 @@
 // Kernel microbenchmarks (google-benchmark): SGEMM across deep-learning
-// shapes, convolution forward/backward, im2col, and all-reduce payloads.
-// These are the per-kernel numbers behind the Fig 5 profile.
+// shapes, convolution forward/backward across every registered backend,
+// im2col, and all-reduce payloads. These are the per-kernel numbers
+// behind the Fig 5 profile. The JSON perf record comes from the
+// always-built sibling, bench_conv_backends.
 #include <benchmark/benchmark.h>
 
+#include <string>
 #include <vector>
 
 #include "comm/comm.hpp"
 #include "common/rng.hpp"
+#include "gemm/conv_backend.hpp"
 #include "gemm/gemm.hpp"
 #include "nn/conv2d.hpp"
 
@@ -93,6 +97,48 @@ void BM_ConvBackward(benchmark::State& state) {
       benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_ConvBackward)->Arg(1)->Arg(8);
+
+// One-image forward through a single registered backend. Arguments:
+// (backend kind, spatial size); channels fixed at the HEP nets' 128-wide
+// 3x3 shape so the backends race on the paper's dominant geometry.
+void BM_ConvBackendForward(benchmark::State& state) {
+  const auto kind = static_cast<gemm::ConvBackendKind>(state.range(0));
+  const auto hw = static_cast<std::size_t>(state.range(1));
+  gemm::ConvProblem p;
+  p.geom.in_c = 128;
+  p.geom.in_h = p.geom.in_w = hw;
+  p.geom.kernel_h = p.geom.kernel_w = 3;
+  p.geom.stride_h = p.geom.stride_w = 1;
+  p.geom.pad_h = p.geom.pad_w = 1;
+  p.out_c = 128;
+  const gemm::ConvBackend& backend = gemm::backend(kind);
+  if (!backend.applicable(p)) {
+    state.SkipWithError("backend not applicable");
+    return;
+  }
+  Rng rng(3);
+  std::vector<float> image(p.geom.in_c * hw * hw);
+  for (auto& v : image) v = rng.uniform(-1.0f, 1.0f);
+  std::vector<float> weight(p.out_c * p.geom.lowered_rows());
+  for (auto& v : weight) v = rng.uniform(-0.5f, 0.5f);
+  std::vector<float> out(p.out_c * p.geom.lowered_cols());
+  for (auto _ : state) {
+    backend.forward(p, image.data(), weight.data(), nullptr, out.data(),
+                    /*parallel_ok=*/false);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetLabel(backend.name());
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      static_cast<double>(backend.flops(p)) * state.iterations() / 1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ConvBackendForward)
+    ->Args({0, 14})
+    ->Args({1, 14})
+    ->Args({3, 14})
+    ->Args({0, 28})
+    ->Args({1, 28})
+    ->Args({3, 28});
 
 void BM_AllReduceRing(benchmark::State& state) {
   const auto kib = static_cast<std::size_t>(state.range(0));

@@ -6,13 +6,18 @@
 //      many cheap short runs racing, survivors trained longer;
 //   2. YellowFin closing the loop online: no search at all, momentum and
 //      learning rate are derived from running gradient statistics.
+// Level 0 goes below the training loop: the convolution backend registry
+// (im2col / Winograd / FFT / direct) exposed as a tune::Space, searched
+// with the same machinery, and compared against the plan cache's pick.
 #include <cstdio>
 #include <vector>
 
 #include "data/hep_generator.hpp"
 #include "data/loader.hpp"
+#include "gemm/conv_backend.hpp"
 #include "hybrid/trainable.hpp"
 #include "solver/solver.hpp"
+#include "tune/conv_space.hpp"
 #include "tune/search.hpp"
 #include "tune/yellowfin.hpp"
 
@@ -53,6 +58,41 @@ double train_loss(double lr, double momentum, std::size_t batch,
 }  // namespace
 
 int main() {
+  // ---- Level 0: convolution-backend autotuning --------------------------
+  // The kernel the training loop spends its time in is itself a tuning
+  // problem. grid_search over the backend space IS the plan-cache
+  // micro-benchmark, just driven through the generic searcher.
+  {
+    gemm::ConvProblem p;  // the HEP nets' 3x3/1 conv at pooled resolution
+    p.geom.in_c = 128;
+    p.geom.in_h = p.geom.in_w = 28;
+    p.geom.kernel_h = p.geom.kernel_w = 3;
+    p.geom.stride_h = p.geom.stride_w = 1;
+    p.geom.pad_h = p.geom.pad_w = 1;
+    p.out_c = 128;
+
+    std::printf("tuning convolution backend for 128x128 3x3 @ 28x28...\n");
+    gemm::AutotuneOptions opt;
+    opt.reps = 2;
+    const auto space = tune::conv_backend_space(p, opt);
+    const auto result = tune::grid_search(
+        space, tune::conv_backend_objective(p, opt), /*per_dim=*/1);
+    for (const auto& trial : result.trials) {
+      std::printf("  %-8s %10.1f us/img\n",
+                  gemm::to_string(tune::decode_backend(trial.config)),
+                  trial.loss);
+    }
+    // Same AutotuneOptions as the grid search, so the two winners differ
+    // only if the timings themselves do — not the measurement config.
+    gemm::ConvPlanCache cache(opt);
+    const auto plan = cache.plan(p);
+    std::printf("grid search winner: %s; plan cache winner: %s "
+                "(%.2fx vs im2col)\n\n",
+                gemm::to_string(tune::decode_backend(result.best.config)),
+                gemm::to_string(plan.kind),
+                plan.best_us > 0 ? plan.im2col_us / plan.best_us : 0.0);
+  }
+
   // ---- Level 1: successive halving over the search space ----------------
   tune::Space space;
   space.add(tune::Dimension::log("lr", 1e-4, 1e-1));

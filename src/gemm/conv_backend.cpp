@@ -1,0 +1,426 @@
+#include "gemm/conv_backend.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+#include "common/errors.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "gemm/fft_conv.hpp"
+#include "gemm/gemm.hpp"
+#include "gemm/winograd.hpp"
+
+namespace pf15::gemm {
+
+const char* to_string(ConvBackendKind kind) {
+  switch (kind) {
+    case ConvBackendKind::kIm2col:
+      return "im2col";
+    case ConvBackendKind::kWinograd:
+      return "winograd";
+    case ConvBackendKind::kFft:
+      return "fft";
+    case ConvBackendKind::kDirect:
+      return "direct";
+  }
+  return "unknown";
+}
+
+std::optional<ConvBackendKind> parse_backend(const std::string& name) {
+  if (name == "im2col") return ConvBackendKind::kIm2col;
+  if (name == "winograd") return ConvBackendKind::kWinograd;
+  if (name == "fft") return ConvBackendKind::kFft;
+  if (name == "direct") return ConvBackendKind::kDirect;
+  return std::nullopt;
+}
+
+namespace {
+
+auto key_tuple(const ConvProblem& p) {
+  return std::make_tuple(p.geom.in_c, p.geom.in_h, p.geom.in_w,
+                         p.geom.kernel_h, p.geom.kernel_w, p.geom.stride_h,
+                         p.geom.stride_w, p.geom.pad_h, p.geom.pad_w,
+                         p.out_c);
+}
+
+}  // namespace
+
+bool ConvProblem::operator<(const ConvProblem& other) const {
+  return key_tuple(*this) < key_tuple(other);
+}
+
+bool ConvProblem::operator==(const ConvProblem& other) const {
+  return key_tuple(*this) == key_tuple(other);
+}
+
+namespace {
+
+void add_bias(const float* bias, std::size_t out_c, std::size_t plane,
+              float* out) {
+  if (bias == nullptr) return;
+  for (std::size_t oc = 0; oc < out_c; ++oc) {
+    const float b = bias[oc];
+    float* dst = out + oc * plane;
+    for (std::size_t i = 0; i < plane; ++i) dst[i] += b;
+  }
+}
+
+// ---- im2col + GEMM ---------------------------------------------------------
+
+class Im2colBackend final : public ConvBackend {
+ public:
+  ConvBackendKind kind() const override { return ConvBackendKind::kIm2col; }
+
+  bool applicable(const ConvProblem&) const override { return true; }
+
+  void forward(const ConvProblem& p, const float* image, const float* weight,
+               const float* bias, float* out,
+               bool parallel_ok) const override {
+    const std::size_t m = p.out_c;
+    const std::size_t n = p.geom.lowered_cols();
+    const std::size_t k = p.geom.lowered_rows();
+    // Per-thread scratch: one backend instance serves a batch-parallel
+    // loop, each pool thread lowers into its own buffer. Shrink when the
+    // high-water mark dwarfs the current problem, so a one-off giant
+    // lowering (full-resolution climate encoder: ~0.2 GB) doesn't pin
+    // that much memory per pool thread for the rest of the process.
+    thread_local std::vector<float> col;
+    const std::size_t need = k * n;
+    if (col.size() < need || col.capacity() > 4 * need) {
+      col.clear();
+      col.shrink_to_fit();
+      col.resize(need);
+    }
+    im2col(p.geom, image, col.data());
+    if (parallel_ok) {
+      sgemm_parallel(false, false, m, n, k, 1.0f, weight, k, col.data(), n,
+                     0.0f, out, n);
+    } else {
+      sgemm(false, false, m, n, k, 1.0f, weight, k, col.data(), n, 0.0f,
+            out, n);
+    }
+    add_bias(bias, m, n, out);
+  }
+
+  std::uint64_t flops(const ConvProblem& p) const override {
+    return gemm::flops(p.out_c, p.geom.lowered_cols(),
+                       p.geom.lowered_rows());
+  }
+};
+
+// ---- Winograd F(2x2, 3x3) --------------------------------------------------
+
+class WinogradBackend final : public ConvBackend {
+ public:
+  ConvBackendKind kind() const override {
+    return ConvBackendKind::kWinograd;
+  }
+
+  bool applicable(const ConvProblem& p) const override {
+    return winograd_applicable(p.geom.kernel_h, p.geom.stride_h) &&
+           p.geom.kernel_w == 3 && p.geom.stride_w == 1 &&
+           p.geom.pad_h == p.geom.pad_w;
+  }
+
+  void forward(const ConvProblem& p, const float* image, const float* weight,
+               const float* bias, float* out,
+               bool /*parallel_ok*/) const override {
+    winograd_conv3x3(image, p.geom.in_c, p.geom.in_h, p.geom.in_w, weight,
+                     p.out_c, p.geom.pad_h, bias, out);
+  }
+
+  std::uint64_t flops(const ConvProblem& p) const override {
+    return winograd_flops(p.geom.in_c, p.out_c, p.geom.in_h, p.geom.in_w,
+                          p.geom.pad_h);
+  }
+};
+
+// ---- FFT -------------------------------------------------------------------
+
+class FftBackend final : public ConvBackend {
+ public:
+  ConvBackendKind kind() const override { return ConvBackendKind::kFft; }
+
+  bool applicable(const ConvProblem& p) const override {
+    // fft_conv2d takes one kernel/stride/pad per problem (square taps).
+    return p.geom.kernel_h == p.geom.kernel_w &&
+           p.geom.stride_h == p.geom.stride_w &&
+           p.geom.pad_h == p.geom.pad_w;
+  }
+
+  void forward(const ConvProblem& p, const float* image, const float* weight,
+               const float* bias, float* out,
+               bool /*parallel_ok*/) const override {
+    fft_conv2d(image, p.geom.in_c, p.geom.in_h, p.geom.in_w, weight,
+               p.out_c, p.geom.kernel_h, p.geom.stride_h, p.geom.pad_h,
+               bias, out);
+  }
+
+  std::uint64_t flops(const ConvProblem& p) const override {
+    return fft_conv_flops(p.geom.in_c, p.out_c, p.geom.in_h, p.geom.in_w,
+                          p.geom.kernel_h, p.geom.pad_h);
+  }
+};
+
+// ---- direct (small-spatial) ------------------------------------------------
+
+// Plain nested loops, no lowering and no transform. Arithmetic equals the
+// GEMM path's, but for tiny output grids (detection heads on a coarse
+// grid, the last layers of a pooled stack) skipping the (C·K²) x (OH·OW)
+// materialisation beats both GEMM setup and transform overhead.
+class DirectBackend final : public ConvBackend {
+ public:
+  ConvBackendKind kind() const override { return ConvBackendKind::kDirect; }
+
+  bool applicable(const ConvProblem&) const override { return true; }
+
+  void forward(const ConvProblem& p, const float* image, const float* weight,
+               const float* bias, float* out,
+               bool /*parallel_ok*/) const override {
+    const ConvGeom& g = p.geom;
+    const std::size_t oh = g.out_h();
+    const std::size_t ow = g.out_w();
+    const std::size_t taps = g.kernel_h * g.kernel_w;
+    for (std::size_t oc = 0; oc < p.out_c; ++oc) {
+      float* dst = out + oc * oh * ow;
+      const float b = bias != nullptr ? bias[oc] : 0.0f;
+      for (std::size_t oy = 0; oy < oh; ++oy) {
+        const std::ptrdiff_t iy0 =
+            static_cast<std::ptrdiff_t>(oy * g.stride_h) -
+            static_cast<std::ptrdiff_t>(g.pad_h);
+        for (std::size_t ox = 0; ox < ow; ++ox) {
+          const std::ptrdiff_t ix0 =
+              static_cast<std::ptrdiff_t>(ox * g.stride_w) -
+              static_cast<std::ptrdiff_t>(g.pad_w);
+          float acc = b;
+          for (std::size_t ic = 0; ic < g.in_c; ++ic) {
+            const float* plane = image + ic * g.in_h * g.in_w;
+            const float* w = weight + (oc * g.in_c + ic) * taps;
+            for (std::size_t ky = 0; ky < g.kernel_h; ++ky) {
+              const std::ptrdiff_t sy = iy0 + static_cast<std::ptrdiff_t>(ky);
+              if (sy < 0 || sy >= static_cast<std::ptrdiff_t>(g.in_h)) {
+                continue;
+              }
+              const float* row =
+                  plane + static_cast<std::size_t>(sy) * g.in_w;
+              const float* wrow = w + ky * g.kernel_w;
+              for (std::size_t kx = 0; kx < g.kernel_w; ++kx) {
+                const std::ptrdiff_t sx =
+                    ix0 + static_cast<std::ptrdiff_t>(kx);
+                if (sx < 0 || sx >= static_cast<std::ptrdiff_t>(g.in_w)) {
+                  continue;
+                }
+                acc += row[static_cast<std::size_t>(sx)] * wrow[kx];
+              }
+            }
+          }
+          dst[oy * ow + ox] = acc;
+        }
+      }
+    }
+  }
+
+  std::uint64_t flops(const ConvProblem& p) const override {
+    // Same multiply-add count as the GEMM formulation.
+    return gemm::flops(p.out_c, p.geom.lowered_cols(),
+                       p.geom.lowered_rows());
+  }
+};
+
+}  // namespace
+
+const ConvBackend& backend(ConvBackendKind kind) {
+  static const Im2colBackend im2col_backend;
+  static const WinogradBackend winograd_backend;
+  static const FftBackend fft_backend;
+  static const DirectBackend direct_backend;
+  switch (kind) {
+    case ConvBackendKind::kIm2col:
+      return im2col_backend;
+    case ConvBackendKind::kWinograd:
+      return winograd_backend;
+    case ConvBackendKind::kFft:
+      return fft_backend;
+    case ConvBackendKind::kDirect:
+      return direct_backend;
+  }
+  PF15_CHECK_MSG(false, "unknown ConvBackendKind "
+                            << static_cast<int>(kind));
+  return im2col_backend;  // unreachable
+}
+
+const std::vector<const ConvBackend*>& all_backends() {
+  static const std::vector<const ConvBackend*> table = {
+      &backend(ConvBackendKind::kIm2col),
+      &backend(ConvBackendKind::kWinograd),
+      &backend(ConvBackendKind::kFft),
+      &backend(ConvBackendKind::kDirect),
+  };
+  return table;
+}
+
+std::vector<const ConvBackend*> applicable_backends(const ConvProblem& p) {
+  std::vector<const ConvBackend*> out;
+  for (const ConvBackend* b : all_backends()) {
+    if (b->applicable(p)) out.push_back(b);
+  }
+  return out;
+}
+
+std::vector<const ConvBackend*> candidate_backends(
+    const ConvProblem& p, const AutotuneOptions& opt) {
+  const double ref_flops =
+      static_cast<double>(backend(ConvBackendKind::kIm2col).flops(p));
+  std::vector<const ConvBackend*> out;
+  for (const ConvBackend* b : applicable_backends(p)) {
+    // Reject hopeless candidates on the analytic cost model alone: timing
+    // FFT on a 3x3 problem would cost orders of magnitude more than the
+    // convolution it is supposed to speed up. The direct backend's flops
+    // equal im2col's, so it is never rejected — intentional: on this
+    // code's scalar SGEMM it *wins* big geometries outright (e.g. the
+    // 512->768 5x5 climate encoder stage: 306ms direct vs 507ms im2col
+    // measured), and timing it costs the same order as timing im2col.
+    if (b->kind() != ConvBackendKind::kIm2col &&
+        static_cast<double>(b->flops(p)) > opt.flops_cutoff * ref_flops) {
+      continue;
+    }
+    out.push_back(b);
+  }
+  return out;
+}
+
+double benchmark_backend(const ConvBackend& b, const ConvProblem& p,
+                         const AutotuneOptions& opt, bool parallel_ok) {
+  PF15_CHECK_MSG(b.applicable(p),
+                 "benchmark_backend: " << b.name()
+                                       << " not applicable to problem");
+  const ConvGeom& g = p.geom;
+  // Deterministic synthetic operands: the same problem always tunes on
+  // the same data, so timings (and in quiet conditions, winners) are
+  // reproducible across processes.
+  std::uint64_t stream = 0;
+  for (auto v : {g.in_c, g.in_h, g.in_w, g.kernel_h, g.kernel_w, g.stride_h,
+                 g.stride_w, g.pad_h, g.pad_w, p.out_c}) {
+    stream = stream * 0x100000001b3ULL + v;
+  }
+  Rng rng(opt.seed, stream);
+  std::vector<float> image(g.in_c * g.in_h * g.in_w);
+  for (auto& v : image) v = rng.uniform(-1.0f, 1.0f);
+  std::vector<float> weight(p.out_c * g.lowered_rows());
+  for (auto& v : weight) v = rng.uniform(-0.5f, 0.5f);
+  std::vector<float> bias(p.out_c);
+  for (auto& v : bias) v = rng.uniform(-0.2f, 0.2f);
+  std::vector<float> out(p.out_c * g.lowered_cols());
+
+  for (std::size_t i = 0; i < opt.warmup; ++i) {
+    b.forward(p, image.data(), weight.data(), bias.data(), out.data(),
+              parallel_ok);
+  }
+  double best = 0.0;
+  for (std::size_t i = 0; i < std::max<std::size_t>(1, opt.reps); ++i) {
+    WallTimer timer;
+    b.forward(p, image.data(), weight.data(), bias.data(), out.data(),
+              parallel_ok);
+    const double us = timer.seconds() * 1e6;
+    if (i == 0 || us < best) best = us;
+  }
+  return best;
+}
+
+ConvPlan autotune(const ConvProblem& p, const AutotuneOptions& opt,
+                  bool parallel_ok) {
+  const ConvBackend& reference = backend(ConvBackendKind::kIm2col);
+  ConvPlan plan;
+  plan.tuned = true;
+  plan.im2col_us = benchmark_backend(reference, p, opt, parallel_ok);
+  plan.kind = ConvBackendKind::kIm2col;
+  plan.best_us = plan.im2col_us;
+  for (const ConvBackend* b : candidate_backends(p, opt)) {
+    if (b->kind() == ConvBackendKind::kIm2col) continue;
+    const double us = benchmark_backend(*b, p, opt, parallel_ok);
+    if (us < plan.best_us) {
+      plan.best_us = us;
+      plan.kind = b->kind();
+    }
+  }
+  return plan;
+}
+
+ConvPlanCache& ConvPlanCache::global() {
+  static ConvPlanCache cache;
+  return cache;
+}
+
+ConvPlan ConvPlanCache::plan(const ConvProblem& p, bool parallel_ok) {
+  const Key key{p, parallel_ok};
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    auto it = plans_.find(key);
+    if (it != plans_.end()) {
+      ++hits_;
+      return it->second;
+    }
+    // Dedupe concurrent first sights of the same key: exactly one thread
+    // tunes it (racing duplicate micro-benchmarks would distort each
+    // other's timings), the rest wait for the result. Distinct keys tune
+    // concurrently, and cache hits never block behind a tuning miss.
+    if (tuning_.insert(key).second) break;
+    tuning_cv_.wait(lock);
+  }
+  ++misses_;
+  lock.unlock();
+  ConvPlan tuned;
+  try {
+    tuned = autotune(p, opt_, parallel_ok);
+  } catch (...) {
+    lock.lock();
+    tuning_.erase(key);
+    tuning_cv_.notify_all();
+    throw;
+  }
+  lock.lock();
+  // emplace, not operator[]: an insert() that landed while we were timing
+  // is an operator override and must win over the tuned result.
+  plans_.emplace(key, tuned);
+  tuning_.erase(key);
+  tuning_cv_.notify_all();
+  return plans_.find(key)->second;
+}
+
+std::optional<ConvPlan> ConvPlanCache::lookup(const ConvProblem& p,
+                                              bool parallel_ok) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = plans_.find(Key{p, parallel_ok});
+  if (it == plans_.end()) return std::nullopt;
+  return it->second;
+}
+
+void ConvPlanCache::insert(const ConvProblem& p, const ConvPlan& plan) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  plans_[Key{p, false}] = plan;
+  plans_[Key{p, true}] = plan;
+}
+
+void ConvPlanCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  plans_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+std::size_t ConvPlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return plans_.size();
+}
+
+std::uint64_t ConvPlanCache::hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+std::uint64_t ConvPlanCache::misses() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+}  // namespace pf15::gemm

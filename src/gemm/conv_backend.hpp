@@ -1,0 +1,188 @@
+// Runtime convolution-backend dispatch + autotune plan cache.
+//
+// The paper's sustained-PF claim rests on convolution being the dominant
+// hot path of both networks (§V), and §VIII-A names Winograd and FFT as
+// the algorithm directions to study. This module turns those one-off
+// kernels into a *subsystem*: every convolution algorithm implements the
+// ConvBackend interface, registers in a process-wide table, and a plan
+// cache micro-benchmarks the applicable backends the first time a
+// (geometry, channels) problem is seen, remembering the winner. Layers ask
+// for a plan instead of hardcoding a lowering; benches and the tune::Space
+// integration sweep the same table, so every path is exercised and
+// measured, not just the default one.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "gemm/im2col.hpp"
+
+namespace pf15::gemm {
+
+/// Identity of a convolution algorithm in the dispatch table. Values are
+/// stable (they appear in perf records and tune::Space encodings).
+enum class ConvBackendKind : int {
+  kIm2col = 0,    // lowering + GEMM, the always-applicable reference
+  kWinograd = 1,  // F(2x2,3x3): 3x3 stride-1 only
+  kFft = 2,       // spectral: profitable for large kernels
+  kDirect = 3,    // naive loops: wins when the lowered matrix is tiny
+};
+
+/// Stable lower-case name ("im2col", "winograd", "fft", "direct").
+const char* to_string(ConvBackendKind kind);
+/// Inverse of to_string; nullopt for unknown names.
+std::optional<ConvBackendKind> parse_backend(const std::string& name);
+
+/// One per-image convolution problem: geometry plus the filter count.
+/// This is the plan-cache key — bias presence does not affect algorithm
+/// choice and is deliberately excluded.
+struct ConvProblem {
+  ConvGeom geom;
+  std::size_t out_c = 0;
+
+  /// Strict-weak order over every field that affects algorithm choice.
+  bool operator<(const ConvProblem& other) const;
+  bool operator==(const ConvProblem& other) const;
+};
+
+/// A convolution algorithm. Implementations are stateless and immutable
+/// after registration; per-call scratch lives in thread-local storage so
+/// one backend instance can serve a batch-parallel loop.
+class ConvBackend {
+ public:
+  virtual ~ConvBackend() = default;
+
+  virtual ConvBackendKind kind() const = 0;
+  const char* name() const { return to_string(kind()); }
+
+  /// Whether this algorithm can compute `p` at all (e.g. Winograd is
+  /// 3x3 stride-1 only).
+  virtual bool applicable(const ConvProblem& p) const = 0;
+
+  /// One image forward: image (C,H,W) -> out (OC,OH,OW), `bias` may be
+  /// null. `parallel_ok` permits internal use of the global thread pool;
+  /// callers running inside a pool task must pass false (the pool does not
+  /// support nested waits).
+  virtual void forward(const ConvProblem& p, const float* image,
+                       const float* weight, const float* bias, float* out,
+                       bool parallel_ok) const = 0;
+
+  /// Analytic per-image FLOP count (§V accounting: one multiply-add is
+  /// two FLOPs).
+  virtual std::uint64_t flops(const ConvProblem& p) const = 0;
+};
+
+/// The registered backend for `kind`. Never null; registration happens at
+/// static-init-free first use.
+const ConvBackend& backend(ConvBackendKind kind);
+
+/// All registered backends, in ConvBackendKind order.
+const std::vector<const ConvBackend*>& all_backends();
+
+/// The subset of all_backends() whose applicable(p) holds, same order.
+std::vector<const ConvBackend*> applicable_backends(const ConvProblem& p);
+
+struct AutotuneOptions;
+
+/// The candidates autotune() actually races for `p`: applicable_backends
+/// minus those the analytic flops cutoff rejects (im2col itself is never
+/// rejected). The tune::Space adapter and the sweep bench share this, so
+/// every consumer sees the same candidate policy.
+std::vector<const ConvBackend*> candidate_backends(
+    const ConvProblem& p, const AutotuneOptions& opt);
+
+/// Knobs of the first-sight micro-benchmark.
+struct AutotuneOptions {
+  std::size_t warmup = 1;  // untimed runs per candidate
+  std::size_t reps = 3;    // timed runs; the minimum is kept
+  /// Seed for the synthetic image/weights the candidates are timed on;
+  /// mixed with the problem geometry so every problem sees the same data
+  /// across runs (deterministic tuning inputs).
+  std::uint64_t seed = 0x9f15c0deULL;
+  /// Candidates whose analytic FLOPs exceed this multiple of im2col's are
+  /// rejected without timing (keeps e.g. FFT-at-3x3 from burning seconds
+  /// in a first-touch forward pass).
+  double flops_cutoff = 8.0;
+};
+
+/// Measured per-image wall microseconds of `b` on `p` (min over reps,
+/// deterministic synthetic operands). `parallel_ok` must match how the
+/// plan will execute: false for the batch-parallel loop (per-image serial
+/// work), true for single-image forwards where the backend may use the
+/// pool internally.
+double benchmark_backend(const ConvBackend& b, const ConvProblem& p,
+                         const AutotuneOptions& opt = {},
+                         bool parallel_ok = false);
+
+/// The remembered winner for one problem.
+struct ConvPlan {
+  ConvBackendKind kind = ConvBackendKind::kIm2col;
+  double best_us = 0.0;    // winner's measured per-image microseconds
+  double im2col_us = 0.0;  // im2col reference measured in the same sweep
+  bool tuned = false;      // true: micro-benchmarked; false: forced/default
+};
+
+/// Races every applicable (and cutoff-surviving) backend on `p` in the
+/// given execution mode and returns the fastest. im2col is always among
+/// the candidates, so the winner is never slower than the reference as
+/// measured. Note the flops cutoff cannot reject the direct backend (its
+/// analytic flops equal im2col's by construction); that is deliberate —
+/// direct is a frequent winner and timing it costs the same order as
+/// timing im2col.
+ConvPlan autotune(const ConvProblem& p, const AutotuneOptions& opt = {},
+                  bool parallel_ok = false);
+
+/// Process-wide memo of autotune() results, keyed by
+/// (ConvProblem, execution mode). Thread safe; the first thread to see a
+/// shape pays the tuning cost *outside* the cache lock (an in-flight set
+/// dedupes concurrent first sights), so hits never wait behind a miss
+/// being tuned. insert() lets callers (tests, the tune::Space driver,
+/// operators forcing a layout) override a plan — for both modes.
+class ConvPlanCache {
+ public:
+  explicit ConvPlanCache(AutotuneOptions opt = {}) : opt_(opt) {}
+
+  static ConvPlanCache& global();
+
+  /// The plan for `p` executed with `parallel_ok`, tuning on first sight.
+  /// Backends are timed in the mode they will run in: a plan for the
+  /// batch-parallel loop (parallel_ok=false) is decided on single-thread
+  /// times, a single-image plan (parallel_ok=true) lets candidates use
+  /// the pool, so e.g. parallel im2col can beat a serial-only winner.
+  ConvPlan plan(const ConvProblem& p, bool parallel_ok = false);
+
+  /// The cached plan, if any — never tunes.
+  std::optional<ConvPlan> lookup(const ConvProblem& p,
+                                 bool parallel_ok = false) const;
+
+  /// Forces the plan for `p` in both execution modes (an override states
+  /// "use this backend", independent of how the layer batches).
+  void insert(const ConvProblem& p, const ConvPlan& plan);
+
+  void clear();
+  std::size_t size() const;
+  std::uint64_t hits() const;
+  std::uint64_t misses() const;
+  const AutotuneOptions& options() const { return opt_; }
+
+ private:
+  using Key = std::pair<ConvProblem, bool>;
+
+  mutable std::mutex mutex_;
+  std::condition_variable tuning_cv_;
+  std::map<Key, ConvPlan> plans_;
+  std::set<Key> tuning_;  // keys being autotuned right now
+  AutotuneOptions opt_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace pf15::gemm

@@ -1,18 +1,10 @@
 #include "nn/conv2d.hpp"
 
+#include "common/thread_pool.hpp"
 #include "gemm/gemm.hpp"
 #include "gemm/winograd.hpp"
 
 namespace pf15::nn {
-
-bool Conv2d::uses_winograd() const {
-  if (cfg_.algo == ConvAlgo::kIm2col) return false;
-  const bool ok = gemm::winograd_applicable(cfg_.kernel, cfg_.stride);
-  if (cfg_.algo == ConvAlgo::kWinograd) {
-    PF15_CHECK_MSG(ok, name_ << ": Winograd requires 3x3 stride-1");
-  }
-  return ok;
-}
 
 Conv2d::Conv2d(std::string name, const Conv2dConfig& cfg, Rng& rng)
     : name_(std::move(name)),
@@ -24,6 +16,10 @@ Conv2d::Conv2d(std::string name, const Conv2dConfig& cfg, Rng& rng)
       bias_grad_(bias_.shape()) {
   PF15_CHECK(cfg.in_channels > 0 && cfg.out_channels > 0 && cfg.kernel > 0 &&
              cfg.stride > 0);
+  if (cfg.algo == ConvAlgo::kWinograd) {
+    PF15_CHECK_MSG(gemm::winograd_applicable(cfg.kernel, cfg.stride),
+                   name_ << ": Winograd requires 3x3 stride-1");
+  }
   weight_.fill_he(rng, cfg.in_channels * cfg.kernel * cfg.kernel);
   bias_.zero();
 }
@@ -44,47 +40,79 @@ gemm::ConvGeom Conv2d::geom(const Shape& in) const {
   return g;
 }
 
+gemm::ConvProblem Conv2d::problem(const Shape& in) const {
+  gemm::ConvProblem p;
+  p.geom = geom(in);
+  p.out_c = cfg_.out_channels;
+  return p;
+}
+
+gemm::ConvBackendKind Conv2d::forward_backend(const Shape& in) const {
+  switch (cfg_.algo) {
+    case ConvAlgo::kIm2col:
+      return gemm::ConvBackendKind::kIm2col;
+    case ConvAlgo::kWinograd:
+      return gemm::ConvBackendKind::kWinograd;
+    case ConvAlgo::kFft:
+      return gemm::ConvBackendKind::kFft;
+    case ConvAlgo::kDirect:
+      return gemm::ConvBackendKind::kDirect;
+    case ConvAlgo::kAuto:
+      break;
+  }
+  const gemm::ConvProblem p = problem(in);
+  // kAuto: every applicable backend races once per (geometry, execution
+  // mode) and the measured winner is remembered. Batched inputs run the
+  // per-image-serial plan inside the batch-parallel loop; single images
+  // run the plan tuned with pool access, so a parallel im2col can beat a
+  // serial-only fast path there.
+  return gemm::ConvPlanCache::global().plan(p, /*parallel_ok=*/in.n() <= 1)
+      .kind;
+}
+
 Shape Conv2d::output_shape(const Shape& in) const {
   const auto g = geom(in);
   return Shape{in.n(), cfg_.out_channels, g.out_h(), g.out_w()};
 }
 
 void Conv2d::forward(const Tensor& in, Tensor& out) {
-  const auto g = geom(in.shape());
+  const gemm::ConvProblem p = problem(in.shape());
   ensure_shape(out, output_shape(in.shape()));
-  const std::size_t m = cfg_.out_channels;
-  const std::size_t n = g.lowered_cols();
-  const std::size_t in_img = in.shape().c() * in.shape().h() * in.shape().w();
-  const std::size_t out_img = m * n;
-  if (uses_winograd()) {
-    for (std::size_t img = 0; img < in.shape().n(); ++img) {
-      gemm::winograd_conv3x3(in.data() + img * in_img, cfg_.in_channels,
-                             in.shape().h(), in.shape().w(),
-                             weight_.data(), m, cfg_.pad,
-                             cfg_.bias ? bias_.data() : nullptr,
-                             out.data() + img * out_img);
+  const gemm::ConvBackendKind kind = forward_backend(in.shape());
+  const gemm::ConvBackend& be = gemm::backend(kind);
+  PF15_CHECK_MSG(be.applicable(p),
+                 name_ << ": backend " << be.name()
+                       << " not applicable to input " << in.shape());
+  last_forward_backend_ = kind;
+
+  const std::size_t n_img = in.shape().n();
+  const std::size_t in_img = p.geom.in_c * p.geom.in_h * p.geom.in_w;
+  const std::size_t out_img = p.out_c * p.geom.lowered_cols();
+  const float* bias = cfg_.bias ? bias_.data() : nullptr;
+  if (n_img <= 1) {
+    // A single image cannot parallelize across the batch; let the backend
+    // use the pool internally instead (im2col's parallel GEMM).
+    for (std::size_t img = 0; img < n_img; ++img) {
+      be.forward(p, in.data() + img * in_img, weight_.data(), bias,
+                 out.data() + img * out_img, /*parallel_ok=*/true);
     }
     return;
   }
-  ensure_shape(col_, Shape{g.lowered_rows(), g.lowered_cols()});
-  const std::size_t k = g.lowered_rows();
-  for (std::size_t img = 0; img < in.shape().n(); ++img) {
-    gemm::im2col(g, in.data() + img * in_img, col_.data());
-    gemm::sgemm_parallel(false, false, m, n, k, 1.0f, weight_.data(), k,
-                         col_.data(), n, 0.0f, out.data() + img * out_img,
-                         n);
-    if (cfg_.bias) {
-      float* dst = out.data() + img * out_img;
-      for (std::size_t oc = 0; oc < m; ++oc) {
-        const float b = bias_.data()[oc];
-        float* plane = dst + oc * n;
-        for (std::size_t i = 0; i < n; ++i) plane[i] += b;
-      }
-    }
-  }
+  // Per-image work (lowering, transforms, per-image GEMM) spreads across
+  // the pool. Inside a pool task the backend must stay serial: the pool
+  // does not support nested parallel_for waits.
+  ThreadPool::global().parallel_for(0, n_img, [&](std::size_t img) {
+    be.forward(p, in.data() + img * in_img, weight_.data(), bias,
+               out.data() + img * out_img, /*parallel_ok=*/false);
+  });
 }
 
 void Conv2d::backward(const Tensor& in, const Tensor& dout, Tensor& din) {
+  // Backward always takes the im2col adjoint, whatever backend forward
+  // dispatched to (see backward_backend()): Winograd/FFT/direct share the
+  // same linear map, so the gradient is identical — only the forward's
+  // floating-point rounding differs. col_/dcol_ belong exclusively to this
+  // path and are (re)sized here, never by forward().
   const auto g = geom(in.shape());
   PF15_CHECK(dout.shape() == output_shape(in.shape()));
   ensure_shape(din, in.shape());
@@ -126,23 +154,28 @@ std::vector<Param> Conv2d::params() {
 }
 
 std::uint64_t Conv2d::forward_flops(const Shape& in) const {
-  const auto g = geom(in);
-  if (uses_winograd()) {
-    return in.n() * (gemm::winograd_flops(cfg_.in_channels,
-                                          cfg_.out_channels, g.in_h,
-                                          g.in_w, cfg_.pad) +
-                     (cfg_.bias ? g.lowered_cols() * cfg_.out_channels
-                                : 0));
+  const gemm::ConvProblem p = problem(in);
+  gemm::ConvBackendKind kind;
+  if (cfg_.algo == ConvAlgo::kAuto) {
+    // FLOP accounting must stay a pure arithmetic query: consult the
+    // cache without tuning (forward_backend() would micro-benchmark on a
+    // miss) and assume the im2col reference for shapes not yet planned.
+    const auto cached = gemm::ConvPlanCache::global().lookup(
+        p, /*parallel_ok=*/in.n() <= 1);
+    kind = cached.has_value() ? cached->kind
+                              : gemm::ConvBackendKind::kIm2col;
+  } else {
+    kind = forward_backend(in);
   }
-  const std::uint64_t per_img =
-      gemm::flops(cfg_.out_channels, g.lowered_cols(), g.lowered_rows()) +
-      (cfg_.bias ? g.lowered_cols() * cfg_.out_channels : 0);
-  return per_img * in.n();
+  const gemm::ConvBackend& be = gemm::backend(kind);
+  return in.n() * (be.flops(p) +
+                   (cfg_.bias ? p.geom.lowered_cols() * cfg_.out_channels
+                              : 0));
 }
 
 std::uint64_t Conv2d::backward_flops(const Shape& in) const {
   const auto g = geom(in);
-  // dW GEMM + dX GEMM + bias reduction.
+  // dW GEMM + dX GEMM + bias reduction (im2col adjoint, always).
   const std::uint64_t per_img =
       gemm::flops(cfg_.out_channels, g.lowered_rows(), g.lowered_cols()) +
       gemm::flops(g.lowered_rows(), g.lowered_cols(), cfg_.out_channels) +

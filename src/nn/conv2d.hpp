@@ -1,18 +1,27 @@
-// 2-D convolution layer (im2col + GEMM), the workhorse of both networks
-// (§III-A, §III-B). Weight layout is OIHW; bias is per output channel.
+// 2-D convolution layer, the workhorse of both networks (§III-A, §III-B).
+// Weight layout is OIHW; bias is per output channel.
+//
+// The forward pass dispatches through the gemm::ConvBackend registry:
+// im2col+GEMM, Winograd F(2x2,3x3), FFT, or direct loops. kAuto consults
+// the process-wide gemm::ConvPlanCache, which micro-benchmarks applicable
+// backends the first time a (geometry, channels) problem is seen and
+// remembers the winner. The batch loop runs on the global thread pool, so
+// per-image lowering/transform work parallelizes across the batch.
 #pragma once
 
 #include <string>
 
+#include "gemm/conv_backend.hpp"
 #include "gemm/im2col.hpp"
 #include "nn/layer.hpp"
 
 namespace pf15::nn {
 
-/// Forward-pass algorithm selection. Winograd F(2x2,3x3) applies only to
-/// 3x3 stride-1 kernels (§VIII-A future work — see gemm/winograd.hpp);
-/// kAuto picks it when applicable, kIm2col forces the lowering path.
-enum class ConvAlgo { kIm2col, kWinograd, kAuto };
+/// Forward-pass algorithm selection. kIm2col/kWinograd/kFft/kDirect force
+/// one gemm::ConvBackend (construction PF15_CHECKs applicability for
+/// Winograd; FFT/direct apply everywhere); kAuto lets the autotune plan
+/// cache pick per geometry.
+enum class ConvAlgo { kIm2col, kWinograd, kAuto, kFft, kDirect };
 
 struct Conv2dConfig {
   std::size_t in_channels = 0;
@@ -40,11 +49,25 @@ class Conv2d final : public Layer {
   const Conv2dConfig& config() const { return cfg_; }
   Tensor& weight() { return weight_; }
   Tensor& bias() { return bias_; }
-  /// True if the forward pass will take the Winograd fast path.
-  bool uses_winograd() const;
+
+  /// The backend the forward pass will dispatch to for this input shape
+  /// (resolving kAuto through the global plan cache, tuning on first
+  /// sight).
+  gemm::ConvBackendKind forward_backend(const Shape& in) const;
+  /// The backend the latest forward() actually dispatched to.
+  gemm::ConvBackendKind last_forward_backend() const {
+    return last_forward_backend_;
+  }
+  /// Backward is always computed by the im2col adjoint (see backward()):
+  /// the fast forward backends have no gradient formulation here, so the
+  /// fallback is explicit, not silent.
+  gemm::ConvBackendKind backward_backend() const {
+    return gemm::ConvBackendKind::kIm2col;
+  }
 
  private:
   gemm::ConvGeom geom(const Shape& in) const;
+  gemm::ConvProblem problem(const Shape& in) const;
 
   std::string name_;
   Conv2dConfig cfg_;
@@ -52,8 +75,13 @@ class Conv2d final : public Layer {
   Tensor bias_;         // (OC)
   Tensor weight_grad_;  // same shapes as values
   Tensor bias_grad_;
+  // Backward-only scratch. The forward path keeps its lowering scratch in
+  // backend-owned thread-local buffers (the batch loop is parallel), so
+  // these are sized for exactly one consumer: the im2col adjoint below.
   Tensor col_;   // scratch: lowered input, one image at a time
   Tensor dcol_;  // scratch: lowered gradient
+  gemm::ConvBackendKind last_forward_backend_ =
+      gemm::ConvBackendKind::kIm2col;
 };
 
 }  // namespace pf15::nn

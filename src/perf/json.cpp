@@ -1,0 +1,160 @@
+#include "perf/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "common/errors.hpp"
+
+namespace pf15::perf {
+
+Json Json::array() {
+  Json j;
+  j.type_ = Type::kArray;
+  return j;
+}
+
+Json Json::object() {
+  Json j;
+  j.type_ = Type::kObject;
+  return j;
+}
+
+Json& Json::push_back(Json v) {
+  PF15_CHECK_MSG(is_array(), "push_back on a non-array Json value");
+  items_.push_back(std::move(v));
+  return *this;
+}
+
+Json& Json::set(const std::string& key, Json v) {
+  PF15_CHECK_MSG(is_object(), "set on a non-object Json value");
+  for (auto& member : members_) {
+    if (member.first == key) {
+      member.second = std::move(v);
+      return *this;
+    }
+  }
+  members_.emplace_back(key, std::move(v));
+  return *this;
+}
+
+void Json::render_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void Json::render(std::string& out, int indent, int depth) const {
+  const std::string pad(static_cast<std::size_t>(indent) *
+                            static_cast<std::size_t>(depth + 1),
+                        ' ');
+  const std::string close_pad(
+      static_cast<std::size_t>(indent) * static_cast<std::size_t>(depth),
+      ' ');
+  const char* nl = indent > 0 ? "\n" : "";
+  switch (type_) {
+    case Type::kNull:
+      out += "null";
+      break;
+    case Type::kBool:
+      out += bool_ ? "true" : "false";
+      break;
+    case Type::kNumber: {
+      if (std::isfinite(num_) && num_ == std::floor(num_) &&
+          std::fabs(num_) < 9.0e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(num_));
+        out += buf;
+      } else if (std::isfinite(num_)) {
+        char buf[40];
+        std::snprintf(buf, sizeof(buf), "%.6g", num_);
+        out += buf;
+      } else {
+        out += "null";  // JSON has no NaN/Inf
+      }
+      break;
+    }
+    case Type::kString:
+      render_string(out, str_);
+      break;
+    case Type::kArray: {
+      if (items_.empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      out += nl;
+      for (std::size_t i = 0; i < items_.size(); ++i) {
+        out += pad;
+        items_[i].render(out, indent, depth + 1);
+        if (i + 1 < items_.size()) out += ',';
+        out += nl;
+      }
+      out += close_pad;
+      out += ']';
+      break;
+    }
+    case Type::kObject: {
+      if (members_.empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      out += nl;
+      for (std::size_t i = 0; i < members_.size(); ++i) {
+        out += pad;
+        render_string(out, members_[i].first);
+        out += indent > 0 ? ": " : ":";
+        members_[i].second.render(out, indent, depth + 1);
+        if (i + 1 < members_.size()) out += ',';
+        out += nl;
+      }
+      out += close_pad;
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  render(out, indent, 0);
+  return out;
+}
+
+void Json::write_file(const std::string& path, int indent) const {
+  std::ofstream file(path);
+  if (!file) throw IoError("Json::write_file: cannot open " + path);
+  file << dump(indent) << '\n';
+  if (!file) throw IoError("Json::write_file: write failed for " + path);
+}
+
+}  // namespace pf15::perf

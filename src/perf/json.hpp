@@ -1,0 +1,66 @@
+// Minimal JSON document builder for machine-readable perf records.
+//
+// Bench binaries historically emitted console tables and CSV; tracking a
+// perf trajectory across PRs needs a structured, self-describing record
+// (nested objects, typed numbers) that tooling can diff. This is a
+// build-only writer — no parsing — with deterministic key order
+// (insertion order), so records are stable under version control.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pf15::perf {
+
+/// One JSON value: null, bool, number, string, array, or object. Values
+/// are built imperatively and rendered with dump(). Numbers are stored as
+/// doubles; integral values round-trip exactly up to 2^53.
+class Json {
+ public:
+  Json() : type_(Type::kNull) {}
+  Json(bool v) : type_(Type::kBool), bool_(v) {}          // NOLINT
+  Json(double v) : type_(Type::kNumber), num_(v) {}       // NOLINT
+  Json(int v) : Json(static_cast<double>(v)) {}           // NOLINT
+  Json(std::size_t v) : Json(static_cast<double>(v)) {}   // NOLINT
+  Json(const char* v) : type_(Type::kString), str_(v) {}  // NOLINT
+  Json(std::string v) : type_(Type::kString), str_(std::move(v)) {}  // NOLINT
+
+  static Json array();
+  static Json object();
+
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Appends to an array (the value must have been made with array()).
+  Json& push_back(Json v);
+
+  /// Sets a key on an object (made with object()); insertion order is
+  /// preserved and duplicate keys overwrite in place.
+  Json& set(const std::string& key, Json v);
+
+  /// Renders the document. `indent` > 0 pretty-prints with that many
+  /// spaces per level; 0 renders compact.
+  std::string dump(int indent = 2) const;
+
+  /// dump() + trailing newline written to `path`; throws pf15::IoError on
+  /// failure.
+  void write_file(const std::string& path, int indent = 2) const;
+
+ private:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  void render(std::string& out, int indent, int depth) const;
+  static void render_string(std::string& out, const std::string& s);
+
+  Type type_;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<Json> items_;  // kArray
+  std::vector<std::pair<std::string, Json>> members_;  // kObject
+};
+
+}  // namespace pf15::perf

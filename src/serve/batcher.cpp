@@ -9,6 +9,16 @@ DynamicBatcher::DynamicBatcher(const BatcherConfig& cfg) : cfg_(cfg) {
                  "queue_capacity must be >= 1, got " << cfg_.queue_capacity);
 }
 
+DynamicBatcher::~DynamicBatcher() {
+  // No lock: destruction requires external quiescence (no concurrent
+  // submit/next_batch), same as any other destructor. Anything still
+  // queued was accepted but will never be served — fail it loudly.
+  for (Request& req : queue_) {
+    req.result.set_exception(std::make_exception_ptr(
+        ShutdownError("DynamicBatcher destroyed with request pending")));
+  }
+}
+
 std::future<Tensor> DynamicBatcher::enqueue_locked(
     std::unique_lock<std::mutex>& lock, Tensor&& sample) {
   (void)lock;  // caller holds mutex_
@@ -54,6 +64,15 @@ std::vector<Request> DynamicBatcher::next_batch() {
 
   // Linger for companions until the batch fills, the deadline passes, or
   // shutdown begins (no point waiting for traffic that can't arrive).
+  //
+  // Wakeup discipline: we never trust cv_status — a close() notification
+  // can race the deadline so that wait_until reports `timeout` even
+  // though state changed, and spurious wakeups report `no_timeout` with
+  // nothing to do. Instead, every wakeup (and the deadline itself) is
+  // re-evaluated against the queue, closed_, and the clock under the
+  // lock, so the "max_wait_us elapses exactly as close() runs"
+  // interleaving takes the same path as any other wakeup: drain what
+  // raced in, then stop.
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::microseconds(cfg_.max_wait_us);
   while (batch.size() < cfg_.max_batch) {
@@ -63,15 +82,15 @@ std::vector<Request> DynamicBatcher::next_batch() {
       continue;
     }
     if (closed_ || cfg_.max_wait_us == 0) break;
-    if (cv_not_empty_.wait_until(lock, deadline) ==
-        std::cv_status::timeout) {
-      // Deadline passed: take anything that raced in, then stop waiting.
-      while (!queue_.empty() && batch.size() < cfg_.max_batch) {
-        batch.push_back(std::move(queue_.front()));
-        queue_.pop_front();
-      }
-      break;
-    }
+    if (std::chrono::steady_clock::now() >= deadline) break;
+    cv_not_empty_.wait_until(lock, deadline);
+  }
+  // The deadline (or close) may have raced one last enqueue notification:
+  // that request is already queued, so take it now rather than stranding
+  // it for a worker that may never come.
+  while (!queue_.empty() && batch.size() < cfg_.max_batch) {
+    batch.push_back(std::move(queue_.front()));
+    queue_.pop_front();
   }
 
   cv_not_full_.notify_all();

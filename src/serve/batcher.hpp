@@ -59,6 +59,12 @@ class DynamicBatcher {
  public:
   explicit DynamicBatcher(const BatcherConfig& cfg);
 
+  /// Destruction with requests still queued (closed but never drained —
+  /// possible when the owner tears down without running workers) fails
+  /// each pending promise with ShutdownError, so waiting futures observe
+  /// a typed shutdown instead of std::future_error(broken_promise).
+  ~DynamicBatcher();
+
   DynamicBatcher(const DynamicBatcher&) = delete;
   DynamicBatcher& operator=(const DynamicBatcher&) = delete;
 

@@ -1,0 +1,64 @@
+#include "tune/conv_space.hpp"
+
+#include <cmath>
+
+namespace pf15::tune {
+
+namespace {
+
+std::vector<double> backend_choices(const gemm::ConvProblem& p,
+                                    const gemm::AutotuneOptions& opt) {
+  std::vector<double> choices;
+  for (const gemm::ConvBackend* b : gemm::candidate_backends(p, opt)) {
+    choices.push_back(static_cast<double>(static_cast<int>(b->kind())));
+  }
+  return choices;
+}
+
+}  // namespace
+
+Space conv_backend_space(const gemm::ConvProblem& p,
+                         const gemm::AutotuneOptions& opt) {
+  Space space;
+  space.add(Dimension::discrete(kConvBackendDim, backend_choices(p, opt)));
+  return space;
+}
+
+Objective conv_backend_objective(const gemm::ConvProblem& p,
+                                 const gemm::AutotuneOptions& opt) {
+  return [p, opt](const Config& config) {
+    const gemm::ConvBackendKind kind = decode_backend(config);
+    return gemm::benchmark_backend(gemm::backend(kind), p, opt);
+  };
+}
+
+gemm::ConvBackendKind decode_backend(const Config& config) {
+  const auto it = config.find(kConvBackendDim);
+  PF15_CHECK_MSG(it != config.end(),
+                 "config lacks a '" << kConvBackendDim << "' dimension");
+  const int raw = static_cast<int>(std::lround(it->second));
+  PF15_CHECK_MSG(raw >= 0 && raw <= 3, "backend code " << raw
+                                                       << " out of range");
+  return static_cast<gemm::ConvBackendKind>(raw);
+}
+
+gemm::ConvPlan tune_conv_backend(const gemm::ConvProblem& p,
+                                 gemm::ConvPlanCache& cache,
+                                 const gemm::AutotuneOptions& opt) {
+  const Space space = conv_backend_space(p, opt);
+  const SearchResult result =
+      grid_search(space, conv_backend_objective(p, opt), /*per_dim=*/1);
+  gemm::ConvPlan plan;
+  plan.kind = decode_backend(result.best.config);
+  plan.best_us = result.best.loss;
+  plan.tuned = true;
+  for (const TrialResult& trial : result.trials) {
+    if (decode_backend(trial.config) == gemm::ConvBackendKind::kIm2col) {
+      plan.im2col_us = trial.loss;
+    }
+  }
+  cache.insert(p, plan);
+  return plan;
+}
+
+}  // namespace pf15::tune

@@ -1,0 +1,396 @@
+// Convolution backend dispatch subsystem: registry contents and
+// applicability, numerical agreement of every backend against the im2col
+// reference on randomized geometries, the autotune plan cache (memoing,
+// overrides, determinism of inputs), Conv2d dispatch through Sequential,
+// the batch-parallel forward path, the explicit Winograd-forward /
+// im2col-backward fallback, and the tune::Space adapter.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "check_failure.hpp"
+#include "gradient_check.hpp"
+
+#include "common/rng.hpp"
+#include "gemm/conv_backend.hpp"
+#include "gemm/gemm.hpp"
+#include "nn/activations.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/network.hpp"
+#include "tune/conv_space.hpp"
+
+namespace pf15 {
+namespace {
+
+using gemm::ConvBackendKind;
+
+gemm::ConvProblem make_problem(std::size_t in_c, std::size_t out_c,
+                               std::size_t hw, std::size_t kernel,
+                               std::size_t stride, std::size_t pad) {
+  gemm::ConvProblem p;
+  p.geom.in_c = in_c;
+  p.geom.in_h = p.geom.in_w = hw;
+  p.geom.kernel_h = p.geom.kernel_w = kernel;
+  p.geom.stride_h = p.geom.stride_w = stride;
+  p.geom.pad_h = p.geom.pad_w = pad;
+  p.out_c = out_c;
+  return p;
+}
+
+/// im2col + naive GEMM ground truth for one image.
+std::vector<float> reference_conv(const gemm::ConvProblem& p,
+                                  const std::vector<float>& image,
+                                  const std::vector<float>& weight,
+                                  const std::vector<float>& bias) {
+  const auto& g = p.geom;
+  std::vector<float> col(g.lowered_rows() * g.lowered_cols());
+  gemm::im2col(g, image.data(), col.data());
+  std::vector<float> out(p.out_c * g.lowered_cols(), 0.0f);
+  gemm::sgemm_naive(false, false, p.out_c, g.lowered_cols(),
+                    g.lowered_rows(), 1.0f, weight.data(), g.lowered_rows(),
+                    col.data(), g.lowered_cols(), 0.0f, out.data(),
+                    g.lowered_cols());
+  if (!bias.empty()) {
+    for (std::size_t oc = 0; oc < p.out_c; ++oc) {
+      for (std::size_t i = 0; i < g.lowered_cols(); ++i) {
+        out[oc * g.lowered_cols() + i] += bias[oc];
+      }
+    }
+  }
+  return out;
+}
+
+// ---- registry --------------------------------------------------------------
+
+TEST(ConvBackendRegistry, AllFourKindsRegistered) {
+  const auto& table = gemm::all_backends();
+  ASSERT_EQ(table.size(), 4u);
+  EXPECT_EQ(table[0]->kind(), ConvBackendKind::kIm2col);
+  EXPECT_EQ(table[1]->kind(), ConvBackendKind::kWinograd);
+  EXPECT_EQ(table[2]->kind(), ConvBackendKind::kFft);
+  EXPECT_EQ(table[3]->kind(), ConvBackendKind::kDirect);
+  for (const auto* b : table) {
+    EXPECT_EQ(&gemm::backend(b->kind()), b);
+  }
+}
+
+TEST(ConvBackendRegistry, NamesRoundTrip) {
+  for (const auto* b : gemm::all_backends()) {
+    const auto parsed = gemm::parse_backend(b->name());
+    ASSERT_TRUE(parsed.has_value()) << b->name();
+    EXPECT_EQ(*parsed, b->kind());
+  }
+  EXPECT_FALSE(gemm::parse_backend("mkl").has_value());
+}
+
+TEST(ConvBackendRegistry, WinogradApplicabilityIs3x3Stride1) {
+  const auto& winograd = gemm::backend(ConvBackendKind::kWinograd);
+  EXPECT_TRUE(winograd.applicable(make_problem(2, 3, 8, 3, 1, 1)));
+  EXPECT_FALSE(winograd.applicable(make_problem(2, 3, 8, 5, 1, 2)));
+  EXPECT_FALSE(winograd.applicable(make_problem(2, 3, 8, 3, 2, 1)));
+  // im2col and direct apply everywhere.
+  for (auto kind : {ConvBackendKind::kIm2col, ConvBackendKind::kDirect}) {
+    EXPECT_TRUE(gemm::backend(kind).applicable(
+        make_problem(2, 3, 8, 5, 3, 2)));
+  }
+}
+
+TEST(ConvBackendRegistry, ApplicableBackendsFilters) {
+  const auto for_5x5 = gemm::applicable_backends(make_problem(2, 3, 9, 5, 2, 2));
+  ASSERT_EQ(for_5x5.size(), 3u);  // everyone but Winograd
+  const auto for_3x3 = gemm::applicable_backends(make_problem(2, 3, 9, 3, 1, 1));
+  EXPECT_EQ(for_3x3.size(), 4u);
+}
+
+// ---- numerical agreement ---------------------------------------------------
+
+struct AgreementCase {
+  std::size_t in_c, out_c, hw, kernel, stride, pad;
+};
+
+class BackendAgreement : public ::testing::TestWithParam<AgreementCase> {};
+
+TEST_P(BackendAgreement, AllBackendsMatchReferenceTo1e4) {
+  const auto c = GetParam();
+  const gemm::ConvProblem p =
+      make_problem(c.in_c, c.out_c, c.hw, c.kernel, c.stride, c.pad);
+
+  Rng rng(0x5eedULL + c.in_c * 131 + c.hw * 17 + c.kernel);
+  std::vector<float> image(c.in_c * c.hw * c.hw);
+  for (auto& v : image) v = rng.uniform(-1.0f, 1.0f);
+  std::vector<float> weight(c.out_c * p.geom.lowered_rows());
+  for (auto& v : weight) v = rng.uniform(-0.5f, 0.5f);
+  std::vector<float> bias(c.out_c);
+  for (auto& v : bias) v = rng.uniform(-0.2f, 0.2f);
+
+  const std::vector<float> ref = reference_conv(p, image, weight, bias);
+  for (const gemm::ConvBackend* b : gemm::applicable_backends(p)) {
+    std::vector<float> out(ref.size(), -77.0f);
+    b->forward(p, image.data(), weight.data(), bias.data(), out.data(),
+               /*parallel_ok=*/false);
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      ASSERT_NEAR(out[i], ref[i], 1e-4f)
+          << b->name() << " element " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomGeometries, BackendAgreement,
+    ::testing::Values(AgreementCase{1, 1, 5, 3, 1, 1},   // minimal 3x3
+                      AgreementCase{3, 8, 12, 3, 1, 1},  // even spatial
+                      AgreementCase{4, 2, 11, 3, 1, 0},  // odd, no pad
+                      AgreementCase{2, 5, 9, 5, 1, 2},   // 5x5 stride 1
+                      AgreementCase{5, 3, 10, 5, 2, 2},  // strided 5x5
+                      AgreementCase{2, 4, 7, 1, 1, 0},   // pointwise
+                      AgreementCase{3, 3, 8, 3, 2, 1},   // strided 3x3
+                      AgreementCase{1, 2, 6, 4, 2, 1})); // even kernel
+
+// ---- autotune + plan cache -------------------------------------------------
+
+gemm::AutotuneOptions fast_tune() {
+  gemm::AutotuneOptions opt;
+  opt.warmup = 0;
+  opt.reps = 1;
+  return opt;
+}
+
+TEST(Autotune, WinnerIsApplicableAndNeverSlowerThanIm2col) {
+  const gemm::ConvProblem p = make_problem(4, 6, 12, 3, 1, 1);
+  const gemm::ConvPlan plan = gemm::autotune(p, fast_tune());
+  EXPECT_TRUE(plan.tuned);
+  EXPECT_TRUE(gemm::backend(plan.kind).applicable(p));
+  EXPECT_LE(plan.best_us, plan.im2col_us);
+  EXPECT_GT(plan.best_us, 0.0);
+}
+
+TEST(Autotune, BenchmarkRejectsInapplicableBackend) {
+  const gemm::ConvProblem strided = make_problem(2, 2, 8, 3, 2, 1);
+  PF15_EXPECT_CHECK_FAIL(
+      gemm::benchmark_backend(gemm::backend(ConvBackendKind::kWinograd),
+                              strided, fast_tune()),
+      "not applicable");
+}
+
+TEST(PlanCache, MemoizesFirstSightAndCountsHits) {
+  gemm::ConvPlanCache cache(fast_tune());
+  const gemm::ConvProblem p = make_problem(2, 3, 10, 3, 1, 1);
+  EXPECT_FALSE(cache.lookup(p).has_value());
+  const gemm::ConvPlan first = cache.plan(p);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+  const gemm::ConvPlan again = cache.plan(p);
+  EXPECT_EQ(cache.hits(), 1u);
+  // The memo returns the identical plan, not a re-measurement.
+  EXPECT_EQ(again.kind, first.kind);
+  EXPECT_EQ(again.best_us, first.best_us);
+  ASSERT_TRUE(cache.lookup(p).has_value());
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.hits(), 0u);
+}
+
+TEST(PlanCache, DistinctGeometriesGetDistinctEntries) {
+  gemm::ConvPlanCache cache(fast_tune());
+  cache.plan(make_problem(2, 3, 10, 3, 1, 1));
+  cache.plan(make_problem(2, 3, 12, 3, 1, 1));  // differs in spatial only
+  cache.plan(make_problem(2, 4, 10, 3, 1, 1));  // differs in out_c only
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_EQ(cache.misses(), 3u);
+}
+
+TEST(PlanCache, InsertOverridesTheTunedPlan) {
+  gemm::ConvPlanCache cache(fast_tune());
+  const gemm::ConvProblem p = make_problem(2, 3, 10, 3, 1, 1);
+  gemm::ConvPlan forced;
+  forced.kind = ConvBackendKind::kDirect;
+  forced.tuned = false;
+  cache.insert(p, forced);
+  EXPECT_EQ(cache.plan(p).kind, ConvBackendKind::kDirect);
+  EXPECT_FALSE(cache.plan(p).tuned);
+}
+
+// ---- Conv2d dispatch -------------------------------------------------------
+
+nn::Conv2dConfig conv_config(std::size_t in_c, std::size_t out_c,
+                             std::size_t kernel, std::size_t stride,
+                             std::size_t pad, nn::ConvAlgo algo) {
+  nn::Conv2dConfig cfg;
+  cfg.in_channels = in_c;
+  cfg.out_channels = out_c;
+  cfg.kernel = kernel;
+  cfg.stride = stride;
+  cfg.pad = pad;
+  cfg.bias = true;
+  cfg.algo = algo;
+  return cfg;
+}
+
+TEST(Conv2dDispatch, EveryForcedBackendMatchesIm2colThroughSequential) {
+  const Shape in_shape{3, 2, 12, 12};
+  Rng data_rng(11);
+  Tensor input(in_shape);
+  input.fill_uniform(data_rng, -1.0f, 1.0f);
+
+  auto build = [&](nn::ConvAlgo algo) {
+    Rng rng(42);  // same seed -> identical weights across variants
+    nn::Sequential net;
+    net.add(std::make_unique<nn::Conv2d>(
+        "c1", conv_config(2, 5, 3, 1, 1, algo), rng));
+    net.add(std::make_unique<nn::ReLU>("r1"));
+    net.add(std::make_unique<nn::Conv2d>(
+        "c2", conv_config(5, 4, 3, 1, 1, algo), rng));
+    return net;
+  };
+
+  nn::Sequential reference = build(nn::ConvAlgo::kIm2col);
+  const Tensor& ref_out = reference.forward(input);
+  for (auto algo : {nn::ConvAlgo::kWinograd, nn::ConvAlgo::kFft,
+                    nn::ConvAlgo::kDirect, nn::ConvAlgo::kAuto}) {
+    nn::Sequential net = build(algo);
+    const Tensor& out = net.forward(input);
+    ASSERT_EQ(out.shape(), ref_out.shape());
+    for (std::size_t i = 0; i < out.numel(); ++i) {
+      ASSERT_NEAR(out.data()[i], ref_out.data()[i], 1e-4f)
+          << "algo " << static_cast<int>(algo) << " element " << i;
+    }
+  }
+}
+
+TEST(Conv2dDispatch, ForcedBackendsReportThemselves) {
+  const Shape in_shape{2, 2, 10, 10};
+  Rng data_rng(5);
+  Tensor input(in_shape), out;
+  input.fill_uniform(data_rng, -1.0f, 1.0f);
+  const struct {
+    nn::ConvAlgo algo;
+    ConvBackendKind kind;
+  } cases[] = {
+      {nn::ConvAlgo::kIm2col, ConvBackendKind::kIm2col},
+      {nn::ConvAlgo::kWinograd, ConvBackendKind::kWinograd},
+      {nn::ConvAlgo::kFft, ConvBackendKind::kFft},
+      {nn::ConvAlgo::kDirect, ConvBackendKind::kDirect},
+  };
+  for (const auto& c : cases) {
+    Rng rng(7);
+    nn::Conv2d conv("c", conv_config(2, 3, 3, 1, 1, c.algo), rng);
+    EXPECT_EQ(conv.forward_backend(in_shape), c.kind);
+    conv.forward(input, out);
+    EXPECT_EQ(conv.last_forward_backend(), c.kind);
+    // Backward is always the im2col adjoint — the fallback is explicit.
+    EXPECT_EQ(conv.backward_backend(), ConvBackendKind::kIm2col);
+  }
+}
+
+TEST(Conv2dDispatch, AutoResolvesThroughGlobalPlanCache) {
+  Rng rng(7);
+  nn::Conv2d conv("c", conv_config(2, 3, 3, 1, 1, nn::ConvAlgo::kAuto), rng);
+  const Shape in_shape{1, 2, 10, 10};
+  gemm::ConvProblem p = make_problem(2, 3, 10, 3, 1, 1);
+  // Pre-seed the cache so the test controls the plan instead of timing.
+  gemm::ConvPlan forced;
+  forced.kind = ConvBackendKind::kDirect;
+  gemm::ConvPlanCache::global().insert(p, forced);
+  EXPECT_EQ(conv.forward_backend(in_shape), ConvBackendKind::kDirect);
+  Tensor input(in_shape), out;
+  input.fill_uniform(rng, -1.0f, 1.0f);
+  conv.forward(input, out);
+  EXPECT_EQ(conv.last_forward_backend(), ConvBackendKind::kDirect);
+  // flops follow the dispatched backend.
+  EXPECT_EQ(conv.forward_flops(in_shape),
+            gemm::backend(ConvBackendKind::kDirect).flops(p) +
+                p.geom.lowered_cols() * p.out_c);
+}
+
+TEST(Conv2dDispatch, ForcedWinogradOnBadGeometryIsRefused) {
+  Rng rng(7);
+  PF15_EXPECT_CHECK_FAIL(
+      nn::Conv2d("c", conv_config(2, 3, 5, 1, 2, nn::ConvAlgo::kWinograd),
+                 rng),
+      "Winograd requires 3x3 stride-1");
+}
+
+TEST(Conv2dDispatch, BatchParallelForwardMatchesPerImageForward) {
+  // The batch > 1 path fans images across the thread pool; it must be
+  // bit-identical to serial single-image forwards of the same layer.
+  Rng rng(21);
+  nn::Conv2d conv("c", conv_config(3, 6, 3, 1, 1, nn::ConvAlgo::kDirect),
+                  rng);
+  const std::size_t n = 9;
+  Tensor batch(Shape{n, 3, 13, 13});
+  batch.fill_uniform(rng, -1.0f, 1.0f);
+  Tensor batched_out;
+  conv.forward(batch, batched_out);
+
+  const std::size_t in_img = 3 * 13 * 13;
+  Tensor one(Shape{1, 3, 13, 13}), one_out;
+  const std::size_t out_img = batched_out.numel() / n;
+  for (std::size_t img = 0; img < n; ++img) {
+    std::copy(batch.data() + img * in_img,
+              batch.data() + (img + 1) * in_img, one.data());
+    conv.forward(one, one_out);
+    for (std::size_t i = 0; i < out_img; ++i) {
+      ASSERT_EQ(one_out.data()[i], batched_out.data()[img * out_img + i])
+          << "image " << img << " element " << i;
+    }
+  }
+}
+
+// ---- explicit backward fallback --------------------------------------------
+
+TEST(Conv2dDispatch, WinogradForwardIm2colBackwardGradientCheck) {
+  // The satellite bug: Winograd forward used to silently share scratch
+  // sizing with the im2col backward. The fallback is now explicit and the
+  // gradient must be exact for the combined path.
+  Rng rng(31);
+  nn::Conv2d conv("c", conv_config(2, 3, 3, 1, 1, nn::ConvAlgo::kWinograd),
+                  rng);
+  Tensor input(Shape{2, 2, 8, 8});
+  input.fill_uniform(rng, -1.0f, 1.0f);
+  EXPECT_EQ(conv.forward_backend(input.shape()),
+            ConvBackendKind::kWinograd);
+  testing::check_layer_gradients(conv, input);
+  EXPECT_EQ(conv.last_forward_backend(), ConvBackendKind::kWinograd);
+  EXPECT_EQ(conv.backward_backend(), ConvBackendKind::kIm2col);
+}
+
+TEST(Conv2dDispatch, DirectForwardIm2colBackwardGradientCheck) {
+  Rng rng(33);
+  nn::Conv2d conv("c", conv_config(2, 3, 3, 2, 1, nn::ConvAlgo::kDirect),
+                  rng);
+  Tensor input(Shape{2, 2, 9, 9});
+  input.fill_uniform(rng, -1.0f, 1.0f);
+  testing::check_layer_gradients(conv, input);
+}
+
+// ---- tune::Space adapter ---------------------------------------------------
+
+TEST(ConvSpace, EncodesApplicableBackends) {
+  const gemm::ConvProblem p = make_problem(2, 3, 10, 3, 1, 1);
+  const tune::Space space = tune::conv_backend_space(p);
+  ASSERT_EQ(space.size(), 1u);
+  const auto& dim = space.dimensions()[0];
+  EXPECT_EQ(dim.name, tune::kConvBackendDim);
+  // 3x3 stride-1: im2col, winograd, direct always; fft only if it clears
+  // the flops cutoff.
+  EXPECT_GE(dim.choices.size(), 3u);
+  for (double choice : dim.choices) {
+    tune::Config config{{tune::kConvBackendDim, choice}};
+    EXPECT_TRUE(gemm::backend(tune::decode_backend(config)).applicable(p));
+  }
+}
+
+TEST(ConvSpace, GridSearchFindsWinnerAndInstallsPlan) {
+  const gemm::ConvProblem p = make_problem(2, 3, 10, 3, 1, 1);
+  gemm::ConvPlanCache cache(fast_tune());
+  const gemm::ConvPlan plan =
+      tune::tune_conv_backend(p, cache, fast_tune());
+  EXPECT_TRUE(plan.tuned);
+  EXPECT_LE(plan.best_us, plan.im2col_us);
+  ASSERT_TRUE(cache.lookup(p).has_value());
+  EXPECT_EQ(cache.lookup(p)->kind, plan.kind);
+}
+
+}  // namespace
+}  // namespace pf15

@@ -9,9 +9,11 @@
 
 #include "check_failure.hpp"
 #include "common/rng.hpp"
+#include "gemm/conv_backend.hpp"
 #include "gemm/fft_conv.hpp"
 #include "gemm/gemm.hpp"
 #include "gemm/im2col.hpp"
+#include "nn/conv2d.hpp"
 
 namespace pf15::gemm {
 namespace {
@@ -138,6 +140,18 @@ INSTANTIATE_TEST_SUITE_P(
         std::make_tuple(4u, 4u, 6u, 1u, 1u, 0u),
         std::make_tuple(2u, 2u, 10u, 9u, 1u, 4u)));
 
+// Stride-1 kernels across odd/even spatial sizes and every padding the
+// kernel admits: the geometry class the dispatch path (Conv2d -> backend
+// registry) exposes to FFT.
+INSTANTIATE_TEST_SUITE_P(
+    Stride1OddEvenPadding, FftConvSweep,
+    ::testing::Combine(::testing::Values(1u, 3u),         // in_c
+                       ::testing::Values(2u),             // out_c
+                       ::testing::Values(7u, 8u, 13u, 16u),  // odd + even hw
+                       ::testing::Values(1u, 3u, 5u),     // stride-1 kernels
+                       ::testing::Values(1u),             // stride
+                       ::testing::Values(0u, 1u, 2u)));   // padding
+
 TEST(FftConvFlops, CrossoverFavorsLargeKernels) {
   // Direct cost ~ K² per output; FFT cost ~ log terms independent of K.
   // At 3x3 the direct path must win; at large kernels FFT must win.
@@ -153,6 +167,42 @@ TEST(FftConvFlops, CrossoverFavorsLargeKernels) {
       2ull * c * c * hw * hw * big_k * big_k;
   const std::uint64_t fft_big = fft_conv_flops(c, c, hw, hw, big_k, 12);
   EXPECT_GT(direct_big, fft_big) << "large kernels favour FFT";
+}
+
+// Dispatch-path coverage: the same FFT kernel reached through the layer
+// (Conv2d with ConvAlgo::kFft inside the backend registry) must agree
+// with the layer's im2col path, odd and even spatial sizes alike.
+TEST(FftConv, DispatchThroughConv2dMatchesIm2col) {
+  for (std::size_t hw : {9u, 12u}) {
+    nn::Conv2dConfig cfg;
+    cfg.in_channels = 3;
+    cfg.out_channels = 4;
+    cfg.kernel = 3;
+    cfg.stride = 1;
+    cfg.pad = 1;
+    cfg.bias = true;
+
+    Rng rng_ref(17);
+    cfg.algo = nn::ConvAlgo::kIm2col;
+    nn::Conv2d reference("ref", cfg, rng_ref);
+    Rng rng_fft(17);  // identical weights
+    cfg.algo = nn::ConvAlgo::kFft;
+    nn::Conv2d fft_conv("fft", cfg, rng_fft);
+    ASSERT_EQ(fft_conv.forward_backend(Shape{2, 3, hw, hw}),
+              ConvBackendKind::kFft);
+
+    Rng data(23);
+    Tensor in(Shape{2, 3, hw, hw});
+    in.fill_uniform(data, -1.0f, 1.0f);
+    Tensor ref_out, fft_out;
+    reference.forward(in, ref_out);
+    fft_conv.forward(in, fft_out);
+    ASSERT_EQ(fft_out.shape(), ref_out.shape());
+    for (std::size_t i = 0; i < ref_out.numel(); ++i) {
+      ASSERT_NEAR(fft_out.data()[i], ref_out.data()[i], 1e-4f)
+          << "hw " << hw << " element " << i;
+    }
+  }
 }
 
 TEST(FftConv, RejectsKernelLargerThanInput) {

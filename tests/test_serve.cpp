@@ -389,6 +389,104 @@ TEST(Batcher, CloseRefusesNewAndDrainsOld) {
   EXPECT_TRUE(batcher.next_batch().empty());
 }
 
+// Stress the submit-vs-shutdown race: producers hammer submit/try_submit
+// while workers drain with a max_wait short enough that the linger
+// deadline regularly elapses exactly as close() lands. The invariant:
+// every request the batcher *accepted* is served exactly once (its future
+// resolves), every rejected submission threw ShutdownError, and nothing
+// hangs or is lost in the timed-wait wakeup.
+TEST(Batcher, StressSubmitRacingShutdown) {
+  constexpr int kRounds = 12;
+  for (int round = 0; round < kRounds; ++round) {
+    serve::BatcherConfig cfg;
+    cfg.max_batch = 4;
+    cfg.max_wait_us = 100 + 40 * static_cast<std::uint64_t>(round % 4);
+    cfg.queue_capacity = 8;
+    serve::DynamicBatcher batcher(cfg);
+
+    std::atomic<int> served{0};
+    std::vector<std::thread> workers;
+    for (int w = 0; w < 2; ++w) {
+      workers.emplace_back([&] {
+        while (true) {
+          auto batch = batcher.next_batch();
+          if (batch.empty()) return;  // closed and drained
+          for (auto& req : batch) {
+            req.result.set_value(req.input.clone());
+            served.fetch_add(1);
+          }
+        }
+      });
+    }
+
+    constexpr int kProducers = 4;
+    constexpr int kPerProducer = 40;
+    std::atomic<int> accepted{0};
+    std::atomic<int> rejected{0};
+    std::atomic<int> fulfilled{0};
+    std::vector<std::thread> producers;
+    for (int p = 0; p < kProducers; ++p) {
+      producers.emplace_back([&, p] {
+        for (int i = 0; i < kPerProducer; ++i) {
+          Tensor t(Shape{1});
+          t.fill(static_cast<float>(p * kPerProducer + i));
+          try {
+            std::future<Tensor> fut =
+                (i % 2 == 0) ? batcher.submit(std::move(t))
+                             : [&]() -> std::future<Tensor> {
+                                 auto maybe =
+                                     batcher.try_submit(std::move(t));
+                                 if (!maybe.has_value()) {
+                                   throw serve::ShutdownError("full");
+                                 }
+                                 return std::move(*maybe);
+                               }();
+            accepted.fetch_add(1);
+            // An accepted request must resolve with the right payload.
+            EXPECT_FLOAT_EQ(fut.get().at(0),
+                            static_cast<float>(p * kPerProducer + i));
+            fulfilled.fetch_add(1);
+          } catch (const serve::ShutdownError&) {
+            rejected.fetch_add(1);
+          }
+        }
+      });
+    }
+
+    // Let traffic flow briefly, then slam the door mid-stream. The varied
+    // sleep lands close() at different phases of the workers' linger
+    // window, including "deadline just elapsed".
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(200 + 150 * (round % 5)));
+    batcher.close();
+
+    for (auto& t : producers) t.join();
+    for (auto& t : workers) t.join();
+
+    EXPECT_EQ(accepted.load() + rejected.load(),
+              kProducers * kPerProducer);
+    EXPECT_EQ(fulfilled.load(), accepted.load());
+    EXPECT_EQ(served.load(), accepted.load());
+  }
+}
+
+TEST(Batcher, DestructionFailsPendingRequestsWithShutdownError) {
+  // A batcher destroyed with accepted-but-undrained requests (no worker
+  // ever ran) must fail those futures with ShutdownError, not
+  // std::future_error(broken_promise).
+  std::future<Tensor> orphan;
+  {
+    serve::BatcherConfig cfg;
+    cfg.max_batch = 4;
+    cfg.max_wait_us = 0;
+    cfg.queue_capacity = 4;
+    serve::DynamicBatcher batcher(cfg);
+    orphan = batcher.submit(Tensor(Shape{1}));
+    batcher.close();
+  }
+  EXPECT_THROW(orphan.get(), serve::ShutdownError);
+}
+
 // ---- perf latency recorder -------------------------------------------------
 
 TEST(LatencyRecorder, NearestRankPercentiles) {
