@@ -1,20 +1,33 @@
 // Convolution backend sweep: every registered gemm::ConvBackend timed on
-// representative HEP-net and climate-net layer geometries, compared with
-// the autotune plan cache's pick, and recorded as a machine-readable JSON
-// perf record (BENCH_conv_backends.json) so the perf trajectory of the
-// system's hottest path is tracked PR over PR.
+// representative HEP-net and climate-net layer geometries — forward,
+// backward-data and backward-filter — compared with the autotune plan
+// cache's per-phase pick, plus a batched mode that drives the nn::Conv2d
+// thread-pool batch loop end to end (forward and backward). Everything is
+// recorded as a machine-readable JSON perf record
+// (BENCH_conv_backends.json) so the perf trajectory of the system's
+// hottest path is tracked PR over PR.
 //
-// Usage: bench_conv_backends [--json PATH] [--reps N]
+// With --cache PATH the tuned plans persist across runs through
+// ConvPlanCache::save/load; --require-warm turns "the second run tunes
+// nothing" into an exit-code check (the warm-start acceptance).
+//
+// Usage: bench_conv_backends [--json PATH] [--reps N] [--batch N]
+//                            [--cache PATH] [--no-sweep] [--require-warm]
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "common/errors.hpp"
+#include "common/rng.hpp"
 #include "common/thread_pool.hpp"
+#include "common/timer.hpp"
 #include "gemm/conv_backend.hpp"
+#include "nn/conv2d.hpp"
 #include "perf/json.hpp"
 #include "perf/report.hpp"
+#include "tensor/tensor.hpp"
 
 namespace {
 
@@ -43,7 +56,7 @@ gemm::ConvProblem make_problem(std::size_t in_c, std::size_t out_c,
 // 3x3/1 conv units at halving resolution (224 -> 14). Climate: 5x5/2
 // encoder stages and 3x3/1 detection heads on the coarse grid
 // (768 >> 5 = 24). Spatial sizes of the earliest stages are reduced to
-// keep the bench under a minute; channel structure is kept exact.
+// keep the bench under a few minutes; channel structure is kept exact.
 std::vector<NamedProblem> geometries() {
   return {
       {"hep.conv1_scaled", "hep", make_problem(3, 128, 56, 3, 1, 1)},
@@ -56,10 +69,28 @@ std::vector<NamedProblem> geometries() {
   };
 }
 
+/// Times `reps` calls of `fn` (one untimed warmup), returns min seconds.
+template <typename Fn>
+double time_min(std::size_t reps, const Fn& fn) {
+  fn();
+  double best = 0.0;
+  for (std::size_t i = 0; i < std::max<std::size_t>(1, reps); ++i) {
+    WallTimer timer;
+    fn();
+    const double s = timer.seconds();
+    if (i == 0 || s < best) best = s;
+  }
+  return best;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string json_path = "BENCH_conv_backends.json";
+  std::string cache_path;
+  std::size_t batch = 8;
+  bool no_sweep = false;
+  bool require_warm = false;
   gemm::AutotuneOptions opt;
   opt.reps = 3;
   // Tighter than the autotune default: candidates the cost model already
@@ -71,28 +102,53 @@ int main(int argc, char** argv) {
       json_path = argv[++i];
     } else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
       opt.reps = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--batch") == 0 && i + 1 < argc) {
+      batch = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--cache") == 0 && i + 1 < argc) {
+      cache_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--no-sweep") == 0) {
+      no_sweep = true;
+    } else if (std::strcmp(argv[i], "--require-warm") == 0) {
+      require_warm = true;
     } else {
-      std::fprintf(stderr, "usage: %s [--json PATH] [--reps N]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--json PATH] [--reps N] [--batch N] "
+                   "[--cache PATH] [--no-sweep] [--require-warm]\n",
+                   argv[0]);
       return 2;
     }
   }
 
   gemm::ConvPlanCache cache(opt);
-  perf::Table table({"geometry", "backend", "us/img", "GFLOP/s", "chosen"});
+  bool warm_start = false;
+  if (!cache_path.empty()) {
+    try {
+      cache.load(cache_path);
+      warm_start = true;
+      std::printf("loaded %zu plans from %s\n", cache.size(),
+                  cache_path.c_str());
+    } catch (const Error& e) {
+      std::fprintf(stderr, "cold start (%s)\n", e.what());
+    }
+  }
+
+  perf::Table table({"geometry", "phase", "backend", "us/img", "GFLOP/s",
+                     "chosen"});
   perf::Json record = perf::Json::object();
   record.set("bench", "conv_backends");
   record.set("unit", "microseconds_per_image");
   record.set("threads", ThreadPool::global().size());
   record.set("reps", opt.reps);
+  record.set("batch", batch);
+  record.set("warm_start", warm_start);
   perf::Json rows = perf::Json::array();
 
-  bool plan_never_slower = true;
+  bool fwd_never_slower = true;
+  bool bwd_never_slower = true;
   std::size_t non_im2col_hep = 0;
   std::size_t non_im2col_climate = 0;
 
   for (const NamedProblem& np : geometries()) {
-    const gemm::ConvPlan plan = cache.plan(np.problem);
-
     perf::Json row = perf::Json::object();
     row.set("name", np.name);
     row.set("net", np.net);
@@ -105,69 +161,153 @@ int main(int argc, char** argv) {
     geom.set("pad", np.problem.geom.pad_h);
     row.set("geometry", std::move(geom));
 
-    perf::Json backends = perf::Json::array();
-    double im2col_us = 0.0;
-    // candidate_backends applies the same analytic cutoff autotune does
-    // (e.g. FFT at 3x3 never gets timed).
-    for (const gemm::ConvBackend* b :
-         gemm::candidate_backends(np.problem, opt)) {
-      perf::Json entry = perf::Json::object();
-      entry.set("backend", b->name());
-      const double b_flops = static_cast<double>(b->flops(np.problem));
-      const double us = gemm::benchmark_backend(*b, np.problem, opt);
-      if (b->kind() == gemm::ConvBackendKind::kIm2col) im2col_us = us;
-      entry.set("us_per_image", us);
-      entry.set("gflops", b_flops / us * 1e-3);
-      backends.push_back(std::move(entry));
-      table.add_row({np.name, b->name(), perf::Table::num(us, 1),
-                     perf::Table::num(b_flops / us * 1e-3, 2),
-                     b->kind() == plan.kind ? "<== plan" : ""});
-    }
-    row.set("backends", std::move(backends));
+    perf::Json phases = perf::Json::object();
+    for (const gemm::ConvPhase phase : gemm::kAllConvPhases) {
+      const gemm::ConvPlan plan = cache.plan(np.problem, phase);
+      perf::Json phase_rec = perf::Json::object();
 
-    perf::Json chosen = perf::Json::object();
-    chosen.set("backend", gemm::to_string(plan.kind));
-    chosen.set("us_per_image", plan.best_us);
-    chosen.set("im2col_us", plan.im2col_us);
-    // The sweep above re-times im2col independently of the tuning pass;
-    // keep it in the record as a noise gauge for the tuned numbers.
-    chosen.set("im2col_remeasured_us", im2col_us);
-    chosen.set("speedup_vs_im2col",
-               plan.best_us > 0 ? plan.im2col_us / plan.best_us : 0.0);
-    // The plan is chosen as the argmin of the same micro-benchmark that
-    // produced im2col_us, so this holds by construction up to re-measure
-    // noise.
-    const bool not_slower = plan.best_us <= plan.im2col_us * 1.0001;
-    chosen.set("not_slower_than_im2col", not_slower);
-    plan_never_slower = plan_never_slower && not_slower;
-    row.set("plan", std::move(chosen));
+      if (!no_sweep) {
+        perf::Json backends = perf::Json::array();
+        // candidate_backends applies the same analytic cutoff autotune
+        // does (e.g. FFT at 3x3 never gets timed; FFT declines backward).
+        for (const gemm::ConvBackend* b :
+             gemm::candidate_backends(np.problem, opt, phase)) {
+          perf::Json entry = perf::Json::object();
+          entry.set("backend", b->name());
+          const double b_flops =
+              static_cast<double>(b->flops(np.problem, phase));
+          const double us =
+              gemm::benchmark_backend(*b, np.problem, opt, phase);
+          entry.set("us_per_image", us);
+          entry.set("gflops", b_flops / us * 1e-3);
+          backends.push_back(std::move(entry));
+          table.add_row({np.name, gemm::to_string(phase), b->name(),
+                         perf::Table::num(us, 1),
+                         perf::Table::num(b_flops / us * 1e-3, 2),
+                         b->kind() == plan.kind ? "<== plan" : ""});
+        }
+        phase_rec.set("backends", std::move(backends));
+      }
+
+      perf::Json chosen = perf::Json::object();
+      chosen.set("backend", gemm::to_string(plan.kind));
+      chosen.set("us_per_image", plan.best_us);
+      chosen.set("im2col_us", plan.im2col_us);
+      chosen.set("speedup_vs_im2col",
+                 plan.best_us > 0 ? plan.im2col_us / plan.best_us : 0.0);
+      // The plan is the argmin of the same micro-benchmark that produced
+      // im2col_us, so this holds by construction up to re-measure noise.
+      const bool not_slower = plan.best_us <= plan.im2col_us * 1.0001;
+      chosen.set("not_slower_than_im2col", not_slower);
+      phase_rec.set("plan", std::move(chosen));
+      phases.set(gemm::to_string(phase), std::move(phase_rec));
+
+      if (phase == gemm::ConvPhase::kForward) {
+        fwd_never_slower = fwd_never_slower && not_slower;
+        if (plan.kind != gemm::ConvBackendKind::kIm2col) {
+          if (std::strcmp(np.net, "hep") == 0) ++non_im2col_hep;
+          if (std::strcmp(np.net, "climate") == 0) ++non_im2col_climate;
+        }
+      } else {
+        bwd_never_slower = bwd_never_slower && not_slower;
+      }
+    }
+    row.set("phases", std::move(phases));
+
+    if (!no_sweep && batch > 1) {
+      // End-to-end thread-pool batch loop through the nn::Conv2d layer:
+      // install the tuned plans into the global cache so kAuto dispatches
+      // to exactly the plans measured above, then time forward and
+      // backward over a full batch.
+      for (const gemm::ConvPhase phase : gemm::kAllConvPhases) {
+        gemm::ConvPlanCache::global().insert(np.problem, phase,
+                                             cache.plan(np.problem, phase));
+      }
+      Rng rng(0x9f15);
+      nn::Conv2dConfig cfg;
+      cfg.in_channels = np.problem.geom.in_c;
+      cfg.out_channels = np.problem.out_c;
+      cfg.kernel = np.problem.geom.kernel_h;
+      cfg.stride = np.problem.geom.stride_h;
+      cfg.pad = np.problem.geom.pad_h;
+      cfg.algo = nn::ConvAlgo::kAuto;
+      nn::Conv2d conv("bench", cfg, rng);
+      Tensor input(Shape{batch, np.problem.geom.in_c, np.problem.geom.in_h,
+                         np.problem.geom.in_w});
+      input.fill_uniform(rng, -1.0f, 1.0f);
+      Tensor out, din;
+      const double fwd_s =
+          time_min(opt.reps, [&] { conv.forward(input, out); });
+      Tensor dout(out.shape());
+      dout.fill_uniform(rng, -1.0f, 1.0f);
+      const double bwd_s =
+          time_min(opt.reps, [&] { conv.backward(input, dout, din); });
+
+      perf::Json batched = perf::Json::object();
+      batched.set("batch", batch);
+      batched.set("forward_us_per_image",
+                  fwd_s * 1e6 / static_cast<double>(batch));
+      batched.set("backward_us_per_image",
+                  bwd_s * 1e6 / static_cast<double>(batch));
+      batched.set("forward_backend",
+                  gemm::to_string(conv.last_forward_backend()));
+      batched.set("backward_data_backend",
+                  gemm::to_string(conv.last_backward_data_backend()));
+      batched.set("backward_filter_backend",
+                  gemm::to_string(conv.last_backward_filter_backend()));
+      row.set("batched", std::move(batched));
+      table.add_row({np.name, "batched fwd",
+                     gemm::to_string(conv.last_forward_backend()),
+                     perf::Table::num(fwd_s * 1e6 / batch, 1), "", ""});
+      table.add_row({np.name, "batched bwd",
+                     gemm::to_string(conv.last_backward_data_backend()),
+                     perf::Table::num(bwd_s * 1e6 / batch, 1), "", ""});
+    }
+
     rows.push_back(std::move(row));
-
-    if (plan.kind != gemm::ConvBackendKind::kIm2col) {
-      if (std::strcmp(np.net, "hep") == 0) ++non_im2col_hep;
-      if (std::strcmp(np.net, "climate") == 0) ++non_im2col_climate;
-    }
   }
 
+  const std::uint64_t first_sight_tunes = cache.misses();
   record.set("geometries", std::move(rows));
   perf::Json summary = perf::Json::object();
-  summary.set("plan_never_slower_than_im2col", plan_never_slower);
+  summary.set("plan_never_slower_than_im2col", fwd_never_slower);
+  summary.set("backward_plans_never_slower_than_im2col", bwd_never_slower);
   summary.set("non_im2col_hep_geometries", non_im2col_hep);
   summary.set("non_im2col_climate_geometries", non_im2col_climate);
+  summary.set("first_sight_tunes", first_sight_tunes);
+  summary.set("cache_hits", cache.hits());
   record.set("summary", std::move(summary));
   record.write_file(json_path);
 
+  if (!cache_path.empty()) {
+    cache.save(cache_path);
+    std::printf("saved %zu plans to %s\n", cache.size(), cache_path.c_str());
+  }
+
   std::printf("%s\n", table.str().c_str());
-  std::printf("plan never slower than im2col: %s\n",
-              plan_never_slower ? "yes" : "NO");
-  std::printf("non-im2col plans: hep %zu, climate %zu\n", non_im2col_hep,
-              non_im2col_climate);
+  std::printf("forward plans never slower than im2col: %s\n",
+              fwd_never_slower ? "yes" : "NO");
+  std::printf("backward plans never slower than im2col: %s\n",
+              bwd_never_slower ? "yes" : "NO");
+  std::printf("non-im2col forward plans: hep %zu, climate %zu\n",
+              non_im2col_hep, non_im2col_climate);
+  std::printf("first-sight tunes this run: %llu\n",
+              static_cast<unsigned long long>(first_sight_tunes));
   std::printf("wrote %s\n", json_path.c_str());
 
+  // Warm-start acceptance: with a loaded cache, every plan request above
+  // must have been a hit.
+  if (require_warm && first_sight_tunes > 0) {
+    std::fprintf(stderr, "FAIL: expected a warm cache but %llu problems "
+                         "tuned from scratch\n",
+                 static_cast<unsigned long long>(first_sight_tunes));
+    return 3;
+  }
   // The acceptance bar for the autotuner: at least one HEP and one
-  // climate geometry must beat im2col, and the chosen plan must never be
-  // slower than the reference it raced against.
-  if (!plan_never_slower || non_im2col_hep == 0 || non_im2col_climate == 0) {
+  // climate geometry must beat im2col forward, and no chosen plan (any
+  // phase) may be slower than the reference it raced against.
+  if (!fwd_never_slower || !bwd_never_slower || non_im2col_hep == 0 ||
+      non_im2col_climate == 0) {
     return 1;
   }
   return 0;

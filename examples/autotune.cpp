@@ -87,10 +87,20 @@ int main() {
     gemm::ConvPlanCache cache(opt);
     const auto plan = cache.plan(p);
     std::printf("grid search winner: %s; plan cache winner: %s "
-                "(%.2fx vs im2col)\n\n",
+                "(%.2fx vs im2col)\n",
                 gemm::to_string(tune::decode_backend(result.best.config)),
                 gemm::to_string(plan.kind),
                 plan.best_us > 0 ? plan.im2col_us / plan.best_us : 0.0);
+    // Training tunes the two backward phases independently — the best
+    // forward backend is routinely not the best gradient backend.
+    for (const auto phase : {gemm::ConvPhase::kBackwardData,
+                             gemm::ConvPhase::kBackwardFilter}) {
+      const auto bwd = cache.plan(p, phase);
+      std::printf("%-16s winner: %s (%.2fx vs im2col adjoint)\n",
+                  gemm::to_string(phase), gemm::to_string(bwd.kind),
+                  bwd.best_us > 0 ? bwd.im2col_us / bwd.best_us : 0.0);
+    }
+    std::printf("\n");
   }
 
   // ---- Level 1: successive halving over the search space ----------------

@@ -2,10 +2,13 @@
 # Tier-1 verify: configure, build, and run the full test suite.
 # Single entry point shared by developers and CI.
 #
-# The build turns warnings into errors for the kernel (src/gemm) and layer
-# (src/nn) subsystems, and the convolution backend sweep records the perf
-# trajectory of the hottest path into BENCH_conv_backends.json at the repo
-# root (diff it PR over PR).
+# The build turns warnings into errors for the kernel (src/gemm), layer
+# (src/nn), tuning (src/tune) and serving (src/serve) subsystems. The
+# convolution backend sweep records the perf trajectory of the hottest
+# path — forward AND backward, per-image and batched — into
+# BENCH_conv_backends.json at the repo root (diff it PR over PR), then a
+# second run proves the persisted plan cache warm-starts: zero first-sight
+# tunes, enforced by the bench's exit code.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -18,10 +21,25 @@ cmake --build build -j"$jobs"
 # Perf record, not a gate: exit 1 means the timing-dependent acceptance
 # check (autotune beat im2col somewhere) didn't hold on this machine —
 # warn, keep the record. Any other failure (crash, bad usage) still fails.
+plan_cache="build/conv_plans.json"
+rm -f "$plan_cache"
 rc=0
-./build/bench_conv_backends --json BENCH_conv_backends.json || rc=$?
+./build/bench_conv_backends --json BENCH_conv_backends.json --batch 8 \
+    --cache "$plan_cache" || rc=$?
 if [ "$rc" -eq 1 ]; then
   echo "WARNING: bench_conv_backends perf acceptance not met on this machine (timing noise?)" >&2
 elif [ "$rc" -ne 0 ]; then
   exit "$rc"
 fi
+
+# Warm-start acceptance: a fresh process with the saved plan cache must
+# answer every plan request without tuning (exit 3 if anything re-tuned;
+# exit 1 is the same timing-noise warning as above and stays non-fatal).
+rc=0
+./build/bench_conv_backends --json /dev/null --no-sweep --require-warm \
+    --cache "$plan_cache" || rc=$?
+if [ "$rc" -ne 0 ] && [ "$rc" -ne 1 ]; then
+  echo "FAIL: plan cache did not warm-start a fresh process" >&2
+  exit "$rc"
+fi
+echo "plan cache warm start verified: zero first-sight tunes"

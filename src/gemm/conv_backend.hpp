@@ -1,15 +1,23 @@
 // Runtime convolution-backend dispatch + autotune plan cache.
 //
 // The paper's sustained-PF claim rests on convolution being the dominant
-// hot path of both networks (§V), and §VIII-A names Winograd and FFT as
-// the algorithm directions to study. This module turns those one-off
-// kernels into a *subsystem*: every convolution algorithm implements the
-// ConvBackend interface, registers in a process-wide table, and a plan
-// cache micro-benchmarks the applicable backends the first time a
-// (geometry, channels) problem is seen, remembering the winner. Layers ask
-// for a plan instead of hardcoding a lowering; benches and the tune::Space
-// integration sweep the same table, so every path is exercised and
-// measured, not just the default one.
+// hot path of both networks (§V) — and it is a *training* claim, so the
+// backward convolutions (data and filter gradients, roughly two thirds of
+// the FLOPs) matter as much as forward. This module turns the one-off
+// kernels into a subsystem: every convolution algorithm implements the
+// ConvBackend interface for three phases (forward, backward-data,
+// backward-filter, the cuDNN-style per-op-phase split), registers in a
+// process-wide table, and a plan cache micro-benchmarks the applicable
+// backends the first time a (problem, phase) is seen, remembering the
+// winner. Layers ask for a plan per phase instead of hardcoding a
+// lowering; benches and the tune::Space integration sweep the same table.
+//
+// Plans persist: ConvPlanCache has a versioned on-disk JSON format
+// (save/load with a header carrying the cache version and a hardware
+// signature), and the global cache auto-loads it at startup and writes it
+// back at exit (path from $PF15_CONV_PLAN_CACHE, default
+// "pf15_conv_plans.json"; set the variable to "off" to disable), so
+// training and serving stop paying first-sight tuning on every run.
 #pragma once
 
 #include <condition_variable>
@@ -20,6 +28,7 @@
 #include <optional>
 #include <set>
 #include <string>
+#include <tuple>
 #include <utility>
 #include <vector>
 
@@ -28,18 +37,38 @@
 namespace pf15::gemm {
 
 /// Identity of a convolution algorithm in the dispatch table. Values are
-/// stable (they appear in perf records and tune::Space encodings).
+/// stable (they appear in perf records, plan-cache files and tune::Space
+/// encodings).
 enum class ConvBackendKind : int {
   kIm2col = 0,    // lowering + GEMM, the always-applicable reference
-  kWinograd = 1,  // F(2x2,3x3): 3x3 stride-1 only
-  kFft = 2,       // spectral: profitable for large kernels
+  kWinograd = 1,  // F(2x2,3x3)/F(4x4,3x3): 3x3 stride-1 only
+  kFft = 2,       // spectral: profitable for large kernels, forward-only
   kDirect = 3,    // naive loops: wins when the lowered matrix is tiny
+};
+
+/// The three convolution operations of a training step. Each phase tunes
+/// and dispatches independently (the cuDNN model: the best forward
+/// algorithm is routinely not the best backward one).
+enum class ConvPhase : int {
+  kForward = 0,
+  kBackwardData = 1,    // dX from dY and W
+  kBackwardFilter = 2,  // dW from X and dY
 };
 
 /// Stable lower-case name ("im2col", "winograd", "fft", "direct").
 const char* to_string(ConvBackendKind kind);
 /// Inverse of to_string; nullopt for unknown names.
 std::optional<ConvBackendKind> parse_backend(const std::string& name);
+
+/// Stable name ("forward", "backward_data", "backward_filter").
+const char* to_string(ConvPhase phase);
+/// Inverse of to_string; nullopt for unknown names.
+std::optional<ConvPhase> parse_phase(const std::string& name);
+
+/// All phases, in enum order — for sweeps.
+inline constexpr ConvPhase kAllConvPhases[] = {
+    ConvPhase::kForward, ConvPhase::kBackwardData,
+    ConvPhase::kBackwardFilter};
 
 /// One per-image convolution problem: geometry plus the filter count.
 /// This is the plan-cache key — bias presence does not affect algorithm
@@ -56,6 +85,10 @@ struct ConvProblem {
 /// A convolution algorithm. Implementations are stateless and immutable
 /// after registration; per-call scratch lives in thread-local storage so
 /// one backend instance can serve a batch-parallel loop.
+///
+/// All entry points take `parallel_ok`: it permits internal use of the
+/// global thread pool; callers running inside a pool task must pass false
+/// (the pool does not support nested waits).
 class ConvBackend {
  public:
   virtual ~ConvBackend() = default;
@@ -63,21 +96,35 @@ class ConvBackend {
   virtual ConvBackendKind kind() const = 0;
   const char* name() const { return to_string(kind()); }
 
-  /// Whether this algorithm can compute `p` at all (e.g. Winograd is
-  /// 3x3 stride-1 only).
-  virtual bool applicable(const ConvProblem& p) const = 0;
+  /// Whether this algorithm can compute `p` in `phase` (e.g. Winograd is
+  /// 3x3 stride-1 only; FFT declines the backward phases entirely).
+  virtual bool applicable(const ConvProblem& p,
+                          ConvPhase phase = ConvPhase::kForward) const = 0;
 
   /// One image forward: image (C,H,W) -> out (OC,OH,OW), `bias` may be
-  /// null. `parallel_ok` permits internal use of the global thread pool;
-  /// callers running inside a pool task must pass false (the pool does not
-  /// support nested waits).
+  /// null.
   virtual void forward(const ConvProblem& p, const float* image,
                        const float* weight, const float* bias, float* out,
                        bool parallel_ok) const = 0;
 
-  /// Analytic per-image FLOP count (§V accounting: one multiply-add is
-  /// two FLOPs).
-  virtual std::uint64_t flops(const ConvProblem& p) const = 0;
+  /// One image data gradient: dout (OC,OH,OW) and weight -> din (C,H,W).
+  /// Overwrite semantics: the backend fully computes the din image.
+  /// Only valid when applicable(p, kBackwardData).
+  virtual void backward_data(const ConvProblem& p, const float* dout,
+                             const float* weight, float* din,
+                             bool parallel_ok) const;
+
+  /// One image filter gradient: image and dout -> dweight
+  /// (OC,C,KH,KW), *accumulated* (+=) so a batch loop sums over images.
+  /// Only valid when applicable(p, kBackwardFilter).
+  virtual void backward_filter(const ConvProblem& p, const float* image,
+                               const float* dout, float* dweight,
+                               bool parallel_ok) const;
+
+  /// Analytic per-image FLOP count for `phase` (§V accounting: one
+  /// multiply-add is two FLOPs).
+  virtual std::uint64_t flops(const ConvProblem& p,
+                              ConvPhase phase = ConvPhase::kForward) const = 0;
 };
 
 /// The registered backend for `kind`. Never null; registration happens at
@@ -87,25 +134,29 @@ const ConvBackend& backend(ConvBackendKind kind);
 /// All registered backends, in ConvBackendKind order.
 const std::vector<const ConvBackend*>& all_backends();
 
-/// The subset of all_backends() whose applicable(p) holds, same order.
-std::vector<const ConvBackend*> applicable_backends(const ConvProblem& p);
+/// The subset of all_backends() whose applicable(p, phase) holds, same
+/// order.
+std::vector<const ConvBackend*> applicable_backends(
+    const ConvProblem& p, ConvPhase phase = ConvPhase::kForward);
 
 struct AutotuneOptions;
 
-/// The candidates autotune() actually races for `p`: applicable_backends
-/// minus those the analytic flops cutoff rejects (im2col itself is never
-/// rejected). The tune::Space adapter and the sweep bench share this, so
-/// every consumer sees the same candidate policy.
+/// The candidates autotune() actually races for `p` in `phase`:
+/// applicable_backends minus those the analytic flops cutoff rejects
+/// (im2col itself is never rejected). The tune::Space adapter and the
+/// sweep bench share this, so every consumer sees the same candidate
+/// policy.
 std::vector<const ConvBackend*> candidate_backends(
-    const ConvProblem& p, const AutotuneOptions& opt);
+    const ConvProblem& p, const AutotuneOptions& opt,
+    ConvPhase phase = ConvPhase::kForward);
 
 /// Knobs of the first-sight micro-benchmark.
 struct AutotuneOptions {
   std::size_t warmup = 1;  // untimed runs per candidate
   std::size_t reps = 3;    // timed runs; the minimum is kept
-  /// Seed for the synthetic image/weights the candidates are timed on;
-  /// mixed with the problem geometry so every problem sees the same data
-  /// across runs (deterministic tuning inputs).
+  /// Seed for the synthetic operands the candidates are timed on; mixed
+  /// with the problem geometry and phase so every problem sees the same
+  /// data across runs (deterministic tuning inputs).
   std::uint64_t seed = 0x9f15c0deULL;
   /// Candidates whose analytic FLOPs exceed this multiple of im2col's are
   /// rejected without timing (keeps e.g. FFT-at-3x3 from burning seconds
@@ -113,16 +164,17 @@ struct AutotuneOptions {
   double flops_cutoff = 8.0;
 };
 
-/// Measured per-image wall microseconds of `b` on `p` (min over reps,
-/// deterministic synthetic operands). `parallel_ok` must match how the
-/// plan will execute: false for the batch-parallel loop (per-image serial
-/// work), true for single-image forwards where the backend may use the
-/// pool internally.
+/// Measured per-image wall microseconds of `b` on `p` in `phase` (min
+/// over reps, deterministic synthetic operands). `parallel_ok` must match
+/// how the plan will execute: false for the batch-parallel loop
+/// (per-image serial work), true for single-image calls where the backend
+/// may use the pool internally.
 double benchmark_backend(const ConvBackend& b, const ConvProblem& p,
                          const AutotuneOptions& opt = {},
+                         ConvPhase phase = ConvPhase::kForward,
                          bool parallel_ok = false);
 
-/// The remembered winner for one problem.
+/// The remembered winner for one (problem, phase).
 struct ConvPlan {
   ConvBackendKind kind = ConvBackendKind::kIm2col;
   double best_us = 0.0;    // winner's measured per-image microseconds
@@ -131,50 +183,89 @@ struct ConvPlan {
 };
 
 /// Races every applicable (and cutoff-surviving) backend on `p` in the
-/// given execution mode and returns the fastest. im2col is always among
-/// the candidates, so the winner is never slower than the reference as
-/// measured. Note the flops cutoff cannot reject the direct backend (its
-/// analytic flops equal im2col's by construction); that is deliberate —
-/// direct is a frequent winner and timing it costs the same order as
-/// timing im2col.
+/// given phase and execution mode and returns the fastest. im2col is
+/// always among the candidates, so the winner is never slower than the
+/// reference as measured.
 ConvPlan autotune(const ConvProblem& p, const AutotuneOptions& opt = {},
+                  ConvPhase phase = ConvPhase::kForward,
                   bool parallel_ok = false);
 
+/// On-disk plan-cache format version; bumped whenever the schema or the
+/// meaning of a field changes. Files with a different version are
+/// rejected (and re-tuned from scratch).
+inline constexpr int kConvPlanCacheVersion = 1;
+
 /// Process-wide memo of autotune() results, keyed by
-/// (ConvProblem, execution mode). Thread safe; the first thread to see a
-/// shape pays the tuning cost *outside* the cache lock (an in-flight set
-/// dedupes concurrent first sights), so hits never wait behind a miss
+/// (ConvProblem, phase, execution mode). Thread safe; the first thread to
+/// see a key pays the tuning cost *outside* the cache lock (an in-flight
+/// set dedupes concurrent first sights), so hits never wait behind a miss
 /// being tuned. insert() lets callers (tests, the tune::Space driver,
 /// operators forcing a layout) override a plan — for both modes.
+///
+/// save()/load() give the cache a versioned on-disk JSON format whose
+/// header records the format name, kConvPlanCacheVersion and a hardware
+/// signature; load() rejects corrupt or mismatched files with IoError.
+/// The global() instance auto-loads at first use and saves at process
+/// exit (see ConvPlanCache::persist_path()).
 class ConvPlanCache {
  public:
   explicit ConvPlanCache(AutotuneOptions opt = {}) : opt_(opt) {}
 
   static ConvPlanCache& global();
 
-  /// The plan for `p` executed with `parallel_ok`, tuning on first sight.
-  /// Backends are timed in the mode they will run in: a plan for the
-  /// batch-parallel loop (parallel_ok=false) is decided on single-thread
-  /// times, a single-image plan (parallel_ok=true) lets candidates use
-  /// the pool, so e.g. parallel im2col can beat a serial-only winner.
-  ConvPlan plan(const ConvProblem& p, bool parallel_ok = false);
+  /// The persistence path of the global cache: $PF15_CONV_PLAN_CACHE when
+  /// set, else "pf15_conv_plans.json" in the working directory. Empty
+  /// when persistence is disabled ($PF15_CONV_PLAN_CACHE set to "" ,
+  /// "off" or "0").
+  static std::string persist_path();
+
+  /// The plan for `p` in `phase` executed with `parallel_ok`, tuning on
+  /// first sight. Backends are timed in the mode they will run in: a plan
+  /// for the batch-parallel loop (parallel_ok=false) is decided on
+  /// single-thread times, a single-image plan (parallel_ok=true) lets
+  /// candidates use the pool.
+  ConvPlan plan(const ConvProblem& p, ConvPhase phase = ConvPhase::kForward,
+                bool parallel_ok = false);
 
   /// The cached plan, if any — never tunes.
   std::optional<ConvPlan> lookup(const ConvProblem& p,
+                                 ConvPhase phase = ConvPhase::kForward,
                                  bool parallel_ok = false) const;
 
-  /// Forces the plan for `p` in both execution modes (an override states
-  /// "use this backend", independent of how the layer batches).
+  /// Forces the forward plan for `p` in both execution modes (an override
+  /// states "use this backend", independent of how the layer batches).
   void insert(const ConvProblem& p, const ConvPlan& plan);
+  /// Per-phase override, again for both execution modes.
+  void insert(const ConvProblem& p, ConvPhase phase, const ConvPlan& plan);
+
+  /// Writes every *tuned* cached plan to `path` (atomically: temp file +
+  /// rename), first merging in any valid plans already stored there, so
+  /// concurrent processes sharing a path accumulate measurements instead
+  /// of overwriting each other (this cache's entries win per key).
+  /// Untuned entries — insert() overrides from tests or operators — are
+  /// per-process decisions, not measurements, and are deliberately not
+  /// persisted: a later process must not inherit a forced backend as if
+  /// it had won a race. Throws IoError on I/O failure.
+  void save(const std::string& path) const;
+
+  /// Merges the plans stored at `path` into this cache; entries already
+  /// in memory win (they are this process's freshest measurements or
+  /// explicit overrides). Throws IoError when the file cannot be read,
+  /// is not a plan-cache document, carries a different format version,
+  /// or was recorded under a different hardware signature — the cache is
+  /// left untouched in every failure case.
+  void load(const std::string& path);
 
   void clear();
   std::size_t size() const;
+  /// Entries that came from a real micro-benchmark (what save() writes).
+  std::size_t tuned_size() const;
   std::uint64_t hits() const;
   std::uint64_t misses() const;
   const AutotuneOptions& options() const { return opt_; }
 
  private:
-  using Key = std::pair<ConvProblem, bool>;
+  using Key = std::tuple<ConvProblem, ConvPhase, bool>;
 
   mutable std::mutex mutex_;
   std::condition_variable tuning_cv_;

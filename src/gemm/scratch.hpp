@@ -1,0 +1,29 @@
+// Per-thread kernel scratch buffers with a high-water-mark shrink policy.
+//
+// The convolution backends are stateless; their per-call scratch
+// (lowered matrices, transform-domain tiles) lives in thread_local
+// vectors so one backend instance can serve a batch-parallel loop. The
+// buffers are reused across calls, and shrunk when the high-water mark
+// dwarfs the current problem, so a one-off giant lowering
+// (full-resolution climate encoder: ~0.2 GB) doesn't pin that much
+// memory per pool thread for the rest of the process.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace pf15::gemm {
+
+/// Returns a pointer to at least `need` floats in `buf`, growing or
+/// shrinking it per the policy above. The small slack term keeps tiny
+/// problems from re-allocating on every size wiggle.
+inline float* thread_scratch(std::vector<float>& buf, std::size_t need) {
+  if (buf.size() < need || buf.capacity() > 4 * need + 1024) {
+    buf.clear();
+    buf.shrink_to_fit();
+    buf.resize(need);
+  }
+  return buf.data();
+}
+
+}  // namespace pf15::gemm

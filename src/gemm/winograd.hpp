@@ -1,14 +1,25 @@
-// Winograd fast convolution F(2x2, 3x3) — the paper's explicitly named
-// future-work direction (§VIII-A: "the state of the art in deep learning
-// kernel implementations is rapidly evolving with new algorithms like
-// Winograd [43]...; studying the impact on per-node performance ... is a
-// direction for future research").
+// Winograd fast convolution — the paper's explicitly named future-work
+// direction (§VIII-A: "the state of the art in deep learning kernel
+// implementations is rapidly evolving with new algorithms like Winograd
+// [43]...; studying the impact on per-node performance ... is a direction
+// for future research").
 //
-// For 3x3 kernels with stride 1, each 2x2 output tile costs 16 multiplies
-// in the transform domain instead of 36 — a 2.25x arithmetic reduction.
-// The multi-channel formulation batches the 16 transform positions into 16
+// Two tile sizes of the Lavin & Gray formulation are implemented for 3x3
+// stride-1 kernels:
+//   F(2x2, 3x3): 16 multiplies per 2x2 output tile instead of 36 (2.25x),
+//   F(4x4, 3x3): 36 multiplies per 4x4 output tile instead of 144 (4x).
+// The multi-channel formulation batches the transform positions into
 // (OC x IC) x (IC x tiles) GEMMs, which is how production libraries
-// implement it.
+// implement it. Transforms process tiles in blocks of kWinoBlock laid out
+// structure-of-arrays, so the transform arithmetic runs over contiguous
+// lanes and auto-vectorizes.
+//
+// Training support: the filter gradient has its own transform-domain
+// kernel (dg = G^T [(A dY A^T) ⊙ (B^T d B)] G, accumulated over tiles);
+// the data gradient of a stride-1 3x3 convolution is itself a stride-1
+// 3x3 convolution of the output gradient with the channel-transposed,
+// 180°-rotated filter bank, so it reuses the forward kernel (the
+// gemm::ConvBackend adapter performs that swap).
 #pragma once
 
 #include <cstddef>
@@ -16,24 +27,60 @@
 
 namespace pf15::gemm {
 
+/// Output-tile size of the Winograd formulation.
+enum class WinogradTile : int {
+  kF2x2 = 0,  // F(2x2,3x3): 4x4 transforms, best for small output grids
+  kF4x4 = 1,  // F(4x4,3x3): 6x6 transforms, higher arithmetic reduction
+};
+
+/// Stable lower-case name ("f2x2", "f4x4").
+const char* to_string(WinogradTile tile);
+
 /// Geometry restrictions of this implementation: kernel 3x3, stride 1,
 /// arbitrary padding. Returns whether the fast path applies.
 bool winograd_applicable(std::size_t kernel, std::size_t stride);
 
-/// Computes one image's convolution via Winograd F(2x2, 3x3):
+/// The tile the auto-dispatching callers use for an (out_h x out_w)
+/// output grid: F(4x4,3x3) once the grid is large enough to fill 4x4
+/// tiles, F(2x2,3x3) below that.
+WinogradTile winograd_pick_tile(std::size_t out_h, std::size_t out_w);
+
+/// Computes one image's convolution via Winograd:
 ///   output(OC, OH, OW) = weight(OC, IC, 3, 3) * image(IC, H, W), `pad`
 /// zeros on each border, stride 1, OH = H + 2*pad - 2, OW likewise.
-/// `bias` may be null. Ragged right/bottom edges (odd OH/OW) are handled
-/// by padding the tile grid internally.
+/// `bias` may be null. Ragged right/bottom edges are handled by padding
+/// the tile grid internally. `parallel_ok` permits the transform-domain
+/// GEMMs to fan out on the global thread pool; callers already running
+/// inside a pool task must pass false.
 void winograd_conv3x3(const float* image, std::size_t in_c, std::size_t h,
                       std::size_t w, const float* weight,
                       std::size_t out_c, std::size_t pad,
-                      const float* bias, float* output);
+                      const float* bias, float* output,
+                      WinogradTile tile = WinogradTile::kF2x2,
+                      bool parallel_ok = false);
+
+/// Filter gradient in the transform domain, accumulated (+=) into
+/// `dweight` (OC, IC, 3, 3): image (IC, H, W) is the layer input, dout
+/// (OC, OH, OW) the output gradient of the same geometry as
+/// winograd_conv3x3 above.
+void winograd_backward_filter3x3(const float* image, std::size_t in_c,
+                                 std::size_t h, std::size_t w,
+                                 const float* dout, std::size_t out_c,
+                                 std::size_t pad, float* dweight,
+                                 WinogradTile tile = WinogradTile::kF2x2,
+                                 bool parallel_ok = false);
 
 /// Multiplies in the transform domain for a given geometry — used for
 /// flop accounting and the direct-vs-Winograd ablation. Counts one
 /// multiply-add as two FLOPs.
 std::uint64_t winograd_flops(std::size_t in_c, std::size_t out_c,
-                             std::size_t h, std::size_t w, std::size_t pad);
+                             std::size_t h, std::size_t w, std::size_t pad,
+                             WinogradTile tile = WinogradTile::kF2x2);
+
+/// Transform-domain cost of winograd_backward_filter3x3 (same GEMM
+/// shapes as the forward, plus the dY and inverse-filter transforms).
+std::uint64_t winograd_backward_filter_flops(
+    std::size_t in_c, std::size_t out_c, std::size_t h, std::size_t w,
+    std::size_t pad, WinogradTile tile = WinogradTile::kF2x2);
 
 }  // namespace pf15::gemm

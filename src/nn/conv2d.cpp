@@ -6,6 +6,52 @@
 
 namespace pf15::nn {
 
+using gemm::ConvPhase;
+
+gemm::ConvBackendKind resolve_conv_backend(ConvAlgo algo,
+                                           const gemm::ConvProblem& p,
+                                           ConvPhase phase,
+                                           bool parallel_ok) {
+  gemm::ConvBackendKind forced = gemm::ConvBackendKind::kIm2col;
+  switch (algo) {
+    case ConvAlgo::kIm2col:
+      return gemm::ConvBackendKind::kIm2col;
+    case ConvAlgo::kWinograd:
+      forced = gemm::ConvBackendKind::kWinograd;
+      break;
+    case ConvAlgo::kFft:
+      forced = gemm::ConvBackendKind::kFft;
+      break;
+    case ConvAlgo::kDirect:
+      forced = gemm::ConvBackendKind::kDirect;
+      break;
+    case ConvAlgo::kAuto:
+      // kAuto: every applicable backend races once per (problem, phase,
+      // execution mode) and the measured winner is remembered — across
+      // processes, through the persisted plan cache.
+      return gemm::ConvPlanCache::global().plan(p, phase, parallel_ok).kind;
+  }
+  // A forced backend that declines this phase (FFT backward) falls back
+  // to the always-applicable im2col adjoint; the layers' backend query
+  // methods report the fallback, so it is explicit, never silent.
+  if (!gemm::backend(forced).applicable(p, phase)) {
+    return gemm::ConvBackendKind::kIm2col;
+  }
+  return forced;
+}
+
+gemm::ConvBackendKind planned_conv_backend(ConvAlgo algo,
+                                           const gemm::ConvProblem& p,
+                                           ConvPhase phase,
+                                           bool parallel_ok) {
+  if (algo != ConvAlgo::kAuto) {
+    return resolve_conv_backend(algo, p, phase, parallel_ok);
+  }
+  const auto cached =
+      gemm::ConvPlanCache::global().lookup(p, phase, parallel_ok);
+  return cached.has_value() ? cached->kind : gemm::ConvBackendKind::kIm2col;
+}
+
 Conv2d::Conv2d(std::string name, const Conv2dConfig& cfg, Rng& rng)
     : name_(std::move(name)),
       cfg_(cfg),
@@ -47,27 +93,29 @@ gemm::ConvProblem Conv2d::problem(const Shape& in) const {
   return p;
 }
 
+gemm::ConvBackendKind Conv2d::resolve_backend(const Shape& in,
+                                              ConvPhase phase,
+                                              bool parallel_ok) const {
+  return resolve_conv_backend(cfg_.algo, problem(in), phase, parallel_ok);
+}
+
 gemm::ConvBackendKind Conv2d::forward_backend(const Shape& in) const {
-  switch (cfg_.algo) {
-    case ConvAlgo::kIm2col:
-      return gemm::ConvBackendKind::kIm2col;
-    case ConvAlgo::kWinograd:
-      return gemm::ConvBackendKind::kWinograd;
-    case ConvAlgo::kFft:
-      return gemm::ConvBackendKind::kFft;
-    case ConvAlgo::kDirect:
-      return gemm::ConvBackendKind::kDirect;
-    case ConvAlgo::kAuto:
-      break;
-  }
-  const gemm::ConvProblem p = problem(in);
-  // kAuto: every applicable backend races once per (geometry, execution
-  // mode) and the measured winner is remembered. Batched inputs run the
-  // per-image-serial plan inside the batch-parallel loop; single images
-  // run the plan tuned with pool access, so a parallel im2col can beat a
-  // serial-only fast path there.
-  return gemm::ConvPlanCache::global().plan(p, /*parallel_ok=*/in.n() <= 1)
-      .kind;
+  // Batched inputs run the per-image-serial plan inside the
+  // batch-parallel loop; single images run the plan tuned with pool
+  // access, so e.g. parallel im2col can beat a serial-only fast path.
+  return resolve_backend(in, ConvPhase::kForward,
+                         /*parallel_ok=*/in.n() <= 1);
+}
+
+gemm::ConvBackendKind Conv2d::backward_backend(const Shape& in,
+                                               ConvPhase phase) const {
+  PF15_CHECK(phase != ConvPhase::kForward);
+  // Backward-data parallelizes over the batch (like forward); the filter
+  // gradient accumulates into shared state, so it runs image-serial with
+  // pool access inside the backend.
+  const bool parallel_ok =
+      phase == ConvPhase::kBackwardData ? in.n() <= 1 : true;
+  return resolve_backend(in, phase, parallel_ok);
 }
 
 Shape Conv2d::output_shape(const Shape& in) const {
@@ -91,7 +139,7 @@ void Conv2d::forward(const Tensor& in, Tensor& out) {
   const float* bias = cfg_.bias ? bias_.data() : nullptr;
   if (n_img <= 1) {
     // A single image cannot parallelize across the batch; let the backend
-    // use the pool internally instead (im2col's parallel GEMM).
+    // use the pool internally instead (parallel GEMMs / transform fans).
     for (std::size_t img = 0; img < n_img; ++img) {
       be.forward(p, in.data() + img * in_img, weight_.data(), bias,
                  out.data() + img * out_img, /*parallel_ok=*/true);
@@ -108,41 +156,51 @@ void Conv2d::forward(const Tensor& in, Tensor& out) {
 }
 
 void Conv2d::backward(const Tensor& in, const Tensor& dout, Tensor& din) {
-  // Backward always takes the im2col adjoint, whatever backend forward
-  // dispatched to (see backward_backend()): Winograd/FFT/direct share the
-  // same linear map, so the gradient is identical — only the forward's
-  // floating-point rounding differs. col_/dcol_ belong exclusively to this
-  // path and are (re)sized here, never by forward().
-  const auto g = geom(in.shape());
+  const gemm::ConvProblem p = problem(in.shape());
   PF15_CHECK(dout.shape() == output_shape(in.shape()));
   ensure_shape(din, in.shape());
-  din.zero();
-  ensure_shape(col_, Shape{g.lowered_rows(), g.lowered_cols()});
-  ensure_shape(dcol_, Shape{g.lowered_rows(), g.lowered_cols()});
-  const std::size_t m = cfg_.out_channels;
-  const std::size_t k = g.lowered_rows();
-  const std::size_t n = g.lowered_cols();
-  const std::size_t in_img = in.shape().c() * in.shape().h() * in.shape().w();
-  const std::size_t out_img = m * n;
-  for (std::size_t img = 0; img < in.shape().n(); ++img) {
+
+  const std::size_t n_img = in.shape().n();
+  const std::size_t in_img = p.geom.in_c * p.geom.in_h * p.geom.in_w;
+  const std::size_t out_img = p.out_c * p.geom.lowered_cols();
+
+  // Data gradient: independent per image, so it fans across the pool
+  // exactly like forward. The backend overwrites each din image.
+  const gemm::ConvBackendKind dkind =
+      backward_backend(in.shape(), ConvPhase::kBackwardData);
+  const gemm::ConvBackend& dbe = gemm::backend(dkind);
+  last_backward_data_backend_ = dkind;
+  if (n_img <= 1) {
+    for (std::size_t img = 0; img < n_img; ++img) {
+      dbe.backward_data(p, dout.data() + img * out_img, weight_.data(),
+                        din.data() + img * in_img, /*parallel_ok=*/true);
+    }
+  } else {
+    ThreadPool::global().parallel_for(0, n_img, [&](std::size_t img) {
+      dbe.backward_data(p, dout.data() + img * out_img, weight_.data(),
+                        din.data() + img * in_img, /*parallel_ok=*/false);
+    });
+  }
+
+  // Filter gradient: accumulates into shared weight_grad_, so the image
+  // loop stays serial and the backend parallelizes internally instead.
+  const gemm::ConvBackendKind fkind =
+      backward_backend(in.shape(), ConvPhase::kBackwardFilter);
+  const gemm::ConvBackend& fbe = gemm::backend(fkind);
+  last_backward_filter_backend_ = fkind;
+  const std::size_t plane = p.geom.lowered_cols();
+  for (std::size_t img = 0; img < n_img; ++img) {
     const float* dout_img = dout.data() + img * out_img;
-    // dW += dout_img (m x n) * col^T (n x k); recompute col from the input
-    // rather than caching it across the whole batch.
-    gemm::im2col(g, in.data() + img * in_img, col_.data());
-    gemm::sgemm_parallel(false, true, m, k, n, 1.0f, dout_img, n,
-                         col_.data(), n, 1.0f, weight_grad_.data(), k);
+    fbe.backward_filter(p, in.data() + img * in_img, dout_img,
+                        weight_grad_.data(), /*parallel_ok=*/true);
     if (cfg_.bias) {
-      for (std::size_t oc = 0; oc < m; ++oc) {
+      for (std::size_t oc = 0; oc < p.out_c; ++oc) {
         double s = 0.0;
-        const float* plane = dout_img + oc * n;
-        for (std::size_t i = 0; i < n; ++i) s += plane[i];
+        const float* row = dout_img + oc * plane;
+        for (std::size_t i = 0; i < plane; ++i) s += row[i];
         bias_grad_.data()[oc] += static_cast<float>(s);
       }
     }
-    // dcol = W^T (k x m) * dout_img (m x n); din += col2im(dcol).
-    gemm::sgemm_parallel(true, false, k, n, m, 1.0f, weight_.data(), k,
-                         dout_img, n, 0.0f, dcol_.data(), n);
-    gemm::col2im(g, dcol_.data(), din.data() + img * in_img);
   }
 }
 
@@ -155,18 +213,8 @@ std::vector<Param> Conv2d::params() {
 
 std::uint64_t Conv2d::forward_flops(const Shape& in) const {
   const gemm::ConvProblem p = problem(in);
-  gemm::ConvBackendKind kind;
-  if (cfg_.algo == ConvAlgo::kAuto) {
-    // FLOP accounting must stay a pure arithmetic query: consult the
-    // cache without tuning (forward_backend() would micro-benchmark on a
-    // miss) and assume the im2col reference for shapes not yet planned.
-    const auto cached = gemm::ConvPlanCache::global().lookup(
-        p, /*parallel_ok=*/in.n() <= 1);
-    kind = cached.has_value() ? cached->kind
-                              : gemm::ConvBackendKind::kIm2col;
-  } else {
-    kind = forward_backend(in);
-  }
+  const gemm::ConvBackendKind kind =
+      planned_conv_backend(cfg_.algo, p, ConvPhase::kForward, in.n() <= 1);
   const gemm::ConvBackend& be = gemm::backend(kind);
   return in.n() * (be.flops(p) +
                    (cfg_.bias ? p.geom.lowered_cols() * cfg_.out_channels
@@ -174,12 +222,15 @@ std::uint64_t Conv2d::forward_flops(const Shape& in) const {
 }
 
 std::uint64_t Conv2d::backward_flops(const Shape& in) const {
-  const auto g = geom(in);
-  // dW GEMM + dX GEMM + bias reduction (im2col adjoint, always).
+  const gemm::ConvProblem p = problem(in);
+  const gemm::ConvBackendKind dkind = planned_conv_backend(
+      cfg_.algo, p, ConvPhase::kBackwardData, in.n() <= 1);
+  const gemm::ConvBackendKind fkind = planned_conv_backend(
+      cfg_.algo, p, ConvPhase::kBackwardFilter, true);
   const std::uint64_t per_img =
-      gemm::flops(cfg_.out_channels, g.lowered_rows(), g.lowered_cols()) +
-      gemm::flops(g.lowered_rows(), g.lowered_cols(), cfg_.out_channels) +
-      (cfg_.bias ? g.lowered_cols() * cfg_.out_channels : 0);
+      gemm::backend(dkind).flops(p, ConvPhase::kBackwardData) +
+      gemm::backend(fkind).flops(p, ConvPhase::kBackwardFilter) +
+      (cfg_.bias ? p.geom.lowered_cols() * cfg_.out_channels : 0);
   return per_img * in.n();
 }
 

@@ -1,12 +1,14 @@
 // 2-D convolution layer, the workhorse of both networks (§III-A, §III-B).
 // Weight layout is OIHW; bias is per output channel.
 //
-// The forward pass dispatches through the gemm::ConvBackend registry:
-// im2col+GEMM, Winograd F(2x2,3x3), FFT, or direct loops. kAuto consults
-// the process-wide gemm::ConvPlanCache, which micro-benchmarks applicable
-// backends the first time a (geometry, channels) problem is seen and
-// remembers the winner. The batch loop runs on the global thread pool, so
-// per-image lowering/transform work parallelizes across the batch.
+// Forward *and* backward dispatch through the gemm::ConvBackend registry:
+// im2col+GEMM, Winograd F(2x2/4x4,3x3), FFT, or direct loops. kAuto
+// consults the process-wide gemm::ConvPlanCache, which micro-benchmarks
+// applicable backends the first time a (problem, phase) is seen and
+// remembers the winner — forward, backward-data and backward-filter tune
+// independently (the cuDNN per-op-phase model), so training inherits the
+// measured backend wins, not just inference. The batch loops run on the
+// global thread pool where accumulation allows it.
 #pragma once
 
 #include <string>
@@ -17,10 +19,12 @@
 
 namespace pf15::nn {
 
-/// Forward-pass algorithm selection. kIm2col/kWinograd/kFft/kDirect force
-/// one gemm::ConvBackend (construction PF15_CHECKs applicability for
+/// Algorithm selection. kIm2col/kWinograd/kFft/kDirect force one
+/// gemm::ConvBackend (construction PF15_CHECKs applicability for
 /// Winograd; FFT/direct apply everywhere); kAuto lets the autotune plan
-/// cache pick per geometry.
+/// cache pick per (geometry, phase). A forced backend that declines a
+/// backward phase (FFT) falls back to the im2col adjoint there — the
+/// fallback is explicit via backward_backend(), never silent.
 enum class ConvAlgo { kIm2col, kWinograd, kAuto, kFft, kDirect };
 
 struct Conv2dConfig {
@@ -32,6 +36,25 @@ struct Conv2dConfig {
   bool bias = true;
   ConvAlgo algo = ConvAlgo::kIm2col;
 };
+
+/// The one algo-to-backend resolution policy, shared by every layer that
+/// dispatches convolution phases (Conv2d, Deconv2d): a forced algo wins
+/// when it supports the phase, falls back to the im2col adjoint when it
+/// declines it (FFT backward), and kAuto asks the global plan cache —
+/// tuning on first sight in the given execution mode.
+gemm::ConvBackendKind resolve_conv_backend(ConvAlgo algo,
+                                           const gemm::ConvProblem& p,
+                                           gemm::ConvPhase phase,
+                                           bool parallel_ok);
+
+/// Like resolve_conv_backend but guaranteed never to tune: kAuto
+/// consults the plan cache and assumes the im2col reference for shapes
+/// not yet planned. FLOP accounting goes through this so it stays a pure
+/// arithmetic query.
+gemm::ConvBackendKind planned_conv_backend(ConvAlgo algo,
+                                           const gemm::ConvProblem& p,
+                                           gemm::ConvPhase phase,
+                                           bool parallel_ok);
 
 class Conv2d final : public Layer {
  public:
@@ -54,20 +77,30 @@ class Conv2d final : public Layer {
   /// (resolving kAuto through the global plan cache, tuning on first
   /// sight).
   gemm::ConvBackendKind forward_backend(const Shape& in) const;
-  /// The backend the latest forward() actually dispatched to.
+  /// The backend `phase` will dispatch to for this input shape: the
+  /// forced algo when it supports the phase, the im2col adjoint when it
+  /// declines it (FFT backward), or the plan-cache winner under kAuto.
+  gemm::ConvBackendKind backward_backend(const Shape& in,
+                                         gemm::ConvPhase phase) const;
+  /// The backends the latest forward()/backward() actually dispatched to.
   gemm::ConvBackendKind last_forward_backend() const {
     return last_forward_backend_;
   }
-  /// Backward is always computed by the im2col adjoint (see backward()):
-  /// the fast forward backends have no gradient formulation here, so the
-  /// fallback is explicit, not silent.
-  gemm::ConvBackendKind backward_backend() const {
-    return gemm::ConvBackendKind::kIm2col;
+  gemm::ConvBackendKind last_backward_data_backend() const {
+    return last_backward_data_backend_;
+  }
+  gemm::ConvBackendKind last_backward_filter_backend() const {
+    return last_backward_filter_backend_;
   }
 
  private:
   gemm::ConvGeom geom(const Shape& in) const;
   gemm::ConvProblem problem(const Shape& in) const;
+  /// Resolves cfg_.algo / the plan cache for one phase. `parallel_ok`
+  /// selects the execution mode the plan must be tuned in.
+  gemm::ConvBackendKind resolve_backend(const Shape& in,
+                                        gemm::ConvPhase phase,
+                                        bool parallel_ok) const;
 
   std::string name_;
   Conv2dConfig cfg_;
@@ -75,12 +108,11 @@ class Conv2d final : public Layer {
   Tensor bias_;         // (OC)
   Tensor weight_grad_;  // same shapes as values
   Tensor bias_grad_;
-  // Backward-only scratch. The forward path keeps its lowering scratch in
-  // backend-owned thread-local buffers (the batch loop is parallel), so
-  // these are sized for exactly one consumer: the im2col adjoint below.
-  Tensor col_;   // scratch: lowered input, one image at a time
-  Tensor dcol_;  // scratch: lowered gradient
   gemm::ConvBackendKind last_forward_backend_ =
+      gemm::ConvBackendKind::kIm2col;
+  gemm::ConvBackendKind last_backward_data_backend_ =
+      gemm::ConvBackendKind::kIm2col;
+  gemm::ConvBackendKind last_backward_filter_backend_ =
       gemm::ConvBackendKind::kIm2col;
 };
 

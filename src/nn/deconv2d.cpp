@@ -1,10 +1,12 @@
 #include "nn/deconv2d.hpp"
 
-#include <cstring>
-
+#include "common/thread_pool.hpp"
 #include "gemm/gemm.hpp"
+#include "gemm/winograd.hpp"
 
 namespace pf15::nn {
+
+using gemm::ConvPhase;
 
 Deconv2d::Deconv2d(std::string name, const Deconv2dConfig& cfg, Rng& rng)
     : name_(std::move(name)),
@@ -16,6 +18,14 @@ Deconv2d::Deconv2d(std::string name, const Deconv2dConfig& cfg, Rng& rng)
       bias_grad_(bias_.shape()) {
   PF15_CHECK(cfg.in_channels > 0 && cfg.out_channels > 0 && cfg.kernel > 0 &&
              cfg.stride > 0);
+  if (cfg.algo == ConvAlgo::kWinograd) {
+    // Same construction-time semantics as Conv2d: a forced backend that
+    // can never run this geometry is refused loudly, not silently
+    // downgraded (the per-phase im2col fallback covers declined phases,
+    // not wholly inapplicable configurations).
+    PF15_CHECK_MSG(gemm::winograd_applicable(cfg.kernel, cfg.stride),
+                   name_ << ": Winograd requires 3x3 stride-1");
+  }
   // Fan-in of the adjoint convolution: each output pixel receives
   // contributions from ~OC * (K/stride)^2 taps; use the conv-style fan-in
   // of the transposed kernel for a comparable scale.
@@ -40,66 +50,106 @@ gemm::ConvGeom Deconv2d::geom(const Shape& in) const {
   return g;
 }
 
+gemm::ConvProblem Deconv2d::problem(const Shape& in) const {
+  gemm::ConvProblem p;
+  p.geom = geom(in);
+  p.out_c = cfg_.in_channels;  // conv output channels = deconv input
+  return p;
+}
+
+gemm::ConvBackendKind Deconv2d::resolve_backend(const Shape& in,
+                                                ConvPhase phase,
+                                                bool parallel_ok) const {
+  return resolve_conv_backend(cfg_.algo, problem(in), phase, parallel_ok);
+}
+
+gemm::ConvBackendKind Deconv2d::phase_backend(const Shape& in,
+                                              ConvPhase phase) const {
+  const bool parallel_ok =
+      phase == ConvPhase::kBackwardFilter ? true : in.n() <= 1;
+  return resolve_backend(in, phase, parallel_ok);
+}
+
 Shape Deconv2d::output_shape(const Shape& in) const {
   const auto g = geom(in);
   return Shape{in.n(), cfg_.out_channels, g.in_h, g.in_w};
 }
 
 void Deconv2d::forward(const Tensor& in, Tensor& out) {
-  const auto g = geom(in.shape());
+  // Deconv forward == conv backward-data: the layer input plays the
+  // conv's output gradient, the result is the conv's input image.
+  const gemm::ConvProblem p = problem(in.shape());
   ensure_shape(out, output_shape(in.shape()));
-  out.zero();
-  const std::size_t k = g.lowered_rows();   // OC*KH*KW
-  const std::size_t n = g.lowered_cols();   // in_h*in_w
-  const std::size_t ic = cfg_.in_channels;
-  ensure_shape(col_, Shape{k, n});
-  const std::size_t in_img = ic * in.shape().h() * in.shape().w();
-  const std::size_t out_img = cfg_.out_channels * g.in_h * g.in_w;
-  for (std::size_t img = 0; img < in.shape().n(); ++img) {
-    // col = W^T (k x ic) * x (ic x n); scatter into the output image.
-    gemm::sgemm_parallel(true, false, k, n, ic, 1.0f, weight_.data(), k,
-                         in.data() + img * in_img, n, 0.0f, col_.data(), n);
-    gemm::col2im(g, col_.data(), out.data() + img * out_img);
+  const gemm::ConvBackendKind kind =
+      phase_backend(in.shape(), ConvPhase::kBackwardData);
+  const gemm::ConvBackend& be = gemm::backend(kind);
+  const std::size_t n_img = in.shape().n();
+  const std::size_t in_img =
+      cfg_.in_channels * in.shape().h() * in.shape().w();
+  const std::size_t out_img =
+      cfg_.out_channels * p.geom.in_h * p.geom.in_w;
+  const auto one_image = [&](std::size_t img, bool parallel_ok) {
+    be.backward_data(p, in.data() + img * in_img, weight_.data(),
+                     out.data() + img * out_img, parallel_ok);
     if (cfg_.bias) {
       float* dst = out.data() + img * out_img;
-      const std::size_t plane = g.in_h * g.in_w;
+      const std::size_t plane = p.geom.in_h * p.geom.in_w;
       for (std::size_t oc = 0; oc < cfg_.out_channels; ++oc) {
         const float b = bias_.data()[oc];
-        float* p = dst + oc * plane;
-        for (std::size_t i = 0; i < plane; ++i) p[i] += b;
+        float* row = dst + oc * plane;
+        for (std::size_t i = 0; i < plane; ++i) row[i] += b;
       }
     }
+  };
+  if (n_img <= 1) {
+    for (std::size_t img = 0; img < n_img; ++img) one_image(img, true);
+  } else {
+    ThreadPool::global().parallel_for(
+        0, n_img, [&](std::size_t img) { one_image(img, false); });
   }
 }
 
 void Deconv2d::backward(const Tensor& in, const Tensor& dout, Tensor& din) {
-  const auto g = geom(in.shape());
+  const gemm::ConvProblem p = problem(in.shape());
   PF15_CHECK(dout.shape() == output_shape(in.shape()));
   ensure_shape(din, in.shape());
-  const std::size_t k = g.lowered_rows();
-  const std::size_t n = g.lowered_cols();
-  const std::size_t ic = cfg_.in_channels;
-  ensure_shape(col_, Shape{k, n});
-  const std::size_t in_img = ic * in.shape().h() * in.shape().w();
-  const std::size_t out_img = cfg_.out_channels * g.in_h * g.in_w;
-  const std::size_t plane = g.in_h * g.in_w;
-  for (std::size_t img = 0; img < in.shape().n(); ++img) {
+  const std::size_t n_img = in.shape().n();
+  const std::size_t in_img =
+      cfg_.in_channels * in.shape().h() * in.shape().w();
+  const std::size_t out_img =
+      cfg_.out_channels * p.geom.in_h * p.geom.in_w;
+
+  // din == conv forward of the output gradient.
+  const gemm::ConvBackendKind dkind =
+      phase_backend(in.shape(), ConvPhase::kForward);
+  const gemm::ConvBackend& dbe = gemm::backend(dkind);
+  if (n_img <= 1) {
+    for (std::size_t img = 0; img < n_img; ++img) {
+      dbe.forward(p, dout.data() + img * out_img, weight_.data(), nullptr,
+                  din.data() + img * in_img, /*parallel_ok=*/true);
+    }
+  } else {
+    ThreadPool::global().parallel_for(0, n_img, [&](std::size_t img) {
+      dbe.forward(p, dout.data() + img * out_img, weight_.data(), nullptr,
+                  din.data() + img * in_img, /*parallel_ok=*/false);
+    });
+  }
+
+  // dW == conv backward-filter with the conv's (image, dout) =
+  // (deconv output gradient, deconv input). Accumulates, so serial.
+  const gemm::ConvBackendKind fkind =
+      phase_backend(in.shape(), ConvPhase::kBackwardFilter);
+  const gemm::ConvBackend& fbe = gemm::backend(fkind);
+  const std::size_t plane = p.geom.in_h * p.geom.in_w;
+  for (std::size_t img = 0; img < n_img; ++img) {
     const float* dout_img = dout.data() + img * out_img;
-    // Lower the output gradient; this is the conv-forward direction.
-    gemm::im2col(g, dout_img, col_.data());
-    // din = W (ic x k) * col (k x n).
-    gemm::sgemm_parallel(false, false, ic, n, k, 1.0f, weight_.data(), k,
-                         col_.data(), n, 0.0f, din.data() + img * in_img,
-                         n);
-    // dW += x (ic x n) * col^T (n x k).
-    gemm::sgemm_parallel(false, true, ic, k, n, 1.0f,
-                         in.data() + img * in_img, n, col_.data(), n, 1.0f,
-                         weight_grad_.data(), k);
+    fbe.backward_filter(p, dout_img, in.data() + img * in_img,
+                        weight_grad_.data(), /*parallel_ok=*/true);
     if (cfg_.bias) {
       for (std::size_t oc = 0; oc < cfg_.out_channels; ++oc) {
         double s = 0.0;
-        const float* p = dout_img + oc * plane;
-        for (std::size_t i = 0; i < plane; ++i) s += p[i];
+        const float* row = dout_img + oc * plane;
+        for (std::size_t i = 0; i < plane; ++i) s += row[i];
         bias_grad_.data()[oc] += static_cast<float>(s);
       }
     }
@@ -114,19 +164,25 @@ std::vector<Param> Deconv2d::params() {
 }
 
 std::uint64_t Deconv2d::forward_flops(const Shape& in) const {
-  const auto g = geom(in);
+  const gemm::ConvProblem p = problem(in);
+  const gemm::ConvBackendKind kind = planned_conv_backend(
+      cfg_.algo, p, ConvPhase::kBackwardData, in.n() <= 1);
   const std::uint64_t per_img =
-      gemm::flops(g.lowered_rows(), g.lowered_cols(), cfg_.in_channels) +
-      (cfg_.bias ? cfg_.out_channels * g.in_h * g.in_w : 0);
+      gemm::backend(kind).flops(p, ConvPhase::kBackwardData) +
+      (cfg_.bias ? cfg_.out_channels * p.geom.in_h * p.geom.in_w : 0);
   return per_img * in.n();
 }
 
 std::uint64_t Deconv2d::backward_flops(const Shape& in) const {
-  const auto g = geom(in);
+  const gemm::ConvProblem p = problem(in);
+  const gemm::ConvBackendKind dkind =
+      planned_conv_backend(cfg_.algo, p, ConvPhase::kForward, in.n() <= 1);
+  const gemm::ConvBackendKind fkind = planned_conv_backend(
+      cfg_.algo, p, ConvPhase::kBackwardFilter, true);
   const std::uint64_t per_img =
-      gemm::flops(cfg_.in_channels, g.lowered_cols(), g.lowered_rows()) +
-      gemm::flops(cfg_.in_channels, g.lowered_rows(), g.lowered_cols()) +
-      (cfg_.bias ? cfg_.out_channels * g.in_h * g.in_w : 0);
+      gemm::backend(dkind).flops(p, ConvPhase::kForward) +
+      gemm::backend(fkind).flops(p, ConvPhase::kBackwardFilter) +
+      (cfg_.bias ? cfg_.out_channels * p.geom.in_h * p.geom.in_w : 0);
   return per_img * in.n();
 }
 

@@ -4,14 +4,20 @@
 // The paper notes that MKL had no optimized deconvolution, and that "the
 // convolutions in the backward pass can be used to compute the
 // deconvolutions of the forward pass and vice-versa". We implement exactly
-// that swap: forward = convolution's data-gradient path (GEMM + col2im),
-// backward-data = convolution's forward path (im2col + GEMM), and the
-// weight gradient reuses the same lowered buffers.
+// that swap *through the shared backend dispatch*: forward is the
+// underlying convolution's backward-data phase, backward-data is the
+// convolution's forward phase, and the weight gradient is the
+// convolution's backward-filter phase — each resolved per (problem,
+// phase) by the same gemm::ConvPlanCache the Conv2d layer uses, so the
+// decoder inherits every tuned backend win instead of carrying a private
+// im2col lowering.
 #pragma once
 
 #include <string>
 
+#include "gemm/conv_backend.hpp"
 #include "gemm/im2col.hpp"
+#include "nn/conv2d.hpp"
 #include "nn/layer.hpp"
 
 namespace pf15::nn {
@@ -23,6 +29,9 @@ struct Deconv2dConfig {
   std::size_t stride = 1;
   std::size_t pad = 0;
   bool bias = true;
+  /// Backend selection, same semantics as Conv2d: forced kinds that
+  /// decline a phase fall back to im2col; kAuto asks the plan cache.
+  ConvAlgo algo = ConvAlgo::kIm2col;
 };
 
 class Deconv2d final : public Layer {
@@ -40,18 +49,27 @@ class Deconv2d final : public Layer {
 
   const Deconv2dConfig& config() const { return cfg_; }
 
+  /// The backend one *convolution phase* of this layer dispatches to for
+  /// this input shape. Remember the swap: the layer's forward runs
+  /// kBackwardData, its backward runs kForward (data) + kBackwardFilter.
+  gemm::ConvBackendKind phase_backend(const Shape& in,
+                                      gemm::ConvPhase phase) const;
+
  private:
   /// Geometry of the *underlying convolution*, whose input is this layer's
   /// output: out_h = (in_h - 1) * stride + kernel - 2 * pad.
   gemm::ConvGeom geom(const Shape& in) const;
+  gemm::ConvProblem problem(const Shape& in) const;
+  gemm::ConvBackendKind resolve_backend(const Shape& in,
+                                        gemm::ConvPhase phase,
+                                        bool parallel_ok) const;
 
   std::string name_;
   Deconv2dConfig cfg_;
-  Tensor weight_;  // (IC, OC, KH, KW): IC rows of OC*KH*KW, GEMM-ready
+  Tensor weight_;  // (IC, OC, KH, KW): the underlying conv's OIHW layout
   Tensor bias_;    // (OC)
   Tensor weight_grad_;
   Tensor bias_grad_;
-  Tensor col_;  // scratch lowered buffer (OC*KH*KW x in_h*in_w)
 };
 
 }  // namespace pf15::nn

@@ -1,12 +1,275 @@
 #include "perf/json.hpp"
 
+#include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <sstream>
 
 #include "common/errors.hpp"
 
 namespace pf15::perf {
+
+namespace {
+
+/// Recursive-descent parser. Whitespace handling is JSON-standard; numbers
+/// go through strtod (the writer only emits what strtod reads back).
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Json parse_document() {
+    Json value = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw IoError("Json::parse: " + why + " at offset " +
+                  std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(const char* lit) {
+    const std::size_t n = std::char_traits<char>::length(lit);
+    if (text_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  Json parse_value() {
+    // Containers recurse; bound the depth so a hostile document (e.g. a
+    // tampered plan-cache file full of '[') fails with IoError instead
+    // of overflowing the stack.
+    if (depth_ > kMaxDepth) fail("nesting deeper than 256 levels");
+    const char c = peek();
+    switch (c) {
+      case '{':
+        return parse_object();
+      case '[':
+        return parse_array();
+      case '"':
+        return Json(parse_string());
+      case 't':
+        if (consume_literal("true")) return Json(true);
+        fail("bad literal");
+      case 'f':
+        if (consume_literal("false")) return Json(false);
+        fail("bad literal");
+      case 'n':
+        if (consume_literal("null")) return Json();
+        fail("bad literal");
+      default:
+        return parse_number();
+    }
+  }
+
+  Json parse_object() {
+    expect('{');
+    ++depth_;
+    Json obj = Json::object();
+    if (peek() == '}') {
+      ++pos_;
+      --depth_;
+      return obj;
+    }
+    for (;;) {
+      if (peek() != '"') fail("expected object key");
+      std::string key = parse_string();
+      expect(':');
+      obj.set(key, parse_value());
+      const char c = peek();
+      ++pos_;
+      if (c == '}') {
+        --depth_;
+        return obj;
+      }
+      if (c != ',') fail("expected ',' or '}' in object");
+    }
+  }
+
+  Json parse_array() {
+    expect('[');
+    ++depth_;
+    Json arr = Json::array();
+    if (peek() == ']') {
+      ++pos_;
+      --depth_;
+      return arr;
+    }
+    for (;;) {
+      arr.push_back(parse_value());
+      const char c = peek();
+      ++pos_;
+      if (c == ']') {
+        --depth_;
+        return arr;
+      }
+      if (c != ',') fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad \\u escape");
+          }
+          // The writer only emits \u for control characters; decode the
+          // BMP code point as UTF-8.
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          fail("bad escape character");
+      }
+    }
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a value");
+    const std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) {
+      pos_ = start;
+      fail("bad number '" + token + "'");
+    }
+    return Json(value);
+  }
+
+  static constexpr std::size_t kMaxDepth = 256;
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  std::size_t depth_ = 0;
+};
+
+}  // namespace
+
+Json Json::parse(const std::string& text) {
+  return Parser(text).parse_document();
+}
+
+Json Json::read_file(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) throw IoError("Json::read_file: cannot open " + path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  if (file.bad()) throw IoError("Json::read_file: read failed for " + path);
+  return parse(buffer.str());
+}
+
+bool Json::as_bool() const {
+  if (type_ != Type::kBool) throw IoError("Json: value is not a bool");
+  return bool_;
+}
+
+double Json::as_number() const {
+  if (type_ != Type::kNumber) throw IoError("Json: value is not a number");
+  return num_;
+}
+
+const std::string& Json::as_string() const {
+  if (type_ != Type::kString) throw IoError("Json: value is not a string");
+  return str_;
+}
+
+std::size_t Json::size() const {
+  if (type_ == Type::kArray) return items_.size();
+  if (type_ == Type::kObject) return members_.size();
+  return 0;
+}
+
+const Json& Json::at(std::size_t index) const {
+  if (type_ != Type::kArray) throw IoError("Json::at on a non-array value");
+  if (index >= items_.size()) {
+    throw IoError("Json::at: index " + std::to_string(index) +
+                  " out of range");
+  }
+  return items_[index];
+}
+
+const Json* Json::find(const std::string& key) const {
+  if (type_ != Type::kObject) return nullptr;
+  for (const auto& member : members_) {
+    if (member.first == key) return &member.second;
+  }
+  return nullptr;
+}
+
+const Json& Json::get(const std::string& key) const {
+  const Json* found = find(key);
+  if (found == nullptr) throw IoError("Json: missing key '" + key + "'");
+  return *found;
+}
 
 Json Json::array() {
   Json j;
@@ -94,8 +357,10 @@ void Json::render(std::string& out, int indent, int depth) const {
                       static_cast<long long>(num_));
         out += buf;
       } else if (std::isfinite(num_)) {
+        // max_digits10: the parse() round-trip must reproduce the double
+        // exactly (the plan cache persists timings through this).
         char buf[40];
-        std::snprintf(buf, sizeof(buf), "%.6g", num_);
+        std::snprintf(buf, sizeof(buf), "%.17g", num_);
         out += buf;
       } else {
         out += "null";  // JSON has no NaN/Inf

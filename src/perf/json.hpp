@@ -1,10 +1,12 @@
-// Minimal JSON document builder for machine-readable perf records.
+// Minimal JSON document builder and reader for machine-readable records.
 //
 // Bench binaries historically emitted console tables and CSV; tracking a
 // perf trajectory across PRs needs a structured, self-describing record
-// (nested objects, typed numbers) that tooling can diff. This is a
-// build-only writer — no parsing — with deterministic key order
-// (insertion order), so records are stable under version control.
+// (nested objects, typed numbers) that tooling can diff. The writer keeps
+// deterministic key order (insertion order), so records are stable under
+// version control. The reader (parse/read_file + typed accessors) exists
+// for the subsystems that persist state as JSON — the convolution plan
+// cache loads its on-disk format through it.
 #pragma once
 
 #include <cstdint>
@@ -31,8 +33,35 @@ class Json {
   static Json array();
   static Json object();
 
+  /// Parses a JSON document. Throws pf15::IoError on malformed input
+  /// (unterminated strings, trailing garbage, bad escapes, ...).
+  static Json parse(const std::string& text);
+
+  /// Reads and parses `path`; throws pf15::IoError if the file cannot be
+  /// read or does not parse.
+  static Json read_file(const std::string& path);
+
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
   bool is_array() const { return type_ == Type::kArray; }
   bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed reads; each throws pf15::IoError when the value has a
+  /// different type (load paths treat that as a corrupt document).
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+
+  /// Element count of an array or object (0 for scalars).
+  std::size_t size() const;
+  /// Array element access; throws pf15::IoError out of range.
+  const Json& at(std::size_t index) const;
+  /// Object member lookup; nullptr when the key is absent.
+  const Json* find(const std::string& key) const;
+  /// Object member access; throws pf15::IoError when absent.
+  const Json& get(const std::string& key) const;
 
   /// Appends to an array (the value must have been made with array()).
   Json& push_back(Json v);

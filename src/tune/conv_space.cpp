@@ -7,9 +7,11 @@ namespace pf15::tune {
 namespace {
 
 std::vector<double> backend_choices(const gemm::ConvProblem& p,
-                                    const gemm::AutotuneOptions& opt) {
+                                    const gemm::AutotuneOptions& opt,
+                                    gemm::ConvPhase phase) {
   std::vector<double> choices;
-  for (const gemm::ConvBackend* b : gemm::candidate_backends(p, opt)) {
+  for (const gemm::ConvBackend* b :
+       gemm::candidate_backends(p, opt, phase)) {
     choices.push_back(static_cast<double>(static_cast<int>(b->kind())));
   }
   return choices;
@@ -18,17 +20,20 @@ std::vector<double> backend_choices(const gemm::ConvProblem& p,
 }  // namespace
 
 Space conv_backend_space(const gemm::ConvProblem& p,
-                         const gemm::AutotuneOptions& opt) {
+                         const gemm::AutotuneOptions& opt,
+                         gemm::ConvPhase phase) {
   Space space;
-  space.add(Dimension::discrete(kConvBackendDim, backend_choices(p, opt)));
+  space.add(
+      Dimension::discrete(kConvBackendDim, backend_choices(p, opt, phase)));
   return space;
 }
 
 Objective conv_backend_objective(const gemm::ConvProblem& p,
-                                 const gemm::AutotuneOptions& opt) {
-  return [p, opt](const Config& config) {
+                                 const gemm::AutotuneOptions& opt,
+                                 gemm::ConvPhase phase) {
+  return [p, opt, phase](const Config& config) {
     const gemm::ConvBackendKind kind = decode_backend(config);
-    return gemm::benchmark_backend(gemm::backend(kind), p, opt);
+    return gemm::benchmark_backend(gemm::backend(kind), p, opt, phase);
   };
 }
 
@@ -44,10 +49,12 @@ gemm::ConvBackendKind decode_backend(const Config& config) {
 
 gemm::ConvPlan tune_conv_backend(const gemm::ConvProblem& p,
                                  gemm::ConvPlanCache& cache,
-                                 const gemm::AutotuneOptions& opt) {
-  const Space space = conv_backend_space(p, opt);
+                                 const gemm::AutotuneOptions& opt,
+                                 gemm::ConvPhase phase) {
+  const Space space = conv_backend_space(p, opt, phase);
   const SearchResult result =
-      grid_search(space, conv_backend_objective(p, opt), /*per_dim=*/1);
+      grid_search(space, conv_backend_objective(p, opt, phase),
+                  /*per_dim=*/1);
   gemm::ConvPlan plan;
   plan.kind = decode_backend(result.best.config);
   plan.best_us = result.best.loss;
@@ -57,7 +64,7 @@ gemm::ConvPlan tune_conv_backend(const gemm::ConvProblem& p,
       plan.im2col_us = trial.loss;
     }
   }
-  cache.insert(p, plan);
+  cache.insert(p, phase, plan);
   return plan;
 }
 

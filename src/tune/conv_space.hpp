@@ -20,25 +20,28 @@ namespace pf15::tune {
 inline constexpr const char* kConvBackendDim = "backend";
 
 /// One discrete dimension "backend" whose choices encode the
-/// gemm::ConvBackendKind values applicable to `p` (as doubles, the Space
-/// currency). Candidates whose analytic FLOPs exceed
+/// gemm::ConvBackendKind values applicable to `p` in `phase` (as doubles,
+/// the Space currency). Candidates whose analytic FLOPs exceed
 /// `opt.flops_cutoff` x im2col's are excluded, mirroring autotune().
-Space conv_backend_space(const gemm::ConvProblem& p,
-                         const gemm::AutotuneOptions& opt = {});
+Space conv_backend_space(
+    const gemm::ConvProblem& p, const gemm::AutotuneOptions& opt = {},
+    gemm::ConvPhase phase = gemm::ConvPhase::kForward);
 
 /// Objective: measured per-image microseconds of the encoded backend on
-/// `p` (lower is better), via gemm::benchmark_backend with the same
-/// deterministic operands the plan cache tunes on.
-Objective conv_backend_objective(const gemm::ConvProblem& p,
-                                 const gemm::AutotuneOptions& opt = {});
+/// `p` in `phase` (lower is better), via gemm::benchmark_backend with the
+/// same deterministic operands the plan cache tunes on.
+Objective conv_backend_objective(
+    const gemm::ConvProblem& p, const gemm::AutotuneOptions& opt = {},
+    gemm::ConvPhase phase = gemm::ConvPhase::kForward);
 
 /// Decodes a searcher's winning config back to a backend kind.
 gemm::ConvBackendKind decode_backend(const Config& config);
 
 /// Runs grid search over conv_backend_space and installs the winner into
-/// `cache` as the plan for `p`. Returns the winning plan.
-gemm::ConvPlan tune_conv_backend(const gemm::ConvProblem& p,
-                                 gemm::ConvPlanCache& cache,
-                                 const gemm::AutotuneOptions& opt = {});
+/// `cache` as the plan for `p` in `phase`. Returns the winning plan.
+gemm::ConvPlan tune_conv_backend(
+    const gemm::ConvProblem& p, gemm::ConvPlanCache& cache,
+    const gemm::AutotuneOptions& opt = {},
+    gemm::ConvPhase phase = gemm::ConvPhase::kForward);
 
 }  // namespace pf15::tune

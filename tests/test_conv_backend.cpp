@@ -1,12 +1,17 @@
-// Convolution backend dispatch subsystem: registry contents and
+// Convolution backend dispatch subsystem: registry contents and per-phase
 // applicability, numerical agreement of every backend against the im2col
-// reference on randomized geometries, the autotune plan cache (memoing,
-// overrides, determinism of inputs), Conv2d dispatch through Sequential,
-// the batch-parallel forward path, the explicit Winograd-forward /
-// im2col-backward fallback, and the tune::Space adapter.
+// reference on randomized geometries (forward, backward-data,
+// backward-filter), the autotune plan cache (per-phase memoing, overrides,
+// on-disk persistence round-trip and header rejection), Conv2d and
+// Deconv2d dispatch through the shared table, the batch-parallel paths,
+// Winograd tile selection, and the tune::Space adapter.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <memory>
+#include <string>
+#include <unistd.h>
 #include <vector>
 
 #include "check_failure.hpp"
@@ -15,8 +20,10 @@
 #include "common/rng.hpp"
 #include "gemm/conv_backend.hpp"
 #include "gemm/gemm.hpp"
+#include "gemm/winograd.hpp"
 #include "nn/activations.hpp"
 #include "nn/conv2d.hpp"
+#include "nn/deconv2d.hpp"
 #include "nn/network.hpp"
 #include "tune/conv_space.hpp"
 
@@ -24,6 +31,7 @@ namespace pf15 {
 namespace {
 
 using gemm::ConvBackendKind;
+using gemm::ConvPhase;
 
 gemm::ConvProblem make_problem(std::size_t in_c, std::size_t out_c,
                                std::size_t hw, std::size_t kernel,
@@ -36,6 +44,25 @@ gemm::ConvProblem make_problem(std::size_t in_c, std::size_t out_c,
   p.geom.pad_h = p.geom.pad_w = pad;
   p.out_c = out_c;
   return p;
+}
+
+struct ConvOperands {
+  std::vector<float> image, weight, bias, dout;
+};
+
+ConvOperands random_operands(const gemm::ConvProblem& p, std::uint64_t seed) {
+  const auto& g = p.geom;
+  Rng rng(seed);
+  ConvOperands ops;
+  ops.image.resize(g.in_c * g.in_h * g.in_w);
+  for (auto& v : ops.image) v = rng.uniform(-1.0f, 1.0f);
+  ops.weight.resize(p.out_c * g.lowered_rows());
+  for (auto& v : ops.weight) v = rng.uniform(-0.5f, 0.5f);
+  ops.bias.resize(p.out_c);
+  for (auto& v : ops.bias) v = rng.uniform(-0.2f, 0.2f);
+  ops.dout.resize(p.out_c * g.lowered_cols());
+  for (auto& v : ops.dout) v = rng.uniform(-1.0f, 1.0f);
+  return ops;
 }
 
 /// im2col + naive GEMM ground truth for one image.
@@ -61,6 +88,36 @@ std::vector<float> reference_conv(const gemm::ConvProblem& p,
   return out;
 }
 
+/// im2col-adjoint ground truth for the data gradient.
+std::vector<float> reference_backward_data(const gemm::ConvProblem& p,
+                                           const std::vector<float>& dout,
+                                           const std::vector<float>& weight) {
+  const auto& g = p.geom;
+  std::vector<float> dcol(g.lowered_rows() * g.lowered_cols());
+  gemm::sgemm_naive(true, false, g.lowered_rows(), g.lowered_cols(),
+                    p.out_c, 1.0f, weight.data(), g.lowered_rows(),
+                    dout.data(), g.lowered_cols(), 0.0f, dcol.data(),
+                    g.lowered_cols());
+  std::vector<float> din(g.in_c * g.in_h * g.in_w, 0.0f);
+  gemm::col2im(g, dcol.data(), din.data());
+  return din;
+}
+
+/// im2col-adjoint ground truth for the filter gradient.
+std::vector<float> reference_backward_filter(
+    const gemm::ConvProblem& p, const std::vector<float>& image,
+    const std::vector<float>& dout) {
+  const auto& g = p.geom;
+  std::vector<float> col(g.lowered_rows() * g.lowered_cols());
+  gemm::im2col(g, image.data(), col.data());
+  std::vector<float> dw(p.out_c * g.lowered_rows(), 0.0f);
+  gemm::sgemm_naive(false, true, p.out_c, g.lowered_rows(),
+                    g.lowered_cols(), 1.0f, dout.data(), g.lowered_cols(),
+                    col.data(), g.lowered_cols(), 1.0f, dw.data(),
+                    g.lowered_rows());
+  return dw;
+}
+
 // ---- registry --------------------------------------------------------------
 
 TEST(ConvBackendRegistry, AllFourKindsRegistered) {
@@ -84,23 +141,71 @@ TEST(ConvBackendRegistry, NamesRoundTrip) {
   EXPECT_FALSE(gemm::parse_backend("mkl").has_value());
 }
 
+TEST(ConvBackendRegistry, PhaseNamesRoundTrip) {
+  for (const ConvPhase phase : gemm::kAllConvPhases) {
+    const auto parsed = gemm::parse_phase(gemm::to_string(phase));
+    ASSERT_TRUE(parsed.has_value()) << gemm::to_string(phase);
+    EXPECT_EQ(*parsed, phase);
+  }
+  EXPECT_FALSE(gemm::parse_phase("inference").has_value());
+}
+
 TEST(ConvBackendRegistry, WinogradApplicabilityIs3x3Stride1) {
   const auto& winograd = gemm::backend(ConvBackendKind::kWinograd);
   EXPECT_TRUE(winograd.applicable(make_problem(2, 3, 8, 3, 1, 1)));
   EXPECT_FALSE(winograd.applicable(make_problem(2, 3, 8, 5, 1, 2)));
   EXPECT_FALSE(winograd.applicable(make_problem(2, 3, 8, 3, 2, 1)));
-  // im2col and direct apply everywhere.
+  // im2col and direct apply everywhere, every phase.
   for (auto kind : {ConvBackendKind::kIm2col, ConvBackendKind::kDirect}) {
-    EXPECT_TRUE(gemm::backend(kind).applicable(
-        make_problem(2, 3, 8, 5, 3, 2)));
+    for (const ConvPhase phase : gemm::kAllConvPhases) {
+      EXPECT_TRUE(gemm::backend(kind).applicable(
+          make_problem(2, 3, 8, 5, 3, 2), phase));
+    }
   }
 }
 
+TEST(ConvBackendRegistry, FftDeclinesBackwardPhases) {
+  const auto& fft = gemm::backend(ConvBackendKind::kFft);
+  const gemm::ConvProblem p = make_problem(2, 3, 8, 3, 1, 1);
+  EXPECT_TRUE(fft.applicable(p, ConvPhase::kForward));
+  EXPECT_FALSE(fft.applicable(p, ConvPhase::kBackwardData));
+  EXPECT_FALSE(fft.applicable(p, ConvPhase::kBackwardFilter));
+  // Calling a declined phase is a contract violation, not silence.
+  std::vector<float> buf(2 * 8 * 8, 0.0f);
+  PF15_EXPECT_CHECK_FAIL(
+      fft.backward_data(p, buf.data(), buf.data(), buf.data(), false),
+      "declines");
+}
+
+TEST(ConvBackendRegistry, WinogradBackwardDataNeedsPadAtMost2) {
+  const auto& winograd = gemm::backend(ConvBackendKind::kWinograd);
+  EXPECT_TRUE(winograd.applicable(make_problem(2, 3, 8, 3, 1, 1),
+                                  ConvPhase::kBackwardData));
+  EXPECT_TRUE(winograd.applicable(make_problem(2, 3, 8, 3, 1, 2),
+                                  ConvPhase::kBackwardData));
+  EXPECT_FALSE(winograd.applicable(make_problem(2, 3, 8, 3, 1, 3),
+                                   ConvPhase::kBackwardData));
+  // ... but pad 3 is still fine forward and for the filter gradient.
+  EXPECT_TRUE(winograd.applicable(make_problem(2, 3, 8, 3, 1, 3),
+                                  ConvPhase::kForward));
+  EXPECT_TRUE(winograd.applicable(make_problem(2, 3, 8, 3, 1, 3),
+                                  ConvPhase::kBackwardFilter));
+}
+
 TEST(ConvBackendRegistry, ApplicableBackendsFilters) {
-  const auto for_5x5 = gemm::applicable_backends(make_problem(2, 3, 9, 5, 2, 2));
+  const auto for_5x5 =
+      gemm::applicable_backends(make_problem(2, 3, 9, 5, 2, 2));
   ASSERT_EQ(for_5x5.size(), 3u);  // everyone but Winograd
-  const auto for_3x3 = gemm::applicable_backends(make_problem(2, 3, 9, 3, 1, 1));
+  const auto for_3x3 =
+      gemm::applicable_backends(make_problem(2, 3, 9, 3, 1, 1));
   EXPECT_EQ(for_3x3.size(), 4u);
+  // Backward: FFT drops out.
+  const auto bwd_3x3 = gemm::applicable_backends(
+      make_problem(2, 3, 9, 3, 1, 1), ConvPhase::kBackwardData);
+  ASSERT_EQ(bwd_3x3.size(), 3u);
+  for (const auto* b : bwd_3x3) {
+    EXPECT_NE(b->kind(), ConvBackendKind::kFft);
+  }
 }
 
 // ---- numerical agreement ---------------------------------------------------
@@ -111,26 +216,59 @@ struct AgreementCase {
 
 class BackendAgreement : public ::testing::TestWithParam<AgreementCase> {};
 
-TEST_P(BackendAgreement, AllBackendsMatchReferenceTo1e4) {
+TEST_P(BackendAgreement, ForwardMatchesReferenceTo1e4) {
   const auto c = GetParam();
   const gemm::ConvProblem p =
       make_problem(c.in_c, c.out_c, c.hw, c.kernel, c.stride, c.pad);
-
-  Rng rng(0x5eedULL + c.in_c * 131 + c.hw * 17 + c.kernel);
-  std::vector<float> image(c.in_c * c.hw * c.hw);
-  for (auto& v : image) v = rng.uniform(-1.0f, 1.0f);
-  std::vector<float> weight(c.out_c * p.geom.lowered_rows());
-  for (auto& v : weight) v = rng.uniform(-0.5f, 0.5f);
-  std::vector<float> bias(c.out_c);
-  for (auto& v : bias) v = rng.uniform(-0.2f, 0.2f);
-
-  const std::vector<float> ref = reference_conv(p, image, weight, bias);
+  const ConvOperands ops =
+      random_operands(p, 0x5eedULL + c.in_c * 131 + c.hw * 17 + c.kernel);
+  const std::vector<float> ref =
+      reference_conv(p, ops.image, ops.weight, ops.bias);
   for (const gemm::ConvBackend* b : gemm::applicable_backends(p)) {
     std::vector<float> out(ref.size(), -77.0f);
-    b->forward(p, image.data(), weight.data(), bias.data(), out.data(),
-               /*parallel_ok=*/false);
+    b->forward(p, ops.image.data(), ops.weight.data(), ops.bias.data(),
+               out.data(), /*parallel_ok=*/false);
     for (std::size_t i = 0; i < ref.size(); ++i) {
-      ASSERT_NEAR(out[i], ref[i], 1e-4f)
+      ASSERT_NEAR(out[i], ref[i], 1e-4f) << b->name() << " element " << i;
+    }
+  }
+}
+
+TEST_P(BackendAgreement, BackwardDataMatchesIm2colAdjoint) {
+  const auto c = GetParam();
+  const gemm::ConvProblem p =
+      make_problem(c.in_c, c.out_c, c.hw, c.kernel, c.stride, c.pad);
+  const ConvOperands ops =
+      random_operands(p, 0xda7aULL + c.hw * 31 + c.pad * 7 + c.kernel);
+  const std::vector<float> ref =
+      reference_backward_data(p, ops.dout, ops.weight);
+  for (const gemm::ConvBackend* b :
+       gemm::applicable_backends(p, ConvPhase::kBackwardData)) {
+    std::vector<float> din(ref.size(), -77.0f);
+    b->backward_data(p, ops.dout.data(), ops.weight.data(), din.data(),
+                     /*parallel_ok=*/false);
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      ASSERT_NEAR(din[i], ref[i], 1e-4f) << b->name() << " element " << i;
+    }
+  }
+}
+
+TEST_P(BackendAgreement, BackwardFilterAccumulatesIm2colAdjoint) {
+  const auto c = GetParam();
+  const gemm::ConvProblem p =
+      make_problem(c.in_c, c.out_c, c.hw, c.kernel, c.stride, c.pad);
+  const ConvOperands ops =
+      random_operands(p, 0xf117e6ULL + c.hw * 13 + c.pad * 3 + c.stride);
+  const std::vector<float> ref =
+      reference_backward_filter(p, ops.image, ops.dout);
+  for (const gemm::ConvBackend* b :
+       gemm::applicable_backends(p, ConvPhase::kBackwardFilter)) {
+    // Pre-seed dweight to verify the += accumulation contract.
+    std::vector<float> dw(ref.size(), 0.25f);
+    b->backward_filter(p, ops.image.data(), ops.dout.data(), dw.data(),
+                       /*parallel_ok=*/false);
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      ASSERT_NEAR(dw[i] - 0.25f, ref[i], 2e-4f)
           << b->name() << " element " << i;
     }
   }
@@ -147,6 +285,64 @@ INSTANTIATE_TEST_SUITE_P(
                       AgreementCase{3, 3, 8, 3, 2, 1},   // strided 3x3
                       AgreementCase{1, 2, 6, 4, 2, 1})); // even kernel
 
+// ---- Winograd tiles --------------------------------------------------------
+
+TEST(WinogradTiles, PickTileSwitchesAtLargeOutputs) {
+  EXPECT_EQ(gemm::winograd_pick_tile(4, 4), gemm::WinogradTile::kF2x2);
+  EXPECT_EQ(gemm::winograd_pick_tile(6, 6), gemm::WinogradTile::kF4x4);
+  EXPECT_EQ(gemm::winograd_pick_tile(24, 24), gemm::WinogradTile::kF4x4);
+  EXPECT_EQ(gemm::winograd_pick_tile(6, 4), gemm::WinogradTile::kF2x2);
+}
+
+TEST(WinogradTiles, BothTilesMatchReferenceAcrossSizesAndPads) {
+  // Odd and even spatial sizes, pads 0/1/2, both tiles: the ragged-edge
+  // handling and the zero-padded gathers must agree with im2col exactly.
+  for (std::size_t h : {5u, 6u, 9u, 12u}) {
+    for (std::size_t pad : {0u, 1u, 2u}) {
+      if (h + 2 * pad < 3) continue;
+      const gemm::ConvProblem p = make_problem(3, 4, h, 3, 1, pad);
+      const ConvOperands ops = random_operands(p, 0x711e5ULL + h * 10 + pad);
+      const std::vector<float> ref =
+          reference_conv(p, ops.image, ops.weight, ops.bias);
+      for (auto tile :
+           {gemm::WinogradTile::kF2x2, gemm::WinogradTile::kF4x4}) {
+        std::vector<float> out(ref.size(), -77.0f);
+        gemm::winograd_conv3x3(ops.image.data(), p.geom.in_c, h, h,
+                               ops.weight.data(), p.out_c, pad,
+                               ops.bias.data(), out.data(), tile);
+        for (std::size_t i = 0; i < ref.size(); ++i) {
+          ASSERT_NEAR(out[i], ref[i], 1e-4f)
+              << gemm::to_string(tile) << " h=" << h << " pad=" << pad
+              << " element " << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(WinogradTiles, BothTilesComputeTheFilterGradient) {
+  for (std::size_t h : {5u, 8u, 11u}) {
+    for (std::size_t pad : {0u, 1u}) {
+      const gemm::ConvProblem p = make_problem(2, 3, h, 3, 1, pad);
+      const ConvOperands ops = random_operands(p, 0x6e4dULL + h * 10 + pad);
+      const std::vector<float> ref =
+          reference_backward_filter(p, ops.image, ops.dout);
+      for (auto tile :
+           {gemm::WinogradTile::kF2x2, gemm::WinogradTile::kF4x4}) {
+        std::vector<float> dw(ref.size(), 0.0f);
+        gemm::winograd_backward_filter3x3(ops.image.data(), p.geom.in_c, h,
+                                          h, ops.dout.data(), p.out_c, pad,
+                                          dw.data(), tile);
+        for (std::size_t i = 0; i < ref.size(); ++i) {
+          ASSERT_NEAR(dw[i], ref[i], 2e-4f)
+              << gemm::to_string(tile) << " h=" << h << " pad=" << pad
+              << " element " << i;
+        }
+      }
+    }
+  }
+}
+
 // ---- autotune + plan cache -------------------------------------------------
 
 gemm::AutotuneOptions fast_tune() {
@@ -158,11 +354,13 @@ gemm::AutotuneOptions fast_tune() {
 
 TEST(Autotune, WinnerIsApplicableAndNeverSlowerThanIm2col) {
   const gemm::ConvProblem p = make_problem(4, 6, 12, 3, 1, 1);
-  const gemm::ConvPlan plan = gemm::autotune(p, fast_tune());
-  EXPECT_TRUE(plan.tuned);
-  EXPECT_TRUE(gemm::backend(plan.kind).applicable(p));
-  EXPECT_LE(plan.best_us, plan.im2col_us);
-  EXPECT_GT(plan.best_us, 0.0);
+  for (const ConvPhase phase : gemm::kAllConvPhases) {
+    const gemm::ConvPlan plan = gemm::autotune(p, fast_tune(), phase);
+    EXPECT_TRUE(plan.tuned);
+    EXPECT_TRUE(gemm::backend(plan.kind).applicable(p, phase));
+    EXPECT_LE(plan.best_us, plan.im2col_us);
+    EXPECT_GT(plan.best_us, 0.0);
+  }
 }
 
 TEST(Autotune, BenchmarkRejectsInapplicableBackend) {
@@ -170,6 +368,11 @@ TEST(Autotune, BenchmarkRejectsInapplicableBackend) {
   PF15_EXPECT_CHECK_FAIL(
       gemm::benchmark_backend(gemm::backend(ConvBackendKind::kWinograd),
                               strided, fast_tune()),
+      "not applicable");
+  PF15_EXPECT_CHECK_FAIL(
+      gemm::benchmark_backend(gemm::backend(ConvBackendKind::kFft),
+                              make_problem(2, 2, 8, 3, 1, 1), fast_tune(),
+                              ConvPhase::kBackwardData),
       "not applicable");
 }
 
@@ -191,6 +394,18 @@ TEST(PlanCache, MemoizesFirstSightAndCountsHits) {
   EXPECT_EQ(cache.hits(), 0u);
 }
 
+TEST(PlanCache, PhasesTuneIndependently) {
+  gemm::ConvPlanCache cache(fast_tune());
+  const gemm::ConvProblem p = make_problem(2, 3, 10, 3, 1, 1);
+  cache.plan(p, ConvPhase::kForward);
+  EXPECT_FALSE(cache.lookup(p, ConvPhase::kBackwardData).has_value());
+  EXPECT_FALSE(cache.lookup(p, ConvPhase::kBackwardFilter).has_value());
+  cache.plan(p, ConvPhase::kBackwardData);
+  cache.plan(p, ConvPhase::kBackwardFilter);
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_EQ(cache.misses(), 3u);
+}
+
 TEST(PlanCache, DistinctGeometriesGetDistinctEntries) {
   gemm::ConvPlanCache cache(fast_tune());
   cache.plan(make_problem(2, 3, 10, 3, 1, 1));
@@ -209,6 +424,167 @@ TEST(PlanCache, InsertOverridesTheTunedPlan) {
   cache.insert(p, forced);
   EXPECT_EQ(cache.plan(p).kind, ConvBackendKind::kDirect);
   EXPECT_FALSE(cache.plan(p).tuned);
+  // Per-phase insert only touches its phase.
+  gemm::ConvPlan bwd;
+  bwd.kind = ConvBackendKind::kWinograd;
+  cache.insert(p, ConvPhase::kBackwardData, bwd);
+  EXPECT_EQ(cache.lookup(p, ConvPhase::kBackwardData)->kind,
+            ConvBackendKind::kWinograd);
+  EXPECT_FALSE(cache.lookup(p, ConvPhase::kBackwardFilter).has_value());
+}
+
+// ---- plan cache persistence ------------------------------------------------
+
+std::string temp_cache_path(const char* name) {
+  return ::testing::TempDir() + "/pf15_" + name + "_" +
+         std::to_string(::getpid()) + ".json";
+}
+
+TEST(PlanCachePersistence, SaveLoadRoundTripReproducesPlans) {
+  const std::string path = temp_cache_path("roundtrip");
+  gemm::ConvPlanCache cache(fast_tune());
+  const gemm::ConvProblem a = make_problem(2, 3, 10, 3, 1, 1);
+  const gemm::ConvProblem b = make_problem(4, 2, 9, 5, 2, 2);
+  for (const ConvPhase phase : gemm::kAllConvPhases) {
+    cache.plan(a, phase);
+    cache.plan(b, phase);
+  }
+  cache.save(path);
+
+  gemm::ConvPlanCache fresh(fast_tune());
+  fresh.load(path);
+  EXPECT_EQ(fresh.size(), cache.size());
+  for (const ConvPhase phase : gemm::kAllConvPhases) {
+    for (const auto& p : {a, b}) {
+      const auto orig = cache.lookup(p, phase);
+      const auto loaded = fresh.lookup(p, phase);
+      ASSERT_TRUE(orig.has_value());
+      ASSERT_TRUE(loaded.has_value());
+      EXPECT_EQ(loaded->kind, orig->kind);
+      EXPECT_NEAR(loaded->best_us, orig->best_us, 1e-6);
+      EXPECT_NEAR(loaded->im2col_us, orig->im2col_us, 1e-6);
+      EXPECT_EQ(loaded->tuned, orig->tuned);
+    }
+  }
+  // A warm cache answers plan() without tuning: only hits, no misses.
+  fresh.plan(a, ConvPhase::kBackwardData);
+  EXPECT_EQ(fresh.misses(), 0u);
+  EXPECT_EQ(fresh.hits(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(PlanCachePersistence, SaveMergesWithPlansAlreadyOnDisk) {
+  // Two processes sharing a cache path must accumulate measurements, not
+  // overwrite each other; untuned insert() overrides never reach disk
+  // and never evict a tuned plan stored there.
+  const std::string path = temp_cache_path("merge");
+  const gemm::ConvProblem a = make_problem(2, 3, 10, 3, 1, 1);
+  const gemm::ConvProblem b = make_problem(4, 2, 9, 5, 2, 2);
+
+  gemm::ConvPlanCache first(fast_tune());
+  first.plan(a);
+  first.save(path);
+
+  gemm::ConvPlanCache second(fast_tune());
+  second.plan(b);  // never saw `a`
+  gemm::ConvPlan forced;
+  forced.kind = ConvBackendKind::kDirect;
+  forced.tuned = false;
+  second.insert(a, forced);  // local override of `a`, not a measurement
+  second.save(path);
+
+  gemm::ConvPlanCache fresh(fast_tune());
+  fresh.load(path);
+  // `a` survived from the first process, `b` arrived from the second.
+  ASSERT_TRUE(fresh.lookup(a).has_value());
+  EXPECT_TRUE(fresh.lookup(a)->tuned);
+  EXPECT_EQ(fresh.lookup(a)->kind, first.lookup(a)->kind);
+  ASSERT_TRUE(fresh.lookup(b).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(PlanCachePersistence, InapplicableStoredBackendIsRejected) {
+  // A tampered file naming a backend that cannot run its problem must be
+  // rejected at load: the kernels trust applicability (Winograd reads
+  // the weight bank as 3x3), so dispatching it would corrupt memory.
+  const std::string path = temp_cache_path("inapplicable");
+  gemm::ConvPlanCache cache(fast_tune());
+  cache.plan(make_problem(2, 3, 10, 5, 1, 2));  // 5x5: never Winograd
+  cache.save(path);
+
+  std::ifstream in(path);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  in.close();
+  const auto pos = text.find("\"backend\": \"");
+  ASSERT_NE(pos, std::string::npos);
+  const auto end = text.find('"', pos + 12);
+  text.replace(pos, end + 1 - pos, "\"backend\": \"winograd\"");
+  {
+    std::ofstream out(path);
+    out << text;
+  }
+  gemm::ConvPlanCache fresh(fast_tune());
+  EXPECT_THROW(fresh.load(path), IoError);
+  EXPECT_EQ(fresh.size(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(PlanCachePersistence, DeeplyNestedFileIsRejectedNotACrash) {
+  const std::string path = temp_cache_path("deep");
+  {
+    std::ofstream f(path);
+    for (int i = 0; i < 100000; ++i) f << '[';
+  }
+  gemm::ConvPlanCache cache(fast_tune());
+  EXPECT_THROW(cache.load(path), IoError);
+  std::remove(path.c_str());
+}
+
+TEST(PlanCachePersistence, CorruptFileIsRejectedWithIoError) {
+  const std::string path = temp_cache_path("corrupt");
+  {
+    std::ofstream f(path);
+    f << "{\"format\": \"pf15.conv_plan_cache\", \"version\": ";  // cut off
+  }
+  gemm::ConvPlanCache cache(fast_tune());
+  EXPECT_THROW(cache.load(path), IoError);
+  EXPECT_EQ(cache.size(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(PlanCachePersistence, WrongFormatVersionAndHardwareAreRejected) {
+  const std::string path = temp_cache_path("headers");
+  gemm::ConvPlanCache cache(fast_tune());
+  cache.plan(make_problem(2, 3, 10, 3, 1, 1));
+  cache.save(path);
+
+  std::ifstream in(path);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  in.close();
+
+  const auto write_variant = [&](const std::string& from,
+                                 const std::string& to) {
+    std::string variant = text;
+    const auto pos = variant.find(from);
+    ASSERT_NE(pos, std::string::npos) << from;
+    variant.replace(pos, from.size(), to);
+    std::ofstream out(path);
+    out << variant;
+  };
+
+  gemm::ConvPlanCache fresh(fast_tune());
+  write_variant("pf15.conv_plan_cache", "some.other.format");
+  EXPECT_THROW(fresh.load(path), IoError);
+  write_variant("\"version\": 1", "\"version\": 999");
+  EXPECT_THROW(fresh.load(path), IoError);
+  write_variant("\"threads\": ", "\"threads\": 9999");
+  EXPECT_THROW(fresh.load(path), IoError);
+  EXPECT_EQ(fresh.size(), 0u);
+
+  EXPECT_THROW(fresh.load(path + ".does_not_exist"), IoError);
+  std::remove(path.c_str());
 }
 
 // ---- Conv2d dispatch -------------------------------------------------------
@@ -258,19 +634,23 @@ TEST(Conv2dDispatch, EveryForcedBackendMatchesIm2colThroughSequential) {
   }
 }
 
-TEST(Conv2dDispatch, ForcedBackendsReportThemselves) {
+TEST(Conv2dDispatch, ForcedBackendsReportThemselvesEveryPhase) {
   const Shape in_shape{2, 2, 10, 10};
   Rng data_rng(5);
-  Tensor input(in_shape), out;
+  Tensor input(in_shape), out, din;
   input.fill_uniform(data_rng, -1.0f, 1.0f);
   const struct {
     nn::ConvAlgo algo;
     ConvBackendKind kind;
+    ConvBackendKind backward_kind;  // im2col when the algo declines it
   } cases[] = {
-      {nn::ConvAlgo::kIm2col, ConvBackendKind::kIm2col},
-      {nn::ConvAlgo::kWinograd, ConvBackendKind::kWinograd},
-      {nn::ConvAlgo::kFft, ConvBackendKind::kFft},
-      {nn::ConvAlgo::kDirect, ConvBackendKind::kDirect},
+      {nn::ConvAlgo::kIm2col, ConvBackendKind::kIm2col,
+       ConvBackendKind::kIm2col},
+      {nn::ConvAlgo::kWinograd, ConvBackendKind::kWinograd,
+       ConvBackendKind::kWinograd},
+      {nn::ConvAlgo::kFft, ConvBackendKind::kFft, ConvBackendKind::kIm2col},
+      {nn::ConvAlgo::kDirect, ConvBackendKind::kDirect,
+       ConvBackendKind::kDirect},
   };
   for (const auto& c : cases) {
     Rng rng(7);
@@ -278,28 +658,58 @@ TEST(Conv2dDispatch, ForcedBackendsReportThemselves) {
     EXPECT_EQ(conv.forward_backend(in_shape), c.kind);
     conv.forward(input, out);
     EXPECT_EQ(conv.last_forward_backend(), c.kind);
-    // Backward is always the im2col adjoint — the fallback is explicit.
-    EXPECT_EQ(conv.backward_backend(), ConvBackendKind::kIm2col);
+    // Backward dispatches per phase; FFT falls back to the im2col
+    // adjoint explicitly.
+    EXPECT_EQ(conv.backward_backend(in_shape, ConvPhase::kBackwardData),
+              c.backward_kind);
+    EXPECT_EQ(conv.backward_backend(in_shape, ConvPhase::kBackwardFilter),
+              c.backward_kind);
+    Tensor dout(out.shape());
+    dout.fill_uniform(rng, -1.0f, 1.0f);
+    conv.backward(input, dout, din);
+    EXPECT_EQ(conv.last_backward_data_backend(), c.backward_kind);
+    EXPECT_EQ(conv.last_backward_filter_backend(), c.backward_kind);
   }
 }
 
-TEST(Conv2dDispatch, AutoResolvesThroughGlobalPlanCache) {
+TEST(Conv2dDispatch, AutoResolvesThroughGlobalPlanCachePerPhase) {
   Rng rng(7);
   nn::Conv2d conv("c", conv_config(2, 3, 3, 1, 1, nn::ConvAlgo::kAuto), rng);
   const Shape in_shape{1, 2, 10, 10};
   gemm::ConvProblem p = make_problem(2, 3, 10, 3, 1, 1);
-  // Pre-seed the cache so the test controls the plan instead of timing.
-  gemm::ConvPlan forced;
-  forced.kind = ConvBackendKind::kDirect;
-  gemm::ConvPlanCache::global().insert(p, forced);
+  // Pre-seed the cache so the test controls the plans instead of timing —
+  // a different backend per phase proves the phases dispatch separately.
+  gemm::ConvPlan fwd;
+  fwd.kind = ConvBackendKind::kDirect;
+  gemm::ConvPlanCache::global().insert(p, ConvPhase::kForward, fwd);
+  gemm::ConvPlan bwd_data;
+  bwd_data.kind = ConvBackendKind::kWinograd;
+  gemm::ConvPlanCache::global().insert(p, ConvPhase::kBackwardData,
+                                       bwd_data);
+  gemm::ConvPlan bwd_filter;
+  bwd_filter.kind = ConvBackendKind::kIm2col;
+  gemm::ConvPlanCache::global().insert(p, ConvPhase::kBackwardFilter,
+                                       bwd_filter);
+
   EXPECT_EQ(conv.forward_backend(in_shape), ConvBackendKind::kDirect);
-  Tensor input(in_shape), out;
+  Tensor input(in_shape), out, din;
   input.fill_uniform(rng, -1.0f, 1.0f);
   conv.forward(input, out);
   EXPECT_EQ(conv.last_forward_backend(), ConvBackendKind::kDirect);
-  // flops follow the dispatched backend.
+  Tensor dout(out.shape());
+  dout.fill_uniform(rng, -1.0f, 1.0f);
+  conv.backward(input, dout, din);
+  EXPECT_EQ(conv.last_backward_data_backend(), ConvBackendKind::kWinograd);
+  EXPECT_EQ(conv.last_backward_filter_backend(), ConvBackendKind::kIm2col);
+  // flops follow the dispatched backends.
   EXPECT_EQ(conv.forward_flops(in_shape),
             gemm::backend(ConvBackendKind::kDirect).flops(p) +
+                p.geom.lowered_cols() * p.out_c);
+  EXPECT_EQ(conv.backward_flops(in_shape),
+            gemm::backend(ConvBackendKind::kWinograd)
+                    .flops(p, ConvPhase::kBackwardData) +
+                gemm::backend(ConvBackendKind::kIm2col)
+                    .flops(p, ConvPhase::kBackwardFilter) +
                 p.geom.lowered_cols() * p.out_c);
 }
 
@@ -337,25 +747,79 @@ TEST(Conv2dDispatch, BatchParallelForwardMatchesPerImageForward) {
   }
 }
 
-// ---- explicit backward fallback --------------------------------------------
-
-TEST(Conv2dDispatch, WinogradForwardIm2colBackwardGradientCheck) {
-  // The satellite bug: Winograd forward used to silently share scratch
-  // sizing with the im2col backward. The fallback is now explicit and the
-  // gradient must be exact for the combined path.
-  Rng rng(31);
-  nn::Conv2d conv("c", conv_config(2, 3, 3, 1, 1, nn::ConvAlgo::kWinograd),
+TEST(Conv2dDispatch, BatchParallelBackwardMatchesPerImageBackward) {
+  // Same bit-identity requirement for the batch-parallel data-gradient
+  // pass and the serial filter accumulation.
+  Rng rng(23);
+  nn::Conv2d conv("c", conv_config(2, 4, 3, 1, 1, nn::ConvAlgo::kWinograd),
                   rng);
-  Tensor input(Shape{2, 2, 8, 8});
-  input.fill_uniform(rng, -1.0f, 1.0f);
-  EXPECT_EQ(conv.forward_backend(input.shape()),
-            ConvBackendKind::kWinograd);
-  testing::check_layer_gradients(conv, input);
-  EXPECT_EQ(conv.last_forward_backend(), ConvBackendKind::kWinograd);
-  EXPECT_EQ(conv.backward_backend(), ConvBackendKind::kIm2col);
+  const std::size_t n = 7;
+  Tensor batch(Shape{n, 2, 11, 11});
+  batch.fill_uniform(rng, -1.0f, 1.0f);
+  Tensor out;
+  conv.forward(batch, out);
+  Tensor dout(out.shape());
+  dout.fill_uniform(rng, -1.0f, 1.0f);
+  Tensor batched_din;
+  conv.backward(batch, dout, batched_din);
+
+  const std::size_t in_img = 2 * 11 * 11;
+  const std::size_t out_img = out.numel() / n;
+  Tensor one(Shape{1, 2, 11, 11}), one_dout(Shape{1, 4, 11, 11}), one_din;
+  for (std::size_t img = 0; img < n; ++img) {
+    std::copy(batch.data() + img * in_img,
+              batch.data() + (img + 1) * in_img, one.data());
+    std::copy(dout.data() + img * out_img,
+              dout.data() + (img + 1) * out_img, one_dout.data());
+    conv.backward(one, one_dout, one_din);
+    for (std::size_t i = 0; i < in_img; ++i) {
+      ASSERT_EQ(one_din.data()[i], batched_din.data()[img * in_img + i])
+          << "image " << img << " element " << i;
+    }
+  }
 }
 
-TEST(Conv2dDispatch, DirectForwardIm2colBackwardGradientCheck) {
+// ---- gradient checks through the dispatched backward -----------------------
+
+struct GradientCase {
+  std::size_t hw, pad;
+  nn::ConvAlgo algo;
+};
+
+class DispatchGradient : public ::testing::TestWithParam<GradientCase> {};
+
+TEST_P(DispatchGradient, LayerGradientsAreExact) {
+  const auto c = GetParam();
+  Rng rng(31 + c.hw + c.pad);
+  nn::Conv2d conv("c", conv_config(2, 3, 3, 1, c.pad, c.algo), rng);
+  Tensor input(Shape{2, 2, c.hw, c.hw});
+  input.fill_uniform(rng, -1.0f, 1.0f);
+  // Convolution is multilinear in (input, weight, bias), so the central
+  // difference has zero truncation error and a larger eps only dilutes
+  // fp32 rounding noise — which matters for the F(4x4) transforms, whose
+  // constants amplify rounding slightly over the GEMM reference path.
+  testing::GradCheckOptions opt;
+  opt.eps = 4e-2f;
+  opt.abs_floor = 2e-3f;
+  testing::check_layer_gradients(conv, input, opt);
+}
+
+// Odd/even spatial sizes and pads 0/1 for the Winograd and direct
+// backward kernels. The spatial size also selects the Winograd tile:
+// out < 6 runs F(2x2,3x3), out >= 6 runs F(4x4,3x3), so both tiles get a
+// full layer-level gradient check.
+INSTANTIATE_TEST_SUITE_P(
+    WinogradAndDirect, DispatchGradient,
+    ::testing::Values(GradientCase{5, 0, nn::ConvAlgo::kWinograd},   // F2x2
+                      GradientCase{6, 1, nn::ConvAlgo::kWinograd},   // F4x4
+                      GradientCase{8, 0, nn::ConvAlgo::kWinograd},   // F4x4
+                      GradientCase{9, 1, nn::ConvAlgo::kWinograd},   // odd
+                      GradientCase{5, 1, nn::ConvAlgo::kDirect},
+                      GradientCase{8, 0, nn::ConvAlgo::kDirect},
+                      GradientCase{9, 0, nn::ConvAlgo::kDirect},
+                      GradientCase{10, 1, nn::ConvAlgo::kDirect}));
+
+TEST(Conv2dDispatch, StridedDirectBackwardGradientCheck) {
   Rng rng(33);
   nn::Conv2d conv("c", conv_config(2, 3, 3, 2, 1, nn::ConvAlgo::kDirect),
                   rng);
@@ -364,9 +828,109 @@ TEST(Conv2dDispatch, DirectForwardIm2colBackwardGradientCheck) {
   testing::check_layer_gradients(conv, input);
 }
 
+// ---- Deconv2d through the shared dispatch ----------------------------------
+
+TEST(Deconv2dDispatch, ForcedBackendsMatchIm2colForward) {
+  const Shape in_shape{2, 3, 5, 5};
+  Rng data_rng(17);
+  Tensor input(in_shape);
+  input.fill_uniform(data_rng, -1.0f, 1.0f);
+
+  auto build = [&](nn::ConvAlgo algo) {
+    Rng rng(55);
+    nn::Deconv2dConfig cfg;
+    cfg.in_channels = 3;
+    cfg.out_channels = 2;
+    cfg.kernel = 3;
+    cfg.stride = 2;
+    cfg.pad = 1;
+    cfg.bias = true;
+    cfg.algo = algo;
+    return nn::Deconv2d("d", cfg, rng);
+  };
+
+  nn::Deconv2d reference = build(nn::ConvAlgo::kIm2col);
+  Tensor ref_out;
+  reference.forward(input, ref_out);
+  // Direct supports every phase; the layer's forward is backward-data.
+  nn::Deconv2d direct = build(nn::ConvAlgo::kDirect);
+  EXPECT_EQ(direct.phase_backend(in_shape, ConvPhase::kBackwardData),
+            ConvBackendKind::kDirect);
+  Tensor out;
+  direct.forward(input, out);
+  ASSERT_EQ(out.shape(), ref_out.shape());
+  for (std::size_t i = 0; i < out.numel(); ++i) {
+    ASSERT_NEAR(out.data()[i], ref_out.data()[i], 1e-4f) << "element " << i;
+  }
+  // FFT declines backward-data: the deconv forward falls back to im2col.
+  nn::Deconv2d fft = build(nn::ConvAlgo::kFft);
+  EXPECT_EQ(fft.phase_backend(in_shape, ConvPhase::kBackwardData),
+            ConvBackendKind::kIm2col);
+  // ... but the deconv *backward* data pass is a conv forward, where a
+  // forced FFT does apply.
+  EXPECT_EQ(fft.phase_backend(in_shape, ConvPhase::kForward),
+            ConvBackendKind::kFft);
+}
+
+TEST(Deconv2dDispatch, ForcedWinogradOnBadGeometryIsRefused) {
+  // Same construction-time contract as Conv2d: an impossible forced
+  // backend is an error, not a silent downgrade to im2col.
+  Rng rng(19);
+  nn::Deconv2dConfig cfg;
+  cfg.in_channels = 2;
+  cfg.out_channels = 3;
+  cfg.kernel = 3;
+  cfg.stride = 2;
+  cfg.pad = 1;
+  cfg.algo = nn::ConvAlgo::kWinograd;
+  PF15_EXPECT_CHECK_FAIL(nn::Deconv2d("d", cfg, rng),
+                         "Winograd requires 3x3 stride-1");
+}
+
+TEST(Deconv2dDispatch, GradientCheckAtStride2) {
+  // The satellite regression test: stride-2 deconvolution (the climate
+  // decoder shape class) must keep exact gradients now that forward and
+  // backward run through the shared backend dispatch.
+  for (auto algo : {nn::ConvAlgo::kIm2col, nn::ConvAlgo::kDirect}) {
+    Rng rng(61);
+    nn::Deconv2dConfig cfg;
+    cfg.in_channels = 2;
+    cfg.out_channels = 3;
+    cfg.kernel = 3;
+    cfg.stride = 2;
+    cfg.pad = 1;
+    cfg.bias = true;
+    cfg.algo = algo;
+    nn::Deconv2d deconv("d", cfg, rng);
+    Tensor input(Shape{2, 2, 4, 4});
+    input.fill_uniform(rng, -1.0f, 1.0f);
+    testing::check_layer_gradients(deconv, input);
+  }
+}
+
+TEST(Deconv2dDispatch, Stride1WinogradPathGradientCheck) {
+  // At stride 1 with a 3x3 kernel the underlying conv is
+  // Winograd-eligible in every phase; force it end to end.
+  Rng rng(63);
+  nn::Deconv2dConfig cfg;
+  cfg.in_channels = 2;
+  cfg.out_channels = 3;
+  cfg.kernel = 3;
+  cfg.stride = 1;
+  cfg.pad = 1;
+  cfg.bias = true;
+  cfg.algo = nn::ConvAlgo::kWinograd;
+  nn::Deconv2d deconv("d", cfg, rng);
+  EXPECT_EQ(deconv.phase_backend(Shape{1, 2, 6, 6}, ConvPhase::kBackwardData),
+            ConvBackendKind::kWinograd);
+  Tensor input(Shape{2, 2, 6, 6});
+  input.fill_uniform(rng, -1.0f, 1.0f);
+  testing::check_layer_gradients(deconv, input);
+}
+
 // ---- tune::Space adapter ---------------------------------------------------
 
-TEST(ConvSpace, EncodesApplicableBackends) {
+TEST(ConvSpace, EncodesApplicableBackendsPerPhase) {
   const gemm::ConvProblem p = make_problem(2, 3, 10, 3, 1, 1);
   const tune::Space space = tune::conv_backend_space(p);
   ASSERT_EQ(space.size(), 1u);
@@ -379,17 +943,28 @@ TEST(ConvSpace, EncodesApplicableBackends) {
     tune::Config config{{tune::kConvBackendDim, choice}};
     EXPECT_TRUE(gemm::backend(tune::decode_backend(config)).applicable(p));
   }
+  // Backward space never encodes FFT.
+  const tune::Space bwd_space = tune::conv_backend_space(
+      p, gemm::AutotuneOptions{}, ConvPhase::kBackwardFilter);
+  for (double choice : bwd_space.dimensions()[0].choices) {
+    tune::Config config{{tune::kConvBackendDim, choice}};
+    EXPECT_NE(tune::decode_backend(config), ConvBackendKind::kFft);
+  }
 }
 
-TEST(ConvSpace, GridSearchFindsWinnerAndInstallsPlan) {
+TEST(ConvSpace, GridSearchFindsWinnerAndInstallsPlanPerPhase) {
   const gemm::ConvProblem p = make_problem(2, 3, 10, 3, 1, 1);
   gemm::ConvPlanCache cache(fast_tune());
-  const gemm::ConvPlan plan =
-      tune::tune_conv_backend(p, cache, fast_tune());
-  EXPECT_TRUE(plan.tuned);
-  EXPECT_LE(plan.best_us, plan.im2col_us);
-  ASSERT_TRUE(cache.lookup(p).has_value());
-  EXPECT_EQ(cache.lookup(p)->kind, plan.kind);
+  for (const ConvPhase phase : gemm::kAllConvPhases) {
+    const gemm::ConvPlan plan =
+        tune::tune_conv_backend(p, cache, fast_tune(), phase);
+    EXPECT_TRUE(plan.tuned);
+    EXPECT_LE(plan.best_us, plan.im2col_us);
+    ASSERT_TRUE(cache.lookup(p, phase).has_value());
+    EXPECT_EQ(cache.lookup(p, phase)->kind, plan.kind);
+  }
+  // insert() pins each phase's plan for both execution modes.
+  EXPECT_EQ(cache.size(), 6u);
 }
 
 }  // namespace
