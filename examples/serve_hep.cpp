@@ -1,12 +1,19 @@
 // Train -> checkpoint -> serve, end to end.
 //
 // Trains the tiny HEP classifier for a few hundred iterations, writes a
-// versioned checkpoint, reloads it into a ServingEngine, and answers 1000+
-// concurrent single-sample requests through the dynamic batcher. Every
-// response is cross-checked against unbatched single-sample inference on a
-// reference model restored from the same checkpoint — the serving path
-// must not change the math it serves.
+// versioned checkpoint carrying the tuned conv plans, reloads it into a
+// ServingEngine, and answers 1000+ concurrent single-sample requests
+// through the dynamic batcher. Every response is cross-checked against
+// unbatched single-sample inference on a reference model restored from
+// the same checkpoint — the serving path must not change the math it
+// serves (1e-4 relative budget: under kAuto dispatch, batched and
+// single-sample inference may legitimately run different tuned backends).
+//
+// --compiled serves through graph::CompiledPlans (eval no-ops stripped,
+// activations fused into conv epilogues, static activation arena,
+// pre-tuned plans); --eager (default) uses Sequential::forward.
 #include <atomic>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <mutex>
@@ -14,14 +21,28 @@
 #include <vector>
 
 #include "data/hep_generator.hpp"
+#include "gemm/conv_backend.hpp"
+#include "graph/compiled_plan.hpp"
 #include "hybrid/trainable.hpp"
 #include "perf/report.hpp"
 #include "serve/checkpoint.hpp"
 #include "serve/engine.hpp"
 #include "solver/solver.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pf15;
+
+  bool compiled = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--compiled") == 0) {
+      compiled = true;
+    } else if (std::strcmp(argv[i], "--eager") == 0) {
+      compiled = false;
+    } else {
+      std::fprintf(stderr, "usage: %s [--compiled | --eager]\n", argv[0]);
+      return 2;
+    }
+  }
 
   // --- 1. Train briefly -------------------------------------------------
   nn::HepConfig net_cfg = nn::HepConfig::tiny();
@@ -46,9 +67,10 @@ int main() {
     if (iter % 50 == 0) std::printf("  iter %3d  loss %.4f\n", iter, loss);
   }
 
-  // --- 2. Checkpoint ----------------------------------------------------
+  // --- 2. Checkpoint (weights + every conv plan tuned so far) -----------
   const std::string ckpt = "serve_hep_ckpt.bin";
-  serve::checkpoint_model_file(ckpt, model.net(), "hep");
+  serve::checkpoint_model_file_with_plans(ckpt, model.net(), "hep",
+                                          gemm::ConvPlanCache::global());
   const auto meta = serve::read_checkpoint_meta_file(ckpt);
   std::printf("checkpoint written: %s (kind \"%s\", format v%u)\n",
               ckpt.c_str(), meta.model_kind.c_str(), meta.version);
@@ -61,7 +83,19 @@ int main() {
   eng_cfg.batcher.max_batch = 16;
   eng_cfg.batcher.max_wait_us = 500;
   eng_cfg.batcher.queue_capacity = 512;
+  eng_cfg.compiled = compiled;
   serve::ServingEngine engine(factory, ckpt, "hep", eng_cfg);
+  std::printf("serving mode: %s\n", compiled ? "compiled" : "eager");
+  if (const graph::CompileReport* report = engine.compile_report()) {
+    std::printf("compiled plan: %zu ops (from %zu), %zu activations "
+                "fused, arena %zu B vs eager %zu B, %zu plans pre-tuned "
+                "(%zu cold)\n",
+                report->compiled_ops, report->captured_ops,
+                report->passes.fused_activations,
+                report->arena_floats_per_sample * sizeof(float),
+                report->eager_floats_per_sample * sizeof(float),
+                report->pretuned_plans, report->pretune_misses);
+  }
 
   // Reference for correctness: same checkpoint, unbatched inference.
   nn::Sequential reference = factory();
@@ -100,16 +134,18 @@ int main() {
     Tensor single = stack_samples({&sample});
     const Tensor& want = reference.forward(single);
     for (std::size_t j = 0; j < got.numel(); ++j) {
-      worst = std::max(worst,
-                       static_cast<double>(std::abs(got.at(j) - want.at(j))));
+      const double rel =
+          std::abs(static_cast<double>(got.at(j)) - want.at(j)) /
+          (1.0 + std::abs(static_cast<double>(want.at(j))));
+      worst = std::max(worst, rel);
     }
     if (got.at(1) > got.at(0)) ++signal;
   }
   const auto stats = engine.stats();
   engine.shutdown();
 
-  std::printf("max |batched - unbatched| = %.2e (%s 1e-6 budget)\n", worst,
-              worst <= 1e-6 ? "within" : "EXCEEDS");
+  std::printf("max rel |batched - unbatched| = %.2e (%s 1e-4 budget)\n",
+              worst, worst <= 1e-4 ? "within" : "EXCEEDS");
   std::printf("classified signal: %zu / %zu\n", signal, inflight.size());
 
   perf::Table table({"metric", "value"});
@@ -123,5 +159,5 @@ int main() {
   std::printf("\n%s\n", table.str().c_str());
 
   std::remove(ckpt.c_str());
-  return worst <= 1e-6 ? 0 : 1;
+  return worst <= 1e-4 ? 0 : 1;
 }

@@ -3,7 +3,8 @@
 # Single entry point shared by developers and CI.
 #
 # The build turns warnings into errors for the kernel (src/gemm), layer
-# (src/nn), tuning (src/tune) and serving (src/serve) subsystems. The
+# (src/nn), tuning (src/tune), graph-compiler (src/graph) and serving
+# (src/serve) subsystems. The
 # convolution backend sweep records the perf trajectory of the hottest
 # path — forward AND backward, per-image and batched — into
 # BENCH_conv_backends.json at the repo root (diff it PR over PR), then a
@@ -43,3 +44,28 @@ if [ "$rc" -ne 0 ] && [ "$rc" -ne 1 ]; then
   exit "$rc"
 fi
 echo "plan cache warm start verified: zero first-sight tunes"
+
+# Graph compiler acceptance: eager-vs-compiled throughput and arena bytes
+# recorded to BENCH_graph_compile.json (exit 1 = timing-noise warning),
+# then a second process must build every compiled plan warm from the
+# saved cache — zero first-sight tunes, enforced by exit code 3.
+# PF15_CONV_PLAN_CACHE=off keeps the runs hermetic: only the explicit
+# --cache path feeds the second process.
+graph_cache="build/graph_plans.json"
+rm -f "$graph_cache"
+rc=0
+PF15_CONV_PLAN_CACHE=off ./build/bench_graph_compile \
+    --json BENCH_graph_compile.json --batch 8 --cache "$graph_cache" || rc=$?
+if [ "$rc" -eq 1 ]; then
+  echo "WARNING: bench_graph_compile perf acceptance not met on this machine (timing noise?)" >&2
+elif [ "$rc" -ne 0 ]; then
+  exit "$rc"
+fi
+rc=0
+PF15_CONV_PLAN_CACHE=off ./build/bench_graph_compile --json /dev/null \
+    --batch 8 --plans-only --require-warm --cache "$graph_cache" || rc=$?
+if [ "$rc" -ne 0 ] && [ "$rc" -ne 1 ]; then
+  echo "FAIL: compiled plans did not start warm in a fresh process" >&2
+  exit "$rc"
+fi
+echo "compiled-plan warm start verified: zero first-sight tunes"

@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <limits>
 #include <thread>
 #include <tuple>
 #include <unistd.h>
@@ -182,6 +183,13 @@ class Im2colBackend final : public ConvBackend {
 
 class WinogradBackend final : public ConvBackend {
  public:
+  /// The transformed filter bank U, computed once per (weights, geometry)
+  /// and shared read-only by every image of a batch.
+  struct Prep final : ConvPrep {
+    std::vector<float> u;
+    WinogradTile tile = WinogradTile::kF2x2;
+  };
+
   ConvBackendKind kind() const override {
     return ConvBackendKind::kWinograd;
   }
@@ -204,6 +212,31 @@ class WinogradBackend final : public ConvBackend {
                      p.out_c, p.geom.pad_h, bias, out,
                      winograd_pick_tile(p.geom.out_h(), p.geom.out_w()),
                      parallel_ok);
+  }
+
+  std::unique_ptr<ConvPrep> prepare_forward(
+      const ConvProblem& p, const float* weight) const override {
+    auto prep = std::make_unique<Prep>();
+    prep->tile = winograd_pick_tile(p.geom.out_h(), p.geom.out_w());
+    prep->u.resize(
+        winograd_filter_xform_floats(p.geom.in_c, p.out_c, prep->tile));
+    winograd_transform_filters(weight, p.geom.in_c, p.out_c, prep->tile,
+                               prep->u.data());
+    return prep;
+  }
+
+  void forward_prepared(const ConvProblem& p, const ConvPrep* prep,
+                        const float* image, const float* weight,
+                        const float* bias, float* out,
+                        bool parallel_ok) const override {
+    if (prep == nullptr) {
+      forward(p, image, weight, bias, out, parallel_ok);
+      return;
+    }
+    const auto& wp = static_cast<const Prep&>(*prep);
+    winograd_conv3x3_pre(image, p.geom.in_c, p.geom.in_h, p.geom.in_w,
+                         wp.u.data(), p.out_c, p.geom.pad_h, bias, out,
+                         wp.tile, parallel_ok);
   }
 
   void backward_data(const ConvProblem& p, const float* dout,
@@ -642,15 +675,17 @@ struct StoredPlan {
   ConvProblem problem;
   ConvPhase phase = ConvPhase::kForward;
   bool parallel_ok = false;
+  std::size_t batch = 1;  // bucket (power of two)
   ConvPlan plan;
 };
 
-/// Reads and validates a plan-cache file: header (format name, version,
-/// hardware signature) and every entry. Throws IoError on any defect.
-std::vector<StoredPlan> parse_plan_file(const std::string& path) {
-  perf::Json doc = perf::Json::read_file(path);
+/// Reads and validates a parsed plan-cache document: header (format name,
+/// version, hardware signature) and every entry. Throws IoError on any
+/// defect; `origin` names the file or stream in the message.
+std::vector<StoredPlan> parse_plan_doc(const perf::Json& doc,
+                                       const std::string& origin) {
   const auto reject = [&](const std::string& why) -> IoError {
-    return IoError("conv plan cache: " + path + ": " + why);
+    return IoError("conv plan cache: " + origin + ": " + why);
   };
   try {
     if (doc.get("format").as_string() != kCacheFormat) {
@@ -699,6 +734,7 @@ std::vector<StoredPlan> parse_plan_file(const std::string& path) {
       }
       stored.phase = *phase;
       stored.parallel_ok = entry.get("parallel_ok").as_bool();
+      stored.batch = conv_batch_bucket(field("batch"));
       const auto kind = parse_backend(entry.get("backend").as_string());
       if (!kind.has_value()) {
         throw reject("unknown backend '" + entry.get("backend").as_string() +
@@ -726,7 +762,24 @@ std::vector<StoredPlan> parse_plan_file(const std::string& path) {
   }
 }
 
+std::vector<StoredPlan> parse_plan_file(const std::string& path) {
+  return parse_plan_doc(perf::Json::read_file(path), path);
+}
+
 }  // namespace
+
+std::size_t conv_batch_bucket(std::size_t n) {
+  if (n <= 1) return 1;
+  std::size_t bucket = 1;
+  while (bucket < n) {
+    // Saturate at the largest representable power of two: doubling again
+    // would wrap to 0 and loop forever on absurd n (e.g. a corrupted
+    // "batch" field in a plan-cache document).
+    if (bucket > std::numeric_limits<std::size_t>::max() / 2) return bucket;
+    bucket <<= 1;
+  }
+  return bucket;
+}
 
 ConvPlanCache& ConvPlanCache::global() {
   static GlobalConvPlanCache holder;
@@ -744,10 +797,15 @@ std::string ConvPlanCache::persist_path() {
 }
 
 ConvPlan ConvPlanCache::plan(const ConvProblem& p, ConvPhase phase,
-                             bool parallel_ok) {
-  const Key key{p, phase, parallel_ok};
+                             bool parallel_ok, std::size_t batch) {
+  const Key key{p, phase, parallel_ok, conv_batch_bucket(batch)};
   std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
+    auto ov = overrides_.find(OverrideKey{p, phase});
+    if (ov != overrides_.end()) {
+      ++hits_;
+      return ov->second;
+    }
     auto it = plans_.find(key);
     if (it != plans_.end()) {
       ++hits_;
@@ -772,19 +830,24 @@ ConvPlan ConvPlanCache::plan(const ConvProblem& p, ConvPhase phase,
     throw;
   }
   lock.lock();
-  // emplace, not operator[]: an insert() that landed while we were timing
-  // is an operator override and must win over the tuned result.
   plans_.emplace(key, tuned);
   tuning_.erase(key);
   tuning_cv_.notify_all();
+  // An insert() that landed while we were timing is an operator override
+  // and must win over the tuned result.
+  auto ov = overrides_.find(OverrideKey{p, phase});
+  if (ov != overrides_.end()) return ov->second;
   return plans_.find(key)->second;
 }
 
 std::optional<ConvPlan> ConvPlanCache::lookup(const ConvProblem& p,
                                               ConvPhase phase,
-                                              bool parallel_ok) const {
+                                              bool parallel_ok,
+                                              std::size_t batch) const {
   std::lock_guard<std::mutex> lock(mutex_);
-  auto it = plans_.find(Key{p, phase, parallel_ok});
+  auto ov = overrides_.find(OverrideKey{p, phase});
+  if (ov != overrides_.end()) return ov->second;
+  auto it = plans_.find(Key{p, phase, parallel_ok, conv_batch_bucket(batch)});
   if (it == plans_.end()) return std::nullopt;
   return it->second;
 }
@@ -796,43 +859,22 @@ void ConvPlanCache::insert(const ConvProblem& p, const ConvPlan& plan) {
 void ConvPlanCache::insert(const ConvProblem& p, ConvPhase phase,
                            const ConvPlan& plan) {
   std::lock_guard<std::mutex> lock(mutex_);
-  plans_[Key{p, phase, false}] = plan;
-  plans_[Key{p, phase, true}] = plan;
+  overrides_[OverrideKey{p, phase}] = plan;
 }
 
-void ConvPlanCache::save(const std::string& path) const {
-  // Start from what is already on disk, if anything valid is there:
-  // another process may have tuned geometries this one never saw, and a
-  // plain rewrite from the in-memory view would drop their measurements
-  // (the lost-update race between a long-lived trainer and short bench
-  // runs sharing a path).
-  std::map<Key, ConvPlan> merged;
-  std::error_code ec;
-  if (std::filesystem::exists(path, ec)) {
-    try {
-      for (const StoredPlan& s : parse_plan_file(path)) {
-        merged[Key{s.problem, s.phase, s.parallel_ok}] = s.plan;
-      }
-    } catch (const Error&) {
-      // Unreadable or mismatched file: rewrite it from scratch below.
-    }
-  }
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    for (const auto& [key, plan] : plans_) {
-      // Persist measurements only (see the header contract); our own
-      // measurements beat whatever the file had for the same key.
-      if (plan.tuned) merged[key] = plan;
-    }
-  }
+namespace {
 
+/// Renders a set of keyed plans as the canonical cache document.
+perf::Json render_plan_doc(
+    const std::map<std::tuple<ConvProblem, ConvPhase, bool, std::size_t>,
+                   ConvPlan>& plans) {
   perf::Json doc = perf::Json::object();
   doc.set("format", kCacheFormat);
   doc.set("version", kConvPlanCacheVersion);
   doc.set("hardware", hardware_signature());
   perf::Json entries = perf::Json::array();
-  for (const auto& [key, plan] : merged) {
-    const auto& [problem, phase, parallel_ok] = key;
+  for (const auto& [key, plan] : plans) {
+    const auto& [problem, phase, parallel_ok, batch] = key;
     const ConvGeom& g = problem.geom;
     perf::Json entry = perf::Json::object();
     entry.set("in_c", g.in_c);
@@ -847,6 +889,7 @@ void ConvPlanCache::save(const std::string& path) const {
     entry.set("out_c", problem.out_c);
     entry.set("phase", to_string(phase));
     entry.set("parallel_ok", parallel_ok);
+    entry.set("batch", batch);
     entry.set("backend", to_string(plan.kind));
     entry.set("best_us", plan.best_us);
     entry.set("im2col_us", plan.im2col_us);
@@ -854,6 +897,38 @@ void ConvPlanCache::save(const std::string& path) const {
     entries.push_back(std::move(entry));
   }
   doc.set("plans", std::move(entries));
+  return doc;
+}
+
+}  // namespace
+
+void ConvPlanCache::save(const std::string& path) const {
+  // Start from what is already on disk, if anything valid is there:
+  // another process may have tuned geometries this one never saw, and a
+  // plain rewrite from the in-memory view would drop their measurements
+  // (the lost-update race between a long-lived trainer and short bench
+  // runs sharing a path).
+  std::map<Key, ConvPlan> merged;
+  std::error_code ec;
+  if (std::filesystem::exists(path, ec)) {
+    try {
+      for (const StoredPlan& s : parse_plan_file(path)) {
+        merged[Key{s.problem, s.phase, s.parallel_ok, s.batch}] = s.plan;
+      }
+    } catch (const Error&) {
+      // Unreadable or mismatched file: rewrite it from scratch below.
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [key, plan] : plans_) {
+      // Persist measurements only (see the header contract); our own
+      // measurements beat whatever the file had for the same key.
+      if (plan.tuned) merged[key] = plan;
+    }
+  }
+
+  const perf::Json doc = render_plan_doc(merged);
   // Atomic publish: concurrent processes saving the same path each write
   // their own temp file; rename makes the last writer win with no torn
   // reads for concurrent loaders.
@@ -867,26 +942,48 @@ void ConvPlanCache::save(const std::string& path) const {
   }
 }
 
+std::string ConvPlanCache::dump() const {
+  std::map<Key, ConvPlan> tuned;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [key, plan] : plans_) {
+      if (plan.tuned) tuned[key] = plan;
+    }
+  }
+  return render_plan_doc(tuned).dump();
+}
+
 void ConvPlanCache::load(const std::string& path) {
   const std::vector<StoredPlan> stored = parse_plan_file(path);
   std::lock_guard<std::mutex> lock(mutex_);
   // emplace: entries already in memory win — they are this process's
   // freshest measurements (or explicit overrides).
   for (const StoredPlan& s : stored) {
-    plans_.emplace(Key{s.problem, s.phase, s.parallel_ok}, s.plan);
+    plans_.emplace(Key{s.problem, s.phase, s.parallel_ok, s.batch}, s.plan);
+  }
+}
+
+void ConvPlanCache::load_document(const std::string& text,
+                                  const std::string& origin) {
+  const std::vector<StoredPlan> stored =
+      parse_plan_doc(perf::Json::parse(text), origin);
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const StoredPlan& s : stored) {
+    plans_.emplace(Key{s.problem, s.phase, s.parallel_ok, s.batch}, s.plan);
   }
 }
 
 void ConvPlanCache::clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   plans_.clear();
+  overrides_.clear();
   hits_ = 0;
   misses_ = 0;
 }
 
 std::size_t ConvPlanCache::size() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return plans_.size();
+  return plans_.size() + overrides_.size();
 }
 
 std::size_t ConvPlanCache::tuned_size() const {

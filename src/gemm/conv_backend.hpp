@@ -24,6 +24,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <set>
@@ -82,6 +83,17 @@ struct ConvProblem {
   bool operator==(const ConvProblem& other) const;
 };
 
+/// Opaque weight-derived state shared by many forward() calls over one
+/// (problem, weights) pair — e.g. Winograd's transformed filter bank U,
+/// which depends only on the weights and would otherwise be recomputed
+/// per image inside a batch loop. Produced by ConvBackend::prepare_forward
+/// on the caller's thread, consumed read-only by forward_prepared (safe to
+/// share across pool threads).
+class ConvPrep {
+ public:
+  virtual ~ConvPrep() = default;
+};
+
 /// A convolution algorithm. Implementations are stateless and immutable
 /// after registration; per-call scratch lives in thread-local storage so
 /// one backend instance can serve a batch-parallel loop.
@@ -106,6 +118,27 @@ class ConvBackend {
   virtual void forward(const ConvProblem& p, const float* image,
                        const float* weight, const float* bias, float* out,
                        bool parallel_ok) const = 0;
+
+  /// Hoists weight-only work (filter transforms) out of a batch loop.
+  /// Returns null when the backend has nothing to precompute — the
+  /// default; forward_prepared then falls back to plain forward().
+  virtual std::unique_ptr<ConvPrep> prepare_forward(
+      const ConvProblem& p, const float* weight) const {
+    (void)p;
+    (void)weight;
+    return nullptr;
+  }
+
+  /// forward() that may consume `prep` (from this backend's
+  /// prepare_forward on the same problem and weights; null is allowed and
+  /// means "no prep"). The base implementation ignores prep.
+  virtual void forward_prepared(const ConvProblem& p, const ConvPrep* prep,
+                                const float* image, const float* weight,
+                                const float* bias, float* out,
+                                bool parallel_ok) const {
+    (void)prep;
+    forward(p, image, weight, bias, out, parallel_ok);
+  }
 
   /// One image data gradient: dout (OC,OH,OW) and weight -> din (C,H,W).
   /// Overwrite semantics: the backend fully computes the din image.
@@ -192,15 +225,24 @@ ConvPlan autotune(const ConvProblem& p, const AutotuneOptions& opt = {},
 
 /// On-disk plan-cache format version; bumped whenever the schema or the
 /// meaning of a field changes. Files with a different version are
-/// rejected (and re-tuned from scratch).
-inline constexpr int kConvPlanCacheVersion = 1;
+/// rejected (and re-tuned from scratch). v2 added the batch bucket.
+inline constexpr int kConvPlanCacheVersion = 2;
+
+/// The power-of-two batch bucket a convolution executes under: 1 for
+/// single-image calls (n <= 1), otherwise the next power of two >= n.
+/// Plans are keyed per bucket, so a dynamic batcher's ragged last batches
+/// (e.g. 13 requests against a max_batch of 16) land in the full-batch
+/// bucket and reuse its plan instead of re-tuning per distinct N.
+std::size_t conv_batch_bucket(std::size_t n);
 
 /// Process-wide memo of autotune() results, keyed by
-/// (ConvProblem, phase, execution mode). Thread safe; the first thread to
-/// see a key pays the tuning cost *outside* the cache lock (an in-flight
-/// set dedupes concurrent first sights), so hits never wait behind a miss
-/// being tuned. insert() lets callers (tests, the tune::Space driver,
-/// operators forcing a layout) override a plan — for both modes.
+/// (ConvProblem, phase, execution mode, batch bucket). Thread safe; the
+/// first thread to see a key pays the tuning cost *outside* the cache
+/// lock (an in-flight set dedupes concurrent first sights), so hits never
+/// wait behind a miss being tuned. insert() lets callers (tests, the
+/// tune::Space driver, operators forcing a layout) override a plan — the
+/// override applies to every execution mode and batch bucket of its
+/// (problem, phase).
 ///
 /// save()/load() give the cache a versioned on-disk JSON format whose
 /// header records the format name, kConvPlanCacheVersion and a hardware
@@ -219,33 +261,36 @@ class ConvPlanCache {
   /// "off" or "0").
   static std::string persist_path();
 
-  /// The plan for `p` in `phase` executed with `parallel_ok`, tuning on
-  /// first sight. Backends are timed in the mode they will run in: a plan
-  /// for the batch-parallel loop (parallel_ok=false) is decided on
+  /// The plan for `p` in `phase` executed with `parallel_ok` at batch
+  /// size `batch` (bucketed via conv_batch_bucket), tuning on first
+  /// sight. Backends are timed in the mode they will run in: a plan for
+  /// the batch-parallel loop (parallel_ok=false) is decided on
   /// single-thread times, a single-image plan (parallel_ok=true) lets
   /// candidates use the pool.
   ConvPlan plan(const ConvProblem& p, ConvPhase phase = ConvPhase::kForward,
-                bool parallel_ok = false);
+                bool parallel_ok = false, std::size_t batch = 1);
 
   /// The cached plan, if any — never tunes.
   std::optional<ConvPlan> lookup(const ConvProblem& p,
                                  ConvPhase phase = ConvPhase::kForward,
-                                 bool parallel_ok = false) const;
+                                 bool parallel_ok = false,
+                                 std::size_t batch = 1) const;
 
-  /// Forces the forward plan for `p` in both execution modes (an override
-  /// states "use this backend", independent of how the layer batches).
+  /// Forces the forward plan for `p`: an override states "use this
+  /// backend" independent of how the layer batches, so it applies to both
+  /// execution modes and every batch bucket.
   void insert(const ConvProblem& p, const ConvPlan& plan);
-  /// Per-phase override, again for both execution modes.
+  /// Per-phase override, same mode/bucket-independent semantics.
   void insert(const ConvProblem& p, ConvPhase phase, const ConvPlan& plan);
 
   /// Writes every *tuned* cached plan to `path` (atomically: temp file +
   /// rename), first merging in any valid plans already stored there, so
   /// concurrent processes sharing a path accumulate measurements instead
   /// of overwriting each other (this cache's entries win per key).
-  /// Untuned entries — insert() overrides from tests or operators — are
-  /// per-process decisions, not measurements, and are deliberately not
-  /// persisted: a later process must not inherit a forced backend as if
-  /// it had won a race. Throws IoError on I/O failure.
+  /// insert() overrides are per-process decisions, not measurements, and
+  /// are deliberately not persisted: a later process must not inherit a
+  /// forced backend as if it had won a race. Throws IoError on I/O
+  /// failure.
   void save(const std::string& path) const;
 
   /// Merges the plans stored at `path` into this cache; entries already
@@ -256,6 +301,17 @@ class ConvPlanCache {
   /// left untouched in every failure case.
   void load(const std::string& path);
 
+  /// Renders every tuned plan as the same JSON document save() writes —
+  /// without the disk merge. This is the payload checkpoints embed so a
+  /// cold serving process starts with warm plans.
+  std::string dump() const;
+
+  /// Merges a dump()/save() document into this cache with the same
+  /// validation and precedence as load(); `origin` names the source in
+  /// error messages.
+  void load_document(const std::string& text,
+                     const std::string& origin = "<document>");
+
   void clear();
   std::size_t size() const;
   /// Entries that came from a real micro-benchmark (what save() writes).
@@ -265,11 +321,15 @@ class ConvPlanCache {
   const AutotuneOptions& options() const { return opt_; }
 
  private:
-  using Key = std::tuple<ConvProblem, ConvPhase, bool>;
+  using Key = std::tuple<ConvProblem, ConvPhase, bool, std::size_t>;
+  using OverrideKey = std::pair<ConvProblem, ConvPhase>;
 
   mutable std::mutex mutex_;
   std::condition_variable tuning_cv_;
   std::map<Key, ConvPlan> plans_;
+  /// insert() overrides, consulted before plans_: one entry covers every
+  /// (mode, bucket) of its (problem, phase).
+  std::map<OverrideKey, ConvPlan> overrides_;
   std::set<Key> tuning_;  // keys being autotuned right now
   AutotuneOptions opt_;
   std::uint64_t hits_ = 0;

@@ -462,11 +462,14 @@ void for_each_position(int positions, bool parallel_ok, const Fn& fn) {
   }
 }
 
+/// `weight` xor `u_pre`: when `u_pre` is non-null it is the caller's
+/// pre-transformed filter bank (shared read-only across a batch) and the
+/// raw weights are not touched.
 template <int M>
 void wino_forward(const float* image, std::size_t in_c, std::size_t h,
-                  std::size_t w, const float* weight, std::size_t out_c,
-                  std::size_t pad, const float* bias, float* output,
-                  bool parallel_ok) {
+                  std::size_t w, const float* weight, const float* u_pre,
+                  std::size_t out_c, std::size_t pad, const float* bias,
+                  float* output, bool parallel_ok) {
   constexpr int T = Traits<M>::kT;
   constexpr int P = T * T;
   constexpr std::size_t B = kWinoBlock;
@@ -474,11 +477,16 @@ void wino_forward(const float* image, std::size_t in_c, std::size_t h,
   const TileGrid tg = tile_grid<M>(h, w, pad);
 
   thread_local std::vector<float> u_buf, v_buf, m_buf;
-  float* u = thread_scratch(u_buf, static_cast<std::size_t>(P) * out_c * in_c);
+  const float* u = u_pre;
+  if (u == nullptr) {
+    float* u_scratch =
+        thread_scratch(u_buf, static_cast<std::size_t>(P) * out_c * in_c);
+    transform_filters<M>(weight, in_c, out_c, u_scratch);
+    u = u_scratch;
+  }
   float* v = thread_scratch(v_buf, static_cast<std::size_t>(P) * in_c * tg.tiles);
   float* m = thread_scratch(m_buf, static_cast<std::size_t>(P) * out_c * tg.tiles);
 
-  transform_filters<M>(weight, in_c, out_c, u);
   transform_inputs<M>(image, in_c, h, w, pad, tg, v);
 
   // M[k] = U[k] (out_c x in_c) * V[k] (in_c x tiles).
@@ -604,10 +612,45 @@ void winograd_conv3x3(const float* image, std::size_t in_c, std::size_t h,
                       std::size_t pad, const float* bias, float* output,
                       WinogradTile tile, bool parallel_ok) {
   if (tile == WinogradTile::kF4x4) {
-    wino_forward<4>(image, in_c, h, w, weight, out_c, pad, bias, output,
+    wino_forward<4>(image, in_c, h, w, weight, nullptr, out_c, pad, bias,
+                    output, parallel_ok);
+  } else {
+    wino_forward<2>(image, in_c, h, w, weight, nullptr, out_c, pad, bias,
+                    output, parallel_ok);
+  }
+}
+
+std::size_t winograd_filter_xform_floats(std::size_t in_c,
+                                         std::size_t out_c,
+                                         WinogradTile tile) {
+  const std::size_t t = tile == WinogradTile::kF4x4
+                            ? static_cast<std::size_t>(Traits<4>::kT)
+                            : static_cast<std::size_t>(Traits<2>::kT);
+  return t * t * in_c * out_c;
+}
+
+void winograd_transform_filters(const float* weight, std::size_t in_c,
+                                std::size_t out_c, WinogradTile tile,
+                                float* u) {
+  PF15_CHECK(in_c > 0 && out_c > 0);
+  if (tile == WinogradTile::kF4x4) {
+    transform_filters<4>(weight, in_c, out_c, u);
+  } else {
+    transform_filters<2>(weight, in_c, out_c, u);
+  }
+}
+
+void winograd_conv3x3_pre(const float* image, std::size_t in_c,
+                          std::size_t h, std::size_t w, const float* u,
+                          std::size_t out_c, std::size_t pad,
+                          const float* bias, float* output,
+                          WinogradTile tile, bool parallel_ok) {
+  PF15_CHECK(u != nullptr);
+  if (tile == WinogradTile::kF4x4) {
+    wino_forward<4>(image, in_c, h, w, nullptr, u, out_c, pad, bias, output,
                     parallel_ok);
   } else {
-    wino_forward<2>(image, in_c, h, w, weight, out_c, pad, bias, output,
+    wino_forward<2>(image, in_c, h, w, nullptr, u, out_c, pad, bias, output,
                     parallel_ok);
   }
 }

@@ -59,6 +59,31 @@ void winograd_conv3x3(const float* image, std::size_t in_c, std::size_t h,
                       WinogradTile tile = WinogradTile::kF2x2,
                       bool parallel_ok = false);
 
+/// Floats in the transformed filter bank U for the given tile: T*T
+/// transform positions of an (out_c x in_c) matrix each.
+std::size_t winograd_filter_xform_floats(std::size_t in_c,
+                                         std::size_t out_c,
+                                         WinogradTile tile);
+
+/// Pre-computes U = G g G^T for every (oc, ic) filter into `u`
+/// (winograd_filter_xform_floats floats, position-major — the layout the
+/// transform-domain GEMMs consume). U depends only on the weights, so a
+/// batch loop computes it once and shares it read-only across images
+/// (and pool threads) via winograd_conv3x3_pre.
+void winograd_transform_filters(const float* weight, std::size_t in_c,
+                                std::size_t out_c, WinogradTile tile,
+                                float* u);
+
+/// winograd_conv3x3 with a pre-transformed filter bank `u` (from
+/// winograd_transform_filters with the same channels and tile) — the
+/// per-batch filter-transform hoist.
+void winograd_conv3x3_pre(const float* image, std::size_t in_c,
+                          std::size_t h, std::size_t w, const float* u,
+                          std::size_t out_c, std::size_t pad,
+                          const float* bias, float* output,
+                          WinogradTile tile = WinogradTile::kF2x2,
+                          bool parallel_ok = false);
+
 /// Filter gradient in the transform domain, accumulated (+=) into
 /// `dweight` (OC, IC, 3, 3): image (IC, H, W) is the layer input, dout
 /// (OC, OH, OW) the output gradient of the same geometry as

@@ -1,0 +1,71 @@
+#include "graph/arena.hpp"
+
+#include <algorithm>
+
+namespace pf15::graph {
+
+ArenaAssignment plan_arena(const Graph& g) {
+  const std::size_t n = g.nodes.size();
+  ArenaAssignment plan;
+  plan.offsets.assign(n, 0);
+  plan.external.assign(n, false);
+
+  // Live interval of node i's output: [i, last consumer]; graph outputs
+  // stay live past the last step (they are copied out after the run).
+  std::vector<std::size_t> last(n, 0);
+  std::vector<std::size_t> size(n, 0);
+  std::vector<std::size_t> consumers(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    last[i] = i;
+    size[i] = g.nodes[i].out_sample.numel();
+    plan.eager_floats += size[i];
+    if (g.nodes[i].input >= 0) {
+      last[static_cast<std::size_t>(g.nodes[i].input)] = i;
+      ++consumers[static_cast<std::size_t>(g.nodes[i].input)];
+    }
+  }
+  for (int out : g.outputs) {
+    if (out < 0) continue;
+    last[static_cast<std::size_t>(out)] = n;
+    // An output nothing else reads is produced straight into the result
+    // tensor — no arena slot, no copy-out.
+    if (consumers[static_cast<std::size_t>(out)] == 0) {
+      plan.external[static_cast<std::size_t>(out)] = true;
+    }
+  }
+
+  // Largest-first placement: for each buffer, sweep the already-placed
+  // buffers whose live interval overlaps and take the lowest offset gap
+  // that fits. O(n^2 log n) on graphs of tens of nodes.
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (size[a] != size[b]) return size[a] > size[b];
+    return a < b;
+  });
+
+  std::vector<bool> placed(n, false);
+  for (std::size_t i : order) {
+    if (plan.external[i]) continue;
+    // Intervals are closed: [def, last]. Overlap means the two buffers
+    // are both live at some step and must not share bytes.
+    std::vector<std::pair<std::size_t, std::size_t>> busy;  // (offset, end)
+    for (std::size_t j = 0; j < n; ++j) {
+      if (!placed[j]) continue;
+      if (last[j] < i || last[i] < j) continue;  // disjoint intervals
+      busy.emplace_back(plan.offsets[j], plan.offsets[j] + size[j]);
+    }
+    std::sort(busy.begin(), busy.end());
+    std::size_t offset = 0;
+    for (const auto& [b_off, b_end] : busy) {
+      if (offset + size[i] <= b_off) break;  // fits in the gap before b
+      offset = std::max(offset, b_end);
+    }
+    plan.offsets[i] = offset;
+    placed[i] = true;
+    plan.total_floats = std::max(plan.total_floats, offset + size[i]);
+  }
+  return plan;
+}
+
+}  // namespace pf15::graph

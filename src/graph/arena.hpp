@@ -1,0 +1,46 @@
+// Static activation memory planner.
+//
+// Eager execution owns one activation tensor per layer for the lifetime
+// of the network. The compiled plan instead assigns every node output a
+// fixed offset in one shared arena, reusing the bytes of buffers whose
+// last consumer has already run — the standard liveness-interval
+// assignment of serving-stack memory planners. Offsets are computed in
+// *per-sample* floats: activation extents scale linearly with the batch
+// dimension, and uniform scaling preserves disjointness, so one plan
+// serves every batch size (offset × N, size × N).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace pf15::graph {
+
+struct ArenaAssignment {
+  /// Per-node offset of the node's output buffer, in per-sample floats.
+  /// Meaningless for external buffers (below).
+  std::vector<std::size_t> offsets;
+  /// True for nodes whose result leaves the graph unread by any other
+  /// node: the executor writes those directly into the caller-visible
+  /// result tensors (which eager execution materialises too), so they
+  /// take no arena slot and cost no copy-out.
+  std::vector<bool> external;
+  /// Arena extent in per-sample floats (intermediates only); bytes for
+  /// batch N are total_floats * N * sizeof(float).
+  std::size_t total_floats = 0;
+  /// What the eager container keeps resident: the sum of every node
+  /// output (no reuse). The compiled-vs-eager footprint comparison.
+  std::size_t eager_floats = 0;
+};
+
+/// Plans the arena for `g`. A node's buffer is live from its defining
+/// step through its last consumer (graph outputs: through the end of the
+/// run, they are read back after the last step). Within a step the input
+/// and output buffers coexist — kernels read the input while writing the
+/// output — which the closed live intervals encode. Buffers are placed
+/// largest-first at the lowest offset that does not collide with any
+/// already-placed buffer whose interval overlaps.
+ArenaAssignment plan_arena(const Graph& g);
+
+}  // namespace pf15::graph

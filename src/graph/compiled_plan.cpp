@@ -1,0 +1,380 @@
+#include "graph/compiled_plan.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <memory>
+
+#include "common/thread_pool.hpp"
+#include "gemm/gemm.hpp"
+
+namespace pf15::graph {
+
+namespace {
+
+/// In-place fused epilogue, applied per image right after the producing
+/// kernel while the output is cache-hot. The formulas match the eager
+/// activation layers exactly.
+void apply_epilogue(Epilogue e, float* x, std::size_t n) {
+  switch (e) {
+    case Epilogue::kNone:
+      return;
+    case Epilogue::kRelu:
+      for (std::size_t i = 0; i < n; ++i) x[i] = x[i] > 0.0f ? x[i] : 0.0f;
+      return;
+    case Epilogue::kSigmoid:
+      for (std::size_t i = 0; i < n; ++i) {
+        x[i] = 1.0f / (1.0f + std::exp(-x[i]));
+      }
+      return;
+    case Epilogue::kTanh:
+      for (std::size_t i = 0; i < n; ++i) x[i] = std::tanh(x[i]);
+      return;
+  }
+}
+
+}  // namespace
+
+CompiledPlan::CompiledPlan(Graph graph, const CompileOptions& opt)
+    : graph_(std::move(graph)) {
+  report_.captured_ops = graph_.nodes.size();
+  if (opt.strip_noops) {
+    report_.passes.stripped_noops = graph::strip_noops(graph_);
+  }
+  if (opt.fold_batchnorm) {
+    report_.passes.folded_batchnorms = graph::fold_batchnorm(graph_);
+  }
+  if (opt.fuse_activations) {
+    report_.passes.fused_activations = graph::fuse_activations(graph_);
+  }
+  report_.compiled_ops = graph_.nodes.size();
+  arena_plan_ = plan_arena(graph_);
+  report_.arena_floats_per_sample = arena_plan_.total_floats;
+  report_.eager_floats_per_sample = arena_plan_.eager_floats;
+  opaque_in_.resize(graph_.nodes.size());
+  opaque_out_.resize(graph_.nodes.size());
+  dispatch_.resize(graph_.nodes.size());
+  // Which result tensor an external node writes into (first listing wins
+  // when an output is named twice).
+  output_slot_.assign(graph_.nodes.size(), -1);
+  for (std::size_t k = 0; k < graph_.outputs.size(); ++k) {
+    const int o = graph_.outputs[k];
+    if (o >= 0 && arena_plan_.external[static_cast<std::size_t>(o)] &&
+        output_slot_[static_cast<std::size_t>(o)] < 0) {
+      output_slot_[static_cast<std::size_t>(o)] = static_cast<int>(k);
+    }
+  }
+  if (opt.pretune) {
+    pretune_convs(std::max<std::size_t>(1, opt.max_batch));
+  }
+}
+
+void CompiledPlan::pretune_convs(std::size_t max_batch) {
+  gemm::ConvPlanCache& cache = gemm::ConvPlanCache::global();
+  const std::uint64_t misses_before = cache.misses();
+  const std::size_t top = gemm::conv_batch_bucket(max_batch);
+  for (const OpNode& node : graph_.nodes) {
+    gemm::ConvPhase phase = gemm::ConvPhase::kForward;
+    if (node.kind == OpKind::kDeconv) {
+      phase = gemm::ConvPhase::kBackwardData;  // deconv forward runs it
+    } else if (node.kind != OpKind::kConv) {
+      continue;
+    }
+    if (node.algo != nn::ConvAlgo::kAuto) continue;  // forced: no tuning
+    // Every batch bucket the plan will serve, in the execution mode that
+    // bucket dispatches with (single image: pool-internal parallelism;
+    // batched: per-image-serial inside the batch-parallel loop).
+    for (std::size_t bucket = 1; bucket <= top; bucket <<= 1) {
+      cache.plan(node.problem, phase, /*parallel_ok=*/bucket <= 1, bucket);
+      ++report_.pretuned_plans;
+    }
+  }
+  report_.pretune_misses =
+      static_cast<std::size_t>(cache.misses() - misses_before);
+}
+
+const std::vector<Tensor>& CompiledPlan::run_all(const Tensor& input) {
+  PF15_CHECK_MSG(input.shape().rank() >= 1 &&
+                     strip_batch(input.shape()) == graph_.input_sample,
+                 "CompiledPlan::run: input " << input.shape()
+                                             << " does not batch samples of "
+                                             << graph_.input_sample);
+  const std::size_t batch = input.shape()[0];
+  PF15_CHECK(batch >= 1);
+  const std::size_t need = arena_plan_.total_floats * batch;
+  if (arena_.size() < need) arena_.resize(need);
+
+  // Result tensors first: external nodes write straight into them.
+  outputs_.resize(graph_.outputs.size());
+  for (std::size_t k = 0; k < graph_.outputs.size(); ++k) {
+    const int o = graph_.outputs[k];
+    const Shape& sample =
+        o == OpNode::kGraphInput
+            ? graph_.input_sample
+            : graph_.nodes[static_cast<std::size_t>(o)].out_sample;
+    nn::ensure_shape(outputs_[k], with_batch(sample, batch));
+  }
+
+  for (std::size_t i = 0; i < graph_.nodes.size(); ++i) {
+    const OpNode& node = graph_.nodes[i];
+    const float* src =
+        node.input == OpNode::kGraphInput
+            ? input.data()
+            : arena_.data() +
+                  arena_plan_.offsets[static_cast<std::size_t>(node.input)] *
+                      batch;
+    float* dst =
+        arena_plan_.external[i]
+            ? outputs_[static_cast<std::size_t>(output_slot_[i])].data()
+            : arena_.data() + arena_plan_.offsets[i] * batch;
+    execute_node(i, src, dst, batch);
+  }
+
+  // Non-external outputs (still read by other nodes, an output listed
+  // twice, or the graph input itself) are copied out of their buffer.
+  for (std::size_t k = 0; k < graph_.outputs.size(); ++k) {
+    const int o = graph_.outputs[k];
+    if (o >= 0 && arena_plan_.external[static_cast<std::size_t>(o)]) {
+      const int slot = output_slot_[static_cast<std::size_t>(o)];
+      if (slot == static_cast<int>(k)) continue;  // produced in place
+      outputs_[k].copy_from(outputs_[static_cast<std::size_t>(slot)]);
+      continue;
+    }
+    const float* src =
+        o == OpNode::kGraphInput
+            ? input.data()
+            : arena_.data() +
+                  arena_plan_.offsets[static_cast<std::size_t>(o)] * batch;
+    std::memcpy(outputs_[k].data(), src,
+                outputs_[k].numel() * sizeof(float));
+  }
+  return outputs_;
+}
+
+std::pair<const gemm::ConvBackend*, const gemm::ConvPrep*>
+CompiledPlan::conv_dispatch(std::size_t id, gemm::ConvPhase phase,
+                            std::size_t batch) {
+  const OpNode& node = graph_.nodes[id];
+  ConvDispatch& d = dispatch_[id];
+  const std::size_t bucket = gemm::conv_batch_bucket(batch);
+  auto kind_it = d.kind_by_bucket.find(bucket);
+  if (kind_it == d.kind_by_bucket.end()) {
+    // First sight of this bucket: one plan-cache resolution, frozen for
+    // the plan's lifetime (its weights are frozen clones, and a compiled
+    // plan deliberately keeps the backends it was born with).
+    kind_it = d.kind_by_bucket
+                  .emplace(bucket,
+                           nn::resolve_conv_backend(node.algo, node.problem,
+                                                    phase, batch <= 1,
+                                                    batch))
+                  .first;
+  }
+  const gemm::ConvBackend& be = gemm::backend(kind_it->second);
+  if (phase != gemm::ConvPhase::kForward) {
+    return {&be, nullptr};  // prepare_forward is a forward-only hoist
+  }
+  auto prep_it = d.prep.find(kind_it->second);
+  if (prep_it == d.prep.end()) {
+    prep_it = d.prep
+                  .emplace(kind_it->second,
+                           be.prepare_forward(node.problem,
+                                              node.weight.data()))
+                  .first;
+  }
+  return {&be, prep_it->second.get()};
+}
+
+const Tensor& CompiledPlan::run(const Tensor& input) {
+  PF15_CHECK_MSG(graph_.outputs.size() == 1,
+                 "CompiledPlan::run: graph has " << graph_.outputs.size()
+                                                 << " outputs; use run_all");
+  return run_all(input)[0];
+}
+
+void CompiledPlan::execute_node(std::size_t id, const float* src, float* dst,
+                                std::size_t batch) {
+  const OpNode& node = graph_.nodes[id];
+  switch (node.kind) {
+    case OpKind::kConv: {
+      const gemm::ConvProblem& p = node.problem;
+      // Backend and prepared weight transform (Winograd's U) come from
+      // the frozen per-node memo: no plan-cache lock, no per-run filter
+      // transform after first sight.
+      const std::pair<const gemm::ConvBackend*, const gemm::ConvPrep*>
+          dispatch = conv_dispatch(id, gemm::ConvPhase::kForward, batch);
+      const float* bias = node.bias.defined() ? node.bias.data() : nullptr;
+      const std::size_t in_img = p.geom.in_c * p.geom.in_h * p.geom.in_w;
+      const std::size_t out_img = p.out_c * p.geom.lowered_cols();
+      const auto one_image = [&](std::size_t img, bool parallel_ok) {
+        float* out = dst + img * out_img;
+        dispatch.first->forward_prepared(p, dispatch.second,
+                                         src + img * in_img,
+                                         node.weight.data(), bias, out,
+                                         parallel_ok);
+        apply_epilogue(node.epilogue, out, out_img);
+      };
+      if (batch <= 1) {
+        one_image(0, /*parallel_ok=*/true);
+      } else {
+        ThreadPool::global().parallel_for(0, batch, [&](std::size_t img) {
+          one_image(img, /*parallel_ok=*/false);
+        });
+      }
+      return;
+    }
+    case OpKind::kDeconv: {
+      const gemm::ConvProblem& p = node.problem;
+      const gemm::ConvBackend& be =
+          *conv_dispatch(id, gemm::ConvPhase::kBackwardData, batch).first;
+      const std::size_t in_img = node.in_sample.numel();
+      const std::size_t out_img = node.out_sample.numel();
+      const std::size_t out_c = node.out_sample[0];
+      const std::size_t plane = p.geom.in_h * p.geom.in_w;
+      const auto one_image = [&](std::size_t img, bool parallel_ok) {
+        float* out = dst + img * out_img;
+        be.backward_data(p, src + img * in_img, node.weight.data(), out,
+                         parallel_ok);
+        if (node.bias.defined()) {
+          for (std::size_t oc = 0; oc < out_c; ++oc) {
+            const float b = node.bias.at(oc);
+            float* row = out + oc * plane;
+            for (std::size_t i = 0; i < plane; ++i) row[i] += b;
+          }
+        }
+        apply_epilogue(node.epilogue, out, out_img);
+      };
+      if (batch <= 1) {
+        one_image(0, /*parallel_ok=*/true);
+      } else {
+        ThreadPool::global().parallel_for(0, batch, [&](std::size_t img) {
+          one_image(img, /*parallel_ok=*/false);
+        });
+      }
+      return;
+    }
+    case OpKind::kDense: {
+      // out (batch x OF) = in (batch x IF) * W^T, same lowering as
+      // nn::Dense::forward.
+      gemm::sgemm_parallel(false, true, batch, node.out_features,
+                           node.in_features, 1.0f, src, node.in_features,
+                           node.weight.data(), node.in_features, 0.0f, dst,
+                           node.out_features);
+      for (std::size_t b = 0; b < batch; ++b) {
+        float* row = dst + b * node.out_features;
+        for (std::size_t j = 0; j < node.out_features; ++j) {
+          row[j] += node.bias.at(j);
+        }
+      }
+      apply_epilogue(node.epilogue, dst, batch * node.out_features);
+      return;
+    }
+    case OpKind::kMaxPool: {
+      const std::size_t ih = node.in_sample[1], iw = node.in_sample[2];
+      const std::size_t oh = node.out_sample[1], ow = node.out_sample[2];
+      const std::size_t planes = batch * node.in_sample[0];
+      const std::size_t k = node.pool_kernel, s = node.pool_stride;
+      for (std::size_t pl = 0; pl < planes; ++pl) {
+        const float* in_plane = src + pl * ih * iw;
+        float* out_plane = dst + pl * oh * ow;
+        for (std::size_t y = 0; y < oh; ++y) {
+          for (std::size_t x = 0; x < ow; ++x) {
+            float best = -std::numeric_limits<float>::infinity();
+            for (std::size_t ky = 0; ky < k; ++ky) {
+              const float* row = in_plane + (y * s + ky) * iw + x * s;
+              for (std::size_t kx = 0; kx < k; ++kx) {
+                best = std::max(best, row[kx]);
+              }
+            }
+            out_plane[y * ow + x] = best;
+          }
+        }
+      }
+      return;
+    }
+    case OpKind::kGlobalPool: {
+      const std::size_t plane = node.in_sample[1] * node.in_sample[2];
+      const std::size_t planes = batch * node.in_sample[0];
+      const float inv = 1.0f / static_cast<float>(plane);
+      for (std::size_t pl = 0; pl < planes; ++pl) {
+        const float* in_plane = src + pl * plane;
+        double sum = 0.0;
+        for (std::size_t i = 0; i < plane; ++i) sum += in_plane[i];
+        dst[pl] = static_cast<float>(sum) * inv;
+      }
+      return;
+    }
+    case OpKind::kRelu: {
+      const std::size_t n = batch * node.out_sample.numel();
+      for (std::size_t i = 0; i < n; ++i) {
+        dst[i] = src[i] > 0.0f ? src[i] : 0.0f;
+      }
+      return;
+    }
+    case OpKind::kSigmoid: {
+      const std::size_t n = batch * node.out_sample.numel();
+      for (std::size_t i = 0; i < n; ++i) {
+        dst[i] = 1.0f / (1.0f + std::exp(-src[i]));
+      }
+      return;
+    }
+    case OpKind::kTanh: {
+      const std::size_t n = batch * node.out_sample.numel();
+      for (std::size_t i = 0; i < n; ++i) dst[i] = std::tanh(src[i]);
+      return;
+    }
+    case OpKind::kBatchNorm: {
+      // The unfolded case (producer opaque or fanned out): the running-
+      // statistics affine, per channel.
+      const std::size_t c = node.bn_scale.numel();
+      const std::size_t plane = node.in_sample[1] * node.in_sample[2];
+      for (std::size_t b = 0; b < batch; ++b) {
+        for (std::size_t ch = 0; ch < c; ++ch) {
+          const float scale = node.bn_scale.at(ch);
+          const float shift = node.bn_shift.at(ch);
+          const float* x = src + (b * c + ch) * plane;
+          float* y = dst + (b * c + ch) * plane;
+          for (std::size_t i = 0; i < plane; ++i) {
+            y[i] = scale * x[i] + shift;
+          }
+        }
+      }
+      apply_epilogue(node.epilogue, dst, batch * node.out_sample.numel());
+      return;
+    }
+    case OpKind::kDropout: {
+      // Identity in eval mode; survives only when strip_noops is off.
+      std::memcpy(dst, src,
+                  batch * node.out_sample.numel() * sizeof(float));
+      return;
+    }
+    case OpKind::kOpaque: {
+      // Stage through owned tensors: Layer::forward wants Tensors, and an
+      // opaque layer may resize its output.
+      PF15_CHECK(node.layer != nullptr);
+      nn::ensure_shape(opaque_in_[id], with_batch(node.in_sample, batch));
+      std::memcpy(opaque_in_[id].data(), src,
+                  opaque_in_[id].numel() * sizeof(float));
+      node.layer->forward(opaque_in_[id], opaque_out_[id]);
+      PF15_CHECK_MSG(
+          opaque_out_[id].shape() == with_batch(node.out_sample, batch),
+          node.name << ": opaque output " << opaque_out_[id].shape()
+                    << " != planned " << with_batch(node.out_sample, batch));
+      std::memcpy(dst, opaque_out_[id].data(),
+                  opaque_out_[id].numel() * sizeof(float));
+      return;
+    }
+  }
+  PF15_CHECK_MSG(false, "unhandled op kind in compiled plan");
+}
+
+CompiledPlan compile(nn::Sequential& net, const Shape& sample_shape,
+                     const CompileOptions& opt) {
+  return CompiledPlan(capture(net, sample_shape), opt);
+}
+
+CompiledPlan compile(nn::ClimateNet& net, const CompileOptions& opt) {
+  return CompiledPlan(capture(net), opt);
+}
+
+}  // namespace pf15::graph

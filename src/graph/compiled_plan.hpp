@@ -1,0 +1,138 @@
+// Compiled inference plan: compile once, execute many.
+//
+// CompiledPlan is the executable product of the graph compiler. Its
+// constructor runs the optimization passes (strip eval no-ops, fold
+// BatchNorm into conv/dense weights, fuse activation epilogues), plans
+// the activation arena (arena.hpp), and — the "born warm" property —
+// pre-tunes every convolution geometry through the process-wide
+// gemm::ConvPlanCache for every batch bucket the plan will serve, so the
+// first real request already dispatches to measured backend winners and
+// the tuned plans persist across processes via $PF15_CONV_PLAN_CACHE and
+// plan-carrying checkpoints (serve/checkpoint.hpp).
+//
+// run() is the execute-many side: every intermediate activation lives at
+// a fixed offset in one shared arena (per-sample offsets scale linearly
+// with the batch), convolution epilogues apply fused bias/activation
+// while the output image is cache-hot, and Winograd's filter transform is
+// hoisted out of the batch loop via ConvBackend::prepare_forward.
+//
+// A CompiledPlan is stateful (arena, output tensors) and therefore not
+// re-entrant: one plan per serving replica, exactly like the eager
+// nn::Sequential it replaces. Plans with opaque nodes (residual blocks,
+// extensions) borrow the source network's layers and are only valid
+// while that network lives.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "graph/arena.hpp"
+#include "graph/graph.hpp"
+#include "graph/passes.hpp"
+
+namespace pf15::graph {
+
+struct CompileOptions {
+  bool strip_noops = true;
+  bool fold_batchnorm = true;
+  bool fuse_activations = true;
+  /// Pre-tune every conv geometry through gemm::ConvPlanCache::global()
+  /// at construction (for batch buckets 1 .. bucket(max_batch)).
+  bool pretune = true;
+  /// Largest batch the plan will be asked to run — the serving engine
+  /// passes its batcher's max_batch. Larger batches still execute
+  /// correctly; they just may pay a first-sight tune.
+  std::size_t max_batch = 1;
+};
+
+struct CompileReport {
+  PassStats passes;
+  std::size_t captured_ops = 0;  // nodes before optimization
+  std::size_t compiled_ops = 0;  // nodes after
+  /// Arena extent vs what eager execution keeps resident (per sample,
+  /// floats). arena < eager is the planner's reuse win.
+  std::size_t arena_floats_per_sample = 0;
+  std::size_t eager_floats_per_sample = 0;
+  /// Plan-cache queries issued by pre-tuning, and how many of them had to
+  /// tune from scratch (0 = the plan was born fully warm).
+  std::size_t pretuned_plans = 0;
+  std::size_t pretune_misses = 0;
+};
+
+class CompiledPlan {
+ public:
+  /// Compiles an already-captured graph. Prefer the compile() helpers.
+  CompiledPlan(Graph graph, const CompileOptions& opt);
+
+  CompiledPlan(CompiledPlan&&) noexcept = default;
+  CompiledPlan& operator=(CompiledPlan&&) noexcept = default;
+
+  const Graph& graph() const { return graph_; }
+  const CompileReport& report() const { return report_; }
+  const ArenaAssignment& arena_plan() const { return arena_plan_; }
+
+  /// Arena footprint for a batch of `batch` samples.
+  std::size_t arena_bytes(std::size_t batch) const {
+    return arena_plan_.total_floats * batch * sizeof(float);
+  }
+  /// What eager execution holds for the same batch (sum of every node
+  /// output, no reuse).
+  std::size_t eager_activation_bytes(std::size_t batch) const {
+    return arena_plan_.eager_floats * batch * sizeof(float);
+  }
+
+  /// Executes the plan on a batched input (leading dimension = batch).
+  /// Returns one tensor per graph output, in graph output order, owned by
+  /// the plan and valid until the next run.
+  const std::vector<Tensor>& run_all(const Tensor& input);
+
+  /// Single-output convenience (Sequential-shaped graphs).
+  const Tensor& run(const Tensor& input);
+
+ private:
+  /// Frozen dispatch state of one conv/deconv node. A compiled plan's
+  /// weights never change, so the backend choice per batch bucket and
+  /// the backend's prepared weight transform (Winograd's U) are resolved
+  /// once and reused — run() never touches the plan-cache mutex or
+  /// recomputes a filter transform after first sight.
+  struct ConvDispatch {
+    std::map<std::size_t, gemm::ConvBackendKind> kind_by_bucket;
+    std::map<gemm::ConvBackendKind, std::unique_ptr<gemm::ConvPrep>> prep;
+  };
+
+  void pretune_convs(std::size_t max_batch);
+  void execute_node(std::size_t id, const float* src, float* dst,
+                    std::size_t batch);
+  /// The (backend, prep) pair node `id` dispatches to at `batch`,
+  /// memoized in dispatch_[id].
+  std::pair<const gemm::ConvBackend*, const gemm::ConvPrep*>
+  conv_dispatch(std::size_t id, gemm::ConvPhase phase, std::size_t batch);
+
+  Graph graph_;
+  ArenaAssignment arena_plan_;
+  CompileReport report_;
+  std::vector<float> arena_;
+  std::vector<Tensor> outputs_;
+  /// Result-tensor index an external node produces into; -1 otherwise.
+  std::vector<int> output_slot_;
+  /// Per-node frozen conv dispatch (empty entries for non-conv nodes).
+  std::vector<ConvDispatch> dispatch_;
+  // Boxed staging tensors for opaque nodes (Layer::forward needs owned
+  // Tensors, not arena slices); indexed by node id, allocated lazily.
+  std::vector<Tensor> opaque_in_;
+  std::vector<Tensor> opaque_out_;
+};
+
+/// Captures and compiles `net` (must be in inference mode; throws
+/// pf15::ConfigError otherwise — a training-mode net must never be
+/// silently folded into an eval plan).
+CompiledPlan compile(nn::Sequential& net, const Shape& sample_shape,
+                     const CompileOptions& opt = {});
+
+/// ClimateNet: outputs ordered (conf, cls, xy, wh, recon).
+CompiledPlan compile(nn::ClimateNet& net, const CompileOptions& opt = {});
+
+}  // namespace pf15::graph

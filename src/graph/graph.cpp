@@ -1,0 +1,213 @@
+#include "graph/graph.hpp"
+
+#include <cmath>
+
+#include "nn/activations.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/deconv2d.hpp"
+#include "nn/dense.hpp"
+#include "nn/dropout.hpp"
+#include "nn/pool.hpp"
+
+namespace pf15::graph {
+
+const char* to_string(OpKind kind) {
+  switch (kind) {
+    case OpKind::kConv:
+      return "conv";
+    case OpKind::kDeconv:
+      return "deconv";
+    case OpKind::kDense:
+      return "dense";
+    case OpKind::kMaxPool:
+      return "maxpool";
+    case OpKind::kGlobalPool:
+      return "globalpool";
+    case OpKind::kRelu:
+      return "relu";
+    case OpKind::kSigmoid:
+      return "sigmoid";
+    case OpKind::kTanh:
+      return "tanh";
+    case OpKind::kBatchNorm:
+      return "batchnorm";
+    case OpKind::kDropout:
+      return "dropout";
+    case OpKind::kOpaque:
+      return "opaque";
+  }
+  return "unknown";
+}
+
+const char* to_string(Epilogue e) {
+  switch (e) {
+    case Epilogue::kNone:
+      return "none";
+    case Epilogue::kRelu:
+      return "relu";
+    case Epilogue::kSigmoid:
+      return "sigmoid";
+    case Epilogue::kTanh:
+      return "tanh";
+  }
+  return "unknown";
+}
+
+std::size_t Graph::consumer_count(int id) const {
+  std::size_t n = 0;
+  for (const OpNode& node : nodes) {
+    if (node.input == id) ++n;
+  }
+  for (int out : outputs) {
+    if (out == id) ++n;
+  }
+  return n;
+}
+
+namespace {
+
+/// Lifts one layer into a node; `sample` is the per-sample input shape.
+OpNode capture_layer(nn::Layer& layer, const Shape& sample) {
+  OpNode node;
+  node.name = layer.name();
+  node.in_sample = sample;
+  node.out_sample = strip_batch(layer.output_shape(with_batch(sample, 1)));
+
+  if (auto* conv = dynamic_cast<nn::Conv2d*>(&layer)) {
+    const nn::Conv2dConfig& cfg = conv->config();
+    node.kind = OpKind::kConv;
+    gemm::ConvGeom& g = node.problem.geom;
+    g.in_c = cfg.in_channels;
+    g.in_h = sample[1];
+    g.in_w = sample[2];
+    g.kernel_h = g.kernel_w = cfg.kernel;
+    g.stride_h = g.stride_w = cfg.stride;
+    g.pad_h = g.pad_w = cfg.pad;
+    node.problem.out_c = cfg.out_channels;
+    node.algo = cfg.algo;
+    node.weight = conv->weight().clone();
+    if (cfg.bias) node.bias = conv->bias().clone();
+  } else if (auto* deconv = dynamic_cast<nn::Deconv2d*>(&layer)) {
+    const nn::Deconv2dConfig& cfg = deconv->config();
+    node.kind = OpKind::kDeconv;
+    // The underlying convolution's geometry: its input is this node's
+    // output (see nn::Deconv2d::geom).
+    gemm::ConvGeom& g = node.problem.geom;
+    g.in_c = cfg.out_channels;
+    g.in_h = node.out_sample[1];
+    g.in_w = node.out_sample[2];
+    g.kernel_h = g.kernel_w = cfg.kernel;
+    g.stride_h = g.stride_w = cfg.stride;
+    g.pad_h = g.pad_w = cfg.pad;
+    node.problem.out_c = cfg.in_channels;
+    node.algo = cfg.algo;
+    auto params = deconv->params();
+    node.weight = params[0].value->clone();
+    if (cfg.bias) node.bias = params[1].value->clone();
+  } else if (auto* fc = dynamic_cast<nn::Dense*>(&layer)) {
+    node.kind = OpKind::kDense;
+    node.in_features = fc->in_features();
+    node.out_features = fc->out_features();
+    node.weight = fc->weight().clone();
+    node.bias = fc->bias().clone();
+  } else if (auto* pool = dynamic_cast<nn::MaxPool2d*>(&layer)) {
+    node.kind = OpKind::kMaxPool;
+    node.pool_kernel = pool->kernel();
+    node.pool_stride = pool->stride();
+  } else if (dynamic_cast<nn::GlobalAvgPool*>(&layer) != nullptr) {
+    node.kind = OpKind::kGlobalPool;
+  } else if (dynamic_cast<nn::ReLU*>(&layer) != nullptr) {
+    node.kind = OpKind::kRelu;
+  } else if (dynamic_cast<nn::Sigmoid*>(&layer) != nullptr) {
+    node.kind = OpKind::kSigmoid;
+  } else if (dynamic_cast<nn::Tanh*>(&layer) != nullptr) {
+    node.kind = OpKind::kTanh;
+  } else if (auto* bn = dynamic_cast<nn::BatchNorm2d*>(&layer)) {
+    // Captured directly as the inference-mode per-channel affine — the
+    // exact math BatchNorm2d::forward runs in eval mode. fold_batchnorm
+    // later pushes scale/shift into the producer's weights when it can.
+    node.kind = OpKind::kBatchNorm;
+    const std::size_t c = bn->config().channels;
+    node.bn_scale = Tensor(Shape{c});
+    node.bn_shift = Tensor(Shape{c});
+    for (std::size_t ch = 0; ch < c; ++ch) {
+      const float inv_std = 1.0f / std::sqrt(bn->running_var().at(ch) +
+                                             bn->config().epsilon);
+      const float scale = bn->gamma().at(ch) * inv_std;
+      node.bn_scale.at(ch) = scale;
+      node.bn_shift.at(ch) =
+          bn->beta().at(ch) - bn->running_mean().at(ch) * scale;
+    }
+  } else if (dynamic_cast<nn::Dropout*>(&layer) != nullptr) {
+    node.kind = OpKind::kDropout;  // identity in eval mode
+  } else {
+    // Composite or unknown layer (ResidualBlock, extensions): execute it
+    // through the live layer; passes treat it as a black box.
+    node.kind = OpKind::kOpaque;
+    node.layer = &layer;
+  }
+  return node;
+}
+
+/// Appends `net`'s layers as a chain hanging off `producer`; returns the
+/// last node's id.
+int capture_chain(nn::Sequential& net, int producer, Shape sample,
+                  std::vector<OpNode>& nodes) {
+  PF15_CHECK_MSG(net.layer_count() > 0, "capture: empty network");
+  for (std::size_t i = 0; i < net.layer_count(); ++i) {
+    OpNode node = capture_layer(net.layer(i), sample);
+    node.input = producer;
+    sample = node.out_sample;
+    producer = static_cast<int>(nodes.size());
+    nodes.push_back(std::move(node));
+  }
+  return producer;
+}
+
+void require_inference_mode(bool training, const char* what) {
+  if (training) {
+    throw ConfigError(std::string("graph::capture: ") + what +
+                      " is in training mode; a compiled plan freezes "
+                      "eval-time behaviour (running statistics, identity "
+                      "dropout) — call set_training(false) first");
+  }
+}
+
+}  // namespace
+
+Graph capture(nn::Sequential& net, const Shape& sample_shape) {
+  require_inference_mode(net.training(), "the network");
+  Graph g;
+  g.input_sample = sample_shape;
+  const int last =
+      capture_chain(net, OpNode::kGraphInput, sample_shape, g.nodes);
+  g.outputs.push_back(last);
+  return g;
+}
+
+Graph capture(nn::ClimateNet& net) {
+  require_inference_mode(net.training(), "the climate network");
+  const nn::ClimateConfig& cfg = net.config();
+  Graph g;
+  g.input_sample = Shape{cfg.channels, cfg.image, cfg.image};
+
+  const int features = capture_chain(net.encoder(), OpNode::kGraphInput,
+                                     g.input_sample, g.nodes);
+  const Shape feat_sample = g.nodes[static_cast<std::size_t>(features)]
+                                .out_sample;
+  // The coarse feature grid fans out: four per-score heads plus the
+  // reconstruction decoder all read the same producer.
+  g.outputs.push_back(
+      capture_chain(net.conf_head(), features, feat_sample, g.nodes));
+  g.outputs.push_back(
+      capture_chain(net.cls_head(), features, feat_sample, g.nodes));
+  g.outputs.push_back(
+      capture_chain(net.xy_head(), features, feat_sample, g.nodes));
+  g.outputs.push_back(
+      capture_chain(net.wh_head(), features, feat_sample, g.nodes));
+  g.outputs.push_back(
+      capture_chain(net.decoder(), features, feat_sample, g.nodes));
+  return g;
+}
+
+}  // namespace pf15::graph

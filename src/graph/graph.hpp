@@ -1,0 +1,117 @@
+// Inference op graph — the IR of the graph compiler.
+//
+// A live network (nn::Sequential, nn::ClimateNet) executes eagerly: one
+// virtual forward() per layer, one owned activation per layer output, and
+// eval-time dead work (Dropout, BatchNorm normalisation arithmetic) still
+// in the hot path. capture() lifts the network into an explicit op graph
+// whose weight-carrying nodes own *deep copies* of the layer parameters,
+// so the optimization passes (see passes.hpp) can fold and fuse without
+// mutating the training-side network. The compiled executor
+// (compiled_plan.hpp) then runs the graph out of one shared activation
+// arena with pre-tuned convolution plans.
+//
+// The IR is deliberately small: every node has exactly one input (fan-out
+// is several nodes naming the same producer — ClimateNet's feature grid
+// feeds four heads and the decoder), and any layer the compiler does not
+// understand is captured opaquely and executed through the live layer.
+// Passes never look inside an opaque node, which is what keeps fusion
+// from crossing a residual block's skip join.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gemm/conv_backend.hpp"
+#include "nn/climate_net.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/network.hpp"
+#include "tensor/tensor.hpp"
+
+namespace pf15::graph {
+
+enum class OpKind {
+  kConv,        // Conv2d; bias/activation may be fused into its epilogue
+  kDeconv,      // Deconv2d (runs the underlying conv's backward-data)
+  kDense,       // fully connected
+  kMaxPool,     // max pooling
+  kGlobalPool,  // global average pooling
+  kRelu,        // standalone elementwise activations (pre-fusion)
+  kSigmoid,
+  kTanh,
+  kBatchNorm,  // inference-mode per-channel affine (pre-fold)
+  kDropout,    // eval no-op (pre-strip)
+  kOpaque,     // anything else, executed through the live nn::Layer
+};
+
+/// Stable lower-case name ("conv", "deconv", ...).
+const char* to_string(OpKind kind);
+
+/// Elementwise activation fused into a producer's epilogue.
+enum class Epilogue { kNone, kRelu, kSigmoid, kTanh };
+
+const char* to_string(Epilogue e);
+
+/// One node of the graph. Weight-carrying nodes own deep copies of the
+/// source layer's parameters; opaque nodes borrow the live layer (the
+/// graph is then only valid while the source network lives).
+struct OpNode {
+  /// `input` value meaning "the graph input tensor".
+  static constexpr int kGraphInput = -1;
+
+  OpKind kind = OpKind::kOpaque;
+  std::string name;
+  int input = kGraphInput;  // producer node index, or kGraphInput
+  Shape in_sample;          // per-sample input shape (no batch dimension)
+  Shape out_sample;         // per-sample output shape
+
+  // ---- conv / deconv ----
+  /// Per-image problem (for kDeconv: the underlying convolution, whose
+  /// input is this node's output).
+  gemm::ConvProblem problem;
+  nn::ConvAlgo algo = nn::ConvAlgo::kAuto;
+  Tensor weight;
+  Tensor bias;  // undefined (!defined()) = no bias
+
+  // ---- dense ----
+  std::size_t in_features = 0;
+  std::size_t out_features = 0;
+
+  // ---- max pool ----
+  std::size_t pool_kernel = 0;
+  std::size_t pool_stride = 0;
+
+  // ---- batchnorm (running-statistics affine: y = scale * x + shift) ----
+  Tensor bn_scale;  // (C) gamma / sqrt(running_var + eps)
+  Tensor bn_shift;  // (C) beta - running_mean * scale
+
+  // ---- fused epilogue (set by passes) ----
+  Epilogue epilogue = Epilogue::kNone;
+
+  // ---- opaque ----
+  nn::Layer* layer = nullptr;  // borrowed from the source network
+};
+
+/// The captured graph: nodes in execution (topological) order plus the
+/// node ids whose results leave the graph.
+struct Graph {
+  std::vector<OpNode> nodes;
+  std::vector<int> outputs;
+  Shape input_sample;  // per-sample graph input shape
+
+  /// Number of consumers of node `id` (graph outputs count once each).
+  std::size_t consumer_count(int id) const;
+};
+
+/// Captures `net` into an op graph for per-sample inputs of
+/// `sample_shape` (e.g. (C, H, W)). The net must be in inference mode —
+/// throws pf15::ConfigError otherwise: freezing training behaviour
+/// (batch statistics, dropout masks) into a static eval plan would
+/// silently change the math it serves.
+Graph capture(nn::Sequential& net, const Shape& sample_shape);
+
+/// ClimateNet capture: the encoder chain fans out into the four
+/// detection heads and the reconstruction decoder. Outputs are ordered
+/// (conf, cls, xy, wh, recon), matching nn::ClimateNet::Outputs.
+Graph capture(nn::ClimateNet& net);
+
+}  // namespace pf15::graph

@@ -1,0 +1,184 @@
+#include "graph/passes.hpp"
+
+namespace pf15::graph {
+
+namespace {
+
+/// Rewires every consumer of node `id` (including graph outputs) to
+/// `target` — the removal step for a shape-preserving single-input node.
+void rewire_consumers(Graph& g, int id, int target) {
+  for (OpNode& node : g.nodes) {
+    if (node.input == id) node.input = target;
+  }
+  for (int& out : g.outputs) {
+    if (out == id) out = target;
+  }
+}
+
+/// Compacts the node vector, dropping `dead` entries and remapping ids.
+/// Dead nodes must have been rewired away first.
+void erase_dead(Graph& g, const std::vector<bool>& dead) {
+  std::vector<int> remap(g.nodes.size(), OpNode::kGraphInput);
+  std::vector<OpNode> kept;
+  kept.reserve(g.nodes.size());
+  for (std::size_t i = 0; i < g.nodes.size(); ++i) {
+    if (dead[i]) continue;
+    remap[i] = static_cast<int>(kept.size());
+    kept.push_back(std::move(g.nodes[i]));
+  }
+  for (OpNode& node : kept) {
+    if (node.input >= 0) {
+      PF15_CHECK(!dead[static_cast<std::size_t>(node.input)]);
+      node.input = remap[static_cast<std::size_t>(node.input)];
+    }
+  }
+  for (int& out : g.outputs) {
+    if (out >= 0) {
+      PF15_CHECK(!dead[static_cast<std::size_t>(out)]);
+      out = remap[static_cast<std::size_t>(out)];
+    }
+  }
+  g.nodes = std::move(kept);
+}
+
+/// Output-channel count of a weight-carrying node (what a following
+/// BatchNorm normalises over).
+std::size_t out_channels_of(const OpNode& node) {
+  switch (node.kind) {
+    case OpKind::kConv:
+      return node.problem.out_c;
+    case OpKind::kDeconv:
+      return node.problem.geom.in_c;  // the underlying conv's input
+    case OpKind::kDense:
+      return node.out_features;
+    default:
+      return 0;
+  }
+}
+
+/// Scales the per-output-channel weight blocks of `node` by `scale`.
+void scale_weights(OpNode& node, const Tensor& scale) {
+  Tensor& w = node.weight;
+  if (node.kind == OpKind::kDeconv) {
+    // Deconv weights are (IC, OC, KH, KW): the output channel is the
+    // second axis.
+    const std::size_t ic = w.shape()[0];
+    const std::size_t oc = w.shape()[1];
+    const std::size_t taps = w.shape()[2] * w.shape()[3];
+    for (std::size_t i = 0; i < ic; ++i) {
+      for (std::size_t o = 0; o < oc; ++o) {
+        float* block = w.data() + (i * oc + o) * taps;
+        const float s = scale.at(o);
+        for (std::size_t t = 0; t < taps; ++t) block[t] *= s;
+      }
+    }
+    return;
+  }
+  // Conv (OC, IC, KH, KW) and Dense (OF, IF): output channel is the
+  // leading axis.
+  const std::size_t oc = w.shape()[0];
+  const std::size_t block_n = w.numel() / oc;
+  for (std::size_t o = 0; o < oc; ++o) {
+    float* block = w.data() + o * block_n;
+    const float s = scale.at(o);
+    for (std::size_t t = 0; t < block_n; ++t) block[t] *= s;
+  }
+}
+
+}  // namespace
+
+std::size_t strip_noops(Graph& g) {
+  std::vector<bool> dead(g.nodes.size(), false);
+  std::size_t stripped = 0;
+  for (std::size_t i = 0; i < g.nodes.size(); ++i) {
+    if (g.nodes[i].kind != OpKind::kDropout) continue;
+    rewire_consumers(g, static_cast<int>(i), g.nodes[i].input);
+    dead[i] = true;
+    ++stripped;
+  }
+  if (stripped > 0) erase_dead(g, dead);
+  return stripped;
+}
+
+std::size_t fold_batchnorm(Graph& g) {
+  std::vector<bool> dead(g.nodes.size(), false);
+  std::size_t folded = 0;
+  for (std::size_t i = 0; i < g.nodes.size(); ++i) {
+    OpNode& bn = g.nodes[i];
+    if (bn.kind != OpKind::kBatchNorm || bn.input < 0) continue;
+    OpNode& producer = g.nodes[static_cast<std::size_t>(bn.input)];
+    const std::size_t oc = out_channels_of(producer);
+    // Foldable only when the producer's full output feeds this BN alone
+    // and nothing (an epilogue activation) sits between them. A producer
+    // we cannot see into (opaque) never folds.
+    if (oc == 0 || oc != bn.bn_scale.numel() ||
+        producer.epilogue != Epilogue::kNone ||
+        g.consumer_count(bn.input) != 1) {
+      continue;
+    }
+    scale_weights(producer, bn.bn_scale);
+    if (!producer.bias.defined()) {
+      producer.bias = Tensor(Shape{oc});  // zero-initialised
+    }
+    for (std::size_t o = 0; o < oc; ++o) {
+      producer.bias.at(o) =
+          bn.bn_scale.at(o) * producer.bias.at(o) + bn.bn_shift.at(o);
+    }
+    rewire_consumers(g, static_cast<int>(i), bn.input);
+    dead[i] = true;
+    ++folded;
+  }
+  if (folded > 0) erase_dead(g, dead);
+  return folded;
+}
+
+std::size_t fuse_activations(Graph& g) {
+  std::vector<bool> dead(g.nodes.size(), false);
+  std::size_t fused = 0;
+  for (std::size_t i = 0; i < g.nodes.size(); ++i) {
+    OpNode& act = g.nodes[i];
+    Epilogue e = Epilogue::kNone;
+    switch (act.kind) {
+      case OpKind::kRelu:
+        e = Epilogue::kRelu;
+        break;
+      case OpKind::kSigmoid:
+        e = Epilogue::kSigmoid;
+        break;
+      case OpKind::kTanh:
+        e = Epilogue::kTanh;
+        break;
+      default:
+        continue;
+    }
+    if (act.input < 0) continue;
+    OpNode& producer = g.nodes[static_cast<std::size_t>(act.input)];
+    const bool fusable = producer.kind == OpKind::kConv ||
+                         producer.kind == OpKind::kDeconv ||
+                         producer.kind == OpKind::kDense ||
+                         producer.kind == OpKind::kBatchNorm;
+    // Single consumer only: with fan-out, other consumers need the
+    // pre-activation value. (Opaque producers — residual blocks — are not
+    // fusable at all, so fusion never crosses their skip join.)
+    if (!fusable || producer.epilogue != Epilogue::kNone ||
+        g.consumer_count(act.input) != 1) {
+      continue;
+    }
+    producer.epilogue = e;
+    rewire_consumers(g, static_cast<int>(i), act.input);
+    dead[i] = true;
+    ++fused;
+  }
+  if (fused > 0) erase_dead(g, dead);
+  return fused;
+}
+
+PassStats optimize(Graph& g) {
+  PassStats stats;
+  stats.stripped_noops = strip_noops(g);
+  stats.folded_batchnorms = fold_batchnorm(g);
+  stats.fused_activations = fuse_activations(g);
+  return stats;
+}
+
+}  // namespace pf15::graph

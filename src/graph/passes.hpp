@@ -1,0 +1,46 @@
+// Graph optimization passes.
+//
+// All passes are eval-only rewrites over the captured IR (graph.hpp):
+// they preserve the forward math up to floating-point reassociation and
+// never touch the live network (weight-carrying nodes own copies).
+// Opaque nodes are black boxes: no pass reads into or rewires across
+// them, so e.g. fusion can never cross a residual block's skip join.
+#pragma once
+
+#include <cstddef>
+
+#include "graph/graph.hpp"
+
+namespace pf15::graph {
+
+struct PassStats {
+  std::size_t stripped_noops = 0;
+  std::size_t folded_batchnorms = 0;
+  std::size_t fused_activations = 0;
+};
+
+/// Removes eval-time no-ops (Dropout is the identity in inference mode),
+/// rewiring consumers to the stripped node's producer. Returns the number
+/// of nodes removed.
+std::size_t strip_noops(Graph& g);
+
+/// Folds BatchNorm running-statistics affines (y = scale x + shift) into
+/// the producer's weights when the producer is a Conv/Deconv/Dense whose
+/// only consumer is the BatchNorm:
+///   w'[oc] = scale[oc] * w[oc],  b'[oc] = scale[oc] * b[oc] + shift[oc]
+/// (a bias is materialised when the producer had none). BatchNorms that
+/// cannot fold — producer opaque, fanned out, or already carrying a fused
+/// epilogue — stay behind as per-channel affine nodes. Returns the number
+/// folded.
+std::size_t fold_batchnorm(Graph& g);
+
+/// Fuses standalone elementwise activations (ReLU/Sigmoid/Tanh) into the
+/// epilogue of a Conv/Deconv/Dense/BatchNorm producer with exactly one
+/// consumer and no epilogue yet. Returns the number fused.
+std::size_t fuse_activations(Graph& g);
+
+/// The standard pipeline: strip no-ops, fold BatchNorm, fuse activations
+/// (in that order — folding requires the BN to sit directly on the conv).
+PassStats optimize(Graph& g);
+
+}  // namespace pf15::graph

@@ -45,6 +45,7 @@ class BatchNorm2d final : public Layer {
   void set_training(bool training) override { training_ = training; }
   bool training() const { return training_; }
 
+  const BatchNormConfig& config() const { return cfg_; }
   const Tensor& running_mean() const { return running_mean_; }
   const Tensor& running_var() const { return running_var_; }
   Tensor& gamma() { return gamma_; }

@@ -13,7 +13,8 @@ namespace {
 inline float sigmoidf(float x) { return 1.0f / (1.0f + std::exp(-x)); }
 
 Sequential make_head(const std::string& name, std::size_t in_c,
-                     std::size_t out_c, std::size_t kernel, Rng& rng) {
+                     std::size_t out_c, std::size_t kernel, ConvAlgo algo,
+                     Rng& rng) {
   PF15_CHECK(kernel % 2 == 1);
   Conv2dConfig cfg;
   cfg.in_channels = in_c;
@@ -21,6 +22,7 @@ Sequential make_head(const std::string& name, std::size_t in_c,
   cfg.kernel = kernel;
   cfg.stride = 1;
   cfg.pad = kernel / 2;
+  cfg.algo = algo;
   Sequential head;
   head.add(std::make_unique<Conv2d>(name, cfg, rng));
   return head;
@@ -47,6 +49,7 @@ ClimateNet::ClimateNet(const ClimateConfig& cfg) : cfg_(cfg) {
     conv.kernel = cfg.enc_kernel;
     conv.stride = 2;
     conv.pad = (cfg.enc_kernel - 1) / 2;
+    conv.algo = cfg.algo;
     const std::string idx = std::to_string(level + 1);
     encoder_.add(std::make_unique<Conv2d>("enc_conv" + idx, conv, rng));
     encoder_.add(std::make_unique<ReLU>("enc_relu" + idx));
@@ -55,11 +58,12 @@ ClimateNet::ClimateNet(const ClimateConfig& cfg) : cfg_(cfg) {
   const std::size_t feat_c = cfg.widths.back();
 
   // Four per-score heads.
-  conf_head_ = make_head("head_conf", feat_c, 1, cfg.head_kernel, rng);
+  conf_head_ =
+      make_head("head_conf", feat_c, 1, cfg.head_kernel, cfg.algo, rng);
   cls_head_ = make_head("head_class", feat_c, cfg.classes, cfg.head_kernel,
-                        rng);
-  xy_head_ = make_head("head_xy", feat_c, 2, cfg.head_kernel, rng);
-  wh_head_ = make_head("head_wh", feat_c, 2, cfg.head_kernel, rng);
+                        cfg.algo, rng);
+  xy_head_ = make_head("head_xy", feat_c, 2, cfg.head_kernel, cfg.algo, rng);
+  wh_head_ = make_head("head_wh", feat_c, 2, cfg.head_kernel, cfg.algo, rng);
 
   // Decoder: mirror of the encoder with stride-2 deconvolutions back to
   // the input resolution; final layer is linear (reconstruction).
@@ -73,6 +77,7 @@ ClimateNet::ClimateNet(const ClimateConfig& cfg) : cfg_(cfg) {
     dc.kernel = cfg.dec_kernel;
     dc.stride = 2;
     dc.pad = (cfg.dec_kernel - 2) / 2;
+    dc.algo = cfg.algo;
     const std::string idx = std::to_string(cfg.levels() - level);
     decoder_.add(std::make_unique<Deconv2d>("dec_deconv" + idx, dc, rng));
     if (level != 0) {

@@ -33,6 +33,10 @@ struct ClimateConfig {
   std::size_t dec_kernel = 6;  // stride-2, pad 2 -> exact doubling
   std::size_t head_kernel = 3;
   std::uint64_t seed = 4321;
+  /// Convolution dispatch for the encoder, heads and decoder. kAuto by
+  /// default (see HepConfig::algo); force kIm2col for the bit-stable
+  /// reference baseline.
+  ConvAlgo algo = ConvAlgo::kAuto;
 
   /// Downscaled config for tests and laptop-speed training.
   static ClimateConfig tiny() {
@@ -107,6 +111,19 @@ class ClimateNet {
 
   Sequential& encoder() { return encoder_; }
   Sequential& decoder() { return decoder_; }
+  Sequential& conf_head() { return conf_head_; }
+  Sequential& cls_head() { return cls_head_; }
+  Sequential& xy_head() { return xy_head_; }
+  Sequential& wh_head() { return wh_head_; }
+  /// True when *any* part still runs training behaviour — the mutable
+  /// part accessors above can desynchronise the parts, and consumers
+  /// gating on inference mode (the graph compiler) must refuse a
+  /// partially-training net.
+  bool training() const {
+    return encoder_.training() || decoder_.training() ||
+           conf_head_.training() || cls_head_.training() ||
+           xy_head_.training() || wh_head_.training();
+  }
 
  private:
   ClimateConfig cfg_;

@@ -11,7 +11,8 @@ using gemm::ConvPhase;
 gemm::ConvBackendKind resolve_conv_backend(ConvAlgo algo,
                                            const gemm::ConvProblem& p,
                                            ConvPhase phase,
-                                           bool parallel_ok) {
+                                           bool parallel_ok,
+                                           std::size_t batch) {
   gemm::ConvBackendKind forced = gemm::ConvBackendKind::kIm2col;
   switch (algo) {
     case ConvAlgo::kIm2col:
@@ -27,9 +28,11 @@ gemm::ConvBackendKind resolve_conv_backend(ConvAlgo algo,
       break;
     case ConvAlgo::kAuto:
       // kAuto: every applicable backend races once per (problem, phase,
-      // execution mode) and the measured winner is remembered — across
-      // processes, through the persisted plan cache.
-      return gemm::ConvPlanCache::global().plan(p, phase, parallel_ok).kind;
+      // execution mode, batch bucket) and the measured winner is
+      // remembered — across processes, through the persisted plan cache.
+      return gemm::ConvPlanCache::global()
+          .plan(p, phase, parallel_ok, batch)
+          .kind;
   }
   // A forced backend that declines this phase (FFT backward) falls back
   // to the always-applicable im2col adjoint; the layers' backend query
@@ -43,12 +46,13 @@ gemm::ConvBackendKind resolve_conv_backend(ConvAlgo algo,
 gemm::ConvBackendKind planned_conv_backend(ConvAlgo algo,
                                            const gemm::ConvProblem& p,
                                            ConvPhase phase,
-                                           bool parallel_ok) {
+                                           bool parallel_ok,
+                                           std::size_t batch) {
   if (algo != ConvAlgo::kAuto) {
-    return resolve_conv_backend(algo, p, phase, parallel_ok);
+    return resolve_conv_backend(algo, p, phase, parallel_ok, batch);
   }
   const auto cached =
-      gemm::ConvPlanCache::global().lookup(p, phase, parallel_ok);
+      gemm::ConvPlanCache::global().lookup(p, phase, parallel_ok, batch);
   return cached.has_value() ? cached->kind : gemm::ConvBackendKind::kIm2col;
 }
 
@@ -96,7 +100,8 @@ gemm::ConvProblem Conv2d::problem(const Shape& in) const {
 gemm::ConvBackendKind Conv2d::resolve_backend(const Shape& in,
                                               ConvPhase phase,
                                               bool parallel_ok) const {
-  return resolve_conv_backend(cfg_.algo, problem(in), phase, parallel_ok);
+  return resolve_conv_backend(cfg_.algo, problem(in), phase, parallel_ok,
+                              in.n());
 }
 
 gemm::ConvBackendKind Conv2d::forward_backend(const Shape& in) const {
@@ -137,12 +142,17 @@ void Conv2d::forward(const Tensor& in, Tensor& out) {
   const std::size_t in_img = p.geom.in_c * p.geom.in_h * p.geom.in_w;
   const std::size_t out_img = p.out_c * p.geom.lowered_cols();
   const float* bias = cfg_.bias ? bias_.data() : nullptr;
+  // Weight-only work (Winograd's filter transform) hoists out of the
+  // batch loop: computed once here, shared read-only by every image.
+  const std::unique_ptr<gemm::ConvPrep> prep =
+      be.prepare_forward(p, weight_.data());
   if (n_img <= 1) {
     // A single image cannot parallelize across the batch; let the backend
     // use the pool internally instead (parallel GEMMs / transform fans).
     for (std::size_t img = 0; img < n_img; ++img) {
-      be.forward(p, in.data() + img * in_img, weight_.data(), bias,
-                 out.data() + img * out_img, /*parallel_ok=*/true);
+      be.forward_prepared(p, prep.get(), in.data() + img * in_img,
+                          weight_.data(), bias, out.data() + img * out_img,
+                          /*parallel_ok=*/true);
     }
     return;
   }
@@ -150,8 +160,9 @@ void Conv2d::forward(const Tensor& in, Tensor& out) {
   // the pool. Inside a pool task the backend must stay serial: the pool
   // does not support nested parallel_for waits.
   ThreadPool::global().parallel_for(0, n_img, [&](std::size_t img) {
-    be.forward(p, in.data() + img * in_img, weight_.data(), bias,
-               out.data() + img * out_img, /*parallel_ok=*/false);
+    be.forward_prepared(p, prep.get(), in.data() + img * in_img,
+                        weight_.data(), bias, out.data() + img * out_img,
+                        /*parallel_ok=*/false);
   });
 }
 
@@ -213,8 +224,8 @@ std::vector<Param> Conv2d::params() {
 
 std::uint64_t Conv2d::forward_flops(const Shape& in) const {
   const gemm::ConvProblem p = problem(in);
-  const gemm::ConvBackendKind kind =
-      planned_conv_backend(cfg_.algo, p, ConvPhase::kForward, in.n() <= 1);
+  const gemm::ConvBackendKind kind = planned_conv_backend(
+      cfg_.algo, p, ConvPhase::kForward, in.n() <= 1, in.n());
   const gemm::ConvBackend& be = gemm::backend(kind);
   return in.n() * (be.flops(p) +
                    (cfg_.bias ? p.geom.lowered_cols() * cfg_.out_channels
@@ -224,9 +235,9 @@ std::uint64_t Conv2d::forward_flops(const Shape& in) const {
 std::uint64_t Conv2d::backward_flops(const Shape& in) const {
   const gemm::ConvProblem p = problem(in);
   const gemm::ConvBackendKind dkind = planned_conv_backend(
-      cfg_.algo, p, ConvPhase::kBackwardData, in.n() <= 1);
+      cfg_.algo, p, ConvPhase::kBackwardData, in.n() <= 1, in.n());
   const gemm::ConvBackendKind fkind = planned_conv_backend(
-      cfg_.algo, p, ConvPhase::kBackwardFilter, true);
+      cfg_.algo, p, ConvPhase::kBackwardFilter, true, in.n());
   const std::uint64_t per_img =
       gemm::backend(dkind).flops(p, ConvPhase::kBackwardData) +
       gemm::backend(fkind).flops(p, ConvPhase::kBackwardFilter) +

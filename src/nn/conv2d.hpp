@@ -41,11 +41,13 @@ struct Conv2dConfig {
 /// dispatches convolution phases (Conv2d, Deconv2d): a forced algo wins
 /// when it supports the phase, falls back to the im2col adjoint when it
 /// declines it (FFT backward), and kAuto asks the global plan cache —
-/// tuning on first sight in the given execution mode.
+/// tuning on first sight in the given execution mode and batch bucket
+/// (gemm::conv_batch_bucket of the layer's batch dimension).
 gemm::ConvBackendKind resolve_conv_backend(ConvAlgo algo,
                                            const gemm::ConvProblem& p,
                                            gemm::ConvPhase phase,
-                                           bool parallel_ok);
+                                           bool parallel_ok,
+                                           std::size_t batch = 1);
 
 /// Like resolve_conv_backend but guaranteed never to tune: kAuto
 /// consults the plan cache and assumes the im2col reference for shapes
@@ -54,7 +56,8 @@ gemm::ConvBackendKind resolve_conv_backend(ConvAlgo algo,
 gemm::ConvBackendKind planned_conv_backend(ConvAlgo algo,
                                            const gemm::ConvProblem& p,
                                            gemm::ConvPhase phase,
-                                           bool parallel_ok);
+                                           bool parallel_ok,
+                                           std::size_t batch = 1);
 
 class Conv2d final : public Layer {
  public:

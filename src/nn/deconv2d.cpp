@@ -60,7 +60,8 @@ gemm::ConvProblem Deconv2d::problem(const Shape& in) const {
 gemm::ConvBackendKind Deconv2d::resolve_backend(const Shape& in,
                                                 ConvPhase phase,
                                                 bool parallel_ok) const {
-  return resolve_conv_backend(cfg_.algo, problem(in), phase, parallel_ok);
+  return resolve_conv_backend(cfg_.algo, problem(in), phase, parallel_ok,
+                              in.n());
 }
 
 gemm::ConvBackendKind Deconv2d::phase_backend(const Shape& in,
@@ -166,7 +167,7 @@ std::vector<Param> Deconv2d::params() {
 std::uint64_t Deconv2d::forward_flops(const Shape& in) const {
   const gemm::ConvProblem p = problem(in);
   const gemm::ConvBackendKind kind = planned_conv_backend(
-      cfg_.algo, p, ConvPhase::kBackwardData, in.n() <= 1);
+      cfg_.algo, p, ConvPhase::kBackwardData, in.n() <= 1, in.n());
   const std::uint64_t per_img =
       gemm::backend(kind).flops(p, ConvPhase::kBackwardData) +
       (cfg_.bias ? cfg_.out_channels * p.geom.in_h * p.geom.in_w : 0);
@@ -175,10 +176,10 @@ std::uint64_t Deconv2d::forward_flops(const Shape& in) const {
 
 std::uint64_t Deconv2d::backward_flops(const Shape& in) const {
   const gemm::ConvProblem p = problem(in);
-  const gemm::ConvBackendKind dkind =
-      planned_conv_backend(cfg_.algo, p, ConvPhase::kForward, in.n() <= 1);
+  const gemm::ConvBackendKind dkind = planned_conv_backend(
+      cfg_.algo, p, ConvPhase::kForward, in.n() <= 1, in.n());
   const gemm::ConvBackendKind fkind = planned_conv_backend(
-      cfg_.algo, p, ConvPhase::kBackwardFilter, true);
+      cfg_.algo, p, ConvPhase::kBackwardFilter, true, in.n());
   const std::uint64_t per_img =
       gemm::backend(dkind).flops(p, ConvPhase::kForward) +
       gemm::backend(fkind).flops(p, ConvPhase::kBackwardFilter) +

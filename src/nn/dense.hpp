@@ -24,6 +24,11 @@ class Dense final : public Layer {
   std::uint64_t forward_flops(const Shape& in) const override;
   std::uint64_t backward_flops(const Shape& in) const override;
 
+  std::size_t in_features() const { return in_features_; }
+  std::size_t out_features() const { return out_features_; }
+  Tensor& weight() { return weight_; }
+  Tensor& bias() { return bias_; }
+
  private:
   std::size_t batch_of(const Shape& in) const;
 

@@ -25,6 +25,7 @@ Sequential build_hep_network(const HepConfig& cfg) {
     conv.kernel = 3;
     conv.stride = 1;
     conv.pad = 1;  // "same" padding keeps halving exact
+    conv.algo = cfg.algo;
     const std::string idx = std::to_string(u + 1);
     net.add(std::make_unique<Conv2d>("conv" + idx, conv, rng));
     net.add(std::make_unique<ReLU>("relu" + idx));

@@ -8,6 +8,7 @@
 // = 2.27 MiB, matching Table II's 2.3 MiB.
 #pragma once
 
+#include "nn/conv2d.hpp"
 #include "nn/network.hpp"
 
 namespace pf15::nn {
@@ -19,6 +20,11 @@ struct HepConfig {
   std::size_t conv_units = 5;
   std::size_t classes = 2;  // signal vs background
   std::uint64_t seed = 1234;
+  /// Convolution dispatch. kAuto by default: the paper model inherits the
+  /// plan cache's measured per-(geometry, phase) backend wins — warm from
+  /// the first batch when a persisted cache or a plan-carrying checkpoint
+  /// is present. Force kIm2col for the bit-stable reference baseline.
+  ConvAlgo algo = ConvAlgo::kAuto;
 
   /// A reduced configuration that trains in seconds; used by tests and the
   /// functional (non-simulated) hybrid-training demos.

@@ -21,6 +21,9 @@ class MaxPool2d final : public Layer {
   std::uint64_t forward_flops(const Shape& in) const override;
   std::uint64_t backward_flops(const Shape& in) const override;
 
+  std::size_t kernel() const { return kernel_; }
+  std::size_t stride() const { return stride_; }
+
  private:
   std::string name_;
   std::size_t kernel_;

@@ -13,7 +13,53 @@ namespace {
 constexpr char kCheckpointMagic[8] = {'P', 'F', '1', '5',
                                       'C', 'K', 'P', 'T'};
 
+// Magic of the optional plan section trailing the payload; the digit is
+// its format version (the JSON inside carries its own, stricter version).
+constexpr char kPlanSectionMagic[8] = {'P', 'F', '1', '5',
+                                       'P', 'L', 'N', '1'};
+
 }  // namespace
+
+void write_embedded_plans(std::ostream& os, const std::string& plans_json) {
+  os.write(kPlanSectionMagic, sizeof(kPlanSectionMagic));
+  const std::uint64_t len = plans_json.size();
+  os.write(reinterpret_cast<const char*>(&len), sizeof(len));
+  os.write(plans_json.data(), static_cast<std::streamsize>(len));
+  if (!os) throw IoError("write_embedded_plans: stream write failed");
+}
+
+std::string read_embedded_plans(std::istream& is) {
+  // Optionality is "the stream ends here", not "anything goes": a partial
+  // or foreign trailer is a corrupt checkpoint and must say so.
+  if (is.peek() == std::istream::traits_type::eof()) return "";
+  char magic[sizeof(kPlanSectionMagic)] = {};
+  is.read(magic, sizeof(magic));
+  if (!is || std::memcmp(magic, kPlanSectionMagic, sizeof(magic)) != 0) {
+    throw IoError(
+        "read_embedded_plans: trailing bytes after the checkpoint payload "
+        "are not a plan section");
+  }
+  std::uint64_t len = 0;
+  is.read(reinterpret_cast<char*>(&len), sizeof(len));
+  if (!is) throw IoError("read_embedded_plans: truncated section header");
+  // Validate the length against the bytes actually left in the stream
+  // before allocating: a corrupt length field must surface as IoError,
+  // not as std::length_error / a multi-GB allocation attempt.
+  const std::istream::pos_type body = is.tellg();
+  is.seekg(0, std::ios::end);
+  const std::istream::pos_type end = is.tellg();
+  is.seekg(body);
+  if (body == std::istream::pos_type(-1) ||
+      end == std::istream::pos_type(-1) ||
+      static_cast<std::uint64_t>(end - body) < len) {
+    throw IoError("read_embedded_plans: plan section length exceeds the "
+                  "stream — corrupt checkpoint trailer");
+  }
+  std::string text(static_cast<std::size_t>(len), '\0');
+  is.read(text.data(), static_cast<std::streamsize>(len));
+  if (!is) throw IoError("read_embedded_plans: truncated plan document");
+  return text;
+}
 
 void write_checkpoint(std::ostream& os, const std::string& model_kind,
                       const std::vector<nn::Param>& entries) {
@@ -73,6 +119,13 @@ void restore_model(std::istream& is, nn::Sequential& net,
   read_checkpoint(is, expected_kind, net.params_and_state());
 }
 
+void checkpoint_model_with_plans(std::ostream& os, nn::Sequential& net,
+                                 const std::string& model_kind,
+                                 const gemm::ConvPlanCache& plans) {
+  checkpoint_model(os, net, model_kind);
+  write_embedded_plans(os, plans.dump());
+}
+
 void checkpoint_model(std::ostream& os, nn::ClimateNet& net) {
   write_checkpoint(os, "climate", net.params_and_state());
 }
@@ -88,6 +141,22 @@ void checkpoint_model_file(const std::string& path, nn::Sequential& net,
   checkpoint_model(os, net, model_kind);
   os.flush();
   if (!os) throw IoError("checkpoint_model_file: write failed for " + path);
+}
+
+void checkpoint_model_file_with_plans(const std::string& path,
+                                      nn::Sequential& net,
+                                      const std::string& model_kind,
+                                      const gemm::ConvPlanCache& plans) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) {
+    throw IoError("checkpoint_model_file_with_plans: cannot open " + path);
+  }
+  checkpoint_model_with_plans(os, net, model_kind, plans);
+  os.flush();
+  if (!os) {
+    throw IoError("checkpoint_model_file_with_plans: write failed for " +
+                  path);
+  }
 }
 
 void restore_model_file(const std::string& path, nn::Sequential& net,

@@ -8,6 +8,14 @@
 // carries its name and shape) so a checkpoint can never be restored into
 // the wrong architecture silently. Payload floats are stored verbatim, so
 // a round trip is bit-exact.
+//
+// A checkpoint may additionally carry the convolution plan-cache JSON
+// (gemm::ConvPlanCache::dump()) as an optional tagged section after the
+// payload: the warm-start artifact. A cold serving process that restores
+// such a checkpoint merges the embedded plans and answers its first
+// request with zero first-sight tunes. The section is optional — plain
+// checkpoints read exactly as before — but when trailing bytes exist
+// they must be a valid plan section (anything else is a corrupt file).
 #pragma once
 
 #include <cstdint>
@@ -15,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "gemm/conv_backend.hpp"
 #include "nn/climate_net.hpp"
 #include "nn/network.hpp"
 
@@ -48,6 +57,18 @@ CheckpointMeta read_checkpoint_meta(std::istream& is);
 void read_checkpoint(std::istream& is, const std::string& expected_kind,
                      const std::vector<nn::Param>& entries);
 
+// ---- embedded plan-cache section -------------------------------------------
+
+/// Appends the tagged plan section (magic, length, JSON bytes) after a
+/// checkpoint payload. `plans_json` is a ConvPlanCache::dump() document.
+void write_embedded_plans(std::ostream& os, const std::string& plans_json);
+
+/// Reads the optional plan section. The stream must be positioned right
+/// after the named-tensor payload (i.e. after read_checkpoint). Returns
+/// "" when the checkpoint carries no plans; throws IoError when trailing
+/// bytes exist but are not a valid plan section.
+std::string read_embedded_plans(std::istream& is);
+
 // ---- whole-model convenience ----------------------------------------------
 // These capture trainable parameters *and* non-trainable state (BatchNorm
 // running statistics), which inference needs and params() alone misses.
@@ -57,6 +78,12 @@ void checkpoint_model(std::ostream& os, nn::Sequential& net,
 void restore_model(std::istream& is, nn::Sequential& net,
                    const std::string& expected_kind);
 
+/// checkpoint_model plus the embedded plan section from `plans` — the
+/// compiled-serving handoff artifact (weights + every tuned conv plan).
+void checkpoint_model_with_plans(std::ostream& os, nn::Sequential& net,
+                                 const std::string& model_kind,
+                                 const gemm::ConvPlanCache& plans);
+
 /// ClimateNet checkpoints carry kind "climate".
 void checkpoint_model(std::ostream& os, nn::ClimateNet& net);
 void restore_model(std::istream& is, nn::ClimateNet& net);
@@ -65,6 +92,10 @@ void restore_model(std::istream& is, nn::ClimateNet& net);
 
 void checkpoint_model_file(const std::string& path, nn::Sequential& net,
                            const std::string& model_kind);
+void checkpoint_model_file_with_plans(const std::string& path,
+                                      nn::Sequential& net,
+                                      const std::string& model_kind,
+                                      const gemm::ConvPlanCache& plans);
 void restore_model_file(const std::string& path, nn::Sequential& net,
                         const std::string& expected_kind);
 CheckpointMeta read_checkpoint_meta_file(const std::string& path);

@@ -5,6 +5,7 @@
 #include <sstream>
 #include <utility>
 
+#include "common/logging.hpp"
 #include "serve/checkpoint.hpp"
 
 namespace pf15::serve {
@@ -55,6 +56,20 @@ void ServingEngine::init_replicas(const ModelFactory& factory,
     kind = "replica";
   } else {
     restore_model(*weights, replicas_[0], kind);
+    // A plan-carrying checkpoint warms the process-wide conv plan cache
+    // before any plan is compiled: a cold server then answers its first
+    // request with zero first-sight tunes. Plans recorded on a different
+    // machine shape fail hardware validation; serving then just tunes
+    // from scratch — degraded, never wrong.
+    try {
+      const std::string plans = read_embedded_plans(*weights);
+      if (!plans.empty()) {
+        gemm::ConvPlanCache::global().load_document(plans, "checkpoint");
+      }
+    } catch (const Error& e) {
+      PF15_WARN("serving: ignoring embedded conv plans (" << e.what()
+                                                          << ")");
+    }
   }
   for (std::size_t i = 1; i < cfg_.replicas; ++i) {
     replicas_.push_back(factory());
@@ -64,6 +79,15 @@ void ServingEngine::init_replicas(const ModelFactory& factory,
   }
 
   for (auto& r : replicas_) r.set_training(false);
+  if (cfg_.compiled) {
+    graph::CompileOptions copt;
+    copt.max_batch = cfg_.batcher.max_batch;
+    plans_.reserve(replicas_.size());
+    for (auto& r : replicas_) {
+      plans_.push_back(std::make_unique<graph::CompiledPlan>(
+          graph::compile(r, cfg_.sample_shape, copt)));
+    }
+  }
   output_sample_shape_ =
       strip_batch(replicas_[0].output_shape(with_batch(cfg_.sample_shape, 1)));
   start_workers();
@@ -110,15 +134,14 @@ std::optional<std::future<Tensor>> ServingEngine::try_submit(
 }
 
 void ServingEngine::worker_loop(std::size_t replica_index) {
-  nn::Sequential& replica = replicas_[replica_index];
   while (true) {
     std::vector<Request> batch = batcher_.next_batch();
     if (batch.empty()) return;  // closed and drained
-    serve_batch(replica, std::move(batch));
+    serve_batch(replica_index, std::move(batch));
   }
 }
 
-void ServingEngine::serve_batch(nn::Sequential& replica,
+void ServingEngine::serve_batch(std::size_t replica_index,
                                 std::vector<Request>&& batch) {
   const std::size_t n = batch.size();
   try {
@@ -127,7 +150,9 @@ void ServingEngine::serve_batch(nn::Sequential& replica,
     for (const auto& req : batch) inputs.push_back(&req.input);
     const Tensor batched = stack_samples(inputs);
 
-    const Tensor& out = replica.forward(batched);
+    const Tensor& out = cfg_.compiled
+                            ? plans_[replica_index]->run(batched)
+                            : replicas_[replica_index].forward(batched);
     PF15_CHECK_MSG(out.shape().rank() >= 1 && out.shape()[0] == n,
                    "replica output " << out.shape()
                                      << " lacks batch dimension " << n);

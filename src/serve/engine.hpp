@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "common/thread_pool.hpp"
+#include "graph/compiled_plan.hpp"
 #include "nn/network.hpp"
 #include "perf/latency.hpp"
 #include "serve/batcher.hpp"
@@ -44,6 +45,11 @@ struct EngineConfig {
   /// Per-request sample shape, e.g. (C, H, W). submit() validates it.
   Shape sample_shape;
   BatcherConfig batcher;
+  /// Execute through per-replica graph::CompiledPlans (eval no-ops
+  /// stripped, BatchNorm folded, activations fused, static activation
+  /// arena, pre-tuned conv plans) instead of eager Sequential::forward.
+  /// Output-equivalent to eager within floating-point tolerance.
+  bool compiled = false;
 };
 
 /// Point-in-time serving metrics (percentiles via perf::LatencyRecorder).
@@ -89,21 +95,30 @@ class ServingEngine {
   const EngineConfig& config() const { return cfg_; }
   /// Per-sample output shape (batch dimension stripped).
   const Shape& output_shape() const { return output_sample_shape_; }
+  /// The compile report of replica 0's plan; null when running eager.
+  const graph::CompileReport* compile_report() const {
+    return plans_.empty() ? nullptr : &plans_.front()->report();
+  }
 
  private:
   /// Shared constructor tail: builds the replicas from `factory`, restores
   /// each from `weights` (checkpoint bytes; null = clone replica 0 so all
-  /// replicas match even with a randomising factory), switches them to
-  /// inference mode, probes the output shape, starts the workers.
+  /// replicas match even with a randomising factory), merges any embedded
+  /// conv plans into the global plan cache, switches the replicas to
+  /// inference mode, compiles per-replica plans when configured, probes
+  /// the output shape, starts the workers.
   void init_replicas(const ModelFactory& factory, std::istream* weights,
                      const std::string& expected_kind);
   void start_workers();
   void worker_loop(std::size_t replica_index);
-  void serve_batch(nn::Sequential& replica, std::vector<Request>&& batch);
+  void serve_batch(std::size_t replica_index, std::vector<Request>&& batch);
   void note_submit();
 
   EngineConfig cfg_;
   std::vector<nn::Sequential> replicas_;
+  /// One compiled plan per replica (empty when cfg_.compiled is false).
+  /// A plan is stateful like its replica: only its worker touches it.
+  std::vector<std::unique_ptr<graph::CompiledPlan>> plans_;
   Shape output_sample_shape_;
   DynamicBatcher batcher_;
 

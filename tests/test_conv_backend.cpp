@@ -9,6 +9,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <memory>
 #include <string>
 #include <unistd.h>
@@ -433,6 +434,123 @@ TEST(PlanCache, InsertOverridesTheTunedPlan) {
   EXPECT_FALSE(cache.lookup(p, ConvPhase::kBackwardFilter).has_value());
 }
 
+TEST(PlanCache, BatchBucketRoundsUpToPowersOfTwo) {
+  EXPECT_EQ(gemm::conv_batch_bucket(0), 1u);
+  EXPECT_EQ(gemm::conv_batch_bucket(1), 1u);
+  EXPECT_EQ(gemm::conv_batch_bucket(2), 2u);
+  EXPECT_EQ(gemm::conv_batch_bucket(3), 4u);
+  EXPECT_EQ(gemm::conv_batch_bucket(8), 8u);
+  EXPECT_EQ(gemm::conv_batch_bucket(9), 16u);
+  EXPECT_EQ(gemm::conv_batch_bucket(13), 16u);
+  // Saturates (terminates) on absurd inputs instead of overflow-looping.
+  const std::size_t top = std::size_t{1}
+                          << (8 * sizeof(std::size_t) - 1);
+  EXPECT_EQ(gemm::conv_batch_bucket(std::numeric_limits<std::size_t>::max()),
+            top);
+  EXPECT_EQ(gemm::conv_batch_bucket(top), top);
+}
+
+TEST(PlanCache, RaggedBatchesReuseTheFullBatchPlan) {
+  gemm::ConvPlanCache cache(fast_tune());
+  const gemm::ConvProblem p = make_problem(2, 3, 10, 3, 1, 1);
+  // Tune once at the full serving batch of 16...
+  cache.plan(p, ConvPhase::kForward, /*parallel_ok=*/false, /*batch=*/16);
+  EXPECT_EQ(cache.misses(), 1u);
+  // ...then every ragged batch in (8, 16] lands in the same bucket.
+  for (std::size_t ragged : {9u, 13u, 15u, 16u}) {
+    cache.plan(p, ConvPhase::kForward, false, ragged);
+  }
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 4u);
+  // A different bucket is a different key (it may tune differently).
+  EXPECT_FALSE(
+      cache.lookup(p, ConvPhase::kForward, false, /*batch=*/4).has_value());
+  cache.plan(p, ConvPhase::kForward, false, 4);
+  EXPECT_EQ(cache.misses(), 2u);
+}
+
+TEST(PlanCache, InsertAppliesToEveryModeAndBucket) {
+  gemm::ConvPlanCache cache(fast_tune());
+  const gemm::ConvProblem p = make_problem(2, 3, 10, 3, 1, 1);
+  gemm::ConvPlan forced;
+  forced.kind = ConvBackendKind::kDirect;
+  cache.insert(p, forced);
+  for (const bool parallel_ok : {false, true}) {
+    for (const std::size_t batch : {1u, 8u, 64u}) {
+      const auto found =
+          cache.lookup(p, ConvPhase::kForward, parallel_ok, batch);
+      ASSERT_TRUE(found.has_value());
+      EXPECT_EQ(found->kind, ConvBackendKind::kDirect);
+      EXPECT_EQ(cache.plan(p, ConvPhase::kForward, parallel_ok, batch).kind,
+                ConvBackendKind::kDirect);
+    }
+  }
+  EXPECT_EQ(cache.misses(), 0u);
+}
+
+TEST(PlanCache, DumpLoadDocumentRoundTrip) {
+  gemm::ConvPlanCache cache(fast_tune());
+  const gemm::ConvProblem p = make_problem(2, 3, 10, 3, 1, 1);
+  cache.plan(p, ConvPhase::kForward, false, /*batch=*/8);
+  cache.plan(p, ConvPhase::kForward, true, /*batch=*/1);
+  const std::string doc = cache.dump();
+
+  gemm::ConvPlanCache fresh(fast_tune());
+  fresh.load_document(doc, "test");
+  EXPECT_EQ(fresh.size(), 2u);
+  // Warm for the exact (mode, bucket) keys that were dumped.
+  fresh.plan(p, ConvPhase::kForward, false, 8);
+  fresh.plan(p, ConvPhase::kForward, true, 1);
+  EXPECT_EQ(fresh.misses(), 0u);
+  EXPECT_EQ(fresh.hits(), 2u);
+
+  gemm::ConvPlanCache reject(fast_tune());
+  EXPECT_THROW(reject.load_document("{\"format\": \"nope\"}", "test"),
+               IoError);
+  EXPECT_THROW(reject.load_document("not json at all", "test"), IoError);
+  EXPECT_EQ(reject.size(), 0u);
+}
+
+TEST(PreparedForward, WinogradPrepMatchesPlainForwardBothTiles) {
+  // Geometry pairs chosen so winograd_pick_tile selects F(2x2) (tiny
+  // output grid) and F(4x4) (large grid); prepared and plain paths must
+  // agree bit-for-bit — same transforms, just hoisted.
+  for (const std::size_t hw : {5u, 12u}) {
+    const gemm::ConvProblem p = make_problem(3, 4, hw, 3, 1, 1);
+    const ConvOperands ops = random_operands(p, 0x5eedu + hw);
+    const gemm::ConvBackend& wino =
+        gemm::backend(ConvBackendKind::kWinograd);
+    ASSERT_TRUE(wino.applicable(p));
+    const std::size_t out_n = p.out_c * p.geom.lowered_cols();
+    std::vector<float> plain(out_n, -1.0f), prepped(out_n, -2.0f);
+    wino.forward(p, ops.image.data(), ops.weight.data(), ops.bias.data(),
+                 plain.data(), /*parallel_ok=*/false);
+    const std::unique_ptr<gemm::ConvPrep> prep =
+        wino.prepare_forward(p, ops.weight.data());
+    ASSERT_NE(prep, nullptr);
+    wino.forward_prepared(p, prep.get(), ops.image.data(),
+                          ops.weight.data(), ops.bias.data(), prepped.data(),
+                          /*parallel_ok=*/false);
+    for (std::size_t i = 0; i < out_n; ++i) {
+      EXPECT_EQ(plain[i], prepped[i]) << "element " << i << " hw " << hw;
+    }
+  }
+}
+
+TEST(PreparedForward, BackendsWithoutPrepFallBackToPlainForward) {
+  const gemm::ConvProblem p = make_problem(2, 3, 6, 3, 1, 1);
+  const ConvOperands ops = random_operands(p, 0xabcdu);
+  const gemm::ConvBackend& im2col = gemm::backend(ConvBackendKind::kIm2col);
+  EXPECT_EQ(im2col.prepare_forward(p, ops.weight.data()), nullptr);
+  const std::size_t out_n = p.out_c * p.geom.lowered_cols();
+  std::vector<float> plain(out_n), prepped(out_n);
+  im2col.forward(p, ops.image.data(), ops.weight.data(), ops.bias.data(),
+                 plain.data(), false);
+  im2col.forward_prepared(p, nullptr, ops.image.data(), ops.weight.data(),
+                          ops.bias.data(), prepped.data(), false);
+  for (std::size_t i = 0; i < out_n; ++i) EXPECT_EQ(plain[i], prepped[i]);
+}
+
 // ---- plan cache persistence ------------------------------------------------
 
 std::string temp_cache_path(const char* name) {
@@ -577,7 +695,9 @@ TEST(PlanCachePersistence, WrongFormatVersionAndHardwareAreRejected) {
   gemm::ConvPlanCache fresh(fast_tune());
   write_variant("pf15.conv_plan_cache", "some.other.format");
   EXPECT_THROW(fresh.load(path), IoError);
-  write_variant("\"version\": 1", "\"version\": 999");
+  write_variant(
+      "\"version\": " + std::to_string(gemm::kConvPlanCacheVersion),
+      "\"version\": 999");
   EXPECT_THROW(fresh.load(path), IoError);
   write_variant("\"threads\": ", "\"threads\": 9999");
   EXPECT_THROW(fresh.load(path), IoError);
@@ -963,8 +1083,9 @@ TEST(ConvSpace, GridSearchFindsWinnerAndInstallsPlanPerPhase) {
     ASSERT_TRUE(cache.lookup(p, phase).has_value());
     EXPECT_EQ(cache.lookup(p, phase)->kind, plan.kind);
   }
-  // insert() pins each phase's plan for both execution modes.
-  EXPECT_EQ(cache.size(), 6u);
+  // insert() pins one override per phase; each override covers every
+  // execution mode and batch bucket of its (problem, phase).
+  EXPECT_EQ(cache.size(), 3u);
 }
 
 }  // namespace

@@ -1,0 +1,369 @@
+// Graph compiler subsystem: capture fidelity, the optimization passes
+// (dropout strip, BatchNorm fold, activation fusion) on straight chains
+// and edge topologies (residual blocks, deconvolutions, single-layer
+// nets), the liveness arena planner's no-overlap invariant and reuse win,
+// compiled-vs-eager output equivalence for the HEP and climate networks,
+// and the born-warm pre-tuning contract.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "gemm/conv_backend.hpp"
+#include "graph/arena.hpp"
+#include "graph/compiled_plan.hpp"
+#include "graph/graph.hpp"
+#include "graph/passes.hpp"
+#include "nn/activations.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/climate_net.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/deconv2d.hpp"
+#include "nn/dense.hpp"
+#include "nn/dropout.hpp"
+#include "nn/hep_model.hpp"
+#include "nn/pool.hpp"
+#include "nn/residual.hpp"
+
+namespace pf15 {
+namespace {
+
+/// max |a - b| / (1 + |b|): relative on large values, absolute near zero.
+double max_rel_diff(const Tensor& a, const Tensor& b) {
+  EXPECT_EQ(a.shape(), b.shape());
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.numel(); ++i) {
+    const double d = std::abs(static_cast<double>(a.at(i)) - b.at(i)) /
+                     (1.0 + std::abs(static_cast<double>(b.at(i))));
+    worst = std::max(worst, d);
+  }
+  return worst;
+}
+
+Tensor random_input(const Shape& shape, std::uint64_t seed) {
+  Rng rng(seed);
+  Tensor t(shape);
+  t.fill_uniform(rng, -1.0f, 1.0f);
+  return t;
+}
+
+nn::Conv2dConfig conv_cfg(std::size_t in_c, std::size_t out_c,
+                          std::size_t kernel, std::size_t stride,
+                          std::size_t pad, bool bias = true) {
+  nn::Conv2dConfig cfg;
+  cfg.in_channels = in_c;
+  cfg.out_channels = out_c;
+  cfg.kernel = kernel;
+  cfg.stride = stride;
+  cfg.pad = pad;
+  cfg.bias = bias;
+  return cfg;
+}
+
+// ---- capture ---------------------------------------------------------------
+
+TEST(GraphCapture, HepChainCapturesKindsAndShapes) {
+  nn::Sequential net = nn::build_hep_network(nn::HepConfig::tiny());
+  net.set_training(false);
+  const graph::Graph g = graph::capture(net, Shape{3, 32, 32});
+  // tiny(): 3 x [conv relu pool/gap] + fc = 10 nodes, one output.
+  ASSERT_EQ(g.nodes.size(), 10u);
+  EXPECT_EQ(g.nodes[0].kind, graph::OpKind::kConv);
+  EXPECT_EQ(g.nodes[1].kind, graph::OpKind::kRelu);
+  EXPECT_EQ(g.nodes[2].kind, graph::OpKind::kMaxPool);
+  EXPECT_EQ(g.nodes[8].kind, graph::OpKind::kGlobalPool);
+  EXPECT_EQ(g.nodes[9].kind, graph::OpKind::kDense);
+  ASSERT_EQ(g.outputs.size(), 1u);
+  EXPECT_EQ(g.outputs[0], 9);
+  // Chain wiring and per-sample shapes.
+  EXPECT_EQ(g.nodes[0].input, graph::OpNode::kGraphInput);
+  for (std::size_t i = 1; i < g.nodes.size(); ++i) {
+    EXPECT_EQ(g.nodes[i].input, static_cast<int>(i - 1));
+    EXPECT_EQ(g.nodes[i].in_sample, g.nodes[i - 1].out_sample);
+  }
+  EXPECT_EQ(g.nodes[9].out_sample, (Shape{2}));
+  // Captured weights are copies, not aliases.
+  auto* conv = dynamic_cast<nn::Conv2d*>(&net.layer(0));
+  ASSERT_NE(conv, nullptr);
+  EXPECT_NE(g.nodes[0].weight.data(), conv->weight().data());
+}
+
+TEST(GraphCapture, RefusesTrainingModeNets) {
+  nn::Sequential net = nn::build_hep_network(nn::HepConfig::tiny());
+  EXPECT_TRUE(net.training());  // construction default
+  EXPECT_THROW(graph::capture(net, Shape{3, 32, 32}), ConfigError);
+  EXPECT_THROW(
+      graph::compile(net, Shape{3, 32, 32}, graph::CompileOptions{}),
+      ConfigError);
+
+  nn::ClimateNet climate(nn::ClimateConfig::tiny());
+  EXPECT_THROW(graph::capture(climate), ConfigError);
+  // Partially-training nets (a part accessor flipped one Sequential back)
+  // must be refused too — folding would freeze stale statistics.
+  climate.set_training(false);
+  climate.decoder().set_training(true);
+  EXPECT_TRUE(climate.training());
+  EXPECT_THROW(graph::capture(climate), ConfigError);
+  // A net put back in training mode after an eval phase is refused too —
+  // folding its BatchNorm mid-training would freeze stale statistics.
+  net.set_training(false);
+  net.set_training(true);
+  EXPECT_THROW(graph::capture(net, Shape{3, 32, 32}), ConfigError);
+}
+
+// ---- passes ----------------------------------------------------------------
+
+TEST(GraphPasses, StripsDropoutAndRewiresConsumers) {
+  Rng rng(7);
+  nn::Sequential net;
+  net.add(std::make_unique<nn::Conv2d>("c", conv_cfg(2, 4, 3, 1, 1), rng));
+  net.add(std::make_unique<nn::Dropout>("drop", 0.5f));
+  net.add(std::make_unique<nn::ReLU>("r"));
+  net.set_training(false);
+  graph::Graph g = graph::capture(net, Shape{2, 8, 8});
+  ASSERT_EQ(g.nodes.size(), 3u);
+  EXPECT_EQ(graph::strip_noops(g), 1u);
+  ASSERT_EQ(g.nodes.size(), 2u);
+  EXPECT_EQ(g.nodes[0].kind, graph::OpKind::kConv);
+  EXPECT_EQ(g.nodes[1].kind, graph::OpKind::kRelu);
+  EXPECT_EQ(g.nodes[1].input, 0);
+  EXPECT_EQ(g.outputs[0], 1);
+}
+
+TEST(GraphPasses, FusesActivationsIntoProducerEpilogue) {
+  Rng rng(7);
+  nn::Sequential net;
+  net.add(std::make_unique<nn::Conv2d>("c", conv_cfg(2, 4, 3, 1, 1), rng));
+  net.add(std::make_unique<nn::ReLU>("r"));
+  net.add(std::make_unique<nn::Dense>("fc", 4 * 8 * 8, 3, rng));
+  net.add(std::make_unique<nn::Sigmoid>("s"));
+  net.set_training(false);
+  graph::Graph g = graph::capture(net, Shape{2, 8, 8});
+  EXPECT_EQ(graph::fuse_activations(g), 2u);
+  ASSERT_EQ(g.nodes.size(), 2u);
+  EXPECT_EQ(g.nodes[0].epilogue, graph::Epilogue::kRelu);
+  EXPECT_EQ(g.nodes[1].epilogue, graph::Epilogue::kSigmoid);
+  EXPECT_EQ(g.outputs[0], 1);
+}
+
+/// Builds conv (+optional bias) -> BN -> ReLU, runs some training batches
+/// so the BN running statistics move away from their (0, 1) init, then
+/// freezes to eval mode.
+nn::Sequential bn_net(bool conv_bias, std::uint64_t seed) {
+  Rng rng(seed);
+  nn::Sequential net;
+  net.add(std::make_unique<nn::Conv2d>(
+      "c", conv_cfg(2, 4, 3, 1, 1, conv_bias), rng));
+  nn::BatchNormConfig bn;
+  bn.channels = 4;
+  net.add(std::make_unique<nn::BatchNorm2d>("bn", bn));
+  net.add(std::make_unique<nn::ReLU>("r"));
+  net.set_training(true);
+  for (int i = 0; i < 3; ++i) {
+    net.forward(random_input(Shape{6, 2, 8, 8}, seed + 10 + i));
+  }
+  net.set_training(false);
+  return net;
+}
+
+TEST(GraphPasses, FoldsBatchNormIntoConvWeights) {
+  for (const bool conv_bias : {true, false}) {
+    nn::Sequential net = bn_net(conv_bias, 0x60d);
+    graph::Graph g = graph::capture(net, Shape{2, 8, 8});
+    ASSERT_EQ(g.nodes.size(), 3u);
+    EXPECT_EQ(graph::fold_batchnorm(g), 1u);
+    ASSERT_EQ(g.nodes.size(), 2u);
+    EXPECT_EQ(g.nodes[0].kind, graph::OpKind::kConv);
+    // Folding materialises a bias even when the conv had none.
+    EXPECT_TRUE(g.nodes[0].bias.defined());
+    EXPECT_EQ(g.nodes[1].kind, graph::OpKind::kRelu);
+
+    // The folded conv must reproduce eager conv+BN inference math.
+    const Tensor input = random_input(Shape{4, 2, 8, 8}, 0xf01d);
+    const Tensor& want = net.forward(input);
+    graph::CompiledPlan plan =
+        graph::compile(net, Shape{2, 8, 8}, graph::CompileOptions{});
+    EXPECT_EQ(plan.report().passes.folded_batchnorms, 1u);
+    EXPECT_EQ(plan.report().passes.fused_activations, 1u);
+    const Tensor& got = plan.run(input);
+    EXPECT_LE(max_rel_diff(got, want), 1e-4)
+        << "conv_bias=" << conv_bias;
+  }
+}
+
+TEST(GraphPasses, ResidualBlocksStayOpaqueAndUnfolded) {
+  // BatchNorm lives *inside* the residual blocks: the compiler must treat
+  // the block as a black box — no folding, no fusion across the skip
+  // join — and still match eager execution exactly.
+  nn::ResNetConfig cfg;
+  cfg.in_channels = 3;
+  cfg.num_classes = 2;
+  cfg.stage_channels = {4, 8};
+  cfg.blocks_per_stage = 1;
+  cfg.batchnorm = true;
+  nn::Sequential net = nn::build_resnet(cfg);
+  net.set_training(true);
+  for (int i = 0; i < 2; ++i) {
+    net.forward(random_input(Shape{4, 3, 16, 16}, 0xbe5 + i));
+  }
+  net.set_training(false);
+
+  graph::Graph g = graph::capture(net, Shape{3, 16, 16});
+  std::size_t opaque = 0;
+  for (const auto& node : g.nodes) {
+    if (node.kind == graph::OpKind::kOpaque) ++opaque;
+  }
+  EXPECT_EQ(opaque, 2u);  // one per residual block
+
+  const Tensor input = random_input(Shape{3, 3, 16, 16}, 0x5eed);
+  const Tensor& want = net.forward(input);
+  graph::CompiledPlan plan =
+      graph::compile(net, Shape{3, 16, 16}, graph::CompileOptions{});
+  EXPECT_EQ(plan.report().passes.folded_batchnorms, 0u);
+  const Tensor& got = plan.run(input);
+  EXPECT_LE(max_rel_diff(got, want), 1e-4);
+}
+
+// ---- arena planner ---------------------------------------------------------
+
+TEST(ArenaPlanner, BuffersWithOverlappingLifetimesNeverCollide) {
+  nn::Sequential net = nn::build_hep_network(nn::HepConfig::tiny());
+  net.set_training(false);
+  graph::Graph g = graph::capture(net, Shape{3, 32, 32});
+  graph::optimize(g);
+  const graph::ArenaAssignment plan = graph::plan_arena(g);
+
+  const std::size_t n = g.nodes.size();
+  std::vector<std::size_t> last(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    last[i] = i;
+    if (g.nodes[i].input >= 0) {
+      last[static_cast<std::size_t>(g.nodes[i].input)] = i;
+    }
+  }
+  for (int out : g.outputs) last[static_cast<std::size_t>(out)] = n;
+  // The unconsumed final output is produced straight into the result
+  // tensor, outside the arena.
+  EXPECT_TRUE(plan.external[static_cast<std::size_t>(g.outputs[0])]);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (plan.external[i]) continue;
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (plan.external[j]) continue;
+      if (last[i] < j) continue;  // i dead before j defined: may share
+      const std::size_t ai = plan.offsets[i];
+      const std::size_t bi = ai + g.nodes[i].out_sample.numel();
+      const std::size_t aj = plan.offsets[j];
+      const std::size_t bj = aj + g.nodes[j].out_sample.numel();
+      EXPECT_TRUE(bi <= aj || bj <= ai)
+          << "nodes " << i << " and " << j << " overlap";
+    }
+  }
+  // Reuse must beat eager's keep-everything allocation.
+  EXPECT_LT(plan.total_floats, plan.eager_floats);
+  EXPECT_GT(plan.total_floats, 0u);
+}
+
+// ---- compiled execution ----------------------------------------------------
+
+TEST(CompiledPlan, MatchesEagerHepIncludingRaggedBatches) {
+  nn::Sequential net = nn::build_hep_network(nn::HepConfig::tiny());
+  net.set_training(false);
+  graph::CompileOptions opt;
+  opt.max_batch = 8;
+  graph::CompiledPlan plan = graph::compile(net, Shape{3, 32, 32}, opt);
+  EXPECT_EQ(plan.report().passes.fused_activations, 3u);
+  EXPECT_LT(plan.report().arena_floats_per_sample,
+            plan.report().eager_floats_per_sample);
+  for (const std::size_t batch : {1u, 5u, 8u}) {
+    const Tensor input =
+        random_input(Shape{batch, 3, 32, 32}, 0x11e9 + batch);
+    const Tensor& want = net.forward(input);
+    const Tensor& got = plan.run(input);
+    EXPECT_LE(max_rel_diff(got, want), 1e-4) << "batch " << batch;
+  }
+}
+
+TEST(CompiledPlan, MatchesEagerClimateAllFiveOutputs) {
+  nn::ClimateNet net(nn::ClimateConfig::tiny());
+  net.set_training(false);
+  graph::CompileOptions opt;
+  opt.max_batch = 2;
+  graph::CompiledPlan plan = graph::compile(net, opt);
+  const Tensor input = random_input(Shape{2, 4, 32, 32}, 0xc11);
+  const nn::ClimateNet::Outputs& want = net.forward(input);
+  const std::vector<Tensor>& got = plan.run_all(input);
+  ASSERT_EQ(got.size(), 5u);
+  EXPECT_LE(max_rel_diff(got[0], want.conf), 1e-4);
+  EXPECT_LE(max_rel_diff(got[1], want.cls), 1e-4);
+  EXPECT_LE(max_rel_diff(got[2], want.xy), 1e-4);
+  EXPECT_LE(max_rel_diff(got[3], want.wh), 1e-4);
+  EXPECT_LE(max_rel_diff(got[4], want.recon), 1e-4);
+  // The feature fan-out (4 heads + decoder) must not break the arena.
+  EXPECT_LT(plan.report().arena_floats_per_sample,
+            plan.report().eager_floats_per_sample);
+}
+
+TEST(CompiledPlan, SingleLayerNetsCompileAndRun) {
+  {
+    Rng rng(3);
+    nn::Sequential net;
+    net.add(std::make_unique<nn::Dense>("fc", 6, 4, rng));
+    net.set_training(false);
+    graph::CompiledPlan plan =
+        graph::compile(net, Shape{6}, graph::CompileOptions{});
+    const Tensor input = random_input(Shape{5, 6}, 0xd);
+    EXPECT_LE(max_rel_diff(plan.run(input), net.forward(input)), 1e-6);
+  }
+  {
+    Rng rng(4);
+    nn::Sequential net;
+    net.add(
+        std::make_unique<nn::Conv2d>("c", conv_cfg(2, 3, 3, 1, 1), rng));
+    net.set_training(false);
+    graph::CompiledPlan plan =
+        graph::compile(net, Shape{2, 9, 9}, graph::CompileOptions{});
+    const Tensor input = random_input(Shape{2, 2, 9, 9}, 0xe);
+    EXPECT_LE(max_rel_diff(plan.run(input), net.forward(input)), 1e-6);
+  }
+}
+
+TEST(CompiledPlan, DeconvChainMatchesEager) {
+  Rng rng(5);
+  nn::Deconv2dConfig dc;
+  dc.in_channels = 4;
+  dc.out_channels = 2;
+  dc.kernel = 6;
+  dc.stride = 2;
+  dc.pad = 2;
+  nn::Sequential net;
+  net.add(std::make_unique<nn::Deconv2d>("up", dc, rng));
+  net.add(std::make_unique<nn::ReLU>("r"));
+  net.set_training(false);
+  graph::CompileOptions opt;
+  opt.max_batch = 3;
+  graph::CompiledPlan plan = graph::compile(net, Shape{4, 8, 8}, opt);
+  EXPECT_EQ(plan.report().passes.fused_activations, 1u);
+  const Tensor input = random_input(Shape{3, 4, 8, 8}, 0xf);
+  EXPECT_LE(max_rel_diff(plan.run(input), net.forward(input)), 1e-4);
+}
+
+TEST(CompiledPlan, SecondPlanIsBornWarm) {
+  // The first compile pre-tunes every conv geometry through the global
+  // plan cache; compiling again (a second serving replica) must be all
+  // hits — the born-warm contract.
+  nn::Sequential net = nn::build_hep_network(nn::HepConfig::tiny());
+  net.set_training(false);
+  graph::CompileOptions opt;
+  opt.max_batch = 4;
+  graph::CompiledPlan first = graph::compile(net, Shape{3, 32, 32}, opt);
+  EXPECT_GT(first.report().pretuned_plans, 0u);
+  graph::CompiledPlan second = graph::compile(net, Shape{3, 32, 32}, opt);
+  EXPECT_EQ(second.report().pretuned_plans,
+            first.report().pretuned_plans);
+  EXPECT_EQ(second.report().pretune_misses, 0u);
+}
+
+}  // namespace
+}  // namespace pf15

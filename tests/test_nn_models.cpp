@@ -4,6 +4,7 @@
 
 #include "check_failure.hpp"
 
+#include <cmath>
 #include <sstream>
 
 #include "nn/climate_net.hpp"
@@ -244,6 +245,80 @@ TEST(ClimateNet, SaveLoadRoundTrip) {
   for (std::size_t i = 0; i < pa.size(); ++i) {
     EXPECT_FLOAT_EQ(max_abs_diff(*pa[i].value, *pb[i].value), 0.0f);
   }
+}
+
+// ---- kAuto dispatch vs the forced-im2col baseline --------------------------
+// The paper models default to kAuto (ROADMAP: warm plan cache shipped with
+// checkpoints). Autotuned dispatch may route any geometry/phase to any
+// applicable backend, so these tests pin the contract: the math agrees
+// with the im2col reference within fp tolerance, training and serving
+// alike.
+
+TEST(HepModel, AutoDispatchAgreesWithIm2colBaselineForwardAndBackward) {
+  HepConfig auto_cfg = HepConfig::tiny();
+  ASSERT_EQ(auto_cfg.algo, ConvAlgo::kAuto);  // the paper-model default
+  HepConfig ref_cfg = auto_cfg;
+  ref_cfg.algo = ConvAlgo::kIm2col;
+  Sequential auto_net = build_hep_network(auto_cfg);
+  Sequential ref_net = build_hep_network(ref_cfg);  // same seed, same init
+
+  Rng rng(91);
+  Tensor input(Shape{4, 3, 32, 32});
+  input.fill_uniform(rng, -1.0f, 1.0f);
+  const Tensor logits_auto = auto_net.forward(input).clone();
+  const Tensor& logits_ref = ref_net.forward(input);
+  ASSERT_EQ(logits_auto.shape(), logits_ref.shape());
+  for (std::size_t i = 0; i < logits_auto.numel(); ++i) {
+    const double want = logits_ref.at(i);
+    EXPECT_NEAR(logits_auto.at(i), want, 1e-4 * (1.0 + std::abs(want)));
+  }
+
+  // One training step: the per-phase backward dispatch must produce the
+  // same parameter gradients the im2col adjoint does (fp tolerance; the
+  // Winograd/direct gradients carry their own gradcheck coverage).
+  Tensor dout(logits_ref.shape());
+  dout.fill_uniform(rng, -1.0f, 1.0f);
+  auto_net.zero_grad();
+  ref_net.zero_grad();
+  auto_net.backward(input, dout);
+  ref_net.backward(input, dout);
+  auto ga = auto_net.params();
+  auto gr = ref_net.params();
+  ASSERT_EQ(ga.size(), gr.size());
+  for (std::size_t i = 0; i < ga.size(); ++i) {
+    for (std::size_t j = 0; j < ga[i].grad->numel(); ++j) {
+      const double want = gr[i].grad->at(j);
+      EXPECT_NEAR(ga[i].grad->at(j), want, 2e-3 * (1.0 + std::abs(want)))
+          << ga[i].name << "[" << j << "]";
+    }
+  }
+}
+
+TEST(ClimateNet, AutoDispatchAgreesWithIm2colBaselineForward) {
+  ClimateConfig auto_cfg = ClimateConfig::tiny();
+  ASSERT_EQ(auto_cfg.algo, ConvAlgo::kAuto);
+  ClimateConfig ref_cfg = auto_cfg;
+  ref_cfg.algo = ConvAlgo::kIm2col;
+  ClimateNet auto_net(auto_cfg);
+  ClimateNet ref_net(ref_cfg);
+
+  Rng rng(92);
+  Tensor input(Shape{2, auto_cfg.channels, auto_cfg.image, auto_cfg.image});
+  input.fill_uniform(rng, -1.0f, 1.0f);
+  const auto& out_auto = auto_net.forward(input);
+  const auto& out_ref = ref_net.forward(input);
+  const auto check = [](const Tensor& a, const Tensor& b) {
+    ASSERT_EQ(a.shape(), b.shape());
+    for (std::size_t i = 0; i < a.numel(); ++i) {
+      const double want = b.at(i);
+      EXPECT_NEAR(a.at(i), want, 1e-4 * (1.0 + std::abs(want)));
+    }
+  };
+  check(out_auto.conf, out_ref.conf);
+  check(out_auto.cls, out_ref.cls);
+  check(out_auto.xy, out_ref.xy);
+  check(out_auto.wh, out_ref.wh);
+  check(out_auto.recon, out_ref.recon);
 }
 
 }  // namespace

@@ -7,6 +7,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <sstream>
@@ -14,9 +15,14 @@
 #include <vector>
 
 #include "data/hep_generator.hpp"
+#include "gemm/conv_backend.hpp"
+#include "graph/compiled_plan.hpp"
+#include "nn/activations.hpp"
 #include "nn/batchnorm.hpp"
+#include "nn/dense.hpp"
 #include "nn/dropout.hpp"
 #include "nn/hep_model.hpp"
+#include "nn/pool.hpp"
 #include "nn/residual.hpp"
 #include "perf/latency.hpp"
 #include "serve/batcher.hpp"
@@ -42,6 +48,12 @@ nn::ResNetConfig tiny_resnet_config(std::uint64_t seed) {
 nn::HepConfig tiny_hep_config() {
   nn::HepConfig cfg = nn::HepConfig::tiny();
   cfg.filters = 8;
+  // The engine-mechanics tests below assert bit-level agreement between
+  // batched and single-sample inference. Force the im2col baseline:
+  // under kAuto, different batch buckets may legitimately dispatch to
+  // different backends, whose results agree only to fp tolerance (the
+  // kAuto agreement tests cover that contract).
+  cfg.algo = nn::ConvAlgo::kIm2col;
   return cfg;
 }
 
@@ -635,6 +647,169 @@ TEST(ServingEngine, RejectsWrongSampleShape) {
   serve::ServingEngine engine(factory, tiny_engine_config(1, 4));
   PF15_EXPECT_CHECK_FAIL(engine.submit(Tensor(Shape{3, 16, 16})),
                          "sample shape");
+}
+
+// ---- compiled serving ------------------------------------------------------
+
+/// A stack exercising every graph pass in the serving path: conv -> BN ->
+/// ReLU -> Dropout, twice, then GAP + classifier.
+nn::Sequential build_bn_dropout_net(std::uint64_t seed) {
+  Rng rng(seed);
+  nn::Sequential net;
+  std::size_t in_c = 3;
+  for (int u = 0; u < 2; ++u) {
+    nn::Conv2dConfig conv;
+    conv.in_channels = in_c;
+    conv.out_channels = 6;
+    conv.kernel = 3;
+    conv.stride = 1;
+    conv.pad = 1;
+    const std::string idx = std::to_string(u + 1);
+    net.add(std::make_unique<nn::Conv2d>("conv" + idx, conv, rng));
+    nn::BatchNormConfig bn;
+    bn.channels = 6;
+    net.add(std::make_unique<nn::BatchNorm2d>("bn" + idx, bn));
+    net.add(std::make_unique<nn::ReLU>("relu" + idx));
+    net.add(std::make_unique<nn::Dropout>("drop" + idx, 0.3f));
+    in_c = 6;
+  }
+  net.add(std::make_unique<nn::GlobalAvgPool>("gap"));
+  net.add(std::make_unique<nn::Dense>("fc", 6, 2, rng));
+  return net;
+}
+
+TEST(CompiledServing, CompiledEngineMatchesEagerReference) {
+  auto factory = [] { return build_bn_dropout_net(11); };
+  // Train-mode forwards move the BN running statistics, then the warmed
+  // weights travel through a checkpoint into both the engine and the
+  // eager reference.
+  nn::Sequential trained = factory();
+  warm_up_running_stats(trained, Shape{6, 3, 32, 32}, 99);
+  const std::string path = "test_serve_compiled_ckpt.bin";
+  serve::checkpoint_model_file(path, trained, "bnnet");
+
+  serve::EngineConfig cfg = tiny_engine_config(2, 8);
+  cfg.compiled = true;
+  serve::ServingEngine engine(factory, path, "bnnet", cfg);
+  ASSERT_NE(engine.compile_report(), nullptr);
+  // Both BNs folded, both Dropouts stripped, both ReLUs fused.
+  EXPECT_EQ(engine.compile_report()->passes.folded_batchnorms, 2u);
+  EXPECT_EQ(engine.compile_report()->passes.stripped_noops, 2u);
+  EXPECT_EQ(engine.compile_report()->passes.fused_activations, 2u);
+  EXPECT_LT(engine.compile_report()->arena_floats_per_sample,
+            engine.compile_report()->eager_floats_per_sample);
+
+  nn::Sequential reference = factory();
+  serve::restore_model_file(path, reference, "bnnet");
+  reference.set_training(false);
+
+  Rng rng(21);
+  std::vector<Tensor> samples;
+  std::vector<std::future<Tensor>> futures;
+  for (int i = 0; i < 32; ++i) {
+    Tensor s(Shape{3, 32, 32});
+    s.fill_uniform(rng, -1.0f, 1.0f);
+    samples.push_back(std::move(s));
+  }
+  for (auto& s : samples) futures.push_back(engine.submit(s));
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    Tensor got = futures[i].get();
+    Tensor single = stack_samples({&samples[i]});
+    const Tensor& want = reference.forward(single);
+    ASSERT_EQ(got.numel(), want.numel());
+    for (std::size_t j = 0; j < got.numel(); ++j) {
+      // Folded BN and fused epilogues reassociate float math; batched
+      // kAuto may also dispatch a different backend than the single-
+      // sample reference. 1e-4 relative is the compiled-path contract.
+      const double tol =
+          1e-4 * (1.0 + std::abs(static_cast<double>(want.at(j))));
+      EXPECT_NEAR(got.at(j), want.at(j), tol)
+          << "request " << i << " logit " << j;
+    }
+  }
+  engine.shutdown();
+  std::remove(path.c_str());
+}
+
+TEST(CompiledServing, CheckpointCarriesPlansForColdWarmStart) {
+  const nn::HepConfig net_cfg = [] {
+    nn::HepConfig cfg = nn::HepConfig::tiny();
+    cfg.filters = 8;
+    return cfg;  // algo stays kAuto: plans matter only for kAuto
+  }();
+  auto factory = [&] { return nn::build_hep_network(net_cfg); };
+  constexpr std::size_t kMaxBatch = 8;
+
+  // "Trainer process": compile once (pre-tunes every geometry through
+  // the global cache) and ship weights + plans in one checkpoint.
+  nn::Sequential trained = factory();
+  trained.set_training(false);
+  graph::CompileOptions copt;
+  copt.max_batch = kMaxBatch;
+  const graph::CompiledPlan plan =
+      graph::compile(trained, Shape{3, 32, 32}, copt);
+  EXPECT_GT(plan.report().pretuned_plans, 0u);
+  const std::string path = "test_serve_warm_ckpt.bin";
+  serve::checkpoint_model_file_with_plans(path, trained, "hep",
+                                          gemm::ConvPlanCache::global());
+
+  // "Cold serving process": empty cache, restore, compile — must be all
+  // hits (zero first-sight tunes).
+  gemm::ConvPlanCache::global().clear();
+  serve::EngineConfig cfg = tiny_engine_config(2, kMaxBatch);
+  cfg.compiled = true;
+  serve::ServingEngine engine(factory, path, "hep", cfg);
+  ASSERT_NE(engine.compile_report(), nullptr);
+  EXPECT_GT(engine.compile_report()->pretuned_plans, 0u);
+  EXPECT_EQ(engine.compile_report()->pretune_misses, 0u);
+
+  // And it still serves correct results.
+  nn::Sequential reference = factory();
+  serve::restore_model_file(path, reference, "hep");
+  reference.set_training(false);
+  Rng rng(31);
+  Tensor sample(Shape{3, 32, 32});
+  sample.fill_uniform(rng, -1.0f, 1.0f);
+  Tensor got = engine.submit(sample).get();
+  Tensor single = stack_samples({&sample});
+  const Tensor& want = reference.forward(single);
+  for (std::size_t j = 0; j < got.numel(); ++j) {
+    const double tol =
+        1e-4 * (1.0 + std::abs(static_cast<double>(want.at(j))));
+    EXPECT_NEAR(got.at(j), want.at(j), tol);
+  }
+  engine.shutdown();
+  std::remove(path.c_str());
+}
+
+TEST(CompiledServing, PlainCheckpointsStillReadAndCarryNoPlans) {
+  nn::Sequential net = nn::build_hep_network(tiny_hep_config());
+  std::stringstream stream(std::ios::in | std::ios::out |
+                           std::ios::binary);
+  serve::checkpoint_model(stream, net, "hep");
+  nn::Sequential restored = nn::build_hep_network(tiny_hep_config());
+  serve::restore_model(stream, restored, "hep");
+  EXPECT_EQ(serve::read_embedded_plans(stream), "");
+
+  // Trailing garbage after the payload is a corrupt file, not "no plans".
+  std::stringstream bad(std::ios::in | std::ios::out | std::ios::binary);
+  serve::checkpoint_model(bad, net, "hep");
+  bad << "garbage";
+  nn::Sequential restored2 = nn::build_hep_network(tiny_hep_config());
+  serve::restore_model(bad, restored2, "hep");
+  EXPECT_THROW(serve::read_embedded_plans(bad), IoError);
+
+  // A valid section magic with a length field exceeding the stream must
+  // be IoError too — never a std::length_error / giant allocation.
+  std::stringstream huge(std::ios::in | std::ios::out | std::ios::binary);
+  serve::checkpoint_model(huge, net, "hep");
+  huge.write("PF15PLN1", 8);
+  const std::uint64_t bogus_len = ~std::uint64_t{0} / 2;
+  huge.write(reinterpret_cast<const char*>(&bogus_len), sizeof(bogus_len));
+  huge << "{}";
+  nn::Sequential restored3 = nn::build_hep_network(tiny_hep_config());
+  serve::restore_model(huge, restored3, "hep");
+  EXPECT_THROW(serve::read_embedded_plans(huge), IoError);
 }
 
 }  // namespace
