@@ -3,13 +3,20 @@
 // machine-readable perf record (BENCH_graph_compile.json, diff it PR over
 // PR).
 //
-// For every model the bench times steady-state batched inference through
-// the eager container (Sequential / ClimateNet forward) and through the
-// graph::CompiledPlan built from it, and records the arena footprint the
-// static memory planner achieved against the keep-everything eager
-// allocation. Acceptance, encoded in the exit code (exit 1, verify.sh
-// treats it as a timing-noise warning): compiled throughput >= eager on
-// every model, and arena bytes strictly below eager activation bytes.
+// For every model (HEP chain at two scales, ResNet-HEP with residual
+// sub-graph capture, the climate network) the bench times steady-state
+// batched inference through the eager container (Sequential / ClimateNet
+// forward) and through the graph::CompiledPlan built from it, and
+// records the arena footprint the static memory planner achieved against
+// the keep-everything eager allocation. The climate row additionally
+// races the level-scheduled parallel executor against the strictly
+// serial schedule on the same plan (the head fan-out concurrency win),
+// and the summary carries residual-subgraph pass totals — the regression
+// guard that residual blocks keep lowering into real sub-graphs instead
+// of opaque nodes. Acceptance, encoded in the exit code (exit 1,
+// verify.sh treats it as a timing-noise warning): compiled throughput >=
+// eager on every model, parallel executor >= serial on the fan-out, and
+// arena bytes strictly below eager activation bytes.
 //
 // With --cache PATH the tuned conv plans persist across runs through the
 // global ConvPlanCache; --require-warm then turns "a second process
@@ -31,6 +38,7 @@
 #include "graph/compiled_plan.hpp"
 #include "nn/climate_net.hpp"
 #include "nn/hep_model.hpp"
+#include "nn/residual.hpp"
 #include "perf/json.hpp"
 #include "perf/report.hpp"
 
@@ -64,6 +72,10 @@ struct ModelResult {
   std::string name;
   double eager_us_per_img = 0.0;
   double compiled_us_per_img = 0.0;
+  /// Level-scheduled executor vs the strictly serial schedule, measured
+  /// interleaved against each other (0 = not measured for this model).
+  double serial_exec_us_per_img = 0.0;
+  double parallel_exec_us_per_img = 0.0;
   graph::CompileReport report;
   std::size_t arena_bytes = 0;
   std::size_t eager_bytes = 0;
@@ -82,13 +94,32 @@ perf::Json result_row(const ModelResult& r, std::size_t batch) {
   // 2% grace absorbs timer noise on models whose fused work is tiny.
   row.set("compiled_not_slower",
           r.compiled_us_per_img <= r.eager_us_per_img * 1.02);
+  if (r.serial_exec_us_per_img > 0.0) {
+    // The parallel-executor entry: same plan, level scheduling on vs off.
+    row.set("serial_exec_us_per_image", r.serial_exec_us_per_img);
+    row.set("parallel_exec_us_per_image", r.parallel_exec_us_per_img);
+    row.set("parallel_speedup",
+            r.parallel_exec_us_per_img > 0
+                ? r.serial_exec_us_per_img / r.parallel_exec_us_per_img
+                : 0.0);
+    row.set("parallel_not_slower",
+            r.parallel_exec_us_per_img <=
+                r.serial_exec_us_per_img * 1.02);
+  }
   perf::Json passes = perf::Json::object();
   passes.set("stripped_noops", r.report.passes.stripped_noops);
   passes.set("folded_batchnorms", r.report.passes.folded_batchnorms);
   passes.set("fused_activations", r.report.passes.fused_activations);
+  passes.set("residual_folded_batchnorms",
+             r.report.passes.residual_folded_batchnorms);
+  passes.set("residual_fused_activations",
+             r.report.passes.residual_fused_activations);
+  passes.set("fused_joins", r.report.passes.fused_joins);
   row.set("passes", std::move(passes));
   row.set("captured_ops", r.report.captured_ops);
   row.set("compiled_ops", r.report.compiled_ops);
+  row.set("levels", r.report.levels);
+  row.set("max_level_width", r.report.max_level_width);
   row.set("peak_arena_bytes", r.arena_bytes);
   row.set("eager_activation_bytes", r.eager_bytes);
   row.set("arena_below_eager", r.arena_bytes < r.eager_bytes);
@@ -186,6 +217,40 @@ int main(int argc, char** argv) {
     results.push_back(std::move(r));
   }
 
+  // ---- ResNet-HEP (residual sub-graph capture) -----------------------------
+  {
+    // The paper's §IX ResNet extension at HEP geometry (3-channel square
+    // images), reduced spatial size. BatchNorm inside every block: the
+    // row's residual pass counts are the regression guard that capture
+    // lowered the blocks into real sub-graphs (opaque capture would show
+    // zero folds/fusions inside them).
+    nn::ResNetConfig rcfg;
+    rcfg.in_channels = 3;
+    rcfg.num_classes = 2;
+    rcfg.stage_channels = {16, 32, 64};
+    rcfg.blocks_per_stage = 2;
+    rcfg.batchnorm = true;
+    rcfg.algo = nn::ConvAlgo::kAuto;
+    nn::Sequential net = nn::build_resnet(rcfg);
+    net.set_training(false);
+    const Shape sample{3, 64, 64};
+    ModelResult r;
+    r.name = "resnet_hep";
+    graph::CompiledPlan plan = graph::compile(net, sample, copt);
+    r.report = plan.report();
+    r.arena_bytes = plan.arena_bytes(batch);
+    r.eager_bytes = plan.eager_activation_bytes(batch);
+    if (!plans_only) {
+      Tensor input(with_batch(sample, batch));
+      input.fill_uniform(rng, -1.0f, 1.0f);
+      const auto [eager_s, compiled_s] = time_min_pair(
+          reps, [&] { net.forward(input); }, [&] { plan.run(input); });
+      r.eager_us_per_img = eager_s * 1e6 / static_cast<double>(batch);
+      r.compiled_us_per_img = compiled_s * 1e6 / static_cast<double>(batch);
+    }
+    results.push_back(std::move(r));
+  }
+
   // ---- climate network -----------------------------------------------------
   {
     nn::ClimateConfig cfg = nn::ClimateConfig::tiny();
@@ -200,6 +265,12 @@ int main(int argc, char** argv) {
     r.report = plan.report();
     r.arena_bytes = plan.arena_bytes(batch);
     r.eager_bytes = plan.eager_activation_bytes(batch);
+    // The same graph under the strictly serial schedule — the baseline
+    // the level-scheduled executor must beat on the head fan-out.
+    graph::CompileOptions serial_opt = copt;
+    serial_opt.parallel_levels = false;
+    serial_opt.pretune = false;  // the first compile already tuned
+    graph::CompiledPlan serial_plan = graph::compile(net, serial_opt);
     if (!plans_only) {
       Tensor input(Shape{batch, cfg.channels, cfg.image, cfg.image});
       input.fill_uniform(rng, -1.0f, 1.0f);
@@ -207,6 +278,12 @@ int main(int argc, char** argv) {
           reps, [&] { net.forward(input); }, [&] { plan.run_all(input); });
       r.eager_us_per_img = eager_s * 1e6 / static_cast<double>(batch);
       r.compiled_us_per_img = compiled_s * 1e6 / static_cast<double>(batch);
+      const auto [serial_s, parallel_s] = time_min_pair(
+          reps, [&] { serial_plan.run_all(input); },
+          [&] { plan.run_all(input); });
+      r.serial_exec_us_per_img = serial_s * 1e6 / static_cast<double>(batch);
+      r.parallel_exec_us_per_img =
+          parallel_s * 1e6 / static_cast<double>(batch);
     }
     results.push_back(std::move(r));
   }
@@ -215,6 +292,10 @@ int main(int argc, char** argv) {
   std::size_t first_sight_tunes = 0;
   bool all_not_slower = true;
   bool all_arena_below = true;
+  bool parallel_not_slower = true;
+  std::size_t residual_folds_total = 0;
+  std::size_t residual_fusions_total = 0;
+  std::size_t fused_joins_total = 0;
   perf::Table table({"model", "eager us/img", "compiled us/img", "speedup",
                      "arena KiB", "eager KiB"});
   perf::Json record = perf::Json::object();
@@ -232,8 +313,16 @@ int main(int argc, char** argv) {
     if (!plans_only) {
       all_not_slower = all_not_slower &&
                        r.compiled_us_per_img <= r.eager_us_per_img * 1.02;
+      if (r.serial_exec_us_per_img > 0.0) {
+        parallel_not_slower =
+            parallel_not_slower &&
+            r.parallel_exec_us_per_img <= r.serial_exec_us_per_img * 1.02;
+      }
     }
     all_arena_below = all_arena_below && r.arena_bytes < r.eager_bytes;
+    residual_folds_total += r.report.passes.residual_folded_batchnorms;
+    residual_fusions_total += r.report.passes.residual_fused_activations;
+    fused_joins_total += r.report.passes.fused_joins;
     table.add_row(
         {r.name, perf::Table::num(r.eager_us_per_img, 1),
          perf::Table::num(r.compiled_us_per_img, 1),
@@ -248,7 +337,13 @@ int main(int argc, char** argv) {
   perf::Json summary = perf::Json::object();
   summary.set("compiled_never_slower_than_eager", all_not_slower);
   summary.set("arena_always_below_eager", all_arena_below);
+  summary.set("parallel_fanout_not_slower", parallel_not_slower);
   summary.set("first_sight_tunes", first_sight_tunes);
+  // Residual sub-graph capture regression guard (verify.sh asserts these
+  // stay nonzero): opaque fallback would zero every one of them.
+  summary.set("residual_folded_batchnorms_total", residual_folds_total);
+  summary.set("residual_fused_activations_total", residual_fusions_total);
+  summary.set("fused_joins_total", fused_joins_total);
   record.set("summary", std::move(summary));
   // A --plans-only run carries no timings: never let it clobber the
   // tracked default record with zeroed rows unless --json asked for it.
@@ -265,6 +360,12 @@ int main(int argc, char** argv) {
               all_not_slower ? "yes" : "NO");
   std::printf("arena always below eager activations: %s\n",
               all_arena_below ? "yes" : "NO");
+  std::printf("parallel fan-out executor not slower than serial: %s\n",
+              parallel_not_slower ? "yes" : "NO");
+  std::printf(
+      "residual sub-graph passes: %zu BN folds, %zu fusions, %zu fused "
+      "joins\n",
+      residual_folds_total, residual_fusions_total, fused_joins_total);
   std::printf("first-sight tunes this run: %zu\n", first_sight_tunes);
   if (write_json) std::printf("wrote %s\n", json_path.c_str());
 
@@ -278,6 +379,6 @@ int main(int argc, char** argv) {
     return 3;
   }
   // Perf acceptance: exit 1, which verify.sh reports as a warning.
-  if (!all_not_slower || !all_arena_below) return 1;
+  if (!all_not_slower || !all_arena_below || !parallel_not_slower) return 1;
   return 0;
 }

@@ -45,12 +45,13 @@ if [ "$rc" -ne 0 ] && [ "$rc" -ne 1 ]; then
 fi
 echo "plan cache warm start verified: zero first-sight tunes"
 
-# Graph compiler acceptance: eager-vs-compiled throughput and arena bytes
-# recorded to BENCH_graph_compile.json (exit 1 = timing-noise warning),
-# then a second process must build every compiled plan warm from the
-# saved cache — zero first-sight tunes, enforced by exit code 3.
-# PF15_CONV_PLAN_CACHE=off keeps the runs hermetic: only the explicit
-# --cache path feeds the second process.
+# Graph compiler acceptance: eager-vs-compiled throughput (incl. the
+# ResNet-HEP residual geometry and the climate parallel-executor entry)
+# and arena bytes recorded to BENCH_graph_compile.json (exit 1 =
+# timing-noise warning), then a second process must build every compiled
+# plan warm from the saved cache — zero first-sight tunes, enforced by
+# exit code 3. PF15_CONV_PLAN_CACHE=off keeps the runs hermetic: only the
+# explicit --cache path feeds the second process.
 graph_cache="build/graph_plans.json"
 rm -f "$graph_cache"
 rc=0
@@ -61,6 +62,19 @@ if [ "$rc" -eq 1 ]; then
 elif [ "$rc" -ne 0 ]; then
   exit "$rc"
 fi
+
+# Residual sub-graph capture regression guard: the ResNet-HEP row must
+# show BN folds and fusions *inside* residual blocks. A silent fallback
+# to opaque capture (where no pass can fire) zeroes these totals — fail
+# hard, this is a correctness property of capture, not a timing.
+for key in residual_folded_batchnorms_total residual_fused_activations_total \
+           fused_joins_total; do
+  if ! grep -Eq "\"$key\": *[1-9]" BENCH_graph_compile.json; then
+    echo "FAIL: graph compiler fell back to opaque residual capture ($key zero or missing)" >&2
+    exit 4
+  fi
+done
+echo "residual sub-graph capture verified: passes fire inside residual blocks"
 rc=0
 PF15_CONV_PLAN_CACHE=off ./build/bench_graph_compile --json /dev/null \
     --batch 8 --plans-only --require-warm --cache "$graph_cache" || rc=$?

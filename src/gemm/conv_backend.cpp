@@ -181,6 +181,19 @@ class Im2colBackend final : public ConvBackend {
 
 // ---- Winograd F(2x2/4x4, 3x3) ----------------------------------------------
 
+/// (OC, IC, 3, 3) -> (IC, OC, 3, 3) with each 3x3 tap rotated 180° — the
+/// filter bank of the adjoint (backward-data) convolution.
+void rotate_swap_filters(const float* weight, std::size_t in_c,
+                         std::size_t out_c, float* wt) {
+  for (std::size_t oc = 0; oc < out_c; ++oc) {
+    for (std::size_t ic = 0; ic < in_c; ++ic) {
+      const float* src = weight + (oc * in_c + ic) * 9;
+      float* dst = wt + (ic * out_c + oc) * 9;
+      for (int i = 0; i < 9; ++i) dst[i] = src[8 - i];
+    }
+  }
+}
+
 class WinogradBackend final : public ConvBackend {
  public:
   /// The transformed filter bank U, computed once per (weights, geometry)
@@ -249,16 +262,42 @@ class WinogradBackend final : public ConvBackend {
     const std::size_t out_c = p.out_c;
     thread_local std::vector<float> wt_buf;
     float* wt = thread_scratch(wt_buf, in_c * out_c * 9);
-    for (std::size_t oc = 0; oc < out_c; ++oc) {
-      for (std::size_t ic = 0; ic < in_c; ++ic) {
-        const float* src = weight + (oc * in_c + ic) * 9;
-        float* dst = wt + (ic * out_c + oc) * 9;
-        for (int i = 0; i < 9; ++i) dst[i] = src[8 - i];
-      }
-    }
+    rotate_swap_filters(weight, in_c, out_c, wt);
     winograd_conv3x3(dout, out_c, g.out_h(), g.out_w(), wt, in_c,
                      2 - g.pad_h, nullptr, din,
                      winograd_pick_tile(g.in_h, g.in_w), parallel_ok);
+  }
+
+  std::unique_ptr<ConvPrep> prepare_backward_data(
+      const ConvProblem& p, const float* weight) const override {
+    // The adjoint convolution's filter bank — rot180, channels swapped —
+    // and its Winograd transform depend only on the weights: build both
+    // once here instead of per image inside the batch loop.
+    const ConvGeom& g = p.geom;
+    auto prep = std::make_unique<Prep>();
+    prep->tile = winograd_pick_tile(g.in_h, g.in_w);
+    std::vector<float> wt(g.in_c * p.out_c * 9);
+    rotate_swap_filters(weight, g.in_c, p.out_c, wt.data());
+    // Adjoint conv: IC = out_c (dout channels), OC = in_c.
+    prep->u.resize(
+        winograd_filter_xform_floats(p.out_c, g.in_c, prep->tile));
+    winograd_transform_filters(wt.data(), p.out_c, g.in_c, prep->tile,
+                               prep->u.data());
+    return prep;
+  }
+
+  void backward_data_prepared(const ConvProblem& p, const ConvPrep* prep,
+                              const float* dout, const float* weight,
+                              float* din, bool parallel_ok) const override {
+    if (prep == nullptr) {
+      backward_data(p, dout, weight, din, parallel_ok);
+      return;
+    }
+    const ConvGeom& g = p.geom;
+    const auto& wp = static_cast<const Prep&>(*prep);
+    winograd_conv3x3_pre(dout, p.out_c, g.out_h(), g.out_w(), wp.u.data(),
+                         g.in_c, 2 - g.pad_h, nullptr, din, wp.tile,
+                         parallel_ok);
   }
 
   void backward_filter(const ConvProblem& p, const float* image,

@@ -83,12 +83,13 @@ struct ConvProblem {
   bool operator==(const ConvProblem& other) const;
 };
 
-/// Opaque weight-derived state shared by many forward() calls over one
-/// (problem, weights) pair — e.g. Winograd's transformed filter bank U,
-/// which depends only on the weights and would otherwise be recomputed
-/// per image inside a batch loop. Produced by ConvBackend::prepare_forward
-/// on the caller's thread, consumed read-only by forward_prepared (safe to
-/// share across pool threads).
+/// Opaque weight-derived state shared by many forward() or
+/// backward_data() calls over one (problem, weights) pair — e.g.
+/// Winograd's transformed filter bank U, which depends only on the
+/// weights and would otherwise be recomputed per image inside a batch
+/// loop. Produced by ConvBackend::prepare_forward /
+/// prepare_backward_data on the caller's thread, consumed read-only by
+/// the *_prepared entry points (safe to share across pool threads).
 class ConvPrep {
  public:
   virtual ~ConvPrep() = default;
@@ -146,6 +147,30 @@ class ConvBackend {
   virtual void backward_data(const ConvProblem& p, const float* dout,
                              const float* weight, float* din,
                              bool parallel_ok) const;
+
+  /// Hoists weight-only backward-data work out of a batch loop —
+  /// Winograd's rotated/channel-transposed filter bank and its transform,
+  /// which would otherwise be rebuilt per image. Returns null when the
+  /// backend has nothing to precompute (the default);
+  /// backward_data_prepared then falls back to plain backward_data().
+  /// Only valid when applicable(p, kBackwardData).
+  virtual std::unique_ptr<ConvPrep> prepare_backward_data(
+      const ConvProblem& p, const float* weight) const {
+    (void)p;
+    (void)weight;
+    return nullptr;
+  }
+
+  /// backward_data() that may consume `prep` (from this backend's
+  /// prepare_backward_data on the same problem and weights; null is
+  /// allowed and means "no prep"). The base implementation ignores prep.
+  virtual void backward_data_prepared(const ConvProblem& p,
+                                      const ConvPrep* prep,
+                                      const float* dout, const float* weight,
+                                      float* din, bool parallel_ok) const {
+    (void)prep;
+    backward_data(p, dout, weight, din, parallel_ok);
+  }
 
   /// One image filter gradient: image and dout -> dweight
   /// (OC,C,KH,KW), *accumulated* (+=) so a batch loop sums over images.

@@ -10,27 +10,39 @@ ArenaAssignment plan_arena(const Graph& g) {
   plan.offsets.assign(n, 0);
   plan.external.assign(n, false);
 
-  // Live interval of node i's output: [i, last consumer]; graph outputs
-  // stay live past the last step (they are copied out after the run).
-  std::vector<std::size_t> last(n, 0);
+  const std::vector<int> level = g.levels();
+  // Level interval of node i's output: [level[i], level of last
+  // consumer], with consumers resolved through split aliases; graph
+  // outputs stay live past the last level (copied out after the run).
+  const int kPastEnd = n == 0 ? 1 : *std::max_element(level.begin(),
+                                                      level.end()) + 1;
+  std::vector<int> last(n, 0);
   std::vector<std::size_t> size(n, 0);
   std::vector<std::size_t> consumers(n, 0);
   for (std::size_t i = 0; i < n; ++i) {
-    last[i] = i;
+    if (g.nodes[i].kind == OpKind::kSplit) continue;  // owns no buffer
+    last[i] = level[i];
     size[i] = g.nodes[i].out_sample.numel();
     plan.eager_floats += size[i];
-    if (g.nodes[i].input >= 0) {
-      last[static_cast<std::size_t>(g.nodes[i].input)] = i;
-      ++consumers[static_cast<std::size_t>(g.nodes[i].input)];
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (g.nodes[i].kind == OpKind::kSplit) continue;
+    for (int in : g.nodes[i].inputs) {
+      const int src = g.resolve_alias(in);
+      if (src < 0) continue;
+      last[static_cast<std::size_t>(src)] =
+          std::max(last[static_cast<std::size_t>(src)], level[i]);
+      ++consumers[static_cast<std::size_t>(src)];
     }
   }
   for (int out : g.outputs) {
-    if (out < 0) continue;
-    last[static_cast<std::size_t>(out)] = n;
+    const int src = g.resolve_alias(out);
+    if (src < 0) continue;
+    last[static_cast<std::size_t>(src)] = kPastEnd;
     // An output nothing else reads is produced straight into the result
     // tensor — no arena slot, no copy-out.
-    if (consumers[static_cast<std::size_t>(out)] == 0) {
-      plan.external[static_cast<std::size_t>(out)] = true;
+    if (consumers[static_cast<std::size_t>(src)] == 0) {
+      plan.external[static_cast<std::size_t>(src)] = true;
     }
   }
 
@@ -46,13 +58,15 @@ ArenaAssignment plan_arena(const Graph& g) {
 
   std::vector<bool> placed(n, false);
   for (std::size_t i : order) {
-    if (plan.external[i]) continue;
-    // Intervals are closed: [def, last]. Overlap means the two buffers
-    // are both live at some step and must not share bytes.
+    if (plan.external[i] || size[i] == 0) continue;
+    // Intervals are closed: [def, last] in levels. Overlap means the two
+    // buffers are both live at some level and must not share bytes —
+    // including two same-level buffers, which the parallel executor may
+    // be writing concurrently.
     std::vector<std::pair<std::size_t, std::size_t>> busy;  // (offset, end)
     for (std::size_t j = 0; j < n; ++j) {
       if (!placed[j]) continue;
-      if (last[j] < i || last[i] < j) continue;  // disjoint intervals
+      if (last[j] < level[i] || last[i] < level[j]) continue;  // disjoint
       busy.emplace_back(plan.offsets[j], plan.offsets[j] + size[j]);
     }
     std::sort(busy.begin(), busy.end());

@@ -4,10 +4,18 @@
 // of the network. The compiled plan instead assigns every node output a
 // fixed offset in one shared arena, reusing the bytes of buffers whose
 // last consumer has already run — the standard liveness-interval
-// assignment of serving-stack memory planners. Offsets are computed in
-// *per-sample* floats: activation extents scale linearly with the batch
-// dimension, and uniform scaling preserves disjointness, so one plan
-// serves every batch size (offset × N, size × N).
+// assignment of serving-stack memory planners. Liveness is computed over
+// the DAG's explicit edges in *level* units (graph.hpp's levels()): a
+// value is live from its defining level through the level of its last
+// consumer in topological order, resolved through kSplit aliases, so a
+// residual branch output dies at the add join and its slot is free for
+// the next block. Level granularity (rather than node order) is what
+// keeps the plan valid under the level-scheduled parallel executor:
+// nodes of one level run concurrently, so buffers may only share bytes
+// when their level intervals are disjoint. Offsets are in *per-sample*
+// floats: activation extents scale linearly with the batch dimension,
+// and uniform scaling preserves disjointness, so one plan serves every
+// batch size (offset × N, size × N).
 #pragma once
 
 #include <cstddef>
@@ -19,7 +27,8 @@ namespace pf15::graph {
 
 struct ArenaAssignment {
   /// Per-node offset of the node's output buffer, in per-sample floats.
-  /// Meaningless for external buffers (below).
+  /// Meaningless for external buffers (below) and for kSplit aliases
+  /// (which own no buffer — read through Graph::resolve_alias).
   std::vector<std::size_t> offsets;
   /// True for nodes whose result leaves the graph unread by any other
   /// node: the executor writes those directly into the caller-visible
@@ -29,18 +38,19 @@ struct ArenaAssignment {
   /// Arena extent in per-sample floats (intermediates only); bytes for
   /// batch N are total_floats * N * sizeof(float).
   std::size_t total_floats = 0;
-  /// What the eager container keeps resident: the sum of every node
-  /// output (no reuse). The compiled-vs-eager footprint comparison.
+  /// What the eager container keeps resident: the sum of every real node
+  /// output (no reuse; splits own no buffer). The compiled-vs-eager
+  /// footprint comparison.
   std::size_t eager_floats = 0;
 };
 
-/// Plans the arena for `g`. A node's buffer is live from its defining
-/// step through its last consumer (graph outputs: through the end of the
-/// run, they are read back after the last step). Within a step the input
-/// and output buffers coexist — kernels read the input while writing the
-/// output — which the closed live intervals encode. Buffers are placed
-/// largest-first at the lowest offset that does not collide with any
-/// already-placed buffer whose interval overlaps.
+/// Plans the arena for `g`. A value's interval is [def level, last
+/// consumer's level] (graph outputs: past the last level, they are read
+/// back after the run). Within a level, producer-of and consumer-at
+/// buffers coexist — kernels read inputs while writing outputs — which
+/// the closed intervals encode. Buffers are placed largest-first at the
+/// lowest offset that does not collide with any already-placed buffer
+/// whose interval overlaps.
 ArenaAssignment plan_arena(const Graph& g);
 
 }  // namespace pf15::graph

@@ -43,23 +43,27 @@ CompiledPlan::CompiledPlan(Graph graph, const CompileOptions& opt)
     report_.passes.stripped_noops = graph::strip_noops(graph_);
   }
   if (opt.fold_batchnorm) {
-    report_.passes.folded_batchnorms = graph::fold_batchnorm(graph_);
+    report_.passes.folded_batchnorms =
+        graph::fold_batchnorm(graph_, &report_.passes);
   }
   if (opt.fuse_activations) {
-    report_.passes.fused_activations = graph::fuse_activations(graph_);
+    report_.passes.fused_activations =
+        graph::fuse_activations(graph_, &report_.passes);
   }
   report_.compiled_ops = graph_.nodes.size();
   arena_plan_ = plan_arena(graph_);
   report_.arena_floats_per_sample = arena_plan_.total_floats;
   report_.eager_floats_per_sample = arena_plan_.eager_floats;
+  build_schedule(opt.parallel_levels);
   opaque_in_.resize(graph_.nodes.size());
   opaque_out_.resize(graph_.nodes.size());
   dispatch_.resize(graph_.nodes.size());
   // Which result tensor an external node writes into (first listing wins
-  // when an output is named twice).
+  // when an output is named twice). Outputs resolve through split
+  // aliases: the slot belongs to the node that owns the value.
   output_slot_.assign(graph_.nodes.size(), -1);
   for (std::size_t k = 0; k < graph_.outputs.size(); ++k) {
-    const int o = graph_.outputs[k];
+    const int o = graph_.resolve_alias(graph_.outputs[k]);
     if (o >= 0 && arena_plan_.external[static_cast<std::size_t>(o)] &&
         output_slot_[static_cast<std::size_t>(o)] < 0) {
       output_slot_[static_cast<std::size_t>(o)] = static_cast<int>(k);
@@ -70,11 +74,53 @@ CompiledPlan::CompiledPlan(Graph graph, const CompileOptions& opt)
   }
 }
 
+void CompiledPlan::build_schedule(bool parallel_levels) {
+  parallel_levels_ = parallel_levels;
+  schedule_.clear();
+  const std::vector<int> level = graph_.levels();
+  int max_level = -1;
+  for (std::size_t i = 0; i < graph_.nodes.size(); ++i) {
+    if (graph_.nodes[i].kind == OpKind::kSplit) continue;  // no work
+    max_level = std::max(max_level, level[i]);
+  }
+  schedule_.resize(static_cast<std::size_t>(max_level + 1));
+  for (std::size_t i = 0; i < graph_.nodes.size(); ++i) {
+    const OpNode& node = graph_.nodes[i];
+    if (node.kind == OpKind::kSplit) continue;
+    Level& lvl = schedule_[static_cast<std::size_t>(level[i])];
+    // Opaque nodes run the live layer, whose forward may use the pool
+    // internally (batch parallel_for, parallel GEMM) with no serial
+    // switch — they must never run inside a pool task.
+    if (node.kind == OpKind::kOpaque) {
+      lvl.serial.push_back(i);
+    } else {
+      lvl.pool_safe.push_back(i);
+    }
+  }
+  report_.levels = schedule_.size();
+  report_.max_level_width = 0;
+  for (const Level& lvl : schedule_) {
+    report_.max_level_width = std::max(
+        report_.max_level_width, lvl.pool_safe.size() + lvl.serial.size());
+  }
+}
+
 void CompiledPlan::pretune_convs(std::size_t max_batch) {
   gemm::ConvPlanCache& cache = gemm::ConvPlanCache::global();
   const std::uint64_t misses_before = cache.misses();
   const std::size_t top = gemm::conv_batch_bucket(max_batch);
-  for (const OpNode& node : graph_.nodes) {
+  // Nodes in a wide level run under the concurrent schedule: fully
+  // serial per node, so their single-image plans are resolved with
+  // parallel_ok=false instead of the pool-internal mode.
+  std::vector<bool> in_wide(graph_.nodes.size(), false);
+  if (parallel_levels_) {
+    for (const Level& lvl : schedule_) {
+      if (lvl.pool_safe.size() <= 1) continue;
+      for (std::size_t id : lvl.pool_safe) in_wide[id] = true;
+    }
+  }
+  for (std::size_t i = 0; i < graph_.nodes.size(); ++i) {
+    const OpNode& node = graph_.nodes[i];
     gemm::ConvPhase phase = gemm::ConvPhase::kForward;
     if (node.kind == OpKind::kDeconv) {
       phase = gemm::ConvPhase::kBackwardData;  // deconv forward runs it
@@ -89,9 +135,26 @@ void CompiledPlan::pretune_convs(std::size_t max_batch) {
       cache.plan(node.problem, phase, /*parallel_ok=*/bucket <= 1, bucket);
       ++report_.pretuned_plans;
     }
+    if (in_wide[i]) {
+      // The concurrent schedule's serial single-image mode (batched
+      // buckets already tune with parallel_ok=false above).
+      cache.plan(node.problem, phase, /*parallel_ok=*/false, 1);
+      ++report_.pretuned_plans;
+    }
   }
   report_.pretune_misses =
       static_cast<std::size_t>(cache.misses() - misses_before);
+}
+
+const float* CompiledPlan::edge_data(int e, const Tensor& input,
+                                     std::size_t batch) {
+  const int r = graph_.resolve_alias(e);
+  if (r < 0) return input.data();
+  const std::size_t s = static_cast<std::size_t>(r);
+  // External values have zero node consumers by construction, so every
+  // edge read lands in the arena.
+  PF15_CHECK(!arena_plan_.external[s]);
+  return arena_.data() + arena_plan_.offsets[s] * batch;
 }
 
 const std::vector<Tensor>& CompiledPlan::run_all(const Tensor& input) {
@@ -116,37 +179,39 @@ const std::vector<Tensor>& CompiledPlan::run_all(const Tensor& input) {
     nn::ensure_shape(outputs_[k], with_batch(sample, batch));
   }
 
-  for (std::size_t i = 0; i < graph_.nodes.size(); ++i) {
-    const OpNode& node = graph_.nodes[i];
-    const float* src =
-        node.input == OpNode::kGraphInput
-            ? input.data()
-            : arena_.data() +
-                  arena_plan_.offsets[static_cast<std::size_t>(node.input)] *
-                      batch;
-    float* dst =
-        arena_plan_.external[i]
-            ? outputs_[static_cast<std::size_t>(output_slot_[i])].data()
-            : arena_.data() + arena_plan_.offsets[i] * batch;
-    execute_node(i, src, dst, batch);
+  // Level-scheduled execution: levels run in order with a barrier after
+  // each, so every node reads fully-written producer buffers. Within a
+  // level the nodes are independent by construction; a wide level fans
+  // its pool-safe nodes across the global pool (each then runs fully
+  // serially — the pool forbids nested waits).
+  for (const Level& lvl : schedule_) {
+    for (std::size_t id : lvl.serial) {
+      execute_node(id, input, batch, /*concurrent=*/false);
+    }
+    if (parallel_levels_ && lvl.pool_safe.size() > 1) {
+      ThreadPool::global().parallel_for(
+          0, lvl.pool_safe.size(), [&](std::size_t t) {
+            execute_node(lvl.pool_safe[t], input, batch,
+                         /*concurrent=*/true);
+          });
+    } else {
+      for (std::size_t id : lvl.pool_safe) {
+        execute_node(id, input, batch, /*concurrent=*/false);
+      }
+    }
   }
 
   // Non-external outputs (still read by other nodes, an output listed
   // twice, or the graph input itself) are copied out of their buffer.
   for (std::size_t k = 0; k < graph_.outputs.size(); ++k) {
-    const int o = graph_.outputs[k];
+    const int o = graph_.resolve_alias(graph_.outputs[k]);
     if (o >= 0 && arena_plan_.external[static_cast<std::size_t>(o)]) {
       const int slot = output_slot_[static_cast<std::size_t>(o)];
       if (slot == static_cast<int>(k)) continue;  // produced in place
       outputs_[k].copy_from(outputs_[static_cast<std::size_t>(slot)]);
       continue;
     }
-    const float* src =
-        o == OpNode::kGraphInput
-            ? input.data()
-            : arena_.data() +
-                  arena_plan_.offsets[static_cast<std::size_t>(o)] * batch;
-    std::memcpy(outputs_[k].data(), src,
+    std::memcpy(outputs_[k].data(), edge_data(o, input, batch),
                 outputs_[k].numel() * sizeof(float));
   }
   return outputs_;
@@ -154,33 +219,37 @@ const std::vector<Tensor>& CompiledPlan::run_all(const Tensor& input) {
 
 std::pair<const gemm::ConvBackend*, const gemm::ConvPrep*>
 CompiledPlan::conv_dispatch(std::size_t id, gemm::ConvPhase phase,
-                            std::size_t batch) {
+                            std::size_t batch, bool parallel_ok) {
   const OpNode& node = graph_.nodes[id];
   ConvDispatch& d = dispatch_[id];
-  const std::size_t bucket = gemm::conv_batch_bucket(batch);
-  auto kind_it = d.kind_by_bucket.find(bucket);
-  if (kind_it == d.kind_by_bucket.end()) {
-    // First sight of this bucket: one plan-cache resolution, frozen for
-    // the plan's lifetime (its weights are frozen clones, and a compiled
-    // plan deliberately keeps the backends it was born with).
-    kind_it = d.kind_by_bucket
-                  .emplace(bucket,
-                           nn::resolve_conv_backend(node.algo, node.problem,
-                                                    phase, batch <= 1,
-                                                    batch))
-                  .first;
+  const std::pair<std::size_t, bool> key{gemm::conv_batch_bucket(batch),
+                                         parallel_ok};
+  auto kind_it = d.kind_by_mode.find(key);
+  if (kind_it == d.kind_by_mode.end()) {
+    // First sight of this (bucket, mode): one plan-cache resolution,
+    // frozen for the plan's lifetime (its weights are frozen clones, and
+    // a compiled plan deliberately keeps the backends it was born with).
+    kind_it =
+        d.kind_by_mode
+            .emplace(key, nn::resolve_conv_backend(node.algo, node.problem,
+                                                   phase, parallel_ok,
+                                                   batch))
+            .first;
   }
   const gemm::ConvBackend& be = gemm::backend(kind_it->second);
-  if (phase != gemm::ConvPhase::kForward) {
-    return {&be, nullptr};  // prepare_forward is a forward-only hoist
-  }
   auto prep_it = d.prep.find(kind_it->second);
   if (prep_it == d.prep.end()) {
-    prep_it = d.prep
-                  .emplace(kind_it->second,
-                           be.prepare_forward(node.problem,
-                                              node.weight.data()))
-                  .first;
+    // A node runs exactly one phase (conv: forward, deconv:
+    // backward-data), so the per-kind prep is unambiguous.
+    prep_it =
+        d.prep
+            .emplace(kind_it->second,
+                     phase == gemm::ConvPhase::kForward
+                         ? be.prepare_forward(node.problem,
+                                              node.weight.data())
+                         : be.prepare_backward_data(node.problem,
+                                                    node.weight.data()))
+            .first;
   }
   return {&be, prep_it->second.get()};
 }
@@ -192,17 +261,28 @@ const Tensor& CompiledPlan::run(const Tensor& input) {
   return run_all(input)[0];
 }
 
-void CompiledPlan::execute_node(std::size_t id, const float* src, float* dst,
-                                std::size_t batch) {
+void CompiledPlan::execute_node(std::size_t id, const Tensor& input,
+                                std::size_t batch, bool concurrent) {
   const OpNode& node = graph_.nodes[id];
+  const float* src = node.kind == OpKind::kAdd
+                         ? nullptr  // two inputs, resolved below
+                         : edge_data(node.input0(), input, batch);
+  float* dst =
+      arena_plan_.external[id]
+          ? outputs_[static_cast<std::size_t>(output_slot_[id])].data()
+          : arena_.data() + arena_plan_.offsets[id] * batch;
   switch (node.kind) {
     case OpKind::kConv: {
       const gemm::ConvProblem& p = node.problem;
       // Backend and prepared weight transform (Winograd's U) come from
       // the frozen per-node memo: no plan-cache lock, no per-run filter
-      // transform after first sight.
+      // transform after first sight. Inside a wide level the node is
+      // fully serial; otherwise a single image may use the pool
+      // internally and a batch fans images across it.
+      const bool pool_mode = !concurrent && batch <= 1;
       const std::pair<const gemm::ConvBackend*, const gemm::ConvPrep*>
-          dispatch = conv_dispatch(id, gemm::ConvPhase::kForward, batch);
+          dispatch =
+              conv_dispatch(id, gemm::ConvPhase::kForward, batch, pool_mode);
       const float* bias = node.bias.defined() ? node.bias.data() : nullptr;
       const std::size_t in_img = p.geom.in_c * p.geom.in_h * p.geom.in_w;
       const std::size_t out_img = p.out_c * p.geom.lowered_cols();
@@ -214,7 +294,11 @@ void CompiledPlan::execute_node(std::size_t id, const float* src, float* dst,
                                          parallel_ok);
         apply_epilogue(node.epilogue, out, out_img);
       };
-      if (batch <= 1) {
+      if (concurrent) {
+        for (std::size_t img = 0; img < batch; ++img) {
+          one_image(img, /*parallel_ok=*/false);
+        }
+      } else if (batch <= 1) {
         one_image(0, /*parallel_ok=*/true);
       } else {
         ThreadPool::global().parallel_for(0, batch, [&](std::size_t img) {
@@ -225,16 +309,22 @@ void CompiledPlan::execute_node(std::size_t id, const float* src, float* dst,
     }
     case OpKind::kDeconv: {
       const gemm::ConvProblem& p = node.problem;
-      const gemm::ConvBackend& be =
-          *conv_dispatch(id, gemm::ConvPhase::kBackwardData, batch).first;
+      const bool pool_mode = !concurrent && batch <= 1;
+      // The rotated/transformed filter bank is prepared once per backend
+      // (prepare_backward_data), not per image.
+      const std::pair<const gemm::ConvBackend*, const gemm::ConvPrep*>
+          dispatch = conv_dispatch(id, gemm::ConvPhase::kBackwardData,
+                                   batch, pool_mode);
       const std::size_t in_img = node.in_sample.numel();
       const std::size_t out_img = node.out_sample.numel();
       const std::size_t out_c = node.out_sample[0];
       const std::size_t plane = p.geom.in_h * p.geom.in_w;
       const auto one_image = [&](std::size_t img, bool parallel_ok) {
         float* out = dst + img * out_img;
-        be.backward_data(p, src + img * in_img, node.weight.data(), out,
-                         parallel_ok);
+        dispatch.first->backward_data_prepared(p, dispatch.second,
+                                               src + img * in_img,
+                                               node.weight.data(), out,
+                                               parallel_ok);
         if (node.bias.defined()) {
           for (std::size_t oc = 0; oc < out_c; ++oc) {
             const float b = node.bias.at(oc);
@@ -244,7 +334,11 @@ void CompiledPlan::execute_node(std::size_t id, const float* src, float* dst,
         }
         apply_epilogue(node.epilogue, out, out_img);
       };
-      if (batch <= 1) {
+      if (concurrent) {
+        for (std::size_t img = 0; img < batch; ++img) {
+          one_image(img, /*parallel_ok=*/false);
+        }
+      } else if (batch <= 1) {
         one_image(0, /*parallel_ok=*/true);
       } else {
         ThreadPool::global().parallel_for(0, batch, [&](std::size_t img) {
@@ -255,11 +349,17 @@ void CompiledPlan::execute_node(std::size_t id, const float* src, float* dst,
     }
     case OpKind::kDense: {
       // out (batch x OF) = in (batch x IF) * W^T, same lowering as
-      // nn::Dense::forward.
-      gemm::sgemm_parallel(false, true, batch, node.out_features,
-                           node.in_features, 1.0f, src, node.in_features,
-                           node.weight.data(), node.in_features, 0.0f, dst,
-                           node.out_features);
+      // nn::Dense::forward. Serial GEMM inside a wide level.
+      if (concurrent) {
+        gemm::sgemm(false, true, batch, node.out_features, node.in_features,
+                    1.0f, src, node.in_features, node.weight.data(),
+                    node.in_features, 0.0f, dst, node.out_features);
+      } else {
+        gemm::sgemm_parallel(false, true, batch, node.out_features,
+                             node.in_features, 1.0f, src, node.in_features,
+                             node.weight.data(), node.in_features, 0.0f, dst,
+                             node.out_features);
+      }
       for (std::size_t b = 0; b < batch; ++b) {
         float* row = dst + b * node.out_features;
         for (std::size_t j = 0; j < node.out_features; ++j) {
@@ -346,6 +446,23 @@ void CompiledPlan::execute_node(std::size_t id, const float* src, float* dst,
       // Identity in eval mode; survives only when strip_noops is off.
       std::memcpy(dst, src,
                   batch * node.out_sample.numel() * sizeof(float));
+      return;
+    }
+    case OpKind::kAdd: {
+      // Residual join: elementwise branch + shortcut, then the fused
+      // trailing activation while the sum is cache-hot — the exact math
+      // of ResidualBlock's add/ReLU tail.
+      PF15_CHECK(node.inputs.size() == 2);
+      const float* a = edge_data(node.inputs[0], input, batch);
+      const float* b = edge_data(node.inputs[1], input, batch);
+      const std::size_t n = batch * node.out_sample.numel();
+      for (std::size_t i = 0; i < n; ++i) dst[i] = a[i] + b[i];
+      apply_epilogue(node.epilogue, dst, n);
+      return;
+    }
+    case OpKind::kSplit: {
+      PF15_CHECK_MSG(false,
+                     "split nodes own no buffer and are never scheduled");
       return;
     }
     case OpKind::kOpaque: {

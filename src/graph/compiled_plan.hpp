@@ -2,25 +2,38 @@
 //
 // CompiledPlan is the executable product of the graph compiler. Its
 // constructor runs the optimization passes (strip eval no-ops, fold
-// BatchNorm into conv/dense weights, fuse activation epilogues), plans
-// the activation arena (arena.hpp), and — the "born warm" property —
-// pre-tunes every convolution geometry through the process-wide
-// gemm::ConvPlanCache for every batch bucket the plan will serve, so the
-// first real request already dispatches to measured backend winners and
-// the tuned plans persist across processes via $PF15_CONV_PLAN_CACHE and
-// plan-carrying checkpoints (serve/checkpoint.hpp).
+// BatchNorm into conv/dense weights, fuse activation epilogues — now
+// *inside* residual sub-graphs too, including the skip-add's trailing
+// ReLU fusing into the join), plans the activation arena (arena.hpp),
+// and — the "born warm" property — pre-tunes every convolution geometry
+// through the process-wide gemm::ConvPlanCache for every batch bucket
+// the plan will serve, so the first real request already dispatches to
+// measured backend winners and the tuned plans persist across processes
+// via $PF15_CONV_PLAN_CACHE and plan-carrying checkpoints
+// (serve/checkpoint.hpp).
 //
 // run() is the execute-many side: every intermediate activation lives at
 // a fixed offset in one shared arena (per-sample offsets scale linearly
 // with the batch), convolution epilogues apply fused bias/activation
-// while the output image is cache-hot, and Winograd's filter transform is
-// hoisted out of the batch loop via ConvBackend::prepare_forward.
+// while the output image is cache-hot, and weight-only transforms
+// (Winograd's forward U and backward-data rotated bank) are hoisted out
+// of the batch loop via ConvBackend::prepare_forward /
+// prepare_backward_data. Execution is *level-scheduled*: nodes are
+// grouped by DAG level (graph.hpp's levels()), levels run in order with
+// a barrier between them, and when a level holds several independent
+// pool-safe nodes (the climate head fan-out, a residual branch next to
+// its projection) they run concurrently on common::thread_pool — each
+// node then executes its own work serially (parallel_ok=false
+// throughout), because the pool forbids nested waits. Per-level barriers
+// keep the schedule deterministic: every node reads fully-written
+// buffers regardless of how its level was scheduled.
 //
 // A CompiledPlan is stateful (arena, output tensors) and therefore not
 // re-entrant: one plan per serving replica, exactly like the eager
-// nn::Sequential it replaces. Plans with opaque nodes (residual blocks,
+// nn::Sequential it replaces. Plans with opaque nodes (unknown
 // extensions) borrow the source network's layers and are only valid
-// while that network lives.
+// while that network lives; opaque nodes schedule serially (their live
+// layer may use the pool internally).
 #pragma once
 
 #include <cstddef>
@@ -39,6 +52,10 @@ struct CompileOptions {
   bool strip_noops = true;
   bool fold_batchnorm = true;
   bool fuse_activations = true;
+  /// Run same-level independent nodes concurrently on the global thread
+  /// pool (false: strictly serial topological execution — the reference
+  /// schedule the bench compares against).
+  bool parallel_levels = true;
   /// Pre-tune every conv geometry through gemm::ConvPlanCache::global()
   /// at construction (for batch buckets 1 .. bucket(max_batch)).
   bool pretune = true;
@@ -52,6 +69,11 @@ struct CompileReport {
   PassStats passes;
   std::size_t captured_ops = 0;  // nodes before optimization
   std::size_t compiled_ops = 0;  // nodes after
+  /// Level schedule shape: number of levels and the widest level (work
+  /// nodes only — splits schedule nothing). max_level_width > 1 is where
+  /// the parallel executor has concurrency to exploit.
+  std::size_t levels = 0;
+  std::size_t max_level_width = 0;
   /// Arena extent vs what eager execution keeps resident (per sample,
   /// floats). arena < eager is the planner's reuse win.
   std::size_t arena_floats_per_sample = 0;
@@ -94,22 +116,33 @@ class CompiledPlan {
 
  private:
   /// Frozen dispatch state of one conv/deconv node. A compiled plan's
-  /// weights never change, so the backend choice per batch bucket and
-  /// the backend's prepared weight transform (Winograd's U) are resolved
-  /// once and reused — run() never touches the plan-cache mutex or
-  /// recomputes a filter transform after first sight.
+  /// weights never change, so the backend choice per (batch bucket,
+  /// execution mode) and the backend's prepared weight transform
+  /// (Winograd's U, forward or backward-data) are resolved once and
+  /// reused — run() never touches the plan-cache mutex or recomputes a
+  /// filter transform after first sight.
   struct ConvDispatch {
-    std::map<std::size_t, gemm::ConvBackendKind> kind_by_bucket;
+    /// Key: (conv_batch_bucket, parallel_ok the plan was tuned with).
+    std::map<std::pair<std::size_t, bool>, gemm::ConvBackendKind>
+        kind_by_mode;
     std::map<gemm::ConvBackendKind, std::unique_ptr<gemm::ConvPrep>> prep;
   };
 
+  void build_schedule(bool parallel_levels);
   void pretune_convs(std::size_t max_batch);
-  void execute_node(std::size_t id, const float* src, float* dst,
-                    std::size_t batch);
-  /// The (backend, prep) pair node `id` dispatches to at `batch`,
-  /// memoized in dispatch_[id].
+  /// Executes node `id`. `concurrent` means the call runs inside a pool
+  /// task (a wide level): all internal work must stay serial — no
+  /// parallel_for, no parallel GEMM, serial-mode conv plans.
+  void execute_node(std::size_t id, const Tensor& input, std::size_t batch,
+                    bool concurrent);
+  /// The (backend, prep) pair node `id` dispatches to at `batch` in the
+  /// given execution mode, memoized in dispatch_[id].
   std::pair<const gemm::ConvBackend*, const gemm::ConvPrep*>
-  conv_dispatch(std::size_t id, gemm::ConvPhase phase, std::size_t batch);
+  conv_dispatch(std::size_t id, gemm::ConvPhase phase, std::size_t batch,
+                bool parallel_ok);
+  /// Read pointer for edge `e` (resolving split aliases; kGraphInput
+  /// reads the run input).
+  const float* edge_data(int e, const Tensor& input, std::size_t batch);
 
   Graph graph_;
   ArenaAssignment arena_plan_;
@@ -118,6 +151,15 @@ class CompiledPlan {
   std::vector<Tensor> outputs_;
   /// Result-tensor index an external node produces into; -1 otherwise.
   std::vector<int> output_slot_;
+  /// Level schedule: per level, the work nodes that may run concurrently
+  /// (pool-safe) and those that must run serially (opaque). Splits are
+  /// not scheduled at all.
+  struct Level {
+    std::vector<std::size_t> pool_safe;
+    std::vector<std::size_t> serial;
+  };
+  std::vector<Level> schedule_;
+  bool parallel_levels_ = true;
   /// Per-node frozen conv dispatch (empty entries for non-conv nodes).
   std::vector<ConvDispatch> dispatch_;
   // Boxed staging tensors for opaque nodes (Layer::forward needs owned

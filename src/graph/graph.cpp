@@ -8,6 +8,7 @@
 #include "nn/dense.hpp"
 #include "nn/dropout.hpp"
 #include "nn/pool.hpp"
+#include "nn/residual.hpp"
 
 namespace pf15::graph {
 
@@ -33,6 +34,10 @@ const char* to_string(OpKind kind) {
       return "batchnorm";
     case OpKind::kDropout:
       return "dropout";
+    case OpKind::kSplit:
+      return "split";
+    case OpKind::kAdd:
+      return "add";
     case OpKind::kOpaque:
       return "opaque";
   }
@@ -56,12 +61,38 @@ const char* to_string(Epilogue e) {
 std::size_t Graph::consumer_count(int id) const {
   std::size_t n = 0;
   for (const OpNode& node : nodes) {
-    if (node.input == id) ++n;
+    for (int in : node.inputs) {
+      if (in == id) ++n;
+    }
   }
   for (int out : outputs) {
     if (out == id) ++n;
   }
   return n;
+}
+
+int Graph::resolve_alias(int id) const {
+  while (id >= 0 && nodes[static_cast<std::size_t>(id)].kind == OpKind::kSplit) {
+    id = nodes[static_cast<std::size_t>(id)].input0();
+  }
+  return id;
+}
+
+std::vector<int> Graph::levels() const {
+  std::vector<int> level(nodes.size(), 0);
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const OpNode& node = nodes[i];
+    int max_in = -1;
+    for (int in : node.inputs) {
+      PF15_CHECK_MSG(in < static_cast<int>(i),
+                     "graph not topologically ordered at node " << i);
+      if (in >= 0) max_in = std::max(max_in, level[static_cast<std::size_t>(in)]);
+    }
+    // Splits do no work: they live at their producer's level so that
+    // consumers reading through them see the aliased value's level.
+    level[i] = node.kind == OpKind::kSplit ? std::max(max_in, 0) : max_in + 1;
+  }
+  return level;
 }
 
 namespace {
@@ -141,22 +172,90 @@ OpNode capture_layer(nn::Layer& layer, const Shape& sample) {
   } else if (dynamic_cast<nn::Dropout*>(&layer) != nullptr) {
     node.kind = OpKind::kDropout;  // identity in eval mode
   } else {
-    // Composite or unknown layer (ResidualBlock, extensions): execute it
-    // through the live layer; passes treat it as a black box.
+    // Composite or unknown layer (extensions): execute it through the
+    // live layer; passes treat it as a black box.
     node.kind = OpKind::kOpaque;
     node.layer = &layer;
   }
   return node;
 }
 
-/// Appends `net`'s layers as a chain hanging off `producer`; returns the
-/// last node's id.
+int append_node(OpNode node, int producer, std::vector<OpNode>& nodes) {
+  node.inputs = {producer};
+  nodes.push_back(std::move(node));
+  return static_cast<int>(nodes.size() - 1);
+}
+
+/// Lowers a ResidualBlock into its real sub-graph:
+///
+///   producer -> split -+-> conv1 [-> bn1] -> relu1 -> conv2 [-> bn2] -+
+///                      |                                              v
+///                      +----------- [proj conv] ------------------> add -> relu
+///
+/// so the passes see the branch convolutions (BN folds, relu1 fuses into
+/// conv1's epilogue, the trailing ReLU fuses into the add join) and the
+/// arena planner can reuse branch buffers across blocks. Returns the
+/// final node id.
+int lower_residual(nn::ResidualBlock& block, int producer, const Shape& sample,
+                   std::vector<OpNode>& nodes) {
+  const std::size_t first = nodes.size();
+
+  OpNode split;
+  split.kind = OpKind::kSplit;
+  split.name = block.name() + ".split";
+  split.in_sample = split.out_sample = sample;
+  const int split_id = append_node(std::move(split), producer, nodes);
+
+  int branch = split_id;
+  Shape s = sample;
+  for (std::size_t i = 0; i < block.branch_layer_count(); ++i) {
+    OpNode node = capture_layer(block.branch_layer(i), s);
+    s = node.out_sample;
+    branch = append_node(std::move(node), branch, nodes);
+  }
+
+  int shortcut = split_id;
+  if (nn::Conv2d* proj = block.projection()) {
+    shortcut = append_node(capture_layer(*proj, sample), split_id, nodes);
+  }
+  PF15_CHECK_MSG(
+      s == nodes[static_cast<std::size_t>(shortcut)].out_sample,
+      block.name() << ": branch/shortcut shape mismatch in capture");
+
+  OpNode add;
+  add.kind = OpKind::kAdd;
+  add.name = block.name() + ".add";
+  add.in_sample = add.out_sample = s;
+  add.inputs = {branch, shortcut};
+  nodes.push_back(std::move(add));
+  const int add_id = static_cast<int>(nodes.size() - 1);
+
+  OpNode relu;
+  relu.kind = OpKind::kRelu;
+  relu.name = block.name() + ".relu";
+  relu.in_sample = relu.out_sample = s;
+  const int out = append_node(std::move(relu), add_id, nodes);
+
+  for (std::size_t i = first; i < nodes.size(); ++i) {
+    nodes[i].in_residual = true;
+  }
+  return out;
+}
+
+/// Appends `net`'s layers as a chain hanging off `producer` (residual
+/// blocks expand into their split/add sub-graphs); returns the last
+/// node's id.
 int capture_chain(nn::Sequential& net, int producer, Shape sample,
                   std::vector<OpNode>& nodes) {
   PF15_CHECK_MSG(net.layer_count() > 0, "capture: empty network");
   for (std::size_t i = 0; i < net.layer_count(); ++i) {
+    if (auto* block = dynamic_cast<nn::ResidualBlock*>(&net.layer(i))) {
+      producer = lower_residual(*block, producer, sample, nodes);
+      sample = nodes[static_cast<std::size_t>(producer)].out_sample;
+      continue;
+    }
     OpNode node = capture_layer(net.layer(i), sample);
-    node.input = producer;
+    node.inputs = {producer};
     sample = node.out_sample;
     producer = static_cast<int>(nodes.size());
     nodes.push_back(std::move(node));
@@ -164,19 +263,35 @@ int capture_chain(nn::Sequential& net, int producer, Shape sample,
   return producer;
 }
 
-void require_inference_mode(bool training, const char* what) {
-  if (training) {
-    throw ConfigError(std::string("graph::capture: ") + what +
-                      " is in training mode; a compiled plan freezes "
-                      "eval-time behaviour (running statistics, identity "
-                      "dropout) — call set_training(false) first");
+/// " (layer 3 'res2_1.bn1' still runs training behaviour)" for the first
+/// layer of `net` reporting training mode; empty when only the container
+/// flag is set (stateless nets whose layers are mode-independent).
+std::string offending_layer(const nn::Sequential& net,
+                            const std::string& part) {
+  for (std::size_t i = 0; i < net.layer_count(); ++i) {
+    if (net.layer(i).training()) {
+      return " (" + (part.empty() ? std::string() : part + " ") + "layer " +
+             std::to_string(i) + " '" + net.layer(i).name() +
+             "' still runs training behaviour)";
+    }
   }
+  return "";
+}
+
+void require_inference_mode(const nn::Sequential& net, const char* what,
+                            const std::string& part = "") {
+  if (!net.training()) return;
+  throw ConfigError(std::string("graph::capture: ") + what +
+                    " is in training mode" + offending_layer(net, part) +
+                    "; a compiled plan freezes eval-time behaviour "
+                    "(running statistics, identity dropout) — call "
+                    "set_training(false) first");
 }
 
 }  // namespace
 
 Graph capture(nn::Sequential& net, const Shape& sample_shape) {
-  require_inference_mode(net.training(), "the network");
+  require_inference_mode(net, "the network");
   Graph g;
   g.input_sample = sample_shape;
   const int last =
@@ -186,8 +301,16 @@ Graph capture(nn::Sequential& net, const Shape& sample_shape) {
 }
 
 Graph capture(nn::ClimateNet& net) {
-  require_inference_mode(net.training(), "the climate network");
   const nn::ClimateConfig& cfg = net.config();
+  // ClimateNet::training() is the OR over exactly these six parts, so
+  // checking each part covers the whole net — and names the part.
+  const char* what = "the climate network";
+  require_inference_mode(net.encoder(), what, "encoder");
+  require_inference_mode(net.conf_head(), what, "conf head");
+  require_inference_mode(net.cls_head(), what, "cls head");
+  require_inference_mode(net.xy_head(), what, "xy head");
+  require_inference_mode(net.wh_head(), what, "wh head");
+  require_inference_mode(net.decoder(), what, "decoder");
   Graph g;
   g.input_sample = Shape{cfg.channels, cfg.image, cfg.image};
 
@@ -195,18 +318,27 @@ Graph capture(nn::ClimateNet& net) {
                                      g.input_sample, g.nodes);
   const Shape feat_sample = g.nodes[static_cast<std::size_t>(features)]
                                 .out_sample;
-  // The coarse feature grid fans out: four per-score heads plus the
-  // reconstruction decoder all read the same producer.
+  // The coarse feature grid fans out through an explicit split: four
+  // per-score heads plus the reconstruction decoder all read the same
+  // value, and the level-scheduled executor runs them concurrently.
+  OpNode split;
+  split.kind = OpKind::kSplit;
+  split.name = "features.split";
+  split.in_sample = split.out_sample = feat_sample;
+  split.inputs = {features};
+  g.nodes.push_back(std::move(split));
+  const int fan = static_cast<int>(g.nodes.size() - 1);
+
   g.outputs.push_back(
-      capture_chain(net.conf_head(), features, feat_sample, g.nodes));
+      capture_chain(net.conf_head(), fan, feat_sample, g.nodes));
   g.outputs.push_back(
-      capture_chain(net.cls_head(), features, feat_sample, g.nodes));
+      capture_chain(net.cls_head(), fan, feat_sample, g.nodes));
   g.outputs.push_back(
-      capture_chain(net.xy_head(), features, feat_sample, g.nodes));
+      capture_chain(net.xy_head(), fan, feat_sample, g.nodes));
   g.outputs.push_back(
-      capture_chain(net.wh_head(), features, feat_sample, g.nodes));
+      capture_chain(net.wh_head(), fan, feat_sample, g.nodes));
   g.outputs.push_back(
-      capture_chain(net.decoder(), features, feat_sample, g.nodes));
+      capture_chain(net.decoder(), fan, feat_sample, g.nodes));
   return g;
 }
 

@@ -10,12 +10,15 @@
 // (compiled_plan.hpp) then runs the graph out of one shared activation
 // arena with pre-tuned convolution plans.
 //
-// The IR is deliberately small: every node has exactly one input (fan-out
-// is several nodes naming the same producer — ClimateNet's feature grid
-// feeds four heads and the decoder), and any layer the compiler does not
-// understand is captured opaquely and executed through the live layer.
-// Passes never look inside an opaque node, which is what keeps fusion
-// from crossing a residual block's skip join.
+// The IR is a true DAG: every node carries explicit input edges
+// (`inputs`), fan-out is marked by kSplit nodes (zero-cost aliases of
+// their producer's value), and kAdd join nodes merge two branches
+// elementwise. ResidualBlock and the ClimateNet head fan-out lower into
+// real sub-graphs — split -> branch / shortcut -> add -> activation — so
+// the passes fold and fuse *inside* residual blocks and the executor can
+// run independent branches concurrently (level scheduling). Only layers
+// the compiler genuinely does not understand are captured opaquely and
+// executed through the live layer; passes never look inside those.
 #pragma once
 
 #include <string>
@@ -40,6 +43,10 @@ enum class OpKind {
   kTanh,
   kBatchNorm,  // inference-mode per-channel affine (pre-fold)
   kDropout,    // eval no-op (pre-strip)
+  kSplit,      // explicit fan-out marker: aliases its producer's value
+               // (no buffer, no work); consumers read through it
+  kAdd,        // two-input elementwise join (residual skip add); an
+               // activation may be fused into its epilogue
   kOpaque,     // anything else, executed through the live nn::Layer
 };
 
@@ -55,14 +62,24 @@ const char* to_string(Epilogue e);
 /// source layer's parameters; opaque nodes borrow the live layer (the
 /// graph is then only valid while the source network lives).
 struct OpNode {
-  /// `input` value meaning "the graph input tensor".
+  /// `inputs` value meaning "the graph input tensor".
   static constexpr int kGraphInput = -1;
 
   OpKind kind = OpKind::kOpaque;
   std::string name;
-  int input = kGraphInput;  // producer node index, or kGraphInput
-  Shape in_sample;          // per-sample input shape (no batch dimension)
-  Shape out_sample;         // per-sample output shape
+  /// Producer node ids (or kGraphInput). Every kind has exactly one input
+  /// except kAdd (two: {branch, shortcut}).
+  std::vector<int> inputs = {kGraphInput};
+  Shape in_sample;   // per-sample input shape (no batch dimension)
+  Shape out_sample;  // per-sample output shape
+
+  /// Lowered from a residual sub-graph — lets the compile report (and the
+  /// regression guard in verify.sh) attribute folds/fusions that fire
+  /// *inside* residual blocks, where the opaque capture could not.
+  bool in_residual = false;
+
+  /// First (usually only) input edge.
+  int input0() const { return inputs.empty() ? kGraphInput : inputs[0]; }
 
   // ---- conv / deconv ----
   /// Per-image problem (for kDeconv: the underlying convolution, whose
@@ -91,27 +108,45 @@ struct OpNode {
   nn::Layer* layer = nullptr;  // borrowed from the source network
 };
 
-/// The captured graph: nodes in execution (topological) order plus the
-/// node ids whose results leave the graph.
+/// The captured graph: nodes in topological order (every edge points to a
+/// lower index) plus the node ids whose results leave the graph.
 struct Graph {
   std::vector<OpNode> nodes;
   std::vector<int> outputs;
   Shape input_sample;  // per-sample graph input shape
 
-  /// Number of consumers of node `id` (graph outputs count once each).
+  /// Number of direct consumers of node `id`: input edges naming it plus
+  /// graph outputs (once each). Splits count as one consumer — fan-out
+  /// behind a split therefore never looks like a single consumer, which
+  /// is what keeps folds/fusions from crossing a branch point.
   std::size_t consumer_count(int id) const;
+
+  /// Follows kSplit aliases down to the node that actually owns the
+  /// value (or kGraphInput). Non-split ids map to themselves.
+  int resolve_alias(int id) const;
+
+  /// DAG level per node: level(i) = 1 + max over input levels, with the
+  /// graph input at -1, so independent nodes (e.g. the two sides of a
+  /// residual split, the climate heads) share a level. kSplit nodes are
+  /// pass-through: they take their producer's level and schedule no
+  /// work. Nodes of the same level never consume each other — the
+  /// level-scheduled executor's concurrency invariant, and the unit the
+  /// arena planner measures liveness in.
+  std::vector<int> levels() const;
 };
 
 /// Captures `net` into an op graph for per-sample inputs of
-/// `sample_shape` (e.g. (C, H, W)). The net must be in inference mode —
-/// throws pf15::ConfigError otherwise: freezing training behaviour
-/// (batch statistics, dropout masks) into a static eval plan would
-/// silently change the math it serves.
+/// `sample_shape` (e.g. (C, H, W)). ResidualBlock layers lower into real
+/// split/add sub-graphs. The net must be in inference mode — throws
+/// pf15::ConfigError naming the offending layer otherwise: freezing
+/// training behaviour (batch statistics, dropout masks) into a static
+/// eval plan would silently change the math it serves.
 Graph capture(nn::Sequential& net, const Shape& sample_shape);
 
-/// ClimateNet capture: the encoder chain fans out into the four
-/// detection heads and the reconstruction decoder. Outputs are ordered
-/// (conf, cls, xy, wh, recon), matching nn::ClimateNet::Outputs.
+/// ClimateNet capture: the encoder chain feeds an explicit kSplit from
+/// which the four detection heads and the reconstruction decoder fan
+/// out. Outputs are ordered (conf, cls, xy, wh, recon), matching
+/// nn::ClimateNet::Outputs.
 Graph capture(nn::ClimateNet& net);
 
 }  // namespace pf15::graph

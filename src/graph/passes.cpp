@@ -8,7 +8,9 @@ namespace {
 /// `target` — the removal step for a shape-preserving single-input node.
 void rewire_consumers(Graph& g, int id, int target) {
   for (OpNode& node : g.nodes) {
-    if (node.input == id) node.input = target;
+    for (int& in : node.inputs) {
+      if (in == id) in = target;
+    }
   }
   for (int& out : g.outputs) {
     if (out == id) out = target;
@@ -27,9 +29,11 @@ void erase_dead(Graph& g, const std::vector<bool>& dead) {
     kept.push_back(std::move(g.nodes[i]));
   }
   for (OpNode& node : kept) {
-    if (node.input >= 0) {
-      PF15_CHECK(!dead[static_cast<std::size_t>(node.input)]);
-      node.input = remap[static_cast<std::size_t>(node.input)];
+    for (int& in : node.inputs) {
+      if (in >= 0) {
+        PF15_CHECK(!dead[static_cast<std::size_t>(in)]);
+        in = remap[static_cast<std::size_t>(in)];
+      }
     }
   }
   for (int& out : g.outputs) {
@@ -92,7 +96,7 @@ std::size_t strip_noops(Graph& g) {
   std::size_t stripped = 0;
   for (std::size_t i = 0; i < g.nodes.size(); ++i) {
     if (g.nodes[i].kind != OpKind::kDropout) continue;
-    rewire_consumers(g, static_cast<int>(i), g.nodes[i].input);
+    rewire_consumers(g, static_cast<int>(i), g.nodes[i].input0());
     dead[i] = true;
     ++stripped;
   }
@@ -100,20 +104,21 @@ std::size_t strip_noops(Graph& g) {
   return stripped;
 }
 
-std::size_t fold_batchnorm(Graph& g) {
+std::size_t fold_batchnorm(Graph& g, PassStats* stats) {
   std::vector<bool> dead(g.nodes.size(), false);
   std::size_t folded = 0;
   for (std::size_t i = 0; i < g.nodes.size(); ++i) {
     OpNode& bn = g.nodes[i];
-    if (bn.kind != OpKind::kBatchNorm || bn.input < 0) continue;
-    OpNode& producer = g.nodes[static_cast<std::size_t>(bn.input)];
+    if (bn.kind != OpKind::kBatchNorm || bn.input0() < 0) continue;
+    OpNode& producer = g.nodes[static_cast<std::size_t>(bn.input0())];
     const std::size_t oc = out_channels_of(producer);
     // Foldable only when the producer's full output feeds this BN alone
     // and nothing (an epilogue activation) sits between them. A producer
-    // we cannot see into (opaque) never folds.
+    // we cannot see into (opaque) never folds, and a fanned-out producer
+    // (a kSplit consumer counts) keeps its pre-BN value visible.
     if (oc == 0 || oc != bn.bn_scale.numel() ||
         producer.epilogue != Epilogue::kNone ||
-        g.consumer_count(bn.input) != 1) {
+        g.consumer_count(bn.input0()) != 1) {
       continue;
     }
     scale_weights(producer, bn.bn_scale);
@@ -124,15 +129,18 @@ std::size_t fold_batchnorm(Graph& g) {
       producer.bias.at(o) =
           bn.bn_scale.at(o) * producer.bias.at(o) + bn.bn_shift.at(o);
     }
-    rewire_consumers(g, static_cast<int>(i), bn.input);
+    rewire_consumers(g, static_cast<int>(i), bn.input0());
     dead[i] = true;
     ++folded;
+    if (stats != nullptr && bn.in_residual) {
+      ++stats->residual_folded_batchnorms;
+    }
   }
   if (folded > 0) erase_dead(g, dead);
   return folded;
 }
 
-std::size_t fuse_activations(Graph& g) {
+std::size_t fuse_activations(Graph& g, PassStats* stats) {
   std::vector<bool> dead(g.nodes.size(), false);
   std::size_t fused = 0;
   for (std::size_t i = 0; i < g.nodes.size(); ++i) {
@@ -151,23 +159,28 @@ std::size_t fuse_activations(Graph& g) {
       default:
         continue;
     }
-    if (act.input < 0) continue;
-    OpNode& producer = g.nodes[static_cast<std::size_t>(act.input)];
+    if (act.input0() < 0) continue;
+    OpNode& producer = g.nodes[static_cast<std::size_t>(act.input0())];
     const bool fusable = producer.kind == OpKind::kConv ||
                          producer.kind == OpKind::kDeconv ||
                          producer.kind == OpKind::kDense ||
-                         producer.kind == OpKind::kBatchNorm;
+                         producer.kind == OpKind::kBatchNorm ||
+                         producer.kind == OpKind::kAdd;
     // Single consumer only: with fan-out, other consumers need the
-    // pre-activation value. (Opaque producers — residual blocks — are not
-    // fusable at all, so fusion never crosses their skip join.)
+    // pre-activation value (a kSplit consumer counts, so fusion never
+    // crosses a branch point). Opaque producers are not fusable at all.
     if (!fusable || producer.epilogue != Epilogue::kNone ||
-        g.consumer_count(act.input) != 1) {
+        g.consumer_count(act.input0()) != 1) {
       continue;
     }
     producer.epilogue = e;
-    rewire_consumers(g, static_cast<int>(i), act.input);
+    rewire_consumers(g, static_cast<int>(i), act.input0());
     dead[i] = true;
     ++fused;
+    if (stats != nullptr) {
+      if (act.in_residual) ++stats->residual_fused_activations;
+      if (producer.kind == OpKind::kAdd) ++stats->fused_joins;
+    }
   }
   if (fused > 0) erase_dead(g, dead);
   return fused;
@@ -176,8 +189,8 @@ std::size_t fuse_activations(Graph& g) {
 PassStats optimize(Graph& g) {
   PassStats stats;
   stats.stripped_noops = strip_noops(g);
-  stats.folded_batchnorms = fold_batchnorm(g);
-  stats.fused_activations = fuse_activations(g);
+  stats.folded_batchnorms = fold_batchnorm(g, &stats);
+  stats.fused_activations = fuse_activations(g, &stats);
   return stats;
 }
 

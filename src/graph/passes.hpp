@@ -2,9 +2,14 @@
 //
 // All passes are eval-only rewrites over the captured IR (graph.hpp):
 // they preserve the forward math up to floating-point reassociation and
-// never touch the live network (weight-carrying nodes own copies).
-// Opaque nodes are black boxes: no pass reads into or rewires across
-// them, so e.g. fusion can never cross a residual block's skip join.
+// never touch the live network (weight-carrying nodes own copies). The
+// passes walk the DAG through explicit input edges, so with residual
+// blocks lowered into real split/add sub-graphs they fire *inside* the
+// branches too: BatchNorm folds into the branch convolutions, branch
+// activations fuse into conv epilogues, and the trailing ReLU of a block
+// fuses into the add join itself. Fusion still never crosses a fan-out
+// point (a kSplit is a consumer like any other, so its producer never
+// looks single-consumer) and never looks into an opaque node.
 #pragma once
 
 #include <cstddef>
@@ -17,6 +22,13 @@ struct PassStats {
   std::size_t stripped_noops = 0;
   std::size_t folded_batchnorms = 0;
   std::size_t fused_activations = 0;
+  /// Subsets of the above that fired inside residual sub-graphs — the
+  /// regression guard that capture did not silently fall back to opaque
+  /// residual blocks (where no pass can fire).
+  std::size_t residual_folded_batchnorms = 0;
+  std::size_t residual_fused_activations = 0;
+  /// Activations fused into kAdd join epilogues (the residual ReLU).
+  std::size_t fused_joins = 0;
 };
 
 /// Removes eval-time no-ops (Dropout is the identity in inference mode),
@@ -31,13 +43,15 @@ std::size_t strip_noops(Graph& g);
 /// (a bias is materialised when the producer had none). BatchNorms that
 /// cannot fold — producer opaque, fanned out, or already carrying a fused
 /// epilogue — stay behind as per-channel affine nodes. Returns the number
-/// folded.
-std::size_t fold_batchnorm(Graph& g);
+/// folded; `stats` (optional) accumulates the residual-subgraph subcount.
+std::size_t fold_batchnorm(Graph& g, PassStats* stats = nullptr);
 
 /// Fuses standalone elementwise activations (ReLU/Sigmoid/Tanh) into the
-/// epilogue of a Conv/Deconv/Dense/BatchNorm producer with exactly one
-/// consumer and no epilogue yet. Returns the number fused.
-std::size_t fuse_activations(Graph& g);
+/// epilogue of a Conv/Deconv/Dense/BatchNorm/Add producer with exactly
+/// one consumer and no epilogue yet — for kAdd producers this is the
+/// residual join absorbing its trailing ReLU. Returns the number fused;
+/// `stats` (optional) accumulates the residual and join subcounts.
+std::size_t fuse_activations(Graph& g, PassStats* stats = nullptr);
 
 /// The standard pipeline: strip no-ops, fold BatchNorm, fuse activations
 /// (in that order — folding requires the BN to sit directly on the conv).

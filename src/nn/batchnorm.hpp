@@ -43,7 +43,7 @@ class BatchNorm2d final : public Layer {
   std::uint64_t backward_flops(const Shape& in) const override;
 
   void set_training(bool training) override { training_ = training; }
-  bool training() const { return training_; }
+  bool training() const override { return training_; }
 
   const BatchNormConfig& config() const { return cfg_; }
   const Tensor& running_mean() const { return running_mean_; }

@@ -177,19 +177,27 @@ void Conv2d::backward(const Tensor& in, const Tensor& dout, Tensor& din) {
 
   // Data gradient: independent per image, so it fans across the pool
   // exactly like forward. The backend overwrites each din image.
+  // Weight-only work (Winograd's rotated/transformed filter bank) hoists
+  // out of the batch loop, mirroring the prepare_forward hoist.
   const gemm::ConvBackendKind dkind =
       backward_backend(in.shape(), ConvPhase::kBackwardData);
   const gemm::ConvBackend& dbe = gemm::backend(dkind);
   last_backward_data_backend_ = dkind;
+  const std::unique_ptr<gemm::ConvPrep> dprep =
+      dbe.prepare_backward_data(p, weight_.data());
   if (n_img <= 1) {
     for (std::size_t img = 0; img < n_img; ++img) {
-      dbe.backward_data(p, dout.data() + img * out_img, weight_.data(),
-                        din.data() + img * in_img, /*parallel_ok=*/true);
+      dbe.backward_data_prepared(p, dprep.get(),
+                                 dout.data() + img * out_img,
+                                 weight_.data(), din.data() + img * in_img,
+                                 /*parallel_ok=*/true);
     }
   } else {
     ThreadPool::global().parallel_for(0, n_img, [&](std::size_t img) {
-      dbe.backward_data(p, dout.data() + img * out_img, weight_.data(),
-                        din.data() + img * in_img, /*parallel_ok=*/false);
+      dbe.backward_data_prepared(p, dprep.get(),
+                                 dout.data() + img * out_img,
+                                 weight_.data(), din.data() + img * in_img,
+                                 /*parallel_ok=*/false);
     });
   }
 

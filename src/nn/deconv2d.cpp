@@ -89,9 +89,15 @@ void Deconv2d::forward(const Tensor& in, Tensor& out) {
       cfg_.in_channels * in.shape().h() * in.shape().w();
   const std::size_t out_img =
       cfg_.out_channels * p.geom.in_h * p.geom.in_w;
+  // Weight-only work (Winograd's rotated/transformed filter bank) hoists
+  // out of the batch loop — the decoder's stride-2 deconvs never hit it,
+  // but 3x3 stride-1 upsampling heads do.
+  const std::unique_ptr<gemm::ConvPrep> prep =
+      be.prepare_backward_data(p, weight_.data());
   const auto one_image = [&](std::size_t img, bool parallel_ok) {
-    be.backward_data(p, in.data() + img * in_img, weight_.data(),
-                     out.data() + img * out_img, parallel_ok);
+    be.backward_data_prepared(p, prep.get(), in.data() + img * in_img,
+                              weight_.data(), out.data() + img * out_img,
+                              parallel_ok);
     if (cfg_.bias) {
       float* dst = out.data() + img * out_img;
       const std::size_t plane = p.geom.in_h * p.geom.in_w;

@@ -32,7 +32,7 @@ class Dropout final : public Layer {
   }
 
   void set_training(bool training) override { training_ = training; }
-  bool training() const { return training_; }
+  bool training() const override { return training_; }
 
   /// When frozen, forward() reuses the current mask instead of drawing a
   /// fresh one — required for finite-difference gradient checks, which

@@ -64,6 +64,12 @@ class Layer {
   /// forward is mode-independent.
   virtual void set_training(bool training) { (void)training; }
 
+  /// Whether this layer still runs training behaviour. Layers whose
+  /// forward is mode-independent report false; composites report true
+  /// when any child does. The graph compiler uses this to name the
+  /// offending layer when refusing a training-mode capture.
+  virtual bool training() const { return false; }
+
   /// Analytic FLOP counts (the §V accounting). Counts multiply-adds as two
   /// FLOPs; elementwise ops as one per element.
   virtual std::uint64_t forward_flops(const Shape& in) const = 0;

@@ -51,6 +51,7 @@ ResidualBlock::ResidualBlock(std::string name, const ResidualConfig& cfg,
     proj.stride = cfg.stride;
     proj.pad = 0;
     proj.bias = false;
+    proj.algo = cfg.algo;
     projection_ = std::make_unique<Conv2d>(name_ + ".proj", proj, rng);
   }
 
@@ -176,6 +177,13 @@ void ResidualBlock::set_training(bool training) {
   if (projection_) projection_->set_training(training);
 }
 
+bool ResidualBlock::training() const {
+  for (const auto& layer : main_) {
+    if (layer->training()) return true;
+  }
+  return projection_ != nullptr && projection_->training();
+}
+
 Sequential build_resnet(const ResNetConfig& cfg) {
   PF15_CHECK(!cfg.stage_channels.empty());
   PF15_CHECK(cfg.blocks_per_stage >= 1);
@@ -188,6 +196,7 @@ Sequential build_resnet(const ResNetConfig& cfg) {
   stem.kernel = 3;
   stem.stride = 1;
   stem.pad = 1;
+  stem.algo = cfg.algo;
   net.add(std::make_unique<Conv2d>("stem", stem, rng));
   net.add(std::make_unique<ReLU>("stem.relu"));
 
@@ -200,6 +209,7 @@ Sequential build_resnet(const ResNetConfig& cfg) {
       rc.out_channels = out_c;
       rc.stride = (s > 0 && b == 0) ? 2 : 1;
       rc.batchnorm = cfg.batchnorm;
+      rc.algo = cfg.algo;
       const std::string name =
           "res" + std::to_string(s + 1) + "_" + std::to_string(b + 1);
       net.add(std::make_unique<ResidualBlock>(name, rc, rng));

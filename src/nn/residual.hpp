@@ -46,8 +46,19 @@ class ResidualBlock final : public Layer {
 
   /// Propagates training mode to every layer of the residual branch.
   void set_training(bool training) override;
+  /// True when any branch/shortcut layer still runs training behaviour.
+  bool training() const override;
 
   bool has_projection() const { return projection_ != nullptr; }
+
+  // ---- graph-compiler capture surface ----
+  // The compiler lowers the block into a real split/add sub-graph, so it
+  // needs the branch layers and the projection by reference (it clones
+  // their weights; the live layers stay untouched).
+  std::size_t branch_layer_count() const { return main_.size(); }
+  Layer& branch_layer(std::size_t i) { return *main_[i]; }
+  /// Null when the shortcut is the identity.
+  Conv2d* projection() { return projection_.get(); }
 
  private:
   std::string name_;
@@ -71,6 +82,10 @@ struct ResNetConfig {
   std::size_t blocks_per_stage = 2;
   bool batchnorm = false;
   std::uint64_t seed = 1;
+  /// Convolution dispatch for the stem and every block (branch convs and
+  /// projections). kIm2col keeps the bit-stable reference; kAuto inherits
+  /// the plan cache's measured winners (see HepConfig::algo).
+  ConvAlgo algo = ConvAlgo::kIm2col;
 };
 
 /// Stem conv -> residual stages -> global average pool -> dense classifier,

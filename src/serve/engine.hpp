@@ -46,10 +46,17 @@ struct EngineConfig {
   Shape sample_shape;
   BatcherConfig batcher;
   /// Execute through per-replica graph::CompiledPlans (eval no-ops
-  /// stripped, BatchNorm folded, activations fused, static activation
-  /// arena, pre-tuned conv plans) instead of eager Sequential::forward.
-  /// Output-equivalent to eager within floating-point tolerance.
+  /// stripped, BatchNorm folded, activations fused — inside residual
+  /// sub-graphs too — static activation arena, pre-tuned conv plans)
+  /// instead of eager Sequential::forward. Output-equivalent to eager
+  /// within floating-point tolerance.
   bool compiled = false;
+  /// Level-scheduled concurrent execution of independent graph nodes
+  /// inside each compiled plan (CompileOptions::parallel_levels). The
+  /// plans run on the global pool; replica workers live on a separate
+  /// dedicated pool, so replica-level and node-level parallelism
+  /// compose. Ignored when `compiled` is false.
+  bool compiled_parallel = true;
 };
 
 /// Point-in-time serving metrics (percentiles via perf::LatencyRecorder).

@@ -321,6 +321,61 @@ TEST(WinogradTiles, BothTilesMatchReferenceAcrossSizesAndPads) {
   }
 }
 
+TEST(ConvBackendPrep, WinogradPreparedBackwardDataMatchesUnprepared) {
+  // prepare_backward_data hoists the rotated/transformed filter bank out
+  // of the batch loop; the prepared path must reproduce the per-image
+  // path exactly (same transform-domain arithmetic, just precomputed),
+  // across pads 0..2 and both tile regimes.
+  const auto& winograd = gemm::backend(gemm::ConvBackendKind::kWinograd);
+  for (std::size_t h : {5u, 8u, 16u}) {
+    for (std::size_t pad : {0u, 1u, 2u}) {
+      const gemm::ConvProblem p = make_problem(3, 4, h, 3, 1, pad);
+      ASSERT_TRUE(winograd.applicable(p, ConvPhase::kBackwardData));
+      const ConvOperands ops = random_operands(p, 0xb4dd ^ (h * 10 + pad));
+      std::vector<float> plain(p.geom.in_c * h * h, -9.0f);
+      winograd.backward_data(p, ops.dout.data(), ops.weight.data(),
+                             plain.data(), /*parallel_ok=*/false);
+      const std::unique_ptr<gemm::ConvPrep> prep =
+          winograd.prepare_backward_data(p, ops.weight.data());
+      ASSERT_NE(prep, nullptr);
+      std::vector<float> prepared(plain.size(), 9.0f);
+      winograd.backward_data_prepared(p, prep.get(), ops.dout.data(),
+                                      ops.weight.data(), prepared.data(),
+                                      /*parallel_ok=*/false);
+      for (std::size_t i = 0; i < plain.size(); ++i) {
+        ASSERT_EQ(prepared[i], plain[i])
+            << "h=" << h << " pad=" << pad << " element " << i;
+      }
+      // And both must agree with the im2col-adjoint reference.
+      const std::vector<float> ref =
+          reference_backward_data(p, ops.dout, ops.weight);
+      for (std::size_t i = 0; i < ref.size(); ++i) {
+        ASSERT_NEAR(prepared[i], ref[i], 1e-4f)
+            << "h=" << h << " pad=" << pad << " element " << i;
+      }
+    }
+  }
+}
+
+TEST(ConvBackendPrep, BackendsWithoutBackwardPrepFallBack) {
+  // The base contract: null prep is allowed and means "no prep" — the
+  // im2col adjoint has nothing to precompute, and the prepared entry
+  // point must still compute the exact same gradient.
+  const auto& im2col = gemm::backend(gemm::ConvBackendKind::kIm2col);
+  const gemm::ConvProblem p = make_problem(2, 3, 7, 3, 1, 1);
+  const ConvOperands ops = random_operands(p, 0xfa11);
+  EXPECT_EQ(im2col.prepare_backward_data(p, ops.weight.data()), nullptr);
+  std::vector<float> plain(p.geom.in_c * 7 * 7, 0.0f);
+  im2col.backward_data(p, ops.dout.data(), ops.weight.data(), plain.data(),
+                       false);
+  std::vector<float> prepared(plain.size(), 1.0f);
+  im2col.backward_data_prepared(p, nullptr, ops.dout.data(),
+                                ops.weight.data(), prepared.data(), false);
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    ASSERT_EQ(prepared[i], plain[i]) << "element " << i;
+  }
+}
+
 TEST(WinogradTiles, BothTilesComputeTheFilterGradient) {
   for (std::size_t h : {5u, 8u, 11u}) {
     for (std::size_t pad : {0u, 1u}) {
