@@ -23,8 +23,17 @@
 // builds every compiled plan with zero first-sight tunes" into a hard
 // exit-code check (exit 3) — the cold-start serving acceptance.
 //
+// With --trace PATH the span tracer records the whole run — compile
+// passes, pretune, per-level executor spans, per-node spans, pool tasks —
+// as chrome://tracing JSON, then the bench re-parses its own output and
+// fails hard (exit 5) unless the per-level executor spans actually landed.
+// The hep_tiny row doubles as the tracer-overhead probe: the compiled
+// loop is timed A/B with recording toggled off/on and the ratio goes into
+// the summary.
+//
 // Usage: bench_graph_compile [--json PATH] [--reps N] [--batch N]
 //                            [--cache PATH] [--plans-only] [--require-warm]
+//                            [--trace PATH]
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -39,6 +48,7 @@
 #include "nn/climate_net.hpp"
 #include "nn/hep_model.hpp"
 #include "nn/residual.hpp"
+#include "obs/trace.hpp"
 #include "perf/json.hpp"
 #include "perf/report.hpp"
 
@@ -134,6 +144,7 @@ int main(int argc, char** argv) {
   std::string json_path = "BENCH_graph_compile.json";
   bool json_explicit = false;
   std::string cache_path;
+  std::string trace_path;
   std::size_t batch = 8;
   std::size_t reps = 5;
   bool plans_only = false;
@@ -152,14 +163,19 @@ int main(int argc, char** argv) {
       plans_only = true;
     } else if (std::strcmp(argv[i], "--require-warm") == 0) {
       require_warm = true;
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: %s [--json PATH] [--reps N] [--batch N] "
-                   "[--cache PATH] [--plans-only] [--require-warm]\n",
+                   "[--cache PATH] [--plans-only] [--require-warm] "
+                   "[--trace PATH]\n",
                    argv[0]);
       return 2;
     }
   }
+  // Enable before any compile so the pass/pretune spans are captured too.
+  if (!trace_path.empty()) obs::trace_enable(trace_path);
 
   gemm::ConvPlanCache& cache = gemm::ConvPlanCache::global();
   bool warm_start = false;
@@ -179,6 +195,9 @@ int main(int argc, char** argv) {
 
   std::vector<ModelResult> results;
   Rng rng(0x96af);
+  // Tracer overhead on the smallest model: enabled-vs-disabled ratio of
+  // the compiled loop (1.0 = free; measured only under --trace).
+  double trace_overhead_ratio = 0.0;
 
   // ---- HEP network (two scales) --------------------------------------------
   struct HepCase {
@@ -213,6 +232,19 @@ int main(int argc, char** argv) {
           reps, [&] { net.forward(input); }, [&] { plan.run(input); });
       r.eager_us_per_img = eager_s * 1e6 / static_cast<double>(batch);
       r.compiled_us_per_img = compiled_s * 1e6 / static_cast<double>(batch);
+      if (!trace_path.empty() && r.name == "hep_tiny") {
+        // Recording off vs on, interleaved: the per-span cost of the
+        // tracer itself on the densest span producer (per-node spans).
+        const auto [off_s, on_s] = time_min_pair(
+            reps,
+            [&] {
+              obs::trace_disable();
+              plan.run(input);
+              obs::trace_resume();
+            },
+            [&] { plan.run(input); });
+        trace_overhead_ratio = off_s > 0.0 ? on_s / off_s : 0.0;
+      }
     }
     results.push_back(std::move(r));
   }
@@ -344,6 +376,13 @@ int main(int argc, char** argv) {
   summary.set("residual_folded_batchnorms_total", residual_folds_total);
   summary.set("residual_fused_activations_total", residual_fusions_total);
   summary.set("fused_joins_total", fused_joins_total);
+  // Plan-cache traffic this process: warm starts show zero misses here
+  // (verify.sh cross-checks this against --require-warm).
+  summary.set("plan_cache_hits", cache.hits());
+  summary.set("plan_cache_misses", cache.misses());
+  if (trace_overhead_ratio > 0.0) {
+    summary.set("trace_overhead_ratio", trace_overhead_ratio);
+  }
   record.set("summary", std::move(summary));
   // A --plans-only run carries no timings: never let it clobber the
   // tracked default record with zeroed rows unless --json asked for it.
@@ -368,6 +407,46 @@ int main(int argc, char** argv) {
       residual_folds_total, residual_fusions_total, fused_joins_total);
   std::printf("first-sight tunes this run: %zu\n", first_sight_tunes);
   if (write_json) std::printf("wrote %s\n", json_path.c_str());
+
+  // Trace self-check: flush, re-parse our own output, and require the
+  // per-level executor spans (a timed run exercised run/run_all, so an
+  // empty "graph" category means the tracer lost the hot path). Hard
+  // failure — this is a correctness property of the tracer, not a timing.
+  if (!trace_path.empty()) {
+    obs::trace_flush();
+    std::size_t level_spans = 0;
+    std::size_t compile_spans = 0;
+    try {
+      const perf::Json trace = perf::Json::read_file(trace_path);
+      const perf::Json& events = trace.get("traceEvents");
+      for (std::size_t i = 0; i < events.size(); ++i) {
+        const perf::Json& e = events.at(i);
+        const std::string& cat = e.get("cat").as_string();
+        const std::string& name = e.get("name").as_string();
+        if (cat == "graph" && name.rfind("level", 0) == 0) ++level_spans;
+        if (cat == "compile") ++compile_spans;
+      }
+      std::printf("trace: %zu events (%zu level spans, %zu dropped) -> %s\n",
+                  events.size(), level_spans,
+                  static_cast<std::size_t>(obs::trace_dropped_count()),
+                  trace_path.c_str());
+    } catch (const Error& e) {
+      std::fprintf(stderr, "FAIL: trace output did not parse: %s\n",
+                   e.what());
+      return 5;
+    }
+    if (compile_spans == 0 || (!plans_only && level_spans == 0)) {
+      std::fprintf(stderr,
+                   "FAIL: trace is missing expected spans (%zu compile, "
+                   "%zu level)\n",
+                   compile_spans, level_spans);
+      return 5;
+    }
+    if (trace_overhead_ratio > 0.0) {
+      std::printf("tracer overhead on hep_tiny compiled loop: %.2fx\n",
+                  trace_overhead_ratio);
+    }
+  }
 
   // Warm-start acceptance is a correctness property of the plan cache +
   // checkpoint pipeline, not a timing: it fails hard.

@@ -4,15 +4,23 @@
 // max_batch amortises per-layer overhead across more requests (higher
 // throughput) but each request may wait for more companions (higher tail
 // latency). This bench sweeps max_batch under a fixed open-loop load and
-// reports the p50/p99 request latency and sustained throughput at each
-// point — the curve an operator reads to pick the policy for an SLO.
+// reports the p50/p99/p999 request latency and sustained throughput at
+// each point — the curve an operator reads to pick the policy for an SLO.
+//
+// --trace PATH records the request lifecycle (submit, queue_wait,
+// batch_form, replica_execute, respond) as chrome://tracing JSON; the
+// final metrics-registry snapshot prints regardless, so the counters and
+// latency histograms behind ServingStats are visible without a scrape.
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "data/hep_generator.hpp"
 #include "nn/hep_model.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "perf/report.hpp"
 #include "serve/engine.hpp"
 
@@ -20,7 +28,19 @@ int main(int argc, char** argv) {
   using namespace pf15;
 
   // Keep the default run laptop-sized; --full serves more traffic.
-  const bool full = argc > 1 && std::string(argv[1]) == "--full";
+  bool full = false;
+  std::string trace_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--full") == 0) {
+      full = true;
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--full] [--trace PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+  if (!trace_path.empty()) obs::trace_enable(trace_path);
   const int requests_per_point = full ? 4096 : 512;
   const int producers = 4;
 
@@ -32,7 +52,7 @@ int main(int argc, char** argv) {
   gen_cfg.image = 32;
 
   perf::Table table({"max_batch", "replicas", "requests", "mean_batch",
-                     "p50_ms", "p99_ms", "req_per_s"});
+                     "p50_ms", "p99_ms", "p999_ms", "req_per_s"});
 
   for (const std::size_t max_batch : {1, 2, 4, 8, 16, 32}) {
     serve::EngineConfig cfg;
@@ -67,6 +87,7 @@ int main(int argc, char** argv) {
                    perf::Table::num(stats.mean_batch_size, 2),
                    perf::Table::num(stats.latency.p50 * 1e3, 3),
                    perf::Table::num(stats.latency.p99 * 1e3, 3),
+                   perf::Table::num(stats.latency.p999 * 1e3, 3),
                    perf::Table::num(stats.throughput_rps, 1)});
     std::printf("max_batch %2zu done (%zu batches)\n", max_batch,
                 stats.batches);
@@ -75,5 +96,17 @@ int main(int argc, char** argv) {
   std::printf("\n%s\n", table.str().c_str());
   table.write_csv("bench_serving.csv");
   std::printf("wrote bench_serving.csv\n");
+
+  // The registry view of the whole sweep: cumulative counters and the
+  // latency/queue-wait histograms every sweep point fed.
+  std::printf("\nmetrics registry snapshot:\n%s\n",
+              obs::MetricsRegistry::global().prometheus_text().c_str());
+  if (!trace_path.empty()) {
+    obs::trace_flush();
+    std::printf("wrote trace to %s (%llu spans, %llu dropped)\n",
+                trace_path.c_str(),
+                static_cast<unsigned long long>(obs::trace_span_count()),
+                static_cast<unsigned long long>(obs::trace_dropped_count()));
+  }
   return 0;
 }

@@ -24,6 +24,7 @@
 #include "gemm/conv_backend.hpp"
 #include "graph/compiled_plan.hpp"
 #include "hybrid/trainable.hpp"
+#include "obs/metrics.hpp"
 #include "perf/report.hpp"
 #include "serve/checkpoint.hpp"
 #include "serve/engine.hpp"
@@ -155,8 +156,15 @@ int main(int argc, char** argv) {
   table.add_row({"p50 latency (ms)", perf::Table::num(stats.latency.p50 * 1e3, 3)});
   table.add_row({"p90 latency (ms)", perf::Table::num(stats.latency.p90 * 1e3, 3)});
   table.add_row({"p99 latency (ms)", perf::Table::num(stats.latency.p99 * 1e3, 3)});
+  table.add_row({"p999 latency (ms)", perf::Table::num(stats.latency.p999 * 1e3, 3)});
+  table.add_row({"rejected", std::to_string(stats.rejected)});
   table.add_row({"throughput (req/s)", perf::Table::num(stats.throughput_rps, 1)});
   std::printf("\n%s\n", table.str().c_str());
+
+  // What an operator would scrape: the same run through the registry
+  // (serve counters, queue-wait/latency histograms, pool utilization).
+  std::printf("metrics registry snapshot (JSON):\n%s\n",
+              obs::MetricsRegistry::global().to_json().dump().c_str());
 
   std::remove(ckpt.c_str());
   return worst <= 1e-4 ? 0 : 1;

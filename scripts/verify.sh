@@ -3,8 +3,8 @@
 # Single entry point shared by developers and CI.
 #
 # The build turns warnings into errors for the kernel (src/gemm), layer
-# (src/nn), tuning (src/tune), graph-compiler (src/graph) and serving
-# (src/serve) subsystems. The
+# (src/nn), tuning (src/tune), graph-compiler (src/graph), serving
+# (src/serve) and observability (src/obs) subsystems. The
 # convolution backend sweep records the perf trajectory of the hottest
 # path — forward AND backward, per-image and batched — into
 # BENCH_conv_backends.json at the repo root (diff it PR over PR), then a
@@ -52,16 +52,26 @@ echo "plan cache warm start verified: zero first-sight tunes"
 # plan warm from the saved cache — zero first-sight tunes, enforced by
 # exit code 3. PF15_CONV_PLAN_CACHE=off keeps the runs hermetic: only the
 # explicit --cache path feeds the second process.
+# The run is traced (--trace): the bench re-parses its own trace and exits
+# 5 if the per-level executor spans are missing; the grep below re-asserts
+# it from the outside so a silently empty file also fails.
 graph_cache="build/graph_plans.json"
-rm -f "$graph_cache"
+graph_trace="build/graph_trace.json"
+rm -f "$graph_cache" "$graph_trace"
 rc=0
 PF15_CONV_PLAN_CACHE=off ./build/bench_graph_compile \
-    --json BENCH_graph_compile.json --batch 8 --cache "$graph_cache" || rc=$?
+    --json BENCH_graph_compile.json --batch 8 --cache "$graph_cache" \
+    --trace "$graph_trace" || rc=$?
 if [ "$rc" -eq 1 ]; then
   echo "WARNING: bench_graph_compile perf acceptance not met on this machine (timing noise?)" >&2
 elif [ "$rc" -ne 0 ]; then
   exit "$rc"
 fi
+if ! grep -Eq '"name":"level[0-9]+","cat":"graph"' "$graph_trace"; then
+  echo "FAIL: trace $graph_trace is missing per-level executor spans" >&2
+  exit 5
+fi
+echo "span tracer verified: per-level executor spans present in $graph_trace"
 
 # Residual sub-graph capture regression guard: the ResNet-HEP row must
 # show BN folds and fusions *inside* residual blocks. A silent fallback
@@ -76,10 +86,24 @@ for key in residual_folded_batchnorms_total residual_fused_activations_total \
 done
 echo "residual sub-graph capture verified: passes fire inside residual blocks"
 rc=0
-PF15_CONV_PLAN_CACHE=off ./build/bench_graph_compile --json /dev/null \
+PF15_CONV_PLAN_CACHE=off ./build/bench_graph_compile \
+    --json build/graph_warm.json \
     --batch 8 --plans-only --require-warm --cache "$graph_cache" || rc=$?
 if [ "$rc" -ne 0 ] && [ "$rc" -ne 1 ]; then
   echo "FAIL: compiled plans did not start warm in a fresh process" >&2
   exit "$rc"
 fi
 echo "compiled-plan warm start verified: zero first-sight tunes"
+
+# The plan-cache hit/miss counters must agree with the warm-start check
+# the exit code just enforced: a warm process answers every lookup from
+# the loaded cache — zero misses, nonzero hits.
+if ! grep -q '"plan_cache_misses": 0' build/graph_warm.json; then
+  echo "FAIL: warm run reported plan-cache misses (counters disagree with --require-warm)" >&2
+  exit 6
+fi
+if ! grep -Eq '"plan_cache_hits": [1-9]' build/graph_warm.json; then
+  echo "FAIL: warm run reported zero plan-cache hits" >&2
+  exit 6
+fi
+echo "plan-cache counters consistent: warm run all hits, zero misses"

@@ -4,8 +4,29 @@
 #include <atomic>
 
 #include "common/errors.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace pf15 {
+
+namespace {
+
+/// Pool-wide instruments: tasks executed, and how many workers are busy
+/// right now across every ThreadPool in the process (the utilization
+/// gauge the scheduler ROADMAP item will argue from).
+struct PoolMetrics {
+  obs::Counter& tasks = obs::MetricsRegistry::global().counter(
+      "pf15_pool_tasks_total", "thread pool tasks executed");
+  obs::Gauge& busy = obs::MetricsRegistry::global().gauge(
+      "pf15_pool_busy_threads", "pool workers currently running a task");
+};
+
+PoolMetrics& pool_metrics() {
+  static PoolMetrics m;
+  return m;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
@@ -77,6 +98,7 @@ ThreadPool& ThreadPool::global() {
 }
 
 void ThreadPool::worker_loop() {
+  PoolMetrics& metrics = pool_metrics();
   for (;;) {
     std::function<void()> task;
     {
@@ -86,7 +108,15 @@ void ThreadPool::worker_loop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
-    task();
+    metrics.busy.add(1.0);
+    metrics.tasks.add(1);
+    {
+      // One span per submitted task (parallel_for chunks share their
+      // task's span): gaps between spans on a worker track are idle time.
+      obs::TraceSpan span("pool_task", "pool");
+      task();
+    }
+    metrics.busy.add(-1.0);
   }
 }
 

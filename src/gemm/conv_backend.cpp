@@ -18,6 +18,8 @@
 #include "gemm/gemm.hpp"
 #include "gemm/scratch.hpp"
 #include "gemm/winograd.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "perf/json.hpp"
 
 namespace pf15::gemm {
@@ -835,6 +837,30 @@ std::string ConvPlanCache::persist_path() {
   return value;
 }
 
+namespace {
+
+/// Registry counters the plan cache feeds. First-sight tunes are the
+/// expensive event (a micro-benchmark race per miss), so they also carry
+/// a duration histogram and a trace span — the warm-start story is now
+/// checkable from a metrics snapshot: a warm process shows zero misses.
+struct CacheMetrics {
+  obs::Counter& hits = obs::MetricsRegistry::global().counter(
+      "pf15_convplan_hits_total", "plan cache lookups answered from memory");
+  obs::Counter& misses = obs::MetricsRegistry::global().counter(
+      "pf15_convplan_misses_total", "plan cache first-sight tunes");
+  obs::Histogram& tune_seconds = obs::MetricsRegistry::global().histogram(
+      "pf15_convplan_tune_seconds",
+      obs::Histogram::exponential_bounds(1e-4, 4.0, 12),
+      "autotune micro-benchmark wall time per miss");
+};
+
+CacheMetrics& cache_metrics() {
+  static CacheMetrics m;
+  return m;
+}
+
+}  // namespace
+
 ConvPlan ConvPlanCache::plan(const ConvProblem& p, ConvPhase phase,
                              bool parallel_ok, std::size_t batch) {
   const Key key{p, phase, parallel_ok, conv_batch_bucket(batch)};
@@ -843,11 +869,13 @@ ConvPlan ConvPlanCache::plan(const ConvProblem& p, ConvPhase phase,
     auto ov = overrides_.find(OverrideKey{p, phase});
     if (ov != overrides_.end()) {
       ++hits_;
+      cache_metrics().hits.add(1);
       return ov->second;
     }
     auto it = plans_.find(key);
     if (it != plans_.end()) {
       ++hits_;
+      cache_metrics().hits.add(1);
       return it->second;
     }
     // Dedupe concurrent first sights of the same key: exactly one thread
@@ -858,9 +886,24 @@ ConvPlan ConvPlanCache::plan(const ConvProblem& p, ConvPhase phase,
     tuning_cv_.wait(lock);
   }
   ++misses_;
+  cache_metrics().misses.add(1);
   lock.unlock();
   ConvPlan tuned;
+  WallTimer tune_timer;
   try {
+    // Dynamic span name: the tuned geometry, so a trace shows *which*
+    // first sight cost the time. Built only under an enabled tracer.
+    obs::TraceSpan tune_span(
+        obs::trace_enabled()
+            ? "conv_tune " + std::string(to_string(phase)) + " " +
+                  std::to_string(p.geom.in_c) + "x" +
+                  std::to_string(p.geom.in_h) + "x" +
+                  std::to_string(p.geom.in_w) + "->" +
+                  std::to_string(p.out_c) + " k" +
+                  std::to_string(p.geom.kernel_h) + " b" +
+                  std::to_string(conv_batch_bucket(batch))
+            : std::string(),
+        "tune");
     tuned = autotune(p, opt_, phase, parallel_ok);
   } catch (...) {
     lock.lock();
@@ -868,6 +911,7 @@ ConvPlan ConvPlanCache::plan(const ConvProblem& p, ConvPhase phase,
     tuning_cv_.notify_all();
     throw;
   }
+  cache_metrics().tune_seconds.observe(tune_timer.seconds());
   lock.lock();
   plans_.emplace(key, tuned);
   tuning_.erase(key);

@@ -7,7 +7,10 @@
 #include <memory>
 
 #include "common/thread_pool.hpp"
+#include "common/timer.hpp"
 #include "gemm/gemm.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace pf15::graph {
 
@@ -38,20 +41,28 @@ void apply_epilogue(Epilogue e, float* x, std::size_t n) {
 
 CompiledPlan::CompiledPlan(Graph graph, const CompileOptions& opt)
     : graph_(std::move(graph)) {
+  WallTimer compile_timer;
+  obs::TraceSpan compile_span("compile", "compile");
   report_.captured_ops = graph_.nodes.size();
-  if (opt.strip_noops) {
-    report_.passes.stripped_noops = graph::strip_noops(graph_);
-  }
-  if (opt.fold_batchnorm) {
-    report_.passes.folded_batchnorms =
-        graph::fold_batchnorm(graph_, &report_.passes);
-  }
-  if (opt.fuse_activations) {
-    report_.passes.fused_activations =
-        graph::fuse_activations(graph_, &report_.passes);
+  {
+    obs::TraceSpan span("passes", "compile");
+    if (opt.strip_noops) {
+      report_.passes.stripped_noops = graph::strip_noops(graph_);
+    }
+    if (opt.fold_batchnorm) {
+      report_.passes.folded_batchnorms =
+          graph::fold_batchnorm(graph_, &report_.passes);
+    }
+    if (opt.fuse_activations) {
+      report_.passes.fused_activations =
+          graph::fuse_activations(graph_, &report_.passes);
+    }
   }
   report_.compiled_ops = graph_.nodes.size();
-  arena_plan_ = plan_arena(graph_);
+  {
+    obs::TraceSpan span("plan_arena", "compile");
+    arena_plan_ = plan_arena(graph_);
+  }
   report_.arena_floats_per_sample = arena_plan_.total_floats;
   report_.eager_floats_per_sample = arena_plan_.eager_floats;
   build_schedule(opt.parallel_levels);
@@ -70,8 +81,19 @@ CompiledPlan::CompiledPlan(Graph graph, const CompileOptions& opt)
     }
   }
   if (opt.pretune) {
+    WallTimer pretune_timer;
+    obs::TraceSpan span("pretune", "compile");
     pretune_convs(std::max<std::size_t>(1, opt.max_batch));
+    report_.pretune_seconds = pretune_timer.seconds();
   }
+  report_.compile_seconds = compile_timer.seconds();
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  reg.counter("pf15_graph_compiles_total", "CompiledPlan constructions")
+      .add(1);
+  reg.histogram("pf15_graph_compile_seconds",
+                obs::Histogram::exponential_bounds(1e-4, 4.0, 12),
+                "CompiledPlan construction wall time")
+      .observe(report_.compile_seconds);
 }
 
 void CompiledPlan::build_schedule(bool parallel_levels) {
@@ -102,6 +124,11 @@ void CompiledPlan::build_schedule(bool parallel_levels) {
   for (const Level& lvl : schedule_) {
     report_.max_level_width = std::max(
         report_.max_level_width, lvl.pool_safe.size() + lvl.serial.size());
+  }
+  level_names_.clear();
+  level_names_.reserve(schedule_.size());
+  for (std::size_t l = 0; l < schedule_.size(); ++l) {
+    level_names_.push_back("level" + std::to_string(l));
   }
 }
 
@@ -184,7 +211,19 @@ const std::vector<Tensor>& CompiledPlan::run_all(const Tensor& input) {
   // level the nodes are independent by construction; a wide level fans
   // its pool-safe nodes across the global pool (each then runs fully
   // serially — the pool forbids nested waits).
-  for (const Level& lvl : schedule_) {
+  //
+  // Under PF15_TRACE every level and every node gets a span: wide-level
+  // imbalance (one straggler node pinning the barrier) and serial opaque
+  // stragglers are visible in the trace instead of folded into one
+  // end-to-end number.
+  obs::TraceSpan run_span("plan_run", "graph");
+  static obs::Counter& executions = obs::MetricsRegistry::global().counter(
+      "pf15_graph_executions_total", "CompiledPlan batched runs");
+  executions.add(1);
+  for (std::size_t l = 0; l < schedule_.size(); ++l) {
+    const Level& lvl = schedule_[l];
+    obs::TraceSpan level_span(
+        obs::trace_enabled() ? level_names_[l] : std::string(), "graph");
     for (std::size_t id : lvl.serial) {
       execute_node(id, input, batch, /*concurrent=*/false);
     }
@@ -264,6 +303,10 @@ const Tensor& CompiledPlan::run(const Tensor& input) {
 void CompiledPlan::execute_node(std::size_t id, const Tensor& input,
                                 std::size_t batch, bool concurrent) {
   const OpNode& node = graph_.nodes[id];
+  // Per-node span on whichever thread executes it (pool worker for wide
+  // levels): the node's captured name, so the trace reads like the model.
+  obs::TraceSpan node_span(
+      obs::trace_enabled() ? node.name : std::string(), "graph");
   const float* src = node.kind == OpKind::kAdd
                          ? nullptr  // two inputs, resolved below
                          : edge_data(node.input0(), input, batch);

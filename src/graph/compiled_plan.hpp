@@ -82,6 +82,12 @@ struct CompileReport {
   /// tune from scratch (0 = the plan was born fully warm).
   std::size_t pretuned_plans = 0;
   std::size_t pretune_misses = 0;
+  /// Wall time of compilation, and of the pretune stage within it. These
+  /// also feed the pf15_graph_* registry metrics, so a serving process's
+  /// metrics snapshot shows what compilation cost without holding the
+  /// report.
+  double compile_seconds = 0.0;
+  double pretune_seconds = 0.0;
 };
 
 class CompiledPlan {
@@ -159,6 +165,9 @@ class CompiledPlan {
     std::vector<std::size_t> serial;
   };
   std::vector<Level> schedule_;
+  /// Per-level span names ("level0", ...), precomputed so the traced
+  /// executor never concatenates strings per run.
+  std::vector<std::string> level_names_;
   bool parallel_levels_ = true;
   /// Per-node frozen conv dispatch (empty entries for non-conv nodes).
   std::vector<ConvDispatch> dispatch_;

@@ -6,6 +6,8 @@
 
 #include "common/errors.hpp"
 #include "common/timer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace pf15::hybrid {
 
@@ -159,41 +161,61 @@ TrainResult HybridTrainer::run() {
     WallTimer clock;
     const float inv_group = 1.0f / static_cast<float>(group_size);
 
+    // Iteration-phase spans (compute / comm / PS exchange — compression
+    // spans come from the ps codec itself) land on each worker's thread:
+    // the dormant scaling benches inherit tracing for free, and straggler
+    // skew shows up as misaligned compute spans across worker tids.
+    static obs::Counter& iteration_counter =
+        obs::MetricsRegistry::global().counter(
+            "pf15_hybrid_iterations_total",
+            "hybrid training iterations completed (all workers)");
+
     for (std::size_t iter = 0; iter < cfg_.iterations; ++iter) {
+      obs::TraceSpan iter_span("hybrid_iteration", "hybrid");
       WallTimer step_timer;
       if (cfg_.straggler_delay > 0.0 && rank == cfg_.straggler_rank) {
         std::this_thread::sleep_for(std::chrono::duration<double>(
             cfg_.straggler_delay));
       }
-      double loss = model->train_step(batches_(rank, iter));
-
-      // Synchronous phase: group-wide gradient mean, one tensor per
-      // trainable layer parameter (the MLSL-style per-layer reduction).
-      for (auto& p : params) {
-        group.allreduce_sum(p.grad->span(), cfg_.allreduce);
-        p.grad->scale(inv_group);
+      double loss;
+      {
+        obs::TraceSpan span("compute", "hybrid");
+        loss = model->train_step(batches_(rank, iter));
       }
-      float loss_buf = static_cast<float>(loss);
-      group.allreduce_sum(std::span<float>(&loss_buf, 1), cfg_.allreduce);
-      loss = static_cast<double>(loss_buf) * inv_group;
 
       std::uint64_t max_staleness = 0;
+      {
+        // Synchronous phase: group-wide gradient mean, one tensor per
+        // trainable layer parameter (the MLSL-style per-layer reduction).
+        obs::TraceSpan span("comm_allreduce", "hybrid");
+        for (auto& p : params) {
+          group.allreduce_sum(p.grad->span(), cfg_.allreduce);
+          p.grad->scale(inv_group);
+        }
+        float loss_buf = static_cast<float>(loss);
+        group.allreduce_sum(std::span<float>(&loss_buf, 1), cfg_.allreduce);
+        loss = static_cast<double>(loss_buf) * inv_group;
+      }
+
       if (cfg_.num_groups == 1) {
         // Pure synchronous: identical local update on every worker.
         local_solver->step();
       } else {
         if (is_root) {
+          obs::TraceSpan span("ps_exchange", "hybrid");
           const auto staleness = client->exchange(grad_ptrs, value_ptrs);
           for (auto s : staleness) {
             max_staleness = std::max(max_staleness, s);
           }
         }
         // Root broadcasts the fresh model; everyone clears gradients.
+        obs::TraceSpan span("comm_broadcast", "hybrid");
         for (auto& p : params) {
           group.broadcast(p.value->span(), 0);
           p.grad->zero();
         }
       }
+      iteration_counter.add(1);
 
       if (is_root) {
         IterationRecord rec;

@@ -1,0 +1,262 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <sstream>
+
+#include "common/errors.hpp"
+
+namespace pf15::obs {
+
+namespace {
+
+bool valid_metric_name(const std::string& name) {
+  if (name.empty()) return false;
+  for (char c : name) {
+    if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+          c == ':')) {
+      return false;
+    }
+  }
+  return !std::isdigit(static_cast<unsigned char>(name[0]));
+}
+
+const char* kind_name(int kind) {
+  switch (kind) {
+    case 0:
+      return "counter";
+    case 1:
+      return "gauge";
+    default:
+      return "histogram";
+  }
+}
+
+/// Renders a double the way Prometheus clients do: integral values
+/// without a fractional part, everything else with enough digits to
+/// round-trip.
+std::string render_number(double v) {
+  std::ostringstream os;
+  if (v == static_cast<double>(static_cast<long long>(v)) &&
+      std::abs(v) < 1e15) {
+    os << static_cast<long long>(v);
+  } else {
+    os.precision(17);
+    os << v;
+  }
+  return os.str();
+}
+
+}  // namespace
+
+// ---- Counter ---------------------------------------------------------------
+
+std::size_t Counter::shard_index() {
+  // One shard per thread, assigned round-robin at first use: threads
+  // created together land on different cache lines.
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t mine =
+      next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return mine;
+}
+
+// ---- Histogram -------------------------------------------------------------
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {
+  PF15_CHECK_MSG(std::is_sorted(bounds_.begin(), bounds_.end()),
+                 "histogram bounds must be sorted ascending");
+  PF15_CHECK_MSG(
+      std::adjacent_find(bounds_.begin(), bounds_.end()) == bounds_.end(),
+      "histogram bounds must be strictly increasing");
+}
+
+void Histogram::observe(double v) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const std::size_t idx =
+      static_cast<std::size_t>(it - bounds_.begin());  // +inf = size()
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+std::uint64_t Histogram::cumulative(std::size_t i) const {
+  PF15_CHECK_MSG(i <= bounds_.size(),
+                 "histogram bucket index " << i << " out of range");
+  std::uint64_t sum = 0;
+  for (std::size_t b = 0; b <= i; ++b) {
+    sum += buckets_[b].load(std::memory_order_relaxed);
+  }
+  return sum;
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+std::vector<double> Histogram::exponential_bounds(double start, double factor,
+                                                  std::size_t count) {
+  PF15_CHECK_MSG(start > 0.0 && factor > 1.0 && count >= 1,
+                 "exponential_bounds needs start > 0, factor > 1, count >= 1");
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  double b = start;
+  for (std::size_t i = 0; i < count; ++i) {
+    bounds.push_back(b);
+    b *= factor;
+  }
+  return bounds;
+}
+
+// ---- MetricsRegistry -------------------------------------------------------
+
+MetricsRegistry& MetricsRegistry::global() {
+  // Heap-allocated and never destroyed: pool workers touch hoisted
+  // instrument references in their post-task epilogue, which can race a
+  // normal static destructor once main() has returned (the waiter of a
+  // task future unblocks before the worker finishes its loop iteration).
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+MetricsRegistry::Entry& MetricsRegistry::find_or_create(
+    const std::string& name, Kind kind, const std::string& help) {
+  // Caller holds mutex_.
+  PF15_CHECK_MSG(valid_metric_name(name),
+                 "invalid metric name \"" << name
+                                          << "\" (want [a-zA-Z_:][a-zA-Z0-9_:]*)");
+  auto it = entries_.find(name);
+  if (it != entries_.end()) {
+    if (it->second.kind != kind) {
+      throw ConfigError("metric \"" + name + "\" already registered as " +
+                        kind_name(static_cast<int>(it->second.kind)) +
+                        ", requested as " + kind_name(static_cast<int>(kind)));
+    }
+    return it->second;
+  }
+  Entry entry;
+  entry.kind = kind;
+  entry.help = help;
+  return entries_.emplace(name, std::move(entry)).first->second;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const std::string& help) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& e = find_or_create(name, Kind::kCounter, help);
+  if (!e.counter) e.counter = std::make_unique<Counter>();
+  return *e.counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name,
+                              const std::string& help) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& e = find_or_create(name, Kind::kGauge, help);
+  if (!e.gauge) e.gauge = std::make_unique<Gauge>();
+  return *e.gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds,
+                                      const std::string& help) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& e = find_or_create(name, Kind::kHistogram, help);
+  if (!e.histogram) {
+    e.histogram = std::make_unique<Histogram>(std::move(bounds));
+  }
+  return *e.histogram;
+}
+
+std::string MetricsRegistry::prometheus_text() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream os;
+  for (const auto& [name, e] : entries_) {
+    if (!e.help.empty()) os << "# HELP " << name << " " << e.help << "\n";
+    os << "# TYPE " << name << " " << kind_name(static_cast<int>(e.kind))
+       << "\n";
+    switch (e.kind) {
+      case Kind::kCounter:
+        os << name << " " << e.counter->value() << "\n";
+        break;
+      case Kind::kGauge:
+        os << name << " " << render_number(e.gauge->value()) << "\n";
+        break;
+      case Kind::kHistogram: {
+        const Histogram& h = *e.histogram;
+        for (std::size_t i = 0; i < h.bounds().size(); ++i) {
+          os << name << "_bucket{le=\"" << render_number(h.bounds()[i])
+             << "\"} " << h.cumulative(i) << "\n";
+        }
+        os << name << "_bucket{le=\"+Inf\"} " << h.count() << "\n";
+        os << name << "_sum " << render_number(h.sum()) << "\n";
+        os << name << "_count " << h.count() << "\n";
+        break;
+      }
+    }
+  }
+  return os.str();
+}
+
+perf::Json MetricsRegistry::to_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  perf::Json doc = perf::Json::object();
+  for (const auto& [name, e] : entries_) {
+    switch (e.kind) {
+      case Kind::kCounter:
+        doc.set(name, static_cast<double>(e.counter->value()));
+        break;
+      case Kind::kGauge:
+        doc.set(name, e.gauge->value());
+        break;
+      case Kind::kHistogram: {
+        const Histogram& h = *e.histogram;
+        perf::Json hist = perf::Json::object();
+        hist.set("count", static_cast<double>(h.count()));
+        hist.set("sum", h.sum());
+        hist.set("mean", h.mean());
+        perf::Json buckets = perf::Json::array();
+        for (std::size_t i = 0; i < h.bounds().size(); ++i) {
+          perf::Json b = perf::Json::object();
+          b.set("le", h.bounds()[i]);
+          b.set("count", static_cast<double>(h.cumulative(i)));
+          buckets.push_back(std::move(b));
+        }
+        hist.set("buckets", std::move(buckets));
+        doc.set(name, std::move(hist));
+        break;
+      }
+    }
+  }
+  return doc;
+}
+
+void MetricsRegistry::reset_all() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, e] : entries_) {
+    (void)name;
+    switch (e.kind) {
+      case Kind::kCounter:
+        e.counter->reset();
+        break;
+      case Kind::kGauge:
+        e.gauge->set(0.0);
+        break;
+      case Kind::kHistogram:
+        e.histogram->reset();
+        break;
+    }
+  }
+}
+
+std::size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+}  // namespace pf15::obs

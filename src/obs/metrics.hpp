@@ -1,0 +1,185 @@
+// Process-wide always-on metrics registry.
+//
+// The perf meters (FlopMeter, LatencyRecorder) answer offline questions —
+// how fast was this bench run. The running system needs live counters the
+// way a production service does: how many requests the batcher rejected
+// since boot, how deep the queue is right now, how many conv-plan lookups
+// missed. Metrics here are cheap enough to leave on unconditionally
+// (counters are sharded atomics, gauges single atomics, histograms
+// fixed-bucket atomic arrays — no locks, no allocation on the hot path)
+// and are registered by name exactly once: the first caller creates the
+// instrument, later callers get the same instance, so a metric's identity
+// is its name, not who holds the reference.
+//
+// Exposition is pull-based: prometheus_text() renders the classic
+// text-format page, to_json() builds a perf::Json snapshot benches embed
+// in their records. Neither stops writers — readers see a consistent
+// enough point-in-time view (each instrument is read atomically; the set
+// of instruments only grows).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "perf/json.hpp"
+
+namespace pf15::obs {
+
+/// Monotonic counter, sharded across cache lines so concurrent writers
+/// from different threads don't bounce one hot line. value() sums the
+/// shards; it is exact once writers are quiescent and never undercounts
+/// a completed add().
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void add(std::uint64_t n = 1) {
+    shards_[shard_index()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  std::uint64_t value() const {
+    std::uint64_t sum = 0;
+    for (const Shard& s : shards_) {
+      sum += s.v.load(std::memory_order_relaxed);
+    }
+    return sum;
+  }
+
+  void reset() {
+    for (Shard& s : shards_) s.v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr std::size_t kShards = 16;
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> v{0};
+  };
+  static std::size_t shard_index();
+
+  std::array<Shard, kShards> shards_{};
+};
+
+/// Last-writer-wins instantaneous value (queue depth, busy threads).
+/// add() is a CAS loop so concurrent increments never lose updates.
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+
+  void add(double delta) {
+    double cur = v_.load(std::memory_order_relaxed);
+    while (!v_.compare_exchange_weak(cur, cur + delta,
+                                     std::memory_order_relaxed)) {
+    }
+  }
+
+  double value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Fixed-bucket histogram: `bounds` are inclusive upper bounds of the
+/// finite buckets, one implicit +inf bucket catches the rest. Bucket
+/// counts, total count and sum are atomics — observe() is lock-free and
+/// allocation-free. Bounds are frozen at registration.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void observe(double v);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Cumulative count of observations <= bounds()[i] (Prometheus `le`
+  /// semantics); index bounds().size() is the total count.
+  std::uint64_t cumulative(std::size_t i) const;
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double mean() const {
+    const std::uint64_t n = count();
+    return n ? sum() / static_cast<double>(n) : 0.0;
+  }
+
+  void reset();
+
+  /// `count` bounds growing geometrically from `start` by `factor` —
+  /// the default shape for duration metrics spanning decades.
+  static std::vector<double> exponential_bounds(double start, double factor,
+                                                std::size_t count);
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;  // bounds_.size() + 1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Name -> instrument registry. Creation takes a mutex (cold path, once
+/// per metric); the returned references are stable for the process
+/// lifetime, so callers hoist them out of hot loops (member or static
+/// local). Re-registering a name returns the existing instrument; a name
+/// registered as one kind and requested as another throws
+/// pf15::ConfigError. Metric names use [a-zA-Z0-9_:] (Prometheus
+/// convention, validated at registration).
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& global();
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& counter(const std::string& name, const std::string& help = "");
+  Gauge& gauge(const std::string& name, const std::string& help = "");
+  /// Bounds matter only on first registration; later callers get the
+  /// existing histogram regardless of the bounds they pass.
+  Histogram& histogram(const std::string& name, std::vector<double> bounds,
+                       const std::string& help = "");
+
+  /// Prometheus text exposition format (HELP/TYPE lines, histogram
+  /// `_bucket`/`_sum`/`_count` series).
+  std::string prometheus_text() const;
+
+  /// Snapshot as a perf::Json object keyed by metric name; histograms
+  /// render {count, sum, mean, buckets}. Insertion-ordered by name.
+  perf::Json to_json() const;
+
+  /// Zeroes every registered instrument (tests; instruments stay
+  /// registered so hoisted references remain valid).
+  void reset_all();
+
+  std::size_t size() const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    Kind kind;
+    std::string help;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry& find_or_create(const std::string& name, Kind kind,
+                        const std::string& help);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace pf15::obs

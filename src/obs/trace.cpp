@@ -1,0 +1,276 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+#include <vector>
+
+#include "common/errors.hpp"
+#include "perf/json.hpp"
+
+namespace pf15::obs {
+
+namespace detail {
+std::atomic<int> g_trace_state{0};
+}  // namespace detail
+
+namespace {
+
+/// One recorded span. Names are owned strings: spans outlive the plans,
+/// layers and threads whose names they carry.
+struct Span {
+  std::string name;
+  const char* category;
+  int tid;
+  double ts_us;
+  double dur_us;
+};
+
+constexpr std::size_t kRingCapacity = 1 << 16;
+
+struct ThreadRing;
+
+/// Process-wide tracer state. Meyers singleton so trace calls are safe at
+/// any point of static init/teardown order.
+struct TracerState {
+  std::mutex mutex;
+  std::string path;
+  std::vector<ThreadRing*> rings;        // live threads
+  std::vector<Span> retired;             // spans of exited threads
+  std::vector<Span> flushed;             // everything already collected
+  std::atomic<std::uint64_t> dropped{0};
+  std::atomic<std::uint64_t> recorded{0};
+  std::atomic<int> next_tid{1};
+  bool atexit_registered = false;
+};
+
+TracerState& state() {
+  static TracerState* s = new TracerState();  // never destroyed: threads
+                                              // may outlive static dtors
+  return *s;
+}
+
+/// Per-thread span ring. record() takes the ring's own mutex — owned by
+/// one writer, contended only by a concurrent flush, so the lock is
+/// uncontended in steady state and only ever taken when tracing is on.
+struct ThreadRing {
+  std::mutex mutex;
+  std::vector<Span> spans;
+  std::size_t next = 0;  // ring write position once full
+  int tid;
+
+  ThreadRing() : tid(state().next_tid.fetch_add(1)) {
+    spans.reserve(1024);
+    std::lock_guard<std::mutex> lock(state().mutex);
+    state().rings.push_back(this);
+  }
+
+  ~ThreadRing() {
+    TracerState& st = state();
+    std::lock_guard<std::mutex> lock(st.mutex);
+    st.rings.erase(std::remove(st.rings.begin(), st.rings.end(), this),
+                   st.rings.end());
+    std::lock_guard<std::mutex> ring_lock(mutex);
+    st.retired.insert(st.retired.end(),
+                      std::make_move_iterator(spans.begin()),
+                      std::make_move_iterator(spans.end()));
+  }
+
+  void record(Span&& span) {
+    std::lock_guard<std::mutex> lock(mutex);
+    span.tid = tid;
+    if (spans.size() < kRingCapacity) {
+      spans.push_back(std::move(span));
+    } else {
+      spans[next] = std::move(span);
+      next = (next + 1) % kRingCapacity;
+      state().dropped.fetch_add(1, std::memory_order_relaxed);
+    }
+    state().recorded.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Moves every buffered span out (called under state().mutex by flush).
+  void drain_into(std::vector<Span>& out) {
+    std::lock_guard<std::mutex> lock(mutex);
+    out.insert(out.end(), std::make_move_iterator(spans.begin()),
+               std::make_move_iterator(spans.end()));
+    spans.clear();
+    next = 0;
+  }
+};
+
+ThreadRing& thread_ring() {
+  thread_local ThreadRing ring;
+  return ring;
+}
+
+std::chrono::steady_clock::time_point trace_epoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+/// Collects every span recorded so far into state().flushed and returns a
+/// copy sorted by timestamp. Caller must NOT hold state().mutex.
+std::vector<Span> collect_sorted() {
+  TracerState& st = state();
+  std::lock_guard<std::mutex> lock(st.mutex);
+  for (ThreadRing* ring : st.rings) ring->drain_into(st.flushed);
+  st.flushed.insert(st.flushed.end(),
+                    std::make_move_iterator(st.retired.begin()),
+                    std::make_move_iterator(st.retired.end()));
+  st.retired.clear();
+  std::vector<Span> sorted(st.flushed.begin(), st.flushed.end());
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const Span& a, const Span& b) {
+                     return a.ts_us < b.ts_us;
+                   });
+  return sorted;
+}
+
+perf::Json render_trace(const std::vector<Span>& spans) {
+  perf::Json events = perf::Json::array();
+  for (const Span& s : spans) {
+    perf::Json ev = perf::Json::object();
+    ev.set("name", s.name);
+    ev.set("cat", s.category);
+    ev.set("ph", "X");
+    ev.set("ts", s.ts_us);
+    ev.set("dur", s.dur_us);
+    ev.set("pid", 1);
+    ev.set("tid", s.tid);
+    events.push_back(std::move(ev));
+  }
+  perf::Json doc = perf::Json::object();
+  doc.set("traceEvents", std::move(events));
+  doc.set("displayTimeUnit", "ms");
+  return doc;
+}
+
+void flush_at_exit() {
+  if (detail::g_trace_state.load(std::memory_order_relaxed) != 2) return;
+  try {
+    trace_flush();
+  } catch (const Error&) {
+    // Exit-path best effort: a failed flush must not turn a clean exit
+    // into an abort.
+  }
+}
+
+}  // namespace
+
+namespace detail {
+
+bool trace_init_from_env() {
+  // First call wins; concurrent initialisers agree because the decision
+  // is a pure function of the environment.
+  const char* env = std::getenv("PF15_TRACE");
+  if (env != nullptr && env[0] != '\0') {
+    trace_enable(env);
+    return true;
+  }
+  int expected = 0;
+  g_trace_state.compare_exchange_strong(expected, 1,
+                                        std::memory_order_relaxed);
+  return g_trace_state.load(std::memory_order_relaxed) == 2;
+}
+
+}  // namespace detail
+
+double trace_now_us() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - trace_epoch())
+      .count();
+}
+
+void trace_enable(const std::string& path) {
+  PF15_CHECK_MSG(!path.empty(), "trace_enable: empty path");
+  TracerState& st = state();
+  (void)trace_epoch();  // pin the epoch no later than enablement
+  {
+    std::lock_guard<std::mutex> lock(st.mutex);
+    st.path = path;
+    if (!st.atexit_registered) {
+      st.atexit_registered = true;
+      std::atexit(flush_at_exit);
+    }
+  }
+  detail::g_trace_state.store(2, std::memory_order_relaxed);
+}
+
+void trace_disable() {
+  detail::g_trace_state.store(1, std::memory_order_relaxed);
+}
+
+void trace_resume() {
+  TracerState& st = state();
+  std::lock_guard<std::mutex> lock(st.mutex);
+  if (!st.path.empty()) {
+    detail::g_trace_state.store(2, std::memory_order_relaxed);
+  }
+}
+
+void trace_record(std::string name, const char* category, double ts_us,
+                  double dur_us) {
+  if (!trace_enabled()) return;
+  Span span;
+  span.name = std::move(name);
+  span.category = category;
+  span.ts_us = ts_us;
+  span.dur_us = dur_us;
+  thread_ring().record(std::move(span));
+}
+
+void TraceSpan::finish() {
+  // Tracing may have been disabled mid-span; record anyway — the span
+  // started under an enabled tracer and dropping it would leave a
+  // misleading hole rather than save measurable work.
+  Span span;
+  span.name = name_ != nullptr ? std::string(name_) : std::move(owned_name_);
+  span.category = category_;
+  span.ts_us = start_us_;
+  span.dur_us = trace_now_us() - start_us_;
+  thread_ring().record(std::move(span));
+}
+
+void trace_flush() {
+  std::string path;
+  {
+    TracerState& st = state();
+    std::lock_guard<std::mutex> lock(st.mutex);
+    path = st.path;
+  }
+  if (path.empty()) {
+    throw IoError("trace_flush: no trace path configured");
+  }
+  const std::vector<Span> spans = collect_sorted();
+  render_trace(spans).write_file(path, /*indent=*/0);
+}
+
+std::string trace_dump() {
+  return render_trace(collect_sorted()).dump(/*indent=*/0);
+}
+
+void trace_clear() {
+  TracerState& st = state();
+  std::lock_guard<std::mutex> lock(st.mutex);
+  for (ThreadRing* ring : st.rings) {
+    std::vector<Span> dropped;
+    ring->drain_into(dropped);
+  }
+  st.retired.clear();
+  st.flushed.clear();
+  st.dropped.store(0, std::memory_order_relaxed);
+  st.recorded.store(0, std::memory_order_relaxed);
+}
+
+std::uint64_t trace_span_count() {
+  return state().recorded.load(std::memory_order_relaxed);
+}
+
+std::uint64_t trace_dropped_count() {
+  return state().dropped.load(std::memory_order_relaxed);
+}
+
+}  // namespace pf15::obs

@@ -1,0 +1,133 @@
+// Low-overhead span tracer with chrome://tracing / Perfetto output.
+//
+// Tracing answers the question the metrics registry can't: not "how many"
+// but "when, on which thread, nested inside what". Spans are (name,
+// category, tid, start, duration) records pushed into thread-local ring
+// buffers; flush() merges every thread's buffer into one
+// chrome://tracing-format JSON file ({"traceEvents": [...]}, "X" complete
+// events, microsecond timestamps) that chrome://tracing and Perfetto load
+// directly.
+//
+// Off by default, and the disabled cost is one relaxed atomic load and a
+// predictable branch — cheap enough to leave TraceSpan declarations
+// compiled into the hottest paths (the compiled executor's per-node loop,
+// the thread pool's task dispatch). Enable with the env var
+//
+//   PF15_TRACE=/path/to/trace.json
+//
+// (flushed automatically at process exit) or programmatically with
+// trace_enable(path) + trace_flush(). Dynamic span names cost a string
+// construction even when tracing is off, so hot paths guard them:
+//
+//   if (obs::trace_enabled()) {
+//     obs::TraceSpan span(node_name, "graph");
+//     ...
+//   }
+//
+// Buffers are bounded (64K spans per thread); when a thread overflows,
+// the oldest spans of that thread are overwritten and the drop is counted
+// (trace_dropped_count()) — tracing degrades by forgetting history, never
+// by stalling the traced code.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace pf15::obs {
+
+namespace detail {
+/// 0 = uninitialised (consult PF15_TRACE), 1 = off, 2 = on. Constant
+/// initialisation, so trace_enabled() is safe during static init.
+extern std::atomic<int> g_trace_state;
+bool trace_init_from_env();
+}  // namespace detail
+
+/// True when spans are being recorded. The fast path is one relaxed load.
+inline bool trace_enabled() {
+  const int s = detail::g_trace_state.load(std::memory_order_relaxed);
+  if (s == 1) return false;
+  if (s == 2) return true;
+  return detail::trace_init_from_env();
+}
+
+/// Starts recording spans; flush goes to `path`. Registers an atexit
+/// flush the first time tracing is enabled in the process.
+void trace_enable(const std::string& path);
+
+/// Stops recording. Already-buffered spans are kept for the next flush.
+void trace_disable();
+
+/// Re-enables recording to the previously configured path (pairs with
+/// trace_disable() for overhead A/B measurements). No-op when no path was
+/// ever configured.
+void trace_resume();
+
+/// Microseconds since the process trace epoch — the `ts` domain of every
+/// span.
+double trace_now_us();
+
+/// Records one complete span explicitly (for cross-thread intervals like
+/// queue wait, where the observer is not the thread that started the
+/// interval — the span lands on the calling thread's track).
+void trace_record(std::string name, const char* category, double ts_us,
+                  double dur_us);
+
+/// Writes everything recorded so far to the configured path as
+/// chrome://tracing JSON, events sorted by timestamp. Safe to call while
+/// other threads keep recording (their in-flight spans land in the next
+/// flush). Throws pf15::IoError when no path is configured or the write
+/// fails.
+void trace_flush();
+
+/// The same JSON document trace_flush() writes, as a string (tests, and
+/// callers embedding the trace elsewhere).
+std::string trace_dump();
+
+/// Drops every buffered span and resets the drop counter (tests).
+void trace_clear();
+
+/// Spans recorded and dropped (ring overwrites) so far, process-wide.
+std::uint64_t trace_span_count();
+std::uint64_t trace_dropped_count();
+
+/// RAII span: construction stamps the start, destruction records
+/// (name, category, tid, start, duration) into the calling thread's ring.
+/// When tracing is disabled, construction is a branch and destruction a
+/// branch — no clock reads, no allocation.
+class TraceSpan {
+ public:
+  /// Static-name fast path: no string copy until the span is recorded.
+  TraceSpan(const char* name, const char* category)
+      : armed_(trace_enabled()), name_(name), category_(category) {
+    if (armed_) start_us_ = trace_now_us();
+  }
+
+  /// Dynamic-name form; the string is constructed by the caller, so guard
+  /// call sites with trace_enabled() when the name is built per call.
+  TraceSpan(std::string name, const char* category)
+      : armed_(trace_enabled()),
+        owned_name_(std::move(name)),
+        name_(nullptr),
+        category_(category) {
+    if (armed_) start_us_ = trace_now_us();
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  ~TraceSpan() {
+    if (armed_) finish();
+  }
+
+ private:
+  void finish();
+
+  bool armed_;
+  std::string owned_name_;  // dynamic-name form
+  const char* name_;        // static-name form (nullptr when owned)
+  const char* category_;
+  double start_us_ = 0.0;
+};
+
+}  // namespace pf15::obs

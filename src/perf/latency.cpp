@@ -74,6 +74,7 @@ LatencySummary LatencyRecorder::summary() const {
   s.p50 = sorted_percentile(sorted, 0.50);
   s.p90 = sorted_percentile(sorted, 0.90);
   s.p99 = sorted_percentile(sorted, 0.99);
+  s.p999 = sorted_percentile(sorted, 0.999);
   return s;
 }
 

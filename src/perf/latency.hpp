@@ -21,6 +21,9 @@ struct LatencySummary {
   double p50 = 0.0;
   double p90 = 0.0;
   double p99 = 0.0;
+  /// The serving-front-door SLO percentile: meaningful once count is in
+  /// the thousands (below that, nearest-rank p999 degenerates to max).
+  double p999 = 0.0;
   double max = 0.0;
 };
 

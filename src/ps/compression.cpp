@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "common/errors.hpp"
+#include "obs/trace.hpp"
 
 namespace pf15::ps {
 
@@ -101,6 +102,9 @@ std::size_t encoded_bytes(Codec codec, std::size_t n) {
 
 std::vector<std::uint8_t> encode(Codec codec, std::span<const float> data,
                                  Rng& rng) {
+  // The paper's wire-compression cost, visible per gradient tensor when
+  // tracing: the "compress" phase of a hybrid training iteration.
+  obs::TraceSpan span("ps_encode", "hybrid");
   std::vector<std::uint8_t> out(encoded_bytes(codec, data.size()));
   switch (codec) {
     case Codec::kFp32:
@@ -145,6 +149,7 @@ std::vector<std::uint8_t> encode(Codec codec, std::span<const float> data,
 std::vector<float> decode(Codec codec,
                           std::span<const std::uint8_t> payload,
                           std::size_t n) {
+  obs::TraceSpan span("ps_decode", "hybrid");
   PF15_CHECK_MSG(payload.size() == encoded_bytes(codec, n),
                  "decode: payload size mismatch");
   std::vector<float> out(n);

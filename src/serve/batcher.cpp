@@ -1,8 +1,19 @@
 #include "serve/batcher.hpp"
 
+#include "obs/trace.hpp"
+
 namespace pf15::serve {
 
-DynamicBatcher::DynamicBatcher(const BatcherConfig& cfg) : cfg_(cfg) {
+DynamicBatcher::DynamicBatcher(const BatcherConfig& cfg)
+    : cfg_(cfg),
+      m_accepted_(obs::MetricsRegistry::global().counter(
+          "pf15_serve_accepted_total",
+          "requests accepted into the batcher queue")),
+      m_rejected_(obs::MetricsRegistry::global().counter(
+          "pf15_serve_rejected_total",
+          "requests refused by backpressure or shutdown")),
+      m_depth_(obs::MetricsRegistry::global().gauge(
+          "pf15_serve_queue_depth", "requests waiting in the batcher")) {
   PF15_CHECK_MSG(cfg_.max_batch >= 1,
                  "max_batch must be >= 1, got " << cfg_.max_batch);
   PF15_CHECK_MSG(cfg_.queue_capacity >= 1,
@@ -19,6 +30,11 @@ DynamicBatcher::~DynamicBatcher() {
   }
 }
 
+void DynamicBatcher::note_rejected() {
+  rejected_.fetch_add(1, std::memory_order_relaxed);
+  m_rejected_.add(1);
+}
+
 std::future<Tensor> DynamicBatcher::enqueue_locked(
     std::unique_lock<std::mutex>& lock, Tensor&& sample) {
   (void)lock;  // caller holds mutex_
@@ -27,6 +43,9 @@ std::future<Tensor> DynamicBatcher::enqueue_locked(
   req.enqueued = std::chrono::steady_clock::now();
   std::future<Tensor> fut = req.result.get_future();
   queue_.push_back(std::move(req));
+  accepted_.fetch_add(1, std::memory_order_relaxed);
+  m_accepted_.add(1);
+  m_depth_.set(static_cast<double>(queue_.size()));
   cv_not_empty_.notify_one();
   return fut;
 }
@@ -37,6 +56,7 @@ std::future<Tensor> DynamicBatcher::submit(Tensor sample) {
     return closed_ || queue_.size() < cfg_.queue_capacity;
   });
   if (closed_) {
+    note_rejected();
     throw ShutdownError("DynamicBatcher::submit: batcher is closed");
   }
   return enqueue_locked(lock, std::move(sample));
@@ -46,9 +66,13 @@ std::optional<std::future<Tensor>> DynamicBatcher::try_submit(
     Tensor sample) {
   std::unique_lock<std::mutex> lock(mutex_);
   if (closed_) {
+    note_rejected();
     throw ShutdownError("DynamicBatcher::try_submit: batcher is closed");
   }
-  if (queue_.size() >= cfg_.queue_capacity) return std::nullopt;
+  if (queue_.size() >= cfg_.queue_capacity) {
+    note_rejected();
+    return std::nullopt;
+  }
   return enqueue_locked(lock, std::move(sample));
 }
 
@@ -56,6 +80,10 @@ std::vector<Request> DynamicBatcher::next_batch() {
   std::unique_lock<std::mutex> lock(mutex_);
   cv_not_empty_.wait(lock, [&] { return closed_ || !queue_.empty(); });
   if (queue_.empty()) return {};  // closed and drained: worker exits
+
+  // The batch-formation span starts once a first request exists — the
+  // linger window, not the idle block above it.
+  obs::TraceSpan span("batch_form", "serve");
 
   std::vector<Request> batch;
   batch.reserve(cfg_.max_batch);
@@ -93,6 +121,7 @@ std::vector<Request> DynamicBatcher::next_batch() {
     queue_.pop_front();
   }
 
+  m_depth_.set(static_cast<double>(queue_.size()));
   cv_not_full_.notify_all();
   return batch;
 }

@@ -18,6 +18,7 @@
 // refused, already-queued requests are still drained by the workers.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstddef>
 #include <condition_variable>
@@ -28,6 +29,7 @@
 #include <vector>
 
 #include "common/errors.hpp"
+#include "obs/metrics.hpp"
 #include "tensor/tensor.hpp"
 
 namespace pf15::serve {
@@ -92,9 +94,22 @@ class DynamicBatcher {
   std::size_t capacity() const { return cfg_.queue_capacity; }
   const BatcherConfig& config() const { return cfg_; }
 
+  /// Requests this batcher turned away: try_submit() at capacity plus
+  /// submissions refused because the batcher was closed. Before this
+  /// counter, backpressure rejections were invisible — an overloaded
+  /// engine looked merely slow.
+  std::size_t rejected() const {
+    return rejected_.load(std::memory_order_relaxed);
+  }
+  /// Requests accepted into the queue over the batcher's lifetime.
+  std::size_t accepted() const {
+    return accepted_.load(std::memory_order_relaxed);
+  }
+
  private:
   std::future<Tensor> enqueue_locked(std::unique_lock<std::mutex>& lock,
                                      Tensor&& sample);
+  void note_rejected();
 
   BatcherConfig cfg_;
   mutable std::mutex mutex_;
@@ -102,6 +117,16 @@ class DynamicBatcher {
   std::condition_variable cv_not_full_;   // producers wait here
   std::deque<Request> queue_;
   bool closed_ = false;
+  std::atomic<std::size_t> rejected_{0};
+  std::atomic<std::size_t> accepted_{0};
+
+  // Registry instruments, hoisted at construction (creation takes the
+  // registry mutex; use never does). Process-wide by name: concurrent
+  // batchers share them, so the counters aggregate and the depth gauge
+  // reads whichever batcher moved last.
+  obs::Counter& m_accepted_;
+  obs::Counter& m_rejected_;
+  obs::Gauge& m_depth_;
 };
 
 }  // namespace pf15::serve

@@ -6,9 +6,38 @@
 #include <utility>
 
 #include "common/logging.hpp"
+#include "obs/trace.hpp"
 #include "serve/checkpoint.hpp"
 
 namespace pf15::serve {
+
+namespace {
+
+/// Seconds-domain duration buckets shared by the serving histograms:
+/// 10us .. ~80s, doubling.
+std::vector<double> duration_bounds() {
+  return obs::Histogram::exponential_bounds(1e-5, 2.0, 23);
+}
+
+obs::MetricsRegistry& reg() { return obs::MetricsRegistry::global(); }
+
+}  // namespace
+
+ServingEngine::Metrics::Metrics()
+    : requests(reg().counter("pf15_serve_requests_total",
+                             "requests completed")),
+      batches(reg().counter("pf15_serve_batches_total",
+                            "batched forwards executed")),
+      in_flight(reg().gauge("pf15_serve_in_flight",
+                            "requests accepted but not answered")),
+      batch_size(reg().histogram("pf15_serve_batch_size",
+                                 {1, 2, 4, 8, 16, 32, 64, 128, 256},
+                                 "coalesced batch sizes")),
+      queue_wait(reg().histogram("pf15_serve_queue_wait_seconds",
+                                 duration_bounds(),
+                                 "submit -> batch formation")),
+      latency(reg().histogram("pf15_serve_latency_seconds",
+                              duration_bounds(), "submit -> result")) {}
 
 ServingEngine::ServingEngine(ModelFactory factory, const EngineConfig& cfg)
     : cfg_(cfg), batcher_(cfg.batcher) {
@@ -117,7 +146,12 @@ std::future<Tensor> ServingEngine::submit(const Tensor& sample) {
                  "submit: sample shape " << sample.shape()
                                          << " != engine sample shape "
                                          << cfg_.sample_shape);
+  // The span covers the enqueue including any backpressure block — queue
+  // saturation shows up as long submit spans on producer threads.
+  obs::TraceSpan span("submit", "serve");
   std::future<Tensor> fut = batcher_.submit(sample.clone());
+  in_flight_.fetch_add(1, std::memory_order_relaxed);
+  metrics_.in_flight.add(1.0);
   note_submit();  // only requests the batcher accepted count for throughput
   return fut;
 }
@@ -130,7 +164,11 @@ std::optional<std::future<Tensor>> ServingEngine::try_submit(
                                              << cfg_.sample_shape);
   std::optional<std::future<Tensor>> fut =
       batcher_.try_submit(sample.clone());
-  if (fut.has_value()) note_submit();
+  if (fut.has_value()) {
+    in_flight_.fetch_add(1, std::memory_order_relaxed);
+    metrics_.in_flight.add(1.0);
+    note_submit();
+  }
   return fut;
 }
 
@@ -145,7 +183,32 @@ void ServingEngine::worker_loop(std::size_t replica_index) {
 void ServingEngine::serve_batch(std::size_t replica_index,
                                 std::vector<Request>&& batch) {
   const std::size_t n = batch.size();
+  bool counted_done = false;
   try {
+    // Queue wait per request (enqueue -> this batch forming), recorded on
+    // the worker's track: the tracer accepts explicit (ts, dur) so the
+    // cross-thread interval shows up even though no single thread spans
+    // it.
+    if (obs::trace_enabled()) {
+      const double now_us = obs::trace_now_us();
+      const auto now = std::chrono::steady_clock::now();
+      for (const Request& req : batch) {
+        const double wait_us =
+            std::chrono::duration<double, std::micro>(now - req.enqueued)
+                .count();
+        obs::trace_record("queue_wait", "serve", now_us - wait_us, wait_us);
+      }
+    }
+    {
+      const auto formed = std::chrono::steady_clock::now();
+      for (const Request& req : batch) {
+        metrics_.queue_wait.observe(
+            std::chrono::duration<double>(formed - req.enqueued).count());
+      }
+    }
+    metrics_.batch_size.observe(static_cast<double>(n));
+
+    obs::TraceSpan exec_span("replica_execute", "serve");
     std::vector<const Tensor*> inputs;
     inputs.reserve(n);
     for (const auto& req : batch) inputs.push_back(&req.input);
@@ -162,22 +225,37 @@ void ServingEngine::serve_batch(std::size_t replica_index,
     // from future.get() and immediately reads stats() must see this batch.
     const auto done = std::chrono::steady_clock::now();
     for (std::size_t i = 0; i < n; ++i) {
-      latency_.record(
-          std::chrono::duration<double>(done - batch[i].enqueued).count());
+      const double seconds =
+          std::chrono::duration<double>(done - batch[i].enqueued).count();
+      latency_.record(seconds);
+      metrics_.latency.observe(seconds);
     }
     requests_completed_.fetch_add(n, std::memory_order_relaxed);
     batches_.fetch_add(1, std::memory_order_relaxed);
+    in_flight_.fetch_sub(n, std::memory_order_relaxed);
+    counted_done = true;
+    metrics_.requests.add(n);
+    metrics_.batches.add(1);
+    metrics_.in_flight.add(-static_cast<double>(n));
     {
       std::lock_guard<std::mutex> lock(stats_mutex_);
       last_completion_ = done;
     }
 
+    obs::TraceSpan respond_span("respond", "serve");
     for (std::size_t i = 0; i < n; ++i) {
       batch[i].result.set_value(extract_sample(out, i));
     }
   } catch (...) {
     // A failed batch fails each of its requests, not the engine: the
     // exception propagates through every future, workers keep serving.
+    // Failed requests are answered (with an exception), so they leave
+    // the in-flight count too — unless the success path already took
+    // them out before the failure.
+    if (!counted_done) {
+      in_flight_.fetch_sub(n, std::memory_order_relaxed);
+      metrics_.in_flight.add(-static_cast<double>(n));
+    }
     const std::exception_ptr err = std::current_exception();
     for (auto& req : batch) {
       try {
@@ -206,6 +284,9 @@ ServingStats ServingEngine::stats() const {
                       static_cast<double>(s.batches)
                 : 0.0;
   s.latency = latency_.summary();
+  s.rejected = batcher_.rejected();
+  s.queue_depth = batcher_.depth();
+  s.in_flight = in_flight_.load(std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);
     if (saw_first_submit_ && s.requests > 0) {

@@ -30,6 +30,7 @@
 #include "common/thread_pool.hpp"
 #include "graph/compiled_plan.hpp"
 #include "nn/network.hpp"
+#include "obs/metrics.hpp"
 #include "perf/latency.hpp"
 #include "serve/batcher.hpp"
 
@@ -59,13 +60,22 @@ struct EngineConfig {
   bool compiled_parallel = true;
 };
 
-/// Point-in-time serving metrics (percentiles via perf::LatencyRecorder).
+/// Point-in-time serving metrics (percentiles via perf::LatencyRecorder,
+/// p50/p90/p99/p999). The counters mirror the process-wide metrics
+/// registry (pf15_serve_*), which benches and examples dump wholesale.
 struct ServingStats {
   std::size_t requests = 0;  // completed requests
   std::size_t batches = 0;   // batched forwards executed
   double mean_batch_size = 0.0;
   perf::LatencySummary latency;  // submit -> result, seconds
   double throughput_rps = 0.0;   // completed / (last completion - first submit)
+  /// Requests the batcher turned away (try_submit at capacity, or any
+  /// submission after shutdown began).
+  std::size_t rejected = 0;
+  /// Requests waiting in the batcher right now (sampled).
+  std::size_t queue_depth = 0;
+  /// Requests accepted but not yet answered (queued + being served).
+  std::size_t in_flight = 0;
 };
 
 class ServingEngine {
@@ -140,10 +150,24 @@ class ServingEngine {
   perf::LatencyRecorder latency_;
   std::atomic<std::size_t> requests_completed_{0};
   std::atomic<std::size_t> batches_{0};
+  std::atomic<std::size_t> in_flight_{0};
   mutable std::mutex stats_mutex_;
   bool saw_first_submit_ = false;
   std::chrono::steady_clock::time_point first_submit_;
   std::chrono::steady_clock::time_point last_completion_;
+
+  // Registry instruments (process-wide by name; hoisted once at
+  // construction so the hot path never touches the registry mutex).
+  struct Metrics {
+    Metrics();
+    obs::Counter& requests;
+    obs::Counter& batches;
+    obs::Gauge& in_flight;
+    obs::Histogram& batch_size;
+    obs::Histogram& queue_wait;
+    obs::Histogram& latency;
+  };
+  Metrics metrics_;
 };
 
 }  // namespace pf15::serve

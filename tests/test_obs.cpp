@@ -1,0 +1,313 @@
+// Observability layer: metrics registry exactness under concurrency,
+// exposition formats, and the span tracer's chrome://tracing output.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "check_failure.hpp"
+#include "common/errors.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "perf/json.hpp"
+
+namespace pf15::obs {
+namespace {
+
+// ---- counters / gauges / histograms ----------------------------------------
+
+TEST(Counter, ExactUnderConcurrency) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("test_total");
+  constexpr int kThreads = 8;
+  constexpr int kAdds = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kAdds; ++i) c.add();
+    });
+  }
+  for (auto& t : threads) t.join();
+  // Sharded atomics must never lose an increment.
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kAdds);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Gauge, SetAddAndBalancedConcurrentDeltas) {
+  MetricsRegistry reg;
+  Gauge& g = reg.gauge("test_gauge");
+  g.set(5.0);
+  EXPECT_DOUBLE_EQ(g.value(), 5.0);
+  g.add(-2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+
+  // Balanced +1/-1 from many threads: the CAS loop loses nothing, so the
+  // gauge returns exactly to its starting point.
+  g.set(0.0);
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&g] {
+      for (int i = 0; i < kRounds; ++i) {
+        g.add(1.0);
+        g.add(-1.0);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(Histogram, BucketBoundariesAreInclusive) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("test_hist", {1.0, 10.0, 100.0});
+  h.observe(0.5);    // <= 1
+  h.observe(1.0);    // <= 1 (inclusive upper bound)
+  h.observe(7.0);    // <= 10
+  h.observe(100.0);  // <= 100
+  h.observe(1e6);    // +inf bucket
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.cumulative(0), 2u);  // le=1
+  EXPECT_EQ(h.cumulative(1), 3u);  // le=10
+  EXPECT_EQ(h.cumulative(2), 4u);  // le=100
+  EXPECT_EQ(h.cumulative(3), 5u);  // le=+inf == count
+  EXPECT_NEAR(h.sum(), 0.5 + 1.0 + 7.0 + 100.0 + 1e6, 1e-9);
+  EXPECT_NEAR(h.mean(), h.sum() / 5.0, 1e-12);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+}
+
+TEST(Histogram, ExactCountUnderConcurrency) {
+  MetricsRegistry reg;
+  Histogram& h =
+      reg.histogram("test_hist_mt", Histogram::exponential_bounds(1.0, 2.0, 8));
+  constexpr int kThreads = 8;
+  constexpr int kObs = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kObs; ++i) {
+        h.observe(static_cast<double>((t * kObs + i) % 300));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) * kObs);
+  // The +inf cumulative equals the total, whatever the interleaving.
+  EXPECT_EQ(h.cumulative(h.bounds().size()), h.count());
+}
+
+TEST(Histogram, ExponentialBoundsGrowGeometrically) {
+  const auto b = Histogram::exponential_bounds(1e-3, 10.0, 4);
+  ASSERT_EQ(b.size(), 4u);
+  EXPECT_NEAR(b[0], 1e-3, 1e-12);
+  EXPECT_NEAR(b[1], 1e-2, 1e-12);
+  EXPECT_NEAR(b[2], 1e-1, 1e-12);
+  EXPECT_NEAR(b[3], 1.0, 1e-12);
+}
+
+// ---- registry ---------------------------------------------------------------
+
+TEST(MetricsRegistry, SameNameReturnsSameInstrument) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("dup_total", "first registration wins");
+  Counter& b = reg.counter("dup_total", "ignored");
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  EXPECT_EQ(b.value(), 3u);
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(MetricsRegistry, KindMismatchThrows) {
+  MetricsRegistry reg;
+  reg.counter("kinded");
+  EXPECT_THROW(reg.gauge("kinded"), ConfigError);
+  EXPECT_THROW(reg.histogram("kinded", {1.0}), ConfigError);
+}
+
+TEST(MetricsRegistry, RejectsInvalidNames) {
+  MetricsRegistry reg;
+  PF15_EXPECT_CHECK_FAIL(reg.counter("has space"), "invalid metric name");
+  PF15_EXPECT_CHECK_FAIL(reg.counter(""), "invalid metric name");
+  PF15_EXPECT_CHECK_FAIL(reg.counter("1starts_with_digit"),
+                         "invalid metric name");
+}
+
+TEST(MetricsRegistry, RegistrationRacesYieldOneInstrument) {
+  MetricsRegistry reg;
+  constexpr int kThreads = 8;
+  std::vector<Counter*> seen(kThreads, nullptr);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg, &seen, t] {
+      Counter& c = reg.counter("raced_total");
+      c.add();
+      seen[static_cast<std::size_t>(t)] = &c;
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int t = 1; t < kThreads; ++t) EXPECT_EQ(seen[0], seen[t]);
+  EXPECT_EQ(seen[0]->value(), static_cast<std::uint64_t>(kThreads));
+}
+
+TEST(MetricsRegistry, PrometheusTextExposition) {
+  MetricsRegistry reg;
+  reg.counter("prom_total", "a counter").add(7);
+  reg.gauge("prom_depth", "a gauge").set(3.0);
+  reg.histogram("prom_seconds", {1.0, 10.0}, "a histogram").observe(0.5);
+  const std::string text = reg.prometheus_text();
+  EXPECT_NE(text.find("# HELP prom_total a counter"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE prom_total counter"), std::string::npos);
+  EXPECT_NE(text.find("prom_total 7"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE prom_depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE prom_seconds histogram"), std::string::npos);
+  EXPECT_NE(text.find("prom_seconds_bucket{le=\"1\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("prom_seconds_bucket{le=\"+Inf\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("prom_seconds_count 1"), std::string::npos);
+}
+
+TEST(MetricsRegistry, JsonSnapshotRoundTrips) {
+  MetricsRegistry reg;
+  reg.counter("json_total").add(11);
+  reg.gauge("json_gauge").set(-2.5);
+  reg.histogram("json_hist", {1.0, 2.0}).observe(1.5);
+  // The snapshot must survive its own serializer: dump -> parse -> read.
+  const perf::Json parsed = perf::Json::parse(reg.to_json().dump());
+  EXPECT_DOUBLE_EQ(parsed.get("json_total").as_number(), 11.0);
+  EXPECT_DOUBLE_EQ(parsed.get("json_gauge").as_number(), -2.5);
+  const perf::Json& hist = parsed.get("json_hist");
+  EXPECT_DOUBLE_EQ(hist.get("count").as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(hist.get("sum").as_number(), 1.5);
+  // Finite buckets only; the +inf total is the `count` field.
+  const perf::Json& buckets = hist.get("buckets");
+  ASSERT_EQ(buckets.size(), 2u);
+  EXPECT_DOUBLE_EQ(buckets.at(1).get("le").as_number(), 2.0);
+  EXPECT_DOUBLE_EQ(buckets.at(1).get("count").as_number(), 1.0);
+}
+
+TEST(MetricsRegistry, GlobalIsASingletonAndResetAllZeroes) {
+  Counter& c = MetricsRegistry::global().counter("test_global_total");
+  EXPECT_EQ(&c, &MetricsRegistry::global().counter("test_global_total"));
+  c.add(5);
+  MetricsRegistry::global().reset_all();
+  EXPECT_EQ(c.value(), 0u);  // the reference stays valid after reset
+}
+
+// ---- tracer -----------------------------------------------------------------
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (std::filesystem::temp_directory_path() /
+             "pf15_trace_test.json")
+                .string();
+    trace_clear();
+    trace_enable(path_);
+  }
+  void TearDown() override {
+    trace_disable();
+    trace_clear();
+    std::filesystem::remove(path_);
+  }
+  std::string path_;
+};
+
+TEST_F(TraceTest, SpansFromManyThreadsFlushWellFormed) {
+  constexpr int kThreads = 4;
+  constexpr int kSpansPerThread = 8;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        TraceSpan span("worker" + std::to_string(t), "test");
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  {
+    TraceSpan outer("outer", "test");
+    TraceSpan inner("inner", "test");
+  }
+  trace_flush();
+
+  const perf::Json doc = perf::Json::read_file(path_);
+  const perf::Json& events = doc.get("traceEvents");
+  ASSERT_TRUE(events.is_array());
+  EXPECT_EQ(events.size(),
+            static_cast<std::size_t>(kThreads) * kSpansPerThread + 2);
+
+  double prev_ts = -1.0;
+  std::set<std::string> worker_names;
+  std::set<double> worker_tids;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const perf::Json& e = events.at(i);
+    // Every event is a complete ("X") span with the full field set.
+    EXPECT_EQ(e.get("ph").as_string(), "X");
+    EXPECT_FALSE(e.get("name").as_string().empty());
+    EXPECT_EQ(e.get("cat").as_string(), "test");
+    EXPECT_DOUBLE_EQ(e.get("pid").as_number(), 1.0);
+    EXPECT_GE(e.get("tid").as_number(), 1.0);
+    EXPECT_GE(e.get("dur").as_number(), 0.0);
+    // Flush sorts by start time.
+    const double ts = e.get("ts").as_number();
+    EXPECT_GE(ts, prev_ts);
+    prev_ts = ts;
+    const std::string& name = e.get("name").as_string();
+    if (name.rfind("worker", 0) == 0) {
+      worker_names.insert(name);
+      worker_tids.insert(e.get("tid").as_number());
+    }
+  }
+  // Each spawned thread recorded under its own name and its own tid.
+  EXPECT_EQ(worker_names.size(), static_cast<std::size_t>(kThreads));
+  EXPECT_EQ(worker_tids.size(), static_cast<std::size_t>(kThreads));
+}
+
+TEST_F(TraceTest, ExplicitRecordAndDumpMatchFlush) {
+  trace_record("manual", "test", 100.0, 25.0);
+  const perf::Json doc = perf::Json::parse(trace_dump());
+  const perf::Json& events = doc.get("traceEvents");
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events.at(0).get("name").as_string(), "manual");
+  EXPECT_DOUBLE_EQ(events.at(0).get("ts").as_number(), 100.0);
+  EXPECT_DOUBLE_EQ(events.at(0).get("dur").as_number(), 25.0);
+}
+
+TEST_F(TraceTest, DisableStopsRecordingResumeRestartsIt) {
+  { TraceSpan span("before", "test"); }
+  trace_disable();
+  EXPECT_FALSE(trace_enabled());
+  { TraceSpan span("while_off", "test"); }
+  trace_resume();
+  EXPECT_TRUE(trace_enabled());
+  { TraceSpan span("after", "test"); }
+  const perf::Json doc = perf::Json::parse(trace_dump());
+  const perf::Json& events = doc.get("traceEvents");
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events.at(0).get("name").as_string(), "before");
+  EXPECT_EQ(events.at(1).get("name").as_string(), "after");
+}
+
+TEST_F(TraceTest, RingOverflowDropsOldestAndCounts) {
+  // One thread, more spans than the ring holds: tracing must degrade by
+  // forgetting the oldest spans, never by failing or growing unbounded.
+  constexpr std::uint64_t kSpans = (1u << 16) + 500;
+  for (std::uint64_t i = 0; i < kSpans; ++i) {
+    TraceSpan span("hot", "test");
+  }
+  EXPECT_GE(trace_dropped_count(), 500u);
+  const perf::Json doc = perf::Json::parse(trace_dump());
+  EXPECT_LE(doc.get("traceEvents").size(), std::size_t{1} << 16);
+}
+
+}  // namespace
+}  // namespace pf15::obs

@@ -340,11 +340,18 @@ TEST(Batcher, BackpressureBoundsTheQueue) {
   }
   EXPECT_EQ(batcher.depth(), 4u);
   EXPECT_FALSE(batcher.try_submit(Tensor(Shape{1})).has_value());
+  // The shed request shows up in the rejection counter; the four queued
+  // ones in the acceptance counter.
+  EXPECT_EQ(batcher.rejected(), 1u);
+  EXPECT_EQ(batcher.accepted(), 4u);
 
   // Draining a batch frees capacity again.
   auto batch = batcher.next_batch();
   EXPECT_EQ(batch.size(), 2u);
   EXPECT_TRUE(batcher.try_submit(Tensor(Shape{1})).has_value());
+  EXPECT_EQ(batcher.accepted(), 5u);
+  EXPECT_EQ(batcher.rejected(), 1u);
+  EXPECT_EQ(batcher.depth(), 3u);
 
   // Clean up outstanding promises.
   for (auto& req : batch) req.result.set_value(Tensor(Shape{1}));
@@ -513,8 +520,20 @@ TEST(LatencyRecorder, NearestRankPercentiles) {
   EXPECT_EQ(s.count, 100u);
   EXPECT_DOUBLE_EQ(s.p50, 50.0);
   EXPECT_DOUBLE_EQ(s.p99, 99.0);
+  // Nearest-rank p999 over only 100 samples degenerates to the max.
+  EXPECT_DOUBLE_EQ(s.p999, 100.0);
   EXPECT_DOUBLE_EQ(s.max, 100.0);
   EXPECT_NEAR(s.mean, 50.5, 1e-12);
+}
+
+TEST(LatencyRecorder, P999ResolvesWithEnoughSamples) {
+  perf::LatencyRecorder rec;
+  for (int i = 1; i <= 1000; ++i) rec.record(static_cast<double>(i));
+  const auto s = rec.summary();
+  // ceil(0.999 * 1000) = 999th order statistic: one below the max.
+  EXPECT_DOUBLE_EQ(s.p999, 999.0);
+  EXPECT_DOUBLE_EQ(s.max, 1000.0);
+  EXPECT_LE(s.p99, s.p999);
 }
 
 TEST(LatencyRecorder, BoundedReservoirKeepsExactCountMeanMax) {
@@ -585,7 +604,13 @@ TEST(ServingEngine, BatchedResultsMatchUnbatchedInference) {
   EXPECT_GE(stats.mean_batch_size, 1.0);
   EXPECT_EQ(stats.latency.count, static_cast<std::size_t>(kRequests));
   EXPECT_LE(stats.latency.p50, stats.latency.p99);
+  EXPECT_LE(stats.latency.p99, stats.latency.p999);
   EXPECT_GT(stats.throughput_rps, 0.0);
+  // Every future resolved before stats(): nothing queued, nothing in
+  // flight, and blocking submit never sheds load.
+  EXPECT_EQ(stats.rejected, 0u);
+  EXPECT_EQ(stats.queue_depth, 0u);
+  EXPECT_EQ(stats.in_flight, 0u);
 }
 
 TEST(ServingEngine, ServesFromCheckpointFile) {
