@@ -31,9 +31,15 @@
 // loop is timed A/B with recording toggled off/on and the ratio goes into
 // the summary.
 //
+// With --validate every compiled graph (and its arena plan) is run
+// through the static verifier (graph/validate.hpp) after all passes; any
+// diagnostic is printed and the bench exits 7 — the verify.sh hook for
+// "a pass or the planner broke an IR invariant". Combine with
+// --plans-only for a fast structural check that skips all timing.
+//
 // Usage: bench_graph_compile [--json PATH] [--reps N] [--batch N]
 //                            [--cache PATH] [--plans-only] [--require-warm]
-//                            [--trace PATH]
+//                            [--trace PATH] [--validate]
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -45,6 +51,7 @@
 #include "common/timer.hpp"
 #include "gemm/conv_backend.hpp"
 #include "graph/compiled_plan.hpp"
+#include "graph/validate.hpp"
 #include "nn/climate_net.hpp"
 #include "nn/hep_model.hpp"
 #include "nn/residual.hpp"
@@ -76,6 +83,23 @@ std::pair<double, double> time_min_pair(std::size_t reps, const A& a,
     if (i == 0 || sb < best_b) best_b = sb;
   }
   return {best_a, best_b};
+}
+
+/// --validate support: run the static verifier over a finished plan's
+/// graph + arena; prints every diagnostic and returns the count.
+std::size_t validate_plan(const graph::CompiledPlan& plan,
+                          const std::string& name) {
+  graph::ValidateOptions vopt;
+  vopt.arena = &plan.arena_plan();
+  const auto diags = graph::validate(plan.graph(), vopt);
+  if (!diags.empty()) {
+    std::fprintf(stderr, "VALIDATE %s: %zu findings\n%s\n", name.c_str(),
+                 diags.size(), graph::render(diags).c_str());
+  } else {
+    std::printf("validate %s: clean (%zu nodes)\n", name.c_str(),
+                plan.graph().nodes.size());
+  }
+  return diags.size();
 }
 
 struct ModelResult {
@@ -149,6 +173,7 @@ int main(int argc, char** argv) {
   std::size_t reps = 5;
   bool plans_only = false;
   bool require_warm = false;
+  bool do_validate = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
@@ -165,11 +190,13 @@ int main(int argc, char** argv) {
       require_warm = true;
     } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--validate") == 0) {
+      do_validate = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--json PATH] [--reps N] [--batch N] "
                    "[--cache PATH] [--plans-only] [--require-warm] "
-                   "[--trace PATH]\n",
+                   "[--trace PATH] [--validate]\n",
                    argv[0]);
       return 2;
     }
@@ -194,6 +221,7 @@ int main(int argc, char** argv) {
   copt.max_batch = batch;
 
   std::vector<ModelResult> results;
+  std::size_t validate_findings = 0;
   Rng rng(0x96af);
   // Tracer overhead on the smallest model: enabled-vs-disabled ratio of
   // the compiled loop (1.0 = free; measured only under --trace).
@@ -222,6 +250,7 @@ int main(int argc, char** argv) {
     ModelResult r;
     r.name = hc.name;
     graph::CompiledPlan plan = graph::compile(net, sample, copt);
+    if (do_validate) validate_findings += validate_plan(plan, r.name);
     r.report = plan.report();
     r.arena_bytes = plan.arena_bytes(batch);
     r.eager_bytes = plan.eager_activation_bytes(batch);
@@ -269,6 +298,7 @@ int main(int argc, char** argv) {
     ModelResult r;
     r.name = "resnet_hep";
     graph::CompiledPlan plan = graph::compile(net, sample, copt);
+    if (do_validate) validate_findings += validate_plan(plan, r.name);
     r.report = plan.report();
     r.arena_bytes = plan.arena_bytes(batch);
     r.eager_bytes = plan.eager_activation_bytes(batch);
@@ -294,6 +324,7 @@ int main(int argc, char** argv) {
     ModelResult r;
     r.name = "climate_scaled";
     graph::CompiledPlan plan = graph::compile(net, copt);
+    if (do_validate) validate_findings += validate_plan(plan, r.name);
     r.report = plan.report();
     r.arena_bytes = plan.arena_bytes(batch);
     r.eager_bytes = plan.eager_activation_bytes(batch);
@@ -303,6 +334,9 @@ int main(int argc, char** argv) {
     serial_opt.parallel_levels = false;
     serial_opt.pretune = false;  // the first compile already tuned
     graph::CompiledPlan serial_plan = graph::compile(net, serial_opt);
+    if (do_validate) {
+      validate_findings += validate_plan(serial_plan, "climate_serial");
+    }
     if (!plans_only) {
       Tensor input(Shape{batch, cfg.channels, cfg.image, cfg.image});
       input.fill_uniform(rng, -1.0f, 1.0f);
@@ -383,6 +417,9 @@ int main(int argc, char** argv) {
   if (trace_overhead_ratio > 0.0) {
     summary.set("trace_overhead_ratio", trace_overhead_ratio);
   }
+  if (do_validate) {
+    summary.set("validate_findings", validate_findings);
+  }
   record.set("summary", std::move(summary));
   // A --plans-only run carries no timings: never let it clobber the
   // tracked default record with zeroed rows unless --json asked for it.
@@ -448,6 +485,13 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Static-verifier acceptance: any IR/arena invariant violation in a
+  // shipped capture path is a compiler bug, never timing noise.
+  if (do_validate && validate_findings > 0) {
+    std::fprintf(stderr, "FAIL: graph validation found %zu problems\n",
+                 validate_findings);
+    return 7;
+  }
   // Warm-start acceptance is a correctness property of the plan cache +
   // checkpoint pipeline, not a timing: it fails hard.
   if (require_warm && first_sight_tunes > 0) {

@@ -9,12 +9,96 @@
 # path — forward AND backward, per-image and batched — into
 # BENCH_conv_backends.json at the repo root (diff it PR over PR), then a
 # second run proves the persisted plan cache warm-starts: zero first-sight
-# tunes, enforced by the bench's exit code.
+# tunes, enforced by the bench's exit code. The graph bench additionally
+# runs the static IR verifier over every compiled model (--validate,
+# exit 7 = an optimization pass or the arena planner broke an invariant).
+#
+# Correctness-tooling lanes (each replaces the default run):
+#   --sanitize=asan   rebuild with ASan+UBSan, run the full test suite
+#   --sanitize=tsan   rebuild with TSan, run the concurrency-heavy suites
+#   --wthread-safety  clang -Wthread-safety -Werror over the annotated
+#                     concurrency tier (skips loudly if clang is absent)
+#   --lint            clang-tidy via scripts/lint.sh (skips loudly if
+#                     clang-tidy is absent)
+# Exit codes: 1 timing-noise warning (non-fatal), 3 cold warm-start,
+# 4 residual capture regression, 5 missing trace spans, 6 counter
+# inconsistency, 7 graph validation failure, 8 sanitizer lane failure.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 jobs="$(nproc 2>/dev/null || echo 2)"
+
+sanitize=""
+for arg in "$@"; do
+  case "$arg" in
+    --sanitize=asan|--sanitize=tsan) sanitize="${arg#--sanitize=}" ;;
+    --wthread-safety)
+      # Tentpole lane: the annotated locking discipline (src/common/
+      # thread_annotations.hpp) is only machine-checked by clang's
+      # -Wthread-safety analysis; gcc compiles the annotations to
+      # nothing. Build the library alone — the analysis is per-TU, the
+      # tests add nothing.
+      if ! command -v clang++ >/dev/null 2>&1; then
+        echo "NOTE: clang++ not installed — the -Wthread-safety lane did NOT run." >&2
+        echo "NOTE: the annotations compile to no-ops under gcc; install clang to check them." >&2
+        exit 0
+      fi
+      cmake -B build-wts -S . -DCMAKE_CXX_COMPILER=clang++ \
+            -DCMAKE_CXX_FLAGS="-Wthread-safety -Werror=thread-safety"
+      cmake --build build-wts -j"$jobs" --target pf15
+      echo "clang -Wthread-safety -Werror: clean"
+      exit 0
+      ;;
+    --lint)
+      exec scripts/lint.sh
+      ;;
+    *)
+      echo "usage: $0 [--sanitize=asan|tsan] [--wthread-safety] [--lint]" >&2
+      exit 2
+      ;;
+  esac
+done
+
+if [ -n "$sanitize" ]; then
+  # Sanitizer lanes build into their own trees (the flags poison every
+  # object) and gate on a runtime probe first: a container with the
+  # compiler but not the sanitizer runtimes skips loudly instead of
+  # failing on a missing libasan/libtsan.
+  case "$sanitize" in
+    asan) san_cfg=address ;;
+    tsan) san_cfg=thread ;;
+  esac
+  probe_dir="$(mktemp -d)"
+  trap 'rm -rf "$probe_dir"' EXIT
+  echo 'int main() { return 0; }' > "$probe_dir/probe.cpp"
+  san_flag="-fsanitize=$([ "$san_cfg" = address ] && echo address,undefined || echo thread)"
+  if ! c++ $san_flag "$probe_dir/probe.cpp" -o "$probe_dir/probe" 2>/dev/null \
+      || ! "$probe_dir/probe"; then
+    echo "NOTE: toolchain cannot build+run $san_flag — the $sanitize lane did NOT run." >&2
+    exit 0
+  fi
+  build_dir="build-$sanitize"
+  cmake -B "$build_dir" -S . -DPF15_SANITIZE="$san_cfg" -DPF15_WERROR=ON
+  cmake --build "$build_dir" -j"$jobs"
+  if [ "$sanitize" = asan ]; then
+    # Everything runs under ASan+UBSan; halt_on_error is the ASan
+    # default and UBSan is built no-recover, so any finding fails ctest.
+    (cd "$build_dir" && \
+     ASAN_OPTIONS=detect_leaks=1 ctest --output-on-failure -j"$jobs") \
+        || { echo "FAIL: ASan/UBSan lane found problems" >&2; exit 8; }
+  else
+    # TSan at ~5-15x slowdown: run the concurrency-heavy suites — the
+    # serving stack, observability, the pool, the parallel graph
+    # executor, hybrid parallelism, comm and the parameter server.
+    (cd "$build_dir" && \
+     TSAN_OPTIONS=halt_on_error=1 ctest --output-on-failure -j"$jobs" -R \
+        'test_(serve|obs|common|graph|graph_validate|hybrid|comm|ps|conv_backend)$') \
+        || { echo "FAIL: TSan lane found problems" >&2; exit 8; }
+  fi
+  echo "$sanitize lane clean: zero findings"
+  exit 0
+fi
 cmake -B build -S . -DPF15_WERROR=ON
 cmake --build build -j"$jobs"
 (cd build && ctest --output-on-failure -j"$jobs")
@@ -61,12 +145,16 @@ rm -f "$graph_cache" "$graph_trace"
 rc=0
 PF15_CONV_PLAN_CACHE=off ./build/bench_graph_compile \
     --json BENCH_graph_compile.json --batch 8 --cache "$graph_cache" \
-    --trace "$graph_trace" || rc=$?
+    --trace "$graph_trace" --validate || rc=$?
 if [ "$rc" -eq 1 ]; then
   echo "WARNING: bench_graph_compile perf acceptance not met on this machine (timing noise?)" >&2
+elif [ "$rc" -eq 7 ]; then
+  echo "FAIL: static graph verifier found broken IR invariants (see diagnostics above)" >&2
+  exit 7
 elif [ "$rc" -ne 0 ]; then
   exit "$rc"
 fi
+echo "static graph verifier: every compiled model validated clean"
 if ! grep -Eq '"name":"level[0-9]+","cat":"graph"' "$graph_trace"; then
   echo "FAIL: trace $graph_trace is missing per-level executor spans" >&2
   exit 5

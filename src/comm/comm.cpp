@@ -2,14 +2,13 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <map>
-#include <mutex>
 #include <thread>
 #include <tuple>
 
 #include "common/errors.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace pf15::comm {
 
@@ -35,7 +34,7 @@ class Context {
             int tag, std::vector<float> payload) {
     Mailbox& box = mailboxes_[static_cast<std::size_t>(dst_world)];
     {
-      std::lock_guard<std::mutex> lock(box.mutex);
+      MutexLock lock(box.mutex);
       box.queues[{comm_id, src_comm_rank, tag}].push_back(
           std::move(payload));
     }
@@ -45,13 +44,14 @@ class Context {
   std::vector<float> take(int dst_world, std::uint64_t comm_id,
                           int src_comm_rank, int tag) {
     Mailbox& box = mailboxes_[static_cast<std::size_t>(dst_world)];
-    std::unique_lock<std::mutex> lock(box.mutex);
+    UniqueLock lock(box.mutex);
     const Key key{comm_id, src_comm_rank, tag};
-    box.cv.wait(lock, [&] {
-      if (aborted()) return true;
-      auto it = box.queues.find(key);
-      return it != box.queues.end() && !it->second.empty();
-    });
+    for (;;) {
+      if (aborted()) break;
+      auto ready = box.queues.find(key);
+      if (ready != box.queues.end() && !ready->second.empty()) break;
+      box.cv.wait(lock);
+    }
     auto it = box.queues.find(key);
     if (it == box.queues.end() || it->second.empty()) {
       throw AbortedError("recv interrupted: cluster aborted by a peer");
@@ -65,14 +65,14 @@ class Context {
   bool peek(int dst_world, std::uint64_t comm_id, int src_comm_rank,
             int tag) {
     Mailbox& box = mailboxes_[static_cast<std::size_t>(dst_world)];
-    std::lock_guard<std::mutex> lock(box.mutex);
+    MutexLock lock(box.mutex);
     auto it = box.queues.find({comm_id, src_comm_rank, tag});
     return it != box.queues.end() && !it->second.empty();
   }
 
   /// Sense-reversing barrier keyed by communicator.
   void barrier(std::uint64_t comm_id, int comm_size) {
-    std::unique_lock<std::mutex> lock(barrier_mutex_);
+    UniqueLock lock(barrier_mutex_);
     BarrierState& b = barriers_[comm_id];
     const std::uint64_t my_generation = b.generation;
     if (++b.arrived == comm_size) {
@@ -80,9 +80,9 @@ class Context {
       ++b.generation;
       barrier_cv_.notify_all();
     } else {
-      barrier_cv_.wait(lock, [&] {
-        return aborted() || b.generation != my_generation;
-      });
+      while (!aborted() && b.generation == my_generation) {
+        barrier_cv_.wait(lock);
+      }
       if (b.generation == my_generation) {
         throw AbortedError("barrier interrupted: cluster aborted by a peer");
       }
@@ -100,7 +100,7 @@ class Context {
 
   SplitResult split(std::uint64_t parent_comm, std::uint64_t sequence,
                     int parent_size, int world_rank, int color, int key) {
-    std::unique_lock<std::mutex> lock(split_mutex_);
+    UniqueLock lock(split_mutex_);
     SplitTable& table = splits_[{parent_comm, sequence}];
     table.entries.push_back({world_rank, color, key});
     if (static_cast<int>(table.entries.size()) == parent_size) {
@@ -136,7 +136,7 @@ class Context {
       table.ready = true;
       split_cv_.notify_all();
     } else {
-      split_cv_.wait(lock, [&] { return aborted() || table.ready; });
+      while (!aborted() && !table.ready) split_cv_.wait(lock);
       if (!table.ready) {
         throw AbortedError("split interrupted: cluster aborted by a peer");
       }
@@ -153,15 +153,15 @@ class Context {
   void abort_job() {
     aborted_.store(true, std::memory_order_release);
     for (int i = 0; i < world_size_; ++i) {
-      std::lock_guard<std::mutex> lock(mailboxes_[i].mutex);
+      MutexLock lock(mailboxes_[i].mutex);
       mailboxes_[i].cv.notify_all();
     }
     {
-      std::lock_guard<std::mutex> lock(barrier_mutex_);
+      MutexLock lock(barrier_mutex_);
       barrier_cv_.notify_all();
     }
     {
-      std::lock_guard<std::mutex> lock(split_mutex_);
+      MutexLock lock(split_mutex_);
       split_cv_.notify_all();
     }
   }
@@ -173,7 +173,7 @@ class Context {
   /// in the same (comm, n) negotiation table; a shared counter would hand
   /// concurrent callers distinct sequences and deadlock the negotiation.
   std::uint64_t next_split_sequence(std::uint64_t comm_id, int world_rank) {
-    std::lock_guard<std::mutex> lock(split_mutex_);
+    MutexLock lock(split_mutex_);
     return split_sequences_[{comm_id, world_rank}]++;
   }
 
@@ -181,9 +181,10 @@ class Context {
   using Key = std::tuple<std::uint64_t, int, int>;  // comm, src, tag
 
   struct Mailbox {
-    std::mutex mutex;
-    std::condition_variable cv;
-    std::map<Key, std::deque<std::vector<float>>> queues;
+    Mutex mutex;
+    CondVar cv;
+    std::map<Key, std::deque<std::vector<float>>> queues
+        PF15_GUARDED_BY(mutex);
   };
 
   struct BarrierState {
@@ -210,14 +211,17 @@ class Context {
 
   std::atomic<bool> aborted_{false};
 
-  std::mutex barrier_mutex_;
-  std::condition_variable barrier_cv_;
-  std::map<std::uint64_t, BarrierState> barriers_;
+  Mutex barrier_mutex_;
+  CondVar barrier_cv_;
+  std::map<std::uint64_t, BarrierState> barriers_
+      PF15_GUARDED_BY(barrier_mutex_);
 
-  std::mutex split_mutex_;
-  std::condition_variable split_cv_;
-  std::map<std::pair<std::uint64_t, std::uint64_t>, SplitTable> splits_;
-  std::map<std::pair<std::uint64_t, int>, std::uint64_t> split_sequences_;
+  Mutex split_mutex_;
+  CondVar split_cv_;
+  std::map<std::pair<std::uint64_t, std::uint64_t>, SplitTable> splits_
+      PF15_GUARDED_BY(split_mutex_);
+  std::map<std::pair<std::uint64_t, int>, std::uint64_t> split_sequences_
+      PF15_GUARDED_BY(split_mutex_);
 };
 
 }  // namespace detail

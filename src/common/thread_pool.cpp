@@ -26,6 +26,12 @@ PoolMetrics& pool_metrics() {
   return m;
 }
 
+/// The pool whose worker_loop the calling thread runs, if any. A worker
+/// thread belongs to exactly one pool for its whole lifetime, so a plain
+/// set-once thread_local is enough to answer "would blocking on pool P
+/// here be a nested wait?".
+thread_local const ThreadPool* t_worker_of = nullptr;
+
 }  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
@@ -40,7 +46,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -52,7 +58,7 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
       std::make_shared<std::packaged_task<void()>>(std::move(task));
   std::future<void> result = packaged->get_future();
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     PF15_CHECK(!stop_);
     tasks_.emplace([packaged] { (*packaged)(); });
   }
@@ -60,9 +66,21 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
   return result;
 }
 
+bool ThreadPool::current_thread_in_pool() const {
+  return t_worker_of == this;
+}
+
 void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
                               const std::function<void(std::size_t)>& fn) {
   if (begin >= end) return;
+  // The wait-discipline oracle: blocking on this pool's own work from one
+  // of its workers deadlocks once the pool saturates (the outer waits
+  // consume every worker). Failing loudly here — instead of deadlocking
+  // rarely under load — is what keeps the `parallel_ok` plumbing honest.
+  PF15_CHECK_MSG(!current_thread_in_pool(),
+                 "ThreadPool::parallel_for called from a worker of the same "
+                 "pool (nested wait): the caller must run serially here — "
+                 "pass parallel_ok=false down this code path");
   const std::size_t n = end - begin;
   const std::size_t chunks = std::min(n, size() * 4);
   if (chunks <= 1) {
@@ -98,12 +116,13 @@ ThreadPool& ThreadPool::global() {
 }
 
 void ThreadPool::worker_loop() {
+  t_worker_of = this;
   PoolMetrics& metrics = pool_metrics();
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      UniqueLock lock(mutex_);
+      while (!stop_ && tasks_.empty()) cv_.wait(lock);
       if (stop_ && tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop();

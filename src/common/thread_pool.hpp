@@ -3,16 +3,28 @@
 // The pool backs the GEMM driver and the background data loader. Following
 // the Core Guidelines concurrency advice we expose *tasks* (closures and
 // index ranges), never raw threads, and joins are automatic via RAII.
+//
+// Wait discipline (the `parallel_ok` contract): the pool does NOT support
+// nested waits. A task running on a pool thread must never block on work
+// submitted to the *same* pool — parallel_for from inside a pool task of
+// this pool can deadlock once every worker is parked in the outer wait.
+// This is why the conv backends and the compiled executor thread
+// `parallel_ok` through every layer: inside a pool task it is false and
+// all work stays serial. The discipline is machine-checked two ways:
+// statically via the -Wthread-safety annotations below, and at runtime by
+// current_thread_in_pool() — parallel_for() checks it and fails loudly
+// (PF15_CHECK) instead of deadlocking, giving the ROADMAP's work-stealing
+// replacement a regression oracle.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.hpp"
 
 namespace pf15 {
 
@@ -27,14 +39,22 @@ class ThreadPool {
 
   std::size_t size() const { return workers_.size(); }
 
-  /// Enqueue a task; returns a future for its completion.
+  /// Enqueue a task; returns a future for its completion. Waiting on that
+  /// future from a worker of this same pool violates the wait discipline
+  /// (see header) — submit() itself never blocks and is always safe.
   std::future<void> submit(std::function<void()> task);
 
   /// Run fn(i) for i in [begin, end) across the pool, blocking until all
   /// iterations complete. Iterations are chunked to limit scheduling
-  /// overhead. Safe to call with begin == end (no-op).
+  /// overhead. Safe to call with begin == end (no-op). Calling this from
+  /// a worker thread of this same pool is a checked error (nested wait).
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t)>& fn);
+
+  /// True when the calling thread is one of this pool's workers — i.e.
+  /// when blocking on this pool's work would be a nested wait. Kernels
+  /// asserting their `parallel_ok` contract use this.
+  bool current_thread_in_pool() const;
 
   /// Process-wide pool sized to the machine. Kernels that want internal
   /// parallelism share this instance.
@@ -44,10 +64,10 @@ class ThreadPool {
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stop_ = false;
+  Mutex mutex_;
+  CondVar cv_;
+  std::queue<std::function<void()>> tasks_ PF15_GUARDED_BY(mutex_);
+  bool stop_ PF15_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace pf15

@@ -58,7 +58,7 @@ PrefetchLoader::PrefetchLoader(ShardReader& reader, std::size_t batch_size,
 
 PrefetchLoader::~PrefetchLoader() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stop_ = true;
   }
   cv_producer_.notify_all();
@@ -69,15 +69,15 @@ PrefetchLoader::~PrefetchLoader() {
 void PrefetchLoader::producer_loop() {
   for (;;) {
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_producer_.wait(lock, [this] {
-        return stop_ || queue_.size() < queue_depth_;
-      });
+      UniqueLock lock(mutex_);
+      while (!stop_ && queue_.size() >= queue_depth_) {
+        cv_producer_.wait(lock);
+      }
       if (stop_) return;
     }
     Batch b = inner_.next();
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       queue_.push_back(std::move(b));
     }
     cv_consumer_.notify_one();
@@ -85,8 +85,8 @@ void PrefetchLoader::producer_loop() {
 }
 
 Batch PrefetchLoader::next() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  cv_consumer_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+  UniqueLock lock(mutex_);
+  while (!stop_ && queue_.empty()) cv_consumer_.wait(lock);
   PF15_CHECK_MSG(!queue_.empty(), "prefetch loader stopped");
   Batch b = std::move(queue_.front());
   queue_.pop_front();

@@ -7,14 +7,13 @@
 // the ablation bench can quantify the difference.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "data/shard_store.hpp"
 
 namespace pf15::data {
@@ -67,11 +66,11 @@ class PrefetchLoader {
 
   BatchLoader inner_;
   std::size_t queue_depth_;
-  std::deque<Batch> queue_;
-  std::mutex mutex_;
-  std::condition_variable cv_producer_;
-  std::condition_variable cv_consumer_;
-  bool stop_ = false;
+  Mutex mutex_;
+  std::deque<Batch> queue_ PF15_GUARDED_BY(mutex_);
+  CondVar cv_producer_;
+  CondVar cv_consumer_;
+  bool stop_ PF15_GUARDED_BY(mutex_) = false;
   std::thread producer_;
 };
 

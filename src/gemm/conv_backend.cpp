@@ -864,7 +864,7 @@ CacheMetrics& cache_metrics() {
 ConvPlan ConvPlanCache::plan(const ConvProblem& p, ConvPhase phase,
                              bool parallel_ok, std::size_t batch) {
   const Key key{p, phase, parallel_ok, conv_batch_bucket(batch)};
-  std::unique_lock<std::mutex> lock(mutex_);
+  UniqueLock lock(mutex_);
   for (;;) {
     auto ov = overrides_.find(OverrideKey{p, phase});
     if (ov != overrides_.end()) {
@@ -927,7 +927,7 @@ std::optional<ConvPlan> ConvPlanCache::lookup(const ConvProblem& p,
                                               ConvPhase phase,
                                               bool parallel_ok,
                                               std::size_t batch) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto ov = overrides_.find(OverrideKey{p, phase});
   if (ov != overrides_.end()) return ov->second;
   auto it = plans_.find(Key{p, phase, parallel_ok, conv_batch_bucket(batch)});
@@ -941,7 +941,7 @@ void ConvPlanCache::insert(const ConvProblem& p, const ConvPlan& plan) {
 
 void ConvPlanCache::insert(const ConvProblem& p, ConvPhase phase,
                            const ConvPlan& plan) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   overrides_[OverrideKey{p, phase}] = plan;
 }
 
@@ -1003,7 +1003,7 @@ void ConvPlanCache::save(const std::string& path) const {
     }
   }
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     for (const auto& [key, plan] : plans_) {
       // Persist measurements only (see the header contract); our own
       // measurements beat whatever the file had for the same key.
@@ -1028,7 +1028,7 @@ void ConvPlanCache::save(const std::string& path) const {
 std::string ConvPlanCache::dump() const {
   std::map<Key, ConvPlan> tuned;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     for (const auto& [key, plan] : plans_) {
       if (plan.tuned) tuned[key] = plan;
     }
@@ -1038,7 +1038,7 @@ std::string ConvPlanCache::dump() const {
 
 void ConvPlanCache::load(const std::string& path) {
   const std::vector<StoredPlan> stored = parse_plan_file(path);
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   // emplace: entries already in memory win — they are this process's
   // freshest measurements (or explicit overrides).
   for (const StoredPlan& s : stored) {
@@ -1050,14 +1050,14 @@ void ConvPlanCache::load_document(const std::string& text,
                                   const std::string& origin) {
   const std::vector<StoredPlan> stored =
       parse_plan_doc(perf::Json::parse(text), origin);
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (const StoredPlan& s : stored) {
     plans_.emplace(Key{s.problem, s.phase, s.parallel_ok, s.batch}, s.plan);
   }
 }
 
 void ConvPlanCache::clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   plans_.clear();
   overrides_.clear();
   hits_ = 0;
@@ -1065,12 +1065,12 @@ void ConvPlanCache::clear() {
 }
 
 std::size_t ConvPlanCache::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return plans_.size() + overrides_.size();
 }
 
 std::size_t ConvPlanCache::tuned_size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::size_t n = 0;
   for (const auto& [key, plan] : plans_) {
     if (plan.tuned) ++n;
@@ -1079,12 +1079,12 @@ std::size_t ConvPlanCache::tuned_size() const {
 }
 
 std::uint64_t ConvPlanCache::hits() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return hits_;
 }
 
 std::uint64_t ConvPlanCache::misses() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return misses_;
 }
 

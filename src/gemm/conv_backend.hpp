@@ -20,12 +20,10 @@
 // training and serving stop paying first-sight tuning on every run.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <set>
 #include <string>
@@ -33,6 +31,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "gemm/im2col.hpp"
 
 namespace pf15::gemm {
@@ -349,16 +348,17 @@ class ConvPlanCache {
   using Key = std::tuple<ConvProblem, ConvPhase, bool, std::size_t>;
   using OverrideKey = std::pair<ConvProblem, ConvPhase>;
 
-  mutable std::mutex mutex_;
-  std::condition_variable tuning_cv_;
-  std::map<Key, ConvPlan> plans_;
+  mutable Mutex mutex_;
+  CondVar tuning_cv_;
+  std::map<Key, ConvPlan> plans_ PF15_GUARDED_BY(mutex_);
   /// insert() overrides, consulted before plans_: one entry covers every
   /// (mode, bucket) of its (problem, phase).
-  std::map<OverrideKey, ConvPlan> overrides_;
-  std::set<Key> tuning_;  // keys being autotuned right now
+  std::map<OverrideKey, ConvPlan> overrides_ PF15_GUARDED_BY(mutex_);
+  /// Keys being autotuned right now.
+  std::set<Key> tuning_ PF15_GUARDED_BY(mutex_);
   AutotuneOptions opt_;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
+  std::uint64_t hits_ PF15_GUARDED_BY(mutex_) = 0;
+  std::uint64_t misses_ PF15_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace pf15::gemm

@@ -8,6 +8,7 @@
 
 #include "common/thread_pool.hpp"
 #include "common/timer.hpp"
+#include "graph/validate.hpp"
 #include "gemm/gemm.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -48,14 +49,23 @@ CompiledPlan::CompiledPlan(Graph graph, const CompileOptions& opt)
     obs::TraceSpan span("passes", "compile");
     if (opt.strip_noops) {
       report_.passes.stripped_noops = graph::strip_noops(graph_);
+#ifndef NDEBUG
+      check_valid(graph_, "strip_noops");
+#endif
     }
     if (opt.fold_batchnorm) {
       report_.passes.folded_batchnorms =
           graph::fold_batchnorm(graph_, &report_.passes);
+#ifndef NDEBUG
+      check_valid(graph_, "fold_batchnorm");
+#endif
     }
     if (opt.fuse_activations) {
       report_.passes.fused_activations =
           graph::fuse_activations(graph_, &report_.passes);
+#ifndef NDEBUG
+      check_valid(graph_, "fuse_activations");
+#endif
     }
   }
   report_.compiled_ops = graph_.nodes.size();
@@ -63,6 +73,11 @@ CompiledPlan::CompiledPlan(Graph graph, const CompileOptions& opt)
     obs::TraceSpan span("plan_arena", "compile");
     arena_plan_ = plan_arena(graph_);
   }
+#ifndef NDEBUG
+  // Debug builds re-prove the planner's work: liveness is re-derived from
+  // the edges inside validate(), independent of plan_arena's bookkeeping.
+  check_valid(graph_, "plan_arena", &arena_plan_);
+#endif
   report_.arena_floats_per_sample = arena_plan_.total_floats;
   report_.eager_floats_per_sample = arena_plan_.eager_floats;
   build_schedule(opt.parallel_levels);

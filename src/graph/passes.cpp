@@ -1,5 +1,7 @@
 #include "graph/passes.hpp"
 
+#include "graph/validate.hpp"
+
 namespace pf15::graph {
 
 namespace {
@@ -189,8 +191,17 @@ std::size_t fuse_activations(Graph& g, PassStats* stats) {
 PassStats optimize(Graph& g) {
   PassStats stats;
   stats.stripped_noops = strip_noops(g);
+#ifndef NDEBUG
+  check_valid(g, "strip_noops");
+#endif
   stats.folded_batchnorms = fold_batchnorm(g, &stats);
+#ifndef NDEBUG
+  check_valid(g, "fold_batchnorm");
+#endif
   stats.fused_activations = fuse_activations(g, &stats);
+#ifndef NDEBUG
+  check_valid(g, "fuse_activations");
+#endif
   return stats;
 }
 

@@ -1,0 +1,482 @@
+#include "graph/validate.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/errors.hpp"
+
+namespace pf15::graph {
+
+namespace {
+
+/// Everything one checking pass needs: the graph, the growing finding
+/// list, and the cap. add() formats into a Diagnostic and reports
+/// whether the caller should keep going.
+struct Reporter {
+  const Graph& g;
+  std::vector<Diagnostic>& out;
+  std::size_t cap;
+
+  bool full() const { return out.size() >= cap; }
+
+  template <typename F>
+  bool add(DiagCode code, int node, int other, F&& fill) {
+    if (full()) return false;
+    std::ostringstream msg;
+    fill(msg);
+    out.push_back({code, node, other, msg.str()});
+    return !full();
+  }
+};
+
+bool can_carry_epilogue(OpKind k) {
+  // Mirrors the executor: apply_epilogue() runs only after conv, deconv,
+  // dense, batchnorm, and add nodes. An epilogue anywhere else is fusion
+  // that crossed a boundary it must not (e.g. a fan-out split) and would
+  // silently drop an activation at execution time.
+  switch (k) {
+    case OpKind::kConv:
+    case OpKind::kDeconv:
+    case OpKind::kDense:
+    case OpKind::kBatchNorm:
+    case OpKind::kAdd:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Graph::resolve_alias with the crash removed: walks kSplit chains with
+/// a step bound so a split cycle (which the topological check also
+/// flags) terminates here instead of spinning. Sets *ok = false when the
+/// chain leaves the graph or never reaches an owner.
+int resolve_alias_safe(const Graph& g, int id, bool* ok) {
+  const int n = static_cast<int>(g.nodes.size());
+  int steps = 0;
+  *ok = true;
+  while (id >= 0 && id < n &&
+         g.nodes[static_cast<std::size_t>(id)].kind == OpKind::kSplit) {
+    id = g.nodes[static_cast<std::size_t>(id)].input0();
+    if (++steps > n) {
+      *ok = false;
+      return id;
+    }
+  }
+  if (id < OpNode::kGraphInput || id >= n) *ok = false;
+  return id;
+}
+
+/// Per-sample output shape feeding edge `in` (kGraphInput = the graph's
+/// own input shape). Only called with an in-range edge.
+const Shape& edge_shape(const Graph& g, int in) {
+  return in == OpNode::kGraphInput
+             ? g.input_sample
+             : g.nodes[static_cast<std::size_t>(in)].out_sample;
+}
+
+/// Node-local checks: edge ranges, topological order, arity, kind
+/// purity, epilogue legality, shape agreement along each edge, and
+/// weight-tensor extents against the declared geometry. Returns false
+/// once the diagnostic cap is hit.
+bool check_nodes(Reporter& r) {
+  const Graph& g = r.g;
+  const int n = static_cast<int>(g.nodes.size());
+  for (int i = 0; i < n; ++i) {
+    const OpNode& node = g.nodes[static_cast<std::size_t>(i)];
+
+    // ---- arity ----
+    const std::size_t want_arity = node.kind == OpKind::kAdd ? 2 : 1;
+    if (node.inputs.size() != want_arity) {
+      if (!r.add(DiagCode::kBadArity, i, -1, [&](std::ostream& m) {
+            m << to_string(node.kind) << " node has " << node.inputs.size()
+              << " inputs, expected " << want_arity;
+          }))
+        return false;
+    }
+
+    // ---- edges: range, then order ----
+    bool edges_ok = true;
+    for (int in : node.inputs) {
+      if (in < OpNode::kGraphInput || in >= n) {
+        edges_ok = false;
+        if (!r.add(DiagCode::kBadEdge, i, -1, [&](std::ostream& m) {
+              m << "input edge " << in << " outside [-1, " << n << ")";
+            }))
+          return false;
+      } else if (in >= i) {
+        // In an index-edge IR a cycle can only appear as an edge to self
+        // or to a higher index, so this one check covers acyclicity.
+        edges_ok = false;
+        if (!r.add(DiagCode::kNotTopological, i, in, [&](std::ostream& m) {
+              m << "input edge " << in << " does not point below node " << i
+                << " (cycle or unsorted graph)";
+            }))
+          return false;
+      }
+    }
+
+    // ---- kind purity / required payloads ----
+    if (node.kind == OpKind::kSplit) {
+      if (node.weight.defined() || node.bias.defined() ||
+          node.bn_scale.defined() || node.bn_shift.defined() ||
+          node.layer != nullptr) {
+        if (!r.add(DiagCode::kSplitNotAlias, i, -1, [&](std::ostream& m) {
+              m << "split must be a pure alias but owns "
+                << (node.weight.defined() ? "weights" :
+                    node.bias.defined() ? "bias" :
+                    node.layer ? "a live layer" : "bn parameters");
+            }))
+          return false;
+      }
+    }
+    if (node.kind == OpKind::kOpaque && node.layer == nullptr) {
+      if (!r.add(DiagCode::kMissingLayer, i, -1, [&](std::ostream& m) {
+            m << "opaque node '" << node.name << "' has no live layer";
+          }))
+        return false;
+    }
+
+    // ---- epilogue legality ----
+    if (node.epilogue != Epilogue::kNone && !can_carry_epilogue(node.kind)) {
+      if (!r.add(DiagCode::kIllegalEpilogue, i, -1, [&](std::ostream& m) {
+            m << to_string(node.epilogue) << " epilogue on a "
+              << to_string(node.kind) << " node";
+            if (node.kind == OpKind::kSplit) m << " (fusion crossed fan-out)";
+          }))
+        return false;
+    }
+
+    // ---- shape agreement (only over well-formed edges) ----
+    if (edges_ok) {
+      for (int in : node.inputs) {
+        const Shape& produced = edge_shape(g, in);
+        if (produced.rank() != 0 && node.in_sample.rank() != 0 &&
+            !(produced == node.in_sample)) {
+          if (!r.add(DiagCode::kShapeMismatch, i, in, [&](std::ostream& m) {
+                m << "consumes " << node.in_sample.str() << " but input "
+                  << in << " produces " << produced.str();
+              }))
+            return false;
+        }
+      }
+      if (node.kind == OpKind::kAdd && node.inputs.size() == 2) {
+        // Elementwise join: both operands and the output must agree.
+        const Shape& a = edge_shape(g, node.inputs[0]);
+        const Shape& b = edge_shape(g, node.inputs[1]);
+        if (a.rank() != 0 && b.rank() != 0 &&
+            (!(a == b) || !(a == node.out_sample))) {
+          if (!r.add(DiagCode::kShapeMismatch, i, -1, [&](std::ostream& m) {
+                m << "add operands/output disagree: " << a.str() << " + "
+                  << b.str() << " -> " << node.out_sample.str();
+              }))
+            return false;
+        }
+      }
+      if (node.kind == OpKind::kSplit && node.inputs.size() == 1) {
+        const Shape& produced = edge_shape(g, node.input0());
+        if (produced.rank() != 0 && !(produced == node.out_sample)) {
+          if (!r.add(DiagCode::kShapeMismatch, i, node.input0(),
+                     [&](std::ostream& m) {
+                       m << "split alias reshapes " << produced.str()
+                         << " to " << node.out_sample.str();
+                     }))
+            return false;
+        }
+      }
+    }
+
+    // ---- weight extents vs declared geometry ----
+    switch (node.kind) {
+      case OpKind::kConv:
+      case OpKind::kDeconv: {
+        const std::size_t want =
+            node.problem.out_c * node.problem.geom.lowered_rows();
+        if (node.weight.defined() && want != 0 &&
+            node.weight.numel() != want) {
+          if (!r.add(DiagCode::kBadWeights, i, -1, [&](std::ostream& m) {
+                m << "filter bank has " << node.weight.numel()
+                  << " floats, geometry wants " << want;
+              }))
+            return false;
+        }
+        // The bias covers the node's *output* channels. For kDeconv the
+        // stored problem is the underlying convolution (whose input is
+        // this node's output), so that count is geom.in_c, not out_c.
+        const std::size_t bias_channels = node.kind == OpKind::kDeconv
+                                              ? node.problem.geom.in_c
+                                              : node.problem.out_c;
+        if (node.bias.defined() && bias_channels != 0 &&
+            node.bias.numel() != bias_channels) {
+          if (!r.add(DiagCode::kBadWeights, i, -1, [&](std::ostream& m) {
+                m << "bias has " << node.bias.numel() << " floats for "
+                  << bias_channels << " output channels";
+              }))
+            return false;
+        }
+        break;
+      }
+      case OpKind::kDense: {
+        const std::size_t want = node.in_features * node.out_features;
+        if (node.weight.defined() && want != 0 &&
+            node.weight.numel() != want) {
+          if (!r.add(DiagCode::kBadWeights, i, -1, [&](std::ostream& m) {
+                m << "dense weight has " << node.weight.numel()
+                  << " floats, expected " << node.in_features << "x"
+                  << node.out_features;
+              }))
+            return false;
+        }
+        if (node.bias.defined() && node.bias.numel() != node.out_features) {
+          if (!r.add(DiagCode::kBadWeights, i, -1, [&](std::ostream& m) {
+                m << "dense bias has " << node.bias.numel()
+                  << " floats for " << node.out_features << " features";
+              }))
+            return false;
+        }
+        break;
+      }
+      case OpKind::kBatchNorm: {
+        // Per-channel affine over the leading (channel) dimension.
+        const std::size_t channels =
+            node.out_sample.rank() > 0 ? node.out_sample[0] : 0;
+        if (channels != 0 &&
+            ((node.bn_scale.defined() &&
+              node.bn_scale.numel() != channels) ||
+             (node.bn_shift.defined() &&
+              node.bn_shift.numel() != channels))) {
+          if (!r.add(DiagCode::kBadWeights, i, -1, [&](std::ostream& m) {
+                m << "batchnorm scale/shift sized "
+                  << node.bn_scale.numel() << "/" << node.bn_shift.numel()
+                  << " for " << channels << " channels";
+              }))
+            return false;
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  return true;
+}
+
+/// Graph outputs must name real nodes, and every split chain must bottom
+/// out at a buffer-owning node (or the graph input).
+bool check_outputs_and_aliases(Reporter& r) {
+  const Graph& g = r.g;
+  const int n = static_cast<int>(g.nodes.size());
+  for (std::size_t k = 0; k < g.outputs.size(); ++k) {
+    const int out = g.outputs[k];
+    if (out < 0 || out >= n) {
+      if (!r.add(DiagCode::kBadOutput, out, -1, [&](std::ostream& m) {
+            m << "graph output " << k << " names node " << out
+              << ", graph has " << n;
+          }))
+        return false;
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    if (g.nodes[static_cast<std::size_t>(i)].kind != OpKind::kSplit) continue;
+    bool ok = true;
+    const int owner = resolve_alias_safe(g, i, &ok);
+    if (!ok) {
+      if (!r.add(DiagCode::kDanglingAlias, i, owner, [&](std::ostream& m) {
+            m << "split chain from node " << i
+              << " never reaches a buffer-owning node";
+          }))
+        return false;
+    }
+  }
+  return true;
+}
+
+/// Levels without the PF15_CHECK: malformed edges contribute nothing, so
+/// this never crashes on a corrupted graph (those edges are already
+/// flagged by check_nodes).
+std::vector<int> safe_levels(const Graph& g) {
+  std::vector<int> level(g.nodes.size(), 0);
+  for (std::size_t i = 0; i < g.nodes.size(); ++i) {
+    const OpNode& node = g.nodes[i];
+    int max_in = -1;
+    for (int in : node.inputs) {
+      if (in >= 0 && in < static_cast<int>(i)) {
+        max_in = std::max(max_in, level[static_cast<std::size_t>(in)]);
+      }
+    }
+    level[i] =
+        node.kind == OpKind::kSplit ? std::max(max_in, 0) : max_in + 1;
+  }
+  return level;
+}
+
+/// Arena checks, fully independent of plan_arena's bookkeeping: liveness
+/// intervals are re-derived here from the edges (def level .. last
+/// consumer's level, graph outputs pinned past the end) and every pair
+/// of byte-overlapping buffers is tested for interval overlap. A
+/// same-defining-level collision is reported separately — under the
+/// level-scheduled executor those two writes race, which is worse than a
+/// stale-read reuse bug.
+bool check_arena(Reporter& r, const ArenaAssignment& arena) {
+  const Graph& g = r.g;
+  const std::size_t n = g.nodes.size();
+  if (arena.offsets.size() != n || arena.external.size() != n) {
+    r.add(DiagCode::kArenaOutOfBounds, -1, -1, [&](std::ostream& m) {
+      m << "assignment sized for " << arena.offsets.size() << "/"
+        << arena.external.size() << " nodes, graph has " << n;
+    });
+    return !r.full();
+  }
+
+  const std::vector<int> level = safe_levels(g);
+  const int past_end =
+      1 + (level.empty() ? 0 : *std::max_element(level.begin(), level.end()));
+
+  // Interval per node in level units; open = not a planned buffer
+  // (split alias or external output).
+  struct Live {
+    bool planned = false;
+    int def = 0;
+    int end = 0;  // inclusive
+  };
+  std::vector<Live> live(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (g.nodes[i].kind == OpKind::kSplit) continue;  // owns no buffer
+    if (arena.external[i]) continue;  // caller-visible tensor, no slot
+    live[i].planned = true;
+    live[i].def = level[i];
+    live[i].end = level[i];  // producer overlaps itself trivially
+  }
+  // Extend to the last consumer, reading through split aliases exactly
+  // like the executor does.
+  for (std::size_t c = 0; c < n; ++c) {
+    for (int in : g.nodes[c].inputs) {
+      bool ok = true;
+      const int owner = resolve_alias_safe(g, in, &ok);
+      if (!ok || owner < 0) continue;
+      auto& lv = live[static_cast<std::size_t>(owner)];
+      if (lv.planned) {
+        lv.end = std::max(lv.end, level[c]);
+      } else if (arena.external[static_cast<std::size_t>(owner)]) {
+        // External buffers are written straight into caller tensors and
+        // must never be read back by another node.
+        if (!r.add(DiagCode::kExternalConsumed, owner,
+                   static_cast<int>(c), [&](std::ostream& m) {
+                     m << "external buffer of node " << owner
+                       << " is consumed by node " << c;
+                   }))
+          return false;
+      }
+    }
+  }
+  for (int out : g.outputs) {
+    bool ok = true;
+    const int owner = resolve_alias_safe(g, out, &ok);
+    if (!ok || owner < 0) continue;
+    if (live[static_cast<std::size_t>(owner)].planned) {
+      // Outputs are read back after the run: live past the last level.
+      live[static_cast<std::size_t>(owner)].end = past_end;
+    }
+  }
+
+  // Bounds, then pairwise disjointness.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!live[i].planned) continue;
+    const std::size_t sz = g.nodes[i].out_sample.numel();
+    if (arena.offsets[i] + sz > arena.total_floats) {
+      if (!r.add(DiagCode::kArenaOutOfBounds, static_cast<int>(i), -1,
+                 [&](std::ostream& m) {
+                   m << "buffer [" << arena.offsets[i] << ", "
+                     << arena.offsets[i] + sz << ") exceeds arena of "
+                     << arena.total_floats << " floats";
+                 }))
+        return false;
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!live[i].planned) continue;
+    const std::size_t ai = arena.offsets[i];
+    const std::size_t bi = ai + g.nodes[i].out_sample.numel();
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (!live[j].planned) continue;
+      const std::size_t aj = arena.offsets[j];
+      const std::size_t bj = aj + g.nodes[j].out_sample.numel();
+      const bool bytes_overlap = ai < bj && aj < bi;
+      const bool levels_overlap =
+          live[i].def <= live[j].end && live[j].def <= live[i].end;
+      if (!bytes_overlap || !levels_overlap) continue;
+      const DiagCode code = level[i] == level[j]
+                                ? DiagCode::kConcurrentWriteOverlap
+                                : DiagCode::kLiveRangeOverlap;
+      if (!r.add(code, static_cast<int>(i), static_cast<int>(j),
+                 [&](std::ostream& m) {
+                   m << "buffers [" << ai << ", " << bi << ") live L"
+                     << live[i].def << ".." << live[i].end << " and ["
+                     << aj << ", " << bj << ") live L" << live[j].def
+                     << ".." << live[j].end
+                     << (level[i] == level[j]
+                             ? " are written concurrently"
+                             : " share bytes while both live");
+                 }))
+        return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* to_string(DiagCode code) {
+  switch (code) {
+    case DiagCode::kBadOutput: return "bad_output";
+    case DiagCode::kBadArity: return "bad_arity";
+    case DiagCode::kBadEdge: return "bad_edge";
+    case DiagCode::kNotTopological: return "not_topological";
+    case DiagCode::kDanglingAlias: return "dangling_alias";
+    case DiagCode::kShapeMismatch: return "shape_mismatch";
+    case DiagCode::kIllegalEpilogue: return "illegal_epilogue";
+    case DiagCode::kSplitNotAlias: return "split_not_alias";
+    case DiagCode::kMissingLayer: return "missing_layer";
+    case DiagCode::kBadWeights: return "bad_weights";
+    case DiagCode::kArenaOutOfBounds: return "arena_out_of_bounds";
+    case DiagCode::kConcurrentWriteOverlap: return "concurrent_write_overlap";
+    case DiagCode::kLiveRangeOverlap: return "live_range_overlap";
+    case DiagCode::kExternalConsumed: return "external_consumed";
+  }
+  return "unknown";
+}
+
+std::vector<Diagnostic> validate(const Graph& g, const ValidateOptions& opt) {
+  std::vector<Diagnostic> diags;
+  Reporter r{g, diags, opt.max_diagnostics == 0 ? 1 : opt.max_diagnostics};
+  const bool structure_ok = check_nodes(r) && check_outputs_and_aliases(r);
+  // The arena checks derive levels and walk aliases; on a structurally
+  // broken graph those derivations are meaningless, and the structural
+  // findings already name the root cause.
+  if (structure_ok && diags.empty() && opt.arena != nullptr) {
+    check_arena(r, *opt.arena);
+  }
+  return diags;
+}
+
+std::string render(const std::vector<Diagnostic>& diags) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < diags.size(); ++i) {
+    if (i) os << "\n";
+    os << to_string(diags[i].code);
+    if (diags[i].node >= 0) os << " @node" << diags[i].node;
+    if (diags[i].other >= 0) os << " (vs @node" << diags[i].other << ")";
+    os << ": " << diags[i].message;
+  }
+  return os.str();
+}
+
+void check_valid(const Graph& g, const char* where,
+                 const ArenaAssignment* arena) {
+  ValidateOptions opt;
+  opt.arena = arena;
+  const std::vector<Diagnostic> diags = validate(g, opt);
+  PF15_CHECK_MSG(diags.empty(), "graph validation failed after " << where
+                                    << ":\n" << render(diags));
+}
+
+}  // namespace pf15::graph

@@ -1,0 +1,93 @@
+// Static verifier for the graph-compiler IR.
+//
+// The invariants the compiler relies on — topological order, kSplit
+// nodes as pure zero-cost aliases, two-input shape-agreeing kAdd joins,
+// epilogues only on kinds that can execute them, and an arena plan whose
+// buffers never share bytes while concurrently live — were established
+// by the capture/pass/planner code but, until now, only *asserted by
+// construction*. validate() re-derives every one of them from the graph
+// alone, without executing it and independently of the planner's own
+// bookkeeping, and returns a structured diagnostic list instead of
+// crashing: a corrupted graph (a buggy new pass, a mis-merged capture
+// path) is reported with the node, the invariant, and a human-readable
+// message.
+//
+// It runs in three places:
+//   - after every optimization pass in debug builds (passes.cpp wraps
+//     optimize() stages; a non-empty diagnostic list is a PF15_CHECK
+//     failure naming the pass),
+//   - at the end of CompiledPlan construction (debug builds), with the
+//     arena plan included,
+//   - explicitly via bench_graph_compile --validate (any build type),
+//     which scripts/verify.sh gates on with its own exit code.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "graph/arena.hpp"
+#include "graph/graph.hpp"
+
+namespace pf15::graph {
+
+/// What went wrong. Codes are stable: tests key on them, and the bench
+/// prints them by name.
+enum class DiagCode {
+  kBadOutput,         // graph output id out of range
+  kBadArity,          // kAdd needs exactly 2 inputs, every other kind 1
+  kBadEdge,           // input edge out of [-1, nodes)
+  kNotTopological,    // edge to self or a higher index — the only way an
+                      // index-edged graph can encode a cycle
+  kDanglingAlias,     // split chain never reaches a buffer-owning node
+  kShapeMismatch,     // consumer in_sample != producer out_sample, or a
+                      // kAdd whose operands/output disagree
+  kIllegalEpilogue,   // fused epilogue on a kind that cannot execute one
+                      // (e.g. planted on a kSplit: fusion crossed fan-out)
+  kSplitNotAlias,     // kSplit owning weights/bias/layer — not a pure alias
+  kMissingLayer,      // kOpaque with no live layer to execute through
+  kBadWeights,        // weight/bias/bn tensor extent disagrees with the
+                      // node's declared geometry
+  kArenaOutOfBounds,  // buffer extends past the arena extent
+  kConcurrentWriteOverlap,  // two same-level buffers share bytes (the
+                            // parallel executor may write both at once)
+  kLiveRangeOverlap,  // two buffers live at a common level share bytes
+  kExternalConsumed,  // external (direct-to-output) buffer read by a node
+};
+
+/// Stable lower-snake name ("bad_output", "live_range_overlap", ...).
+const char* to_string(DiagCode code);
+
+struct Diagnostic {
+  DiagCode code;
+  int node = -1;   // primary node id; -1 = graph-level finding
+  int other = -1;  // secondary node for pairwise findings (overlaps)
+  std::string message;
+};
+
+struct ValidateOptions {
+  /// When set, the arena checks run too: liveness is re-derived from the
+  /// graph (independently of plan_arena's internals) and checked against
+  /// this assignment's offsets.
+  const ArenaAssignment* arena = nullptr;
+  /// Stop after this many findings — a badly corrupted graph would
+  /// otherwise drown the first (root-cause) diagnostic in follow-ons.
+  std::size_t max_diagnostics = 64;
+};
+
+/// Checks every structural invariant of `g` (and of `opt.arena` when
+/// given) without executing the graph. Empty result = valid. Order is
+/// deterministic: node-local findings by node id, pairwise arena
+/// findings by (first, second) id.
+std::vector<Diagnostic> validate(const Graph& g,
+                                 const ValidateOptions& opt = {});
+
+/// One line per diagnostic: "code @node7 (vs @node9): message".
+std::string render(const std::vector<Diagnostic>& diags);
+
+/// PF15_CHECK wrapper used by the debug-build hooks: dies with the
+/// rendered diagnostics prefixed by `where` when validation fails.
+void check_valid(const Graph& g, const char* where,
+                 const ArenaAssignment* arena = nullptr);
+
+}  // namespace pf15::graph

@@ -148,7 +148,7 @@ MetricsRegistry::Entry& MetricsRegistry::find_or_create(
 
 Counter& MetricsRegistry::counter(const std::string& name,
                                   const std::string& help) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   Entry& e = find_or_create(name, Kind::kCounter, help);
   if (!e.counter) e.counter = std::make_unique<Counter>();
   return *e.counter;
@@ -156,7 +156,7 @@ Counter& MetricsRegistry::counter(const std::string& name,
 
 Gauge& MetricsRegistry::gauge(const std::string& name,
                               const std::string& help) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   Entry& e = find_or_create(name, Kind::kGauge, help);
   if (!e.gauge) e.gauge = std::make_unique<Gauge>();
   return *e.gauge;
@@ -165,7 +165,7 @@ Gauge& MetricsRegistry::gauge(const std::string& name,
 Histogram& MetricsRegistry::histogram(const std::string& name,
                                       std::vector<double> bounds,
                                       const std::string& help) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   Entry& e = find_or_create(name, Kind::kHistogram, help);
   if (!e.histogram) {
     e.histogram = std::make_unique<Histogram>(std::move(bounds));
@@ -174,7 +174,7 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
 }
 
 std::string MetricsRegistry::prometheus_text() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::ostringstream os;
   for (const auto& [name, e] : entries_) {
     if (!e.help.empty()) os << "# HELP " << name << " " << e.help << "\n";
@@ -204,7 +204,7 @@ std::string MetricsRegistry::prometheus_text() const {
 }
 
 perf::Json MetricsRegistry::to_json() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   perf::Json doc = perf::Json::object();
   for (const auto& [name, e] : entries_) {
     switch (e.kind) {
@@ -237,7 +237,7 @@ perf::Json MetricsRegistry::to_json() const {
 }
 
 void MetricsRegistry::reset_all() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (auto& [name, e] : entries_) {
     (void)name;
     switch (e.kind) {
@@ -255,7 +255,7 @@ void MetricsRegistry::reset_all() {
 }
 
 std::size_t MetricsRegistry::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return entries_.size();
 }
 

@@ -23,10 +23,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "perf/json.hpp"
 
 namespace pf15::obs {
@@ -176,10 +176,10 @@ class MetricsRegistry {
   };
 
   Entry& find_or_create(const std::string& name, Kind kind,
-                        const std::string& help);
+                        const std::string& help) PF15_REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::map<std::string, Entry> entries_;
+  mutable Mutex mutex_;
+  std::map<std::string, Entry> entries_ PF15_GUARDED_BY(mutex_);
 };
 
 }  // namespace pf15::obs

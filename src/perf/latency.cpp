@@ -26,7 +26,7 @@ LatencyRecorder::LatencyRecorder(std::size_t max_samples)
 }
 
 void LatencyRecorder::record(double seconds) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   ++total_;
   sum_ += seconds;
   max_ = std::max(max_, seconds);
@@ -43,14 +43,14 @@ void LatencyRecorder::record(double seconds) {
 }
 
 std::size_t LatencyRecorder::count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return total_;
 }
 
 double LatencyRecorder::percentile(double q) const {
   std::vector<double> sorted;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     sorted = samples_;
   }
   std::sort(sorted.begin(), sorted.end());
@@ -61,7 +61,7 @@ LatencySummary LatencyRecorder::summary() const {
   LatencySummary s;
   std::vector<double> sorted;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     sorted = samples_;
     s.count = total_;
     if (total_ > 0) {
@@ -79,7 +79,7 @@ LatencySummary LatencyRecorder::summary() const {
 }
 
 void LatencyRecorder::reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   samples_.clear();
   total_ = 0;
   sum_ = 0.0;

@@ -9,8 +9,10 @@
 #pragma once
 
 #include <cstddef>
-#include <mutex>
+#include <cstdint>
 #include <vector>
+
+#include "common/thread_annotations.hpp"
 
 namespace pf15::perf {
 
@@ -53,12 +55,13 @@ class LatencyRecorder {
 
  private:
   const std::size_t max_samples_;
-  mutable std::mutex mutex_;
-  std::vector<double> samples_;  // reservoir
-  std::size_t total_ = 0;
-  double sum_ = 0.0;
-  double max_ = 0.0;
-  std::uint64_t rng_state_;  // xorshift for reservoir replacement
+  mutable Mutex mutex_;
+  std::vector<double> samples_ PF15_GUARDED_BY(mutex_);  // reservoir
+  std::size_t total_ PF15_GUARDED_BY(mutex_) = 0;
+  double sum_ PF15_GUARDED_BY(mutex_) = 0.0;
+  double max_ PF15_GUARDED_BY(mutex_) = 0.0;
+  /// xorshift for reservoir replacement
+  std::uint64_t rng_state_ PF15_GUARDED_BY(mutex_);
 };
 
 /// Nearest-rank percentile of a sorted sample vector (q in [0, 1]).

@@ -20,10 +20,11 @@ DynamicBatcher::DynamicBatcher(const BatcherConfig& cfg)
                  "queue_capacity must be >= 1, got " << cfg_.queue_capacity);
 }
 
-DynamicBatcher::~DynamicBatcher() {
+DynamicBatcher::~DynamicBatcher() PF15_NO_THREAD_SAFETY_ANALYSIS {
   // No lock: destruction requires external quiescence (no concurrent
-  // submit/next_batch), same as any other destructor. Anything still
-  // queued was accepted but will never be served — fail it loudly.
+  // submit/next_batch), same as any other destructor — the annotation
+  // opt-out records exactly this contract. Anything still queued was
+  // accepted but will never be served — fail it loudly.
   for (Request& req : queue_) {
     req.result.set_exception(std::make_exception_ptr(
         ShutdownError("DynamicBatcher destroyed with request pending")));
@@ -35,9 +36,7 @@ void DynamicBatcher::note_rejected() {
   m_rejected_.add(1);
 }
 
-std::future<Tensor> DynamicBatcher::enqueue_locked(
-    std::unique_lock<std::mutex>& lock, Tensor&& sample) {
-  (void)lock;  // caller holds mutex_
+std::future<Tensor> DynamicBatcher::enqueue_locked(Tensor&& sample) {
   Request req;
   req.input = std::move(sample);
   req.enqueued = std::chrono::steady_clock::now();
@@ -51,20 +50,20 @@ std::future<Tensor> DynamicBatcher::enqueue_locked(
 }
 
 std::future<Tensor> DynamicBatcher::submit(Tensor sample) {
-  std::unique_lock<std::mutex> lock(mutex_);
-  cv_not_full_.wait(lock, [&] {
-    return closed_ || queue_.size() < cfg_.queue_capacity;
-  });
+  UniqueLock lock(mutex_);
+  while (!closed_ && queue_.size() >= cfg_.queue_capacity) {
+    cv_not_full_.wait(lock);
+  }
   if (closed_) {
     note_rejected();
     throw ShutdownError("DynamicBatcher::submit: batcher is closed");
   }
-  return enqueue_locked(lock, std::move(sample));
+  return enqueue_locked(std::move(sample));
 }
 
 std::optional<std::future<Tensor>> DynamicBatcher::try_submit(
     Tensor sample) {
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (closed_) {
     note_rejected();
     throw ShutdownError("DynamicBatcher::try_submit: batcher is closed");
@@ -73,12 +72,12 @@ std::optional<std::future<Tensor>> DynamicBatcher::try_submit(
     note_rejected();
     return std::nullopt;
   }
-  return enqueue_locked(lock, std::move(sample));
+  return enqueue_locked(std::move(sample));
 }
 
 std::vector<Request> DynamicBatcher::next_batch() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  cv_not_empty_.wait(lock, [&] { return closed_ || !queue_.empty(); });
+  UniqueLock lock(mutex_);
+  while (!closed_ && queue_.empty()) cv_not_empty_.wait(lock);
   if (queue_.empty()) return {};  // closed and drained: worker exits
 
   // The batch-formation span starts once a first request exists — the
@@ -128,7 +127,7 @@ std::vector<Request> DynamicBatcher::next_batch() {
 
 void DynamicBatcher::close() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     closed_ = true;
   }
   cv_not_empty_.notify_all();
@@ -136,12 +135,12 @@ void DynamicBatcher::close() {
 }
 
 bool DynamicBatcher::closed() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return closed_;
 }
 
 std::size_t DynamicBatcher::depth() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return queue_.size();
 }
 

@@ -21,14 +21,13 @@
 #include <atomic>
 #include <chrono>
 #include <cstddef>
-#include <condition_variable>
 #include <deque>
 #include <future>
-#include <mutex>
 #include <optional>
 #include <vector>
 
 #include "common/errors.hpp"
+#include "common/thread_annotations.hpp"
 #include "obs/metrics.hpp"
 #include "tensor/tensor.hpp"
 
@@ -107,16 +106,16 @@ class DynamicBatcher {
   }
 
  private:
-  std::future<Tensor> enqueue_locked(std::unique_lock<std::mutex>& lock,
-                                     Tensor&& sample);
+  std::future<Tensor> enqueue_locked(Tensor&& sample)
+      PF15_REQUIRES(mutex_);
   void note_rejected();
 
   BatcherConfig cfg_;
-  mutable std::mutex mutex_;
-  std::condition_variable cv_not_empty_;  // workers wait here
-  std::condition_variable cv_not_full_;   // producers wait here
-  std::deque<Request> queue_;
-  bool closed_ = false;
+  mutable Mutex mutex_;
+  CondVar cv_not_empty_;  // workers wait here
+  CondVar cv_not_full_;   // producers wait here
+  std::deque<Request> queue_ PF15_GUARDED_BY(mutex_);
+  bool closed_ PF15_GUARDED_BY(mutex_) = false;
   std::atomic<std::size_t> rejected_{0};
   std::atomic<std::size_t> accepted_{0};
 

@@ -134,7 +134,7 @@ void ServingEngine::start_workers() {
 }
 
 void ServingEngine::note_submit() {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
+  MutexLock lock(stats_mutex_);
   if (!saw_first_submit_) {
     saw_first_submit_ = true;
     first_submit_ = std::chrono::steady_clock::now();
@@ -238,7 +238,7 @@ void ServingEngine::serve_batch(std::size_t replica_index,
     metrics_.batches.add(1);
     metrics_.in_flight.add(-static_cast<double>(n));
     {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
+      MutexLock lock(stats_mutex_);
       last_completion_ = done;
     }
 
@@ -288,7 +288,7 @@ ServingStats ServingEngine::stats() const {
   s.queue_depth = batcher_.depth();
   s.in_flight = in_flight_.load(std::memory_order_relaxed);
   {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    MutexLock lock(stats_mutex_);
     if (saw_first_submit_ && s.requests > 0) {
       const double elapsed =
           std::chrono::duration<double>(last_completion_ - first_submit_)

@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "common/thread_pool.hpp"
 #include "graph/compiled_plan.hpp"
 #include "nn/network.hpp"
@@ -151,10 +152,12 @@ class ServingEngine {
   std::atomic<std::size_t> requests_completed_{0};
   std::atomic<std::size_t> batches_{0};
   std::atomic<std::size_t> in_flight_{0};
-  mutable std::mutex stats_mutex_;
-  bool saw_first_submit_ = false;
-  std::chrono::steady_clock::time_point first_submit_;
-  std::chrono::steady_clock::time_point last_completion_;
+  mutable Mutex stats_mutex_;
+  bool saw_first_submit_ PF15_GUARDED_BY(stats_mutex_) = false;
+  std::chrono::steady_clock::time_point first_submit_
+      PF15_GUARDED_BY(stats_mutex_);
+  std::chrono::steady_clock::time_point last_completion_
+      PF15_GUARDED_BY(stats_mutex_);
 
   // Registry instruments (process-wide by name; hoisted once at
   // construction so the hot path never touches the registry mutex).

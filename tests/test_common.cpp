@@ -176,6 +176,50 @@ TEST(ThreadPool, SubmitReturnsCompletion) {
   EXPECT_EQ(counter.load(), 20);
 }
 
+TEST(ThreadPool, CurrentThreadInPoolIdentifiesWorkers) {
+  ThreadPool pool(2);
+  EXPECT_FALSE(pool.current_thread_in_pool());
+  std::atomic<bool> inside{false};
+  pool.submit([&] { inside = pool.current_thread_in_pool(); }).get();
+  EXPECT_TRUE(inside.load());
+}
+
+TEST(ThreadPool, NestedParallelForFailsLoudly) {
+  // The wait-discipline oracle: parallel_for from a worker of the same
+  // pool would deadlock under saturation, so it must fail immediately
+  // instead. The Error is caught and copied on the throwing thread —
+  // rethrowing it through the future would share the exception's
+  // internal string across threads, which TSan (rightly unable to see
+  // synchronization inside the uninstrumented libstdc++) reports.
+  ThreadPool pool(2);
+  std::string message;
+  pool.submit([&] {
+     try {
+       pool.parallel_for(0, 8, [](std::size_t) {});
+       message = "no exception thrown";
+     } catch (const Error& e) {
+       message = e.what();
+     }
+   }).get();
+  EXPECT_NE(message.find("nested wait"), std::string::npos)
+      << "got: " << message;
+}
+
+TEST(ThreadPool, CrossPoolParallelForIsAllowed) {
+  // Only same-pool nesting is a deadlock risk: a worker of pool A may
+  // freely block on pool B (the serving engine's workers do exactly
+  // this against the global compute pool).
+  ThreadPool a(2);
+  ThreadPool b(2);
+  std::atomic<int> sum{0};
+  a.submit([&] {
+     b.parallel_for(0, 10, [&](std::size_t i) {
+       sum += static_cast<int>(i);
+     });
+   }).get();
+  EXPECT_EQ(sum.load(), 45);
+}
+
 TEST(ThreadPool, SingleThreadPoolStillWorks) {
   ThreadPool pool(1);
   std::atomic<int> sum{0};

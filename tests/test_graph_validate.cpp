@@ -1,0 +1,329 @@
+// Static graph verifier (graph/validate.hpp): every check must (a) stay
+// silent on the shipped capture paths — HEP, ResNet-HEP, climate — after
+// every optimization pass and on the planned arena, and (b) produce the
+// expected structured diagnostic when a graph is corrupted by hand in
+// exactly the way the check exists to catch: cycles (forward edges),
+// dangling split aliases, shape-mismatched adds, epilogues planted across
+// a fan-out, overlapping arena slots. The corruptions are seeded directly
+// into the IR, never through the passes — the point is that validate()
+// catches a *buggy* pass, so the tests play the buggy pass.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "check_failure.hpp"
+#include "graph/arena.hpp"
+#include "graph/compiled_plan.hpp"
+#include "graph/graph.hpp"
+#include "graph/passes.hpp"
+#include "graph/validate.hpp"
+#include "nn/climate_net.hpp"
+#include "nn/hep_model.hpp"
+#include "nn/residual.hpp"
+
+namespace pf15::graph {
+namespace {
+
+/// Weightless elementwise node: the cheapest well-formed building block.
+OpNode relu(int input, const Shape& sample) {
+  OpNode n;
+  n.kind = OpKind::kRelu;
+  n.name = "relu";
+  n.inputs = {input};
+  n.in_sample = sample;
+  n.out_sample = sample;
+  return n;
+}
+
+OpNode split(int input, const Shape& sample) {
+  OpNode n;
+  n.kind = OpKind::kSplit;
+  n.name = "split";
+  n.inputs = {input};
+  n.in_sample = sample;
+  n.out_sample = sample;
+  return n;
+}
+
+OpNode add(int a, int b, const Shape& sample) {
+  OpNode n;
+  n.kind = OpKind::kAdd;
+  n.name = "add";
+  n.inputs = {a, b};
+  n.in_sample = sample;
+  n.out_sample = sample;
+  return n;
+}
+
+/// relu -> split -> {relu, relu} -> add: the smallest graph exercising
+/// fan-out, aliasing, a join, and two same-level nodes (the arena
+/// planner's concurrency case).
+Graph diamond(const Shape& sample) {
+  Graph g;
+  g.input_sample = sample;
+  g.nodes.push_back(relu(OpNode::kGraphInput, sample));  // 0
+  g.nodes.push_back(split(0, sample));                   // 1
+  g.nodes.push_back(relu(1, sample));                    // 2
+  g.nodes.push_back(relu(1, sample));                    // 3
+  g.nodes.push_back(add(2, 3, sample));                  // 4
+  g.outputs = {4};
+  return g;
+}
+
+bool has_code(const std::vector<Diagnostic>& diags, DiagCode code) {
+  return std::any_of(diags.begin(), diags.end(),
+                     [&](const Diagnostic& d) { return d.code == code; });
+}
+
+// ---- clean graphs ----------------------------------------------------------
+
+TEST(GraphValidate, HandBuiltDiamondIsClean) {
+  Graph g = diamond(Shape{4});
+  EXPECT_TRUE(validate(g).empty()) << render(validate(g));
+  // And with its own arena plan.
+  ArenaAssignment arena = plan_arena(g);
+  ValidateOptions opt;
+  opt.arena = &arena;
+  EXPECT_TRUE(validate(g, opt).empty()) << render(validate(g, opt));
+}
+
+// ---- seeded corruptions ----------------------------------------------------
+
+TEST(GraphValidate, ForwardEdgeIsReportedAsCycle) {
+  Graph g = diamond(Shape{4});
+  g.nodes[2].inputs[0] = 4;  // edge to a higher index: a cycle via the add
+  const auto diags = validate(g);
+  ASSERT_TRUE(has_code(diags, DiagCode::kNotTopological)) << render(diags);
+  // The diagnostic names both ends of the bad edge.
+  for (const Diagnostic& d : diags) {
+    if (d.code == DiagCode::kNotTopological) {
+      EXPECT_EQ(d.node, 2);
+      EXPECT_EQ(d.other, 4);
+    }
+  }
+}
+
+TEST(GraphValidate, SelfEdgeIsReportedAsCycle) {
+  Graph g = diamond(Shape{4});
+  g.nodes[3].inputs[0] = 3;
+  EXPECT_TRUE(has_code(validate(g), DiagCode::kNotTopological));
+}
+
+TEST(GraphValidate, OutOfRangeEdge) {
+  Graph g = diamond(Shape{4});
+  g.nodes[2].inputs[0] = 99;
+  EXPECT_TRUE(has_code(validate(g), DiagCode::kBadEdge));
+  g.nodes[2].inputs[0] = -7;
+  EXPECT_TRUE(has_code(validate(g), DiagCode::kBadEdge));
+}
+
+TEST(GraphValidate, DanglingAliasChain) {
+  // Two splits aliasing each other: the chain never reaches a
+  // buffer-owning node. validate() must terminate (bounded walk) and
+  // name the alias — the forward edge is reported separately.
+  Graph g = diamond(Shape{4});
+  g.nodes[1].inputs[0] = 3;           // split now points forward...
+  g.nodes[3] = split(1, Shape{4});    // ...at another split pointing back
+  const auto diags = validate(g);
+  EXPECT_TRUE(has_code(diags, DiagCode::kDanglingAlias)) << render(diags);
+}
+
+TEST(GraphValidate, AddArity) {
+  Graph g = diamond(Shape{4});
+  g.nodes[4].inputs = {2};  // one-armed add
+  EXPECT_TRUE(has_code(validate(g), DiagCode::kBadArity));
+}
+
+TEST(GraphValidate, ShapeMismatchedAdd) {
+  Graph g = diamond(Shape{4});
+  g.nodes[3].out_sample = Shape{8};  // one operand grew: not elementwise
+  const auto diags = validate(g);
+  EXPECT_TRUE(has_code(diags, DiagCode::kShapeMismatch)) << render(diags);
+}
+
+TEST(GraphValidate, ShapeMismatchAlongEdge) {
+  Graph g = diamond(Shape{4});
+  g.nodes[2].in_sample = Shape{2, 2};  // consumer disagrees with producer
+  EXPECT_TRUE(has_code(validate(g), DiagCode::kShapeMismatch));
+}
+
+TEST(GraphValidate, EpilogueAcrossSplitIsIllegal) {
+  // A fusion pass that ignored fan-out would plant the activation on the
+  // split itself — exactly the rewrite fuse_activations must never do.
+  Graph g = diamond(Shape{4});
+  g.nodes[1].epilogue = Epilogue::kRelu;
+  const auto diags = validate(g);
+  ASSERT_TRUE(has_code(diags, DiagCode::kIllegalEpilogue)) << render(diags);
+  EXPECT_NE(render(diags).find("fan-out"), std::string::npos);
+}
+
+TEST(GraphValidate, EpilogueOnPlainActivationIsIllegal) {
+  Graph g = diamond(Shape{4});
+  g.nodes[2].epilogue = Epilogue::kTanh;  // kRelu cannot carry an epilogue
+  EXPECT_TRUE(has_code(validate(g), DiagCode::kIllegalEpilogue));
+}
+
+TEST(GraphValidate, SplitOwningWeightsIsNotAnAlias) {
+  Graph g = diamond(Shape{4});
+  g.nodes[1].weight = Tensor(Shape{4});
+  EXPECT_TRUE(has_code(validate(g), DiagCode::kSplitNotAlias));
+}
+
+TEST(GraphValidate, OpaqueWithoutLayer) {
+  Graph g = diamond(Shape{4});
+  g.nodes[2].kind = OpKind::kOpaque;
+  EXPECT_TRUE(has_code(validate(g), DiagCode::kMissingLayer));
+}
+
+TEST(GraphValidate, BadGraphOutput) {
+  Graph g = diamond(Shape{4});
+  g.outputs.push_back(42);
+  EXPECT_TRUE(has_code(validate(g), DiagCode::kBadOutput));
+}
+
+TEST(GraphValidate, DiagnosticCapBoundsTheFlood) {
+  Graph g = diamond(Shape{4});
+  for (OpNode& n : g.nodes) n.inputs = {99};  // every edge is bad
+  ValidateOptions opt;
+  opt.max_diagnostics = 2;
+  EXPECT_EQ(validate(g, opt).size(), 2u);
+}
+
+// ---- arena corruptions -----------------------------------------------------
+
+TEST(GraphValidate, OverlappingConcurrentArenaSlots) {
+  // Nodes 2 and 3 run on the same level under the parallel executor;
+  // giving them the same offset is a write-write race, not just reuse.
+  Graph g = diamond(Shape{4});
+  ArenaAssignment arena = plan_arena(g);
+  ASSERT_FALSE(arena.external[2]);
+  ASSERT_FALSE(arena.external[3]);
+  arena.offsets[3] = arena.offsets[2];
+  ValidateOptions opt;
+  opt.arena = &arena;
+  const auto diags = validate(g, opt);
+  ASSERT_TRUE(has_code(diags, DiagCode::kConcurrentWriteOverlap))
+      << render(diags);
+}
+
+TEST(GraphValidate, OverlappingLiveRanges) {
+  // Collide a branch buffer with its producer's (levels 0 vs 1, both
+  // live at level 1 when the branch reads node 0 through the split).
+  Graph g = diamond(Shape{4});
+  ArenaAssignment arena = plan_arena(g);
+  ASSERT_FALSE(arena.external[0]);
+  arena.offsets[2] = arena.offsets[0];
+  ValidateOptions opt;
+  opt.arena = &arena;
+  EXPECT_TRUE(has_code(validate(g, opt), DiagCode::kLiveRangeOverlap));
+}
+
+TEST(GraphValidate, ArenaOutOfBounds) {
+  Graph g = diamond(Shape{4});
+  ArenaAssignment arena = plan_arena(g);
+  arena.offsets[2] = arena.total_floats;  // one past the end
+  ValidateOptions opt;
+  opt.arena = &arena;
+  EXPECT_TRUE(has_code(validate(g, opt), DiagCode::kArenaOutOfBounds));
+}
+
+TEST(GraphValidate, ExternalBufferConsumedByANode) {
+  Graph g = diamond(Shape{4});
+  g.outputs = {4, 3};  // node 3 feeds the add AND leaves the graph
+  ArenaAssignment arena = plan_arena(g);
+  // plan_arena keeps consumed outputs internal; force the corruption.
+  arena.external[3] = true;
+  ValidateOptions opt;
+  opt.arena = &arena;
+  EXPECT_TRUE(has_code(validate(g, opt), DiagCode::kExternalConsumed));
+}
+
+TEST(GraphValidate, ArenaChecksSkippedOnStructurallyBrokenGraph) {
+  // With a forward edge the levels are meaningless: the structural
+  // finding must come through alone, not buried in bogus overlap noise.
+  Graph g = diamond(Shape{4});
+  ArenaAssignment arena = plan_arena(g);
+  g.nodes[2].inputs[0] = 4;
+  ValidateOptions opt;
+  opt.arena = &arena;
+  const auto diags = validate(g, opt);
+  EXPECT_TRUE(has_code(diags, DiagCode::kNotTopological));
+  EXPECT_FALSE(has_code(diags, DiagCode::kLiveRangeOverlap));
+  EXPECT_FALSE(has_code(diags, DiagCode::kConcurrentWriteOverlap));
+}
+
+// ---- the debug-build hook --------------------------------------------------
+
+TEST(GraphValidate, CheckValidThrowsWithPassName) {
+  Graph g = diamond(Shape{4});
+  g.nodes[1].epilogue = Epilogue::kSigmoid;
+  PF15_EXPECT_CHECK_FAIL(check_valid(g, "fuse_activations"),
+                         "graph validation failed after fuse_activations");
+}
+
+// ---- shipped capture paths stay clean after every pass ---------------------
+
+/// Runs capture -> per-pass validate -> full compile (with arena
+/// validate) for one captured graph.
+void expect_clean_through_passes(Graph g) {
+  EXPECT_TRUE(validate(g).empty()) << "after capture:\n" << render(validate(g));
+  strip_noops(g);
+  EXPECT_TRUE(validate(g).empty())
+      << "after strip_noops:\n" << render(validate(g));
+  fold_batchnorm(g);
+  EXPECT_TRUE(validate(g).empty())
+      << "after fold_batchnorm:\n" << render(validate(g));
+  fuse_activations(g);
+  EXPECT_TRUE(validate(g).empty())
+      << "after fuse_activations:\n" << render(validate(g));
+  ArenaAssignment arena = plan_arena(g);
+  ValidateOptions opt;
+  opt.arena = &arena;
+  EXPECT_TRUE(validate(g, opt).empty())
+      << "after plan_arena:\n" << render(validate(g, opt));
+}
+
+TEST(GraphValidate, HepCapturePathIsClean) {
+  nn::Sequential net = nn::build_hep_network(nn::HepConfig::tiny());
+  net.set_training(false);
+  const Shape sample{nn::HepConfig::tiny().channels,
+                     nn::HepConfig::tiny().image,
+                     nn::HepConfig::tiny().image};
+  expect_clean_through_passes(capture(net, sample));
+}
+
+TEST(GraphValidate, ResNetCapturePathIsClean) {
+  nn::ResNetConfig cfg;
+  cfg.in_channels = 3;
+  cfg.num_classes = 2;
+  cfg.stage_channels = {8, 16};
+  cfg.blocks_per_stage = 1;
+  cfg.batchnorm = true;
+  nn::Sequential net = nn::build_resnet(cfg);
+  net.set_training(false);
+  expect_clean_through_passes(capture(net, Shape{3, 16, 16}));
+}
+
+TEST(GraphValidate, ClimateCapturePathIsClean) {
+  nn::ClimateNet net(nn::ClimateConfig::tiny());
+  net.set_training(false);
+  expect_clean_through_passes(capture(net));
+}
+
+TEST(GraphValidate, CompiledPlansValidateWithTheirArena) {
+  nn::Sequential net = nn::build_hep_network(nn::HepConfig::tiny());
+  net.set_training(false);
+  const Shape sample{nn::HepConfig::tiny().channels,
+                     nn::HepConfig::tiny().image,
+                     nn::HepConfig::tiny().image};
+  CompileOptions copt;
+  copt.pretune = false;
+  CompiledPlan plan = compile(net, sample, copt);
+  ValidateOptions opt;
+  opt.arena = &plan.arena_plan();
+  EXPECT_TRUE(validate(plan.graph(), opt).empty())
+      << render(validate(plan.graph(), opt));
+}
+
+}  // namespace
+}  // namespace pf15::graph

@@ -258,6 +258,14 @@ TEST(HybridTrainer, Fp16PsCodecTrainsComparablyToFp32) {
 }
 
 TEST(HybridTrainer, StragglerSlowsSyncIterations) {
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+  // This asserts on wall-clock deltas (a 50 ms injected delay must
+  // dominate the iteration time). Under sanitizer slowdown the compute
+  // itself inflates ~10x and swamps the fixed delay — the assertion
+  // becomes noise, not a correctness signal. The sanitizer lanes still
+  // run every other Hybrid test, which is what they are there for.
+  GTEST_SKIP() << "timing assertion is meaningless under sanitizers";
+#endif
   HybridConfig fast;
   fast.num_workers = 2;
   fast.num_groups = 1;
