@@ -23,6 +23,16 @@
 // builds every compiled plan with zero first-sight tunes" into a hard
 // exit-code check (exit 3) — the cold-start serving acceptance.
 //
+// Timed runs additionally sweep the work-stealing scheduler: the two
+// wide-level models (climate head fan-out, ResNet block bodies) are
+// re-timed on private 1/2/4/8-worker TaskSchedulers
+// (CompileOptions::scheduler, pretune off against the warm cache) and
+// the per-thread-count microseconds, speedups and steal counters go
+// into the record ("threads_sweep", with "cores" saying how much
+// hardware backed the numbers). On >=4-core machines a 4-worker
+// wide-level speedup below 1.5x exits 10 (scheduler regression, hard
+// in verify.sh); below 4 cores the gate is skipped loudly.
+//
 // With --trace PATH the span tracer records the whole run — compile
 // passes, pretune, per-level executor spans, per-node spans, pool tasks —
 // as chrome://tracing JSON, then the bench re-parses its own output and
@@ -40,14 +50,17 @@
 // Usage: bench_graph_compile [--json PATH] [--reps N] [--batch N]
 //                            [--cache PATH] [--plans-only] [--require-warm]
 //                            [--trace PATH] [--validate]
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <functional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/errors.hpp"
 #include "common/rng.hpp"
-#include "common/thread_pool.hpp"
+#include "common/task_scheduler.hpp"
 #include "common/timer.hpp"
 #include "gemm/conv_backend.hpp"
 #include "graph/compiled_plan.hpp"
@@ -354,6 +367,89 @@ int main(int argc, char** argv) {
     results.push_back(std::move(r));
   }
 
+  // ---- threads sweep -------------------------------------------------------
+  perf::Json threads_sweep = perf::Json::array();
+  // The work-stealing scheduler's node×batch task product, measured
+  // head-on: the two wide-level models re-timed on private
+  // TaskSchedulers of 1/2/4/8 workers (CompileOptions::scheduler).
+  // pretune=false — the conv plan cache is warm from the rows above, so
+  // the sweep times execution, not tuning. Speedups are vs the same
+  // plan on the 1-worker scheduler; "cores" above says how much
+  // hardware parallelism the numbers were measured with (on a 1-core
+  // box the sweep records scheduler overhead honestly, and the
+  // speedup gate below does not apply).
+  const std::size_t hw_cores = static_cast<std::size_t>(
+      std::max(1u, std::thread::hardware_concurrency()));
+  double sweep_speedup_4t = 0.0;  // best wide-level speedup at 4 workers
+  if (!plans_only) {
+    nn::ClimateConfig ccfg = nn::ClimateConfig::tiny();
+    ccfg.image = 64;
+    ccfg.channels = 8;
+    ccfg.widths = {16, 24, 32};
+    nn::ClimateNet cnet(ccfg);
+    cnet.set_training(false);
+    nn::ResNetConfig rcfg;
+    rcfg.in_channels = 3;
+    rcfg.num_classes = 2;
+    rcfg.stage_channels = {16, 32, 64};
+    rcfg.blocks_per_stage = 2;
+    rcfg.batchnorm = true;
+    rcfg.algo = nn::ConvAlgo::kAuto;
+    nn::Sequential rnet = nn::build_resnet(rcfg);
+    rnet.set_training(false);
+    const Shape rsample{3, 64, 64};
+    Tensor cinput(Shape{batch, ccfg.channels, ccfg.image, ccfg.image});
+    cinput.fill_uniform(rng, -1.0f, 1.0f);
+    Tensor rinput(with_batch(rsample, batch));
+    rinput.fill_uniform(rng, -1.0f, 1.0f);
+    const auto time_min = [&](const std::function<void()>& f) {
+      f();  // untimed warmup
+      double best = 0.0;
+      for (std::size_t i = 0; i < std::max<std::size_t>(1, reps); ++i) {
+        WallTimer t;
+        f();
+        const double s = t.seconds();
+        if (i == 0 || s < best) best = s;
+      }
+      return best * 1e6 / static_cast<double>(batch);
+    };
+    perf::Json sweep = perf::Json::array();
+    double climate_1t = 0.0, resnet_1t = 0.0;
+    for (const std::size_t n : {std::size_t{1}, std::size_t{2},
+                                std::size_t{4}, std::size_t{8}}) {
+      TaskScheduler sched(n);
+      graph::CompileOptions sopt = copt;
+      sopt.pretune = false;
+      sopt.scheduler = &sched;
+      graph::CompiledPlan cplan = graph::compile(cnet, sopt);
+      graph::CompiledPlan rplan = graph::compile(rnet, rsample, sopt);
+      const double c_us = time_min([&] { cplan.run_all(cinput); });
+      const double r_us = time_min([&] { rplan.run_all(rinput); });
+      if (n == 1) {
+        climate_1t = c_us;
+        resnet_1t = r_us;
+      }
+      const double c_speedup = c_us > 0.0 ? climate_1t / c_us : 0.0;
+      const double r_speedup = r_us > 0.0 ? resnet_1t / r_us : 0.0;
+      if (n == 4) sweep_speedup_4t = std::max(c_speedup, r_speedup);
+      perf::Json row = perf::Json::object();
+      row.set("threads", n);
+      row.set("climate_us_per_image", c_us);
+      row.set("climate_speedup", c_speedup);
+      row.set("resnet_us_per_image", r_us);
+      row.set("resnet_speedup", r_speedup);
+      sweep.push_back(std::move(row));
+      std::printf(
+          "threads=%zu: climate %.1f us/img (%.2fx), resnet %.1f us/img "
+          "(%.2fx)\n",
+          n, c_us, c_speedup, r_us, r_speedup);
+      const TaskScheduler::Stats st = sched.stats();
+      std::printf("  sched: %zu spawned, %zu executed, %zu stolen\n",
+                  st.spawned, st.executed, st.stolen);
+    }
+    threads_sweep = std::move(sweep);
+  }
+
   // ---- record + acceptance -------------------------------------------------
   std::size_t first_sight_tunes = 0;
   bool all_not_slower = true;
@@ -367,7 +463,8 @@ int main(int argc, char** argv) {
   perf::Json record = perf::Json::object();
   record.set("bench", "graph_compile");
   record.set("unit", "microseconds_per_image");
-  record.set("threads", ThreadPool::global().size());
+  record.set("threads", TaskScheduler::global().size());
+  record.set("cores", hw_cores);
   record.set("batch", batch);
   record.set("reps", reps);
   record.set("warm_start", warm_start);
@@ -400,6 +497,7 @@ int main(int argc, char** argv) {
          perf::Table::num(static_cast<double>(r.eager_bytes) / 1024.0, 1)});
   }
   record.set("models", std::move(rows));
+  if (!plans_only) record.set("threads_sweep", std::move(threads_sweep));
   perf::Json summary = perf::Json::object();
   summary.set("compiled_never_slower_than_eager", all_not_slower);
   summary.set("arena_always_below_eager", all_arena_below);
@@ -416,6 +514,10 @@ int main(int argc, char** argv) {
   summary.set("plan_cache_misses", cache.misses());
   if (trace_overhead_ratio > 0.0) {
     summary.set("trace_overhead_ratio", trace_overhead_ratio);
+  }
+  if (!plans_only) {
+    summary.set("threads_sweep_speedup_4t", sweep_speedup_4t);
+    summary.set("threads_sweep_gated", hw_cores >= 4);
   }
   if (do_validate) {
     summary.set("validate_findings", validate_findings);
@@ -500,6 +602,30 @@ int main(int argc, char** argv) {
                  "scratch\n",
                  first_sight_tunes);
     return 3;
+  }
+  // Scheduler-speedup gate: on machines with real hardware parallelism
+  // the node×batch product must pull its weight — a wide-level model at
+  // 4 workers below 1.5x over 1 worker is a scheduler regression, not
+  // timing noise (exit 10, hard in verify.sh). On boxes with fewer than
+  // 4 cores the sweep still records honestly but the gate cannot be
+  // meaningful, so it is skipped loudly.
+  if (!plans_only) {
+    if (hw_cores >= 4) {
+      if (sweep_speedup_4t < 1.5) {
+        std::fprintf(stderr,
+                     "FAIL: 4-worker wide-level speedup %.2fx < 1.5x "
+                     "(scheduler regression)\n",
+                     sweep_speedup_4t);
+        return 10;
+      }
+      std::printf("threads-sweep gate: %.2fx at 4 workers (>= 1.5x)\n",
+                  sweep_speedup_4t);
+    } else {
+      std::printf(
+          "NOTE: threads-sweep speedup gate skipped — %zu hardware "
+          "core(s) < 4; sweep numbers recorded for the record only\n",
+          hw_cores);
+    }
   }
   // Perf acceptance: exit 1, which verify.sh reports as a warning.
   if (!all_not_slower || !all_arena_below || !parallel_not_slower) return 1;

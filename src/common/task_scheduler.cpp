@@ -1,0 +1,483 @@
+#include "common/task_scheduler.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "common/errors.hpp"
+#include "common/logging.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace pf15 {
+
+namespace detail {
+
+struct TaskNode {
+  std::function<void()> fn;
+  TaskSync* sync = nullptr;  // null: detached
+};
+
+/// Chase–Lev work-stealing deque (Chase & Lev, SPAA'05; memory orders
+/// after Lê et al., PPoPP'13, with the thread fence replaced by seq_cst
+/// operations on top_/bottom_ — std::atomic_thread_fence is invisible to
+/// TSan, plain atomics are not). Owner calls push()/pop() at the bottom;
+/// any thread calls steal() at the top. Indices grow monotonically (no
+/// ABA); grown buffers are retired, not freed, until destruction, so a
+/// thief holding a stale buffer pointer still reads valid memory and its
+/// CAS on top_ rejects the stale element.
+class WorkDeque {
+ public:
+  explicit WorkDeque(std::size_t initial_capacity = 256) {
+    buffers_.push_back(std::make_unique<Buffer>(initial_capacity));
+    buffer_.store(buffers_.back().get(), std::memory_order_relaxed);
+  }
+
+  WorkDeque(const WorkDeque&) = delete;
+  WorkDeque& operator=(const WorkDeque&) = delete;
+
+  /// Owner only.
+  void push(TaskNode* task) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    Buffer* buf = buffer_.load(std::memory_order_relaxed);
+    if (b - t >= static_cast<std::int64_t>(buf->capacity)) {
+      buf = grow(buf, t, b);
+    }
+    buf->slot(b).store(task, std::memory_order_relaxed);
+    // seq_cst store: orders the slot write before any thief's top_/
+    // bottom_ reads (the release half) and participates in the Dekker
+    // handshake with pop()/steal().
+    bottom_.store(b + 1, std::memory_order_seq_cst);
+  }
+
+  /// Owner only. Null when empty.
+  TaskNode* pop() {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    Buffer* buf = buffer_.load(std::memory_order_relaxed);
+    bottom_.store(b, std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    TaskNode* task = nullptr;
+    if (t <= b) {
+      task = buf->slot(b).load(std::memory_order_relaxed);
+      if (t == b) {
+        // Last element: race a concurrent thief for it via the CAS on
+        // top_ — exactly one side wins.
+        if (!top_.compare_exchange_strong(t, t + 1,
+                                          std::memory_order_seq_cst,
+                                          std::memory_order_relaxed)) {
+          task = nullptr;  // thief won
+        }
+        bottom_.store(b + 1, std::memory_order_relaxed);
+      }
+    } else {
+      bottom_.store(b + 1, std::memory_order_relaxed);  // was empty
+    }
+    return task;
+  }
+
+  /// Any thread. Null when empty or when the CAS lost a race (the caller
+  /// treats both as "try elsewhere / try again").
+  TaskNode* steal() {
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_seq_cst);
+    if (t >= b) return nullptr;
+    Buffer* buf = buffer_.load(std::memory_order_acquire);
+    TaskNode* task = buf->slot(t).load(std::memory_order_relaxed);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      return nullptr;  // lost to the owner's pop or another thief
+    }
+    return task;
+  }
+
+  /// Racy emptiness hint for steal sweeps (exact only when quiescent).
+  bool maybe_nonempty() const {
+    return bottom_.load(std::memory_order_relaxed) >
+           top_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Buffer {
+    explicit Buffer(std::size_t cap)
+        : capacity(cap),
+          slots(std::make_unique<std::atomic<TaskNode*>[]>(cap)) {}
+    std::atomic<TaskNode*>& slot(std::int64_t i) {
+      return slots[static_cast<std::size_t>(i) & (capacity - 1)];
+    }
+    const std::size_t capacity;  // power of two
+    const std::unique_ptr<std::atomic<TaskNode*>[]> slots;
+  };
+
+  /// Owner only, from push(): doubles the buffer, copying the live range
+  /// [t, b). The old buffer stays allocated (buffers_) so in-flight
+  /// thieves dereference valid memory; their CAS rejects stale elements.
+  Buffer* grow(Buffer* old, std::int64_t t, std::int64_t b) {
+    buffers_.push_back(std::make_unique<Buffer>(old->capacity * 2));
+    Buffer* bigger = buffers_.back().get();
+    for (std::int64_t i = t; i < b; ++i) {
+      bigger->slot(i).store(old->slot(i).load(std::memory_order_relaxed),
+                            std::memory_order_relaxed);
+    }
+    buffer_.store(bigger, std::memory_order_release);
+    return bigger;
+  }
+
+  std::atomic<std::int64_t> top_{0};
+  std::atomic<std::int64_t> bottom_{0};
+  std::atomic<Buffer*> buffer_{nullptr};
+  /// Every buffer ever allocated, current one last. Owner-only (push),
+  /// destroyed with the deque.
+  std::vector<std::unique_ptr<Buffer>> buffers_;
+};
+
+}  // namespace detail
+
+namespace {
+
+/// Scheduler-wide instruments: task and steal totals, and how many tasks
+/// are queued but not yet running across every scheduler in the process.
+struct SchedMetrics {
+  obs::Counter& executed = obs::MetricsRegistry::global().counter(
+      "pf15_sched_tasks_total", "scheduler tasks executed");
+  obs::Counter& stolen = obs::MetricsRegistry::global().counter(
+      "pf15_sched_steals_total", "tasks executed by a worker other than "
+                                 "the one that pushed them");
+  obs::Gauge& queued = obs::MetricsRegistry::global().gauge(
+      "pf15_sched_queue_depth", "tasks spawned but not yet executing");
+};
+
+SchedMetrics& sched_metrics() {
+  static SchedMetrics m;
+  return m;
+}
+
+/// The scheduler whose worker_loop the calling thread runs, if any, and
+/// its worker index there. A worker thread belongs to exactly one
+/// scheduler for its whole lifetime.
+thread_local const TaskScheduler* t_worker_of = nullptr;
+thread_local std::size_t t_worker_index = 0;
+
+/// Cheap per-thread xorshift for steal-victim selection: no shared
+/// state, no modulo bias worth caring about.
+std::size_t next_victim_seed() {
+  thread_local std::uint64_t state =
+      0x9e3779b97f4a7c15ull ^
+      std::hash<std::thread::id>{}(std::this_thread::get_id());
+  state ^= state << 13;
+  state ^= state >> 7;
+  state ^= state << 17;
+  return static_cast<std::size_t>(state >> 32);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// TaskSync
+
+TaskSync::~TaskSync() {
+  // Reaching here with tasks in flight means a spawn was never waited
+  // for — those tasks would write through a dangling pointer. Fail fast.
+  PF15_CHECK_MSG(pending_.load(std::memory_order_acquire) == 0,
+                 "TaskSync destroyed with tasks still pending — every "
+                 "spawn must be covered by a wait()");
+}
+
+void TaskSync::record_error(std::exception_ptr e) {
+  MutexLock lock(error_mutex_);
+  if (!error_) {
+    error_ = std::move(e);
+    has_error_.store(true, std::memory_order_release);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// TaskScheduler
+
+struct TaskScheduler::Worker {
+  detail::WorkDeque deque;
+  std::thread thread;
+};
+
+TaskScheduler::TaskScheduler(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  // Deques exist before any thread starts: a fast first spawn may be
+  // stolen by worker 0 while worker N-1 is still being constructed.
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_[i]->thread = std::thread([this, i] { worker_loop(i); });
+  }
+}
+
+TaskScheduler::~TaskScheduler() {
+  stop_.store(true, std::memory_order_release);
+  {
+    MutexLock lock(sleep_mutex_);
+    sleep_cv_.notify_all();
+  }
+  for (auto& w : workers_) w->thread.join();
+}
+
+TaskScheduler& TaskScheduler::global() {
+  static TaskScheduler scheduler;
+  return scheduler;
+}
+
+bool TaskScheduler::current_thread_in_scheduler() const {
+  return t_worker_of == this;
+}
+
+void TaskScheduler::enqueue(detail::TaskNode* task) {
+  spawned_.fetch_add(1, std::memory_order_relaxed);
+  sched_metrics().queued.add(1.0);
+  if (t_worker_of == this) {
+    workers_[t_worker_index]->deque.push(task);
+  } else {
+    MutexLock lock(inject_mutex_);
+    injected_.push_back(task);
+  }
+  // Publish-then-wake: a sleeper that re-checks the epoch under the
+  // mutex after this bump cannot park past this task.
+  work_epoch_.fetch_add(1, std::memory_order_release);
+  if (sleepers_.load(std::memory_order_acquire) > 0) {
+    MutexLock lock(sleep_mutex_);
+    sleep_cv_.notify_one();
+  }
+}
+
+void TaskScheduler::spawn(TaskSync& sync, std::function<void()> fn) {
+  sync.pending_.fetch_add(1, std::memory_order_relaxed);
+  enqueue(new detail::TaskNode{std::move(fn), &sync});
+}
+
+void TaskScheduler::spawn_detached(std::function<void()> fn) {
+  enqueue(new detail::TaskNode{std::move(fn), nullptr});
+}
+
+void TaskScheduler::on_complete(TaskSync& when, TaskSync& track,
+                                std::function<void()> fn) {
+  PF15_CHECK_MSG(&when != &track,
+                 "a TaskSync continuation cannot track itself (its own "
+                 "pending count would never drain)");
+  track.pending_.fetch_add(1, std::memory_order_relaxed);
+  auto* node = new detail::TaskNode{std::move(fn), &track};
+  void* prev = when.continuation_.exchange(node, std::memory_order_acq_rel);
+  PF15_CHECK_MSG(prev == nullptr,
+                 "TaskSync supports one continuation at a time");
+  // If the group drained before (or while) we registered, no completer
+  // is left to claim the continuation — claim it ourselves. The
+  // exchange-to-null is the exactly-once handoff either way.
+  if (when.pending_.load(std::memory_order_acquire) == 0) {
+    auto* claimed = static_cast<detail::TaskNode*>(
+        when.continuation_.exchange(nullptr, std::memory_order_acq_rel));
+    if (claimed != nullptr) enqueue(claimed);
+  }
+}
+
+void TaskScheduler::complete(TaskSync& sync) {
+  // Lifetime guard: raised before the decrement that can release a
+  // waiter, dropped after this function's last access to `sync`. wait()
+  // spins the guard down to zero before returning, so the continuation
+  // claim below never races the sync's destruction (parallel_for keeps
+  // its TaskSync on the stack).
+  sync.completers_.fetch_add(1, std::memory_order_acq_rel);
+  if (sync.pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    // Last task out claims the continuation, if one is registered. The
+    // exchange races only with on_complete's drained-before-registered
+    // claim; whoever exchanges non-null schedules it.
+    auto* continuation = static_cast<detail::TaskNode*>(
+        sync.continuation_.exchange(nullptr, std::memory_order_acq_rel));
+    sync.completers_.fetch_sub(1, std::memory_order_release);
+    if (continuation != nullptr) enqueue(continuation);
+  } else {
+    sync.completers_.fetch_sub(1, std::memory_order_release);
+  }
+}
+
+void TaskScheduler::execute(detail::TaskNode* task) {
+  SchedMetrics& metrics = sched_metrics();
+  metrics.queued.add(-1.0);
+  metrics.executed.add(1);
+  executed_.fetch_add(1, std::memory_order_relaxed);
+  {
+    // One span per task: gaps between spans on a worker track are idle
+    // or steal-search time.
+    obs::TraceSpan span("sched_task", "sched");
+    if (task->sync != nullptr) {
+      try {
+        task->fn();
+      } catch (...) {
+        task->sync->record_error(std::current_exception());
+      }
+    } else {
+      // Detached: nobody waits, so nobody can rethrow. Swallow loudly.
+      try {
+        task->fn();
+      } catch (const std::exception& e) {
+        PF15_WARN("detached scheduler task threw: " << e.what());
+      } catch (...) {
+        PF15_WARN("detached scheduler task threw a non-std exception");
+      }
+    }
+  }
+  if (task->sync != nullptr) complete(*task->sync);
+  delete task;
+}
+
+detail::TaskNode* TaskScheduler::pop_injected() {
+  MutexLock lock(inject_mutex_);
+  if (injected_.empty()) return nullptr;
+  detail::TaskNode* task = injected_.front();
+  injected_.pop_front();
+  return task;
+}
+
+detail::TaskNode* TaskScheduler::find_task(std::size_t self) {
+  if (self != kNotWorker) {
+    if (detail::TaskNode* task = workers_[self]->deque.pop()) return task;
+  }
+  if (detail::TaskNode* task = pop_injected()) return task;
+  const std::size_t n = workers_.size();
+  if (n == 0) return nullptr;
+  // Two sweeps from a random start: the second retries CAS-aborted
+  // steals without turning rare contention into a missed task.
+  const std::size_t start = next_victim_seed();
+  for (int sweep = 0; sweep < 2; ++sweep) {
+    for (std::size_t k = 0; k < n; ++k) {
+      const std::size_t victim = (start + k) % n;
+      if (victim == self) continue;
+      if (detail::TaskNode* task = workers_[victim]->deque.steal()) {
+        stolen_.fetch_add(1, std::memory_order_relaxed);
+        sched_metrics().stolen.add(1);
+        return task;
+      }
+    }
+  }
+  return nullptr;
+}
+
+void TaskScheduler::idle_wait(std::uint64_t seen_epoch) {
+  UniqueLock lock(sleep_mutex_);
+  if (work_epoch_.load(std::memory_order_acquire) != seen_epoch ||
+      stop_.load(std::memory_order_acquire)) {
+    return;
+  }
+  sleepers_.fetch_add(1, std::memory_order_release);
+  // Timeout backstop: a wakeup lost to a race costs one millisecond of
+  // latency, never a hang. No predicate loop — the caller re-runs
+  // find_task() and comes back if there is still nothing.
+  sleep_cv_.wait_for(lock, std::chrono::milliseconds(1));
+  sleepers_.fetch_sub(1, std::memory_order_release);
+}
+
+void TaskScheduler::worker_loop(std::size_t index) {
+  t_worker_of = this;
+  t_worker_index = index;
+  for (;;) {
+    const std::uint64_t epoch = work_epoch_.load(std::memory_order_acquire);
+    if (detail::TaskNode* task = find_task(index)) {
+      execute(task);
+      continue;
+    }
+    // Nothing anywhere. A worker's own deque is empty here (its pop just
+    // failed and only this thread pushes to it), and the injection queue
+    // was empty under its mutex — so on stop, exiting cannot strand
+    // work this worker could have run.
+    if (stop_.load(std::memory_order_acquire)) return;
+    idle_wait(epoch);
+  }
+}
+
+void TaskScheduler::wait(TaskSync& sync) {
+  const std::size_t self =
+      t_worker_of == this ? t_worker_index : kNotWorker;
+  std::size_t fruitless = 0;
+  while (sync.pending_.load(std::memory_order_acquire) != 0) {
+    if (detail::TaskNode* task = find_task(self)) {
+      execute(task);
+      fruitless = 0;
+      continue;
+    }
+    // Nothing runnable anywhere: the remaining tasks of this group are
+    // executing on other threads right now. Yield, escalating to short
+    // sleeps so a long-running remote task does not burn a core.
+    if (++fruitless < 64) {
+      std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  }
+  // The counter is drained, but the completer that dropped it to zero
+  // may still be inside complete() (claiming the continuation cell).
+  // Spin it out before returning: the caller is free to destroy the
+  // sync the moment wait() returns.
+  while (sync.completers_.load(std::memory_order_acquire) != 0) {
+    std::this_thread::yield();
+  }
+  if (sync.has_error_.load(std::memory_order_acquire)) {
+    std::exception_ptr err;
+    {
+      MutexLock lock(sync.error_mutex_);
+      err = std::move(sync.error_);
+      sync.error_ = nullptr;
+      sync.has_error_.store(false, std::memory_order_release);
+    }
+    if (err) std::rethrow_exception(err);
+  }
+}
+
+void TaskScheduler::parallel_for(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t)>& fn) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  // Workers plus the participating caller, 4 chunks each to absorb
+  // imbalance (same chunking policy as the old pool).
+  const std::size_t width = workers_.size() + 1;
+  const std::size_t chunks = std::min(n, width * 4);
+  if (chunks <= 1) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  const std::size_t chunk_size = (n + chunks - 1) / chunks;
+  TaskSync sync;
+  for (std::size_t c = 1; c < chunks; ++c) {
+    const std::size_t lo = begin + c * chunk_size;
+    const std::size_t hi = std::min(end, lo + chunk_size);
+    if (lo >= hi) break;
+    spawn(sync, [lo, hi, &fn] {
+      for (std::size_t i = lo; i < hi; ++i) fn(i);
+    });
+  }
+  // The caller runs chunk 0 inline, then helps until the rest are done.
+  // fn is captured by reference in the spawned chunks, so an inline
+  // exception must still wait for them before propagating.
+  std::exception_ptr inline_error;
+  try {
+    const std::size_t hi = std::min(end, begin + chunk_size);
+    for (std::size_t i = begin; i < hi; ++i) fn(i);
+  } catch (...) {
+    inline_error = std::current_exception();
+  }
+  try {
+    wait(sync);
+  } catch (...) {
+    if (!inline_error) inline_error = std::current_exception();
+  }
+  if (inline_error) std::rethrow_exception(inline_error);
+}
+
+TaskScheduler::Stats TaskScheduler::stats() const {
+  Stats s;
+  s.spawned = spawned_.load(std::memory_order_acquire);
+  s.executed = executed_.load(std::memory_order_acquire);
+  s.stolen = stolen_.load(std::memory_order_acquire);
+  return s;
+}
+
+}  // namespace pf15

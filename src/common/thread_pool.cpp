@@ -1,142 +1,40 @@
 #include "common/thread_pool.hpp"
 
-#include <algorithm>
-#include <atomic>
-
-#include "common/errors.hpp"
-#include "obs/metrics.hpp"
-#include "obs/trace.hpp"
+#include <utility>
 
 namespace pf15 {
 
-namespace {
+ThreadPool::ThreadPool(std::size_t threads)
+    : owned_(std::make_unique<TaskScheduler>(threads)),
+      scheduler_(owned_.get()) {}
 
-/// Pool-wide instruments: tasks executed, and how many workers are busy
-/// right now across every ThreadPool in the process (the utilization
-/// gauge the scheduler ROADMAP item will argue from).
-struct PoolMetrics {
-  obs::Counter& tasks = obs::MetricsRegistry::global().counter(
-      "pf15_pool_tasks_total", "thread pool tasks executed");
-  obs::Gauge& busy = obs::MetricsRegistry::global().gauge(
-      "pf15_pool_busy_threads", "pool workers currently running a task");
-};
+ThreadPool::ThreadPool(SharedTag, TaskScheduler& shared)
+    : scheduler_(&shared) {}
 
-PoolMetrics& pool_metrics() {
-  static PoolMetrics m;
-  return m;
-}
-
-/// The pool whose worker_loop the calling thread runs, if any. A worker
-/// thread belongs to exactly one pool for its whole lifetime, so a plain
-/// set-once thread_local is enough to answer "would blocking on pool P
-/// here be a nested wait?".
-thread_local const ThreadPool* t_worker_of = nullptr;
-
-}  // namespace
-
-ThreadPool::ThreadPool(std::size_t threads) {
-  if (threads == 0) {
-    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
-  }
-  workers_.reserve(threads);
-  for (std::size_t i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
-  }
-}
-
-ThreadPool::~ThreadPool() {
-  {
-    MutexLock lock(mutex_);
-    stop_ = true;
-  }
-  cv_.notify_all();
-  for (auto& w : workers_) w.join();
-}
+ThreadPool::~ThreadPool() = default;
 
 std::future<void> ThreadPool::submit(std::function<void()> task) {
   auto packaged =
       std::make_shared<std::packaged_task<void()>>(std::move(task));
   std::future<void> result = packaged->get_future();
-  {
-    MutexLock lock(mutex_);
-    PF15_CHECK(!stop_);
-    tasks_.emplace([packaged] { (*packaged)(); });
-  }
-  cv_.notify_one();
+  // packaged_task captures any exception into the future, so the
+  // detached task itself never throws.
+  scheduler_->spawn_detached([packaged] { (*packaged)(); });
   return result;
 }
 
 bool ThreadPool::current_thread_in_pool() const {
-  return t_worker_of == this;
+  return scheduler_->current_thread_in_scheduler();
 }
 
 void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
                               const std::function<void(std::size_t)>& fn) {
-  if (begin >= end) return;
-  // The wait-discipline oracle: blocking on this pool's own work from one
-  // of its workers deadlocks once the pool saturates (the outer waits
-  // consume every worker). Failing loudly here — instead of deadlocking
-  // rarely under load — is what keeps the `parallel_ok` plumbing honest.
-  PF15_CHECK_MSG(!current_thread_in_pool(),
-                 "ThreadPool::parallel_for called from a worker of the same "
-                 "pool (nested wait): the caller must run serially here — "
-                 "pass parallel_ok=false down this code path");
-  const std::size_t n = end - begin;
-  const std::size_t chunks = std::min(n, size() * 4);
-  if (chunks <= 1) {
-    for (std::size_t i = begin; i < end; ++i) fn(i);
-    return;
-  }
-  // The calling thread participates too: it drains the shared chunk counter
-  // alongside the workers so a 1-thread pool still makes progress.
-  auto counter = std::make_shared<std::atomic<std::size_t>>(0);
-  const std::size_t chunk_size = (n + chunks - 1) / chunks;
-  auto run_chunks = [counter, chunks, chunk_size, begin, end, &fn] {
-    for (;;) {
-      const std::size_t c = counter->fetch_add(1, std::memory_order_relaxed);
-      if (c >= chunks) return;
-      const std::size_t lo = begin + c * chunk_size;
-      const std::size_t hi = std::min(end, lo + chunk_size);
-      for (std::size_t i = lo; i < hi; ++i) fn(i);
-    }
-  };
-  std::vector<std::future<void>> futures;
-  const std::size_t helpers = std::min(size(), chunks - 1);
-  futures.reserve(helpers);
-  for (std::size_t t = 0; t < helpers; ++t) {
-    futures.push_back(submit(run_chunks));
-  }
-  run_chunks();
-  for (auto& f : futures) f.get();
+  scheduler_->parallel_for(begin, end, fn);
 }
 
 ThreadPool& ThreadPool::global() {
-  static ThreadPool pool;
+  static ThreadPool pool(SharedTag{}, TaskScheduler::global());
   return pool;
-}
-
-void ThreadPool::worker_loop() {
-  t_worker_of = this;
-  PoolMetrics& metrics = pool_metrics();
-  for (;;) {
-    std::function<void()> task;
-    {
-      UniqueLock lock(mutex_);
-      while (!stop_ && tasks_.empty()) cv_.wait(lock);
-      if (stop_ && tasks_.empty()) return;
-      task = std::move(tasks_.front());
-      tasks_.pop();
-    }
-    metrics.busy.add(1.0);
-    metrics.tasks.add(1);
-    {
-      // One span per submitted task (parallel_for chunks share their
-      // task's span): gaps between spans on a worker track are idle time.
-      obs::TraceSpan span("pool_task", "pool");
-      task();
-    }
-    metrics.busy.add(-1.0);
-  }
 }
 
 }  // namespace pf15

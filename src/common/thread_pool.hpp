@@ -1,30 +1,26 @@
-// Fixed-size thread pool with a parallel_for helper.
+// ThreadPool: compatibility shim over the work-stealing TaskScheduler.
 //
-// The pool backs the GEMM driver and the background data loader. Following
-// the Core Guidelines concurrency advice we expose *tasks* (closures and
-// index ranges), never raw threads, and joins are automatic via RAII.
+// The original flat pool forbade nested waits — a task on a pool worker
+// could never block on the same pool's work, which forced the
+// `parallel_ok=false` serial switch through the conv backends and the
+// compiled executor whenever code might already be inside a pool task.
+// The scheduler (task_scheduler.hpp) makes nesting legal by construction:
+// waiting *executes* pending work instead of parking, so parallel_for may
+// nest to any depth, from worker and external threads alike.
 //
-// Wait discipline (the `parallel_ok` contract): the pool does NOT support
-// nested waits. A task running on a pool thread must never block on work
-// submitted to the *same* pool — parallel_for from inside a pool task of
-// this pool can deadlock once every worker is parked in the outer wait.
-// This is why the conv backends and the compiled executor thread
-// `parallel_ok` through every layer: inside a pool task it is false and
-// all work stays serial. The discipline is machine-checked two ways:
-// statically via the -Wthread-safety annotations below, and at runtime by
-// current_thread_in_pool() — parallel_for() checks it and fails loudly
-// (PF15_CHECK) instead of deadlocking, giving the ROADMAP's work-stealing
-// replacement a regression oracle.
+// This class keeps the old task-and-range API (submit -> future,
+// parallel_for, current_thread_in_pool) for existing call sites and
+// tests. ThreadPool::global() shares TaskScheduler::global(); a locally
+// constructed ThreadPool owns a private scheduler (useful for tests that
+// want a fixed width). New code should use TaskScheduler directly.
 #pragma once
 
 #include <cstddef>
 #include <functional>
 #include <future>
-#include <queue>
-#include <thread>
-#include <vector>
+#include <memory>
 
-#include "common/thread_annotations.hpp"
+#include "common/task_scheduler.hpp"
 
 namespace pf15 {
 
@@ -37,37 +33,39 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  std::size_t size() const { return workers_.size(); }
+  std::size_t size() const { return scheduler_->size(); }
 
-  /// Enqueue a task; returns a future for its completion. Waiting on that
-  /// future from a worker of this same pool violates the wait discipline
-  /// (see header) — submit() itself never blocks and is always safe.
+  /// Enqueue a task; returns a future for its completion. Exceptions
+  /// propagate through the future. Blocking on the future from a worker
+  /// parks that worker (std::future does not help-wait) — prefer
+  /// TaskScheduler::spawn + wait for compute tasks.
   std::future<void> submit(std::function<void()> task);
 
-  /// Run fn(i) for i in [begin, end) across the pool, blocking until all
-  /// iterations complete. Iterations are chunked to limit scheduling
-  /// overhead. Safe to call with begin == end (no-op). Calling this from
-  /// a worker thread of this same pool is a checked error (nested wait).
+  /// Run fn(i) for i in [begin, end) across the scheduler, blocking
+  /// until all iterations complete (the caller participates). Nestable
+  /// to any depth — the wait underneath executes pending work instead of
+  /// parking, so calling this from a worker task is legal.
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t)>& fn);
 
-  /// True when the calling thread is one of this pool's workers — i.e.
-  /// when blocking on this pool's work would be a nested wait. Kernels
-  /// asserting their `parallel_ok` contract use this.
+  /// True when the calling thread is one of this pool's scheduler
+  /// workers. Informational (utilization probes, tests) — nested waits
+  /// are legal now, so this no longer gates anything.
   bool current_thread_in_pool() const;
 
-  /// Process-wide pool sized to the machine. Kernels that want internal
-  /// parallelism share this instance.
+  /// Process-wide pool over TaskScheduler::global(). Kernels that want
+  /// internal parallelism share this instance.
   static ThreadPool& global();
 
- private:
-  void worker_loop();
+  /// The scheduler underneath, for code migrating off the shim.
+  TaskScheduler& scheduler() { return *scheduler_; }
 
-  std::vector<std::thread> workers_;
-  Mutex mutex_;
-  CondVar cv_;
-  std::queue<std::function<void()>> tasks_ PF15_GUARDED_BY(mutex_);
-  bool stop_ PF15_GUARDED_BY(mutex_) = false;
+ private:
+  struct SharedTag {};
+  ThreadPool(SharedTag, TaskScheduler& shared);
+
+  std::unique_ptr<TaskScheduler> owned_;
+  TaskScheduler* scheduler_;
 };
 
 }  // namespace pf15

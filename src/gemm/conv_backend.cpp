@@ -122,8 +122,8 @@ class Im2colBackend final : public ConvBackend {
     const std::size_t m = p.out_c;
     const std::size_t n = p.geom.lowered_cols();
     const std::size_t k = p.geom.lowered_rows();
-    thread_local std::vector<float> col_buf;
-    float* col = thread_scratch(col_buf, k * n);
+    ScratchLease col_lease(k * n);
+    float* col = col_lease.data();
     im2col(p.geom, image, col);
     if (parallel_ok) {
       sgemm_parallel(false, false, m, n, k, 1.0f, weight, k, col, n, 0.0f,
@@ -140,8 +140,8 @@ class Im2colBackend final : public ConvBackend {
     const std::size_t m = p.out_c;
     const std::size_t n = p.geom.lowered_cols();
     const std::size_t k = p.geom.lowered_rows();
-    thread_local std::vector<float> dcol_buf;
-    float* dcol = thread_scratch(dcol_buf, k * n);
+    ScratchLease dcol_lease(k * n);
+    float* dcol = dcol_lease.data();
     // dcol = W^T (k x m) * dout (m x n); din = col2im(dcol).
     if (parallel_ok) {
       sgemm_parallel(true, false, k, n, m, 1.0f, weight, k, dout, n, 0.0f,
@@ -160,8 +160,8 @@ class Im2colBackend final : public ConvBackend {
     const std::size_t m = p.out_c;
     const std::size_t n = p.geom.lowered_cols();
     const std::size_t k = p.geom.lowered_rows();
-    thread_local std::vector<float> col_buf;
-    float* col = thread_scratch(col_buf, k * n);
+    ScratchLease col_lease(k * n);
+    float* col = col_lease.data();
     // dW += dout (m x n) * col^T (n x k); recompute col from the input
     // rather than caching it across the batch.
     im2col(p.geom, image, col);
@@ -262,8 +262,8 @@ class WinogradBackend final : public ConvBackend {
     const ConvGeom& g = p.geom;
     const std::size_t in_c = g.in_c;
     const std::size_t out_c = p.out_c;
-    thread_local std::vector<float> wt_buf;
-    float* wt = thread_scratch(wt_buf, in_c * out_c * 9);
+    ScratchLease wt_lease(in_c * out_c * 9);
+    float* wt = wt_lease.data();
     rotate_swap_filters(weight, in_c, out_c, wt);
     winograd_conv3x3(dout, out_c, g.out_h(), g.out_w(), wt, in_c,
                      2 - g.pad_h, nullptr, din,

@@ -98,9 +98,11 @@ class ConvPrep {
 /// after registration; per-call scratch lives in thread-local storage so
 /// one backend instance can serve a batch-parallel loop.
 ///
-/// All entry points take `parallel_ok`: it permits internal use of the
-/// global thread pool; callers running inside a pool task must pass false
-/// (the pool does not support nested waits).
+/// All entry points take `parallel_ok`: it permits internal fan-out on
+/// the global task scheduler. Nested waits are legal on the scheduler
+/// (waiting executes pending work), so parallel_ok=true is safe at any
+/// nesting depth — the hot paths pass true everywhere; false forces a
+/// strictly serial call (tests, mode-controlled timing).
 class ConvBackend {
  public:
   virtual ~ConvBackend() = default;
@@ -223,9 +225,9 @@ struct AutotuneOptions {
 
 /// Measured per-image wall microseconds of `b` on `p` in `phase` (min
 /// over reps, deterministic synthetic operands). `parallel_ok` must match
-/// how the plan will execute: false for the batch-parallel loop
-/// (per-image serial work), true for single-image calls where the backend
-/// may use the pool internally.
+/// how the plan will execute: true lets the candidate fan out on the task
+/// scheduler (the hot-path mode — legal even beneath a batch-parallel
+/// loop, since nested waits help), false times it strictly serially.
 double benchmark_backend(const ConvBackend& b, const ConvProblem& p,
                          const AutotuneOptions& opt = {},
                          ConvPhase phase = ConvPhase::kForward,
@@ -287,10 +289,11 @@ class ConvPlanCache {
 
   /// The plan for `p` in `phase` executed with `parallel_ok` at batch
   /// size `batch` (bucketed via conv_batch_bucket), tuning on first
-  /// sight. Backends are timed in the mode they will run in: a plan for
-  /// the batch-parallel loop (parallel_ok=false) is decided on
-  /// single-thread times, a single-image plan (parallel_ok=true) lets
-  /// candidates use the pool.
+  /// sight. Backends are timed in the mode they will run in: the hot
+  /// paths use parallel_ok=true (candidates may fan out on the task
+  /// scheduler, legal at any nesting depth); parallel_ok=false decides
+  /// on strictly serial times and remains a distinct cache key for
+  /// tests and mode-controlled timing.
   ConvPlan plan(const ConvProblem& p, ConvPhase phase = ConvPhase::kForward,
                 bool parallel_ok = false, std::size_t batch = 1);
 

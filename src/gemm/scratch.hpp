@@ -1,29 +1,73 @@
-// Per-thread kernel scratch buffers with a high-water-mark shrink policy.
+// Per-thread kernel scratch with a checkout/return pool.
 //
 // The convolution backends are stateless; their per-call scratch
-// (lowered matrices, transform-domain tiles) lives in thread_local
-// vectors so one backend instance can serve a batch-parallel loop. The
-// buffers are reused across calls, and shrunk when the high-water mark
-// dwarfs the current problem, so a one-off giant lowering
-// (full-resolution climate encoder: ~0.2 GB) doesn't pin that much
-// memory per pool thread for the rest of the process.
+// (lowered matrices, transform-domain tiles) comes from a thread-local
+// pool of float buffers. A plain `thread_local std::vector` — the
+// pre-scheduler design — is NOT safe any more: waits on the
+// work-stealing scheduler are help-first, so a kernel that fans out and
+// waits (Winograd's transform-domain GEMMs, a parallel im2col GEMM) can
+// execute *another* task nested on the same thread, and if that task
+// grabbed the same thread_local vector it would resize the buffer out
+// from under the suspended caller. ScratchLease checks a buffer *out*
+// of the pool instead: a nested task on the same thread gets a
+// different buffer, and the lease returns it when the call unwinds.
+// Pool depth therefore equals the deepest nesting ever reached on the
+// thread (small), not the task count.
+//
+// Buffers keep their capacity across checkouts and are shrunk at
+// checkout when the high-water mark dwarfs the current problem, so a
+// one-off giant lowering (full-resolution climate encoder: ~0.2 GB)
+// doesn't pin that much memory per worker thread for the rest of the
+// process.
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 namespace pf15::gemm {
 
-/// Returns a pointer to at least `need` floats in `buf`, growing or
-/// shrinking it per the policy above. The small slack term keeps tiny
-/// problems from re-allocating on every size wiggle.
-inline float* thread_scratch(std::vector<float>& buf, std::size_t need) {
-  if (buf.size() < need || buf.capacity() > 4 * need + 1024) {
-    buf.clear();
-    buf.shrink_to_fit();
-    buf.resize(need);
-  }
-  return buf.data();
+namespace detail {
+inline std::vector<std::unique_ptr<std::vector<float>>>& scratch_pool() {
+  thread_local std::vector<std::unique_ptr<std::vector<float>>> pool;
+  return pool;
 }
+}  // namespace detail
+
+/// RAII checkout of at least `need` floats from the calling thread's
+/// scratch pool. The lease (and every pointer from data()) stays valid
+/// across nested scheduler waits — helping tasks on this thread check
+/// out different buffers. Construct and destroy on the same thread (a
+/// task executes wholly on one thread, so this is automatic).
+class ScratchLease {
+ public:
+  explicit ScratchLease(std::size_t need) {
+    auto& pool = detail::scratch_pool();
+    if (pool.empty()) {
+      buf_ = std::make_unique<std::vector<float>>();
+    } else {
+      buf_ = std::move(pool.back());
+      pool.pop_back();
+    }
+    // The small slack term keeps tiny problems from re-allocating on
+    // every size wiggle.
+    if (buf_->size() < need || buf_->capacity() > 4 * need + 1024) {
+      buf_->clear();
+      buf_->shrink_to_fit();
+      buf_->resize(need);
+    }
+  }
+  ~ScratchLease() {
+    detail::scratch_pool().push_back(std::move(buf_));
+  }
+
+  ScratchLease(const ScratchLease&) = delete;
+  ScratchLease& operator=(const ScratchLease&) = delete;
+
+  float* data() { return buf_->data(); }
+
+ private:
+  std::unique_ptr<std::vector<float>> buf_;
+};
 
 }  // namespace pf15::gemm

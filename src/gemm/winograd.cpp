@@ -450,7 +450,8 @@ void transform_inputs(const float* image, std::size_t in_c, std::size_t h,
   }
 }
 
-/// The P transform-domain GEMMs, optionally fanned out on the pool.
+/// The P transform-domain GEMMs, optionally fanned out on the task
+/// scheduler (safe under a batch-parallel loop: nested waits help).
 template <typename Fn>
 void for_each_position(int positions, bool parallel_ok, const Fn& fn) {
   if (parallel_ok) {
@@ -476,16 +477,21 @@ void wino_forward(const float* image, std::size_t in_c, std::size_t h,
   PF15_CHECK(in_c > 0 && out_c > 0);
   const TileGrid tg = tile_grid<M>(h, w, pad);
 
-  thread_local std::vector<float> u_buf, v_buf, m_buf;
+  // Leased, not thread_local: v and m stay live across the fanned-out
+  // GEMM wait below, and helping tasks on this thread must not touch
+  // them (see scratch.hpp).
+  ScratchLease u_lease(u_pre == nullptr
+                           ? static_cast<std::size_t>(P) * out_c * in_c
+                           : 0);
   const float* u = u_pre;
   if (u == nullptr) {
-    float* u_scratch =
-        thread_scratch(u_buf, static_cast<std::size_t>(P) * out_c * in_c);
-    transform_filters<M>(weight, in_c, out_c, u_scratch);
-    u = u_scratch;
+    transform_filters<M>(weight, in_c, out_c, u_lease.data());
+    u = u_lease.data();
   }
-  float* v = thread_scratch(v_buf, static_cast<std::size_t>(P) * in_c * tg.tiles);
-  float* m = thread_scratch(m_buf, static_cast<std::size_t>(P) * out_c * tg.tiles);
+  ScratchLease v_lease(static_cast<std::size_t>(P) * in_c * tg.tiles);
+  ScratchLease m_lease(static_cast<std::size_t>(P) * out_c * tg.tiles);
+  float* v = v_lease.data();
+  float* m = m_lease.data();
 
   transform_inputs<M>(image, in_c, h, w, pad, tg, v);
 
@@ -542,10 +548,12 @@ void wino_backward_filter(const float* image, std::size_t in_c,
   PF15_CHECK(in_c > 0 && out_c > 0);
   const TileGrid tg = tile_grid<M>(h, w, pad);
 
-  thread_local std::vector<float> v_buf, dy_buf, du_buf;
-  float* v = thread_scratch(v_buf, static_cast<std::size_t>(P) * in_c * tg.tiles);
-  float* dyt = thread_scratch(dy_buf, static_cast<std::size_t>(P) * out_c * tg.tiles);
-  float* du = thread_scratch(du_buf, static_cast<std::size_t>(P) * out_c * in_c);
+  ScratchLease v_lease(static_cast<std::size_t>(P) * in_c * tg.tiles);
+  ScratchLease dy_lease(static_cast<std::size_t>(P) * out_c * tg.tiles);
+  ScratchLease du_lease(static_cast<std::size_t>(P) * out_c * in_c);
+  float* v = v_lease.data();
+  float* dyt = dy_lease.data();
+  float* du = du_lease.data();
 
   transform_inputs<M>(image, in_c, h, w, pad, tg, v);
 

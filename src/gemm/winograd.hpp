@@ -50,8 +50,9 @@ WinogradTile winograd_pick_tile(std::size_t out_h, std::size_t out_w);
 /// zeros on each border, stride 1, OH = H + 2*pad - 2, OW likewise.
 /// `bias` may be null. Ragged right/bottom edges are handled by padding
 /// the tile grid internally. `parallel_ok` permits the transform-domain
-/// GEMMs to fan out on the global thread pool; callers already running
-/// inside a pool task must pass false.
+/// GEMMs to fan out on the global task scheduler — legal at any nesting
+/// depth (the scheduler's waits help); false keeps the call strictly
+/// serial (tests and mode-controlled timing).
 void winograd_conv3x3(const float* image, std::size_t in_c, std::size_t h,
                       std::size_t w, const float* weight,
                       std::size_t out_c, std::size_t pad,

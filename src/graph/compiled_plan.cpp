@@ -6,7 +6,7 @@
 #include <limits>
 #include <memory>
 
-#include "common/thread_pool.hpp"
+#include "common/task_scheduler.hpp"
 #include "common/timer.hpp"
 #include "graph/validate.hpp"
 #include "gemm/gemm.hpp"
@@ -40,8 +40,12 @@ void apply_epilogue(Epilogue e, float* x, std::size_t n) {
 
 }  // namespace
 
+TaskScheduler& CompiledPlan::sched() const {
+  return scheduler_ != nullptr ? *scheduler_ : TaskScheduler::global();
+}
+
 CompiledPlan::CompiledPlan(Graph graph, const CompileOptions& opt)
-    : graph_(std::move(graph)) {
+    : graph_(std::move(graph)), scheduler_(opt.scheduler) {
   WallTimer compile_timer;
   obs::TraceSpan compile_span("compile", "compile");
   report_.captured_ops = graph_.nodes.size();
@@ -125,20 +129,26 @@ void CompiledPlan::build_schedule(bool parallel_levels) {
     const OpNode& node = graph_.nodes[i];
     if (node.kind == OpKind::kSplit) continue;
     Level& lvl = schedule_[static_cast<std::size_t>(level[i])];
-    // Opaque nodes run the live layer, whose forward may use the pool
-    // internally (batch parallel_for, parallel GEMM) with no serial
-    // switch — they must never run inside a pool task.
-    if (node.kind == OpKind::kOpaque) {
+    // Nested waits are legal on the scheduler, so every known node kind
+    // may run inside a wide-level task. Opaque nodes run a live
+    // extension layer whose forward we cannot inspect: it joins a wide
+    // level only when it opts in via Layer::parallel_ok().
+    if (node.kind == OpKind::kOpaque &&
+        !(node.layer != nullptr && node.layer->parallel_ok())) {
       lvl.serial.push_back(i);
     } else {
-      lvl.pool_safe.push_back(i);
+      lvl.parallel.push_back(i);
     }
   }
   report_.levels = schedule_.size();
   report_.max_level_width = 0;
+  report_.wide_level_nodes = 0;
   for (const Level& lvl : schedule_) {
     report_.max_level_width = std::max(
-        report_.max_level_width, lvl.pool_safe.size() + lvl.serial.size());
+        report_.max_level_width, lvl.parallel.size() + lvl.serial.size());
+    if (lvl.parallel.size() > 1) {
+      report_.wide_level_nodes += lvl.parallel.size();
+    }
   }
   level_names_.clear();
   level_names_.reserve(schedule_.size());
@@ -151,16 +161,6 @@ void CompiledPlan::pretune_convs(std::size_t max_batch) {
   gemm::ConvPlanCache& cache = gemm::ConvPlanCache::global();
   const std::uint64_t misses_before = cache.misses();
   const std::size_t top = gemm::conv_batch_bucket(max_batch);
-  // Nodes in a wide level run under the concurrent schedule: fully
-  // serial per node, so their single-image plans are resolved with
-  // parallel_ok=false instead of the pool-internal mode.
-  std::vector<bool> in_wide(graph_.nodes.size(), false);
-  if (parallel_levels_) {
-    for (const Level& lvl : schedule_) {
-      if (lvl.pool_safe.size() <= 1) continue;
-      for (std::size_t id : lvl.pool_safe) in_wide[id] = true;
-    }
-  }
   for (std::size_t i = 0; i < graph_.nodes.size(); ++i) {
     const OpNode& node = graph_.nodes[i];
     gemm::ConvPhase phase = gemm::ConvPhase::kForward;
@@ -170,17 +170,11 @@ void CompiledPlan::pretune_convs(std::size_t max_batch) {
       continue;
     }
     if (node.algo != nn::ConvAlgo::kAuto) continue;  // forced: no tuning
-    // Every batch bucket the plan will serve, in the execution mode that
-    // bucket dispatches with (single image: pool-internal parallelism;
-    // batched: per-image-serial inside the batch-parallel loop).
+    // Every batch bucket the plan will serve. One execution mode exists
+    // now — backends may always fan out (parallel_ok=true), nested
+    // waits being legal — so the bucket is the whole key.
     for (std::size_t bucket = 1; bucket <= top; bucket <<= 1) {
-      cache.plan(node.problem, phase, /*parallel_ok=*/bucket <= 1, bucket);
-      ++report_.pretuned_plans;
-    }
-    if (in_wide[i]) {
-      // The concurrent schedule's serial single-image mode (batched
-      // buckets already tune with parallel_ok=false above).
-      cache.plan(node.problem, phase, /*parallel_ok=*/false, 1);
+      cache.plan(node.problem, phase, /*parallel_ok=*/true, bucket);
       ++report_.pretuned_plans;
     }
   }
@@ -223,9 +217,11 @@ const std::vector<Tensor>& CompiledPlan::run_all(const Tensor& input) {
 
   // Level-scheduled execution: levels run in order with a barrier after
   // each, so every node reads fully-written producer buffers. Within a
-  // level the nodes are independent by construction; a wide level fans
-  // its pool-safe nodes across the global pool (each then runs fully
-  // serially — the pool forbids nested waits).
+  // level the nodes are independent by construction; a wide level spawns
+  // one task per node with a TaskSync continuation barrier — wait()
+  // executes pending work, so each node task is free to fan its batch
+  // across per-image child tasks and each conv backend to fan out
+  // beneath that (node×batch×kernel product parallelism).
   //
   // Under PF15_TRACE every level and every node gets a span: wide-level
   // imbalance (one straggler node pinning the barrier) and serial opaque
@@ -240,17 +236,20 @@ const std::vector<Tensor>& CompiledPlan::run_all(const Tensor& input) {
     obs::TraceSpan level_span(
         obs::trace_enabled() ? level_names_[l] : std::string(), "graph");
     for (std::size_t id : lvl.serial) {
-      execute_node(id, input, batch, /*concurrent=*/false);
+      execute_node(id, input, batch);
     }
-    if (parallel_levels_ && lvl.pool_safe.size() > 1) {
-      ThreadPool::global().parallel_for(
-          0, lvl.pool_safe.size(), [&](std::size_t t) {
-            execute_node(lvl.pool_safe[t], input, batch,
-                         /*concurrent=*/true);
-          });
+    if (parallel_levels_ && lvl.parallel.size() > 1) {
+      TaskScheduler& scheduler = sched();
+      TaskSync level_done;
+      for (std::size_t id : lvl.parallel) {
+        scheduler.spawn(level_done, [this, id, &input, batch] {
+          execute_node(id, input, batch);
+        });
+      }
+      scheduler.wait(level_done);  // the per-level barrier; helps
     } else {
-      for (std::size_t id : lvl.pool_safe) {
-        execute_node(id, input, batch, /*concurrent=*/false);
+      for (std::size_t id : lvl.parallel) {
+        execute_node(id, input, batch);
       }
     }
   }
@@ -273,20 +272,20 @@ const std::vector<Tensor>& CompiledPlan::run_all(const Tensor& input) {
 
 std::pair<const gemm::ConvBackend*, const gemm::ConvPrep*>
 CompiledPlan::conv_dispatch(std::size_t id, gemm::ConvPhase phase,
-                            std::size_t batch, bool parallel_ok) {
+                            std::size_t batch) {
   const OpNode& node = graph_.nodes[id];
   ConvDispatch& d = dispatch_[id];
-  const std::pair<std::size_t, bool> key{gemm::conv_batch_bucket(batch),
-                                         parallel_ok};
-  auto kind_it = d.kind_by_mode.find(key);
-  if (kind_it == d.kind_by_mode.end()) {
-    // First sight of this (bucket, mode): one plan-cache resolution,
-    // frozen for the plan's lifetime (its weights are frozen clones, and
-    // a compiled plan deliberately keeps the backends it was born with).
+  const std::size_t key = gemm::conv_batch_bucket(batch);
+  auto kind_it = d.kind_by_bucket.find(key);
+  if (kind_it == d.kind_by_bucket.end()) {
+    // First sight of this bucket: one plan-cache resolution, frozen for
+    // the plan's lifetime (its weights are frozen clones, and a compiled
+    // plan deliberately keeps the backends it was born with).
     kind_it =
-        d.kind_by_mode
+        d.kind_by_bucket
             .emplace(key, nn::resolve_conv_backend(node.algo, node.problem,
-                                                   phase, parallel_ok,
+                                                   phase,
+                                                   /*parallel_ok=*/true,
                                                    batch))
             .first;
   }
@@ -316,10 +315,11 @@ const Tensor& CompiledPlan::run(const Tensor& input) {
 }
 
 void CompiledPlan::execute_node(std::size_t id, const Tensor& input,
-                                std::size_t batch, bool concurrent) {
+                                std::size_t batch) {
   const OpNode& node = graph_.nodes[id];
-  // Per-node span on whichever thread executes it (pool worker for wide
-  // levels): the node's captured name, so the trace reads like the model.
+  // Per-node span on whichever thread executes it (a scheduler worker
+  // for wide levels): the node's captured name, so the trace reads like
+  // the model.
   obs::TraceSpan node_span(
       obs::trace_enabled() ? node.name : std::string(), "graph");
   const float* src = node.kind == OpKind::kAdd
@@ -334,55 +334,47 @@ void CompiledPlan::execute_node(std::size_t id, const Tensor& input,
       const gemm::ConvProblem& p = node.problem;
       // Backend and prepared weight transform (Winograd's U) come from
       // the frozen per-node memo: no plan-cache lock, no per-run filter
-      // transform after first sight. Inside a wide level the node is
-      // fully serial; otherwise a single image may use the pool
-      // internally and a batch fans images across it.
-      const bool pool_mode = !concurrent && batch <= 1;
+      // transform after first sight. A batch fans its images across the
+      // scheduler as child tasks (legal even inside a wide-level node
+      // task — the barrier wait helps), and the backend may fan out
+      // further beneath each image.
       const std::pair<const gemm::ConvBackend*, const gemm::ConvPrep*>
-          dispatch =
-              conv_dispatch(id, gemm::ConvPhase::kForward, batch, pool_mode);
+          dispatch = conv_dispatch(id, gemm::ConvPhase::kForward, batch);
       const float* bias = node.bias.defined() ? node.bias.data() : nullptr;
       const std::size_t in_img = p.geom.in_c * p.geom.in_h * p.geom.in_w;
       const std::size_t out_img = p.out_c * p.geom.lowered_cols();
-      const auto one_image = [&](std::size_t img, bool parallel_ok) {
+      const auto one_image = [&](std::size_t img) {
         float* out = dst + img * out_img;
         dispatch.first->forward_prepared(p, dispatch.second,
                                          src + img * in_img,
                                          node.weight.data(), bias, out,
-                                         parallel_ok);
+                                         /*parallel_ok=*/true);
         apply_epilogue(node.epilogue, out, out_img);
       };
-      if (concurrent) {
-        for (std::size_t img = 0; img < batch; ++img) {
-          one_image(img, /*parallel_ok=*/false);
-        }
-      } else if (batch <= 1) {
-        one_image(0, /*parallel_ok=*/true);
+      if (batch <= 1) {
+        one_image(0);
       } else {
-        ThreadPool::global().parallel_for(0, batch, [&](std::size_t img) {
-          one_image(img, /*parallel_ok=*/false);
-        });
+        sched().parallel_for(0, batch, one_image);
       }
       return;
     }
     case OpKind::kDeconv: {
       const gemm::ConvProblem& p = node.problem;
-      const bool pool_mode = !concurrent && batch <= 1;
       // The rotated/transformed filter bank is prepared once per backend
       // (prepare_backward_data), not per image.
       const std::pair<const gemm::ConvBackend*, const gemm::ConvPrep*>
-          dispatch = conv_dispatch(id, gemm::ConvPhase::kBackwardData,
-                                   batch, pool_mode);
+          dispatch =
+              conv_dispatch(id, gemm::ConvPhase::kBackwardData, batch);
       const std::size_t in_img = node.in_sample.numel();
       const std::size_t out_img = node.out_sample.numel();
       const std::size_t out_c = node.out_sample[0];
       const std::size_t plane = p.geom.in_h * p.geom.in_w;
-      const auto one_image = [&](std::size_t img, bool parallel_ok) {
+      const auto one_image = [&](std::size_t img) {
         float* out = dst + img * out_img;
         dispatch.first->backward_data_prepared(p, dispatch.second,
                                                src + img * in_img,
                                                node.weight.data(), out,
-                                               parallel_ok);
+                                               /*parallel_ok=*/true);
         if (node.bias.defined()) {
           for (std::size_t oc = 0; oc < out_c; ++oc) {
             const float b = node.bias.at(oc);
@@ -392,32 +384,23 @@ void CompiledPlan::execute_node(std::size_t id, const Tensor& input,
         }
         apply_epilogue(node.epilogue, out, out_img);
       };
-      if (concurrent) {
-        for (std::size_t img = 0; img < batch; ++img) {
-          one_image(img, /*parallel_ok=*/false);
-        }
-      } else if (batch <= 1) {
-        one_image(0, /*parallel_ok=*/true);
+      if (batch <= 1) {
+        one_image(0);
       } else {
-        ThreadPool::global().parallel_for(0, batch, [&](std::size_t img) {
-          one_image(img, /*parallel_ok=*/false);
-        });
+        sched().parallel_for(0, batch, one_image);
       }
       return;
     }
     case OpKind::kDense: {
       // out (batch x OF) = in (batch x IF) * W^T, same lowering as
-      // nn::Dense::forward. Serial GEMM inside a wide level.
-      if (concurrent) {
-        gemm::sgemm(false, true, batch, node.out_features, node.in_features,
-                    1.0f, src, node.in_features, node.weight.data(),
-                    node.in_features, 0.0f, dst, node.out_features);
-      } else {
-        gemm::sgemm_parallel(false, true, batch, node.out_features,
-                             node.in_features, 1.0f, src, node.in_features,
-                             node.weight.data(), node.in_features, 0.0f, dst,
-                             node.out_features);
-      }
+      // nn::Dense::forward. The parallel GEMM self-limits on small work
+      // and is safe at any nesting depth; its row-block partitioning
+      // never changes per-element arithmetic, so serial and parallel
+      // schedules stay bit-exact.
+      gemm::sgemm_parallel(false, true, batch, node.out_features,
+                           node.in_features, 1.0f, src, node.in_features,
+                           node.weight.data(), node.in_features, 0.0f, dst,
+                           node.out_features);
       for (std::size_t b = 0; b < batch; ++b) {
         float* row = dst + b * node.out_features;
         for (std::size_t j = 0; j < node.out_features; ++j) {

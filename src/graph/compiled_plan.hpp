@@ -20,20 +20,26 @@
 // of the batch loop via ConvBackend::prepare_forward /
 // prepare_backward_data. Execution is *level-scheduled*: nodes are
 // grouped by DAG level (graph.hpp's levels()), levels run in order with
-// a barrier between them, and when a level holds several independent
-// pool-safe nodes (the climate head fan-out, a residual branch next to
-// its projection) they run concurrently on common::thread_pool — each
-// node then executes its own work serially (parallel_ok=false
-// throughout), because the pool forbids nested waits. Per-level barriers
-// keep the schedule deterministic: every node reads fully-written
-// buffers regardless of how its level was scheduled.
+// a barrier between them (a TaskSync continuation barrier — the waiting
+// thread helps execute), and when a level holds several independent
+// nodes (the climate head fan-out, a residual branch next to its
+// projection) they fan out as tasks on common::task_scheduler. Nesting
+// is legal on the scheduler, so node×batch product parallelism falls
+// out: each node task fans its batch across per-image child tasks, and
+// each conv backend may fan out further beneath (Winograd
+// transform-domain GEMMs, parallel im2col) — parallel_ok=true all the
+// way down. Per-level barriers keep the schedule deterministic: every
+// node reads fully-written buffers regardless of how its level was
+// scheduled, and every node runs arithmetic identical to the serial
+// schedule (bit-exact outputs either way).
 //
 // A CompiledPlan is stateful (arena, output tensors) and therefore not
 // re-entrant: one plan per serving replica, exactly like the eager
 // nn::Sequential it replaces. Plans with opaque nodes (unknown
 // extensions) borrow the source network's layers and are only valid
-// while that network lives; opaque nodes schedule serially (their live
-// layer may use the pool internally).
+// while that network lives; an opaque node joins a wide level only when
+// its layer opts in via Layer::parallel_ok() (the layer's forward must
+// tolerate running inside a scheduler task alongside other nodes).
 #pragma once
 
 #include <cstddef>
@@ -46,16 +52,25 @@
 #include "graph/graph.hpp"
 #include "graph/passes.hpp"
 
+namespace pf15 {
+class TaskScheduler;
+}
+
 namespace pf15::graph {
 
 struct CompileOptions {
   bool strip_noops = true;
   bool fold_batchnorm = true;
   bool fuse_activations = true;
-  /// Run same-level independent nodes concurrently on the global thread
-  /// pool (false: strictly serial topological execution — the reference
-  /// schedule the bench compares against).
+  /// Run same-level independent nodes concurrently on the task scheduler
+  /// (false: strictly serial topological execution — the reference
+  /// schedule the bench compares against; per-node batch fan-out still
+  /// parallelizes either way).
   bool parallel_levels = true;
+  /// Scheduler the plan executes on. Null means
+  /// TaskScheduler::global(); the threads-sweep bench passes local
+  /// schedulers of fixed width. The scheduler must outlive the plan.
+  TaskScheduler* scheduler = nullptr;
   /// Pre-tune every conv geometry through gemm::ConvPlanCache::global()
   /// at construction (for batch buckets 1 .. bucket(max_batch)).
   bool pretune = true;
@@ -74,6 +89,10 @@ struct CompileReport {
   /// the parallel executor has concurrency to exploit.
   std::size_t levels = 0;
   std::size_t max_level_width = 0;
+  /// Nodes scheduled inside wide (>1 node) levels — the node-level
+  /// concurrency the parallel executor actually exploits. Opaque nodes
+  /// count only when their layer opts in via Layer::parallel_ok().
+  std::size_t wide_level_nodes = 0;
   /// Arena extent vs what eager execution keeps resident (per sample,
   /// floats). arena < eager is the planner's reuse win.
   std::size_t arena_floats_per_sample = 0;
@@ -122,30 +141,32 @@ class CompiledPlan {
 
  private:
   /// Frozen dispatch state of one conv/deconv node. A compiled plan's
-  /// weights never change, so the backend choice per (batch bucket,
-  /// execution mode) and the backend's prepared weight transform
-  /// (Winograd's U, forward or backward-data) are resolved once and
-  /// reused — run() never touches the plan-cache mutex or recomputes a
-  /// filter transform after first sight.
+  /// weights never change, so the backend choice per batch bucket and
+  /// the backend's prepared weight transform (Winograd's U, forward or
+  /// backward-data) are resolved once and reused — run() never touches
+  /// the plan-cache mutex or recomputes a filter transform after first
+  /// sight. Nested waits are legal on the scheduler, so every plan is
+  /// resolved with parallel_ok=true (no serial execution mode exists
+  /// any more); the bucket is the whole key.
   struct ConvDispatch {
-    /// Key: (conv_batch_bucket, parallel_ok the plan was tuned with).
-    std::map<std::pair<std::size_t, bool>, gemm::ConvBackendKind>
-        kind_by_mode;
+    std::map<std::size_t, gemm::ConvBackendKind> kind_by_bucket;
     std::map<gemm::ConvBackendKind, std::unique_ptr<gemm::ConvPrep>> prep;
   };
 
   void build_schedule(bool parallel_levels);
   void pretune_convs(std::size_t max_batch);
-  /// Executes node `id`. `concurrent` means the call runs inside a pool
-  /// task (a wide level): all internal work must stay serial — no
-  /// parallel_for, no parallel GEMM, serial-mode conv plans.
-  void execute_node(std::size_t id, const Tensor& input, std::size_t batch,
-                    bool concurrent);
-  /// The (backend, prep) pair node `id` dispatches to at `batch` in the
-  /// given execution mode, memoized in dispatch_[id].
+  /// The scheduler the plan executes on (CompileOptions::scheduler, or
+  /// the global one).
+  TaskScheduler& sched() const;
+  /// Executes node `id`: conv/deconv fan the batch across per-image
+  /// child tasks, dense runs the parallel GEMM — safe at any nesting
+  /// depth, including inside a wide-level node task.
+  void execute_node(std::size_t id, const Tensor& input,
+                    std::size_t batch);
+  /// The (backend, prep) pair node `id` dispatches to at `batch`,
+  /// memoized in dispatch_[id].
   std::pair<const gemm::ConvBackend*, const gemm::ConvPrep*>
-  conv_dispatch(std::size_t id, gemm::ConvPhase phase, std::size_t batch,
-                bool parallel_ok);
+  conv_dispatch(std::size_t id, gemm::ConvPhase phase, std::size_t batch);
   /// Read pointer for edge `e` (resolving split aliases; kGraphInput
   /// reads the run input).
   const float* edge_data(int e, const Tensor& input, std::size_t batch);
@@ -158,10 +179,11 @@ class CompiledPlan {
   /// Result-tensor index an external node produces into; -1 otherwise.
   std::vector<int> output_slot_;
   /// Level schedule: per level, the work nodes that may run concurrently
-  /// (pool-safe) and those that must run serially (opaque). Splits are
+  /// as scheduler tasks and those that must run serially (opaque nodes
+  /// whose layer did not opt in via Layer::parallel_ok()). Splits are
   /// not scheduled at all.
   struct Level {
-    std::vector<std::size_t> pool_safe;
+    std::vector<std::size_t> parallel;
     std::vector<std::size_t> serial;
   };
   std::vector<Level> schedule_;
@@ -169,6 +191,7 @@ class CompiledPlan {
   /// executor never concatenates strings per run.
   std::vector<std::string> level_names_;
   bool parallel_levels_ = true;
+  TaskScheduler* scheduler_ = nullptr;
   /// Per-node frozen conv dispatch (empty entries for non-conv nodes).
   std::vector<ConvDispatch> dispatch_;
   // Boxed staging tensors for opaque nodes (Layer::forward needs owned

@@ -105,22 +105,16 @@ gemm::ConvBackendKind Conv2d::resolve_backend(const Shape& in,
 }
 
 gemm::ConvBackendKind Conv2d::forward_backend(const Shape& in) const {
-  // Batched inputs run the per-image-serial plan inside the
-  // batch-parallel loop; single images run the plan tuned with pool
-  // access, so e.g. parallel im2col can beat a serial-only fast path.
-  return resolve_backend(in, ConvPhase::kForward,
-                         /*parallel_ok=*/in.n() <= 1);
+  // Nested waits are legal on the task scheduler, so backends may fan
+  // out internally even under the batch-parallel loop: one execution
+  // mode, parallel_ok=true everywhere on the hot path.
+  return resolve_backend(in, ConvPhase::kForward, /*parallel_ok=*/true);
 }
 
 gemm::ConvBackendKind Conv2d::backward_backend(const Shape& in,
                                                ConvPhase phase) const {
   PF15_CHECK(phase != ConvPhase::kForward);
-  // Backward-data parallelizes over the batch (like forward); the filter
-  // gradient accumulates into shared state, so it runs image-serial with
-  // pool access inside the backend.
-  const bool parallel_ok =
-      phase == ConvPhase::kBackwardData ? in.n() <= 1 : true;
-  return resolve_backend(in, phase, parallel_ok);
+  return resolve_backend(in, phase, /*parallel_ok=*/true);
 }
 
 Shape Conv2d::output_shape(const Shape& in) const {
@@ -146,23 +140,13 @@ void Conv2d::forward(const Tensor& in, Tensor& out) {
   // batch loop: computed once here, shared read-only by every image.
   const std::unique_ptr<gemm::ConvPrep> prep =
       be.prepare_forward(p, weight_.data());
-  if (n_img <= 1) {
-    // A single image cannot parallelize across the batch; let the backend
-    // use the pool internally instead (parallel GEMMs / transform fans).
-    for (std::size_t img = 0; img < n_img; ++img) {
-      be.forward_prepared(p, prep.get(), in.data() + img * in_img,
-                          weight_.data(), bias, out.data() + img * out_img,
-                          /*parallel_ok=*/true);
-    }
-    return;
-  }
   // Per-image work (lowering, transforms, per-image GEMM) spreads across
-  // the pool. Inside a pool task the backend must stay serial: the pool
-  // does not support nested parallel_for waits.
+  // the scheduler; each image's backend may fan out further beneath it
+  // (nested waits are legal — the outer chunks' wait helps).
   ThreadPool::global().parallel_for(0, n_img, [&](std::size_t img) {
     be.forward_prepared(p, prep.get(), in.data() + img * in_img,
                         weight_.data(), bias, out.data() + img * out_img,
-                        /*parallel_ok=*/false);
+                        /*parallel_ok=*/true);
   });
 }
 
@@ -185,21 +169,12 @@ void Conv2d::backward(const Tensor& in, const Tensor& dout, Tensor& din) {
   last_backward_data_backend_ = dkind;
   const std::unique_ptr<gemm::ConvPrep> dprep =
       dbe.prepare_backward_data(p, weight_.data());
-  if (n_img <= 1) {
-    for (std::size_t img = 0; img < n_img; ++img) {
-      dbe.backward_data_prepared(p, dprep.get(),
-                                 dout.data() + img * out_img,
-                                 weight_.data(), din.data() + img * in_img,
-                                 /*parallel_ok=*/true);
-    }
-  } else {
-    ThreadPool::global().parallel_for(0, n_img, [&](std::size_t img) {
-      dbe.backward_data_prepared(p, dprep.get(),
-                                 dout.data() + img * out_img,
-                                 weight_.data(), din.data() + img * in_img,
-                                 /*parallel_ok=*/false);
-    });
-  }
+  ThreadPool::global().parallel_for(0, n_img, [&](std::size_t img) {
+    dbe.backward_data_prepared(p, dprep.get(),
+                               dout.data() + img * out_img,
+                               weight_.data(), din.data() + img * in_img,
+                               /*parallel_ok=*/true);
+  });
 
   // Filter gradient: accumulates into shared weight_grad_, so the image
   // loop stays serial and the backend parallelizes internally instead.
@@ -233,7 +208,7 @@ std::vector<Param> Conv2d::params() {
 std::uint64_t Conv2d::forward_flops(const Shape& in) const {
   const gemm::ConvProblem p = problem(in);
   const gemm::ConvBackendKind kind = planned_conv_backend(
-      cfg_.algo, p, ConvPhase::kForward, in.n() <= 1, in.n());
+      cfg_.algo, p, ConvPhase::kForward, /*parallel_ok=*/true, in.n());
   const gemm::ConvBackend& be = gemm::backend(kind);
   return in.n() * (be.flops(p) +
                    (cfg_.bias ? p.geom.lowered_cols() * cfg_.out_channels
@@ -243,9 +218,11 @@ std::uint64_t Conv2d::forward_flops(const Shape& in) const {
 std::uint64_t Conv2d::backward_flops(const Shape& in) const {
   const gemm::ConvProblem p = problem(in);
   const gemm::ConvBackendKind dkind = planned_conv_backend(
-      cfg_.algo, p, ConvPhase::kBackwardData, in.n() <= 1, in.n());
+      cfg_.algo, p, ConvPhase::kBackwardData, /*parallel_ok=*/true,
+      in.n());
   const gemm::ConvBackendKind fkind = planned_conv_backend(
-      cfg_.algo, p, ConvPhase::kBackwardFilter, true, in.n());
+      cfg_.algo, p, ConvPhase::kBackwardFilter, /*parallel_ok=*/true,
+      in.n());
   const std::uint64_t per_img =
       gemm::backend(dkind).flops(p, ConvPhase::kBackwardData) +
       gemm::backend(fkind).flops(p, ConvPhase::kBackwardFilter) +

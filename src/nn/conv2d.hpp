@@ -7,8 +7,10 @@
 // applicable backends the first time a (problem, phase) is seen and
 // remembers the winner — forward, backward-data and backward-filter tune
 // independently (the cuDNN per-op-phase model), so training inherits the
-// measured backend wins, not just inference. The batch loops run on the
-// global thread pool where accumulation allows it.
+// measured backend wins, not just inference. The batch loops fan across
+// the global task scheduler where accumulation allows it, and backends
+// may fan out further beneath each image — nested waits are legal on the
+// scheduler, so parallel_ok is true throughout the hot path.
 #pragma once
 
 #include <string>

@@ -66,9 +66,9 @@ gemm::ConvBackendKind Deconv2d::resolve_backend(const Shape& in,
 
 gemm::ConvBackendKind Deconv2d::phase_backend(const Shape& in,
                                               ConvPhase phase) const {
-  const bool parallel_ok =
-      phase == ConvPhase::kBackwardFilter ? true : in.n() <= 1;
-  return resolve_backend(in, phase, parallel_ok);
+  // One execution mode: nested waits are legal on the task scheduler,
+  // so backends may always fan out internally.
+  return resolve_backend(in, phase, /*parallel_ok=*/true);
 }
 
 Shape Deconv2d::output_shape(const Shape& in) const {
@@ -94,10 +94,10 @@ void Deconv2d::forward(const Tensor& in, Tensor& out) {
   // but 3x3 stride-1 upsampling heads do.
   const std::unique_ptr<gemm::ConvPrep> prep =
       be.prepare_backward_data(p, weight_.data());
-  const auto one_image = [&](std::size_t img, bool parallel_ok) {
+  const auto one_image = [&](std::size_t img) {
     be.backward_data_prepared(p, prep.get(), in.data() + img * in_img,
                               weight_.data(), out.data() + img * out_img,
-                              parallel_ok);
+                              /*parallel_ok=*/true);
     if (cfg_.bias) {
       float* dst = out.data() + img * out_img;
       const std::size_t plane = p.geom.in_h * p.geom.in_w;
@@ -108,12 +108,10 @@ void Deconv2d::forward(const Tensor& in, Tensor& out) {
       }
     }
   };
-  if (n_img <= 1) {
-    for (std::size_t img = 0; img < n_img; ++img) one_image(img, true);
-  } else {
-    ThreadPool::global().parallel_for(
-        0, n_img, [&](std::size_t img) { one_image(img, false); });
-  }
+  // Images fan across the scheduler; each backend may fan out further
+  // beneath its image (nested waits are legal).
+  ThreadPool::global().parallel_for(
+      0, n_img, [&](std::size_t img) { one_image(img); });
 }
 
 void Deconv2d::backward(const Tensor& in, const Tensor& dout, Tensor& din) {
@@ -130,17 +128,10 @@ void Deconv2d::backward(const Tensor& in, const Tensor& dout, Tensor& din) {
   const gemm::ConvBackendKind dkind =
       phase_backend(in.shape(), ConvPhase::kForward);
   const gemm::ConvBackend& dbe = gemm::backend(dkind);
-  if (n_img <= 1) {
-    for (std::size_t img = 0; img < n_img; ++img) {
-      dbe.forward(p, dout.data() + img * out_img, weight_.data(), nullptr,
-                  din.data() + img * in_img, /*parallel_ok=*/true);
-    }
-  } else {
-    ThreadPool::global().parallel_for(0, n_img, [&](std::size_t img) {
-      dbe.forward(p, dout.data() + img * out_img, weight_.data(), nullptr,
-                  din.data() + img * in_img, /*parallel_ok=*/false);
-    });
-  }
+  ThreadPool::global().parallel_for(0, n_img, [&](std::size_t img) {
+    dbe.forward(p, dout.data() + img * out_img, weight_.data(), nullptr,
+                din.data() + img * in_img, /*parallel_ok=*/true);
+  });
 
   // dW == conv backward-filter with the conv's (image, dout) =
   // (deconv output gradient, deconv input). Accumulates, so serial.
@@ -173,7 +164,7 @@ std::vector<Param> Deconv2d::params() {
 std::uint64_t Deconv2d::forward_flops(const Shape& in) const {
   const gemm::ConvProblem p = problem(in);
   const gemm::ConvBackendKind kind = planned_conv_backend(
-      cfg_.algo, p, ConvPhase::kBackwardData, in.n() <= 1, in.n());
+      cfg_.algo, p, ConvPhase::kBackwardData, true, in.n());
   const std::uint64_t per_img =
       gemm::backend(kind).flops(p, ConvPhase::kBackwardData) +
       (cfg_.bias ? cfg_.out_channels * p.geom.in_h * p.geom.in_w : 0);
@@ -183,7 +174,7 @@ std::uint64_t Deconv2d::forward_flops(const Shape& in) const {
 std::uint64_t Deconv2d::backward_flops(const Shape& in) const {
   const gemm::ConvProblem p = problem(in);
   const gemm::ConvBackendKind dkind = planned_conv_backend(
-      cfg_.algo, p, ConvPhase::kForward, in.n() <= 1, in.n());
+      cfg_.algo, p, ConvPhase::kForward, true, in.n());
   const gemm::ConvBackendKind fkind = planned_conv_backend(
       cfg_.algo, p, ConvPhase::kBackwardFilter, true, in.n());
   const std::uint64_t per_img =

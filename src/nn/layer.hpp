@@ -70,6 +70,17 @@ class Layer {
   /// offending layer when refusing a training-mode capture.
   virtual bool training() const { return false; }
 
+  /// Opt-in for the compiled executor's wide levels: return true when
+  /// forward() may run inside a task of common::task_scheduler,
+  /// concurrently with other graph nodes. The contract: forward must not
+  /// touch state shared with other layers, and any internal parallelism
+  /// must go through the task scheduler (TaskScheduler / ThreadPool
+  /// parallel_for — nested waits are legal there) rather than blocking
+  /// on primitives the scheduler cannot help with. Layers the compiler
+  /// lowers to known kinds never consult this; it only gates *opaque*
+  /// extension nodes, which otherwise schedule serially between levels.
+  virtual bool parallel_ok() const { return false; }
+
   /// Analytic FLOP counts (the §V accounting). Counts multiply-adds as two
   /// FLOPs; elementwise ops as one per element.
   virtual std::uint64_t forward_flops(const Shape& in) const = 0;

@@ -126,10 +126,14 @@ void ServingEngine::init_replicas(const ModelFactory& factory,
 ServingEngine::~ServingEngine() { shutdown(); }
 
 void ServingEngine::start_workers() {
-  pool_ = std::make_unique<ThreadPool>(replicas_.size());
+  // Replica loops block on the batcher, so they get dedicated threads —
+  // parking a long-lived blocking loop on a task-scheduler worker would
+  // strand that worker for the engine's lifetime. Compute (compiled
+  // plans, conv batch loops) still fans out on the global scheduler, so
+  // replica-level and node-level parallelism compose.
   workers_.reserve(replicas_.size());
   for (std::size_t i = 0; i < replicas_.size(); ++i) {
-    workers_.push_back(pool_->submit([this, i] { worker_loop(i); }));
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -270,9 +274,10 @@ void ServingEngine::serve_batch(std::size_t replica_index,
 void ServingEngine::shutdown() {
   if (stopped_.exchange(true)) return;
   batcher_.close();
-  for (auto& w : workers_) w.wait();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
   workers_.clear();
-  pool_.reset();
 }
 
 ServingStats ServingEngine::stats() const {

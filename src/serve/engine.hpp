@@ -25,10 +25,10 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/thread_annotations.hpp"
-#include "common/thread_pool.hpp"
 #include "graph/compiled_plan.hpp"
 #include "nn/network.hpp"
 #include "obs/metrics.hpp"
@@ -55,8 +55,8 @@ struct EngineConfig {
   bool compiled = false;
   /// Level-scheduled concurrent execution of independent graph nodes
   /// inside each compiled plan (CompileOptions::parallel_levels). The
-  /// plans run on the global pool; replica workers live on a separate
-  /// dedicated pool, so replica-level and node-level parallelism
+  /// plans fan out on the global task scheduler; replica workers live
+  /// on dedicated threads, so replica-level and node-level parallelism
   /// compose. Ignored when `compiled` is false.
   bool compiled_parallel = true;
 };
@@ -140,11 +140,9 @@ class ServingEngine {
   Shape output_sample_shape_;
   DynamicBatcher batcher_;
 
-  // Worker threads live on a dedicated pool (one long-running loop per
-  // replica); ThreadPool joins them on destruction, shutdown() joins
-  // earlier via the futures.
-  std::unique_ptr<ThreadPool> pool_;
-  std::vector<std::future<void>> workers_;
+  // One dedicated thread per replica (the loops block on the batcher,
+  // so they must not occupy task-scheduler workers); shutdown() joins.
+  std::vector<std::thread> workers_;
   std::atomic<bool> stopped_{false};
 
   // ---- metrics ----

@@ -648,11 +648,50 @@ TEST(CompiledPlan, MatchesEagerClimateAllFiveOutputs) {
             plan.report().eager_floats_per_sample);
 }
 
-TEST(CompiledPlan, ParallelExecutorMatchesSerialBitExact) {
-  // The level-scheduled executor runs the climate fan-out concurrently;
-  // with per-level barriers and per-node serial arithmetic the result
-  // must be bit-identical to the serial schedule (same backends: both
-  // plans resolve the same plan-cache keys at batch > 1).
+/// Parallel (node×batch product) vs strictly serial schedule of the
+/// same Sequential: outputs must be *bit*-identical — per-level barriers
+/// plus per-node arithmetic identical to the serial schedule, regardless
+/// of how tasks were stolen.
+void expect_parallel_bit_exact(nn::Sequential& net, const Shape& sample,
+                               std::uint64_t seed) {
+  graph::CompileOptions parallel_opt;
+  parallel_opt.max_batch = 4;
+  graph::CompileOptions serial_opt = parallel_opt;
+  serial_opt.parallel_levels = false;
+  graph::CompiledPlan parallel_plan =
+      graph::compile(net, sample, parallel_opt);
+  graph::CompiledPlan serial_plan = graph::compile(net, sample, serial_opt);
+  const Tensor input = random_input(with_batch(sample, 4), seed);
+  const Tensor& par = parallel_plan.run(input);
+  const Tensor& ser = serial_plan.run(input);
+  ASSERT_EQ(par.shape(), ser.shape());
+  for (std::size_t i = 0; i < par.numel(); ++i) {
+    ASSERT_EQ(par.at(i), ser.at(i)) << "element " << i;
+  }
+}
+
+TEST(CompiledPlan, ParallelExecutorMatchesSerialBitExactHep) {
+  nn::Sequential net = nn::build_hep_network(nn::HepConfig::tiny());
+  net.set_training(false);
+  expect_parallel_bit_exact(net, Shape{3, 32, 32}, 0x8e91);
+}
+
+TEST(CompiledPlan, ParallelExecutorMatchesSerialBitExactResNet) {
+  nn::ResNetConfig cfg;
+  cfg.in_channels = 3;
+  cfg.num_classes = 2;
+  cfg.stage_channels = {4, 8};
+  cfg.blocks_per_stage = 2;
+  cfg.batchnorm = true;
+  nn::Sequential net = trained_resnet(cfg, Shape{3, 16, 16}, 0x5eed);
+  expect_parallel_bit_exact(net, Shape{3, 16, 16}, 0x8e92);
+}
+
+TEST(CompiledPlan, ParallelExecutorMatchesSerialBitExactClimate) {
+  // The climate fan-out is the widest level in the repo (4 heads + the
+  // decoder share one); run_all under the scheduler must be
+  // bit-identical to the serial schedule on every output (same
+  // backends: both plans resolve the same plan-cache keys at batch > 1).
   nn::ClimateNet net(nn::ClimateConfig::tiny());
   net.set_training(false);
   graph::CompileOptions parallel_opt;
@@ -670,6 +709,82 @@ TEST(CompiledPlan, ParallelExecutorMatchesSerialBitExact) {
     for (std::size_t i = 0; i < par[k].numel(); ++i) {
       ASSERT_EQ(par[k].at(i), ser[k].at(i))
           << "output " << k << " element " << i;
+    }
+  }
+}
+
+/// Minimal extension layer for the opaque-node scheduling tests:
+/// out = k * in, no shared state, so joining a wide level is safe when
+/// (and only when) it says so via parallel_ok().
+class ScaleLayer final : public nn::Layer {
+ public:
+  ScaleLayer(std::string name, float k, bool parallel)
+      : name_(std::move(name)), k_(k), parallel_(parallel) {}
+  const std::string& name() const override { return name_; }
+  std::string kind() const override { return "scale_test"; }
+  Shape output_shape(const Shape& in) const override { return in; }
+  void forward(const Tensor& in, Tensor& out) override {
+    nn::ensure_shape(out, in.shape());
+    for (std::size_t i = 0; i < in.numel(); ++i) {
+      out.data()[i] = k_ * in.data()[i];
+    }
+  }
+  void backward(const Tensor&, const Tensor&, Tensor&) override {
+    PF15_CHECK_MSG(false, "inference-only test layer");
+  }
+  std::uint64_t forward_flops(const Shape& in) const override {
+    return in.numel();
+  }
+  std::uint64_t backward_flops(const Shape&) const override { return 0; }
+  bool parallel_ok() const override { return parallel_; }
+
+ private:
+  std::string name_;
+  float k_;
+  bool parallel_;
+};
+
+TEST(CompiledPlan, OpaqueLayerJoinsWideLevelOnlyWhenItOptsIn) {
+  // Hand-built fan-out: input -> split -> (opaque scale, relu) -> add.
+  // The opaque node shares a level with the relu; whether it *schedules*
+  // into the wide level is gated on Layer::parallel_ok(), visible in
+  // report().wide_level_nodes (2 when it opts in; 0 when it does not,
+  // because the relu alone is no longer a wide level). Results must be
+  // identical either way.
+  const Shape sample{2, 6, 6};
+  for (const bool opts_in : {false, true}) {
+    ScaleLayer scale("s", 3.0f, opts_in);
+    graph::Graph g;
+    g.input_sample = sample;
+    auto make = [&](graph::OpKind kind, const char* name,
+                    std::vector<int> inputs) {
+      graph::OpNode node;
+      node.kind = kind;
+      node.name = name;
+      node.inputs = std::move(inputs);
+      node.in_sample = node.out_sample = sample;
+      g.nodes.push_back(std::move(node));
+      return static_cast<int>(g.nodes.size() - 1);
+    };
+    const int split =
+        make(graph::OpKind::kSplit, "split", {graph::OpNode::kGraphInput});
+    const int b = make(graph::OpKind::kOpaque, "scale", {split});
+    g.nodes[static_cast<std::size_t>(b)].layer = &scale;
+    const int c = make(graph::OpKind::kRelu, "relu", {split});
+    const int join = make(graph::OpKind::kAdd, "join", {b, c});
+    g.outputs.push_back(join);
+
+    graph::CompileOptions opt;
+    opt.max_batch = 2;
+    graph::CompiledPlan plan(std::move(g), opt);
+    EXPECT_EQ(plan.report().wide_level_nodes, opts_in ? 2u : 0u)
+        << "opts_in=" << opts_in;
+    const Tensor input = random_input(with_batch(sample, 2), 0x0a9);
+    const Tensor& got = plan.run(input);
+    for (std::size_t i = 0; i < got.numel(); ++i) {
+      const float x = input.at(i);
+      const float want = 3.0f * x + (x > 0.0f ? x : 0.0f);
+      ASSERT_NEAR(got.at(i), want, 1e-6f) << "element " << i;
     }
   }
 }
