@@ -7,19 +7,49 @@
 // 256-node one), hybrid-2 saturates around 280-580x, hybrid-4 reaches
 // ~580x (HEP) / ~780x (climate) at 1024 nodes.
 //
-// Usage: bench_fig6_strong [--net=hep|climate]
+// Measured mode (--json[=PATH]) additionally runs real in-process
+// strong-scaling cases through HybridTrainer — tracing, flight recorder
+// and straggler analytics on — and writes BENCH_scaling.json with the
+// measured per-phase curves next to the simnet predictions, plus
+// per-rank and merged chrome://tracing files. Exit 11 when the scaling
+// observability gate fails (see bench/scaling_common.hpp).
+//
+// Usage: bench_fig6_strong [--net=hep|climate] [--json[=PATH]]
+//                          [--trace-dir=DIR] [--codec=fp32|fp16|int8]
+//                          [--iters=N]
 #include <cstdio>
 #include <cstring>
 #include <string>
 
 #include "perf/report.hpp"
+#include "scaling_common.hpp"
 #include "simnet/scaling_sim.hpp"
 
 int main(int argc, char** argv) {
   using namespace pf15;
   std::string net = "hep";
+  bool measured = false;
+  bench_scaling::Spec spec;
+  spec.bench = "fig6_strong";
+  // Strong scaling at container size: fixed total batch, growing worker
+  // count, last case the widest (4 workers x 2 groups + PS tier).
+  spec.cases = {{1, 1}, {2, 1}, {4, 1}, {4, 2}};
+  spec.weak = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--net=", 6) == 0) net = argv[i] + 6;
+    if (std::strncmp(argv[i], "--json", 6) == 0) {
+      measured = true;
+      if (argv[i][6] == '=') spec.json_path = argv[i] + 7;
+    }
+    if (std::strncmp(argv[i], "--trace-dir=", 12) == 0) {
+      spec.trace_dir = argv[i] + 12;
+    }
+    if (std::strncmp(argv[i], "--codec=", 8) == 0) {
+      spec.codec = bench_scaling::codec_from_name(argv[i] + 8);
+    }
+    if (std::strncmp(argv[i], "--iters=", 8) == 0) {
+      spec.iterations = std::stoul(argv[i] + 8);
+    }
   }
   const simnet::WorkloadProfile workload =
       net == "hep" ? simnet::hep_workload() : simnet::climate_workload();
@@ -61,5 +91,6 @@ int main(int argc, char** argv) {
       "at 1024; more groups scale further (HEP 4-group ~580x, climate "
       "~780x at 1024).\n");
   table.write_csv("fig6_" + net + ".csv");
+  if (measured) return bench_scaling::run_scaling_bench(spec);
   return 0;
 }

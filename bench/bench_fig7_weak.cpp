@@ -8,19 +8,45 @@
 // hybrid at 2048 — its 300+ ms layers amortize communication, and smaller
 // sync groups reduce straggler losses).
 //
-// Usage: bench_fig7_weak [--net=hep|climate]
+// Measured mode (--json[=PATH]) runs real in-process weak-scaling cases
+// through HybridTrainer (constant batch per worker) and writes
+// BENCH_scaling.json + per-rank/merged traces; exit 11 on scaling-gate
+// failure. See bench/scaling_common.hpp.
+//
+// Usage: bench_fig7_weak [--net=hep|climate] [--json[=PATH]]
+//                        [--trace-dir=DIR] [--codec=fp32|fp16|int8]
+//                        [--iters=N]
 #include <cstdio>
 #include <cstring>
 #include <string>
 
 #include "perf/report.hpp"
+#include "scaling_common.hpp"
 #include "simnet/scaling_sim.hpp"
 
 int main(int argc, char** argv) {
   using namespace pf15;
   std::string net = "hep";
+  bool measured = false;
+  bench_scaling::Spec spec;
+  spec.bench = "fig7_weak";
+  spec.cases = {{1, 1}, {2, 1}, {4, 2}};
+  spec.weak = true;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--net=", 6) == 0) net = argv[i] + 6;
+    if (std::strncmp(argv[i], "--json", 6) == 0) {
+      measured = true;
+      if (argv[i][6] == '=') spec.json_path = argv[i] + 7;
+    }
+    if (std::strncmp(argv[i], "--trace-dir=", 12) == 0) {
+      spec.trace_dir = argv[i] + 12;
+    }
+    if (std::strncmp(argv[i], "--codec=", 8) == 0) {
+      spec.codec = bench_scaling::codec_from_name(argv[i] + 8);
+    }
+    if (std::strncmp(argv[i], "--iters=", 8) == 0) {
+      spec.iterations = std::stoul(argv[i] + 8);
+    }
   }
   const bool hep = net == "hep";
   const simnet::WorkloadProfile workload =
@@ -69,5 +95,6 @@ int main(int argc, char** argv) {
       "2048 — PS round trips hurt when iterations are short); climate "
       "near-linear (~1750-1850x, hybrid slightly ahead).\n");
   table.write_csv("fig7_" + net + ".csv");
+  if (measured) return bench_scaling::run_scaling_bench(spec);
   return 0;
 }

@@ -1,0 +1,314 @@
+// Shared measured-mode harness for the fig6/fig7 scaling benches.
+//
+// The simnet tables predict Cori-scale behaviour; measured mode runs the
+// *real* hybrid trainer on an in-process cluster (a fig6-style topology
+// at container scale), with rank-aware tracing and the flight recorder
+// on, and writes BENCH_scaling.json placing the measured per-phase
+// curves next to the simnet prediction for the same (nodes, groups)
+// topology. Schema:
+//
+//   { "bench", "net", "codec", "iterations",
+//     "cases": [ { "workers", "groups", "ps", "total_ranks",
+//                  "wall_seconds", "iter_seconds_mean",
+//                  "phases_us": {"compute","allreduce","ps_exchange",
+//                                "broadcast"},
+//                  "wire": {"payload_bytes","wire_bytes",
+//                           "compression_ratio"},
+//                  "staleness": {"mean","max"},
+//                  "straggler": <StragglerDetector::summary()>,
+//                  "simnet": {"nodes","groups","speedup",
+//                             "iter_seconds"} } ],
+//     "trace": {"merged","ranks","events"},
+//     "metrics": <MetricsRegistry snapshot> }
+//
+// run_scaling_bench() self-checks the artifacts (nonzero wire bytes,
+// compression ratio < 1 under a lossy codec, merged trace spanning >= 2
+// ranks) and returns 11 — the verify.sh gate code — when any check
+// fails.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "data/hep_generator.hpp"
+#include "hybrid/hybrid_trainer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_merge.hpp"
+#include "simnet/scaling_sim.hpp"
+
+namespace pf15::bench_scaling {
+
+struct Case {
+  int workers = 1;
+  int groups = 1;
+};
+
+struct Spec {
+  std::string bench;             // "fig6_strong" / "fig7_weak"
+  std::vector<Case> cases;       // last case should be the widest
+  bool weak = false;             // false: fixed total batch (strong)
+  std::size_t total_batch = 8;   // strong: split across workers
+  std::size_t batch_per_worker = 2;  // weak: constant per worker
+  std::size_t iterations = 6;
+  int num_ps = 2;
+  ps::Codec codec = ps::Codec::kFp16;
+  std::string json_path = "BENCH_scaling.json";
+  std::string trace_dir = ".";
+};
+
+inline const char* codec_name(ps::Codec codec) {
+  switch (codec) {
+    case ps::Codec::kFp32: return "fp32";
+    case ps::Codec::kFp16: return "fp16";
+    case ps::Codec::kInt8: return "int8";
+    case ps::Codec::kInt8Stochastic: return "int8s";
+  }
+  return "?";
+}
+
+inline ps::Codec codec_from_name(const std::string& name) {
+  if (name == "fp32") return ps::Codec::kFp32;
+  if (name == "int8") return ps::Codec::kInt8;
+  if (name == "int8s") return ps::Codec::kInt8Stochastic;
+  return ps::Codec::kFp16;
+}
+
+inline hybrid::TrainResult run_case(const Spec& spec, const Case& c) {
+  nn::HepConfig net_cfg = nn::HepConfig::tiny();
+  net_cfg.filters = 8;
+  net_cfg.conv_units = 3;
+  const auto factory = [net_cfg] {
+    return std::make_unique<hybrid::HepTrainable>(net_cfg);
+  };
+  const std::size_t local_batch =
+      spec.weak ? spec.batch_per_worker
+                : std::max<std::size_t>(
+                      1, spec.total_batch /
+                             static_cast<std::size_t>(c.workers));
+  data::HepGeneratorConfig gen_cfg;
+  gen_cfg.image = 32;
+  const auto batches = [gen_cfg, local_batch](int rank, std::size_t iter) {
+    data::HepGenerator gen(gen_cfg,
+                           static_cast<std::uint64_t>(rank) * 100000 +
+                               iter);
+    std::vector<data::Sample> ss;
+    std::vector<const data::Sample*> ptrs;
+    for (std::size_t k = 0; k < local_batch; ++k) {
+      const auto ev = gen.generate(k % 2 == 0);
+      ss.push_back({ev.image.clone(), ev.label, true, {}});
+    }
+    for (const auto& s : ss) ptrs.push_back(&s);
+    return data::make_batch(ptrs);
+  };
+
+  hybrid::HybridConfig cfg;
+  cfg.num_workers = c.workers;
+  cfg.num_groups = c.groups;
+  cfg.num_ps = c.groups > 1 ? spec.num_ps : 0;
+  cfg.iterations = spec.iterations;
+  cfg.solver = hybrid::SolverKind::kAdam;
+  cfg.learning_rate = 3e-3;
+  cfg.ps_codec = spec.codec;
+  hybrid::HybridTrainer trainer(cfg, factory, batches);
+  return trainer.run();
+}
+
+inline perf::Json case_json(const Spec& spec, const Case& c,
+                            const hybrid::TrainResult& result) {
+  perf::Json doc = perf::Json::object();
+  doc.set("workers", c.workers);
+  doc.set("groups", c.groups);
+  const int ps = c.groups > 1 ? spec.num_ps : 0;
+  doc.set("ps", ps);
+  doc.set("total_ranks", c.workers + ps);
+
+  double wall = 0.0, iter_sum = 0.0;
+  for (const auto& rec : result.records) {
+    wall = std::max(wall, rec.wall_time);
+    iter_sum += rec.step_seconds;
+  }
+  doc.set("wall_seconds", wall);
+  doc.set("iter_seconds_mean",
+          result.records.empty() ? 0.0
+                                 : iter_sum / static_cast<double>(
+                                                  result.records.size()));
+
+  double compute = 0.0, allreduce = 0.0, exchange = 0.0, bcast = 0.0;
+  std::uint64_t payload = 0, wire = 0;
+  for (const auto& fr : result.flight) {
+    compute += fr.compute_us;
+    allreduce += fr.allreduce_us;
+    exchange += fr.ps_exchange_us;
+    bcast += fr.broadcast_us;
+    payload += fr.payload_bytes;
+    wire += fr.wire_bytes;
+  }
+  const double n = result.flight.empty()
+                       ? 1.0
+                       : static_cast<double>(result.flight.size());
+  perf::Json phases = perf::Json::object();
+  phases.set("compute", compute / n);
+  phases.set("allreduce", allreduce / n);
+  phases.set("ps_exchange", exchange / n);
+  phases.set("broadcast", bcast / n);
+  doc.set("phases_us", std::move(phases));
+
+  perf::Json wire_doc = perf::Json::object();
+  wire_doc.set("payload_bytes", static_cast<double>(payload));
+  wire_doc.set("wire_bytes", static_cast<double>(wire));
+  wire_doc.set("compression_ratio",
+               payload > 0 ? static_cast<double>(wire) /
+                                 static_cast<double>(payload)
+                           : 1.0);
+  doc.set("wire", std::move(wire_doc));
+
+  perf::Json stale = perf::Json::object();
+  stale.set("mean", result.staleness.mean());
+  stale.set("max", static_cast<double>(result.staleness.max_staleness));
+  doc.set("staleness", std::move(stale));
+  doc.set("straggler", result.straggler);
+
+  // The simnet prediction for the matched topology: same node count,
+  // same group layout, same batch discipline.
+  simnet::CoriConfig machine;
+  machine.seed = 20170817;
+  simnet::ScalingConfig s;
+  s.nodes = c.workers;
+  s.groups = c.groups;
+  if (spec.weak) {
+    s.batch_per_node = spec.batch_per_worker;
+  } else {
+    s.batch_per_group =
+        std::max<std::size_t>(1, spec.total_batch /
+                                     static_cast<std::size_t>(c.groups));
+  }
+  s.iterations = 30;
+  const simnet::WorkloadProfile workload = simnet::hep_workload();
+  const simnet::SimResult sim =
+      simnet::simulate_training(machine, workload, s);
+  perf::Json pred = perf::Json::object();
+  pred.set("nodes", s.nodes);
+  pred.set("groups", s.groups);
+  pred.set("speedup",
+           simnet::speedup_vs_single_node(machine, workload, s));
+  pred.set("iter_seconds", sim.mean_iteration_time());
+  doc.set("simnet", std::move(pred));
+  return doc;
+}
+
+/// Runs every case, writes BENCH_scaling.json + per-rank and merged
+/// traces, and returns the process exit code (0 ok, 11 = gate failure).
+inline int run_scaling_bench(const Spec& spec) {
+  obs::trace_clear();
+  obs::trace_enable(spec.trace_dir + "/trace_all_ranks.json");
+
+  perf::Json cases = perf::Json::array();
+  int max_ranks = 0;
+  bool saw_lossy_multigroup = false;
+  std::uint64_t min_wire = ~0ull;
+  for (const Case& c : spec.cases) {
+    // Each case overwrites the previous case's spans so the trace
+    // artifacts describe exactly the widest (last) topology.
+    obs::trace_clear();
+    const hybrid::TrainResult result = run_case(spec, c);
+    cases.push_back(case_json(spec, c, result));
+    const int ps = c.groups > 1 ? spec.num_ps : 0;
+    max_ranks = std::max(max_ranks, c.workers + ps);
+    std::uint64_t wire = 0;
+    for (const auto& fr : result.flight) wire += fr.wire_bytes;
+    // A single-worker case honestly moves nothing; the nonzero-wire gate
+    // is about multi-rank cases.
+    if (c.workers > 1) min_wire = std::min(min_wire, wire);
+    if (c.groups > 1 && spec.codec != ps::Codec::kFp32) {
+      saw_lossy_multigroup = true;
+    }
+    std::printf("%s: workers=%d groups=%d iterations=%zu done\n",
+                spec.bench.c_str(), c.workers, c.groups, spec.iterations);
+  }
+
+  // Per-rank dumps of the last case exercise the real multi-file merge
+  // workflow; the merged timeline is the reviewable artifact.
+  const Case& last = spec.cases.back();
+  const int last_ranks =
+      last.workers + (last.groups > 1 ? spec.num_ps : 0);
+  std::vector<std::string> rank_paths;
+  for (int r = 0; r < last_ranks; ++r) {
+    const std::string path =
+        spec.trace_dir + "/trace_rank" + std::to_string(r) + ".json";
+    perf::Json::parse(obs::trace_dump_rank(r)).write_file(path, 0);
+    rank_paths.push_back(path);
+  }
+  const perf::Json merged = obs::merge_trace_files(rank_paths);
+  const std::string merged_path = spec.trace_dir + "/merged_trace.json";
+  merged.write_file(merged_path, 0);
+  obs::trace_flush();
+
+  perf::Json doc = perf::Json::object();
+  doc.set("bench", spec.bench);
+  doc.set("net", "hep");
+  doc.set("codec", codec_name(spec.codec));
+  doc.set("iterations", spec.iterations);
+  doc.set("cases", std::move(cases));
+  perf::Json trace_doc = perf::Json::object();
+  trace_doc.set("merged", merged_path);
+  trace_doc.set("ranks", merged.get("pf15").get("ranks").size());
+  trace_doc.set("events", merged.get("pf15").get("events").as_number());
+  doc.set("trace", std::move(trace_doc));
+  doc.set("metrics", obs::MetricsRegistry::global().to_json());
+  doc.write_file(spec.json_path);
+  std::printf("wrote %s (%d cases), %s\n", spec.json_path.c_str(),
+              static_cast<int>(spec.cases.size()), merged_path.c_str());
+
+  // ---- gate self-checks (exit 11 on failure) ----
+  int failures = 0;
+  auto fail = [&](const char* what) {
+    std::fprintf(stderr, "SCALING GATE: %s\n", what);
+    ++failures;
+  };
+  if (min_wire == 0) fail("a case moved zero wire bytes");
+  if (saw_lossy_multigroup) {
+    bool ratio_ok = false;
+    for (std::size_t i = 0; i < doc.get("cases").size(); ++i) {
+      const perf::Json& c = doc.get("cases").at(i);
+      if (c.get("groups").as_number() > 1 &&
+          c.get("wire").get("compression_ratio").as_number() < 1.0) {
+        ratio_ok = true;
+      }
+    }
+    if (!ratio_ok) {
+      fail("no multi-group case shows compression ratio < 1.0");
+    }
+  }
+  // The merged trace must carry compute + allreduce spans from >= 2
+  // distinct rank lanes.
+  std::set<int> compute_pids, allreduce_pids;
+  const perf::Json& events = merged.get("traceEvents");
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const perf::Json& ev = events.at(i);
+    const perf::Json* ph = ev.find("ph");
+    if (ph == nullptr || ph->as_string() != "X") continue;
+    const std::string& name = ev.get("name").as_string();
+    const int pid = static_cast<int>(ev.get("pid").as_number());
+    if (name == "compute") compute_pids.insert(pid);
+    if (name == "comm_allreduce") allreduce_pids.insert(pid);
+  }
+  if (compute_pids.size() < 2) {
+    fail("merged trace has compute spans from fewer than 2 ranks");
+  }
+  if (allreduce_pids.size() < 2) {
+    fail("merged trace has allreduce spans from fewer than 2 ranks");
+  }
+  if (failures > 0) return 11;
+  std::printf(
+      "scaling gate ok: %d ranks, compute spans from %d lanes, wire >= "
+      "%llu bytes/case\n",
+      last_ranks, static_cast<int>(compute_pids.size()),
+      static_cast<unsigned long long>(min_wire));
+  return 0;
+}
+
+}  // namespace pf15::bench_scaling

@@ -20,11 +20,18 @@
 #                     concurrency tier (skips loudly if clang is absent)
 #   --lint            clang-tidy via scripts/lint.sh (skips loudly if
 #                     clang-tidy is absent)
+# The multi-rank scaling smoke (bench_fig6_strong --json) runs real
+# hybrid-training cases with rank-aware tracing, the flight recorder and
+# straggler analytics on, and ships BENCH_scaling.json; the bench's own
+# gate (exit 11) asserts nonzero wire bytes on every multi-rank case,
+# compression ratio < 1 under the lossy codec, and merged-trace spans
+# from at least two rank lanes.
 # Exit codes: 1 timing-noise warning (non-fatal), 3 cold warm-start,
 # 4 residual capture regression, 5 missing trace spans, 6 counter
 # inconsistency, 7 graph validation failure, 8 sanitizer lane failure,
 # 10 work-stealing scheduler speedup regression (wide-level models at
-# 4 workers below 1.5x over 1 worker on a >=4-core machine).
+# 4 workers below 1.5x over 1 worker on a >=4-core machine),
+# 11 scaling observability gate failure (see bench/scaling_common.hpp).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -96,7 +103,7 @@ if [ -n "$sanitize" ]; then
     # parameter server.
     (cd "$build_dir" && \
      TSAN_OPTIONS=halt_on_error=1 ctest --output-on-failure -j"$jobs" -R \
-        'test_(serve|obs|common|task_scheduler|graph|graph_validate|hybrid|comm|ps|conv_backend)$') \
+        'test_(serve|obs|obs_distributed|common|task_scheduler|graph|graph_validate|hybrid|comm|ps|conv_backend)$') \
         || { echo "FAIL: TSan lane found problems" >&2; exit 8; }
   fi
   echo "$sanitize lane clean: zero findings"
@@ -223,3 +230,39 @@ if ! grep -Eq '"plan_cache_hits": [1-9]' build/graph_warm.json; then
   exit 6
 fi
 echo "plan-cache counters consistent: warm run all hits, zero misses"
+
+# Distributed-observability gate: a real multi-rank hybrid run (up to
+# 4 workers x 2 groups + the PS tier) with rank-aware tracing, the
+# per-iteration flight recorder and straggler analytics on. The bench
+# self-checks (exit 11): every multi-rank case moves wire bytes, the
+# lossy codec lands compression ratio < 1, and the merged trace carries
+# compute and allreduce spans from at least two rank lanes.
+scaling_trace_dir="build/scaling_trace"
+rm -rf "$scaling_trace_dir"
+mkdir -p "$scaling_trace_dir"
+rc=0
+./build/bench_fig6_strong --json=BENCH_scaling.json \
+    --trace-dir="$scaling_trace_dir" --codec=fp16 || rc=$?
+if [ "$rc" -eq 11 ]; then
+  echo "FAIL: scaling observability gate (wire bytes / compression / trace lanes)" >&2
+  exit 11
+elif [ "$rc" -ne 0 ]; then
+  exit "$rc"
+fi
+# Re-assert the shipped record from the outside so a silently truncated
+# file also fails: the straggler rollup and a sub-1.0 measured
+# compression ratio must have made it into BENCH_scaling.json, and the
+# merged trace must exist where the record points.
+if ! grep -q '"straggler"' BENCH_scaling.json; then
+  echo "FAIL: BENCH_scaling.json is missing the straggler rollup" >&2
+  exit 11
+fi
+if ! grep -Eq '"compression_ratio": 0\.[0-9]+' BENCH_scaling.json; then
+  echo "FAIL: BENCH_scaling.json shows no sub-1.0 measured compression ratio" >&2
+  exit 11
+fi
+if [ ! -s "$scaling_trace_dir/merged_trace.json" ]; then
+  echo "FAIL: merged multi-rank trace was not written" >&2
+  exit 11
+fi
+echo "distributed observability verified: multi-rank flight records, straggler rollup, merged rank-lane trace"

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <deque>
 #include <map>
 #include <thread>
@@ -9,6 +10,8 @@
 
 #include "common/errors.hpp"
 #include "common/thread_annotations.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace pf15::comm {
 
@@ -22,6 +25,30 @@ class Context {
   explicit Context(int world_size) : world_size_(world_size) {
     mailboxes_ = std::make_unique<Mailbox[]>(
         static_cast<std::size_t>(world_size));
+    io_ = std::make_unique<RankIo[]>(static_cast<std::size_t>(world_size));
+  }
+
+  /// Wire accounting, charged to the world rank doing the send/recv.
+  void count_sent(int world_rank, std::size_t bytes) {
+    RankIo& io = io_[static_cast<std::size_t>(world_rank)];
+    io.bytes_sent.fetch_add(bytes, std::memory_order_relaxed);
+    io.messages_sent.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void count_recv(int world_rank, std::size_t bytes) {
+    RankIo& io = io_[static_cast<std::size_t>(world_rank)];
+    io.bytes_recv.fetch_add(bytes, std::memory_order_relaxed);
+    io.messages_recv.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  IoStats io_stats(int world_rank) const {
+    const RankIo& io = io_[static_cast<std::size_t>(world_rank)];
+    IoStats out;
+    out.bytes_sent = io.bytes_sent.load(std::memory_order_relaxed);
+    out.bytes_recv = io.bytes_recv.load(std::memory_order_relaxed);
+    out.messages_sent = io.messages_sent.load(std::memory_order_relaxed);
+    out.messages_recv = io.messages_recv.load(std::memory_order_relaxed);
+    return out;
   }
 
   int world_size() const { return world_size_; }
@@ -187,6 +214,13 @@ class Context {
         PF15_GUARDED_BY(mutex);
   };
 
+  struct RankIo {
+    std::atomic<std::uint64_t> bytes_sent{0};
+    std::atomic<std::uint64_t> bytes_recv{0};
+    std::atomic<std::uint64_t> messages_sent{0};
+    std::atomic<std::uint64_t> messages_recv{0};
+  };
+
   struct BarrierState {
     int arrived = 0;
     std::uint64_t generation = 0;
@@ -207,6 +241,7 @@ class Context {
 
   int world_size_;
   std::unique_ptr<Mailbox[]> mailboxes_;
+  std::unique_ptr<RankIo[]> io_;
   std::atomic<std::uint64_t> next_comm_id_{1};  // 0 = world
 
   std::atomic<bool> aborted_{false};
@@ -234,16 +269,53 @@ Communicator::Communicator(std::shared_ptr<detail::Context> ctx,
       rank_(rank),
       members_(std::move(members)) {}
 
+namespace {
+
+/// Registry mirrors of the per-rank wire counters. Hoisted statics: the
+/// registry lookup is a mutex + map walk, the adds are sharded atomics.
+void mirror_sent(std::size_t bytes) {
+  using obs::MetricsRegistry;
+  static obs::Counter& bytes_total = MetricsRegistry::global().counter(
+      "pf15_comm_bytes_sent_total", "Payload bytes sent through comm");
+  static obs::Counter& msgs_total = MetricsRegistry::global().counter(
+      "pf15_comm_messages_total", "Point-to-point messages sent");
+  static obs::Histogram& sizes = MetricsRegistry::global().histogram(
+      "pf15_comm_message_bytes",
+      obs::Histogram::exponential_bounds(64.0, 4.0, 10),
+      "Message size distribution (payload bytes)");
+  bytes_total.add(bytes);
+  msgs_total.add(1);
+  sizes.observe(static_cast<double>(bytes));
+}
+
+void mirror_recv(std::size_t bytes) {
+  static obs::Counter& bytes_total =
+      obs::MetricsRegistry::global().counter(
+          "pf15_comm_bytes_recv_total",
+          "Payload bytes received through comm");
+  bytes_total.add(bytes);
+}
+
+}  // namespace
+
 void Communicator::send(int dst, int tag, std::span<const float> data) {
   PF15_CHECK_MSG(dst >= 0 && dst < size(), "send: bad dst " << dst);
+  const std::size_t bytes = data.size() * sizeof(float);
   ctx_->post(members_[static_cast<std::size_t>(dst)], comm_id_, rank_, tag,
              std::vector<float>(data.begin(), data.end()));
+  ctx_->count_sent(world_rank(), bytes);
+  mirror_sent(bytes);
 }
 
 std::vector<float> Communicator::recv(int src, int tag) {
   PF15_CHECK_MSG(src >= 0 && src < size(), "recv: bad src " << src);
-  return ctx_->take(members_[static_cast<std::size_t>(rank_)], comm_id_,
-                    src, tag);
+  obs::TraceSpan span("comm_recv", "comm");
+  std::vector<float> payload = ctx_->take(
+      members_[static_cast<std::size_t>(rank_)], comm_id_, src, tag);
+  const std::size_t bytes = payload.size() * sizeof(float);
+  ctx_->count_recv(world_rank(), bytes);
+  mirror_recv(bytes);
+  return payload;
 }
 
 bool Communicator::probe(int src, int tag) {
@@ -271,6 +343,7 @@ void add_into(std::span<float> dst, const std::vector<float>& src) {
 void Communicator::allreduce_sum(std::span<float> data, AllReduceAlgo algo) {
   const int g = size();
   if (g == 1) return;
+  obs::TraceSpan trace("comm_allreduce", "comm");
   const int r = rank_;
 
   switch (algo) {
@@ -364,6 +437,7 @@ void Communicator::allreduce_sum(std::span<float> data, AllReduceAlgo algo) {
 void Communicator::broadcast(std::span<float> data, int root) {
   const int g = size();
   if (g == 1) return;
+  obs::TraceSpan trace("comm_broadcast", "comm");
   // Binomial tree rooted at `root`, via rank rotation.
   const int vrank = (rank_ - root + g) % g;
   int mask = 1;
@@ -388,6 +462,7 @@ void Communicator::broadcast(std::span<float> data, int root) {
 void Communicator::reduce_sum(std::span<float> data, int root) {
   const int g = size();
   if (g == 1) return;
+  obs::TraceSpan trace("comm_reduce", "comm");
   const int vrank = (rank_ - root + g) % g;
   // Binomial reduction: mirror of broadcast, children send up.
   int mask = 1;
@@ -409,6 +484,7 @@ void Communicator::reduce_sum(std::span<float> data, int root) {
 
 std::vector<float> Communicator::gather(std::span<const float> data,
                                         int root) {
+  obs::TraceSpan trace("comm_gather", "comm");
   if (rank_ != root) {
     send(root, kTagGather, data);
     return {};
@@ -426,6 +502,40 @@ std::vector<float> Communicator::gather(std::span<const float> data,
     }
   }
   return out;
+}
+
+IoStats Communicator::io_stats() const { return ctx_->io_stats(world_rank()); }
+
+double Communicator::clock_offset_us(int root, int rounds) {
+  PF15_CHECK_MSG(root >= 0 && root < size(),
+                 "clock_offset_us: bad root " << root);
+  PF15_CHECK_MSG(rounds >= 1, "clock_offset_us: rounds must be >= 1");
+  // Mailboxes carry floats (24-bit mantissa) but trace timestamps need
+  // sub-µs precision over a process lifetime, so the root's sample rides
+  // as (hi, lo): hi = floor(t / 2^16) and a remainder < 2^16 that a float
+  // holds to ~4 ns. Exact until the process is ~2^40 µs (~12 days) old.
+  std::vector<double> offsets;
+  offsets.reserve(static_cast<std::size_t>(rounds));
+  for (int round = 0; round < rounds; ++round) {
+    barrier();
+    // Both sides sample immediately after barrier release: the skew
+    // between the samples is what this handshake measures.
+    const double local_us = obs::trace_now_us();
+    float packed[2] = {0.0f, 0.0f};
+    if (rank_ == root) {
+      const double hi = std::floor(local_us / 65536.0);
+      packed[0] = static_cast<float>(hi);
+      packed[1] = static_cast<float>(local_us - hi * 65536.0);
+    }
+    broadcast(std::span<float>(packed, 2), root);
+    const double root_us = static_cast<double>(packed[0]) * 65536.0 +
+                           static_cast<double>(packed[1]);
+    offsets.push_back(root_us - local_us);
+  }
+  if (rank_ == root) return 0.0;  // by definition, regardless of noise
+  const std::size_t mid = offsets.size() / 2;
+  std::nth_element(offsets.begin(), offsets.begin() + mid, offsets.end());
+  return offsets[mid];
 }
 
 Communicator Communicator::split(int color, int key) {

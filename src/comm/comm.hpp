@@ -12,6 +12,13 @@
 // Communicator::split() mirrors our MLSL extension for "node placement
 // into disjoint communication groups" (§III-E(b)): compute groups and
 // parameter servers are sub-communicators of the world.
+//
+// The runtime is instrumented for the distributed observability layer:
+// every send/recv bumps per-world-rank byte/message counters (read back
+// via io_stats()) and the pf15_comm_* registry metrics, collectives wrap
+// themselves in "comm"-category trace spans, and clock_offset_us() runs
+// the barrier-based offset handshake whose result obs::merge_traces()
+// uses to align per-rank trace files onto one timeline.
 #pragma once
 
 #include <cstdint>
@@ -31,6 +38,15 @@ enum class AllReduceAlgo {
 namespace detail {
 class Context;
 }
+
+/// Wire traffic of one rank, totalled across every communicator it is a
+/// member of (world + splits). Bytes are payload bytes (floats × 4).
+struct IoStats {
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_recv = 0;
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_recv = 0;
+};
 
 /// Per-rank communicator handle. Cheap to copy; all copies refer to the
 /// same group. Methods must be called from the owning rank's thread.
@@ -69,6 +85,24 @@ class Communicator {
   /// ordered by (key, old rank). Returns the sub-communicator this rank
   /// belongs to.
   Communicator split(int color, int key);
+
+  /// This rank's cumulative wire traffic (across all communicators of
+  /// the cluster, not just this one).
+  IoStats io_stats() const;
+
+  /// This rank's world rank (stable across splits; the identity used for
+  /// trace lanes and flight records).
+  int world_rank() const { return members_[static_cast<std::size_t>(rank_)]; }
+
+  /// Collective clock-offset handshake against `root`'s clock: `rounds`
+  /// iterations of (barrier; sample local trace_now_us(); root broadcasts
+  /// its sample), taking the median offset. Returns the microseconds to
+  /// ADD to this rank's trace timestamps to land on root's clock domain —
+  /// exactly 0 on root. In-process ranks share one steady_clock, so the
+  /// measured offsets are honestly tiny (scheduling skew); the handshake
+  /// exists so the merge workflow runs the same protocol a one-process-
+  /// per-rank deployment needs.
+  double clock_offset_us(int root = 0, int rounds = 8);
 
  private:
   friend class Cluster;

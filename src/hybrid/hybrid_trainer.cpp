@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <chrono>
+#include <map>
 #include <thread>
+#include <tuple>
 
 #include "common/errors.hpp"
 #include "common/timer.hpp"
 #include "obs/metrics.hpp"
+#include "obs/straggler.hpp"
 #include "obs/trace.hpp"
 
 namespace pf15::hybrid {
@@ -14,6 +17,54 @@ namespace pf15::hybrid {
 namespace {
 constexpr int kRecordsTag = 8 << 20;
 constexpr int kStatsTag = 9 << 20;
+constexpr int kFlightTag = 10 << 20;
+
+// Byte counters ride the float mailboxes as (hi, lo) base-2^24 digits:
+// each digit fits a float mantissa exactly, so values up to 2^48 bytes
+// round-trip without loss.
+constexpr std::uint64_t kU24 = 1ull << 24;
+
+void push_u64(std::vector<float>& msg, std::uint64_t v) {
+  msg.push_back(static_cast<float>(v / kU24));
+  msg.push_back(static_cast<float>(v % kU24));
+}
+
+std::uint64_t pull_u64(const std::vector<float>& msg, std::size_t i) {
+  return static_cast<std::uint64_t>(msg[i]) * kU24 +
+         static_cast<std::uint64_t>(msg[i + 1]);
+}
+
+constexpr std::size_t kFlightFloats = 12;
+
+void encode_flight(std::vector<float>& msg,
+                   const obs::IterationRecord& rec) {
+  msg.push_back(static_cast<float>(rec.iteration));
+  msg.push_back(static_cast<float>(rec.rank));
+  msg.push_back(static_cast<float>(rec.compute_us));
+  msg.push_back(static_cast<float>(rec.allreduce_us));
+  msg.push_back(static_cast<float>(rec.ps_exchange_us));
+  msg.push_back(static_cast<float>(rec.broadcast_us));
+  push_u64(msg, rec.payload_bytes);
+  push_u64(msg, rec.wire_bytes);
+  msg.push_back(static_cast<float>(rec.compression_ratio));
+  msg.push_back(static_cast<float>(rec.staleness));
+}
+
+obs::IterationRecord decode_flight(const std::vector<float>& msg,
+                                   std::size_t i) {
+  obs::IterationRecord rec;
+  rec.iteration = static_cast<int>(msg[i]);
+  rec.rank = static_cast<int>(msg[i + 1]);
+  rec.compute_us = msg[i + 2];
+  rec.allreduce_us = msg[i + 3];
+  rec.ps_exchange_us = msg[i + 4];
+  rec.broadcast_us = msg[i + 5];
+  rec.payload_bytes = pull_u64(msg, i + 6);
+  rec.wire_bytes = pull_u64(msg, i + 8);
+  rec.compression_ratio = msg[i + 10];
+  rec.staleness = static_cast<int>(msg[i + 11]);
+  return rec;
+}
 
 std::unique_ptr<solver::Solver> make_solver(const HybridConfig& cfg,
                                             std::vector<nn::Param> params) {
@@ -99,6 +150,16 @@ TrainResult HybridTrainer::run() {
     comm::Communicator group =
         world.split(is_worker ? group_id : cfg_.num_groups + rank, rank);
 
+    // Distributed identity: this rank's spans flush on its own pid lane,
+    // and its measured offset against rank 0's clock rides in the
+    // per-rank trace metadata for obs::merge_traces().
+    obs::trace_set_identity(
+        rank, is_worker ? "group " + std::to_string(group_id) : "ps");
+    if (cfg_.clock_sync_rounds > 0) {
+      obs::trace_set_clock_offset_us(
+          rank, world.clock_offset_us(0, cfg_.clock_sync_rounds));
+    }
+
     if (!is_worker) {
       // ---------------- parameter-server rank ----------------
       std::map<std::size_t, Tensor> my_initial;
@@ -157,6 +218,9 @@ TrainResult HybridTrainer::run() {
     }
 
     std::vector<IterationRecord> records;
+    obs::FlightRecorder flight(cfg_.flight_capacity);
+    comm::IoStats prev_io = world.io_stats();
+    ps::PsWireStats prev_ps;
     world.barrier();
     WallTimer clock;
     const float inv_group = 1.0f / static_cast<float>(group_size);
@@ -173,14 +237,22 @@ TrainResult HybridTrainer::run() {
     for (std::size_t iter = 0; iter < cfg_.iterations; ++iter) {
       obs::TraceSpan iter_span("hybrid_iteration", "hybrid");
       WallTimer step_timer;
-      if (cfg_.straggler_delay > 0.0 && rank == cfg_.straggler_rank) {
-        std::this_thread::sleep_for(std::chrono::duration<double>(
-            cfg_.straggler_delay));
-      }
+      double compute_us = 0.0;
+      double allreduce_us = 0.0;
+      double ps_exchange_us = 0.0;
+      double broadcast_us = 0.0;
       double loss;
       {
         obs::TraceSpan span("compute", "hybrid");
+        WallTimer timer;
+        // The injected straggler delay is charged to compute on purpose:
+        // it models a slow node, and the analytics must see it.
+        if (cfg_.straggler_delay > 0.0 && rank == cfg_.straggler_rank) {
+          std::this_thread::sleep_for(std::chrono::duration<double>(
+              cfg_.straggler_delay));
+        }
         loss = model->train_step(batches_(rank, iter));
+        compute_us = timer.seconds() * 1e6;
       }
 
       std::uint64_t max_staleness = 0;
@@ -188,6 +260,7 @@ TrainResult HybridTrainer::run() {
         // Synchronous phase: group-wide gradient mean, one tensor per
         // trainable layer parameter (the MLSL-style per-layer reduction).
         obs::TraceSpan span("comm_allreduce", "hybrid");
+        WallTimer timer;
         for (auto& p : params) {
           group.allreduce_sum(p.grad->span(), cfg_.allreduce);
           p.grad->scale(inv_group);
@@ -195,6 +268,7 @@ TrainResult HybridTrainer::run() {
         float loss_buf = static_cast<float>(loss);
         group.allreduce_sum(std::span<float>(&loss_buf, 1), cfg_.allreduce);
         loss = static_cast<double>(loss_buf) * inv_group;
+        allreduce_us = timer.seconds() * 1e6;
       }
 
       if (cfg_.num_groups == 1) {
@@ -203,19 +277,54 @@ TrainResult HybridTrainer::run() {
       } else {
         if (is_root) {
           obs::TraceSpan span("ps_exchange", "hybrid");
+          WallTimer timer;
           const auto staleness = client->exchange(grad_ptrs, value_ptrs);
           for (auto s : staleness) {
             max_staleness = std::max(max_staleness, s);
           }
+          ps_exchange_us = timer.seconds() * 1e6;
         }
         // Root broadcasts the fresh model; everyone clears gradients.
         obs::TraceSpan span("comm_broadcast", "hybrid");
+        WallTimer timer;
         for (auto& p : params) {
           group.broadcast(p.value->span(), 0);
           p.grad->zero();
         }
+        broadcast_us = timer.seconds() * 1e6;
       }
       iteration_counter.add(1);
+
+      // Flight record: phase split plus this iteration's wire traffic.
+      // `wire` is what actually crossed (comm counts post-codec bytes);
+      // `payload` swaps the PS exchange's encoded bytes for their logical
+      // fp32 size, so wire/payload is the effective compression ratio.
+      const comm::IoStats io = world.io_stats();
+      const ps::PsWireStats pw =
+          client.has_value() ? client->wire_stats() : ps::PsWireStats{};
+      const std::uint64_t wire = io.bytes_sent - prev_io.bytes_sent;
+      const std::uint64_t ps_wire = pw.wire_bytes - prev_ps.wire_bytes;
+      const std::uint64_t ps_payload =
+          pw.payload_bytes - prev_ps.payload_bytes;
+      const std::uint64_t payload = wire - ps_wire + ps_payload;
+      prev_io = io;
+      prev_ps = pw;
+
+      obs::IterationRecord fr;
+      fr.iteration = static_cast<int>(iter);
+      fr.rank = rank;
+      fr.compute_us = compute_us;
+      fr.allreduce_us = allreduce_us;
+      fr.ps_exchange_us = ps_exchange_us;
+      fr.broadcast_us = broadcast_us;
+      fr.payload_bytes = payload;
+      fr.wire_bytes = wire;
+      fr.compression_ratio =
+          payload > 0 ? static_cast<double>(wire) /
+                            static_cast<double>(payload)
+                      : 0.0;
+      fr.staleness = static_cast<int>(max_staleness);
+      flight.record(fr);
 
       if (is_root) {
         IterationRecord rec;
@@ -242,8 +351,15 @@ TrainResult HybridTrainer::run() {
       msg.push_back(static_cast<float>(r.loss));
       msg.push_back(static_cast<float>(r.max_staleness));
     }
+    // Flight-recorder gather rides its own tag, every worker to rank 0.
+    std::vector<float> flight_msg;
+    const std::vector<obs::IterationRecord> flight_records =
+        flight.snapshot();
+    flight_msg.reserve(flight_records.size() * kFlightFloats);
+    for (const auto& fr : flight_records) encode_flight(flight_msg, fr);
     if (rank != 0) {
       world.send(0, kRecordsTag, msg);
+      world.send(0, kFlightTag, flight_msg);
       return;
     }
 
@@ -264,6 +380,42 @@ TrainResult HybridTrainer::run() {
     decode_records(msg);
     for (int src = 1; src < workers; ++src) {
       decode_records(world.recv(src, kRecordsTag));
+    }
+    auto decode_flights = [&](const std::vector<float>& buf) {
+      PF15_CHECK(buf.size() % kFlightFloats == 0);
+      for (std::size_t i = 0; i < buf.size(); i += kFlightFloats) {
+        result.flight.push_back(decode_flight(buf, i));
+      }
+    };
+    decode_flights(flight_msg);
+    for (int src = 1; src < workers; ++src) {
+      decode_flights(world.recv(src, kFlightTag));
+    }
+    std::sort(result.flight.begin(), result.flight.end(),
+              [](const obs::IterationRecord& a,
+                 const obs::IterationRecord& b) {
+                return std::tie(a.iteration, a.rank) <
+                       std::tie(b.iteration, b.rank);
+              });
+
+    // Straggler analytics over iterations every worker still holds (ring
+    // overflow can trim the head of a long run).
+    if (workers >= 2) {
+      std::map<int, std::vector<double>> by_iter;
+      for (const auto& fr : result.flight) {
+        auto& v = by_iter[fr.iteration];
+        if (v.empty()) v.resize(static_cast<std::size_t>(workers), -1.0);
+        v[static_cast<std::size_t>(fr.rank)] = fr.compute_us;
+      }
+      obs::StragglerDetector detector(workers);
+      for (const auto& [iter_id, compute] : by_iter) {
+        if (std::any_of(compute.begin(), compute.end(),
+                        [](double t) { return t < 0.0; })) {
+          continue;
+        }
+        detector.observe(iter_id, compute);
+      }
+      if (detector.iterations() > 0) result.straggler = detector.summary();
     }
     for (int p = 0; p < nps; ++p) {
       const std::vector<float> st = world.recv(workers + p, kStatsTag);

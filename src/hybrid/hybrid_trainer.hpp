@@ -20,6 +20,8 @@
 
 #include "comm/comm.hpp"
 #include "hybrid/trainable.hpp"
+#include "obs/flight_recorder.hpp"
+#include "perf/json.hpp"
 #include "ps/param_server.hpp"
 #include "solver/solver.hpp"
 
@@ -47,9 +49,16 @@ struct HybridConfig {
   /// are provided for the ablation bench.
   ps::Codec ps_codec = ps::Codec::kFp32;
   /// Inject a fixed delay (seconds) on one worker each iteration to study
-  /// straggler effects (0 disables).
+  /// straggler effects (0 disables). The delay counts as compute time, so
+  /// the flight recorder and straggler analytics see it.
   double straggler_delay = 0.0;
   int straggler_rank = 0;
+  /// Rounds of the rank-0 clock-offset handshake run at job start (feeds
+  /// obs::trace_set_clock_offset_us / trace merging). 0 disables.
+  int clock_sync_rounds = 4;
+  /// Per-worker flight-recorder ring depth: the last `flight_capacity`
+  /// iterations of each worker survive to the end-of-run gather.
+  std::size_t flight_capacity = 1024;
 };
 
 /// One synchronous step of one compute group.
@@ -68,6 +77,12 @@ struct TrainResult {
   std::vector<Tensor> final_params;
   /// Aggregated PS staleness stats (empty in sync mode).
   ps::StalenessStats staleness;
+  /// Every worker's flight-recorder ring, gathered to rank 0 and sorted
+  /// by (iteration, rank). Export with obs::flight_records_jsonl().
+  std::vector<obs::IterationRecord> flight;
+  /// StragglerDetector::summary() over the gathered per-rank compute
+  /// times (null when the job has fewer than 2 workers).
+  perf::Json straggler;
 };
 
 class HybridTrainer {

@@ -1,0 +1,100 @@
+#include "obs/flight_recorder.hpp"
+
+#include <algorithm>
+
+#include "common/errors.hpp"
+
+namespace pf15::obs {
+
+perf::Json flight_record_json(const IterationRecord& rec) {
+  perf::Json doc = perf::Json::object();
+  doc.set("iteration", rec.iteration);
+  doc.set("rank", rec.rank);
+  doc.set("compute_us", rec.compute_us);
+  doc.set("allreduce_us", rec.allreduce_us);
+  doc.set("ps_exchange_us", rec.ps_exchange_us);
+  doc.set("broadcast_us", rec.broadcast_us);
+  doc.set("payload_bytes", static_cast<double>(rec.payload_bytes));
+  doc.set("wire_bytes", static_cast<double>(rec.wire_bytes));
+  doc.set("compression_ratio", rec.compression_ratio);
+  doc.set("staleness", rec.staleness);
+  return doc;
+}
+
+IterationRecord flight_record_from_json(const perf::Json& doc) {
+  PF15_CHECK_MSG(doc.is_object(), "flight record: not a JSON object");
+  IterationRecord rec;
+  rec.iteration = static_cast<int>(doc.get("iteration").as_number());
+  rec.rank = static_cast<int>(doc.get("rank").as_number());
+  rec.compute_us = doc.get("compute_us").as_number();
+  rec.allreduce_us = doc.get("allreduce_us").as_number();
+  rec.ps_exchange_us = doc.get("ps_exchange_us").as_number();
+  rec.broadcast_us = doc.get("broadcast_us").as_number();
+  rec.payload_bytes =
+      static_cast<std::uint64_t>(doc.get("payload_bytes").as_number());
+  rec.wire_bytes =
+      static_cast<std::uint64_t>(doc.get("wire_bytes").as_number());
+  rec.compression_ratio = doc.get("compression_ratio").as_number();
+  rec.staleness = static_cast<int>(doc.get("staleness").as_number());
+  return rec;
+}
+
+std::string flight_records_jsonl(const std::vector<IterationRecord>& recs) {
+  std::string out;
+  for (const IterationRecord& rec : recs) {
+    out += flight_record_json(rec).dump(/*indent=*/0);
+    out += '\n';
+  }
+  return out;
+}
+
+FlightRecorder::FlightRecorder(std::size_t capacity) : capacity_(capacity) {
+  PF15_CHECK_MSG(capacity > 0, "FlightRecorder: zero capacity");
+  ring_.reserve(std::min<std::size_t>(capacity, 1024));
+}
+
+void FlightRecorder::record(const IterationRecord& rec) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++total_;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(rec);
+    return;
+  }
+  ring_[next_] = rec;
+  next_ = (next_ + 1) % capacity_;
+}
+
+std::size_t FlightRecorder::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ring_.size();
+}
+
+std::uint64_t FlightRecorder::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_;
+}
+
+std::uint64_t FlightRecorder::overwritten() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_ > ring_.size() ? total_ - ring_.size() : 0;
+}
+
+std::vector<IterationRecord> FlightRecorder::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<IterationRecord> out;
+  out.reserve(ring_.size());
+  // next_ is the oldest slot once the ring has wrapped.
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+void FlightRecorder::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ring_.clear();
+  next_ = 0;
+  total_ = 0;
+}
+
+}  // namespace pf15::obs

@@ -1,0 +1,85 @@
+// Per-iteration flight recorder for distributed training.
+//
+// Spans answer "when did this happen"; metrics answer "how many in
+// total". The flight recorder answers the question a scaling debug
+// session actually starts from: "show me iteration 37 on rank 2" — one
+// structured record per (iteration, rank) with the per-phase split
+// (compute / allreduce / PS exchange / broadcast), the bytes that
+// crossed the wire before and after the paper's k-bit compression, and
+// the sync-group staleness the parameter server reported.
+//
+// Each worker rank owns one FlightRecorder — a bounded ring, so a
+// million-iteration run costs constant memory and degrades by
+// forgetting the oldest iterations, never by stalling training.
+// HybridTrainer gathers every rank's ring to rank 0 through the comm
+// groups at the end of a run; flight_records_jsonl() renders the merged
+// set as JSON Lines (one object per line — greppable, streamable, and
+// loadable row-by-row without parsing a giant array).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "perf/json.hpp"
+
+namespace pf15::obs {
+
+/// One training iteration as seen by one worker rank. Microsecond phase
+/// durations; byte counts are what the rank itself sent (payload =
+/// logical fp32 bytes, wire = post-codec bytes actually transported).
+struct IterationRecord {
+  int iteration = 0;
+  int rank = 0;
+  double compute_us = 0.0;
+  double allreduce_us = 0.0;
+  double ps_exchange_us = 0.0;
+  double broadcast_us = 0.0;
+  std::uint64_t payload_bytes = 0;
+  std::uint64_t wire_bytes = 0;
+  double compression_ratio = 0.0;  ///< wire/payload; 0 when nothing sent
+  int staleness = 0;               ///< PS staleness seen this iteration
+};
+
+/// Renders one record as a compact single-line JSON object.
+perf::Json flight_record_json(const IterationRecord& rec);
+
+/// Parses flight_record_json() output back (merge tools, tests).
+IterationRecord flight_record_from_json(const perf::Json& doc);
+
+/// JSON Lines export: one flight_record_json() line per record.
+std::string flight_records_jsonl(const std::vector<IterationRecord>& recs);
+
+/// Bounded ring of IterationRecords. Thread-safe: the owning rank
+/// records while an observer (rank 0's gather, a test) snapshots.
+/// On overflow the oldest record is overwritten and counted — the ring
+/// keeps the most recent `capacity` iterations.
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(std::size_t capacity = 1024);
+
+  void record(const IterationRecord& rec);
+
+  /// Records currently held (≤ capacity).
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+
+  /// Total record() calls, and how many old records overflow discarded.
+  std::uint64_t total_recorded() const;
+  std::uint64_t overwritten() const;
+
+  /// Held records, oldest first.
+  std::vector<IterationRecord> snapshot() const;
+
+  void clear();
+
+ private:
+  mutable std::mutex mutex_;
+  const std::size_t capacity_;
+  std::vector<IterationRecord> ring_;
+  std::size_t next_ = 0;  // overwrite position once full
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace pf15::obs

@@ -1,0 +1,158 @@
+#include "obs/straggler.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/errors.hpp"
+#include "obs/metrics.hpp"
+
+namespace pf15::obs {
+
+namespace {
+
+double median_of(std::vector<double> v) {
+  const std::size_t mid = v.size() / 2;
+  std::nth_element(v.begin(), v.begin() + mid, v.end());
+  double m = v[mid];
+  if (v.size() % 2 == 0) {
+    m = (m + *std::max_element(v.begin(), v.begin() + mid)) / 2.0;
+  }
+  return m;
+}
+
+}  // namespace
+
+StragglerDetector::StragglerDetector(int num_ranks, StragglerConfig cfg)
+    : num_ranks_(num_ranks),
+      cfg_(cfg),
+      sum_compute_(static_cast<std::size_t>(num_ranks), 0.0),
+      sum_z_(static_cast<std::size_t>(num_ranks), 0.0),
+      sum_lag_(static_cast<std::size_t>(num_ranks), 0.0) {
+  PF15_CHECK_MSG(num_ranks >= 2, "StragglerDetector: needs >= 2 ranks");
+}
+
+StragglerStats StragglerDetector::observe(
+    int iteration, const std::vector<double>& compute_us) {
+  PF15_CHECK_MSG(
+      compute_us.size() == static_cast<std::size_t>(num_ranks_),
+      "StragglerDetector: got " << compute_us.size() << " timings for "
+                                << num_ranks_ << " ranks");
+  StragglerStats stats;
+  stats.iteration = iteration;
+  stats.median_us = median_of(compute_us);
+  auto slowest = std::max_element(compute_us.begin(), compute_us.end());
+  stats.max_us = *slowest;
+  stats.slowest_rank =
+      static_cast<int>(std::distance(compute_us.begin(), slowest));
+  stats.lag_ratio =
+      stats.median_us > 0.0 ? stats.max_us / stats.median_us : 1.0;
+
+  double total = 0.0;
+  for (double t : compute_us) total += t;
+  for (int r = 0; r < num_ranks_; ++r) {
+    const double x = compute_us[static_cast<std::size_t>(r)];
+    const double peer_mean = (total - x) / (num_ranks_ - 1);
+    double peer_var = 0.0;
+    for (int o = 0; o < num_ranks_; ++o) {
+      if (o == r) continue;
+      const double d = compute_us[static_cast<std::size_t>(o)] - peer_mean;
+      peer_var += d * d;
+    }
+    peer_var /= (num_ranks_ - 1);
+    const double sigma = std::max(std::sqrt(peer_var),
+                                  cfg_.sigma_floor_frac * peer_mean);
+    const double z = sigma > 0.0 ? (x - peer_mean) / sigma : 0.0;
+    stats.max_z = std::max(stats.max_z, z);
+    sum_z_[static_cast<std::size_t>(r)] += z;
+    sum_lag_[static_cast<std::size_t>(r)] +=
+        peer_mean > 0.0 ? x / peer_mean : 1.0;
+    sum_compute_[static_cast<std::size_t>(r)] += x;
+  }
+
+  ++iterations_;
+  sum_lag_ratio_ += stats.lag_ratio;
+  max_lag_ratio_ = std::max(max_lag_ratio_, stats.lag_ratio);
+
+  static Gauge& lag_gauge = MetricsRegistry::global().gauge(
+      "pf15_straggler_lag_ratio",
+      "Max-over-median compute lag of the last observed iteration");
+  static Gauge& z_gauge = MetricsRegistry::global().gauge(
+      "pf15_straggler_max_z",
+      "Worst leave-one-out compute z-score of the last observed iteration");
+  static Counter& flagged_total = MetricsRegistry::global().counter(
+      "pf15_straggler_flagged_total",
+      "Iterations whose slowest rank crossed the straggler thresholds");
+  lag_gauge.set(stats.lag_ratio);
+  z_gauge.set(stats.max_z);
+  if (stats.max_z > cfg_.z_threshold &&
+      stats.lag_ratio > cfg_.min_lag_ratio) {
+    flagged_total.add(1);
+  }
+  return stats;
+}
+
+std::vector<double> StragglerDetector::rank_z_scores() const {
+  std::vector<double> out(sum_z_.size(), 0.0);
+  if (iterations_ == 0) return out;
+  for (std::size_t r = 0; r < out.size(); ++r) {
+    out[r] = sum_z_[r] / static_cast<double>(iterations_);
+  }
+  return out;
+}
+
+std::vector<double> StragglerDetector::rank_lag_ratios() const {
+  std::vector<double> out(sum_lag_.size(), 1.0);
+  if (iterations_ == 0) return out;
+  for (std::size_t r = 0; r < out.size(); ++r) {
+    out[r] = sum_lag_[r] / static_cast<double>(iterations_);
+  }
+  return out;
+}
+
+std::vector<int> StragglerDetector::flagged_ranks() const {
+  std::vector<int> out;
+  const std::vector<double> z = rank_z_scores();
+  const std::vector<double> lag = rank_lag_ratios();
+  for (int r = 0; r < num_ranks_; ++r) {
+    if (z[static_cast<std::size_t>(r)] > cfg_.z_threshold &&
+        lag[static_cast<std::size_t>(r)] > cfg_.min_lag_ratio) {
+      out.push_back(r);
+    }
+  }
+  return out;
+}
+
+double StragglerDetector::mean_lag_ratio() const {
+  return iterations_ > 0 ? sum_lag_ratio_ / static_cast<double>(iterations_)
+                         : 1.0;
+}
+
+perf::Json StragglerDetector::summary() const {
+  perf::Json doc = perf::Json::object();
+  doc.set("iterations", static_cast<double>(iterations_));
+  doc.set("ranks", num_ranks_);
+  doc.set("mean_lag_ratio", mean_lag_ratio());
+  doc.set("max_lag_ratio", max_lag_ratio_);
+  const std::vector<double> z = rank_z_scores();
+  const std::vector<double> lag = rank_lag_ratios();
+  perf::Json per_rank = perf::Json::array();
+  for (int r = 0; r < num_ranks_; ++r) {
+    perf::Json row = perf::Json::object();
+    row.set("rank", r);
+    row.set("mean_compute_us",
+            iterations_ > 0
+                ? sum_compute_[static_cast<std::size_t>(r)] /
+                      static_cast<double>(iterations_)
+                : 0.0);
+    row.set("z", z[static_cast<std::size_t>(r)]);
+    row.set("lag", lag[static_cast<std::size_t>(r)]);
+    per_rank.push_back(std::move(row));
+  }
+  doc.set("per_rank", std::move(per_rank));
+  perf::Json flagged = perf::Json::array();
+  for (int r : flagged_ranks()) flagged.push_back(r);
+  doc.set("flagged", std::move(flagged));
+  return doc;
+}
+
+}  // namespace pf15::obs

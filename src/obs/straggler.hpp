@@ -1,0 +1,94 @@
+// Straggler analytics over per-rank compute timings.
+//
+// The paper's hybrid sync/async design exists because synchronous
+// allreduce makes every sync group exactly as fast as its slowest
+// member. This detector quantifies that: fed the per-rank compute time
+// of each iteration (from the flight recorder gather), it tracks
+//
+//   * per-iteration lag: max-over-median compute time — the factor the
+//     group lost to its slowest rank this iteration, and
+//   * rolling per-rank z-scores: is a *specific* rank consistently
+//     slow, or does the straggler move around (OS jitter)?
+//
+// The z-score is leave-one-out — each rank is scored against the mean/σ
+// of the *other* ranks. The textbook within-group z maxes out at
+// √(n−1) (≈1.7 for a 4-rank group), too low to ever cross a sane
+// threshold; leave-one-out scores an outlier against a population that
+// excludes it, so a persistent straggler scores arbitrarily high. σ is
+// floored at a fraction of the peers' mean so near-uniform timings
+// (σ→0) don't explode the score, and a flag additionally requires the
+// rank's mean lag over its peers to exceed min_lag_ratio — a rank must
+// be *slower*, not merely *consistent*, to be called a straggler.
+//
+// observe() mirrors the current lag and worst z-score into the metrics
+// registry (pf15_straggler_lag_ratio, pf15_straggler_max_z,
+// pf15_straggler_flagged_total); summary() renders the rollup embedded
+// in BENCH_scaling.json.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "perf/json.hpp"
+
+namespace pf15::obs {
+
+struct StragglerConfig {
+  double z_threshold = 2.5;      ///< rolling mean leave-one-out z to flag
+  double min_lag_ratio = 1.25;   ///< and mean lag over peers must exceed
+  double sigma_floor_frac = 0.05;  ///< σ floor as a fraction of peer mean
+};
+
+/// One iteration's cross-rank view.
+struct StragglerStats {
+  int iteration = 0;
+  double median_us = 0.0;
+  double max_us = 0.0;
+  int slowest_rank = -1;
+  double lag_ratio = 1.0;  ///< max / median (1 when median is 0)
+  double max_z = 0.0;      ///< worst leave-one-out z this iteration
+};
+
+class StragglerDetector {
+ public:
+  explicit StragglerDetector(int num_ranks, StragglerConfig cfg = {});
+
+  /// Feeds one iteration's per-rank compute times (compute_us[r] = rank
+  /// r). Returns that iteration's stats and updates the rolling state +
+  /// registry metrics. compute_us.size() must equal num_ranks.
+  StragglerStats observe(int iteration,
+                         const std::vector<double>& compute_us);
+
+  int num_ranks() const { return num_ranks_; }
+  std::uint64_t iterations() const { return iterations_; }
+
+  /// Rolling mean leave-one-out z-score per rank (0 before any observe).
+  std::vector<double> rank_z_scores() const;
+
+  /// Rolling mean lag of each rank over its peers' mean compute time.
+  std::vector<double> rank_lag_ratios() const;
+
+  /// Ranks whose rolling z exceeds z_threshold AND rolling lag exceeds
+  /// min_lag_ratio.
+  std::vector<int> flagged_ranks() const;
+
+  /// Mean and max of the per-iteration max-over-median lag so far.
+  double mean_lag_ratio() const;
+  double max_lag_ratio() const { return max_lag_ratio_; }
+
+  /// Rollup for BENCH_scaling.json: {iterations, ranks, mean/max lag,
+  /// per_rank: [{rank, mean_compute_us, z, lag}], flagged: [...]}.
+  perf::Json summary() const;
+
+ private:
+  const int num_ranks_;
+  const StragglerConfig cfg_;
+  std::uint64_t iterations_ = 0;
+  std::vector<double> sum_compute_;  // per rank
+  std::vector<double> sum_z_;        // per rank, leave-one-out
+  std::vector<double> sum_lag_;      // per rank, over peer mean
+  double sum_lag_ratio_ = 0.0;       // per-iteration max/median
+  double max_lag_ratio_ = 0.0;
+};
+
+}  // namespace pf15::obs

@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdlib>
+#include <map>
 #include <mutex>
 #include <vector>
 
 #include "common/errors.hpp"
+#include "obs/metrics.hpp"
 #include "perf/json.hpp"
 
 namespace pf15::obs {
@@ -17,15 +19,33 @@ std::atomic<int> g_trace_state{0};
 
 namespace {
 
+/// Default chrome://tracing process lane for threads that never claimed a
+/// rank identity (single-process tracing).
+constexpr int kDefaultPid = 1;
+
 /// One recorded span. Names are owned strings: spans outlive the plans,
-/// layers and threads whose names they carry.
+/// layers and threads whose names they carry. `pid` holds the recording
+/// thread's rank identity, or -1 for unidentified threads — the render
+/// maps -1 to kDefaultPid, but trace_dump_rank() filters on the raw
+/// value so anonymous spans never leak into a real rank's document.
 struct Span {
   std::string name;
   const char* category;
+  int pid;
   int tid;
   double ts_us;
   double dur_us;
 };
+
+/// Distributed identity of one rank (registered via trace_set_identity).
+struct RankMeta {
+  std::string group;
+  double clock_offset_us = 0.0;
+};
+
+/// The calling thread's claimed rank (-1 = none): stamped onto every span
+/// the thread records, read without any lock.
+thread_local int t_identity_rank = -1;
 
 constexpr std::size_t kRingCapacity = 1 << 16;
 
@@ -39,6 +59,7 @@ struct TracerState {
   std::vector<ThreadRing*> rings;        // live threads
   std::vector<Span> retired;             // spans of exited threads
   std::vector<Span> flushed;             // everything already collected
+  std::map<int, RankMeta> ranks;         // registered rank identities
   std::atomic<std::uint64_t> dropped{0};
   std::atomic<std::uint64_t> recorded{0};
   std::atomic<int> next_tid{1};
@@ -78,16 +99,31 @@ struct ThreadRing {
   }
 
   void record(Span&& span) {
-    std::lock_guard<std::mutex> lock(mutex);
-    span.tid = tid;
-    if (spans.size() < kRingCapacity) {
-      spans.push_back(std::move(span));
-    } else {
-      spans[next] = std::move(span);
-      next = (next + 1) % kRingCapacity;
-      state().dropped.fetch_add(1, std::memory_order_relaxed);
+    // Registry mirrors live outside the ring lock: counter adds are
+    // sharded atomics, and keeping them out of the critical section keeps
+    // a concurrent flush from observing them under two mutexes.
+    bool overwrote = false;
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      span.pid = t_identity_rank;  // -1 when this thread has no identity
+      span.tid = tid;
+      if (spans.size() < kRingCapacity) {
+        spans.push_back(std::move(span));
+      } else {
+        spans[next] = std::move(span);
+        next = (next + 1) % kRingCapacity;
+        overwrote = true;
+        state().dropped.fetch_add(1, std::memory_order_relaxed);
+      }
+      state().recorded.fetch_add(1, std::memory_order_relaxed);
     }
-    state().recorded.fetch_add(1, std::memory_order_relaxed);
+    static Counter& spans_total = MetricsRegistry::global().counter(
+        "pf15_trace_spans_total", "Spans recorded by the tracer");
+    static Counter& dropped_total = MetricsRegistry::global().counter(
+        "pf15_trace_dropped_total",
+        "Trace spans lost to per-thread ring overflow");
+    spans_total.add(1);
+    if (overwrote) dropped_total.add(1);
   }
 
   /// Moves every buffered span out (called under state().mutex by flush).
@@ -129,8 +165,25 @@ std::vector<Span> collect_sorted() {
   return sorted;
 }
 
-perf::Json render_trace(const std::vector<Span>& spans) {
+/// "M"-phase process_name event labelling one rank's pid lane.
+perf::Json rank_metadata_event(int rank, const RankMeta& meta) {
+  perf::Json args = perf::Json::object();
+  args.set("name", "rank " + std::to_string(rank) + " (" + meta.group + ")");
+  perf::Json ev = perf::Json::object();
+  ev.set("name", "process_name");
+  ev.set("ph", "M");
+  ev.set("pid", rank);
+  ev.set("tid", 0);
+  ev.set("args", std::move(args));
+  return ev;
+}
+
+perf::Json render_trace(const std::vector<Span>& spans,
+                        const std::map<int, RankMeta>& ranks) {
   perf::Json events = perf::Json::array();
+  for (const auto& [rank, meta] : ranks) {
+    events.push_back(rank_metadata_event(rank, meta));
+  }
   for (const Span& s : spans) {
     perf::Json ev = perf::Json::object();
     ev.set("name", s.name);
@@ -138,7 +191,7 @@ perf::Json render_trace(const std::vector<Span>& spans) {
     ev.set("ph", "X");
     ev.set("ts", s.ts_us);
     ev.set("dur", s.dur_us);
-    ev.set("pid", 1);
+    ev.set("pid", s.pid >= 0 ? s.pid : kDefaultPid);
     ev.set("tid", s.tid);
     events.push_back(std::move(ev));
   }
@@ -146,6 +199,12 @@ perf::Json render_trace(const std::vector<Span>& spans) {
   doc.set("traceEvents", std::move(events));
   doc.set("displayTimeUnit", "ms");
   return doc;
+}
+
+std::map<int, RankMeta> snapshot_ranks() {
+  TracerState& st = state();
+  std::lock_guard<std::mutex> lock(st.mutex);
+  return st.ranks;
 }
 
 void flush_at_exit() {
@@ -245,12 +304,52 @@ void trace_flush() {
     throw IoError("trace_flush: no trace path configured");
   }
   const std::vector<Span> spans = collect_sorted();
-  render_trace(spans).write_file(path, /*indent=*/0);
+  render_trace(spans, snapshot_ranks()).write_file(path, /*indent=*/0);
 }
 
 std::string trace_dump() {
-  return render_trace(collect_sorted()).dump(/*indent=*/0);
+  return render_trace(collect_sorted(), snapshot_ranks()).dump(/*indent=*/0);
 }
+
+std::string trace_dump_rank(int rank) {
+  PF15_CHECK_MSG(rank >= 0, "trace_dump_rank: negative rank");
+  std::vector<Span> mine;
+  for (Span& s : collect_sorted()) {
+    if (s.pid == rank) mine.push_back(std::move(s));
+  }
+  RankMeta meta;
+  {
+    TracerState& st = state();
+    std::lock_guard<std::mutex> lock(st.mutex);
+    auto it = st.ranks.find(rank);
+    if (it != st.ranks.end()) meta = it->second;
+  }
+  perf::Json doc = render_trace(mine, {{rank, meta}});
+  perf::Json pf15 = perf::Json::object();
+  pf15.set("rank", rank);
+  pf15.set("group", meta.group);
+  pf15.set("clock_offset_us", meta.clock_offset_us);
+  doc.set("pf15", std::move(pf15));
+  return doc.dump(/*indent=*/0);
+}
+
+void trace_set_identity(int rank, const std::string& group) {
+  PF15_CHECK_MSG(rank >= 0, "trace_set_identity: negative rank");
+  t_identity_rank = rank;
+  TracerState& st = state();
+  std::lock_guard<std::mutex> lock(st.mutex);
+  st.ranks[rank].group = group;
+}
+
+void trace_set_clock_offset_us(int rank, double offset_us) {
+  TracerState& st = state();
+  std::lock_guard<std::mutex> lock(st.mutex);
+  st.ranks[rank].clock_offset_us = offset_us;
+}
+
+void trace_clear_identity() { t_identity_rank = -1; }
+
+int trace_identity_rank() { return t_identity_rank; }
 
 void trace_clear() {
   TracerState& st = state();
@@ -261,6 +360,7 @@ void trace_clear() {
   }
   st.retired.clear();
   st.flushed.clear();
+  st.ranks.clear();
   st.dropped.store(0, std::memory_order_relaxed);
   st.recorded.store(0, std::memory_order_relaxed);
 }

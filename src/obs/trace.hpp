@@ -27,7 +27,18 @@
 // Buffers are bounded (64K spans per thread); when a thread overflows,
 // the oldest spans of that thread are overwritten and the drop is counted
 // (trace_dropped_count()) — tracing degrades by forgetting history, never
-// by stalling the traced code.
+// by stalling the traced code. Both totals are mirrored into the metrics
+// registry (`pf15_trace_spans_total`, `pf15_trace_dropped_total`) so ring
+// overflow shows up in a Prometheus snapshot, not only via this API.
+//
+// Distributed runs: a rank thread claims its identity with
+// trace_set_identity(rank, group) — spans recorded on that thread flush
+// with `pid = rank` (plus a process_name metadata event naming the rank
+// and its comm group), so a multi-rank in-process job renders as one
+// per-rank-lane timeline. trace_merge.hpp turns per-rank trace *files*
+// (the real-MPI shape, one process per rank) back into that single
+// timeline, aligning clocks via the offsets measured by
+// comm::Communicator::clock_offset_us().
 #pragma once
 
 #include <atomic>
@@ -67,6 +78,29 @@ void trace_resume();
 /// span.
 double trace_now_us();
 
+/// Claims a distributed-rank identity for the *calling thread*: spans it
+/// records from now on flush with `pid = rank`, and the flushed document
+/// carries a process_name metadata event "rank <rank> (<group>)". Threads
+/// that never claim an identity keep the default pid (1). Identities are
+/// process-wide bookkeeping: two threads may claim the same rank (e.g. a
+/// rank thread across two training runs), but a single flush then merges
+/// their lanes.
+void trace_set_identity(int rank, const std::string& group);
+
+/// Records the clock-offset estimate (microseconds to ADD to this rank's
+/// trace_now_us() domain to land on the reference rank's clock — see
+/// comm::Communicator::clock_offset_us). The offset is NOT applied to
+/// spans at record or flush time; it is embedded in trace_dump_rank()'s
+/// metadata so obs::merge_traces() can align per-rank files.
+void trace_set_clock_offset_us(int rank, double offset_us);
+
+/// Drops the calling thread's rank identity (new spans revert to pid 1).
+/// Registered rank metadata stays until trace_clear().
+void trace_clear_identity();
+
+/// The calling thread's claimed rank, or -1 when none.
+int trace_identity_rank();
+
 /// Records one complete span explicitly (for cross-thread intervals like
 /// queue wait, where the observer is not the thread that started the
 /// interval — the span lands on the calling thread's track).
@@ -83,6 +117,14 @@ void trace_flush();
 /// The same JSON document trace_flush() writes, as a string (tests, and
 /// callers embedding the trace elsewhere).
 std::string trace_dump();
+
+/// A per-rank trace document: only the spans stamped with `pid == rank`,
+/// that rank's process_name metadata, and a top-level "pf15" object
+/// {rank, group, clock_offset_us} consumed by obs::merge_traces(). This
+/// is the shape a real one-process-per-rank run would write to its own
+/// file; in-process multi-rank runs use it to exercise the same merge
+/// workflow.
+std::string trace_dump_rank(int rank);
 
 /// Drops every buffered span and resets the drop counter (tests).
 void trace_clear();

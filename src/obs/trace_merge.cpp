@@ -1,0 +1,126 @@
+#include "obs/trace_merge.hpp"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "common/errors.hpp"
+
+namespace pf15::obs {
+
+namespace {
+
+/// One rank's contribution, pulled out of its document.
+struct RankTrace {
+  int rank;
+  std::string group;
+  double offset_us;
+  std::vector<perf::Json> events;  // "X" events, already shifted+stamped
+};
+
+RankTrace extract(const perf::Json& doc, std::size_t index) {
+  if (!doc.is_object() || doc.find("traceEvents") == nullptr) {
+    throw ConfigError("merge_traces: input " + std::to_string(index) +
+                      " is not a chrome://tracing document");
+  }
+  const perf::Json* pf15 = doc.find("pf15");
+  if (pf15 == nullptr || pf15->find("rank") == nullptr) {
+    throw ConfigError("merge_traces: input " + std::to_string(index) +
+                      " has no pf15 rank metadata (not written by "
+                      "trace_dump_rank?)");
+  }
+  RankTrace out;
+  out.rank = static_cast<int>(pf15->get("rank").as_number());
+  const perf::Json* group = pf15->find("group");
+  out.group = group != nullptr && group->is_string() ? group->as_string()
+                                                     : std::string();
+  const perf::Json* offset = pf15->find("clock_offset_us");
+  out.offset_us = offset != nullptr ? offset->as_number() : 0.0;
+
+  const perf::Json& events = doc.get("traceEvents");
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const perf::Json& ev = events.at(i);
+    const perf::Json* ph = ev.find("ph");
+    if (ph == nullptr || !ph->is_string() || ph->as_string() != "X") {
+      continue;  // metadata events are regenerated from the pf15 block
+    }
+    perf::Json shifted = ev;
+    shifted.set("ts", ev.get("ts").as_number() + out.offset_us);
+    shifted.set("pid", out.rank);
+    out.events.push_back(std::move(shifted));
+  }
+  return out;
+}
+
+perf::Json process_name_event(int rank, const std::string& group) {
+  perf::Json args = perf::Json::object();
+  args.set("name", "rank " + std::to_string(rank) + " (" + group + ")");
+  perf::Json ev = perf::Json::object();
+  ev.set("name", "process_name");
+  ev.set("ph", "M");
+  ev.set("pid", rank);
+  ev.set("tid", 0);
+  ev.set("args", std::move(args));
+  return ev;
+}
+
+}  // namespace
+
+perf::Json merge_traces(const std::vector<perf::Json>& per_rank) {
+  std::vector<RankTrace> traces;
+  traces.reserve(per_rank.size());
+  std::set<int> seen;
+  for (std::size_t i = 0; i < per_rank.size(); ++i) {
+    RankTrace t = extract(per_rank[i], i);
+    if (!seen.insert(t.rank).second) {
+      throw ConfigError("merge_traces: two inputs claim rank " +
+                        std::to_string(t.rank));
+    }
+    traces.push_back(std::move(t));
+  }
+  std::sort(traces.begin(), traces.end(),
+            [](const RankTrace& a, const RankTrace& b) {
+              return a.rank < b.rank;
+            });
+
+  // Gather + sort by aligned timestamp. stable_sort keeps same-ts events
+  // in rank order, so the merge is deterministic across runs.
+  std::vector<perf::Json> merged;
+  for (RankTrace& t : traces) {
+    merged.insert(merged.end(), std::make_move_iterator(t.events.begin()),
+                  std::make_move_iterator(t.events.end()));
+  }
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const perf::Json& a, const perf::Json& b) {
+                     return a.get("ts").as_number() < b.get("ts").as_number();
+                   });
+
+  perf::Json events = perf::Json::array();
+  perf::Json ranks = perf::Json::array();
+  for (const RankTrace& t : traces) {
+    events.push_back(process_name_event(t.rank, t.group));
+    ranks.push_back(t.rank);
+  }
+  const std::size_t span_count = merged.size();
+  for (perf::Json& ev : merged) events.push_back(std::move(ev));
+
+  perf::Json doc = perf::Json::object();
+  doc.set("traceEvents", std::move(events));
+  doc.set("displayTimeUnit", "ms");
+  perf::Json summary = perf::Json::object();
+  summary.set("ranks", std::move(ranks));
+  summary.set("events", span_count);
+  doc.set("pf15", std::move(summary));
+  return doc;
+}
+
+perf::Json merge_trace_files(const std::vector<std::string>& paths) {
+  std::vector<perf::Json> docs;
+  docs.reserve(paths.size());
+  for (const std::string& path : paths) {
+    docs.push_back(perf::Json::read_file(path));
+  }
+  return merge_traces(docs);
+}
+
+}  // namespace pf15::obs

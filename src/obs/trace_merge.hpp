@@ -1,0 +1,41 @@
+// Merging per-rank chrome://tracing files into one aligned timeline.
+//
+// A distributed run produces one trace document per rank (see
+// trace_dump_rank()): spans in that rank's local clock domain, plus a
+// "pf15" metadata object carrying the rank number, comm-group label and
+// the clock offset measured against rank 0 by
+// comm::Communicator::clock_offset_us(). merge_traces() shifts every
+// span by its rank's offset, re-stamps pid = rank (so files written
+// without an in-process identity still land in the right lane), drops
+// the per-file metadata events and regenerates one process_name event
+// per rank, and returns a single document sorted by aligned timestamp —
+// the N-rank timeline chrome://tracing renders with one lane per rank.
+//
+// The library is deliberately independent of the tracer's process-wide
+// state: inputs are parsed JSON documents (or file paths), so the
+// pf15_merge_traces tool can align traces from runs it never observed.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "perf/json.hpp"
+
+namespace pf15::obs {
+
+/// Merges per-rank trace documents (trace_dump_rank() shape: a
+/// chrome://tracing object with a top-level "pf15" {rank, group,
+/// clock_offset_us} block) into one timeline. Each input's "X" events are
+/// shifted by that rank's clock offset and re-stamped with pid = rank;
+/// the output carries one process_name metadata event per rank, the
+/// merged events sorted by aligned timestamp, and a "pf15" summary
+/// {ranks: [...], events: N}. Throws pf15::ConfigError on a document
+/// missing "traceEvents"/"pf15" or on two documents claiming the same
+/// rank.
+perf::Json merge_traces(const std::vector<perf::Json>& per_rank);
+
+/// read_file() + merge_traces() over `paths`. Throws pf15::IoError on an
+/// unreadable/unparseable file, pf15::ConfigError on shape violations.
+perf::Json merge_trace_files(const std::vector<std::string>& paths);
+
+}  // namespace pf15::obs

@@ -5,9 +5,43 @@
 #include <cstring>
 
 #include "common/errors.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 namespace pf15::ps {
+
+namespace {
+
+/// Registry mirrors of the codec's wire effect: logical fp32 bytes in,
+/// encoded bytes out, and the resulting ratio (< 1.0 for a k-bit codec).
+void mirror_encode(std::size_t raw_bytes, std::size_t encoded) {
+  using obs::MetricsRegistry;
+  static obs::Counter& raw_total = MetricsRegistry::global().counter(
+      "pf15_ps_encode_raw_bytes_total",
+      "Logical fp32 bytes fed to the PS wire codec");
+  static obs::Counter& wire_total = MetricsRegistry::global().counter(
+      "pf15_ps_encode_wire_bytes_total",
+      "Encoded bytes produced by the PS wire codec");
+  static obs::Gauge& ratio = MetricsRegistry::global().gauge(
+      "pf15_ps_compression_ratio",
+      "Encoded/raw byte ratio of the last PS encode");
+  raw_total.add(raw_bytes);
+  wire_total.add(encoded);
+  if (raw_bytes > 0) {
+    ratio.set(static_cast<double>(encoded) /
+              static_cast<double>(raw_bytes));
+  }
+}
+
+void mirror_decode(std::size_t encoded) {
+  static obs::Counter& wire_total =
+      obs::MetricsRegistry::global().counter(
+          "pf15_ps_decode_wire_bytes_total",
+          "Encoded bytes consumed by the PS wire codec");
+  wire_total.add(encoded);
+}
+
+}  // namespace
 
 std::uint16_t float_to_half(float value) {
   std::uint32_t bits;
@@ -106,6 +140,7 @@ std::vector<std::uint8_t> encode(Codec codec, std::span<const float> data,
   // tracing: the "compress" phase of a hybrid training iteration.
   obs::TraceSpan span("ps_encode", "hybrid");
   std::vector<std::uint8_t> out(encoded_bytes(codec, data.size()));
+  mirror_encode(data.size() * 4, out.size());
   switch (codec) {
     case Codec::kFp32:
       std::memcpy(out.data(), data.data(), data.size() * 4);
@@ -152,6 +187,7 @@ std::vector<float> decode(Codec codec,
   obs::TraceSpan span("ps_decode", "hybrid");
   PF15_CHECK_MSG(payload.size() == encoded_bytes(codec, n),
                  "decode: payload size mismatch");
+  mirror_decode(payload.size());
   std::vector<float> out(n);
   switch (codec) {
     case Codec::kFp32:

@@ -145,12 +145,15 @@ std::vector<std::uint64_t> PsClient::exchange(
     PF15_CHECK(grads[id]->shape() == shards_[id].shape);
     std::vector<float> msg{static_cast<float>(group_id_),
                            static_cast<float>(versions_seen_[id])};
+    wire_stats_.payload_bytes += grads[id]->numel() * sizeof(float);
     if (codec_ == Codec::kFp32) {
       msg.resize(2 + grads[id]->numel());
       std::memcpy(msg.data() + 2, grads[id]->data(),
                   grads[id]->numel() * sizeof(float));
+      wire_stats_.wire_bytes += grads[id]->numel() * sizeof(float);
     } else {
       const auto bytes = encode(codec_, grads[id]->span(), rng_);
+      wire_stats_.wire_bytes += bytes.size();
       const auto packed = pack_bytes_as_floats(bytes);
       msg.insert(msg.end(), packed.begin(), packed.end());
     }
@@ -167,19 +170,23 @@ std::vector<std::uint64_t> PsClient::exchange(
     PF15_CHECK(version_now >= versions_seen_[id] + 1);
     staleness[id] = version_now - versions_seen_[id] - 1;
     versions_seen_[id] = version_now;
+    wire_stats_.payload_bytes += values[id]->numel() * sizeof(float);
     if (codec_ == Codec::kFp32) {
       PF15_CHECK(reply.size() == 1 + values[id]->numel());
       std::memcpy(values[id]->data(), reply.data() + 1,
                   values[id]->numel() * sizeof(float));
+      wire_stats_.wire_bytes += values[id]->numel() * sizeof(float);
     } else {
       const auto bytes = unpack_floats_as_bytes(
           std::span<const float>(reply).subspan(1));
+      wire_stats_.wire_bytes += bytes.size();
       const std::vector<float> model =
           decode(codec_, bytes, values[id]->numel());
       std::memcpy(values[id]->data(), model.data(),
                   model.size() * sizeof(float));
     }
   }
+  ++wire_stats_.exchanges;
   return staleness;
 }
 

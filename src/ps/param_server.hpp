@@ -108,6 +108,21 @@ class PsServer {
   StalenessStats stats_;
 };
 
+/// Cumulative wire effect of a client's PS exchanges, both directions.
+/// payload = logical fp32 bytes moved; wire = post-codec bytes that
+/// actually crossed (equal under kFp32, smaller under a k-bit codec).
+struct PsWireStats {
+  std::uint64_t payload_bytes = 0;
+  std::uint64_t wire_bytes = 0;
+  std::uint64_t exchanges = 0;
+
+  double ratio() const {
+    return payload_bytes > 0 ? static_cast<double>(wire_bytes) /
+                                   static_cast<double>(payload_bytes)
+                             : 1.0;
+  }
+};
+
 /// Group-root view of the PS tier. Exchange semantics: push one gradient
 /// per shard, receive the post-update model for each, all shards in
 /// flight concurrently (the "overlaying" of §III-E(b)).
@@ -123,6 +138,10 @@ class PsClient {
       const std::vector<const Tensor*>& grads,
       const std::vector<Tensor*>& values);
 
+  /// Wire accounting across every exchange() so far (the flight recorder
+  /// diffs consecutive snapshots for per-iteration bytes).
+  const PsWireStats& wire_stats() const { return wire_stats_; }
+
   /// Tells every PS rank this group is done (send exactly once).
   void stop();
 
@@ -134,6 +153,7 @@ class PsClient {
   Codec codec_;
   Rng rng_;
   std::vector<std::uint64_t> versions_seen_;
+  PsWireStats wire_stats_;
 };
 
 }  // namespace pf15::ps

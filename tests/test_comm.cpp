@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <numeric>
 
 #include "comm/comm.hpp"
@@ -272,6 +273,43 @@ TEST(Comm, PeerFailureUnblocksSplit) {
                  (void)comm.split(0, comm.rank());
                }),
                Error);
+}
+
+TEST(Comm, IoStatsCountPointToPointTraffic) {
+  // io_stats() is per world rank; diff around an isolated send/recv so
+  // barrier traffic from setup doesn't pollute the expectation.
+  Cluster cluster(2);
+  cluster.run([](Communicator& comm) {
+    comm.barrier();
+    const IoStats before = comm.io_stats();
+    if (comm.rank() == 0) {
+      comm.send(1, 9, std::vector<float>{1.0f, 2.0f, 3.0f});
+      const IoStats after = comm.io_stats();
+      EXPECT_EQ(after.bytes_sent - before.bytes_sent, 12u);
+      EXPECT_EQ(after.messages_sent - before.messages_sent, 1u);
+    } else {
+      (void)comm.recv(0, 9);
+      const IoStats after = comm.io_stats();
+      EXPECT_EQ(after.bytes_recv - before.bytes_recv, 12u);
+      EXPECT_EQ(after.messages_recv - before.messages_recv, 1u);
+    }
+  });
+}
+
+TEST(Comm, ClockOffsetZeroOnRootAndBoundedOnPeers) {
+  // Every rank lives in one process here, so the true offset is zero;
+  // the handshake must return exactly 0 on the root and a small
+  // barrier-skew-sized value everywhere else.
+  Cluster cluster(3);
+  cluster.run([](Communicator& comm) {
+    const double offset = comm.clock_offset_us(/*root=*/0, /*rounds=*/4);
+    if (comm.rank() == 0) {
+      EXPECT_EQ(offset, 0.0);
+    } else {
+      // Median over barrier-synchronized rounds: scheduling skew only.
+      EXPECT_LT(std::abs(offset), 1e5);  // 100 ms of slack for CI noise
+    }
+  });
 }
 
 TEST(Comm, MessagesSentBeforeAbortAreStillDelivered) {

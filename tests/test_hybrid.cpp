@@ -298,6 +298,63 @@ TEST(HybridTrainer, RecordsSortedByWallTime) {
   }
 }
 
+TEST(HybridTrainer, FlightRecorderGathersEveryWorkerIteration) {
+  HybridConfig cfg;
+  cfg.num_workers = 4;
+  cfg.num_groups = 2;
+  cfg.iterations = 3;
+  cfg.ps_codec = ps::Codec::kFp16;
+  HybridTrainer trainer(cfg, hep_factory(), hep_batches());
+  const TrainResult result = trainer.run();
+
+  // One record per (iteration, worker), sorted by (iteration, rank).
+  ASSERT_EQ(result.flight.size(),
+            static_cast<std::size_t>(cfg.iterations * cfg.num_workers));
+  bool roots_seen = false;
+  for (std::size_t i = 0; i < result.flight.size(); ++i) {
+    const obs::IterationRecord& fr = result.flight[i];
+    EXPECT_EQ(fr.iteration, static_cast<int>(i) / cfg.num_workers);
+    EXPECT_EQ(fr.rank, static_cast<int>(i) % cfg.num_workers);
+    EXPECT_GT(fr.compute_us, 0.0);
+    EXPECT_GE(fr.staleness, 0);
+    // Every worker allreduces within its group and hears the PS
+    // broadcast, so every record moves bytes.
+    EXPECT_GT(fr.wire_bytes, 0u);
+    EXPECT_GT(fr.payload_bytes, 0u);
+    // Only group roots talk to the PS tier, so only their records see
+    // the fp16 codec: ratio strictly below 1 there (allreduce stays
+    // fp32, so above 0.5), exactly 1 on the workers that never exchange.
+    EXPECT_GT(fr.compression_ratio, 0.0);
+    EXPECT_LE(fr.compression_ratio, 1.0);
+    if (fr.ps_exchange_us > 0.0) {
+      EXPECT_LT(fr.compression_ratio, 1.0);
+      roots_seen = true;
+    }
+  }
+  EXPECT_TRUE(roots_seen);  // the group roots' records made the gather
+
+  // Two workers or more: the straggler rollup is populated.
+  ASSERT_TRUE(result.straggler.is_object());
+  EXPECT_EQ(result.straggler.get("ranks").as_number(), 4.0);
+  EXPECT_EQ(result.straggler.get("iterations").as_number(), 3.0);
+  EXPECT_GE(result.straggler.get("max_lag_ratio").as_number(), 1.0);
+  EXPECT_EQ(result.straggler.get("per_rank").size(), 4u);
+}
+
+TEST(HybridTrainer, FlightRingCapacityBoundsGatheredRecords) {
+  HybridConfig cfg;
+  cfg.num_workers = 2;
+  cfg.num_groups = 1;
+  cfg.iterations = 5;
+  cfg.flight_capacity = 2;  // each worker keeps only its last 2
+  HybridTrainer trainer(cfg, hep_factory(), hep_batches());
+  const TrainResult result = trainer.run();
+  ASSERT_EQ(result.flight.size(), 4u);
+  for (const auto& fr : result.flight) {
+    EXPECT_GE(fr.iteration, 3);  // iterations 3 and 4 survive
+  }
+}
+
 TEST(HybridTrainer, MonolithicPsAblationRuns) {
   HybridConfig cfg;
   cfg.num_workers = 2;

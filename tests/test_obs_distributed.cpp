@@ -1,0 +1,317 @@
+// Distributed observability: per-rank trace documents and their merge
+// (clock alignment, lane stamping, malformed-input rejection), the
+// per-iteration flight recorder ring, and the straggler detector's
+// flag/stay-quiet behaviour on synthetic timings.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/errors.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/straggler.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_merge.hpp"
+#include "perf/json.hpp"
+
+namespace pf15::obs {
+namespace {
+
+// ---- per-rank dump + merge --------------------------------------------------
+
+class DistributedTraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (std::filesystem::temp_directory_path() /
+             "pf15_trace_dist_test.json")
+                .string();
+    trace_clear();
+    trace_enable(path_);
+  }
+  void TearDown() override {
+    trace_clear_identity();
+    trace_disable();
+    trace_clear();
+    std::filesystem::remove(path_);
+  }
+  std::string path_;
+};
+
+/// Builds a synthetic per-rank document in the trace_dump_rank() shape:
+/// events are (name, ts, dur) triples in the rank's local clock domain.
+perf::Json make_rank_doc(
+    int rank, const std::string& group, double offset_us,
+    const std::vector<std::tuple<std::string, double, double>>& spans) {
+  perf::Json events = perf::Json::array();
+  for (const auto& [name, ts, dur] : spans) {
+    perf::Json ev = perf::Json::object();
+    ev.set("name", name);
+    ev.set("cat", "test");
+    ev.set("ph", "X");
+    ev.set("ts", ts);
+    ev.set("dur", dur);
+    ev.set("pid", 1);  // merge must re-stamp pid = rank
+    ev.set("tid", 1);
+    events.push_back(std::move(ev));
+  }
+  perf::Json meta = perf::Json::object();
+  meta.set("rank", rank);
+  meta.set("group", group);
+  meta.set("clock_offset_us", offset_us);
+  perf::Json doc = perf::Json::object();
+  doc.set("traceEvents", std::move(events));
+  doc.set("pf15", std::move(meta));
+  return doc;
+}
+
+TEST_F(DistributedTraceTest, DumpRankFiltersToOneLane) {
+  // Two "ranks" on two threads, one unidentified thread: trace_dump_rank
+  // must return exactly the identified rank's spans plus its metadata.
+  std::vector<std::thread> threads;
+  for (int r = 0; r < 2; ++r) {
+    threads.emplace_back([r] {
+      trace_set_identity(r, "group " + std::to_string(r));
+      trace_set_clock_offset_us(r, 10.0 * r);
+      for (int i = 0; i < 3 + r; ++i) {
+        TraceSpan span("work", "test");
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  { TraceSpan span("anonymous", "test"); }  // pid stays the default
+
+  const perf::Json doc = perf::Json::parse(trace_dump_rank(1));
+  const perf::Json& meta = doc.get("pf15");
+  EXPECT_EQ(meta.get("rank").as_number(), 1.0);
+  EXPECT_EQ(meta.get("group").as_string(), "group 1");
+  EXPECT_DOUBLE_EQ(meta.get("clock_offset_us").as_number(), 10.0);
+
+  const perf::Json& events = doc.get("traceEvents");
+  std::size_t spans = 0;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const perf::Json& e = events.at(i);
+    if (e.get("ph").as_string() != "X") continue;  // metadata event
+    EXPECT_DOUBLE_EQ(e.get("pid").as_number(), 1.0);
+    EXPECT_EQ(e.get("name").as_string(), "work");
+    ++spans;
+  }
+  EXPECT_EQ(spans, 4u);  // rank 1 recorded 3 + r = 4 spans
+}
+
+TEST(TraceMerge, AlignsClocksStampsLanesAndSorts) {
+  // Rank 1's clock runs 60us behind rank 0's: its local ts 50 lands at
+  // 110 on the merged timeline, *after* rank 0's event at 100.
+  const std::vector<perf::Json> docs = {
+      make_rank_doc(0, "group 0", 0.0, {{"a", 100.0, 5.0}}),
+      make_rank_doc(1, "group 1", 60.0,
+                    {{"b", 50.0, 5.0}, {"c", 20.0, 5.0}}),
+  };
+  const perf::Json merged = merge_traces(docs);
+
+  const perf::Json& summary = merged.get("pf15");
+  ASSERT_EQ(summary.get("ranks").size(), 2u);
+  EXPECT_EQ(summary.get("events").as_number(), 3.0);
+
+  const perf::Json& events = merged.get("traceEvents");
+  std::vector<std::pair<std::string, double>> lanes;  // (name, ts) of X
+  std::set<std::string> process_names;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const perf::Json& e = events.at(i);
+    if (e.get("ph").as_string() == "M") {
+      process_names.insert(
+          e.get("args").get("name").as_string());
+      continue;
+    }
+    lanes.emplace_back(e.get("name").as_string(),
+                       e.get("ts").as_number());
+    // pid re-stamped from the metadata rank, not the input pid.
+    const double pid = e.get("pid").as_number();
+    EXPECT_EQ(pid, e.get("name").as_string() == "a" ? 0.0 : 1.0);
+  }
+  // One process_name lane per rank.
+  EXPECT_EQ(process_names.size(), 2u);
+  EXPECT_TRUE(process_names.count("rank 0 (group 0)"));
+  EXPECT_TRUE(process_names.count("rank 1 (group 1)"));
+  // Aligned and sorted: c@80, a@100, b@110.
+  ASSERT_EQ(lanes.size(), 3u);
+  EXPECT_EQ(lanes[0].first, "c");
+  EXPECT_DOUBLE_EQ(lanes[0].second, 80.0);
+  EXPECT_EQ(lanes[1].first, "a");
+  EXPECT_DOUBLE_EQ(lanes[1].second, 100.0);
+  EXPECT_EQ(lanes[2].first, "b");
+  EXPECT_DOUBLE_EQ(lanes[2].second, 110.0);
+}
+
+TEST(TraceMerge, RejectsDuplicateRanksAndMalformedDocuments) {
+  const perf::Json good = make_rank_doc(0, "g", 0.0, {{"a", 1.0, 1.0}});
+  EXPECT_THROW(merge_traces({good, good}), ConfigError);
+
+  perf::Json no_meta = perf::Json::object();
+  no_meta.set("traceEvents", perf::Json::array());
+  EXPECT_THROW(merge_traces({no_meta}), ConfigError);
+
+  perf::Json no_events = perf::Json::object();
+  perf::Json meta = perf::Json::object();
+  meta.set("rank", 0);
+  no_events.set("pf15", std::move(meta));
+  EXPECT_THROW(merge_traces({no_events}), ConfigError);
+}
+
+TEST_F(DistributedTraceTest, ThreadRanksRoundTripThroughMerge) {
+  // End to end with the real tracer: three identified threads record,
+  // each rank dumps its own document, and the merge rebuilds a
+  // well-formed three-lane timeline.
+  constexpr int kRanks = 3;
+  std::vector<std::thread> threads;
+  for (int r = 0; r < kRanks; ++r) {
+    threads.emplace_back([r] {
+      trace_set_identity(r, "group 0");
+      trace_set_clock_offset_us(r, 1000.0 * r);
+      for (int i = 0; i < 2; ++i) {
+        TraceSpan span("iter", "hybrid");
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  std::vector<perf::Json> docs;
+  for (int r = 0; r < kRanks; ++r) {
+    docs.push_back(perf::Json::parse(trace_dump_rank(r)));
+  }
+  const perf::Json merged = merge_traces(docs);
+  EXPECT_EQ(merged.get("pf15").get("events").as_number(),
+            static_cast<double>(kRanks * 2));
+
+  const perf::Json& events = merged.get("traceEvents");
+  std::set<double> pids;
+  double prev_ts = -1e300;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const perf::Json& e = events.at(i);
+    if (e.get("ph").as_string() != "X") continue;
+    pids.insert(e.get("pid").as_number());
+    const double ts = e.get("ts").as_number();
+    EXPECT_GE(ts, prev_ts);  // sorted on the aligned clock
+    prev_ts = ts;
+  }
+  EXPECT_EQ(pids.size(), static_cast<std::size_t>(kRanks));
+}
+
+// ---- flight recorder --------------------------------------------------------
+
+IterationRecord make_record(int iteration, int rank) {
+  IterationRecord rec;
+  rec.iteration = iteration;
+  rec.rank = rank;
+  rec.compute_us = 100.0 + iteration;
+  rec.allreduce_us = 10.0;
+  rec.ps_exchange_us = 5.0;
+  rec.broadcast_us = 1.0;
+  rec.payload_bytes = 4096;
+  rec.wire_bytes = 2048;
+  rec.compression_ratio = 0.5;
+  rec.staleness = iteration % 3;
+  return rec;
+}
+
+TEST(FlightRecorder, RingOverflowKeepsNewestAndCounts) {
+  FlightRecorder flight(4);
+  for (int i = 0; i < 10; ++i) flight.record(make_record(i, 0));
+  EXPECT_EQ(flight.size(), 4u);
+  EXPECT_EQ(flight.capacity(), 4u);
+  EXPECT_EQ(flight.total_recorded(), 10u);
+  EXPECT_EQ(flight.overwritten(), 6u);
+  const auto held = flight.snapshot();
+  ASSERT_EQ(held.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    // Oldest-first snapshot of the newest four records: 6, 7, 8, 9.
+    EXPECT_EQ(held[static_cast<std::size_t>(i)].iteration, 6 + i);
+  }
+  flight.clear();
+  EXPECT_EQ(flight.size(), 0u);
+}
+
+TEST(FlightRecorder, JsonRoundTripPreservesEveryField) {
+  const IterationRecord rec = make_record(37, 2);
+  const IterationRecord back =
+      flight_record_from_json(flight_record_json(rec));
+  EXPECT_EQ(back.iteration, rec.iteration);
+  EXPECT_EQ(back.rank, rec.rank);
+  EXPECT_DOUBLE_EQ(back.compute_us, rec.compute_us);
+  EXPECT_DOUBLE_EQ(back.allreduce_us, rec.allreduce_us);
+  EXPECT_DOUBLE_EQ(back.ps_exchange_us, rec.ps_exchange_us);
+  EXPECT_DOUBLE_EQ(back.broadcast_us, rec.broadcast_us);
+  EXPECT_EQ(back.payload_bytes, rec.payload_bytes);
+  EXPECT_EQ(back.wire_bytes, rec.wire_bytes);
+  EXPECT_DOUBLE_EQ(back.compression_ratio, rec.compression_ratio);
+  EXPECT_EQ(back.staleness, rec.staleness);
+
+  // JSONL: one parseable object per line, one line per record.
+  const std::string jsonl =
+      flight_records_jsonl({rec, make_record(38, 0)});
+  std::size_t lines = 0;
+  std::size_t start = 0;
+  while (start < jsonl.size()) {
+    const std::size_t end = jsonl.find('\n', start);
+    ASSERT_NE(end, std::string::npos);  // every line terminated
+    const perf::Json row = perf::Json::parse(jsonl.substr(start, end - start));
+    EXPECT_TRUE(row.is_object());
+    start = end + 1;
+    ++lines;
+  }
+  EXPECT_EQ(lines, 2u);
+}
+
+// ---- straggler detector -----------------------------------------------------
+
+TEST(Straggler, FlagsPersistentlySlowRank) {
+  StragglerDetector detector(4);
+  // Rank 2 runs 2x slower than its peers, every iteration, with a little
+  // deterministic jitter so sigma is nonzero.
+  for (int it = 0; it < 12; ++it) {
+    std::vector<double> compute_us = {1000.0 + it, 1010.0 - it,
+                                      2000.0 + 3.0 * it, 990.0};
+    const StragglerStats stats = detector.observe(it, compute_us);
+    EXPECT_EQ(stats.slowest_rank, 2);
+    EXPECT_GT(stats.lag_ratio, 1.5);
+    EXPECT_GT(stats.max_z, 2.5);
+  }
+  const auto flagged = detector.flagged_ranks();
+  ASSERT_EQ(flagged.size(), 1u);
+  EXPECT_EQ(flagged[0], 2);
+  const auto lags = detector.rank_lag_ratios();
+  EXPECT_GT(lags[2], 1.8);
+  EXPECT_LT(lags[0], 1.25);
+  EXPECT_GT(detector.mean_lag_ratio(), 1.5);
+
+  const perf::Json summary = detector.summary();
+  EXPECT_EQ(summary.get("iterations").as_number(), 12.0);
+  EXPECT_EQ(summary.get("ranks").as_number(), 4.0);
+  ASSERT_EQ(summary.get("flagged").size(), 1u);
+  EXPECT_EQ(summary.get("flagged").at(0).as_number(), 2.0);
+  EXPECT_EQ(summary.get("per_rank").size(), 4u);
+}
+
+TEST(Straggler, QuietOnUniformTimings) {
+  // Near-uniform timings with rotating jitter: nobody is *persistently*
+  // slow, so the sigma floor and the lag-ratio requirement must keep the
+  // detector quiet even when leave-one-out z spikes on single iterations.
+  StragglerDetector detector(4);
+  for (int it = 0; it < 12; ++it) {
+    std::vector<double> compute_us(4, 1000.0);
+    compute_us[static_cast<std::size_t>(it) % 4] += 30.0;  // 3% jitter
+    const StragglerStats stats = detector.observe(it, compute_us);
+    EXPECT_LT(stats.lag_ratio, 1.1);
+  }
+  EXPECT_TRUE(detector.flagged_ranks().empty());
+  for (const double lag : detector.rank_lag_ratios()) {
+    EXPECT_LT(lag, 1.05);
+  }
+  EXPECT_TRUE(detector.summary().get("flagged").size() == 0u);
+}
+
+}  // namespace
+}  // namespace pf15::obs

@@ -1,0 +1,41 @@
+// pf15_merge_traces — align and merge per-rank chrome://tracing files.
+//
+// Each input is a per-rank trace document (the shape obs::trace_dump_rank
+// writes, or a real one-process-per-rank run's flush plus its "pf15"
+// {rank, group, clock_offset_us} block). The output is one timeline:
+// spans shifted onto rank 0's clock by the recorded offsets, one pid
+// lane per rank, sorted by aligned timestamp — load it straight into
+// chrome://tracing or Perfetto.
+//
+// Usage: pf15_merge_traces OUT.json RANK0.json RANK1.json [...]
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/errors.hpp"
+#include "obs/trace_merge.hpp"
+
+int main(int argc, char** argv) {
+  if (argc < 4) {
+    std::fprintf(stderr,
+                 "usage: %s OUT.json RANK0.json RANK1.json [...]\n",
+                 argv[0]);
+    return 2;
+  }
+  const std::string out_path = argv[1];
+  std::vector<std::string> inputs;
+  for (int i = 2; i < argc; ++i) inputs.emplace_back(argv[i]);
+  try {
+    const pf15::perf::Json merged =
+        pf15::obs::merge_trace_files(inputs);
+    merged.write_file(out_path, /*indent=*/0);
+    const pf15::perf::Json& summary = merged.get("pf15");
+    std::printf("%s: %d ranks, %d events\n", out_path.c_str(),
+                static_cast<int>(summary.get("ranks").size()),
+                static_cast<int>(summary.get("events").as_number()));
+  } catch (const pf15::Error& e) {
+    std::fprintf(stderr, "pf15_merge_traces: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
