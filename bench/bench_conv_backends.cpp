@@ -37,6 +37,7 @@ struct NamedProblem {
   const char* name;
   const char* net;  // which paper network the geometry comes from
   gemm::ConvProblem problem;
+  bool wide_tile = false;  // large-kernel climate class (spectral territory)
 };
 
 gemm::ConvProblem make_problem(std::size_t in_c, std::size_t out_c,
@@ -66,6 +67,17 @@ std::vector<NamedProblem> geometries() {
       {"climate.enc4_scaled", "climate", make_problem(512, 768, 12, 5, 2, 2)},
       {"climate.head_conf", "climate", make_problem(1024, 1, 24, 3, 1, 1)},
       {"climate.head_cls", "climate", make_problem(1024, 4, 24, 3, 1, 1)},
+      // Wide-tile climate variants: large receptive fields on wide
+      // spatial tiles (the §III-B 768² storm fields favour big effective
+      // windows when not strided away). wide_k33 lands on one 64²
+      // transform grid with a kernel big enough that the spectral
+      // backward out-races the im2col adjoint; wide_3x3 is the wide-tile
+      // 3x3 class where the Winograd backward wins. The summary counts
+      // how many wide-tile backward phases actually picked non-im2col.
+      {"climate.wide_k33", "climate", make_problem(4, 4, 32, 33, 1, 16),
+       /*wide_tile=*/true},
+      {"climate.wide_3x3", "climate", make_problem(32, 32, 96, 3, 1, 1),
+       /*wide_tile=*/true},
   };
 }
 
@@ -147,11 +159,15 @@ int main(int argc, char** argv) {
   bool bwd_never_slower = true;
   std::size_t non_im2col_hep = 0;
   std::size_t non_im2col_climate = 0;
+  std::size_t wide_tiles = 0;
+  std::size_t non_im2col_wide_backward = 0;
 
   for (const NamedProblem& np : geometries()) {
     perf::Json row = perf::Json::object();
     row.set("name", np.name);
     row.set("net", np.net);
+    row.set("wide_tile", np.wide_tile);
+    if (np.wide_tile) ++wide_tiles;
     perf::Json geom = perf::Json::object();
     geom.set("in_c", np.problem.geom.in_c);
     geom.set("out_c", np.problem.out_c);
@@ -169,7 +185,7 @@ int main(int argc, char** argv) {
       if (!no_sweep) {
         perf::Json backends = perf::Json::array();
         // candidate_backends applies the same analytic cutoff autotune
-        // does (e.g. FFT at 3x3 never gets timed; FFT declines backward).
+        // does (e.g. FFT at 3x3 never gets timed in any phase).
         for (const gemm::ConvBackend* b :
              gemm::candidate_backends(np.problem, opt, phase)) {
           perf::Json entry = perf::Json::object();
@@ -210,6 +226,9 @@ int main(int argc, char** argv) {
         }
       } else {
         bwd_never_slower = bwd_never_slower && not_slower;
+        if (np.wide_tile && plan.kind != gemm::ConvBackendKind::kIm2col) {
+          ++non_im2col_wide_backward;
+        }
       }
     }
     row.set("phases", std::move(phases));
@@ -274,6 +293,10 @@ int main(int argc, char** argv) {
   summary.set("backward_plans_never_slower_than_im2col", bwd_never_slower);
   summary.set("non_im2col_hep_geometries", non_im2col_hep);
   summary.set("non_im2col_climate_geometries", non_im2col_climate);
+  // 2·wide_tiles backward phases total; a non-zero count here is the
+  // "spectral backward actually wins somewhere" acceptance.
+  summary.set("wide_tile_geometries", wide_tiles);
+  summary.set("non_im2col_wide_backward_plans", non_im2col_wide_backward);
   summary.set("first_sight_tunes", first_sight_tunes);
   summary.set("cache_hits", cache.hits());
   record.set("summary", std::move(summary));
@@ -291,6 +314,9 @@ int main(int argc, char** argv) {
               bwd_never_slower ? "yes" : "NO");
   std::printf("non-im2col forward plans: hep %zu, climate %zu\n",
               non_im2col_hep, non_im2col_climate);
+  std::printf("non-im2col backward plans on wide tiles: %zu (of %zu "
+              "wide-tile backward phases)\n",
+              non_im2col_wide_backward, 2 * wide_tiles);
   std::printf("first-sight tunes this run: %llu\n",
               static_cast<unsigned long long>(first_sight_tunes));
   std::printf("wrote %s\n", json_path.c_str());

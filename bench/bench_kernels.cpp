@@ -35,6 +35,35 @@ void BM_SgemmSquare(benchmark::State& state) {
 }
 BENCHMARK(BM_SgemmSquare)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
 
+// Scalar-vs-SIMD A/B of the same packed GEMM through sgemm_at: range(0)
+// is the square size, range(1) the gemm::SimdLevel. A tier absent on the
+// running machine (AVX2 on a scalar-only box) is skipped, not faked.
+void BM_SgemmAtLevel(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto level = static_cast<gemm::SimdLevel>(state.range(1));
+  if (static_cast<int>(level) > static_cast<int>(gemm::simd_detected_level())) {
+    state.SkipWithError("tier not available on this CPU");
+    return;
+  }
+  Rng rng(1);
+  std::vector<float> a(n * n), b(n * n), c(n * n);
+  for (auto& v : a) v = rng.uniform(-1.0f, 1.0f);
+  for (auto& v : b) v = rng.uniform(-1.0f, 1.0f);
+  for (auto _ : state) {
+    gemm::sgemm_at(level, false, false, n, n, n, 1.0f, a.data(), n,
+                   b.data(), n, 0.0f, c.data(), n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetLabel(gemm::to_string(level));
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      static_cast<double>(gemm::flops(n, n, n)) * state.iterations() / 1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SgemmAtLevel)
+    ->ArgsProduct({{256, 512, 1024},
+                   {static_cast<long>(gemm::SimdLevel::kScalar),
+                    static_cast<long>(gemm::SimdLevel::kAvx2)}});
+
 // Tall-skinny GEMM: the conv-as-GEMM shape with minibatch-like N
 // (DeepBench's problem class).
 void BM_SgemmTallSkinny(benchmark::State& state) {

@@ -31,7 +31,11 @@
 # inconsistency, 7 graph validation failure, 8 sanitizer lane failure,
 # 10 work-stealing scheduler speedup regression (wide-level models at
 # 4 workers below 1.5x over 1 worker on a >=4-core machine),
-# 11 scaling observability gate failure (see bench/scaling_common.hpp).
+# 11 scaling observability gate failure (see bench/scaling_common.hpp),
+# 12 SIMD kernel gate failure (bench_simd: AVX2 below 1.2x over scalar
+# on the 1024-class shapes, PF15_SIMD=off not reaching the scalar tier,
+# or the scalar tier drifting from the pre-dispatch GEMM bit pattern;
+# self-skips loudly on non-AVX2 machines).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -99,11 +103,12 @@ if [ -n "$sanitize" ]; then
   else
     # TSan at ~5-15x slowdown: run the concurrency-heavy suites — the
     # serving stack, observability, the work-stealing scheduler, the
-    # parallel graph executor, hybrid parallelism, comm and the
-    # parameter server.
+    # parallel graph executor, hybrid parallelism, comm, the parameter
+    # server — and the dispatched kernel tier (its cpuid probe and
+    # kernel tables are lazily-initialized shared state).
     (cd "$build_dir" && \
      TSAN_OPTIONS=halt_on_error=1 ctest --output-on-failure -j"$jobs" -R \
-        'test_(serve|obs|obs_distributed|common|task_scheduler|graph|graph_validate|hybrid|comm|ps|conv_backend)$') \
+        'test_(serve|obs|obs_distributed|common|task_scheduler|graph|graph_validate|hybrid|comm|ps|conv_backend|simd)$') \
         || { echo "FAIL: TSan lane found problems" >&2; exit 8; }
   fi
   echo "$sanitize lane clean: zero findings"
@@ -112,6 +117,19 @@ fi
 cmake -B build -S . -DPF15_WERROR=ON
 cmake --build build -j"$jobs"
 (cd build && ctest --output-on-failure -j"$jobs")
+
+# SIMD kernel gate (exit 12), three assertions in two processes:
+#   1. the runtime-dispatched AVX2 tier beats the scalar tier >= 1.2x on
+#      the 1024-class GEMM shapes (skips loudly, exit 0, without AVX2);
+#   2. PF15_SIMD=off really resolves the dispatch to the scalar tier;
+#   3. that scalar tier reproduces the pre-dispatch packed GEMM bit for
+#      bit (the --check-bitexact frozen replica inside bench_simd).
+# The sweep ships BENCH_simd.json so the GFLOP/s trajectory is diffable.
+./build/bench_simd --gate --json BENCH_simd.json \
+    || { echo "FAIL: SIMD kernel gate (see bench_simd output above)" >&2; exit 12; }
+PF15_SIMD=off ./build/bench_simd --expect-level=scalar --check-bitexact \
+    || { echo "FAIL: PF15_SIMD=off compatibility gate" >&2; exit 12; }
+echo "SIMD kernel gate passed: dispatch, speedup and scalar bit-exactness verified"
 
 # Perf record, not a gate: exit 1 means the timing-dependent acceptance
 # check (autotune beat im2col somewhere) didn't hold on this machine —

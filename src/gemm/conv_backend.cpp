@@ -17,6 +17,7 @@
 #include "gemm/fft_conv.hpp"
 #include "gemm/gemm.hpp"
 #include "gemm/scratch.hpp"
+#include "gemm/simd.hpp"
 #include "gemm/winograd.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -337,11 +338,13 @@ class FftBackend final : public ConvBackend {
  public:
   ConvBackendKind kind() const override { return ConvBackendKind::kFft; }
 
-  bool applicable(const ConvProblem& p, ConvPhase phase) const override {
-    // fft_conv2d takes one kernel/stride/pad per problem (square taps),
-    // and has no gradient formulation here: it declines backward, which
-    // the dispatch honors by excluding it from those phases' races.
-    return phase == ConvPhase::kForward && p.geom.kernel_h == p.geom.kernel_w &&
+  bool applicable(const ConvProblem& p, ConvPhase) const override {
+    // The spectral kernels take one kernel/stride/pad per problem
+    // (square taps); within that shape every phase is implemented — the
+    // gradients are exact adjoints in the transform domain
+    // (fft_conv2d_backward_*), so FFT races im2col/Winograd/direct in
+    // the backward autotunes too.
+    return p.geom.kernel_h == p.geom.kernel_w &&
            p.geom.stride_h == p.geom.stride_w &&
            p.geom.pad_h == p.geom.pad_w;
   }
@@ -354,7 +357,25 @@ class FftBackend final : public ConvBackend {
                bias, out);
   }
 
+  void backward_data(const ConvProblem& p, const float* dout,
+                     const float* weight, float* din,
+                     bool /*parallel_ok*/) const override {
+    fft_conv2d_backward_data(dout, p.geom.in_c, p.geom.in_h, p.geom.in_w,
+                             weight, p.out_c, p.geom.kernel_h,
+                             p.geom.stride_h, p.geom.pad_h, din);
+  }
+
+  void backward_filter(const ConvProblem& p, const float* image,
+                       const float* dout, float* dweight,
+                       bool /*parallel_ok*/) const override {
+    fft_conv2d_backward_filter(image, p.geom.in_c, p.geom.in_h, p.geom.in_w,
+                               dout, p.out_c, p.geom.kernel_h,
+                               p.geom.stride_h, p.geom.pad_h, dweight);
+  }
+
   std::uint64_t flops(const ConvProblem& p, ConvPhase) const override {
+    // Every phase moves the same transform count and pointwise work
+    // (see fft_conv.hpp), so the model is phase-independent.
     return fft_conv_flops(p.geom.in_c, p.out_c, p.geom.in_h, p.geom.in_w,
                           p.geom.kernel_h, p.geom.pad_h);
   }
@@ -381,40 +402,90 @@ class DirectBackend final : public ConvBackend {
     const std::size_t oh = g.out_h();
     const std::size_t ow = g.out_w();
     const std::size_t taps = g.kernel_h * g.kernel_w;
+    // Interior output range on each axis: every kernel tap lands in
+    // bounds, so the tap loops run branch-free and vectorize. Border
+    // rows/columns (only where pad > 0) keep the per-tap bounds checks.
+    // The accumulation order matches the branchy path exactly — for
+    // interior pixels the skipped branches were never taken — so the
+    // split changes no results, only the inner-loop shape.
+    const std::size_t oy_lo =
+        std::min(oh, (g.pad_h + g.stride_h - 1) / g.stride_h);
+    const std::size_t oy_hi =
+        (g.in_h + g.pad_h >= g.kernel_h)
+            ? std::min(oh, (g.in_h + g.pad_h - g.kernel_h) / g.stride_h + 1)
+            : oy_lo;
+    const std::size_t ox_lo =
+        std::min(ow, (g.pad_w + g.stride_w - 1) / g.stride_w);
+    const std::size_t ox_hi = std::max(
+        ox_lo,
+        (g.in_w + g.pad_w >= g.kernel_w)
+            ? std::min(ow, (g.in_w + g.pad_w - g.kernel_w) / g.stride_w + 1)
+            : ox_lo);
+
+    const auto border_pixel = [&](std::size_t oc, std::size_t oy,
+                                  std::size_t ox, float b) {
+      const std::ptrdiff_t iy0 =
+          static_cast<std::ptrdiff_t>(oy * g.stride_h) -
+          static_cast<std::ptrdiff_t>(g.pad_h);
+      const std::ptrdiff_t ix0 =
+          static_cast<std::ptrdiff_t>(ox * g.stride_w) -
+          static_cast<std::ptrdiff_t>(g.pad_w);
+      float acc = b;
+      for (std::size_t ic = 0; ic < g.in_c; ++ic) {
+        const float* plane = image + ic * g.in_h * g.in_w;
+        const float* w = weight + (oc * g.in_c + ic) * taps;
+        for (std::size_t ky = 0; ky < g.kernel_h; ++ky) {
+          const std::ptrdiff_t sy = iy0 + static_cast<std::ptrdiff_t>(ky);
+          if (sy < 0 || sy >= static_cast<std::ptrdiff_t>(g.in_h)) {
+            continue;
+          }
+          const float* row = plane + static_cast<std::size_t>(sy) * g.in_w;
+          const float* wrow = w + ky * g.kernel_w;
+          for (std::size_t kx = 0; kx < g.kernel_w; ++kx) {
+            const std::ptrdiff_t sx = ix0 + static_cast<std::ptrdiff_t>(kx);
+            if (sx < 0 || sx >= static_cast<std::ptrdiff_t>(g.in_w)) {
+              continue;
+            }
+            acc += row[static_cast<std::size_t>(sx)] * wrow[kx];
+          }
+        }
+      }
+      return acc;
+    };
+
     for (std::size_t oc = 0; oc < p.out_c; ++oc) {
       float* dst = out + oc * oh * ow;
       const float b = bias != nullptr ? bias[oc] : 0.0f;
       for (std::size_t oy = 0; oy < oh; ++oy) {
-        const std::ptrdiff_t iy0 =
-            static_cast<std::ptrdiff_t>(oy * g.stride_h) -
-            static_cast<std::ptrdiff_t>(g.pad_h);
-        for (std::size_t ox = 0; ox < ow; ++ox) {
-          const std::ptrdiff_t ix0 =
-              static_cast<std::ptrdiff_t>(ox * g.stride_w) -
-              static_cast<std::ptrdiff_t>(g.pad_w);
+        const bool row_interior = oy >= oy_lo && oy < oy_hi;
+        if (!row_interior) {
+          for (std::size_t ox = 0; ox < ow; ++ox) {
+            dst[oy * ow + ox] = border_pixel(oc, oy, ox, b);
+          }
+          continue;
+        }
+        for (std::size_t ox = 0; ox < ox_lo; ++ox) {
+          dst[oy * ow + ox] = border_pixel(oc, oy, ox, b);
+        }
+        const std::size_t iy0 = oy * g.stride_h - g.pad_h;
+        for (std::size_t ox = ox_lo; ox < ox_hi; ++ox) {
+          const std::size_t ix0 = ox * g.stride_w - g.pad_w;
           float acc = b;
           for (std::size_t ic = 0; ic < g.in_c; ++ic) {
             const float* plane = image + ic * g.in_h * g.in_w;
             const float* w = weight + (oc * g.in_c + ic) * taps;
             for (std::size_t ky = 0; ky < g.kernel_h; ++ky) {
-              const std::ptrdiff_t sy = iy0 + static_cast<std::ptrdiff_t>(ky);
-              if (sy < 0 || sy >= static_cast<std::ptrdiff_t>(g.in_h)) {
-                continue;
-              }
-              const float* row =
-                  plane + static_cast<std::size_t>(sy) * g.in_w;
+              const float* row = plane + (iy0 + ky) * g.in_w + ix0;
               const float* wrow = w + ky * g.kernel_w;
               for (std::size_t kx = 0; kx < g.kernel_w; ++kx) {
-                const std::ptrdiff_t sx =
-                    ix0 + static_cast<std::ptrdiff_t>(kx);
-                if (sx < 0 || sx >= static_cast<std::ptrdiff_t>(g.in_w)) {
-                  continue;
-                }
-                acc += row[static_cast<std::size_t>(sx)] * wrow[kx];
+                acc += row[kx] * wrow[kx];
               }
             }
           }
           dst[oy * ow + ox] = acc;
+        }
+        for (std::size_t ox = ox_hi; ox < ow; ++ox) {
+          dst[oy * ow + ox] = border_pixel(oc, oy, ox, b);
         }
       }
     }
@@ -668,11 +739,15 @@ constexpr const char* kCacheFormat = "pf15.conv_plan_cache";
 
 /// Hardware signature stored in the cache header: plans are timings, so a
 /// file tuned on a different machine shape must not silently win here.
+/// The active SIMD tier is part of the shape — an AVX2-tuned file names
+/// winners that a scalar-only host (or a PF15_SIMD=off run) would pick
+/// differently, and vice versa, so a mismatch re-tunes from scratch.
 perf::Json hardware_signature() {
   perf::Json hw = perf::Json::object();
   hw.set("threads",
          static_cast<std::size_t>(std::thread::hardware_concurrency()));
   hw.set("pointer_bits", 8 * sizeof(void*));
+  hw.set("isa", simd_isa_string());
   return hw;
 }
 
@@ -743,7 +818,8 @@ std::vector<StoredPlan> parse_plan_doc(const perf::Json& doc,
     if (hw.get("threads").as_number() !=
             current.get("threads").as_number() ||
         hw.get("pointer_bits").as_number() !=
-            current.get("pointer_bits").as_number()) {
+            current.get("pointer_bits").as_number() ||
+        hw.get("isa").as_string() != current.get("isa").as_string()) {
       throw reject("hardware signature mismatch (plans are timings; "
                    "re-tune on this machine)");
     }

@@ -251,8 +251,9 @@ ConvPlan autotune(const ConvProblem& p, const AutotuneOptions& opt = {},
 
 /// On-disk plan-cache format version; bumped whenever the schema or the
 /// meaning of a field changes. Files with a different version are
-/// rejected (and re-tuned from scratch). v2 added the batch bucket.
-inline constexpr int kConvPlanCacheVersion = 2;
+/// rejected (and re-tuned from scratch). v2 added the batch bucket;
+/// v3 added the SIMD tier ("isa") to the hardware signature.
+inline constexpr int kConvPlanCacheVersion = 3;
 
 /// The power-of-two batch bucket a convolution executes under: 1 for
 /// single-image calls (n <= 1), otherwise the next power of two >= n.

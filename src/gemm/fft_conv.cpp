@@ -130,6 +130,146 @@ void fft_conv2d(const float* image, std::size_t in_c, std::size_t h,
   }
 }
 
+// Shared geometry for the backward phases. Index conventions: `u` is a
+// padded-image coordinate (u = y + pad), `t` a transform-grid position.
+// The forward pass computes out(o) = Σ_τ imge(o·s + τ) · ker(τ) on the
+// p×p circular grid with imge embedded at offset pad; both gradients are
+// exact adjoints of that map. Circular wraparound never reaches the read
+// windows because every support sum stays below p (p >= padded size).
+namespace {
+
+struct FftGeom {
+  std::size_t hp, wp, out_h, out_w, p, p2;
+};
+
+FftGeom fft_backward_geom(std::size_t h, std::size_t w, std::size_t kernel,
+                          std::size_t stride, std::size_t pad) {
+  FftGeom g;
+  g.hp = h + 2 * pad;
+  g.wp = w + 2 * pad;
+  PF15_CHECK_MSG(g.hp >= kernel && g.wp >= kernel,
+                 "fft_conv2d backward: kernel larger than padded input");
+  g.out_h = (g.hp - kernel) / stride + 1;
+  g.out_w = (g.wp - kernel) / stride + 1;
+  g.p = next_pow2(std::max({g.hp, g.wp, kernel}));
+  g.p2 = g.p * g.p;
+  return g;
+}
+
+/// dout(oc) stride-upsampled onto the transform grid and transformed:
+/// due(oy·s, ox·s) = dout(oy, ox), zero elsewhere.
+std::vector<std::complex<double>> upsampled_dout_hat(
+    const float* dout, std::size_t oc, const FftGeom& g,
+    std::size_t stride) {
+  std::vector<std::complex<double>> grid(g.p2, {0.0, 0.0});
+  const float* src = dout + oc * g.out_h * g.out_w;
+  for (std::size_t oy = 0; oy < g.out_h; ++oy) {
+    for (std::size_t ox = 0; ox < g.out_w; ++ox) {
+      grid[oy * stride * g.p + ox * stride] = src[oy * g.out_w + ox];
+    }
+  }
+  fft2d(grid, g.p, /*inverse=*/false);
+  return grid;
+}
+
+}  // namespace
+
+void fft_conv2d_backward_data(const float* dout, std::size_t in_c,
+                              std::size_t h, std::size_t w,
+                              const float* weight, std::size_t out_c,
+                              std::size_t kernel, std::size_t stride,
+                              std::size_t pad, float* din) {
+  PF15_CHECK(in_c > 0 && out_c > 0 && kernel > 0 && stride > 0);
+  const FftGeom g = fft_backward_geom(h, w, kernel, stride, pad);
+
+  // Output-gradient spectra, one per output channel (computed once,
+  // reused by every input channel — the same amortization as forward).
+  std::vector<std::vector<std::complex<double>>> du_hat(out_c);
+  for (std::size_t oc = 0; oc < out_c; ++oc) {
+    du_hat[oc] = upsampled_dout_hat(dout, oc, g, stride);
+  }
+
+  // d_imge = Σ_oc due(oc) ∗ ker(oc,ic): circular CONVOLUTION, hence the
+  // unconjugated product — the adjoint of the forward pass's conjugated
+  // (correlation) product. din is the pad-offset crop of d_imge.
+  std::vector<std::complex<double>> acc(g.p2);
+  std::vector<std::complex<double>> ker(g.p2);
+  for (std::size_t ic = 0; ic < in_c; ++ic) {
+    std::fill(acc.begin(), acc.end(), std::complex<double>(0.0, 0.0));
+    for (std::size_t oc = 0; oc < out_c; ++oc) {
+      std::fill(ker.begin(), ker.end(), std::complex<double>(0.0, 0.0));
+      const float* kw = weight + (oc * in_c + ic) * kernel * kernel;
+      for (std::size_t r = 0; r < kernel; ++r) {
+        for (std::size_t c = 0; c < kernel; ++c) {
+          ker[r * g.p + c] = kw[r * kernel + c];
+        }
+      }
+      fft2d(ker, g.p, /*inverse=*/false);
+      const auto& du = du_hat[oc];
+      for (std::size_t i = 0; i < g.p2; ++i) {
+        acc[i] += du[i] * ker[i];
+      }
+    }
+    fft2d(acc, g.p, /*inverse=*/true);
+    float* dst = din + ic * h * w;
+    for (std::size_t y = 0; y < h; ++y) {
+      for (std::size_t x = 0; x < w; ++x) {
+        dst[y * w + x] =
+            static_cast<float>(acc[(y + pad) * g.p + (x + pad)].real());
+      }
+    }
+  }
+}
+
+void fft_conv2d_backward_filter(const float* image, std::size_t in_c,
+                                std::size_t h, std::size_t w,
+                                const float* dout, std::size_t out_c,
+                                std::size_t kernel, std::size_t stride,
+                                std::size_t pad, float* dweight) {
+  PF15_CHECK(in_c > 0 && out_c > 0 && kernel > 0 && stride > 0);
+  const FftGeom g = fft_backward_geom(h, w, kernel, stride, pad);
+
+  // Padded-image spectra per input channel.
+  std::vector<std::vector<std::complex<double>>> image_hat(in_c);
+  for (std::size_t ic = 0; ic < in_c; ++ic) {
+    auto& grid = image_hat[ic];
+    grid.assign(g.p2, {0.0, 0.0});
+    const float* src = image + ic * h * w;
+    for (std::size_t r = 0; r < h; ++r) {
+      for (std::size_t c = 0; c < w; ++c) {
+        grid[(r + pad) * g.p + (c + pad)] = src[r * w + c];
+      }
+    }
+    fft2d(grid, g.p, /*inverse=*/false);
+  }
+  // Upsampled output-gradient spectra per output channel.
+  std::vector<std::vector<std::complex<double>>> du_hat(out_c);
+  for (std::size_t oc = 0; oc < out_c; ++oc) {
+    du_hat[oc] = upsampled_dout_hat(dout, oc, g, stride);
+  }
+
+  // dW(oc,ic)(τ) = Σ_t imge(τ + t) · due(t): cross-correlation of the
+  // padded image against the upsampled gradient, read at lags τ < K.
+  std::vector<std::complex<double>> acc(g.p2);
+  for (std::size_t oc = 0; oc < out_c; ++oc) {
+    const auto& du = du_hat[oc];
+    for (std::size_t ic = 0; ic < in_c; ++ic) {
+      const auto& img = image_hat[ic];
+      for (std::size_t i = 0; i < g.p2; ++i) {
+        acc[i] = img[i] * std::conj(du[i]);
+      }
+      fft2d(acc, g.p, /*inverse=*/true);
+      float* dw = dweight + (oc * in_c + ic) * kernel * kernel;
+      for (std::size_t r = 0; r < kernel; ++r) {
+        for (std::size_t c = 0; c < kernel; ++c) {
+          dw[r * kernel + c] +=
+              static_cast<float>(acc[r * g.p + c].real());
+        }
+      }
+    }
+  }
+}
+
 std::uint64_t fft_conv_flops(std::size_t in_c, std::size_t out_c,
                              std::size_t h, std::size_t w,
                              std::size_t kernel, std::size_t pad) {

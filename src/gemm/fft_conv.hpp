@@ -42,9 +42,34 @@ void fft_conv2d(const float* image, std::size_t in_c, std::size_t h,
                 std::size_t kernel, std::size_t stride, std::size_t pad,
                 const float* bias, float* output);
 
+/// Spectral backward-data: the adjoint of fft_conv2d with respect to the
+/// image. The output gradient is stride-upsampled onto the transform
+/// grid, multiplied (UNconjugated — the adjoint of cross-correlation is
+/// convolution) against each kernel spectrum, summed over output
+/// channels, inverse-transformed and cropped at the pad offset.
+///   din(in_c, H, W) from dout(out_c, OH, OW); din is overwritten.
+void fft_conv2d_backward_data(const float* dout, std::size_t in_c,
+                              std::size_t h, std::size_t w,
+                              const float* weight, std::size_t out_c,
+                              std::size_t kernel, std::size_t stride,
+                              std::size_t pad, float* din);
+
+/// Spectral backward-filter: dW(oc,ic)(τ) is the cross-correlation of the
+/// padded image with the stride-upsampled output gradient, read at lags
+/// τ in [0,K)² — computed as image_hat ⊙ conj(dout_hat) per channel
+/// pair. ACCUMULATES into dweight (+=), matching the backend contract.
+void fft_conv2d_backward_filter(const float* image, std::size_t in_c,
+                                std::size_t h, std::size_t w,
+                                const float* dout, std::size_t out_c,
+                                std::size_t kernel, std::size_t stride,
+                                std::size_t pad, float* dweight);
+
 /// Arithmetic cost model of fft_conv2d (complex FLOPs folded to real, the
 /// §V two-flops-per-multiply-add convention) — used by the algorithm
-/// crossover ablation.
+/// crossover ablation. The backward phases share the model: each moves
+/// the same transform count (in_c + out_c one-sided transforms plus one
+/// per channel pair) and the same pointwise complex work, only the
+/// direction of the per-pair transform flips.
 std::uint64_t fft_conv_flops(std::size_t in_c, std::size_t out_c,
                              std::size_t h, std::size_t w,
                              std::size_t kernel, std::size_t pad);

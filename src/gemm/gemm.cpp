@@ -8,112 +8,58 @@
 #include "common/aligned.hpp"
 #include "common/errors.hpp"
 #include "common/thread_pool.hpp"
+#include "gemm/simd.hpp"
 
 namespace pf15::gemm {
 
 namespace {
 
-// Blocking parameters (floats). MR x NR is the register tile; KC sizes the
-// packed-A panel for L2, NC the packed-B panel for L3. MR must divide MC.
-constexpr std::size_t MR = 6;
-constexpr std::size_t NR = 16;
+// Blocking parameters (floats). MR x NR is the register tile (fixed by
+// the kernel tier, see simd.hpp); KC sizes the packed-A panel for L2, NC
+// the packed-B panel for L3. MR must divide MC.
+constexpr std::size_t MR = kGemmMR;
+constexpr std::size_t NR = kGemmNR;
 constexpr std::size_t MC = 96;
 constexpr std::size_t KC = 256;
 constexpr std::size_t NC = 2048;
 
 std::atomic<std::uint64_t> g_flops{0};
 
-inline float load_a(const float* a, std::size_t lda, bool trans,
-                    std::size_t row, std::size_t col) {
-  return trans ? a[col * lda + row] : a[row * lda + col];
-}
-
-inline float load_b(const float* b, std::size_t ldb, bool trans,
-                    std::size_t row, std::size_t col) {
-  return trans ? b[col * ldb + row] : b[row * ldb + col];
-}
-
-// Pack an mc x kc block of op(A) into panels of MR rows:
-// dst layout: ceil(mc/MR) panels, each kc columns of MR contiguous rows.
-void pack_a(const float* a, std::size_t lda, bool trans, std::size_t row0,
-            std::size_t col0, std::size_t mc, std::size_t kc, float* dst) {
-  for (std::size_t i0 = 0; i0 < mc; i0 += MR) {
-    const std::size_t mr = std::min(MR, mc - i0);
-    for (std::size_t p = 0; p < kc; ++p) {
-      for (std::size_t i = 0; i < mr; ++i) {
-        *dst++ = load_a(a, lda, trans, row0 + i0 + i, col0 + p);
-      }
-      for (std::size_t i = mr; i < MR; ++i) *dst++ = 0.0f;
-    }
-  }
-}
-
-// Pack a kc x nc block of op(B) into panels of NR columns:
-// dst layout: ceil(nc/NR) panels, each kc rows of NR contiguous columns.
-void pack_b(const float* b, std::size_t ldb, bool trans, std::size_t row0,
-            std::size_t col0, std::size_t kc, std::size_t nc, float* dst) {
-  for (std::size_t j0 = 0; j0 < nc; j0 += NR) {
-    const std::size_t nr = std::min(NR, nc - j0);
-    for (std::size_t p = 0; p < kc; ++p) {
-      for (std::size_t j = 0; j < nr; ++j) {
-        *dst++ = load_b(b, ldb, trans, row0 + p, col0 + j0 + j);
-      }
-      for (std::size_t j = nr; j < NR; ++j) *dst++ = 0.0f;
-    }
-  }
-}
-
-// MR x NR microkernel: acc += packed_a_panel * packed_b_panel over kc.
-// Plain scalar code with fixed trip counts; GCC vectorises the NR loop.
-inline void microkernel(std::size_t kc, const float* __restrict__ pa,
-                        const float* __restrict__ pb,
-                        float acc[MR][NR]) {
-  for (std::size_t p = 0; p < kc; ++p) {
-    const float* __restrict__ arow = pa + p * MR;
-    const float* __restrict__ brow = pb + p * NR;
-    for (std::size_t i = 0; i < MR; ++i) {
-      const float aval = arow[i];
-      for (std::size_t j = 0; j < NR; ++j) {
-        acc[i][j] += aval * brow[j];
-      }
-    }
-  }
-}
-
-// Computes one mc x nc block of C from packed panels. `first_k_block`
-// selects beta-handling: the first K block applies beta, later ones
-// accumulate.
-void macro_block(std::size_t mc, std::size_t nc, std::size_t kc, float alpha,
-                 const float* packed_a, const float* packed_b, float beta,
-                 bool first_k_block, float* c, std::size_t ldc) {
+// Computes one mc x nc block of C from packed panels through the given
+// kernel table. `first_k_block` selects beta-handling: the first K block
+// applies beta, later ones accumulate.
+void macro_block(const GemmKernels& ker, std::size_t mc, std::size_t nc,
+                 std::size_t kc, float alpha, const float* packed_a,
+                 const float* packed_b, float beta, bool first_k_block,
+                 float* c, std::size_t ldc) {
   for (std::size_t j0 = 0; j0 < nc; j0 += NR) {
     const std::size_t nr = std::min(NR, nc - j0);
     const float* pb = packed_b + (j0 / NR) * (kc * NR);
     for (std::size_t i0 = 0; i0 < mc; i0 += MR) {
       const std::size_t mr = std::min(MR, mc - i0);
       const float* pa = packed_a + (i0 / MR) * (kc * MR);
-      float acc[MR][NR] = {};
-      microkernel(kc, pa, pb, acc);
+      alignas(kCacheLineBytes) float acc[MR * NR] = {};
+      ker.microkernel(kc, pa, pb, acc);
       float* cblk = c + i0 * ldc + j0;
       if (first_k_block) {
         if (beta == 0.0f) {
           for (std::size_t i = 0; i < mr; ++i) {
             for (std::size_t j = 0; j < nr; ++j) {
-              cblk[i * ldc + j] = alpha * acc[i][j];
+              cblk[i * ldc + j] = alpha * acc[i * NR + j];
             }
           }
         } else {
           for (std::size_t i = 0; i < mr; ++i) {
             for (std::size_t j = 0; j < nr; ++j) {
               cblk[i * ldc + j] =
-                  beta * cblk[i * ldc + j] + alpha * acc[i][j];
+                  beta * cblk[i * ldc + j] + alpha * acc[i * NR + j];
             }
           }
         }
       } else {
         for (std::size_t i = 0; i < mr; ++i) {
           for (std::size_t j = 0; j < nr; ++j) {
-            cblk[i * ldc + j] += alpha * acc[i][j];
+            cblk[i * ldc + j] += alpha * acc[i * NR + j];
           }
         }
       }
@@ -123,10 +69,10 @@ void macro_block(std::size_t mc, std::size_t nc, std::size_t kc, float alpha,
 
 // Serial blocked GEMM over a row-range [m0, m1) of C. Thread-safe as long
 // as row ranges are disjoint.
-void sgemm_rows(bool trans_a, bool trans_b, std::size_t m0, std::size_t m1,
-                std::size_t n, std::size_t k, float alpha, const float* a,
-                std::size_t lda, const float* b, std::size_t ldb, float beta,
-                float* c, std::size_t ldc) {
+void sgemm_rows(const GemmKernels& ker, bool trans_a, bool trans_b,
+                std::size_t m0, std::size_t m1, std::size_t n, std::size_t k,
+                float alpha, const float* a, std::size_t lda, const float* b,
+                std::size_t ldb, float beta, float* c, std::size_t ldc) {
   AlignedBuffer<float> packed_a(MC * KC);
   AlignedBuffer<float> packed_b(KC * NC);
   for (std::size_t jc = 0; jc < n; jc += NC) {
@@ -134,26 +80,23 @@ void sgemm_rows(bool trans_a, bool trans_b, std::size_t m0, std::size_t m1,
     for (std::size_t pc = 0; pc < k; pc += KC) {
       const std::size_t kc = std::min(KC, k - pc);
       const bool first_k_block = (pc == 0);
-      pack_b(b, ldb, trans_b, pc, jc, kc, nc, packed_b.data());
+      ker.pack_b(b, ldb, trans_b, pc, jc, kc, nc, packed_b.data());
       for (std::size_t ic = m0; ic < m1; ic += MC) {
         const std::size_t mc = std::min(MC, m1 - ic);
-        pack_a(a, lda, trans_a, ic, pc, mc, kc, packed_a.data());
-        macro_block(mc, nc, kc, alpha, packed_a.data(), packed_b.data(),
+        ker.pack_a(a, lda, trans_a, ic, pc, mc, kc, packed_a.data());
+        macro_block(ker, mc, nc, kc, alpha, packed_a.data(), packed_b.data(),
                     beta, first_k_block, c + ic * ldc + jc, ldc);
       }
     }
   }
 }
 
-}  // namespace
-
-void sgemm(bool trans_a, bool trans_b, std::size_t m, std::size_t n,
-           std::size_t k, float alpha, const float* a, std::size_t lda,
-           const float* b, std::size_t ldb, float beta, float* c,
-           std::size_t ldc) {
-  if (m == 0 || n == 0) return;
+// Shared degenerate-product handling: C = beta * C when no multiply will
+// run. Returns true if the caller is done.
+bool handle_degenerate(std::size_t m, std::size_t n, std::size_t k,
+                       float alpha, float beta, float* c, std::size_t ldc) {
+  if (m == 0 || n == 0) return true;
   if (k == 0 || alpha == 0.0f) {
-    // Degenerate product: C = beta * C.
     for (std::size_t i = 0; i < m; ++i) {
       float* row = c + i * ldc;
       if (beta == 0.0f) {
@@ -162,10 +105,30 @@ void sgemm(bool trans_a, bool trans_b, std::size_t m, std::size_t n,
         for (std::size_t j = 0; j < n; ++j) row[j] *= beta;
       }
     }
-    return;
+    return true;
   }
-  sgemm_rows(trans_a, trans_b, 0, m, n, k, alpha, a, lda, b, ldb, beta, c,
-             ldc);
+  return false;
+}
+
+}  // namespace
+
+void sgemm(bool trans_a, bool trans_b, std::size_t m, std::size_t n,
+           std::size_t k, float alpha, const float* a, std::size_t lda,
+           const float* b, std::size_t ldb, float beta, float* c,
+           std::size_t ldc) {
+  if (handle_degenerate(m, n, k, alpha, beta, c, ldc)) return;
+  sgemm_rows(gemm_kernels(), trans_a, trans_b, 0, m, n, k, alpha, a, lda, b,
+             ldb, beta, c, ldc);
+  g_flops.fetch_add(flops(m, n, k), std::memory_order_relaxed);
+}
+
+void sgemm_at(SimdLevel level, bool trans_a, bool trans_b, std::size_t m,
+              std::size_t n, std::size_t k, float alpha, const float* a,
+              std::size_t lda, const float* b, std::size_t ldb, float beta,
+              float* c, std::size_t ldc) {
+  if (handle_degenerate(m, n, k, alpha, beta, c, ldc)) return;
+  sgemm_rows(gemm_kernels_for(level), trans_a, trans_b, 0, m, n, k, alpha, a,
+             lda, b, ldb, beta, c, ldc);
   g_flops.fetch_add(flops(m, n, k), std::memory_order_relaxed);
 }
 
@@ -181,6 +144,7 @@ void sgemm_parallel(bool trans_a, bool trans_b, std::size_t m, std::size_t n,
     return;
   }
   if (m == 0 || n == 0) return;
+  const GemmKernels& ker = gemm_kernels();
   const std::size_t blocks = (m + MC - 1) / MC;
   const std::size_t per_task =
       std::max<std::size_t>(1, blocks / (pool.size() * 2));
@@ -189,7 +153,7 @@ void sgemm_parallel(bool trans_a, bool trans_b, std::size_t m, std::size_t n,
     const std::size_t m0 = t * per_task * MC;
     const std::size_t m1 = std::min(m, (t + 1) * per_task * MC);
     if (m0 < m1) {
-      sgemm_rows(trans_a, trans_b, m0, m1, n, k, alpha, a, lda, b, ldb,
+      sgemm_rows(ker, trans_a, trans_b, m0, m1, n, k, alpha, a, lda, b, ldb,
                  beta, c, ldc);
     }
   });

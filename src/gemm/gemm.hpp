@@ -11,14 +11,26 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "gemm/simd.hpp"
+
 namespace pf15::gemm {
 
 /// C (MxN) = alpha * op(A) (MxK) * op(B) (KxN) + beta * C.
-/// Row-major storage with explicit leading dimensions.
+/// Row-major storage with explicit leading dimensions. Runs through the
+/// runtime-dispatched kernel tier (simd.hpp): AVX2+FMA where the cpuid
+/// probe confirms it, the scalar tier otherwise or under PF15_SIMD=off.
 void sgemm(bool trans_a, bool trans_b, std::size_t m, std::size_t n,
            std::size_t k, float alpha, const float* a, std::size_t lda,
            const float* b, std::size_t ldb, float beta, float* c,
            std::size_t ldc);
+
+/// sgemm pinned to an explicit kernel tier, bypassing the runtime
+/// dispatch. Benches and tests use this to race tiers against each other
+/// in one process; production code should call sgemm.
+void sgemm_at(SimdLevel level, bool trans_a, bool trans_b, std::size_t m,
+              std::size_t n, std::size_t k, float alpha, const float* a,
+              std::size_t lda, const float* b, std::size_t ldb, float beta,
+              float* c, std::size_t ldc);
 
 /// Same contract as sgemm but parallelised over row blocks of C using the
 /// global thread pool. Falls back to the serial path for small problems.

@@ -8,6 +8,7 @@
 #include "common/thread_pool.hpp"
 #include "gemm/gemm.hpp"
 #include "gemm/scratch.hpp"
+#include "gemm/simd.hpp"
 
 namespace pf15::gemm {
 
@@ -36,9 +37,28 @@ namespace {
 
 // Transforms process kWinoBlock tiles at once in structure-of-arrays
 // layout: element (pos, lane) lives at [pos * kWinoBlock + lane]. The
-// per-lane inner loops are unit-stride, so the compiler vectorizes the
-// transform arithmetic instead of running it one scalar tile at a time.
-constexpr std::size_t kWinoBlock = 8;
+// block-transform arithmetic itself lives behind the runtime SIMD
+// dispatch (simd.hpp): the AVX2 tier's build vectorizes each unit-stride
+// lane loop into ymm fused multiply-adds, the scalar tier keeps portable
+// codegen. BlockFns<M> maps the tile size to its table entries.
+constexpr std::size_t kWinoBlock = kWinoBlockLanes;
+
+template <int M>
+struct BlockFns;
+
+template <>
+struct BlockFns<2> {
+  static auto input(const WinogradBlockKernels& wk) { return wk.f2_input; }
+  static auto output(const WinogradBlockKernels& wk) { return wk.f2_output; }
+  static auto dy(const WinogradBlockKernels& wk) { return wk.f2_dy; }
+};
+
+template <>
+struct BlockFns<4> {
+  static auto input(const WinogradBlockKernels& wk) { return wk.f4_input; }
+  static auto output(const WinogradBlockKernels& wk) { return wk.f4_output; }
+  static auto dy(const WinogradBlockKernels& wk) { return wk.f4_dy; }
+};
 
 // Traits<M>: the F(MxM, 3x3) transform set. T = M + 2 is the transform
 // size, P = T*T the number of transform-domain positions (= GEMMs).
@@ -62,86 +82,6 @@ struct Traits<2> {
   static constexpr std::uint64_t kOutXformFlops = 24;   // per output channel
   static constexpr std::uint64_t kDyXformFlops = 24;    // per output channel
   static constexpr std::uint64_t kInvFilterFlops = 32;  // per (oc, ic) pair
-
-  static void input_block(const float* d, float* v) {
-    constexpr std::size_t B = kWinoBlock;
-    float t[4][4][B];
-    for (int c = 0; c < 4; ++c) {
-      for (std::size_t l = 0; l < B; ++l) {
-        const float a0 = d[(0 * 4 + c) * B + l];
-        const float a1 = d[(1 * 4 + c) * B + l];
-        const float a2 = d[(2 * 4 + c) * B + l];
-        const float a3 = d[(3 * 4 + c) * B + l];
-        t[0][c][l] = a0 - a2;
-        t[1][c][l] = a1 + a2;
-        t[2][c][l] = a2 - a1;
-        t[3][c][l] = a1 - a3;
-      }
-    }
-    for (int r = 0; r < 4; ++r) {
-      for (std::size_t l = 0; l < B; ++l) {
-        const float a0 = t[r][0][l];
-        const float a1 = t[r][1][l];
-        const float a2 = t[r][2][l];
-        const float a3 = t[r][3][l];
-        v[(r * 4 + 0) * B + l] = a0 - a2;
-        v[(r * 4 + 1) * B + l] = a1 + a2;
-        v[(r * 4 + 2) * B + l] = a2 - a1;
-        v[(r * 4 + 3) * B + l] = a1 - a3;
-      }
-    }
-  }
-
-  static void output_block(const float* m, float* y) {
-    constexpr std::size_t B = kWinoBlock;
-    float t[2][4][B];
-    for (int c = 0; c < 4; ++c) {
-      for (std::size_t l = 0; l < B; ++l) {
-        const float a0 = m[(0 * 4 + c) * B + l];
-        const float a1 = m[(1 * 4 + c) * B + l];
-        const float a2 = m[(2 * 4 + c) * B + l];
-        const float a3 = m[(3 * 4 + c) * B + l];
-        t[0][c][l] = a0 + a1 + a2;
-        t[1][c][l] = a1 - a2 - a3;
-      }
-    }
-    for (int r = 0; r < 2; ++r) {
-      for (std::size_t l = 0; l < B; ++l) {
-        const float a0 = t[r][0][l];
-        const float a1 = t[r][1][l];
-        const float a2 = t[r][2][l];
-        const float a3 = t[r][3][l];
-        y[(r * 2 + 0) * B + l] = a0 + a1 + a2;
-        y[(r * 2 + 1) * B + l] = a1 - a2 - a3;
-      }
-    }
-  }
-
-  // dM = A dY A^T with A = (A^T)^T (4x2).
-  static void dy_block(const float* dy, float* dm) {
-    constexpr std::size_t B = kWinoBlock;
-    float t[4][2][B];
-    for (int c = 0; c < 2; ++c) {
-      for (std::size_t l = 0; l < B; ++l) {
-        const float a0 = dy[(0 * 2 + c) * B + l];
-        const float a1 = dy[(1 * 2 + c) * B + l];
-        t[0][c][l] = a0;
-        t[1][c][l] = a0 + a1;
-        t[2][c][l] = a0 - a1;
-        t[3][c][l] = -a1;
-      }
-    }
-    for (int r = 0; r < 4; ++r) {
-      for (std::size_t l = 0; l < B; ++l) {
-        const float a0 = t[r][0][l];
-        const float a1 = t[r][1][l];
-        dm[(r * 4 + 0) * B + l] = a0;
-        dm[(r * 4 + 1) * B + l] = a0 + a1;
-        dm[(r * 4 + 2) * B + l] = a0 - a1;
-        dm[(r * 4 + 3) * B + l] = -a1;
-      }
-    }
-  }
 
   static void filter(const float* g, float* u) {
     float t[4][3];
@@ -205,110 +145,6 @@ struct Traits<4> {
   static constexpr std::uint64_t kOutXformFlops = 84;
   static constexpr std::uint64_t kDyXformFlops = 100;
   static constexpr std::uint64_t kInvFilterFlops = 90;
-
-  static void input_block(const float* d, float* v) {
-    constexpr std::size_t B = kWinoBlock;
-    float t[6][6][B];
-    for (int c = 0; c < 6; ++c) {
-      for (std::size_t l = 0; l < B; ++l) {
-        const float a0 = d[(0 * 6 + c) * B + l];
-        const float a1 = d[(1 * 6 + c) * B + l];
-        const float a2 = d[(2 * 6 + c) * B + l];
-        const float a3 = d[(3 * 6 + c) * B + l];
-        const float a4 = d[(4 * 6 + c) * B + l];
-        const float a5 = d[(5 * 6 + c) * B + l];
-        t[0][c][l] = 4.0f * a0 - 5.0f * a2 + a4;
-        t[1][c][l] = -4.0f * a1 - 4.0f * a2 + a3 + a4;
-        t[2][c][l] = 4.0f * a1 - 4.0f * a2 - a3 + a4;
-        t[3][c][l] = -2.0f * a1 - a2 + 2.0f * a3 + a4;
-        t[4][c][l] = 2.0f * a1 - a2 - 2.0f * a3 + a4;
-        t[5][c][l] = 4.0f * a1 - 5.0f * a3 + a5;
-      }
-    }
-    for (int r = 0; r < 6; ++r) {
-      for (std::size_t l = 0; l < B; ++l) {
-        const float a0 = t[r][0][l];
-        const float a1 = t[r][1][l];
-        const float a2 = t[r][2][l];
-        const float a3 = t[r][3][l];
-        const float a4 = t[r][4][l];
-        const float a5 = t[r][5][l];
-        v[(r * 6 + 0) * B + l] = 4.0f * a0 - 5.0f * a2 + a4;
-        v[(r * 6 + 1) * B + l] = -4.0f * a1 - 4.0f * a2 + a3 + a4;
-        v[(r * 6 + 2) * B + l] = 4.0f * a1 - 4.0f * a2 - a3 + a4;
-        v[(r * 6 + 3) * B + l] = -2.0f * a1 - a2 + 2.0f * a3 + a4;
-        v[(r * 6 + 4) * B + l] = 2.0f * a1 - a2 - 2.0f * a3 + a4;
-        v[(r * 6 + 5) * B + l] = 4.0f * a1 - 5.0f * a3 + a5;
-      }
-    }
-  }
-
-  static void output_block(const float* m, float* y) {
-    constexpr std::size_t B = kWinoBlock;
-    float t[4][6][B];
-    for (int c = 0; c < 6; ++c) {
-      for (std::size_t l = 0; l < B; ++l) {
-        const float a0 = m[(0 * 6 + c) * B + l];
-        const float a1 = m[(1 * 6 + c) * B + l];
-        const float a2 = m[(2 * 6 + c) * B + l];
-        const float a3 = m[(3 * 6 + c) * B + l];
-        const float a4 = m[(4 * 6 + c) * B + l];
-        const float a5 = m[(5 * 6 + c) * B + l];
-        t[0][c][l] = a0 + a1 + a2 + a3 + a4;
-        t[1][c][l] = a1 - a2 + 2.0f * a3 - 2.0f * a4;
-        t[2][c][l] = a1 + a2 + 4.0f * a3 + 4.0f * a4;
-        t[3][c][l] = a1 - a2 + 8.0f * a3 - 8.0f * a4 + a5;
-      }
-    }
-    for (int r = 0; r < 4; ++r) {
-      for (std::size_t l = 0; l < B; ++l) {
-        const float a0 = t[r][0][l];
-        const float a1 = t[r][1][l];
-        const float a2 = t[r][2][l];
-        const float a3 = t[r][3][l];
-        const float a4 = t[r][4][l];
-        const float a5 = t[r][5][l];
-        y[(r * 4 + 0) * B + l] = a0 + a1 + a2 + a3 + a4;
-        y[(r * 4 + 1) * B + l] = a1 - a2 + 2.0f * a3 - 2.0f * a4;
-        y[(r * 4 + 2) * B + l] = a1 + a2 + 4.0f * a3 + 4.0f * a4;
-        y[(r * 4 + 3) * B + l] = a1 - a2 + 8.0f * a3 - 8.0f * a4 + a5;
-      }
-    }
-  }
-
-  // dM = A dY A^T with A = (A^T)^T (6x4).
-  static void dy_block(const float* dy, float* dm) {
-    constexpr std::size_t B = kWinoBlock;
-    float t[6][4][B];
-    for (int c = 0; c < 4; ++c) {
-      for (std::size_t l = 0; l < B; ++l) {
-        const float a0 = dy[(0 * 4 + c) * B + l];
-        const float a1 = dy[(1 * 4 + c) * B + l];
-        const float a2 = dy[(2 * 4 + c) * B + l];
-        const float a3 = dy[(3 * 4 + c) * B + l];
-        t[0][c][l] = a0;
-        t[1][c][l] = a0 + a1 + a2 + a3;
-        t[2][c][l] = a0 - a1 + a2 - a3;
-        t[3][c][l] = a0 + 2.0f * a1 + 4.0f * a2 + 8.0f * a3;
-        t[4][c][l] = a0 - 2.0f * a1 + 4.0f * a2 - 8.0f * a3;
-        t[5][c][l] = a3;
-      }
-    }
-    for (int r = 0; r < 6; ++r) {
-      for (std::size_t l = 0; l < B; ++l) {
-        const float a0 = t[r][0][l];
-        const float a1 = t[r][1][l];
-        const float a2 = t[r][2][l];
-        const float a3 = t[r][3][l];
-        dm[(r * 6 + 0) * B + l] = a0;
-        dm[(r * 6 + 1) * B + l] = a0 + a1 + a2 + a3;
-        dm[(r * 6 + 2) * B + l] = a0 - a1 + a2 - a3;
-        dm[(r * 6 + 3) * B + l] = a0 + 2.0f * a1 + 4.0f * a2 + 8.0f * a3;
-        dm[(r * 6 + 4) * B + l] = a0 - 2.0f * a1 + 4.0f * a2 - 8.0f * a3;
-        dm[(r * 6 + 5) * B + l] = a3;
-      }
-    }
-  }
 
   static void filter(const float* g, float* u) {
     float t[6][3];
@@ -409,6 +245,7 @@ void transform_inputs(const float* image, std::size_t in_c, std::size_t h,
   constexpr int T = Traits<M>::kT;
   constexpr int P = T * T;
   constexpr std::size_t B = kWinoBlock;
+  const auto input_block = BlockFns<M>::input(winograd_block_kernels());
   float d[P * B];
   float vt[P * B];
   for (std::size_t ic = 0; ic < in_c; ++ic) {
@@ -440,7 +277,7 @@ void transform_inputs(const float* image, std::size_t in_c, std::size_t h,
       for (int k = 0; k < P; ++k) {
         for (std::size_t l = nb; l < B; ++l) d[k * B + l] = 0.0f;
       }
-      Traits<M>::input_block(d, vt);
+      input_block(d, vt);
       for (int k = 0; k < P; ++k) {
         std::memcpy(v + static_cast<std::size_t>(k) * in_c * tg.tiles +
                         ic * tg.tiles + t0,
@@ -505,6 +342,7 @@ void wino_forward(const float* image, std::size_t in_c, std::size_t h,
 
   // Inverse transform + scatter (crop ragged edges). The gather over k is
   // unit-stride in the tile index, so blocks load contiguously.
+  const auto output_block = BlockFns<M>::output(winograd_block_kernels());
   float mt[P * B];
   float yt[M * M * B];
   for (std::size_t oc = 0; oc < out_c; ++oc) {
@@ -518,7 +356,7 @@ void wino_forward(const float* image, std::size_t in_c, std::size_t h,
                         oc * tg.tiles + t0,
                     nb * sizeof(float));
       }
-      Traits<M>::output_block(mt, yt);
+      output_block(mt, yt);
       for (std::size_t l = 0; l < nb; ++l) {
         const std::size_t tile = t0 + l;
         const std::size_t ty = tile / tg.tiles_x;
@@ -559,6 +397,7 @@ void wino_backward_filter(const float* image, std::size_t in_c,
 
   // dM[k]: (out_c x tiles), the A dY A^T transform of the output-gradient
   // tiles; ragged positions gather zero — the adjoint of the forward crop.
+  const auto dy_block = BlockFns<M>::dy(winograd_block_kernels());
   float dy[M * M * B];
   float dmt[P * B];
   for (std::size_t oc = 0; oc < out_c; ++oc) {
@@ -583,7 +422,7 @@ void wino_backward_filter(const float* image, std::size_t in_c,
       for (int k = 0; k < M * M; ++k) {
         for (std::size_t l = nb; l < B; ++l) dy[k * B + l] = 0.0f;
       }
-      Traits<M>::dy_block(dy, dmt);
+      dy_block(dy, dmt);
       for (int k = 0; k < P; ++k) {
         std::memcpy(dyt + static_cast<std::size_t>(k) * out_c * tg.tiles +
                         oc * tg.tiles + t0,

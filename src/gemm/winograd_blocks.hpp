@@ -1,0 +1,222 @@
+// Winograd SoA block transforms, shared by the SIMD dispatch TUs.
+//
+// These are the arithmetic bodies of the F(2x2,3x3) and F(4x4,3x3)
+// input/output/dy transforms, processing kWinoBlockLanes tiles at once
+// in structure-of-arrays layout: element (pos, lane) lives at
+// [pos * kWinoBlockLanes + lane]. The per-lane inner loops are
+// unit-stride over exactly one ymm worth of floats, so the AVX2 TU's
+// auto-vectorizer turns each statement into a handful of fused
+// multiply-adds while the portable TU keeps the original scalar codegen.
+//
+// Anonymous namespace for the same reason as kernels_generic.hpp: both
+// dispatch TUs include this header and each must keep its own codegen —
+// COMDAT folding would let AVX2 instructions leak into the scalar table.
+//
+// Transform matrices (Lavin & Gray):
+//   F(2x2): B^T = [1,0,-1,0; 0,1,1,0; 0,-1,1,0; 0,1,0,-1]
+//           A^T = [1,1,1,0; 0,1,-1,-1]
+//   F(4x4): B^T = [4,0,-5,0,1,0; 0,-4,-4,1,1,0; 0,4,-4,-1,1,0;
+//                  0,-2,-1,2,1,0; 0,2,-1,-2,1,0; 0,4,0,-5,0,1]
+//           A^T = [1,1,1,1,1,0; 0,1,-1,2,-2,0; 0,1,1,4,4,0;
+//                  0,1,-1,8,-8,1]
+#pragma once
+
+#include <cstddef>
+
+#include "gemm/simd.hpp"
+
+namespace pf15::gemm {
+namespace {
+
+// ---- F(2x2, 3x3) -----------------------------------------------------------
+
+// V = B^T d B over a 4x4 block.
+void wino_f2_input_block(const float* d, float* v) {
+  constexpr std::size_t B = kWinoBlockLanes;
+  float t[4][4][B];
+  for (int c = 0; c < 4; ++c) {
+    for (std::size_t l = 0; l < B; ++l) {
+      const float a0 = d[(0 * 4 + c) * B + l];
+      const float a1 = d[(1 * 4 + c) * B + l];
+      const float a2 = d[(2 * 4 + c) * B + l];
+      const float a3 = d[(3 * 4 + c) * B + l];
+      t[0][c][l] = a0 - a2;
+      t[1][c][l] = a1 + a2;
+      t[2][c][l] = a2 - a1;
+      t[3][c][l] = a1 - a3;
+    }
+  }
+  for (int r = 0; r < 4; ++r) {
+    for (std::size_t l = 0; l < B; ++l) {
+      const float a0 = t[r][0][l];
+      const float a1 = t[r][1][l];
+      const float a2 = t[r][2][l];
+      const float a3 = t[r][3][l];
+      v[(r * 4 + 0) * B + l] = a0 - a2;
+      v[(r * 4 + 1) * B + l] = a1 + a2;
+      v[(r * 4 + 2) * B + l] = a2 - a1;
+      v[(r * 4 + 3) * B + l] = a1 - a3;
+    }
+  }
+}
+
+// Y = A^T m A: 4x4 transform-domain block to 2x2 output.
+void wino_f2_output_block(const float* m, float* y) {
+  constexpr std::size_t B = kWinoBlockLanes;
+  float t[2][4][B];
+  for (int c = 0; c < 4; ++c) {
+    for (std::size_t l = 0; l < B; ++l) {
+      const float a0 = m[(0 * 4 + c) * B + l];
+      const float a1 = m[(1 * 4 + c) * B + l];
+      const float a2 = m[(2 * 4 + c) * B + l];
+      const float a3 = m[(3 * 4 + c) * B + l];
+      t[0][c][l] = a0 + a1 + a2;
+      t[1][c][l] = a1 - a2 - a3;
+    }
+  }
+  for (int r = 0; r < 2; ++r) {
+    for (std::size_t l = 0; l < B; ++l) {
+      const float a0 = t[r][0][l];
+      const float a1 = t[r][1][l];
+      const float a2 = t[r][2][l];
+      const float a3 = t[r][3][l];
+      y[(r * 2 + 0) * B + l] = a0 + a1 + a2;
+      y[(r * 2 + 1) * B + l] = a1 - a2 - a3;
+    }
+  }
+}
+
+// dM = A dY A^T with A = (A^T)^T (4x2): 2x2 gradient to 4x4 block.
+void wino_f2_dy_block(const float* dy, float* dm) {
+  constexpr std::size_t B = kWinoBlockLanes;
+  float t[4][2][B];
+  for (int c = 0; c < 2; ++c) {
+    for (std::size_t l = 0; l < B; ++l) {
+      const float a0 = dy[(0 * 2 + c) * B + l];
+      const float a1 = dy[(1 * 2 + c) * B + l];
+      t[0][c][l] = a0;
+      t[1][c][l] = a0 + a1;
+      t[2][c][l] = a0 - a1;
+      t[3][c][l] = -a1;
+    }
+  }
+  for (int r = 0; r < 4; ++r) {
+    for (std::size_t l = 0; l < B; ++l) {
+      const float a0 = t[r][0][l];
+      const float a1 = t[r][1][l];
+      dm[(r * 4 + 0) * B + l] = a0;
+      dm[(r * 4 + 1) * B + l] = a0 + a1;
+      dm[(r * 4 + 2) * B + l] = a0 - a1;
+      dm[(r * 4 + 3) * B + l] = -a1;
+    }
+  }
+}
+
+// ---- F(4x4, 3x3) -----------------------------------------------------------
+
+void wino_f4_input_block(const float* d, float* v) {
+  constexpr std::size_t B = kWinoBlockLanes;
+  float t[6][6][B];
+  for (int c = 0; c < 6; ++c) {
+    for (std::size_t l = 0; l < B; ++l) {
+      const float a0 = d[(0 * 6 + c) * B + l];
+      const float a1 = d[(1 * 6 + c) * B + l];
+      const float a2 = d[(2 * 6 + c) * B + l];
+      const float a3 = d[(3 * 6 + c) * B + l];
+      const float a4 = d[(4 * 6 + c) * B + l];
+      const float a5 = d[(5 * 6 + c) * B + l];
+      t[0][c][l] = 4.0f * a0 - 5.0f * a2 + a4;
+      t[1][c][l] = -4.0f * a1 - 4.0f * a2 + a3 + a4;
+      t[2][c][l] = 4.0f * a1 - 4.0f * a2 - a3 + a4;
+      t[3][c][l] = -2.0f * a1 - a2 + 2.0f * a3 + a4;
+      t[4][c][l] = 2.0f * a1 - a2 - 2.0f * a3 + a4;
+      t[5][c][l] = 4.0f * a1 - 5.0f * a3 + a5;
+    }
+  }
+  for (int r = 0; r < 6; ++r) {
+    for (std::size_t l = 0; l < B; ++l) {
+      const float a0 = t[r][0][l];
+      const float a1 = t[r][1][l];
+      const float a2 = t[r][2][l];
+      const float a3 = t[r][3][l];
+      const float a4 = t[r][4][l];
+      const float a5 = t[r][5][l];
+      v[(r * 6 + 0) * B + l] = 4.0f * a0 - 5.0f * a2 + a4;
+      v[(r * 6 + 1) * B + l] = -4.0f * a1 - 4.0f * a2 + a3 + a4;
+      v[(r * 6 + 2) * B + l] = 4.0f * a1 - 4.0f * a2 - a3 + a4;
+      v[(r * 6 + 3) * B + l] = -2.0f * a1 - a2 + 2.0f * a3 + a4;
+      v[(r * 6 + 4) * B + l] = 2.0f * a1 - a2 - 2.0f * a3 + a4;
+      v[(r * 6 + 5) * B + l] = 4.0f * a1 - 5.0f * a3 + a5;
+    }
+  }
+}
+
+void wino_f4_output_block(const float* m, float* y) {
+  constexpr std::size_t B = kWinoBlockLanes;
+  float t[4][6][B];
+  for (int c = 0; c < 6; ++c) {
+    for (std::size_t l = 0; l < B; ++l) {
+      const float a0 = m[(0 * 6 + c) * B + l];
+      const float a1 = m[(1 * 6 + c) * B + l];
+      const float a2 = m[(2 * 6 + c) * B + l];
+      const float a3 = m[(3 * 6 + c) * B + l];
+      const float a4 = m[(4 * 6 + c) * B + l];
+      const float a5 = m[(5 * 6 + c) * B + l];
+      t[0][c][l] = a0 + a1 + a2 + a3 + a4;
+      t[1][c][l] = a1 - a2 + 2.0f * a3 - 2.0f * a4;
+      t[2][c][l] = a1 + a2 + 4.0f * a3 + 4.0f * a4;
+      t[3][c][l] = a1 - a2 + 8.0f * a3 - 8.0f * a4 + a5;
+    }
+  }
+  for (int r = 0; r < 4; ++r) {
+    for (std::size_t l = 0; l < B; ++l) {
+      const float a0 = t[r][0][l];
+      const float a1 = t[r][1][l];
+      const float a2 = t[r][2][l];
+      const float a3 = t[r][3][l];
+      const float a4 = t[r][4][l];
+      const float a5 = t[r][5][l];
+      y[(r * 4 + 0) * B + l] = a0 + a1 + a2 + a3 + a4;
+      y[(r * 4 + 1) * B + l] = a1 - a2 + 2.0f * a3 - 2.0f * a4;
+      y[(r * 4 + 2) * B + l] = a1 + a2 + 4.0f * a3 + 4.0f * a4;
+      y[(r * 4 + 3) * B + l] = a1 - a2 + 8.0f * a3 - 8.0f * a4 + a5;
+    }
+  }
+}
+
+// dM = A dY A^T with A = (A^T)^T (6x4).
+void wino_f4_dy_block(const float* dy, float* dm) {
+  constexpr std::size_t B = kWinoBlockLanes;
+  float t[6][4][B];
+  for (int c = 0; c < 4; ++c) {
+    for (std::size_t l = 0; l < B; ++l) {
+      const float a0 = dy[(0 * 4 + c) * B + l];
+      const float a1 = dy[(1 * 4 + c) * B + l];
+      const float a2 = dy[(2 * 4 + c) * B + l];
+      const float a3 = dy[(3 * 4 + c) * B + l];
+      t[0][c][l] = a0;
+      t[1][c][l] = a0 + a1 + a2 + a3;
+      t[2][c][l] = a0 - a1 + a2 - a3;
+      t[3][c][l] = a0 + 2.0f * a1 + 4.0f * a2 + 8.0f * a3;
+      t[4][c][l] = a0 - 2.0f * a1 + 4.0f * a2 - 8.0f * a3;
+      t[5][c][l] = a3;
+    }
+  }
+  for (int r = 0; r < 6; ++r) {
+    for (std::size_t l = 0; l < B; ++l) {
+      const float a0 = t[r][0][l];
+      const float a1 = t[r][1][l];
+      const float a2 = t[r][2][l];
+      const float a3 = t[r][3][l];
+      dm[(r * 6 + 0) * B + l] = a0;
+      dm[(r * 6 + 1) * B + l] = a0 + a1 + a2 + a3;
+      dm[(r * 6 + 2) * B + l] = a0 - a1 + a2 - a3;
+      dm[(r * 6 + 3) * B + l] = a0 + 2.0f * a1 + 4.0f * a2 + 8.0f * a3;
+      dm[(r * 6 + 4) * B + l] = a0 - 2.0f * a1 + 4.0f * a2 - 8.0f * a3;
+      dm[(r * 6 + 5) * B + l] = a3;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pf15::gemm

@@ -165,17 +165,25 @@ TEST(ConvBackendRegistry, WinogradApplicabilityIs3x3Stride1) {
   }
 }
 
-TEST(ConvBackendRegistry, FftDeclinesBackwardPhases) {
+TEST(ConvBackendRegistry, FftCoversEveryPhaseOnSquareProblems) {
   const auto& fft = gemm::backend(ConvBackendKind::kFft);
   const gemm::ConvProblem p = make_problem(2, 3, 8, 3, 1, 1);
-  EXPECT_TRUE(fft.applicable(p, ConvPhase::kForward));
-  EXPECT_FALSE(fft.applicable(p, ConvPhase::kBackwardData));
-  EXPECT_FALSE(fft.applicable(p, ConvPhase::kBackwardFilter));
-  // Calling a declined phase is a contract violation, not silence.
-  std::vector<float> buf(2 * 8 * 8, 0.0f);
-  PF15_EXPECT_CHECK_FAIL(
-      fft.backward_data(p, buf.data(), buf.data(), buf.data(), false),
-      "declines");
+  for (const ConvPhase phase : gemm::kAllConvPhases) {
+    EXPECT_TRUE(fft.applicable(p, phase));
+  }
+  // The spectral path assumes one transform grid: anisotropic geometry
+  // (non-square kernel, stride or pad) is declined in every phase.
+  gemm::ConvProblem aniso = p;
+  aniso.geom.kernel_h = 5;
+  for (const ConvPhase phase : gemm::kAllConvPhases) {
+    EXPECT_FALSE(fft.applicable(aniso, phase));
+  }
+  aniso = p;
+  aniso.geom.stride_w = 2;
+  EXPECT_FALSE(fft.applicable(aniso, ConvPhase::kBackwardData));
+  aniso = p;
+  aniso.geom.pad_w = 2;
+  EXPECT_FALSE(fft.applicable(aniso, ConvPhase::kBackwardFilter));
 }
 
 TEST(ConvBackendRegistry, WinogradBackwardDataNeedsPadAtMost2) {
@@ -200,13 +208,16 @@ TEST(ConvBackendRegistry, ApplicableBackendsFilters) {
   const auto for_3x3 =
       gemm::applicable_backends(make_problem(2, 3, 9, 3, 1, 1));
   EXPECT_EQ(for_3x3.size(), 4u);
-  // Backward: FFT drops out.
+  // Backward: the full field stays in the race — FFT included — so the
+  // autotuner can pick a spectral backward plan where it wins.
   const auto bwd_3x3 = gemm::applicable_backends(
       make_problem(2, 3, 9, 3, 1, 1), ConvPhase::kBackwardData);
-  ASSERT_EQ(bwd_3x3.size(), 3u);
+  ASSERT_EQ(bwd_3x3.size(), 4u);
+  bool fft_races = false;
   for (const auto* b : bwd_3x3) {
-    EXPECT_NE(b->kind(), ConvBackendKind::kFft);
+    fft_races = fft_races || b->kind() == ConvBackendKind::kFft;
   }
+  EXPECT_TRUE(fft_races);
 }
 
 // ---- numerical agreement ---------------------------------------------------
@@ -425,10 +436,11 @@ TEST(Autotune, BenchmarkRejectsInapplicableBackend) {
       gemm::benchmark_backend(gemm::backend(ConvBackendKind::kWinograd),
                               strided, fast_tune()),
       "not applicable");
+  gemm::ConvProblem aniso = make_problem(2, 2, 8, 3, 1, 1);
+  aniso.geom.pad_w = 2;  // anisotropic pad: FFT declines every phase
   PF15_EXPECT_CHECK_FAIL(
-      gemm::benchmark_backend(gemm::backend(ConvBackendKind::kFft),
-                              make_problem(2, 2, 8, 3, 1, 1), fast_tune(),
-                              ConvPhase::kBackwardData),
+      gemm::benchmark_backend(gemm::backend(ConvBackendKind::kFft), aniso,
+                              fast_tune(), ConvPhase::kBackwardData),
       "not applicable");
 }
 
@@ -762,6 +774,48 @@ TEST(PlanCachePersistence, WrongFormatVersionAndHardwareAreRejected) {
   std::remove(path.c_str());
 }
 
+TEST(PlanCachePersistence, MismatchedIsaSignatureIsRejected) {
+  // Plans tuned under one SIMD tier are meaningless under another: the
+  // scalar/AVX2 kernels have different crossover points. A cache written
+  // on a machine with a different ISA must be rejected at load — the
+  // caller (GlobalConvPlanCache) then re-tunes instead of erroring out.
+  const std::string path = temp_cache_path("isa");
+  gemm::ConvPlanCache cache(fast_tune());
+  cache.plan(make_problem(2, 3, 10, 3, 1, 1));
+  cache.save(path);
+
+  std::ifstream in(path);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  in.close();
+  const std::string current = "\"isa\": \"" +
+                              std::string(gemm::simd_isa_string()) + "\"";
+  const auto pos = text.find(current);
+  ASSERT_NE(pos, std::string::npos)
+      << "saved cache must record the running ISA tier";
+  text.replace(pos, current.size(), "\"isa\": \"sve512\"");
+  {
+    std::ofstream out(path);
+    out << text;
+  }
+  gemm::ConvPlanCache fresh(fast_tune());
+  EXPECT_THROW(fresh.load(path), IoError);
+  EXPECT_EQ(fresh.size(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(Autotune, FftRacesInBackwardPhases) {
+  // The spectral adjoints must actually enter the per-phase benchmark
+  // race, not just pass the applicability filter.
+  const gemm::ConvProblem p = make_problem(2, 2, 8, 3, 1, 1);
+  for (const ConvPhase phase :
+       {ConvPhase::kBackwardData, ConvPhase::kBackwardFilter}) {
+    const double us = gemm::benchmark_backend(
+        gemm::backend(ConvBackendKind::kFft), p, fast_tune(), phase);
+    EXPECT_GT(us, 0.0);
+  }
+}
+
 // ---- Conv2d dispatch -------------------------------------------------------
 
 nn::Conv2dConfig conv_config(std::size_t in_c, std::size_t out_c,
@@ -823,7 +877,7 @@ TEST(Conv2dDispatch, ForcedBackendsReportThemselvesEveryPhase) {
        ConvBackendKind::kIm2col},
       {nn::ConvAlgo::kWinograd, ConvBackendKind::kWinograd,
        ConvBackendKind::kWinograd},
-      {nn::ConvAlgo::kFft, ConvBackendKind::kFft, ConvBackendKind::kIm2col},
+      {nn::ConvAlgo::kFft, ConvBackendKind::kFft, ConvBackendKind::kFft},
       {nn::ConvAlgo::kDirect, ConvBackendKind::kDirect,
        ConvBackendKind::kDirect},
   };
@@ -833,8 +887,8 @@ TEST(Conv2dDispatch, ForcedBackendsReportThemselvesEveryPhase) {
     EXPECT_EQ(conv.forward_backend(in_shape), c.kind);
     conv.forward(input, out);
     EXPECT_EQ(conv.last_forward_backend(), c.kind);
-    // Backward dispatches per phase; FFT falls back to the im2col
-    // adjoint explicitly.
+    // Backward dispatches per phase; every forced backend — FFT's
+    // spectral adjoints included — now covers both gradient phases.
     EXPECT_EQ(conv.backward_backend(in_shape, ConvPhase::kBackwardData),
               c.backward_kind);
     EXPECT_EQ(conv.backward_backend(in_shape, ConvPhase::kBackwardFilter),
@@ -1037,14 +1091,20 @@ TEST(Deconv2dDispatch, ForcedBackendsMatchIm2colForward) {
   for (std::size_t i = 0; i < out.numel(); ++i) {
     ASSERT_NEAR(out.data()[i], ref_out.data()[i], 1e-4f) << "element " << i;
   }
-  // FFT declines backward-data: the deconv forward falls back to im2col.
+  // FFT now carries a spectral backward-data, so a forced FFT deconv
+  // forward stays spectral — and must agree with the im2col adjoint.
   nn::Deconv2d fft = build(nn::ConvAlgo::kFft);
   EXPECT_EQ(fft.phase_backend(in_shape, ConvPhase::kBackwardData),
-            ConvBackendKind::kIm2col);
-  // ... but the deconv *backward* data pass is a conv forward, where a
-  // forced FFT does apply.
+            ConvBackendKind::kFft);
   EXPECT_EQ(fft.phase_backend(in_shape, ConvPhase::kForward),
             ConvBackendKind::kFft);
+  Tensor fft_out;
+  fft.forward(input, fft_out);
+  ASSERT_EQ(fft_out.shape(), ref_out.shape());
+  for (std::size_t i = 0; i < fft_out.numel(); ++i) {
+    ASSERT_NEAR(fft_out.data()[i], ref_out.data()[i], 1e-4f)
+        << "element " << i;
+  }
 }
 
 TEST(Deconv2dDispatch, ForcedWinogradOnBadGeometryIsRefused) {

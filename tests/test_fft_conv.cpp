@@ -152,6 +152,143 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(1u),             // stride
                        ::testing::Values(0u, 1u, 2u)));   // padding
 
+// ---- spectral backward phases ----------------------------------------------
+
+struct BackwardOperands {
+  ConvGeom g;
+  std::vector<float> image, weight, dout;
+};
+
+BackwardOperands backward_operands(std::size_t in_c, std::size_t out_c,
+                                   std::size_t hw, std::size_t kernel,
+                                   std::size_t stride, std::size_t pad,
+                                   std::uint64_t seed) {
+  BackwardOperands ops;
+  ops.g.in_c = in_c;
+  ops.g.in_h = ops.g.in_w = hw;
+  ops.g.kernel_h = ops.g.kernel_w = kernel;
+  ops.g.stride_h = ops.g.stride_w = stride;
+  ops.g.pad_h = ops.g.pad_w = pad;
+  Rng rng(seed);
+  ops.image.resize(in_c * hw * hw);
+  for (auto& v : ops.image) v = rng.uniform(-1.0f, 1.0f);
+  ops.weight.resize(out_c * in_c * kernel * kernel);
+  for (auto& v : ops.weight) v = rng.uniform(-0.5f, 0.5f);
+  ops.dout.resize(out_c * ops.g.out_h() * ops.g.out_w());
+  for (auto& v : ops.dout) v = rng.uniform(-1.0f, 1.0f);
+  return ops;
+}
+
+TEST_P(FftConvSweep, BackwardDataMatchesIm2colAdjoint) {
+  const auto [in_c, out_c, hw, kernel, stride, pad] = GetParam();
+  if (hw + 2 * pad < kernel) GTEST_SKIP();
+  const BackwardOperands ops =
+      backward_operands(in_c, out_c, hw, kernel, stride, pad, 21);
+  const ConvGeom& g = ops.g;
+
+  // Reference adjoint: col-gradient = W^T dout, scattered by col2im.
+  std::vector<float> colg(g.lowered_rows() * g.lowered_cols());
+  sgemm_naive(true, false, g.lowered_rows(), g.lowered_cols(), out_c, 1.0f,
+              ops.weight.data(), g.lowered_rows(), ops.dout.data(),
+              g.lowered_cols(), 0.0f, colg.data(), g.lowered_cols());
+  std::vector<float> ref(in_c * hw * hw, 0.0f);
+  col2im(g, colg.data(), ref.data());
+
+  std::vector<float> din(ref.size(), -99.0f);
+  fft_conv2d_backward_data(ops.dout.data(), in_c, hw, hw, ops.weight.data(),
+                           out_c, kernel, stride, pad, din.data());
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    ASSERT_NEAR(din[i], ref[i], 2e-4f) << "element " << i;
+  }
+}
+
+TEST_P(FftConvSweep, BackwardFilterMatchesIm2colAdjoint) {
+  const auto [in_c, out_c, hw, kernel, stride, pad] = GetParam();
+  if (hw + 2 * pad < kernel) GTEST_SKIP();
+  const BackwardOperands ops =
+      backward_operands(in_c, out_c, hw, kernel, stride, pad, 22);
+  const ConvGeom& g = ops.g;
+
+  // Reference adjoint: dW = dout · col^T, accumulated onto a non-zero
+  // prefill — the backend contract is +=, and the spectral path must
+  // honour it too.
+  std::vector<float> col(g.lowered_rows() * g.lowered_cols());
+  im2col(g, ops.image.data(), col.data());
+  Rng prefill_rng(23);
+  std::vector<float> ref(out_c * g.lowered_rows());
+  for (auto& v : ref) v = prefill_rng.uniform(-1.0f, 1.0f);
+  std::vector<float> dw = ref;
+  sgemm_naive(false, true, out_c, g.lowered_rows(), g.lowered_cols(), 1.0f,
+              ops.dout.data(), g.lowered_cols(), col.data(),
+              g.lowered_cols(), 1.0f, ref.data(), g.lowered_rows());
+
+  fft_conv2d_backward_filter(ops.image.data(), in_c, hw, hw,
+                             ops.dout.data(), out_c, kernel, stride, pad,
+                             dw.data());
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    ASSERT_NEAR(dw[i], ref[i], 2e-4f) << "element " << i;
+  }
+}
+
+/// Central-difference gradient check of the spectral adjoints against the
+/// fft_conv2d primal itself (not another backend): loss = <out, dout>.
+double fft_loss(const BackwardOperands& ops, std::size_t out_c,
+                const std::vector<float>& image,
+                const std::vector<float>& weight) {
+  const ConvGeom& g = ops.g;
+  std::vector<float> out(out_c * g.out_h() * g.out_w(), 0.0f);
+  fft_conv2d(image.data(), g.in_c, g.in_h, g.in_w, weight.data(), out_c,
+             g.kernel_h, g.stride_h, g.pad_h, nullptr, out.data());
+  double loss = 0.0;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    loss += static_cast<double>(out[i]) * static_cast<double>(ops.dout[i]);
+  }
+  return loss;
+}
+
+TEST(FftConvBackward, GradientChecksAgainstPrimal) {
+  const struct {
+    std::size_t in_c, out_c, hw, kernel, stride, pad;
+  } cases[] = {
+      {2, 2, 5, 3, 1, 1},  // the paper's workhorse geometry class
+      {1, 2, 6, 3, 2, 1},  // strided: exercises the upsampling adjoint
+      {2, 1, 7, 5, 1, 0},  // larger kernel, no pad
+  };
+  const float eps = 1e-2f;
+  for (const auto& c : cases) {
+    const BackwardOperands ops = backward_operands(
+        c.in_c, c.out_c, c.hw, c.kernel, c.stride, c.pad, 31 + c.hw);
+
+    std::vector<float> din(ops.image.size(), 0.0f);
+    fft_conv2d_backward_data(ops.dout.data(), c.in_c, c.hw, c.hw,
+                             ops.weight.data(), c.out_c, c.kernel, c.stride,
+                             c.pad, din.data());
+    std::vector<float> dw(ops.weight.size(), 0.0f);
+    fft_conv2d_backward_filter(ops.image.data(), c.in_c, c.hw, c.hw,
+                               ops.dout.data(), c.out_c, c.kernel, c.stride,
+                               c.pad, dw.data());
+
+    for (std::size_t i = 0; i < ops.image.size(); i += 7) {
+      std::vector<float> bumped = ops.image;
+      bumped[i] += eps;
+      const double up = fft_loss(ops, c.out_c, bumped, ops.weight);
+      bumped[i] = ops.image[i] - eps;
+      const double down = fft_loss(ops, c.out_c, bumped, ops.weight);
+      ASSERT_NEAR(din[i], (up - down) / (2.0 * eps), 5e-3)
+          << "din " << i << " hw " << c.hw;
+    }
+    for (std::size_t i = 0; i < ops.weight.size(); i += 5) {
+      std::vector<float> bumped = ops.weight;
+      bumped[i] += eps;
+      const double up = fft_loss(ops, c.out_c, ops.image, bumped);
+      bumped[i] = ops.weight[i] - eps;
+      const double down = fft_loss(ops, c.out_c, ops.image, bumped);
+      ASSERT_NEAR(dw[i], (up - down) / (2.0 * eps), 5e-3)
+          << "dw " << i << " hw " << c.hw;
+    }
+  }
+}
+
 TEST(FftConvFlops, CrossoverFavorsLargeKernels) {
   // Direct cost ~ K² per output; FFT cost ~ log terms independent of K.
   // At 3x3 the direct path must win; at large kernels FFT must win.

@@ -252,7 +252,14 @@ TEST(ResidualBlock, BatchNormVariantGradientsCheck) {
       {.in_channels = 2, .out_channels = 2, .stride = 1, .batchnorm = true},
       rng);
   Tensor in = random_input(Shape{3, 2, 5, 5});
-  testing::check_layer_gradients(block, in, kCompositeOpts);
+  // BatchNorm divides by the batch std, so the loss here carries more
+  // float rounding noise than the plain variants; at eps = 1e-3 the
+  // central difference sat within one ulp-cascade of the tolerance floor
+  // and flipped with the FMA rounding of the AVX2 GEMM tier. A 2x wider
+  // step halves the noise while staying inside the ReLU kink margin.
+  testing::GradCheckOptions opts = kCompositeOpts;
+  opts.eps = 2e-3f;
+  testing::check_layer_gradients(block, in, opts);
 }
 
 TEST(ResidualBlock, SkipPathCarriesSignalThroughZeroedBranch) {
